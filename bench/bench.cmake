@@ -1,0 +1,33 @@
+add_library(gpupm_bench_harness STATIC bench/harness.cpp)
+target_link_libraries(gpupm_bench_harness PUBLIC gpupm)
+
+function(gpupm_bench name)
+    add_executable(${name} bench/${name}.cpp)
+    target_link_libraries(${name} PRIVATE gpupm_bench_harness)
+    set_target_properties(${name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+gpupm_bench(bench_table1_dvfs)
+gpupm_bench(bench_table4_patterns)
+gpupm_bench(bench_fig2_scaling)
+gpupm_bench(bench_fig3_throughput)
+gpupm_bench(bench_fig4_limit)
+gpupm_bench(bench_fig8_mpc_vs_turbo)
+gpupm_bench(bench_fig9_mpc_vs_ppk)
+gpupm_bench(bench_fig10_gpu_energy)
+gpupm_bench(bench_fig11_amortization)
+gpupm_bench(bench_fig12_theoretical)
+gpupm_bench(bench_fig13_prediction_error)
+gpupm_bench(bench_fig14_overheads)
+gpupm_bench(bench_fig15_horizon)
+gpupm_bench(bench_rf_accuracy)
+gpupm_bench(bench_ablation)
+gpupm_bench(bench_tdp_study)
+
+# google-benchmark microbenchmarks (runtime overhead calibration).
+add_executable(bench_micro_runtime bench/bench_micro_runtime.cpp)
+target_link_libraries(bench_micro_runtime PRIVATE gpupm_bench_harness
+    benchmark::benchmark benchmark::benchmark_main)
+set_target_properties(bench_micro_runtime PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

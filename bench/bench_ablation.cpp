@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md calls out:
+ *
+ *  1. Search cost: greedy hill climbing vs the exhaustive per-kernel
+ *     scan (the paper's 19x evaluation reduction and, combined with
+ *     the search-order heuristic, 65x vs backtracking MPC).
+ *  2. Horizon policy: adaptive vs full vs fixed lengths.
+ *  3. Horizon pacing: the paper's uniform i*T/N schedule vs the
+ *     profiled per-kernel schedule (our refinement).
+ *  4. Performance-tracker feedback on/off under an imperfect
+ *     predictor (Eq. 4/5's contribution).
+ */
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "harness.hpp"
+#include "kernel/perf_model.hpp"
+#include "mpc/hill_climb.hpp"
+#include "workload/training.hpp"
+
+using namespace gpupm;
+
+namespace {
+
+void
+searchCostAblation(bench::Harness &h)
+{
+    std::cout << "--- 1. Search cost: greedy hill climb vs exhaustive "
+                 "scan ---\n";
+    hw::ConfigSpace space;
+    ml::EnergyModel energy;
+    mpc::HillClimbOptimizer climber(space, energy);
+    kernel::GroundTruthModel model;
+    auto truth = h.groundTruth();
+
+    const auto corpus = workload::trainingCorpus(40, 0xab1a7e);
+    Accumulator evals, quality;
+    for (const auto &k : corpus) {
+        ml::PredictionQuery q;
+        const auto c0 = hw::ConfigSpace::failSafe();
+        const auto est = model.estimate(k, c0);
+        q.counters = model.counters(k, c0, est);
+        q.instructions = k.instructions();
+        q.groundTruth = &k;
+
+        const Seconds headroom = est.time * 1.25;
+        const auto res =
+            climber.optimize(*truth, q, headroom, c0);
+        evals.add(static_cast<double>(res.evaluations));
+
+        double best = 1e300;
+        for (const auto &c : space.all()) {
+            const auto e = energy.estimate(*truth, q, c);
+            if (e.time <= headroom)
+                best = std::min(best, e.energy);
+        }
+        quality.add(res.predictedEnergy / best);
+    }
+    TextTable t({"metric", "exhaustive", "greedy hill climb",
+                 "reduction"});
+    t.addRow({"energy evaluations / kernel",
+              std::to_string(space.size()), fmt(evals.mean(), 1),
+              fmt(space.size() / evals.mean(), 1) + "x"});
+    t.addRow({"energy vs exhaustive optimum", "1.000x",
+              fmt(quality.mean(), 3) + "x", "-"});
+    t.print(std::cout);
+    std::cout << "paper: 19x fewer evaluations; with the search-order "
+                 "heuristic replacing backtracking, 65x lower total "
+                 "search cost\n\n";
+}
+
+void
+horizonAblation(bench::Harness &h)
+{
+    std::cout << "--- 2. Horizon policy (RF predictor, overheads "
+                 "charged) ---\n";
+    auto rf = h.randomForest();
+
+    struct Mode
+    {
+        std::string name;
+        mpc::MpcOptions opts;
+    };
+    std::vector<Mode> modes;
+    modes.push_back({"adaptive (paper)", {}});
+    {
+        mpc::MpcOptions m;
+        m.horizonMode = mpc::HorizonMode::Full;
+        modes.push_back({"full horizon", m});
+    }
+    for (std::size_t fh : {2, 8}) {
+        mpc::MpcOptions m;
+        m.horizonMode = mpc::HorizonMode::Fixed;
+        m.fixedHorizon = fh;
+        modes.push_back({"fixed H=" + std::to_string(fh), m});
+    }
+
+    TextTable t({"horizon policy", "energy sav (%)", "speedup",
+                 "overhead time (%)"});
+    for (const auto &m : modes) {
+        std::vector<double> e, s, o;
+        for (const auto &bc : h.cases()) {
+            auto r = h.runMpc(bc, rf, m.opts);
+            e.push_back(r.energySavingsPct);
+            s.push_back(r.speedup);
+            o.push_back(sim::overheadTimePct(bc.baseline, r.run));
+        }
+        t.addRow({m.name, fmt(mean(e), 1), fmt(mean(s), 3),
+                  fmt(mean(o), 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+pacingAblation(bench::Harness &h)
+{
+    std::cout << "--- 3. Horizon pacing: profiled schedule vs the "
+                 "paper's uniform i*T/N ---\n";
+    auto rf = h.randomForest();
+    mpc::MpcOptions uniform;
+    uniform.uniformPacing = true;
+
+    TextTable t({"pacing", "energy sav (%)", "speedup",
+                 "avg horizon (% of N)"});
+    for (bool is_uniform : {false, true}) {
+        std::vector<double> e, s, hz;
+        for (const auto &bc : h.cases()) {
+            auto r = h.runMpc(bc, rf,
+                              is_uniform ? uniform : mpc::MpcOptions{});
+            e.push_back(r.energySavingsPct);
+            s.push_back(r.speedup);
+            hz.push_back(100.0 * r.mpcStats.averageHorizonFraction(
+                                     r.mpcKernelCount));
+        }
+        t.addRow({is_uniform ? "uniform (paper formula)"
+                             : "profiled (default)",
+                  fmt(mean(e), 1), fmt(mean(s), 3), fmt(mean(hz), 1)});
+    }
+    t.print(std::cout);
+    std::cout << "uniform pacing starves the horizon for front-loaded "
+                 "applications (long kernels first look like a "
+                 "performance deficit)\n\n";
+}
+
+void
+searchSpaceAblation(bench::Harness &h)
+{
+    std::cout << "--- 5. Search-space width (perfect prediction, "
+                 "overheads charged) ---\n";
+    auto truth = h.groundTruth();
+
+    struct Space
+    {
+        std::string name;
+        hw::ConfigSpaceOptions opts;
+    };
+    const std::vector<Space> spaces = {
+        {"paper: 3 DPM x {2,4,6,8} CUs (336)",
+         hw::ConfigSpaceOptions::paperDefault()},
+        {"all 5 DPM states (560)", hw::ConfigSpaceOptions::fullGpuDvfs()},
+        {"CU counts 1..8 (672)",
+         hw::ConfigSpaceOptions::fineGrainedCus()},
+    };
+
+    TextTable t({"search space", "energy sav (%)", "speedup",
+                 "overhead time (%)"});
+    for (const auto &s : spaces) {
+        mpc::MpcOptions opts;
+        opts.searchSpace = s.opts;
+        std::vector<double> e, sp, o;
+        for (const auto &bc : h.cases()) {
+            auto r = h.runMpc(bc, truth, opts);
+            e.push_back(r.energySavingsPct);
+            sp.push_back(r.speedup);
+            o.push_back(sim::overheadTimePct(bc.baseline, r.run));
+        }
+        t.addRow({s.name, fmt(mean(e), 1), fmt(mean(sp), 3),
+                  fmt(mean(o), 2)});
+    }
+    t.print(std::cout);
+    std::cout << "the paper's 3-of-5 DPM restriction costs little: the "
+                 "extra states sit between points the hill climber "
+                 "already reaches\n\n";
+}
+
+void
+feedbackAblation(bench::Harness &h)
+{
+    std::cout << "--- 4. Performance-tracker feedback (Eq. 4/5) under "
+                 "Err_15%_10% prediction ---\n";
+    auto noisy = bench::Harness::noisyPredictor(0.15, 0.10);
+    mpc::MpcOptions no_feedback;
+    no_feedback.useFeedback = false;
+
+    TextTable t({"feedback", "energy sav (%)", "speedup",
+                 "min speedup"});
+    for (bool fb : {true, false}) {
+        std::vector<double> e, s;
+        Accumulator smin;
+        for (const auto &bc : h.cases()) {
+            auto r = h.runMpc(bc, noisy,
+                              fb ? mpc::MpcOptions{} : no_feedback);
+            e.push_back(r.energySavingsPct);
+            s.push_back(r.speedup);
+            smin.add(r.speedup);
+        }
+        t.addRow({fb ? "on (paper)" : "off", fmt(mean(e), 1),
+                  fmt(mean(s), 3), fmt(smin.min(), 3)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+transitionCostAblation(bench::Harness &h)
+{
+    std::cout << "--- 6. DVFS transition-cost sensitivity (perfect "
+                 "prediction) ---\n";
+    auto truth = h.groundTruth();
+
+    struct Cost
+    {
+        std::string name;
+        double scale;
+    };
+    const std::vector<Cost> costs = {
+        {"free transitions", 0.0},
+        {"default (100 us/V ramp)", 1.0},
+        {"10x slower regulators", 10.0},
+    };
+
+    TextTable t({"transition cost", "energy sav (%)", "speedup",
+                 "transition time (% of run)"});
+    for (const auto &c : costs) {
+        hw::ApuParams params;
+        params.transition.rampPerVolt *= c.scale;
+        params.transition.pllRelock *= c.scale;
+        params.transition.cuGate *= c.scale;
+        sim::Simulator sim(params);
+
+        std::vector<double> e, s, tt;
+        for (const auto &name : workload::benchmarkNames()) {
+            auto app = workload::makeBenchmark(name);
+            policy::TurboCoreGovernor turbo(params);
+            auto base = sim.run(app, turbo);
+            mpc::MpcGovernor gov(truth, {}, params);
+            sim.run(app, gov, base.throughput());
+            auto r = sim.run(app, gov, base.throughput());
+            e.push_back(sim::energySavingsPct(base, r));
+            s.push_back(sim::speedup(base, r));
+            tt.push_back(100.0 * r.transitionTime / r.totalTime());
+        }
+        t.addRow({c.name, fmt(mean(e), 1), fmt(mean(s), 3),
+                  fmt(mean(tt), 2)});
+    }
+    t.print(std::cout);
+    std::cout << "per-kernel reconfiguration stays cheap even with slow "
+                 "regulators: MPC changes configs at phase boundaries, "
+                 "not every kernel\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::Harness::printHeader(
+        "Ablations: search cost, horizon policy, pacing, feedback",
+        "Secs. IV-A1a, IV-A4, VI-D/E of the paper + DESIGN.md Sec. 4");
+
+    bench::Harness h;
+    searchCostAblation(h);
+    horizonAblation(h);
+    pacingAblation(h);
+    feedbackAblation(h);
+    searchSpaceAblation(h);
+    transitionCostAblation(h);
+    return 0;
+}

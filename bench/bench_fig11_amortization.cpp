@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Regenerates paper Fig. 11: amortization of the initial PPK profiling
+ * execution. MPC's cumulative energy savings and speedup relative to
+ * PPK when the application is re-executed 1, 10 and 100 times after
+ * the initial run, plus the steady state (no profiling losses).
+ *
+ * Runs converge after a few executions (deterministic model), so the
+ * 100-re-execution point simulates until convergence and extends the
+ * cumulative averages with the converged run.
+ */
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "harness.hpp"
+
+using namespace gpupm;
+
+namespace {
+
+struct Amortized
+{
+    double energySavingsVsPpkPct;
+    double speedupVsPpk;
+};
+
+/** Cumulative MPC-vs-PPK comparison after `re` re-executions. */
+Amortized
+after(const std::vector<sim::RunResult> &mpc_runs,
+      const sim::RunResult &ppk, int re)
+{
+    // mpc_runs[0] is the profiling execution. Cumulative totals over
+    // (1 + re) executions; runs beyond the simulated set repeat the
+    // last (converged) run.
+    Joules e = 0.0;
+    Seconds t = 0.0;
+    for (int i = 0; i <= re; ++i) {
+        const auto &r =
+            mpc_runs[std::min<std::size_t>(i, mpc_runs.size() - 1)];
+        e += r.totalEnergy();
+        t += r.totalTime();
+    }
+    const double n = re + 1;
+    return {100.0 * (1.0 - (e / n) / ppk.totalEnergy()),
+            ppk.totalTime() / (t / n)};
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::Harness::printHeader(
+        "Figure 11: amortization of initial profiling losses",
+        "Fig. 11 of the paper");
+
+    bench::Harness h;
+    auto rf = h.randomForest();
+    constexpr int simulated_runs = 8;
+
+    TextTable t({"benchmark", "after 1 (dE% / spd)", "after 10",
+                 "after 100", "steady state"});
+    std::vector<double> e1, e10, e100, ess, s1, s10, s100, sss;
+    for (const auto &bc : h.cases()) {
+        auto ppk = h.runPpk(bc, rf);
+
+        mpc::MpcGovernor gov(rf);
+        sim::Simulator sim;
+        std::vector<sim::RunResult> runs;
+        for (int i = 0; i < simulated_runs; ++i)
+            runs.push_back(sim.run(bc.app, gov, bc.target));
+
+        const auto a1 = after(runs, ppk.run, 1);
+        const auto a10 = after(runs, ppk.run, 10);
+        const auto a100 = after(runs, ppk.run, 100);
+        // Steady state: the converged run alone, no profiling cost.
+        const auto &last = runs.back();
+        const Amortized ss{
+            100.0 * (1.0 - last.totalEnergy() / ppk.run.totalEnergy()),
+            ppk.run.totalTime() / last.totalTime()};
+
+        auto cell = [](const Amortized &a) {
+            return fmt(a.energySavingsVsPpkPct, 1) + " / " +
+                   fmt(a.speedupVsPpk, 3);
+        };
+        t.addRow({bc.app.name, cell(a1), cell(a10), cell(a100),
+                  cell(ss)});
+        e1.push_back(a1.energySavingsVsPpkPct);
+        e10.push_back(a10.energySavingsVsPpkPct);
+        e100.push_back(a100.energySavingsVsPpkPct);
+        ess.push_back(ss.energySavingsVsPpkPct);
+        s1.push_back(a1.speedupVsPpk);
+        s10.push_back(a10.speedupVsPpk);
+        s100.push_back(a100.speedupVsPpk);
+        sss.push_back(ss.speedupVsPpk);
+    }
+    t.addRow({"AVERAGE",
+              fmt(mean(e1), 1) + " / " + fmt(mean(s1), 3),
+              fmt(mean(e10), 1) + " / " + fmt(mean(s10), 3),
+              fmt(mean(e100), 1) + " / " + fmt(mean(s100), 3),
+              fmt(mean(ess), 1) + " / " + fmt(mean(sss), 3)});
+    t.print(std::cout);
+    std::cout << "\n";
+
+    bench::Harness::printPaperComparison(
+        "amortization",
+        "non-negligible gains after one re-execution; most of the full "
+        "gains after ten",
+        "average speedup vs PPK " + fmt(mean(s1), 3) + " after 1, " +
+            fmt(mean(s10), 3) + " after 10, " + fmt(mean(sss), 3) +
+            " steady state");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Regenerates paper Fig. 12: comparison with the theoretical limit.
+ * MPC runs in limit-study form (perfect prediction, no overheads, full
+ * horizon) against the Theoretically Optimal exhaustive plan.
+ *
+ * Paper: MPC achieves 92% of the maximum theoretical energy savings
+ * and 93% of the potential performance gain.
+ */
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "harness.hpp"
+
+using namespace gpupm;
+
+int
+main()
+{
+    bench::Harness::printHeader(
+        "Figure 12: MPC vs Theoretically Optimal (perfect prediction, "
+        "no overheads, full horizon)",
+        "Fig. 12 and Sec. VI-C of the paper");
+
+    bench::Harness h;
+
+    TextTable t({"benchmark", "MPC energy sav (%)", "MPC speedup",
+                 "TO energy sav (%)", "TO speedup"});
+    std::vector<double> frac_e, me, te, ms, ts;
+    for (const auto &bc : h.cases()) {
+        auto mpc = h.runMpc(bc, h.groundTruth(),
+                            bench::Harness::limitStudyOptions(), 3);
+        auto to = h.runOracle(bc);
+        t.addRow({bc.app.name, fmt(mpc.energySavingsPct, 1),
+                  fmt(mpc.speedup, 3), fmt(to.energySavingsPct, 1),
+                  fmt(to.speedup, 3)});
+        me.push_back(mpc.energySavingsPct);
+        te.push_back(to.energySavingsPct);
+        ms.push_back(mpc.speedup);
+        ts.push_back(to.speedup);
+        if (to.energySavingsPct > 1.0)
+            frac_e.push_back(mpc.energySavingsPct /
+                             to.energySavingsPct);
+    }
+    t.addRow({"AVERAGE", fmt(mean(me), 1), fmt(mean(ms), 3),
+              fmt(mean(te), 1), fmt(mean(ts), 3)});
+    t.print(std::cout);
+    std::cout << "\n";
+
+    bench::Harness::printPaperComparison(
+        "fraction of theoretical savings",
+        "92% of maximum energy savings, 93% of performance gain",
+        fmt(100.0 * mean(frac_e), 0) + "% of TO energy savings; " +
+            fmt(100.0 * mean(ms) / mean(ts), 0) +
+            "% of TO performance");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates paper Fig. 3: per-invocation kernel instruction
+ * throughput of Spmv, kmeans and hybridsort, normalized to each
+ * application's overall throughput, measured under the Turbo Core
+ * baseline.
+ */
+
+#include <iostream>
+
+#include "harness.hpp"
+
+using namespace gpupm;
+
+int
+main()
+{
+    bench::Harness::printHeader(
+        "Figure 3: kernel throughput during execution",
+        "Fig. 3 of the paper (Spmv, kmeans, hybridsort)");
+
+    bench::Harness h;
+    for (const auto &name : {"Spmv", "kmeans", "hybridsort"}) {
+        const auto &bc = h.benchCase(name);
+        const Throughput overall = bc.baseline.throughput();
+
+        std::cout << name << " (normalized to overall throughput "
+                  << fmt(overall / 1e9, 2) << " Ginsts/s)\n";
+        TextTable t({"invocation", "kernel", "normalized throughput"});
+        for (const auto &rec : bc.baseline.records) {
+            t.addRow({std::to_string(rec.index + 1),
+                      std::string(1, rec.tag),
+                      fmt(rec.kernelThroughput() / overall, 2)});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+
+    bench::Harness::printPaperComparison(
+        "phase shapes",
+        "Spmv high->low, kmeans low->high, hybridsort varies per "
+        "invocation (incl. same-kernel inputs F1..F9)",
+        "same transitions (see traces above)");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates paper Fig. 8 and the headline result: PPK and MPC - both
+ * driven by the trained Random Forest predictor, with all optimization
+ * overheads charged - against the AMD Turbo Core baseline.
+ *
+ * Paper: MPC achieves 24.8% energy savings with a 1.8% performance
+ * loss; PPK suffers 8-26% performance loss on irregular benchmarks.
+ */
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "harness.hpp"
+
+using namespace gpupm;
+
+int
+main()
+{
+    bench::Harness::printHeader(
+        "Figure 8: PPK and MPC vs AMD Turbo Core (RF prediction, "
+        "overheads included)",
+        "Fig. 8 and Sec. VI-A of the paper");
+
+    bench::Harness h;
+    auto rf = h.randomForest();
+
+    TextTable t({"benchmark", "PPK energy sav (%)", "PPK speedup",
+                 "MPC energy sav (%)", "MPC speedup"});
+    std::vector<double> pe, ps, me, ms;
+    for (const auto &bc : h.cases()) {
+        auto ppk = h.runPpk(bc, rf);
+        auto mpc = h.runMpc(bc, rf);
+        t.addRow({bc.app.name, fmt(ppk.energySavingsPct, 1),
+                  fmt(ppk.speedup, 3), fmt(mpc.energySavingsPct, 1),
+                  fmt(mpc.speedup, 3)});
+        pe.push_back(ppk.energySavingsPct);
+        ps.push_back(ppk.speedup);
+        me.push_back(mpc.energySavingsPct);
+        ms.push_back(mpc.speedup);
+    }
+    t.addRow({"AVERAGE", fmt(mean(pe), 1), fmt(mean(ps), 3),
+              fmt(mean(me), 1), fmt(mean(ms), 3)});
+    t.print(std::cout);
+    std::cout << "\n";
+
+    bench::Harness::printPaperComparison(
+        "MPC vs Turbo Core",
+        "24.8% energy savings, 1.8% performance loss",
+        fmt(mean(me), 1) + "% energy savings, " +
+            fmt(100.0 * (1.0 - mean(ms)), 1) + "% performance loss");
+    bench::Harness::printPaperComparison(
+        "PPK on irregular apps", "8-26% performance loss",
+        "see per-benchmark speedups above");
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Regenerates paper Fig. 9: MPC's energy savings and speedup relative
+ * to PPK (both RF-driven, overheads charged).
+ *
+ * Paper: MPC outperforms PPK by 9.6% while reducing energy by 6.6%;
+ * on the 12 irregular benchmarks by 12% performance / 7.5% energy.
+ */
+
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "harness.hpp"
+
+using namespace gpupm;
+
+int
+main()
+{
+    bench::Harness::printHeader(
+        "Figure 9: MPC vs PPK (RF prediction, overheads included)",
+        "Fig. 9 of the paper");
+
+    bench::Harness h;
+    auto rf = h.randomForest();
+
+    TextTable t({"benchmark", "energy sav vs PPK (%)",
+                 "speedup vs PPK"});
+    std::vector<double> de_all, sp_all, de_irr, sp_irr;
+    for (const auto &bc : h.cases()) {
+        auto ppk = h.runPpk(bc, rf);
+        auto mpc = h.runMpc(bc, rf);
+        const double de =
+            100.0 * (1.0 - mpc.run.totalEnergy() /
+                               ppk.run.totalEnergy());
+        const double sp =
+            ppk.run.totalTime() / mpc.run.totalTime();
+        t.addRow({bc.app.name, fmt(de, 1), fmt(sp, 3)});
+        de_all.push_back(de);
+        sp_all.push_back(sp);
+        if (bc.app.category != workload::Category::Regular) {
+            de_irr.push_back(de);
+            sp_irr.push_back(sp);
+        }
+    }
+    t.addRow({"AVERAGE (all 15)", fmt(mean(de_all), 1),
+              fmt(mean(sp_all), 3)});
+    t.addRow({"AVERAGE (12 irregular)", fmt(mean(de_irr), 1),
+              fmt(mean(sp_irr), 3)});
+    t.print(std::cout);
+    std::cout << "\n";
+
+    bench::Harness::printPaperComparison(
+        "MPC vs PPK (all)",
+        "6.6% energy reduction, 9.6% performance improvement",
+        fmt(mean(de_all), 1) + "% energy, " +
+            fmt(100.0 * (mean(sp_all) - 1.0), 1) + "% performance");
+    bench::Harness::printPaperComparison(
+        "MPC vs PPK (irregular)",
+        "7.5% energy reduction, 12% performance improvement",
+        fmt(mean(de_irr), 1) + "% energy, " +
+            fmt(100.0 * (mean(sp_irr) - 1.0), 1) + "% performance");
+    return 0;
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the runtime components that the
+ * OverheadModel constants stand for: Random Forest inference, one
+ * greedy hill-climb decision, one PPK exhaustive scan, the pattern
+ * extractor's hot path, and the Theoretically Optimal planner.
+ *
+ * These measure this host, not the paper's A10-7850K; the point is the
+ * relative cost structure (hill climb << exhaustive scan) that makes
+ * MPC deployable between kernel launches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "harness.hpp"
+#include "kernel/perf_model.hpp"
+#include "mpc/hill_climb.hpp"
+#include "mpc/pattern_extractor.hpp"
+#include "policy/knapsack.hpp"
+#include "workload/training.hpp"
+
+using namespace gpupm;
+
+namespace {
+
+struct Fixture
+{
+    Fixture()
+    {
+        ml::TrainerOptions opts;
+        opts.corpusSize = 24;
+        opts.configStride = 3;
+        opts.forest.numTrees = 60;
+        rf = ml::trainRandomForestPredictor(opts);
+        kernel = workload::trainingCorpus(1, 0x71e)[0];
+        const auto c = hw::ConfigSpace::failSafe();
+        const auto est = model.estimate(kernel, c);
+        query.counters = model.counters(kernel, c, est);
+        query.instructions = kernel.instructions();
+        query.groundTruth = &kernel;
+        headroom = est.time * 1.2;
+    }
+
+    kernel::GroundTruthModel model;
+    hw::ConfigSpace space;
+    ml::EnergyModel energy;
+    std::unique_ptr<ml::RandomForestPredictor> rf;
+    kernel::KernelParams kernel;
+    ml::PredictionQuery query;
+    Seconds headroom = 0.0;
+};
+
+Fixture &
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+void
+BM_RandomForestInference(benchmark::State &state)
+{
+    auto &f = fixture();
+    const auto c = hw::ConfigSpace::maxPerformance();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.rf->predict(f.query, c));
+    }
+}
+BENCHMARK(BM_RandomForestInference);
+
+void
+BM_EnergyEstimate(benchmark::State &state)
+{
+    auto &f = fixture();
+    const auto c = hw::ConfigSpace::maxPerformance();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.energy.estimate(*f.rf, f.query, c));
+    }
+}
+BENCHMARK(BM_EnergyEstimate);
+
+void
+BM_HillClimbDecision(benchmark::State &state)
+{
+    auto &f = fixture();
+    mpc::HillClimbOptimizer climber(f.space, f.energy);
+    std::size_t evals = 0;
+    for (auto _ : state) {
+        auto res = climber.optimize(*f.rf, f.query, f.headroom,
+                                    hw::ConfigSpace::failSafe());
+        evals = res.evaluations;
+        benchmark::DoNotOptimize(res);
+    }
+    state.counters["evaluations"] = static_cast<double>(evals);
+}
+BENCHMARK(BM_HillClimbDecision);
+
+void
+BM_ExhaustiveScanDecision(benchmark::State &state)
+{
+    auto &f = fixture();
+    for (auto _ : state) {
+        double best = 1e300;
+        for (const auto &c : f.space.all()) {
+            const auto e = f.energy.estimate(*f.rf, f.query, c);
+            if (e.time <= f.headroom && e.energy < best)
+                best = e.energy;
+        }
+        benchmark::DoNotOptimize(best);
+    }
+    state.counters["evaluations"] = static_cast<double>(f.space.size());
+}
+BENCHMARK(BM_ExhaustiveScanDecision);
+
+void
+BM_SignatureAndLookup(benchmark::State &state)
+{
+    auto &f = fixture();
+    mpc::PatternExtractor pe;
+    pe.observe(f.query.counters, 1e-3, 20.0, 1e8, nullptr);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pe.observe(f.query.counters, 1e-3, 20.0, 1e8, nullptr));
+    }
+}
+BENCHMARK(BM_SignatureAndLookup);
+
+void
+BM_GroundTruthEstimate(benchmark::State &state)
+{
+    auto &f = fixture();
+    const auto c = hw::ConfigSpace::maxPerformance();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(f.model.estimate(f.kernel, c));
+    }
+}
+BENCHMARK(BM_GroundTruthEstimate);
+
+void
+BM_OraclePlanSpmv(benchmark::State &state)
+{
+    auto app = workload::makeBenchmark("Spmv");
+    sim::Simulator sim;
+    policy::TurboCoreGovernor turbo;
+    auto base = sim.run(app, turbo);
+    for (auto _ : state) {
+        policy::TheoreticallyOptimalGovernor oracle(app);
+        auto r = sim.run(app, oracle, base.throughput());
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_OraclePlanSpmv)->Unit(benchmark::kMillisecond);
+
+void
+BM_McpSteadyStateRunSpmv(benchmark::State &state)
+{
+    auto &f = fixture();
+    (void)f;
+    auto app = workload::makeBenchmark("Spmv");
+    sim::Simulator sim;
+    policy::TurboCoreGovernor turbo;
+    auto base = sim.run(app, turbo);
+    auto truth = std::make_shared<ml::GroundTruthPredictor>();
+    mpc::MpcGovernor gov(truth);
+    sim.run(app, gov, base.throughput());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            sim.run(app, gov, base.throughput()));
+    }
+}
+BENCHMARK(BM_McpSteadyStateRunSpmv)->Unit(benchmark::kMillisecond);
+
+} // namespace

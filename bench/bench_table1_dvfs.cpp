@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates paper Table I: the software-visible CPU, northbridge and
+ * GPU DVFS states of the modeled AMD A10-7850K, plus the derived
+ * quantities the power model adds (shared-rail minimums, effective
+ * memory bandwidth).
+ */
+
+#include <iostream>
+
+#include "harness.hpp"
+#include "hw/dvfs.hpp"
+#include "kernel/perf_model.hpp"
+
+using namespace gpupm;
+
+int
+main()
+{
+    bench::Harness::printHeader(
+        "Table I: CPU, Northbridge, and GPU DVFS states",
+        "Table I of the paper (AMD A10-7850K)");
+
+    TextTable cpu({"CPU P-state", "Voltage (V)", "Freq (GHz)"});
+    for (int i = 0; i < hw::numCpuPStates; ++i) {
+        auto s = static_cast<hw::CpuPState>(i);
+        const auto &pt = hw::cpuDvfs(s);
+        cpu.addRow({hw::toString(s), fmt(pt.voltage, 4),
+                    fmt(pt.freq / 1000.0, 1)});
+    }
+    cpu.print(std::cout);
+    std::cout << "\n";
+
+    kernel::GroundTruthModel model;
+    TextTable nb({"NB P-state", "Freq (GHz)", "Memory Freq (MHz)",
+                  "min rail (V)*", "eff. BW (GB/s)*"});
+    for (int i = 0; i < hw::numNbPStates; ++i) {
+        auto s = static_cast<hw::NbPState>(i);
+        const auto &pt = hw::nbDvfs(s);
+        nb.addRow({hw::toString(s), fmt(pt.nbFreq / 1000.0, 1),
+                   fmt(pt.memFreq, 0), fmt(pt.minRailVoltage, 4),
+                   fmt(model.effectiveBandwidth(s) / 1e9, 1)});
+    }
+    nb.print(std::cout);
+    std::cout << "\n";
+
+    TextTable gpu({"GPU P-state", "Voltage (V)", "Freq (MHz)",
+                   "searchable"});
+    hw::ConfigSpace space;
+    for (int i = 0; i < hw::numGpuPStates; ++i) {
+        auto s = static_cast<hw::GpuPState>(i);
+        const auto &pt = hw::gpuDvfs(s);
+        hw::HwConfig probe{hw::CpuPState::P1, hw::NbPState::NB0, s, 8};
+        gpu.addRow({hw::toString(s), fmt(pt.voltage, 4),
+                    fmt(pt.freq, 0),
+                    space.contains(probe) ? "yes" : "no"});
+    }
+    gpu.print(std::cout);
+
+    std::cout << "\n(*) modeling additions; Table I values themselves "
+                 "are reproduced exactly.\n"
+              << "Search space: 7 CPU x 4 NB x 3 GPU x {2,4,6,8} CUs = "
+              << space.size() << " configurations (paper Sec. V).\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * TDP-constrained study (extension).
+ *
+ * The paper's platform runs these GPGPU workloads within its 95 W TDP,
+ * so Turbo Core's power-shifting logic (Sec. V-B: shed CPU P-states
+ * first, shifting budget to the loaded GPU) never engages in the main
+ * evaluation. This bench tightens the package budget to exercise it:
+ * the baseline sheds CPU states, the telemetry confirms the envelope,
+ * and MPC still holds its throughput target against the (now slower)
+ * baseline.
+ */
+
+#include <iostream>
+
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "harness.hpp"
+#include "sim/telemetry.hpp"
+
+using namespace gpupm;
+
+int
+main()
+{
+    bench::Harness::printHeader(
+        "TDP-constrained operation (extension)",
+        "exercises the Sec. V-B power-shifting behaviour the 95 W part "
+        "never needs");
+
+    auto truth = std::make_shared<ml::GroundTruthPredictor>();
+
+    TextTable t({"TDP (W)", "baseline CPU state (last)",
+                 "baseline peak power (W)", "lag overshoots*",
+                 "MPC energy sav (%)", "MPC speedup"});
+    for (double tdp : {95.0, 49.0, 45.0}) {
+        hw::ApuParams params;
+        params.tdp = tdp;
+        sim::Simulator sim(params);
+
+        std::vector<double> e, s;
+        std::string last_cpu;
+        double peak = 0.0;
+        int lag_overshoots = 0;
+        for (const auto &name :
+             {"mandelbulbGPU", "NBody", "Spmv", "kmeans"}) {
+            auto app = workload::makeBenchmark(name);
+            policy::TurboCoreGovernor turbo(params);
+            auto base = sim.run(app, turbo);
+            last_cpu = hw::toString(base.records.back().config.cpu);
+            auto trace = sim::TelemetryTrace::fromRun(base, params);
+            peak = std::max(peak, trace.peakPower());
+            // A reactive per-kernel governor can only respond one
+            // kernel late: count the kernels whose average power
+            // exceeds the budget. Each must be the first kernel after
+            // a low-power phase (the reactive-lag flaw the paper's
+            // Sec. I criticizes); sustained violations would be a bug.
+            int streak = 0;
+            for (const auto &rec : base.records) {
+                const Watts power =
+                    (rec.kernelCpuEnergy + rec.kernelGpuEnergy) /
+                    rec.kernelTime;
+                if (power > tdp * 1.001) {
+                    ++lag_overshoots;
+                    ++streak;
+                    GPUPM_ASSERT(streak <= 1,
+                                 "sustained TDP violation in ", name);
+                } else {
+                    streak = 0;
+                }
+            }
+
+            mpc::MpcGovernor gov(truth, {}, params);
+            sim.run(app, gov, base.throughput());
+            auto r = sim.run(app, gov, base.throughput());
+            e.push_back(sim::energySavingsPct(base, r));
+            s.push_back(sim::speedup(base, r));
+        }
+        t.addRow({fmt(tdp, 0), last_cpu, fmt(peak, 1),
+                  std::to_string(lag_overshoots), fmt(mean(e), 1),
+                  fmt(mean(s), 3)});
+    }
+    t.print(std::cout);
+    std::cout << "(*) kernels whose average power exceeded the budget. "
+                 "Each is the single kernel following a low-power "
+                 "phase: the reactive governor decides from the "
+                 "previous kernel's utilization and reacts one kernel "
+                 "late - the same backward-looking lag the paper's "
+                 "introduction criticizes. No violation lasts more "
+                 "than one kernel.\n\n";
+
+    bench::Harness::printPaperComparison(
+        "power shifting",
+        "Turbo Core sheds CPU DVFS states only when the package would "
+        "exceed TDP (never on the studied workloads)",
+        "95 W: CPU stays at P1; tightened budgets shed CPU states and "
+        "the envelope holds (table above)");
+    return 0;
+}

@@ -1,0 +1,141 @@
+#include "harness.hpp"
+
+#include <iostream>
+
+#include "common/logging.hpp"
+
+namespace gpupm::bench {
+
+Harness::Harness() = default;
+
+const std::vector<BenchCase> &
+Harness::cases()
+{
+    if (_cases.empty()) {
+        for (const auto &name : workload::benchmarkNames()) {
+            BenchCase bc;
+            bc.app = workload::makeBenchmark(name);
+            policy::TurboCoreGovernor turbo;
+            bc.baseline = _sim.run(bc.app, turbo);
+            bc.target = bc.baseline.throughput();
+            _cases.push_back(std::move(bc));
+        }
+    }
+    return _cases;
+}
+
+const BenchCase &
+Harness::benchCase(const std::string &name)
+{
+    for (const auto &bc : cases()) {
+        if (bc.app.name == name)
+            return bc;
+    }
+    GPUPM_FATAL("no benchmark named '", name, "'");
+}
+
+std::shared_ptr<const ml::PerfPowerPredictor>
+Harness::randomForest()
+{
+    if (!_rf) {
+        std::cerr << "[harness] training Random Forest predictor ("
+                  << ml::TrainerOptions{}.corpusSize
+                  << " corpus kernels x 336 configurations)..."
+                  << std::endl;
+        _rf = ml::trainRandomForestPredictor({}, &_trainingReport);
+        std::cerr << "[harness] trained: OOB time MAPE "
+                  << fmt(_trainingReport.timeOobMapePct, 1)
+                  << "%, power MAPE "
+                  << fmt(_trainingReport.powerOobMapePct, 1) << "%"
+                  << std::endl;
+    }
+    return _rf;
+}
+
+std::shared_ptr<const ml::PerfPowerPredictor>
+Harness::groundTruth()
+{
+    if (!_truth)
+        _truth = std::make_shared<ml::GroundTruthPredictor>();
+    return _truth;
+}
+
+std::shared_ptr<const ml::PerfPowerPredictor>
+Harness::noisyPredictor(double time_err, double power_err)
+{
+    return std::make_shared<ml::NoisyOraclePredictor>(time_err,
+                                                      power_err);
+}
+
+SchemeResult
+Harness::finish(const BenchCase &bc, sim::RunResult run)
+{
+    SchemeResult out;
+    out.energySavingsPct = sim::energySavingsPct(bc.baseline, run);
+    out.gpuEnergySavingsPct = sim::gpuEnergySavingsPct(bc.baseline, run);
+    out.speedup = sim::speedup(bc.baseline, run);
+    out.run = std::move(run);
+    return out;
+}
+
+SchemeResult
+Harness::runPpk(const BenchCase &bc,
+                std::shared_ptr<const ml::PerfPowerPredictor> pred,
+                const policy::PpkOptions &opts)
+{
+    policy::PpkGovernor gov(std::move(pred), opts);
+    return finish(bc, _sim.run(bc.app, gov, bc.target));
+}
+
+SchemeResult
+Harness::runMpc(const BenchCase &bc,
+                std::shared_ptr<const ml::PerfPowerPredictor> pred,
+                const mpc::MpcOptions &opts, int extra_runs)
+{
+    GPUPM_ASSERT(extra_runs >= 1, "need at least one optimized run");
+    mpc::MpcGovernor gov(std::move(pred), opts);
+    _sim.run(bc.app, gov, bc.target); // profiling execution
+    sim::RunResult last;
+    for (int i = 0; i < extra_runs; ++i)
+        last = _sim.run(bc.app, gov, bc.target);
+    auto out = finish(bc, std::move(last));
+    out.mpcStats = gov.runStats();
+    out.mpcKernelCount = gov.kernelCount();
+    return out;
+}
+
+SchemeResult
+Harness::runOracle(const BenchCase &bc)
+{
+    policy::TheoreticallyOptimalGovernor gov(bc.app);
+    return finish(bc, _sim.run(bc.app, gov, bc.target));
+}
+
+mpc::MpcOptions
+Harness::limitStudyOptions()
+{
+    mpc::MpcOptions opts;
+    opts.chargeOverhead = false;
+    opts.overhead = policy::OverheadModel::free();
+    opts.horizonMode = mpc::HorizonMode::Full;
+    return opts;
+}
+
+void
+Harness::printHeader(const std::string &title,
+                     const std::string &paper_reference)
+{
+    std::cout << "\n=== " << title << " ===\n"
+              << "Reproduces: " << paper_reference << "\n\n";
+}
+
+void
+Harness::printPaperComparison(const std::string &what,
+                              const std::string &paper,
+                              const std::string &ours)
+{
+    std::cout << "[shape check] " << what << ": paper " << paper
+              << " | this reproduction " << ours << "\n";
+}
+
+} // namespace gpupm::bench

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Shared infrastructure for the experiment harnesses.
+ *
+ * Each bench_* binary regenerates one table or figure of the paper. The
+ * harness centralizes the common plumbing: the Turbo Core baseline run,
+ * predictor construction (the Random Forest is trained once and shared),
+ * steady-state MPC execution (profile run + optimized runs, as in
+ * Sec. VI-A), and formatted output with the paper's reported values
+ * alongside ours.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "ml/error_model.hpp"
+#include "ml/trainer.hpp"
+#include "mpc/governor.hpp"
+#include "policy/oracle.hpp"
+#include "policy/ppk.hpp"
+#include "policy/turbo_core.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::bench {
+
+/** One benchmark with its Turbo Core reference run. */
+struct BenchCase
+{
+    workload::Application app;
+    sim::RunResult baseline;
+    Throughput target = 0.0;
+};
+
+/** Result of running a scheme in steady state. */
+struct SchemeResult
+{
+    sim::RunResult run;
+    double energySavingsPct = 0.0; ///< vs Turbo Core.
+    double gpuEnergySavingsPct = 0.0;
+    double speedup = 0.0;
+    mpc::MpcRunStats mpcStats{}; ///< Populated for MPC schemes.
+    std::size_t mpcKernelCount = 0;
+};
+
+class Harness
+{
+  public:
+    Harness();
+
+    /** All 15 paper benchmarks with their baselines (cached). */
+    const std::vector<BenchCase> &cases();
+
+    /** One benchmark by name. */
+    const BenchCase &benchCase(const std::string &name);
+
+    /**
+     * The trained Random Forest predictor (paper Sec. IV-A3), trained
+     * once on first use and shared across harness calls.
+     */
+    std::shared_ptr<const ml::PerfPowerPredictor> randomForest();
+
+    /** Perfect-knowledge predictor (Err_0%). */
+    std::shared_ptr<const ml::PerfPowerPredictor> groundTruth();
+
+    /** Half-normal error predictor (Fig. 13). */
+    static std::shared_ptr<const ml::PerfPowerPredictor>
+    noisyPredictor(double time_err, double power_err);
+
+    /** PPK over a benchmark (single run; PPK does not learn). */
+    SchemeResult
+    runPpk(const BenchCase &bc,
+           std::shared_ptr<const ml::PerfPowerPredictor> pred,
+           const policy::PpkOptions &opts = {});
+
+    /**
+     * MPC in steady state: one profiling execution plus @p extra_runs
+     * optimized executions; the last run is reported (Sec. VI-A).
+     */
+    SchemeResult
+    runMpc(const BenchCase &bc,
+           std::shared_ptr<const ml::PerfPowerPredictor> pred,
+           const mpc::MpcOptions &opts = {}, int extra_runs = 2);
+
+    /** Theoretically Optimal over a benchmark. */
+    SchemeResult runOracle(const BenchCase &bc);
+
+    /** Limit-study MPC options: full horizon, free, perfect-friendly. */
+    static mpc::MpcOptions limitStudyOptions();
+
+    /** Print a standard header naming the figure being regenerated. */
+    static void printHeader(const std::string &title,
+                            const std::string &paper_reference);
+
+    /**
+     * Print the closing shape-check line: what the paper reports vs
+     * what this reproduction measured.
+     */
+    static void printPaperComparison(const std::string &what,
+                                     const std::string &paper,
+                                     const std::string &ours);
+
+  private:
+    SchemeResult finish(const BenchCase &bc, sim::RunResult run);
+
+    sim::Simulator _sim;
+    std::vector<BenchCase> _cases;
+    std::shared_ptr<const ml::PerfPowerPredictor> _rf;
+    std::shared_ptr<const ml::PerfPowerPredictor> _truth;
+    ml::TrainingReport _trainingReport;
+
+  public:
+    const ml::TrainingReport &trainingReport() const
+    {
+        return _trainingReport;
+    }
+};
+
+} // namespace gpupm::bench

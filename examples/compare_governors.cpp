@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Compare all shipped power-management policies on one benchmark:
+ * Turbo Core (baseline), PPK, MPC (adaptive horizon), MPC (full
+ * horizon) and the Theoretically Optimal plan - first with a perfect
+ * predictor, then with the trained Random Forest.
+ *
+ * Usage: compare_governors [benchmark-name]   (default: hybridsort)
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "ml/trainer.hpp"
+#include "mpc/governor.hpp"
+#include "policy/oracle.hpp"
+#include "policy/ppk.hpp"
+#include "policy/turbo_core.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+using namespace gpupm;
+
+namespace {
+
+void
+compareWith(const workload::Application &app,
+            const sim::RunResult &baseline,
+            std::shared_ptr<const ml::PerfPowerPredictor> pred)
+{
+    sim::Simulator sim;
+    const Throughput target = baseline.throughput();
+
+    TextTable t({"scheme", "energy savings", "speedup",
+                 "GPU energy savings"});
+    auto row = [&](const sim::RunResult &r, const std::string &name) {
+        t.addRow({name, fmtPct(sim::energySavingsPct(baseline, r)),
+                  fmt(sim::speedup(baseline, r), 3),
+                  fmtPct(sim::gpuEnergySavingsPct(baseline, r))});
+    };
+
+    policy::PpkGovernor ppk(pred);
+    row(sim.run(app, ppk, target), "PPK");
+
+    mpc::MpcGovernor mpc_adaptive(pred);
+    sim.run(app, mpc_adaptive, target); // profiling execution
+    row(sim.run(app, mpc_adaptive, target), "MPC (adaptive horizon)");
+
+    mpc::MpcOptions full;
+    full.horizonMode = mpc::HorizonMode::Full;
+    mpc::MpcGovernor mpc_full(pred, full);
+    sim.run(app, mpc_full, target);
+    row(sim.run(app, mpc_full, target), "MPC (full horizon)");
+
+    policy::TheoreticallyOptimalGovernor oracle(app);
+    row(sim.run(app, oracle, target), "Theoretically Optimal");
+
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "hybridsort";
+    const workload::Application app = workload::makeBenchmark(name);
+
+    sim::Simulator sim;
+    policy::TurboCoreGovernor turbo;
+    const auto baseline = sim.run(app, turbo);
+
+    std::cout << app.name << " (" << toString(app.category) << ", "
+              << app.patternNotation << "): baseline "
+              << fmt(baseline.totalTime() * 1e3, 1) << " ms, "
+              << fmt(baseline.totalEnergy(), 2) << " J\n\n";
+
+    std::cout << "With a perfect predictor (limit study):\n";
+    compareWith(app, baseline,
+                std::make_shared<ml::GroundTruthPredictor>());
+
+    std::cout << "\nWith the trained Random Forest "
+                 "(deployable configuration):\n";
+    ml::TrainerOptions quick;
+    quick.corpusSize = 48;
+    quick.configStride = 2;
+    compareWith(app, baseline, ml::trainRandomForestPredictor(quick));
+    return 0;
+}

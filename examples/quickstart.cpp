@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: run one GPGPU application under the baseline Turbo Core
+ * governor and under the MPC governor, and report energy/performance.
+ *
+ * Demonstrates the core public API:
+ *  1. build (or define) an application trace,
+ *  2. run the baseline to obtain the performance target,
+ *  3. construct a predictor and the MPC governor,
+ *  4. simulate: first execution profiles (PPK), the second optimizes,
+ *  5. compare with the sim::metrics helpers.
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "ml/predictor.hpp"
+#include "mpc/governor.hpp"
+#include "policy/turbo_core.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+int
+main()
+{
+    using namespace gpupm;
+
+    // 1. A benchmark from the paper's suite: Spmv runs three sparse
+    //    matrix-vector kernels ten times each (pattern A10B10C10).
+    const workload::Application app = workload::makeBenchmark("Spmv");
+    std::cout << "Application: " << app.name << " ("
+              << app.patternNotation << ", " << app.kernelCount()
+              << " kernel launches)\n\n";
+
+    sim::Simulator simulator;
+
+    // 2. Baseline: AMD Turbo Core. Its throughput defines the
+    //    performance target MPC must not undercut.
+    policy::TurboCoreGovernor turbo;
+    const auto baseline = simulator.run(app, turbo);
+    const Throughput target = baseline.throughput();
+
+    // 3. MPC with a perfect predictor for this quickstart; swap in
+    //    ml::trainRandomForestPredictor() for the learned model.
+    auto predictor = std::make_shared<ml::GroundTruthPredictor>();
+    mpc::MpcGovernor governor(predictor);
+
+    // 4. First execution profiles the application (PPK inside)...
+    const auto first_run = simulator.run(app, governor, target);
+    // ...and from the second execution MPC optimizes with the learned
+    // pattern and profiling statistics.
+    const auto mpc_run = simulator.run(app, governor, target);
+
+    // 5. Compare.
+    TextTable table({"scheme", "energy (J)", "time (ms)",
+                     "energy savings", "speedup"});
+    auto row = [&](const sim::RunResult &r) {
+        table.addRow({r.governorName, fmt(r.totalEnergy(), 3),
+                      fmt(r.totalTime() * 1e3, 2),
+                      fmtPct(sim::energySavingsPct(baseline, r)),
+                      fmt(sim::speedup(baseline, r), 3)});
+    };
+    row(baseline);
+    row(first_run);
+    row(mpc_run);
+    table.print(std::cout);
+
+    std::cout << "\nMPC horizon (avg, % of N): "
+              << fmt(100.0 * governor.runStats().averageHorizonFraction(
+                                  governor.kernelCount()))
+              << "%\n";
+    return 0;
+}

@@ -1,0 +1,153 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace gpupm {
+
+FlagParser::FlagParser(std::string program_description)
+    : _description(std::move(program_description))
+{
+}
+
+void
+FlagParser::addString(const std::string &name, std::string default_value,
+                      std::string help)
+{
+    _flags[name] =
+        Flag{Kind::String, std::move(help), std::move(default_value), {}};
+}
+
+void
+FlagParser::addDouble(const std::string &name, double default_value,
+                      std::string help)
+{
+    std::ostringstream os;
+    os << default_value;
+    _flags[name] = Flag{Kind::Double, std::move(help), os.str(), {}};
+}
+
+void
+FlagParser::addInt(const std::string &name, int default_value,
+                   std::string help)
+{
+    _flags[name] = Flag{Kind::Int, std::move(help),
+                        std::to_string(default_value), {}};
+}
+
+void
+FlagParser::addBool(const std::string &name, std::string help)
+{
+    _flags[name] = Flag{Kind::Bool, std::move(help), "false", {}};
+}
+
+bool
+FlagParser::parse(int argc, const char *const *argv)
+{
+    _error.clear();
+    _positional.clear();
+    _helpRequested = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            _positional.push_back(std::move(arg));
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::optional<std::string> inline_value;
+        if (auto eq = name.find('='); eq != std::string::npos) {
+            inline_value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+        }
+        if (name == "help") {
+            _helpRequested = true;
+            return false;
+        }
+        auto it = _flags.find(name);
+        if (it == _flags.end()) {
+            _error = "unknown flag --" + name;
+            return false;
+        }
+        Flag &flag = it->second;
+        if (flag.kind == Kind::Bool) {
+            flag.value = inline_value.value_or("true");
+        } else if (inline_value) {
+            flag.value = *inline_value;
+        } else if (i + 1 < argc) {
+            flag.value = argv[++i];
+        } else {
+            _error = "flag --" + name + " needs a value";
+            return false;
+        }
+        // Validate numeric values eagerly.
+        if (flag.kind == Kind::Double || flag.kind == Kind::Int) {
+            char *end = nullptr;
+            const std::string &v = *flag.value;
+            std::strtod(v.c_str(), &end);
+            if (end == v.c_str() || *end != '\0') {
+                _error = "flag --" + name + " expects a number, got '" +
+                         v + "'";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+const FlagParser::Flag &
+FlagParser::flagOrDie(const std::string &name, Kind kind) const
+{
+    auto it = _flags.find(name);
+    GPUPM_ASSERT(it != _flags.end(), "flag --", name, " not registered");
+    GPUPM_ASSERT(it->second.kind == kind, "flag --", name,
+                 " accessed with the wrong type");
+    return it->second;
+}
+
+std::string
+FlagParser::getString(const std::string &name) const
+{
+    const auto &f = flagOrDie(name, Kind::String);
+    return f.value.value_or(f.defaultValue);
+}
+
+double
+FlagParser::getDouble(const std::string &name) const
+{
+    const auto &f = flagOrDie(name, Kind::Double);
+    return std::atof(f.value.value_or(f.defaultValue).c_str());
+}
+
+int
+FlagParser::getInt(const std::string &name) const
+{
+    const auto &f = flagOrDie(name, Kind::Int);
+    return std::atoi(f.value.value_or(f.defaultValue).c_str());
+}
+
+bool
+FlagParser::getBool(const std::string &name) const
+{
+    const auto &f = flagOrDie(name, Kind::Bool);
+    return f.value.value_or(f.defaultValue) == "true";
+}
+
+std::string
+FlagParser::usage() const
+{
+    std::ostringstream os;
+    os << _description << "\n\nFlags:\n";
+    for (const auto &[name, flag] : _flags) {
+        os << "  --" << name;
+        if (flag.kind != Kind::Bool)
+            os << " <" << flag.defaultValue << ">";
+        os << "  " << flag.help << "\n";
+    }
+    os << "  --help  show this message\n";
+    return os.str();
+}
+
+} // namespace gpupm

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the tools and harnesses.
+ *
+ * Supports --name value, --name=value, boolean switches (--flag), and
+ * generates usage text. Unknown flags and malformed values are parse
+ * errors (reported, not fatal, so tools can print usage and exit).
+ */
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gpupm {
+
+class FlagParser
+{
+  public:
+    explicit FlagParser(std::string program_description);
+
+    /** Register flags. Names are given without the leading "--". */
+    void addString(const std::string &name, std::string default_value,
+                   std::string help);
+    void addDouble(const std::string &name, double default_value,
+                   std::string help);
+    void addInt(const std::string &name, int default_value,
+                std::string help);
+    void addBool(const std::string &name, std::string help);
+
+    /**
+     * Parse argv. On failure, error() describes the problem. The
+     * conventional --help flag is recognized automatically.
+     *
+     * @return true on success, false on error or --help.
+     */
+    bool parse(int argc, const char *const *argv);
+
+    std::string getString(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    int getInt(const std::string &name) const;
+    bool getBool(const std::string &name) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return _positional;
+    }
+
+    bool helpRequested() const { return _helpRequested; }
+    const std::string &error() const { return _error; }
+    std::string usage() const;
+
+  private:
+    enum class Kind { String, Double, Int, Bool };
+
+    struct Flag
+    {
+        Kind kind;
+        std::string help;
+        std::string defaultValue;
+        std::optional<std::string> value;
+    };
+
+    const Flag &flagOrDie(const std::string &name, Kind kind) const;
+
+    std::string _description;
+    std::map<std::string, Flag> _flags;
+    std::vector<std::string> _positional;
+    std::string _error;
+    bool _helpRequested = false;
+};
+
+} // namespace gpupm

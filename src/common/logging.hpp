@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers, in the spirit of
+ * gem5's base/logging.hh.
+ *
+ * panic()  - internal invariant violated: a gpupm bug. Aborts.
+ * fatal()  - the caller/user supplied an impossible request. Exits(1).
+ * warn()   - something questionable happened but execution continues.
+ * inform() - status message.
+ */
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gpupm {
+
+namespace detail {
+
+/** Concatenate arbitrary streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort with a message; use for internal bugs that should never happen. */
+#define GPUPM_PANIC(...) \
+    ::gpupm::detail::panicImpl(__FILE__, __LINE__, \
+                               ::gpupm::detail::concat(__VA_ARGS__))
+
+/** Exit with a message; use for invalid user input or configuration. */
+#define GPUPM_FATAL(...) \
+    ::gpupm::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::gpupm::detail::concat(__VA_ARGS__))
+
+/** Emit a warning but continue. */
+#define GPUPM_WARN(...) \
+    ::gpupm::detail::warnImpl(::gpupm::detail::concat(__VA_ARGS__))
+
+/** Emit an informational status message. */
+#define GPUPM_INFORM(...) \
+    ::gpupm::detail::informImpl(::gpupm::detail::concat(__VA_ARGS__))
+
+/** Panic unless the given condition holds. */
+#define GPUPM_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            GPUPM_PANIC("assertion failed: ", #cond, " ", __VA_ARGS__); \
+        } \
+    } while (false)
+
+} // namespace gpupm

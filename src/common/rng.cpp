@@ -1,0 +1,101 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace gpupm {
+
+Pcg32::Pcg32(std::uint64_t seed, std::uint64_t stream)
+    : _state(0), _inc((stream << 1u) | 1u)
+{
+    nextU32();
+    _state += seed;
+    nextU32();
+}
+
+std::uint32_t
+Pcg32::nextU32()
+{
+    std::uint64_t old = _state;
+    _state = old * 6364136223846793005ULL + _inc;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+std::uint32_t
+Pcg32::nextBounded(std::uint32_t bound)
+{
+    if (bound == 0)
+        return 0;
+    // Rejection sampling to remove modulo bias.
+    std::uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+        std::uint32_t r = nextU32();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+double
+Pcg32::nextDouble()
+{
+    // 53 random bits -> [0, 1).
+    std::uint64_t hi = nextU32();
+    std::uint64_t lo = nextU32();
+    std::uint64_t bits = (hi << 21) ^ (lo >> 11);
+    return static_cast<double>(bits & ((1ULL << 53) - 1)) /
+           static_cast<double>(1ULL << 53);
+}
+
+double
+Pcg32::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Pcg32::gaussian()
+{
+    if (_hasSpare) {
+        _hasSpare = false;
+        return _spare;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double mul = std::sqrt(-2.0 * std::log(s) / s);
+    _spare = v * mul;
+    _hasSpare = true;
+    return u * mul;
+}
+
+double
+Pcg32::gaussian(double mean, double sigma)
+{
+    return mean + sigma * gaussian();
+}
+
+double
+Pcg32::halfNormal(double abs_mean)
+{
+    // E[|N(0, sigma)|] = sigma * sqrt(2/pi)  =>  sigma = mean * sqrt(pi/2).
+    constexpr double sqrt_pi_over_2 = 1.2533141373155003;
+    double sigma = abs_mean * sqrt_pi_over_2;
+    return std::fabs(gaussian(0.0, sigma));
+}
+
+Pcg32
+Pcg32::split()
+{
+    std::uint64_t seed =
+        (static_cast<std::uint64_t>(nextU32()) << 32) | nextU32();
+    std::uint64_t stream =
+        (static_cast<std::uint64_t>(nextU32()) << 32) | nextU32();
+    return Pcg32(seed, stream);
+}
+
+} // namespace gpupm

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic components in gpupm (kernel idiosyncrasies, Random Forest
+ * bagging, synthetic prediction-error models) draw from explicitly seeded
+ * Pcg32 streams so that every experiment is reproducible bit-for-bit,
+ * independent of the standard library implementation.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace gpupm {
+
+/**
+ * PCG32 (Melissa O'Neill's pcg32_random_r) generator.
+ *
+ * Small state, excellent statistical quality, and - unlike std::mt19937
+ * with std::normal_distribution - identical output on every platform.
+ */
+class Pcg32
+{
+  public:
+    /**
+     * Construct a generator.
+     *
+     * @param seed Initial state seed.
+     * @param stream Stream selector; different streams with the same seed
+     *               are statistically independent.
+     */
+    explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                   std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+    /** Next raw 32-bit output. */
+    std::uint32_t nextU32();
+
+    /** Uniform integer in [0, bound) using Lemire-style rejection. */
+    std::uint32_t nextBounded(std::uint32_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Standard normal variate (polar Box-Muller, cached spare). */
+    double gaussian();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double gaussian(double mean, double sigma);
+
+    /**
+     * Half-normal variate with the given absolute mean.
+     *
+     * Used by the synthetic prediction-error models (paper Sec. VI-D):
+     * |N(0, sigma)| where sigma = mean * sqrt(pi/2).
+     */
+    double halfNormal(double abs_mean);
+
+    /** Split off an independent child stream (for per-object RNGs). */
+    Pcg32 split();
+
+  private:
+    std::uint64_t _state;
+    std::uint64_t _inc;
+    bool _hasSpare = false;
+    double _spare = 0.0;
+};
+
+} // namespace gpupm

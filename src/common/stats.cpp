@@ -1,0 +1,105 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace gpupm {
+
+double
+mean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+geomean(std::span<const double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        GPUPM_ASSERT(x > 0.0, "geomean requires positive inputs, got ", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+stddev(std::span<const double> xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double ss = 0.0;
+    for (double x : xs)
+        ss += (x - m) * (x - m);
+    return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    std::size_t n = xs.size();
+    if (n % 2 == 1)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double
+mape(std::span<const double> actual, std::span<const double> predicted)
+{
+    GPUPM_ASSERT(actual.size() == predicted.size(),
+                 "mape: size mismatch ", actual.size(), " vs ",
+                 predicted.size());
+    double s = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        if (std::fabs(actual[i]) < 1e-12)
+            continue;
+        s += std::fabs((actual[i] - predicted[i]) / actual[i]);
+        ++n;
+    }
+    return n ? 100.0 * s / static_cast<double>(n) : 0.0;
+}
+
+void
+Accumulator::add(double x)
+{
+    if (_n == 0) {
+        _min = _max = x;
+    } else {
+        _min = std::min(_min, x);
+        _max = std::max(_max, x);
+    }
+    ++_n;
+    _sum += x;
+    double delta = x - _mean;
+    _mean += delta / static_cast<double>(_n);
+    _m2 += delta * (x - _mean);
+}
+
+double
+Accumulator::variance() const
+{
+    if (_n < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_n - 1);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace gpupm

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Summary statistics used by the experiment harnesses and the ML module.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gpupm {
+
+/** Arithmetic mean; 0 for an empty span. */
+double mean(std::span<const double> xs);
+
+/** Geometric mean; all inputs must be positive. 0 for an empty span. */
+double geomean(std::span<const double> xs);
+
+/** Sample standard deviation (n-1 denominator); 0 for n < 2. */
+double stddev(std::span<const double> xs);
+
+/** Median (average of middle pair for even n); 0 for an empty span. */
+double median(std::vector<double> xs);
+
+/**
+ * Mean Absolute Percentage Error of predictions vs actuals, in percent.
+ * Entries with |actual| < 1e-12 are skipped.
+ */
+double mape(std::span<const double> actual, std::span<const double> predicted);
+
+/**
+ * Streaming accumulator for min/max/mean/variance (Welford's algorithm).
+ */
+class Accumulator
+{
+  public:
+    /** Fold one sample into the running statistics. */
+    void add(double x);
+
+    std::size_t count() const { return _n; }
+    double mean() const { return _n ? _mean : 0.0; }
+    double min() const { return _min; }
+    double max() const { return _max; }
+    double sum() const { return _sum; }
+
+    /** Sample variance (n-1); 0 for n < 2. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+  private:
+    std::size_t _n = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+} // namespace gpupm

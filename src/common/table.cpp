@@ -1,0 +1,110 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace gpupm {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+    GPUPM_ASSERT(!_headers.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    GPUPM_ASSERT(cells.size() == _headers.size(),
+                 "row arity ", cells.size(), " != header arity ",
+                 _headers.size());
+    _rows.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        width[c] = _headers[c].size();
+    for (const auto &row : _rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]))
+               << cells[c];
+            os << (c + 1 == cells.size() ? "\n" : "  ");
+        }
+    };
+
+    emit(_headers);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 == width.size() ? 0 : 2);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : _rows)
+        emit(row);
+}
+
+std::string
+fmt(double v, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << v;
+    return os.str();
+}
+
+std::string
+fmtPct(double v, int decimals)
+{
+    return fmt(v, decimals) + "%";
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : _headers(std::move(headers))
+{
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> cells)
+{
+    GPUPM_ASSERT(cells.size() == _headers.size(),
+                 "csv row arity ", cells.size(), " != header arity ",
+                 _headers.size());
+    _rows.push_back(std::move(cells));
+}
+
+std::string
+CsvWriter::escape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char ch : s) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::print(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << escape(cells[c]);
+            os << (c + 1 == cells.size() ? "\n" : ",");
+        }
+    };
+    emit(_headers);
+    for (const auto &row : _rows)
+        emit(row);
+}
+
+} // namespace gpupm

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * ASCII table and CSV emitters used by the benchmark harnesses to print
+ * the rows/series of each paper table and figure.
+ */
+
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpupm {
+
+/**
+ * Column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"benchmark", "energy savings (%)", "speedup"});
+ *   t.addRow({"Spmv", "24.8", "0.98"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column padding and a header underline. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return _rows.size(); }
+
+  private:
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Format a double with the given number of decimal places. */
+std::string fmt(double v, int decimals = 2);
+
+/** Format a value as a percentage string with the given decimals. */
+std::string fmtPct(double v, int decimals = 1);
+
+/**
+ * CSV emitter with the same row/header discipline as TextTable.
+ * Values containing commas or quotes are quoted per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Write header plus all rows. */
+    void print(std::ostream &os) const;
+
+  private:
+    static std::string escape(const std::string &s);
+
+    std::vector<std::string> _headers;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace gpupm

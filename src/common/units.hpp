@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit conventions used throughout gpupm.
+ *
+ * We follow the gem5 convention of documented aliases rather than heavy
+ * strong-type wrappers: the analytic power model multiplies voltages,
+ * frequencies and capacitances together constantly, and wrapper churn
+ * obscures the physics. Every interface documents its unit; these aliases
+ * make the documentation greppable.
+ */
+
+#pragma once
+
+namespace gpupm {
+
+/** Wall-clock or simulated time in seconds. */
+using Seconds = double;
+
+/** Frequency in megahertz (matches the paper's Table I). */
+using MegaHertz = double;
+
+/** Supply voltage in volts. */
+using Volts = double;
+
+/** Power in watts. */
+using Watts = double;
+
+/** Energy in joules. */
+using Joules = double;
+
+/** Temperature in degrees Celsius. */
+using Celsius = double;
+
+/** Instruction counts (thread-count x instructions per thread). */
+using InstCount = double;
+
+/** Instructions per second; the paper's kernel throughput metric. */
+using Throughput = double;
+
+/** Convert megahertz to hertz. */
+constexpr double
+mhzToHz(MegaHertz f)
+{
+    return f * 1e6;
+}
+
+/** Convert milliseconds to seconds. */
+constexpr Seconds
+msToSeconds(double ms)
+{
+    return ms * 1e-3;
+}
+
+} // namespace gpupm

@@ -1,0 +1,185 @@
+#include "hw/config.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace gpupm::hw {
+
+std::string
+HwConfig::toString() const
+{
+    return "[" + hw::toString(cpu) + ", " + hw::toString(nb) + ", " +
+           hw::toString(gpu) + ", " + std::to_string(cus) + " CUs]";
+}
+
+std::string
+toString(Knob k)
+{
+    switch (k) {
+      case Knob::CpuDvfs:
+        return "cpu";
+      case Knob::NbDvfs:
+        return "nb";
+      case Knob::GpuDvfs:
+        return "gpu";
+      case Knob::CuCount:
+        return "cu";
+    }
+    GPUPM_PANIC("bad knob");
+}
+
+ConfigSpaceOptions
+ConfigSpaceOptions::fullGpuDvfs()
+{
+    ConfigSpaceOptions o;
+    o.gpuStates = {GpuPState::DPM0, GpuPState::DPM1, GpuPState::DPM2,
+                   GpuPState::DPM3, GpuPState::DPM4};
+    return o;
+}
+
+ConfigSpaceOptions
+ConfigSpaceOptions::fineGrainedCus()
+{
+    ConfigSpaceOptions o;
+    o.cuCounts = {1, 2, 3, 4, 5, 6, 7, 8};
+    return o;
+}
+
+ConfigSpace::ConfigSpace(const ConfigSpaceOptions &opts) : _opts(opts)
+{
+    GPUPM_ASSERT(!_opts.gpuStates.empty() && !_opts.cuCounts.empty(),
+                 "empty search-space axis");
+    GPUPM_ASSERT(std::is_sorted(_opts.gpuStates.begin(),
+                                _opts.gpuStates.end()) &&
+                     std::is_sorted(_opts.cuCounts.begin(),
+                                    _opts.cuCounts.end()),
+                 "search-space axes must be in ascending "
+                 "performance order");
+    // The fail-safe configuration must always be reachable.
+    GPUPM_ASSERT(std::find(_opts.gpuStates.begin(), _opts.gpuStates.end(),
+                           GpuPState::DPM4) != _opts.gpuStates.end() &&
+                     std::find(_opts.cuCounts.begin(),
+                               _opts.cuCounts.end(),
+                               8) != _opts.cuCounts.end(),
+                 "search space must contain DPM4 and 8 CUs");
+
+    for (int c = 0; c < numCpuPStates; ++c) {
+        for (int n = 0; n < numNbPStates; ++n) {
+            for (GpuPState g : _opts.gpuStates) {
+                for (int cu : _opts.cuCounts) {
+                    _configs.push_back(HwConfig{
+                        static_cast<CpuPState>(c),
+                        static_cast<NbPState>(n), g, cu});
+                }
+            }
+        }
+    }
+}
+
+std::size_t
+ConfigSpace::indexOf(const HwConfig &c) const
+{
+    auto it = std::find(_configs.begin(), _configs.end(), c);
+    if (it == _configs.end())
+        GPUPM_FATAL("configuration ", c.toString(), " not in search space");
+    return static_cast<std::size_t>(it - _configs.begin());
+}
+
+const HwConfig &
+ConfigSpace::at(std::size_t idx) const
+{
+    GPUPM_ASSERT(idx < _configs.size(), "config index ", idx,
+                 " out of range");
+    return _configs[idx];
+}
+
+bool
+ConfigSpace::contains(const HwConfig &c) const
+{
+    return std::find(_configs.begin(), _configs.end(), c) != _configs.end();
+}
+
+int
+ConfigSpace::levels(Knob k) const
+{
+    switch (k) {
+      case Knob::CpuDvfs:
+        return numCpuPStates;
+      case Knob::NbDvfs:
+        return numNbPStates;
+      case Knob::GpuDvfs:
+        return static_cast<int>(_opts.gpuStates.size());
+      case Knob::CuCount:
+        return static_cast<int>(_opts.cuCounts.size());
+    }
+    GPUPM_PANIC("bad knob");
+}
+
+int
+ConfigSpace::levelOf(const HwConfig &c, Knob k) const
+{
+    switch (k) {
+      case Knob::CpuDvfs:
+        // P7 (index 6) is the slowest -> level 0.
+        return numCpuPStates - 1 - static_cast<int>(c.cpu);
+      case Knob::NbDvfs:
+        return numNbPStates - 1 - static_cast<int>(c.nb);
+      case Knob::GpuDvfs: {
+        const auto &states = _opts.gpuStates;
+        auto it = std::find(states.begin(), states.end(), c.gpu);
+        GPUPM_ASSERT(it != states.end(), "GPU state not searchable");
+        return static_cast<int>(it - states.begin());
+      }
+      case Knob::CuCount: {
+        const auto &counts = _opts.cuCounts;
+        auto it = std::find(counts.begin(), counts.end(), c.cus);
+        GPUPM_ASSERT(it != counts.end(), "CU count not searchable");
+        return static_cast<int>(it - counts.begin());
+      }
+    }
+    GPUPM_PANIC("bad knob");
+}
+
+HwConfig
+ConfigSpace::withLevel(const HwConfig &c, Knob k, int level) const
+{
+    GPUPM_ASSERT(level >= 0 && level < levels(k), "level ", level,
+                 " out of range for knob ", toString(k));
+    HwConfig out = c;
+    switch (k) {
+      case Knob::CpuDvfs:
+        out.cpu = static_cast<CpuPState>(numCpuPStates - 1 - level);
+        break;
+      case Knob::NbDvfs:
+        out.nb = static_cast<NbPState>(numNbPStates - 1 - level);
+        break;
+      case Knob::GpuDvfs:
+        out.gpu = _opts.gpuStates[static_cast<std::size_t>(level)];
+        break;
+      case Knob::CuCount:
+        out.cus = _opts.cuCounts[static_cast<std::size_t>(level)];
+        break;
+    }
+    return out;
+}
+
+HwConfig
+ConfigSpace::failSafe()
+{
+    return HwConfig{CpuPState::P7, NbPState::NB2, GpuPState::DPM4, 8};
+}
+
+HwConfig
+ConfigSpace::maxPerformance()
+{
+    return HwConfig{CpuPState::P1, NbPState::NB0, GpuPState::DPM4, 8};
+}
+
+HwConfig
+ConfigSpace::minPower()
+{
+    return HwConfig{CpuPState::P7, NbPState::NB3, GpuPState::DPM0, 2};
+}
+
+} // namespace gpupm::hw

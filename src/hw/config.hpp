@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Hardware configuration tuples and the searchable configuration space.
+ *
+ * A configuration is (CPU P-state, NB P-state, GPU DPM state, active CU
+ * count). Following the paper's methodology (Sec. V), the searchable
+ * space uses all 7 CPU states, all 4 NB states, three of the five GPU DPM
+ * states (DPM0/DPM2/DPM4), and CU counts {2,4,6,8}: 7*4*3*4 = 336 points.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hw/dvfs.hpp"
+
+namespace gpupm::hw {
+
+/** One hardware operating point for the whole APU. */
+struct HwConfig
+{
+    CpuPState cpu = CpuPState::P1;
+    NbPState nb = NbPState::NB0;
+    GpuPState gpu = GpuPState::DPM4;
+    int cus = 8; ///< Active GPU compute units (2, 4, 6 or 8).
+
+    bool operator==(const HwConfig &) const = default;
+
+    /** Render as "[P7, NB2, DPM4, 8 CUs]". */
+    std::string toString() const;
+};
+
+/**
+ * The tunable knobs, in the order used for sensitivity sorting.
+ */
+enum class Knob : std::uint8_t { CpuDvfs = 0, NbDvfs, GpuDvfs, CuCount };
+
+inline constexpr int numKnobs = 4;
+
+/** All knob values, for iteration. */
+inline constexpr std::array<Knob, numKnobs> allKnobs = {
+    Knob::CpuDvfs, Knob::NbDvfs, Knob::GpuDvfs, Knob::CuCount};
+
+std::string toString(Knob k);
+
+/**
+ * Which knob levels a ConfigSpace exposes to the power manager.
+ *
+ * The paper's methodology (Sec. V) searches three of the five GPU DPM
+ * states and CU counts {2,4,6,8}; alternative spaces quantify what
+ * that restriction costs (see bench_ablation).
+ */
+struct ConfigSpaceOptions
+{
+    std::vector<GpuPState> gpuStates = {GpuPState::DPM0, GpuPState::DPM2,
+                                        GpuPState::DPM4};
+    std::vector<int> cuCounts = {2, 4, 6, 8};
+
+    /** The paper's 336-point space (the default). */
+    static ConfigSpaceOptions paperDefault() { return {}; }
+
+    /** All five GPU DPM states (560 configurations). */
+    static ConfigSpaceOptions fullGpuDvfs();
+
+    /** CU counts 1..8 in steps of 1 (672 configurations). */
+    static ConfigSpaceOptions fineGrainedCus();
+};
+
+/**
+ * The discrete space of configurations the power manager searches.
+ *
+ * Provides dense index<->config mapping, per-knob level enumeration and
+ * single-step neighbours (for greedy hill climbing), and the empirical
+ * fail-safe configuration [P7, NB2, DPM4, 8 CUs] from Sec. IV-A1a.
+ */
+class ConfigSpace
+{
+  public:
+    /** The paper's 336-point space, or a variant. */
+    explicit ConfigSpace(
+        const ConfigSpaceOptions &opts = ConfigSpaceOptions{});
+
+    /** Number of configurations (336 for the default space). */
+    std::size_t size() const { return _configs.size(); }
+
+    /** All configurations, fail-safe-first iteration order not implied. */
+    const std::vector<HwConfig> &all() const { return _configs; }
+
+    /** Dense index of a configuration; fatal if not in the space. */
+    std::size_t indexOf(const HwConfig &c) const;
+
+    /** Configuration at a dense index. */
+    const HwConfig &at(std::size_t idx) const;
+
+    /** Whether the configuration is a member of the space. */
+    bool contains(const HwConfig &c) const;
+
+    /** Number of levels available for a knob (7, 4, 3, 4). */
+    int levels(Knob k) const;
+
+    /**
+     * Current level of a knob within a config, ordered from lowest
+     * performance (level 0) to highest performance (levels()-1).
+     */
+    int levelOf(const HwConfig &c, Knob k) const;
+
+    /**
+     * Copy of @p c with knob @p k set to performance level @p level.
+     * Fatal if the level is out of range.
+     */
+    HwConfig withLevel(const HwConfig &c, Knob k, int level) const;
+
+    /**
+     * The empirically determined fail-safe configuration the optimizer
+     * falls back to when it cannot meet the performance target.
+     */
+    static HwConfig failSafe();
+
+    /** Highest-performance configuration [P1, NB0, DPM4, 8 CUs]. */
+    static HwConfig maxPerformance();
+
+    /** Lowest-power configuration [P7, NB3, DPM0, 2 CUs]. */
+    static HwConfig minPower();
+
+  private:
+    ConfigSpaceOptions _opts;
+    std::vector<HwConfig> _configs;
+};
+
+} // namespace gpupm::hw
+
+namespace std {
+
+/** Hash support so configs can key unordered containers. */
+template <>
+struct hash<gpupm::hw::HwConfig>
+{
+    size_t
+    operator()(const gpupm::hw::HwConfig &c) const noexcept
+    {
+        size_t h = static_cast<size_t>(c.cpu);
+        h = h * 31 + static_cast<size_t>(c.nb);
+        h = h * 31 + static_cast<size_t>(c.gpu);
+        h = h * 31 + static_cast<size_t>(c.cus);
+        return h;
+    }
+};
+
+} // namespace std

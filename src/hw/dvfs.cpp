@@ -1,0 +1,84 @@
+#include "hw/dvfs.hpp"
+
+#include "common/logging.hpp"
+
+namespace gpupm::hw {
+
+namespace {
+
+// Table I, left block.
+constexpr std::array<CpuDvfsPoint, numCpuPStates> cpu_table = {{
+    {1.325, 3900.0},  // P1
+    {1.3125, 3800.0}, // P2
+    {1.2625, 3700.0}, // P3
+    {1.225, 3500.0},  // P4
+    {1.0625, 3000.0}, // P5
+    {0.975, 2400.0},  // P6
+    {0.8875, 1700.0}, // P7
+}};
+
+// Table I, middle block. Min rail voltages are a modeling addition (see
+// header): chosen between neighbouring GPU DPM voltages so that, e.g.,
+// running at NB0 keeps the shared rail at 1.175 V even if the GPU drops
+// to DPM0 (0.95 V), limiting the power saved by GPU DVFS alone.
+constexpr std::array<NbDvfsPoint, numNbPStates> nb_table = {{
+    {1800.0, 800.0, 1.175}, // NB0
+    {1600.0, 800.0, 1.0875}, // NB1
+    {1400.0, 800.0, 1.0125}, // NB2
+    {1100.0, 333.0, 0.95},  // NB3
+}};
+
+// Table I, right block.
+constexpr std::array<GpuDvfsPoint, numGpuPStates> gpu_table = {{
+    {0.95, 351.0},   // DPM0
+    {1.05, 450.0},   // DPM1
+    {1.125, 553.0},  // DPM2
+    {1.1875, 654.0}, // DPM3
+    {1.225, 720.0},  // DPM4
+}};
+
+} // namespace
+
+const CpuDvfsPoint &
+cpuDvfs(CpuPState s)
+{
+    auto idx = static_cast<std::size_t>(s);
+    GPUPM_ASSERT(idx < cpu_table.size(), "bad CPU P-state ", idx);
+    return cpu_table[idx];
+}
+
+const NbDvfsPoint &
+nbDvfs(NbPState s)
+{
+    auto idx = static_cast<std::size_t>(s);
+    GPUPM_ASSERT(idx < nb_table.size(), "bad NB P-state ", idx);
+    return nb_table[idx];
+}
+
+const GpuDvfsPoint &
+gpuDvfs(GpuPState s)
+{
+    auto idx = static_cast<std::size_t>(s);
+    GPUPM_ASSERT(idx < gpu_table.size(), "bad GPU DPM state ", idx);
+    return gpu_table[idx];
+}
+
+std::string
+toString(CpuPState s)
+{
+    return "P" + std::to_string(static_cast<int>(s) + 1);
+}
+
+std::string
+toString(NbPState s)
+{
+    return "NB" + std::to_string(static_cast<int>(s));
+}
+
+std::string
+toString(GpuPState s)
+{
+    return "DPM" + std::to_string(static_cast<int>(s));
+}
+
+} // namespace gpupm::hw

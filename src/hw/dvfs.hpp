@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Software-visible DVFS states of the modeled AMD A10-7850K APU.
+ *
+ * Values reproduce Table I of the paper exactly. The CPU cores share one
+ * power plane; the GPU shares a second power plane with the northbridge
+ * (NB). GPU and NB frequencies are set independently but the common rail
+ * voltage must satisfy both, so a high NB state can prevent lowering the
+ * GPU voltage (paper Sec. II-A).
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace gpupm::hw {
+
+/** CPU P-states, highest performance first (paper Table I). */
+enum class CpuPState : std::uint8_t { P1 = 0, P2, P3, P4, P5, P6, P7 };
+
+/** Northbridge P-states, highest performance first. */
+enum class NbPState : std::uint8_t { NB0 = 0, NB1, NB2, NB3 };
+
+/** GPU DPM states, *lowest* performance first (matches AMD numbering). */
+enum class GpuPState : std::uint8_t { DPM0 = 0, DPM1, DPM2, DPM3, DPM4 };
+
+inline constexpr int numCpuPStates = 7;
+inline constexpr int numNbPStates = 4;
+inline constexpr int numGpuPStates = 5;
+
+/** Voltage/frequency operating point of a CPU P-state. */
+struct CpuDvfsPoint
+{
+    Volts voltage;
+    MegaHertz freq;
+};
+
+/** Frequency pair of an NB P-state: NB clock and memory bus clock. */
+struct NbDvfsPoint
+{
+    MegaHertz nbFreq;
+    MegaHertz memFreq;
+    /**
+     * Minimum rail voltage the shared GPU/NB plane must supply for this
+     * NB state. Not in Table I; interpolated so that NB0 pins the rail
+     * above DPM0-DPM2 voltages, reproducing the coupling described in
+     * Sec. II-A.
+     */
+    Volts minRailVoltage;
+};
+
+/** Voltage/frequency operating point of a GPU DPM state. */
+struct GpuDvfsPoint
+{
+    Volts voltage;
+    MegaHertz freq;
+};
+
+/** Operating point for a CPU P-state (Table I). */
+const CpuDvfsPoint &cpuDvfs(CpuPState s);
+
+/** Operating point for an NB P-state (Table I). */
+const NbDvfsPoint &nbDvfs(NbPState s);
+
+/** Operating point for a GPU DPM state (Table I). */
+const GpuDvfsPoint &gpuDvfs(GpuPState s);
+
+/** Human-readable state names ("P1", "NB0", "DPM4"). */
+std::string toString(CpuPState s);
+std::string toString(NbPState s);
+std::string toString(GpuPState s);
+
+/** Highest CPU/GPU/NB performance states. */
+inline constexpr CpuPState fastestCpu = CpuPState::P1;
+inline constexpr CpuPState slowestCpu = CpuPState::P7;
+inline constexpr NbPState fastestNb = NbPState::NB0;
+inline constexpr NbPState slowestNb = NbPState::NB3;
+inline constexpr GpuPState fastestGpu = GpuPState::DPM4;
+inline constexpr GpuPState slowestGpu = GpuPState::DPM0;
+
+} // namespace gpupm::hw

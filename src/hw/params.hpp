@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Physical modeling constants for the APU power/thermal model.
+ *
+ * All calibration constants live here so the model can be tuned in one
+ * place. Values are chosen to land the modeled A10-7850K ("Kaveri") in
+ * the right regime: 95 W TDP, ~40 W CPU plane under load, ~35 W GPU+NB
+ * plane under load, and the DVFS coupling effects described in Sec. II-A
+ * of the paper.
+ */
+
+#pragma once
+
+#include "common/units.hpp"
+
+namespace gpupm::hw {
+
+/**
+ * Cost model for DVFS/CU reconfiguration (paper's platform: voltage
+ * ramps at the regulator slew rate, clock domains relock their PLLs,
+ * power-gated CUs drain/restore state). Charged by the simulator
+ * whenever a governor changes the configuration between kernels.
+ */
+struct TransitionParams
+{
+    /** Voltage ramp time per volt of rail change (regulator slew). */
+    Seconds rampPerVolt = 100e-6;
+    /** PLL relock time per clock domain whose frequency changes. */
+    Seconds pllRelock = 8e-6;
+    /** Power-gate/un-gate time per CU whose state changes. */
+    Seconds cuGate = 3e-6;
+
+    /** Free transitions (idealized hardware). */
+    static TransitionParams zero() { return {0.0, 0.0, 0.0}; }
+};
+
+struct ApuParams
+{
+    // ---- CPU power plane -------------------------------------------------
+    /** Effective switching capacitance of all CPU cores together (F). */
+    double cpuCeff = 6.0e-9;
+    /** Activity factor while busy-waiting on kernel completion. */
+    double cpuBusyWaitActivity = 0.30;
+    /** Activity factor while actively computing (e.g. running MPC). */
+    double cpuActiveActivity = 0.85;
+    /** CPU leakage coefficient (W/V at reference temperature). */
+    double cpuLeakCoeff = 2.6;
+
+    // ---- GPU / NB shared power plane ------------------------------------
+    /** Effective switching capacitance per active CU (F). */
+    double cuCeff = 3.6e-9;
+    /** Idle (clock-gated) fraction of CU dynamic power. */
+    double gpuIdleActivity = 0.12;
+    /** GPU leakage coefficient (W/V at reference temperature). */
+    double gpuLeakCoeff = 2.6;
+    /** Per-CU share of GPU leakage (rest is uncore, always on). */
+    double gpuLeakPerCuFraction = 0.6;
+    /** Effective switching capacitance of the northbridge (F). */
+    double nbCeff = 1.6e-9;
+    /** NB activity floor when the memory system is idle. */
+    double nbIdleActivity = 0.3;
+    /** DRAM interface power at 800 MHz memory clock, full utilization. */
+    Watts memPowerHi = 3.0;
+    /** DRAM interface power at 333 MHz memory clock, full utilization. */
+    Watts memPowerLo = 1.4;
+    /** Idle fraction of DRAM interface power. */
+    double memIdleFraction = 0.35;
+
+    // ---- Leakage/temperature coupling ------------------------------------
+    /** Reference die temperature for the leakage coefficients (C). */
+    Celsius leakRefTemp = 60.0;
+    /** Exponential leakage-temperature slope (1/C). */
+    double leakTempSlope = 0.012;
+
+    // ---- Thermal ---------------------------------------------------------
+    /** Ambient temperature (C). */
+    Celsius ambient = 35.0;
+    /** Junction-to-ambient thermal resistance (C/W). */
+    double thermalResistance = 0.42;
+    /** Thermal time constant (s); used by the RC transient model. */
+    Seconds thermalTau = 2.5;
+    /** Thermal design power of the package (W). */
+    Watts tdp = 95.0;
+
+    // ---- Memory system --------------------------------------------------
+    /** DRAM bus width in bytes (128-bit DDR3 channel pair). */
+    double memBusBytes = 16.0;
+    /** DDR transfers per memory clock. */
+    double memTransfersPerClock = 2.0;
+    /** NB on-chip path width in bytes per NB clock. */
+    double nbPathBytes = 32.0;
+
+    // ---- Reconfiguration costs -------------------------------------
+    TransitionParams transition{};
+
+    /** The defaults above. */
+    static const ApuParams &defaults();
+};
+
+} // namespace gpupm::hw

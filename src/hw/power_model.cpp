@@ -1,0 +1,93 @@
+#include "hw/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace gpupm::hw {
+
+const ApuParams &
+ApuParams::defaults()
+{
+    static const ApuParams p{};
+    return p;
+}
+
+PowerModel::PowerModel(const ApuParams &params) : _p(params) {}
+
+Volts
+PowerModel::railVoltage(const HwConfig &c) const
+{
+    return std::max(gpuDvfs(c.gpu).voltage, nbDvfs(c.nb).minRailVoltage);
+}
+
+PowerBreakdown
+PowerModel::power(const HwConfig &c, const ActivityFactors &a,
+                  Celsius temp) const
+{
+    GPUPM_ASSERT(c.cus >= 1 && c.cus <= 8, "bad CU count ", c.cus);
+
+    const auto &cpu = cpuDvfs(c.cpu);
+    const auto &nb = nbDvfs(c.nb);
+    const auto &gpu = gpuDvfs(c.gpu);
+    const Volts vrail = railVoltage(c);
+
+    const double leak_scale =
+        std::exp(_p.leakTempSlope * (temp - _p.leakRefTemp));
+
+    PowerBreakdown out;
+
+    // CPU plane: all cores share one voltage/frequency.
+    out.cpuDynamic = _p.cpuCeff * cpu.voltage * cpu.voltage *
+                     mhzToHz(cpu.freq) * std::clamp(a.cpu, 0.0, 1.0);
+    out.cpuLeakage = _p.cpuLeakCoeff * cpu.voltage * leak_scale;
+
+    // GPU: per-CU dynamic power gated by compute activity; inactive CUs
+    // are power-gated. Leakage splits into a per-CU part (power-gated
+    // with the CU) and an uncore part that is always on.
+    const double gpu_act =
+        _p.gpuIdleActivity +
+        (1.0 - _p.gpuIdleActivity) * std::clamp(a.gpuCompute, 0.0, 1.0);
+    out.gpuDynamic =
+        c.cus * _p.cuCeff * vrail * vrail * mhzToHz(gpu.freq) * gpu_act;
+    const double cu_fraction = static_cast<double>(c.cus) / 8.0;
+    out.gpuLeakage = _p.gpuLeakCoeff * vrail * leak_scale *
+                     (_p.gpuLeakPerCuFraction * cu_fraction +
+                      (1.0 - _p.gpuLeakPerCuFraction));
+
+    // NB: rail voltage, NB clock, activity tracks memory utilization.
+    const double nb_act =
+        _p.nbIdleActivity +
+        (1.0 - _p.nbIdleActivity) * std::clamp(a.memory, 0.0, 1.0);
+    out.nbDynamic = _p.nbCeff * vrail * vrail * mhzToHz(nb.nbFreq) * nb_act;
+
+    // DRAM interface: two discrete memory clocks in Table I.
+    const Watts mem_peak = nb.memFreq > 500.0 ? _p.memPowerHi
+                                              : _p.memPowerLo;
+    out.memInterface =
+        mem_peak * (_p.memIdleFraction +
+                    (1.0 - _p.memIdleFraction) *
+                        std::clamp(a.memory, 0.0, 1.0));
+
+    return out;
+}
+
+PowerBreakdown
+PowerModel::steadyStatePower(const HwConfig &c, const ActivityFactors &a,
+                             Celsius *settled_temp) const
+{
+    Celsius temp = _p.leakRefTemp;
+    PowerBreakdown pb;
+    // Leakage and temperature form a gentle fixed point; a handful of
+    // iterations settles well below 0.01 C.
+    for (int iter = 0; iter < 8; ++iter) {
+        pb = power(c, a, temp);
+        temp = _p.ambient + _p.thermalResistance * pb.total();
+    }
+    if (settled_temp)
+        *settled_temp = temp;
+    return pb;
+}
+
+} // namespace gpupm::hw

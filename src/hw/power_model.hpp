@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Analytic APU power model.
+ *
+ * Dynamic power follows C*V^2*f per domain with an activity factor;
+ * leakage is voltage-proportional with an exponential temperature
+ * dependence. The GPU and NB share a voltage rail: the rail runs at the
+ * maximum of the GPU DPM voltage and the NB state's minimum rail voltage,
+ * reproducing the paper's observation that a high NB state can prevent
+ * the GPU voltage from dropping (Sec. II-A).
+ */
+
+#pragma once
+
+#include "hw/config.hpp"
+#include "hw/params.hpp"
+
+namespace gpupm::hw {
+
+/** Workload-dependent activity inputs to the power model. */
+struct ActivityFactors
+{
+    /** Fraction of kernel time the vector ALUs are switching [0,1]. */
+    double gpuCompute = 1.0;
+    /** Fraction of peak memory bandwidth in use [0,1]. */
+    double memory = 1.0;
+    /** CPU activity [0,1]; busy-wait vs active compute. */
+    double cpu = 1.0;
+};
+
+/** Per-domain power breakdown (W). */
+struct PowerBreakdown
+{
+    Watts cpuDynamic = 0.0;
+    Watts cpuLeakage = 0.0;
+    Watts gpuDynamic = 0.0;
+    Watts gpuLeakage = 0.0;
+    Watts nbDynamic = 0.0;
+    Watts memInterface = 0.0;
+
+    /** CPU power plane total. */
+    Watts cpu() const { return cpuDynamic + cpuLeakage; }
+    /**
+     * GPU power plane total. Includes the NB and DRAM interface, which
+     * share the rail and are measured together on the real platform.
+     */
+    Watts gpu() const
+    {
+        return gpuDynamic + gpuLeakage + nbDynamic + memInterface;
+    }
+    /** Chip-wide power. */
+    Watts total() const { return cpu() + gpu(); }
+};
+
+/**
+ * Stateless analytic power model of the APU.
+ */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const ApuParams &params = ApuParams::defaults());
+
+    /** Voltage of the shared GPU/NB rail for a configuration. */
+    Volts railVoltage(const HwConfig &c) const;
+
+    /**
+     * Power breakdown at a configuration, activity and die temperature.
+     *
+     * @param c Hardware configuration.
+     * @param a Workload activity factors.
+     * @param temp Die temperature used for leakage.
+     */
+    PowerBreakdown power(const HwConfig &c, const ActivityFactors &a,
+                         Celsius temp) const;
+
+    /**
+     * Power breakdown with leakage/temperature solved self-consistently:
+     * temperature depends on power, leakage depends on temperature. A
+     * small fixed-point iteration converges in a few steps.
+     *
+     * @param c Hardware configuration.
+     * @param a Workload activity factors.
+     * @param[out] settled_temp Steady-state die temperature, if non-null.
+     */
+    PowerBreakdown steadyStatePower(const HwConfig &c,
+                                    const ActivityFactors &a,
+                                    Celsius *settled_temp = nullptr) const;
+
+    const ApuParams &params() const { return _p; }
+
+  private:
+    ApuParams _p;
+};
+
+} // namespace gpupm::hw

@@ -1,0 +1,42 @@
+#include "hw/thermal.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace gpupm::hw {
+
+ThermalModel::ThermalModel(const ApuParams &params)
+    : _p(params), _temp(params.ambient)
+{
+}
+
+Celsius
+ThermalModel::steadyState(Watts total_power) const
+{
+    return _p.ambient + _p.thermalResistance * total_power;
+}
+
+Celsius
+ThermalModel::advance(Watts total_power, Seconds dt)
+{
+    GPUPM_ASSERT(dt >= 0.0, "negative time step ", dt);
+    const Celsius target = steadyState(total_power);
+    const double decay = std::exp(-dt / _p.thermalTau);
+    _temp = target + (_temp - target) * decay;
+    return _temp;
+}
+
+void
+ThermalModel::reset()
+{
+    _temp = _p.ambient;
+}
+
+bool
+ThermalModel::exceedsTdp(Watts total_power) const
+{
+    return total_power > _p.tdp;
+}
+
+} // namespace gpupm::hw

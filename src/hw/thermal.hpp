@@ -1,0 +1,50 @@
+/**
+ * @file
+ * First-order RC thermal model of the APU package.
+ *
+ * Die temperature relaxes exponentially toward the steady-state implied
+ * by the current total power: T_ss = T_amb + R_th * P. Used by the
+ * execution model to carry temperature (and hence leakage) across kernel
+ * invocations, and by the Turbo Core baseline for TDP headroom checks.
+ */
+
+#pragma once
+
+#include "hw/params.hpp"
+
+namespace gpupm::hw {
+
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(const ApuParams &params = ApuParams::defaults());
+
+    /** Current die temperature (C). */
+    Celsius temperature() const { return _temp; }
+
+    /** Steady-state temperature for a given total power. */
+    Celsius steadyState(Watts total_power) const;
+
+    /**
+     * Advance the model by @p dt seconds at constant power.
+     * @return The temperature at the end of the interval.
+     */
+    Celsius advance(Watts total_power, Seconds dt);
+
+    /** Reset to ambient. */
+    void reset();
+
+    /**
+     * Whether a sustained power level would exceed the TDP. Turbo Core
+     * uses this to decide when to shift power between the planes.
+     */
+    bool exceedsTdp(Watts total_power) const;
+
+    const ApuParams &params() const { return _p; }
+
+  private:
+    ApuParams _p;
+    Celsius _temp;
+};
+
+} // namespace gpupm::hw

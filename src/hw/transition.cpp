@@ -1,0 +1,45 @@
+#include "hw/transition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpupm::hw {
+
+TransitionModel::TransitionModel(const ApuParams &params)
+    : _p(params), _power(params)
+{
+}
+
+Seconds
+TransitionModel::latency(const HwConfig &from, const HwConfig &to) const
+{
+    if (from == to)
+        return 0.0;
+    const auto &t = _p.transition;
+
+    // CPU plane: voltage ramp then PLL relock.
+    const auto &cpu_from = cpuDvfs(from.cpu);
+    const auto &cpu_to = cpuDvfs(to.cpu);
+    Seconds cpu_plane =
+        std::fabs(cpu_to.voltage - cpu_from.voltage) * t.rampPerVolt;
+    if (cpu_from.freq != cpu_to.freq)
+        cpu_plane += t.pllRelock;
+
+    // Shared GPU/NB plane: one rail ramp, then each clock domain that
+    // changes (GPU core, NB) relocks, then CU gating.
+    Seconds gpu_plane =
+        std::fabs(_power.railVoltage(to) - _power.railVoltage(from)) *
+        t.rampPerVolt;
+    if (gpuDvfs(from.gpu).freq != gpuDvfs(to.gpu).freq)
+        gpu_plane += t.pllRelock;
+    if (nbDvfs(from.nb).nbFreq != nbDvfs(to.nb).nbFreq ||
+        nbDvfs(from.nb).memFreq != nbDvfs(to.nb).memFreq) {
+        gpu_plane += t.pllRelock;
+    }
+    gpu_plane += std::abs(to.cus - from.cus) * t.cuGate;
+
+    // The planes transition concurrently.
+    return std::max(cpu_plane, gpu_plane);
+}
+
+} // namespace gpupm::hw

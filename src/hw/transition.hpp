@@ -1,0 +1,39 @@
+/**
+ * @file
+ * DVFS/CU reconfiguration latency model.
+ *
+ * A configuration change is not free on real hardware: the voltage
+ * regulators slew both power planes, clock domains whose frequency
+ * changes relock their PLLs, and CUs being (un)gated drain or restore
+ * state. The planes transition in parallel; within a plane the ramp
+ * and relock serialize.
+ */
+
+#pragma once
+
+#include "hw/config.hpp"
+#include "hw/params.hpp"
+#include "hw/power_model.hpp"
+
+namespace gpupm::hw {
+
+class TransitionModel
+{
+  public:
+    explicit TransitionModel(
+        const ApuParams &params = ApuParams::defaults());
+
+    /**
+     * Latency of switching the APU from @p from to @p to; zero when
+     * the configurations are identical.
+     */
+    Seconds latency(const HwConfig &from, const HwConfig &to) const;
+
+    const TransitionParams &params() const { return _p.transition; }
+
+  private:
+    ApuParams _p;
+    PowerModel _power;
+};
+
+} // namespace gpupm::hw

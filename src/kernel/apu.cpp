@@ -1,0 +1,76 @@
+#include "kernel/apu.hpp"
+
+namespace gpupm::kernel {
+
+Apu::Apu(const hw::ApuParams &params)
+    : _model(params), _thermal(params), _transition(params)
+{
+}
+
+hw::HwConfig
+Apu::governorHostConfig()
+{
+    return hw::HwConfig{hw::CpuPState::P5, hw::NbPState::NB0,
+                        hw::GpuPState::DPM0, 2};
+}
+
+KernelMeasurement
+Apu::run(const KernelParams &k, const hw::HwConfig &c)
+{
+    const auto est = _model.estimate(k, c);
+    const auto act = _model.activity(est);
+    const auto pb = _model.powerModel().steadyStatePower(c, act);
+
+    KernelMeasurement m;
+    m.time = est.time;
+    m.cpuPower = pb.cpu();
+    m.gpuPower = pb.gpu();
+    m.cpuEnergy = pb.cpu() * est.time;
+    m.gpuEnergy = pb.gpu() * est.time;
+    m.counters = _model.counters(k, c, est);
+    m.instructions = k.instructions();
+    m.temperature = _thermal.advance(pb.total(), est.time);
+    return m;
+}
+
+HostWorkMeasurement
+Apu::runHost(Seconds duration, const hw::HwConfig &c)
+{
+    hw::ActivityFactors a;
+    a.cpu = _model.params().cpuActiveActivity;
+    a.gpuCompute = 0.0; // idle GPU: leakage + clock-gated floor remain
+    a.memory = 0.1;     // light host memory traffic
+    const auto pb = _model.powerModel().steadyStatePower(c, a);
+
+    HostWorkMeasurement m;
+    m.time = duration;
+    m.cpuEnergy = pb.cpu() * duration;
+    m.gpuEnergy = pb.gpu() * duration;
+    _thermal.advance(pb.total(), duration);
+    return m;
+}
+
+HostWorkMeasurement
+Apu::reconfigure(const hw::HwConfig &from, const hw::HwConfig &to)
+{
+    const Seconds duration = _transition.latency(from, to);
+    if (duration <= 0.0)
+        return {};
+
+    // During the switch the pipeline stalls: busy-wait CPU, idle GPU,
+    // quiescent memory, at the target operating point.
+    hw::ActivityFactors a;
+    a.cpu = _model.params().cpuBusyWaitActivity;
+    a.gpuCompute = 0.0;
+    a.memory = 0.0;
+    const auto pb = _model.powerModel().steadyStatePower(to, a);
+
+    HostWorkMeasurement m;
+    m.time = duration;
+    m.cpuEnergy = pb.cpu() * duration;
+    m.gpuEnergy = pb.gpu() * duration;
+    _thermal.advance(pb.total(), duration);
+    return m;
+}
+
+} // namespace gpupm::kernel

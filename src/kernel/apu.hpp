@@ -1,0 +1,88 @@
+/**
+ * @file
+ * APU execution facade: runs kernels and host-side work at a hardware
+ * configuration, producing the measurements a real platform's power
+ * controller and CodeXL would report (Sec. V of the paper).
+ */
+
+#pragma once
+
+#include "hw/thermal.hpp"
+#include "hw/transition.hpp"
+#include "kernel/perf_model.hpp"
+
+namespace gpupm::kernel {
+
+/** What the platform reports after one kernel invocation. */
+struct KernelMeasurement
+{
+    Seconds time = 0.0;    ///< Wall time of the invocation.
+    Watts cpuPower = 0.0;  ///< Average CPU-plane power.
+    Watts gpuPower = 0.0;  ///< Average GPU-plane power (GPU+NB+DRAM).
+    Joules cpuEnergy = 0.0;
+    Joules gpuEnergy = 0.0;
+    KernelCounters counters;  ///< CodeXL counters for this run.
+    InstCount instructions = 0.0;
+    Celsius temperature = 0.0; ///< Die temperature at completion.
+
+    Joules totalEnergy() const { return cpuEnergy + gpuEnergy; }
+};
+
+/** Cost of running governor software on the host between kernels. */
+struct HostWorkMeasurement
+{
+    Seconds time = 0.0;
+    Joules cpuEnergy = 0.0; ///< Active CPU energy during the decision.
+    Joules gpuEnergy = 0.0; ///< Idle GPU-plane (static) energy.
+
+    Joules totalEnergy() const { return cpuEnergy + gpuEnergy; }
+};
+
+/**
+ * The modeled APU. Owns a thermal state that integrates across the run,
+ * so back-to-back hot kernels see higher leakage (telemetry only; the
+ * energy accounting itself uses the self-consistent steady state so that
+ * ground truth remains a pure function the oracle can query).
+ */
+class Apu
+{
+  public:
+    explicit Apu(const hw::ApuParams &params = hw::ApuParams::defaults());
+
+    /** Execute one kernel at a configuration. Advances thermal state. */
+    KernelMeasurement run(const KernelParams &k, const hw::HwConfig &c);
+
+    /**
+     * Account for governor software running on the host for @p duration
+     * at configuration @p c (the paper runs MPC at [P5, NB0, DPM0,
+     * 2 CUs]). The GPU is idle but not power-gated, so its static energy
+     * is charged, as in Sec. VI-A.
+     */
+    HostWorkMeasurement runHost(Seconds duration, const hw::HwConfig &c);
+
+    /**
+     * Reconfigure the APU from @p from to @p to: voltage ramps, PLL
+     * relocks and CU gating cost time, during which the chip idles at
+     * (approximately) the target operating point.
+     */
+    HostWorkMeasurement reconfigure(const hw::HwConfig &from,
+                                    const hw::HwConfig &to);
+
+    /** Thermal state (telemetry). */
+    const hw::ThermalModel &thermal() const { return _thermal; }
+
+    /** Reset thermal state to ambient. */
+    void reset() { _thermal.reset(); }
+
+    const GroundTruthModel &model() const { return _model; }
+
+    /** Configuration the host-side governor runs at (Sec. V). */
+    static hw::HwConfig governorHostConfig();
+
+  private:
+    GroundTruthModel _model;
+    hw::ThermalModel _thermal;
+    hw::TransitionModel _transition;
+};
+
+} // namespace gpupm::kernel

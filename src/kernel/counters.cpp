@@ -1,0 +1,60 @@
+#include "kernel/counters.hpp"
+
+#include <cmath>
+
+namespace gpupm::kernel {
+
+std::array<double, numCounters>
+KernelCounters::asArray() const
+{
+    return {globalWorkSize, memUnitStalled, cacheHit,  vfetchInsts,
+            scratchRegs,    ldsBankConflict, valuInsts, fetchSize};
+}
+
+const std::array<std::string, numCounters> &
+KernelCounters::names()
+{
+    static const std::array<std::string, numCounters> n = {
+        "GlobalWorkSize", "MemUnitStalled", "CacheHit",
+        "VFetchInsts",    "ScratchRegs",    "LDSBankConflict",
+        "VALUInsts",      "FetchSize"};
+    return n;
+}
+
+std::string
+Signature::toString() const
+{
+    std::string s = "(";
+    for (int i = 0; i < numCounters; ++i) {
+        if (i)
+            s += ",";
+        s += std::to_string(bins[i]);
+    }
+    s += ")";
+    return s;
+}
+
+Signature
+signatureOf(const KernelCounters &c)
+{
+    // Indices into asArray() that are invariant under DVFS/CU changes:
+    // GlobalWorkSize, VFetchInsts, ScratchRegs, LDSBankConflict,
+    // VALUInsts. MemUnitStalled (1), CacheHit (2) and FetchSize (7)
+    // shift with the executing configuration and are excluded so the
+    // kernel keeps its identity across power-state changes.
+    static constexpr std::array<int, 5> invariant = {0, 3, 4, 5, 6};
+
+    Signature sig;
+    sig.bins.fill(0);
+    auto values = c.asArray();
+    for (int i : invariant) {
+        double u = values[static_cast<std::size_t>(i)];
+        sig.bins[static_cast<std::size_t>(i)] =
+            u <= 0.0 ? -1
+                     : static_cast<std::int32_t>(std::floor(
+                           std::log2(1.0 + u)));
+    }
+    return sig;
+}
+
+} // namespace gpupm::kernel

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * GPU performance counters (paper Table III) and the log-binned kernel
+ * signature used by the pattern extractor.
+ *
+ * The paper clusters the full CodeXL counter set down to eight
+ * representative counters that reflect input data and kernel
+ * characteristics; kernels are then identified at runtime by the tuple
+ * (bin_1, ..., bin_8) with bin_i = floor(log(u_i)).
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace gpupm::kernel {
+
+/** Number of representative performance counters (Table III). */
+inline constexpr int numCounters = 8;
+
+/**
+ * The eight representative GPU performance counters of Table III.
+ *
+ * Units follow the table: percentages are in [0,100], FetchSize is in
+ * kilobytes, VALUInsts/VFetchInsts are per work-item averages.
+ */
+struct KernelCounters
+{
+    /** Global work size (total work-items) of the kernel. */
+    double globalWorkSize = 0.0;
+    /** Percentage of GPUTime the memory unit is stalled. */
+    double memUnitStalled = 0.0;
+    /** Percentage of fetch/write/atomic instructions hitting the cache. */
+    double cacheHit = 0.0;
+    /** Average vector fetch instructions per work-item. */
+    double vfetchInsts = 0.0;
+    /** Number of scratch registers used. */
+    double scratchRegs = 0.0;
+    /** Percentage of GPUTime LDS is stalled by bank conflicts. */
+    double ldsBankConflict = 0.0;
+    /** Average vector ALU instructions per work-item. */
+    double valuInsts = 0.0;
+    /** Total kB fetched from video memory. */
+    double fetchSize = 0.0;
+
+    /** Counters as a dense array (feature extraction order). */
+    std::array<double, numCounters> asArray() const;
+
+    /** Counter names, aligned with asArray(). */
+    static const std::array<std::string, numCounters> &names();
+
+    bool operator==(const KernelCounters &) const = default;
+};
+
+/**
+ * Log-binned signature identifying "similar enough" kernels.
+ *
+ * Tuple of floor(log2(1 + u)) over the counters, with the entries that
+ * vary with the executing hardware configuration (MemUnitStalled,
+ * CacheHit, FetchSize) pinned to zero: a kernel must keep the same
+ * identity when the power manager runs it at a different configuration,
+ * otherwise the learned execution pattern would break on every DVFS
+ * change. The coarse log binning is what merges "similar" kernels, as
+ * in the paper.
+ */
+struct Signature
+{
+    std::array<std::int32_t, numCounters> bins{};
+
+    bool operator==(const Signature &) const = default;
+
+    /** Render as "(a,b,c,...)" for diagnostics. */
+    std::string toString() const;
+};
+
+/** Compute the log-binned signature of a counter vector. */
+Signature signatureOf(const KernelCounters &c);
+
+} // namespace gpupm::kernel
+
+namespace std {
+
+template <>
+struct hash<gpupm::kernel::Signature>
+{
+    size_t
+    operator()(const gpupm::kernel::Signature &s) const noexcept
+    {
+        size_t h = 1469598103934665603ULL;
+        for (auto b : s.bins) {
+            h ^= static_cast<size_t>(static_cast<uint32_t>(b));
+            h *= 1099511628211ULL;
+        }
+        return h;
+    }
+};
+
+} // namespace std

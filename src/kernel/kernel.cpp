@@ -1,0 +1,44 @@
+#include "kernel/kernel.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace gpupm::kernel {
+
+std::string
+toString(Archetype a)
+{
+    switch (a) {
+      case Archetype::ComputeBound:
+        return "compute-bound";
+      case Archetype::MemoryBound:
+        return "memory-bound";
+      case Archetype::Peak:
+        return "peak";
+      case Archetype::Unscalable:
+        return "unscalable";
+    }
+    GPUPM_PANIC("bad archetype");
+}
+
+KernelParams
+KernelParams::withInputScale(double scale, double locality_shift) const
+{
+    GPUPM_ASSERT(scale > 0.0, "input scale must be positive, got ", scale);
+    KernelParams out = *this;
+    out.workItems = workItems * scale;
+    out.cacheHitBase =
+        std::clamp(cacheHitBase + locality_shift, 0.0, 0.98);
+    // Different inputs perturb the hidden factors too: mix the scale
+    // into the seed so two input sizes are distinct "kernels" to the
+    // ground truth, as observed for hybridsort's mergeSortPass.
+    out.idiosyncrasySeed =
+        idiosyncrasySeed ^
+        (static_cast<std::uint64_t>(scale * 4096.0) * 0x9e3779b97f4a7c15ULL) ^
+        (static_cast<std::uint64_t>((locality_shift + 1.0) * 65536.0) *
+         0xc2b2ae3d27d4eb4fULL);
+    return out;
+}
+
+} // namespace gpupm::kernel

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Ground-truth description of a GPGPU kernel.
+ *
+ * Each kernel is characterized by its instruction mix, memory traffic,
+ * cache locality and serialization behaviour; together these place it in
+ * one of the four scaling archetypes of paper Fig. 2 (compute-bound,
+ * memory-bound, peak, unscalable). Hidden per-kernel efficiency factors
+ * (not observable through the performance counters) give trained
+ * predictors a realistic generalization error.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace gpupm::kernel {
+
+/** The scaling archetypes of paper Fig. 2. */
+enum class Archetype : std::uint8_t
+{
+    ComputeBound = 0, ///< Scales with CUs/GPU clock; wants low NB.
+    MemoryBound,      ///< Scales with NB state; saturates past NB2.
+    Peak,             ///< Best at mid config; cache interference beyond.
+    Unscalable,       ///< Insensitive to hardware changes.
+};
+
+std::string toString(Archetype a);
+
+/**
+ * Static parameters of one kernel. All fields are ground truth; the
+ * power-management policies only ever observe the derived counters and
+ * measurements.
+ */
+struct KernelParams
+{
+    std::string name;
+    Archetype archetype = Archetype::ComputeBound;
+
+    /** Total work-items (threads) launched. */
+    double workItems = 1e6;
+    /** Vector ALU instructions per work-item. */
+    double valuInstsPerItem = 200.0;
+    /** Vector fetch instructions per work-item. */
+    double vfetchInstsPerItem = 20.0;
+    /** Video-memory bytes requested per work-item (before cache). */
+    double bytesPerItem = 64.0;
+    /** Data cache hit rate in [0,1] at 2 active CUs. */
+    double cacheHitBase = 0.6;
+    /**
+     * Cache hit-rate loss per additional active CU beyond 2 (shared
+     * cache interference; large for Peak kernels).
+     */
+    double cachePressure = 0.0;
+    /** Fraction of GPUTime the LDS stalls on bank conflicts, [0,1]. */
+    double ldsBankConflict = 0.0;
+    /** Scratch registers used (spills add memory traffic). */
+    double scratchRegs = 0.0;
+    /**
+     * Compute/memory overlap: 0 = perfectly overlapped (time is the max
+     * of the two), 1 = fully serialized (time is the sum).
+     */
+    double computeMemOverlap = 0.2;
+    /**
+     * Serial (non-CU-scalable) GPU time at the reference 720 MHz clock:
+     * divergence, atomics, inter-workgroup serialization.
+     */
+    Seconds serialSeconds = 0.0;
+    /** Sensitivity in [0,1] of the serial time to the GPU clock. */
+    double serialGpuFreqSensitivity = 0.3;
+    /** Host-side launch/driver time at the reference 3.9 GHz CPU clock. */
+    Seconds launchCpuSeconds = 50e-6;
+
+    /**
+     * Seed for the hidden efficiency factors and per-configuration
+     * idiosyncrasy noise.
+     */
+    std::uint64_t idiosyncrasySeed = 0;
+    /** Lognormal sigma of the per-configuration idiosyncrasy. */
+    double idiosyncrasyMag = 0.05;
+
+    /**
+     * Dynamic instruction count (thread count x instructions/thread),
+     * the I_i of paper Eq. 1.
+     */
+    InstCount instructions() const
+    {
+        return workItems * (valuInstsPerItem + vfetchInstsPerItem);
+    }
+
+    /**
+     * Return a copy scaled to a different input size. Scales work-items
+     * and derived traffic; used for input-varying kernel streams
+     * (Table IV category 4). @p locality_shift additionally perturbs
+     * the cache hit rate, as different inputs change locality.
+     */
+    KernelParams withInputScale(double scale,
+                                double locality_shift = 0.0) const;
+};
+
+} // namespace gpupm::kernel

@@ -1,0 +1,197 @@
+#include "kernel/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace gpupm::kernel {
+
+namespace {
+
+/** VALU lanes x issue rate per CU: ops per CU per cycle. */
+constexpr double valu_ops_per_cu_cycle = 16.0;
+
+/** Extra compute-time multiplier per unit of LDS bank-conflict rate. */
+constexpr double lds_penalty = 1.5;
+
+/** Bytes of spill traffic per scratch register per work-item. */
+constexpr double scratch_spill_bytes = 4.0;
+
+/** Memory latency sensitivity to the NB clock (small; see Fig. 2b). */
+constexpr double nb_latency_factor = 0.12;
+
+/** Reference clocks for normalized components. */
+constexpr double ref_gpu_mhz = 720.0;
+constexpr double ref_cpu_mhz = 3900.0;
+
+/** 64-bit mix (splitmix64 finalizer) for deterministic noise streams. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+GroundTruthModel::GroundTruthModel(const hw::ApuParams &params)
+    : _p(params), _power(params)
+{
+}
+
+double
+GroundTruthModel::effectiveCacheHit(const KernelParams &k, int cus)
+{
+    GPUPM_ASSERT(cus >= 1, "bad CU count ", cus);
+    double hit = k.cacheHitBase - k.cachePressure * std::max(0, cus - 2);
+    return std::clamp(hit, 0.0, 0.98);
+}
+
+double
+GroundTruthModel::effectiveBandwidth(hw::NbPState nb) const
+{
+    const auto &point = hw::nbDvfs(nb);
+    const double dram_bw = mhzToHz(point.memFreq) * _p.memBusBytes *
+                           _p.memTransfersPerClock;
+    const double nb_bw = mhzToHz(point.nbFreq) * _p.nbPathBytes;
+    return std::min(dram_bw, nb_bw);
+}
+
+GroundTruthModel::HiddenFactors
+GroundTruthModel::hiddenFactors(const KernelParams &k)
+{
+    Pcg32 rng(mix64(k.idiosyncrasySeed), 0x7f4a7c15ULL);
+    HiddenFactors f;
+    f.computeEff = rng.uniform(0.82, 1.18);
+    f.memEff = rng.uniform(0.82, 1.18);
+    f.serialEff = rng.uniform(0.9, 1.1);
+    return f;
+}
+
+double
+GroundTruthModel::configNoise(const KernelParams &k, const hw::HwConfig &c)
+{
+    if (k.idiosyncrasyMag <= 0.0)
+        return 1.0;
+    // Keyed on the GPU-side knobs only: the CPU P-state must not
+    // perturb GPU kernel time beyond the explicit launch-latency term.
+    std::uint64_t key = mix64(k.idiosyncrasySeed ^
+                              (static_cast<std::uint64_t>(c.cus) << 24) ^
+                              (static_cast<std::uint64_t>(c.gpu) << 16) ^
+                              (static_cast<std::uint64_t>(c.nb) << 8));
+    Pcg32 rng(key, 0x27d4eb4fULL);
+    return std::exp(k.idiosyncrasyMag * rng.gaussian());
+}
+
+ExecutionEstimate
+GroundTruthModel::estimate(const KernelParams &k,
+                           const hw::HwConfig &c) const
+{
+    const auto hidden = hiddenFactors(k);
+    const double gpu_hz = mhzToHz(hw::gpuDvfs(c.gpu).freq);
+    const double cpu_mhz = hw::cpuDvfs(c.cpu).freq;
+    const double nb_mhz = hw::nbDvfs(c.nb).nbFreq;
+
+    ExecutionEstimate e;
+
+    // Compute-limited component.
+    const double valu_rate =
+        c.cus * valu_ops_per_cu_cycle * gpu_hz * hidden.computeEff;
+    e.computeTime = k.workItems * k.valuInstsPerItem / valu_rate;
+    e.computeTime *= 1.0 + lds_penalty * k.ldsBankConflict;
+
+    // Memory-limited component: traffic after cache, over effective
+    // bandwidth, with a small NB-clock latency term.
+    e.cacheHitRate = effectiveCacheHit(k, c.cus);
+    e.memBytes = k.workItems * (k.bytesPerItem * (1.0 - e.cacheHitRate) +
+                                k.scratchRegs * scratch_spill_bytes);
+    const double bw = effectiveBandwidth(c.nb) * hidden.memEff;
+    const double latency_mult =
+        1.0 + nb_latency_factor * (1800.0 / nb_mhz - 1.0);
+    e.memTime = e.memBytes / bw * latency_mult;
+
+    // Compute/memory overlap.
+    const double longer = std::max(e.computeTime, e.memTime);
+    const double shorter = std::min(e.computeTime, e.memTime);
+    const double busy = longer + k.computeMemOverlap * shorter;
+
+    // Serial (unscalable) GPU time, mildly clock sensitive.
+    e.serialTime = k.serialSeconds * hidden.serialEff *
+                   std::pow(ref_gpu_mhz * 1e6 / gpu_hz,
+                            k.serialGpuFreqSensitivity);
+
+    // Host-side launch time scales with CPU clock.
+    e.launchTime = k.launchCpuSeconds * (ref_cpu_mhz / cpu_mhz);
+
+    const double gpu_time = (busy + e.serialTime) * configNoise(k, c);
+    e.time = gpu_time + e.launchTime;
+
+    // Derived fractions for counters and power activity.
+    e.memStallFraction =
+        gpu_time > 0.0 ? std::clamp(e.memTime / gpu_time, 0.0, 1.0) : 0.0;
+    e.computeActivity =
+        gpu_time > 0.0 ? std::clamp(e.computeTime / gpu_time, 0.05, 1.0)
+                       : 0.05;
+    const double bw_time = e.memBytes / effectiveBandwidth(c.nb);
+    e.memBandwidthUtil =
+        gpu_time > 0.0 ? std::clamp(bw_time / gpu_time, 0.0, 1.0) : 0.0;
+
+    return e;
+}
+
+KernelCounters
+GroundTruthModel::counters(const KernelParams &k, const hw::HwConfig &c,
+                           const ExecutionEstimate &e) const
+{
+    (void)c;
+    KernelCounters out;
+    out.globalWorkSize = k.workItems;
+    out.memUnitStalled = 100.0 * e.memStallFraction;
+    out.cacheHit = 100.0 * e.cacheHitRate;
+    out.vfetchInsts = k.vfetchInstsPerItem;
+    out.scratchRegs = k.scratchRegs;
+    out.ldsBankConflict = 100.0 * k.ldsBankConflict;
+    out.valuInsts = k.valuInstsPerItem;
+    out.fetchSize = e.memBytes / 1024.0;
+    return out;
+}
+
+hw::ActivityFactors
+GroundTruthModel::activity(const ExecutionEstimate &e) const
+{
+    hw::ActivityFactors a;
+    a.gpuCompute = e.computeActivity;
+    a.memory = e.memBandwidthUtil;
+    a.cpu = _p.cpuBusyWaitActivity;
+    return a;
+}
+
+hw::PowerBreakdown
+GroundTruthModel::power(const KernelParams &k, const hw::HwConfig &c) const
+{
+    const auto e = estimate(k, c);
+    return _power.steadyStatePower(c, activity(e));
+}
+
+Joules
+GroundTruthModel::energy(const KernelParams &k, const hw::HwConfig &c) const
+{
+    const auto e = estimate(k, c);
+    const auto pb = _power.steadyStatePower(c, activity(e));
+    return pb.total() * e.time;
+}
+
+Joules
+GroundTruthModel::gpuEnergy(const KernelParams &k,
+                            const hw::HwConfig &c) const
+{
+    const auto e = estimate(k, c);
+    const auto pb = _power.steadyStatePower(c, activity(e));
+    return pb.gpu() * e.time;
+}
+
+} // namespace gpupm::kernel

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ground-truth execution-time, counter and power-activity model.
+ *
+ * A roofline-style model: compute time scales with active CUs and GPU
+ * clock; memory time with effective bandwidth (DRAM clock capped by the
+ * NB clock path, so NB0-NB2 share bandwidth and memory-bound kernels
+ * saturate past NB2, as in paper Fig. 2b); a serial component captures
+ * unscalable kernels; shared-cache interference makes Peak kernels
+ * regress beyond their sweet spot. Hidden per-kernel efficiencies and
+ * deterministic per-(kernel, configuration) noise stand in for the
+ * idiosyncrasies real hardware shows, giving trained predictors a
+ * realistic error profile (paper Sec. VI-D: 25%/12% MAPE).
+ */
+
+#pragma once
+
+#include "hw/config.hpp"
+#include "hw/params.hpp"
+#include "hw/power_model.hpp"
+#include "kernel/counters.hpp"
+#include "kernel/kernel.hpp"
+
+namespace gpupm::kernel {
+
+/** Decomposed ground-truth execution estimate for one kernel run. */
+struct ExecutionEstimate
+{
+    Seconds time = 0.0;        ///< Total wall time of the invocation.
+    Seconds computeTime = 0.0; ///< VALU-limited component.
+    Seconds memTime = 0.0;     ///< Memory-limited component.
+    Seconds serialTime = 0.0;  ///< Non-CU-scalable GPU component.
+    Seconds launchTime = 0.0;  ///< Host-side launch/driver time.
+    double cacheHitRate = 0.0; ///< Effective hit rate at this CU count.
+    double memBytes = 0.0;     ///< Video memory traffic (bytes).
+    double memStallFraction = 0.0;  ///< For the MemUnitStalled counter.
+    double computeActivity = 0.0;   ///< GPU dynamic-power activity.
+    double memBandwidthUtil = 0.0;  ///< NB/DRAM power activity.
+};
+
+/**
+ * Pure-function ground truth: time, counters and steady-state power for
+ * any (kernel, configuration) pair. Policies never call this directly -
+ * they see measurements and predictor outputs - except the Theoretically
+ * Optimal oracle, which is defined to have perfect knowledge.
+ */
+class GroundTruthModel
+{
+  public:
+    explicit GroundTruthModel(
+        const hw::ApuParams &params = hw::ApuParams::defaults());
+
+    /** Ground-truth execution time breakdown. */
+    ExecutionEstimate estimate(const KernelParams &k,
+                               const hw::HwConfig &c) const;
+
+    /** Counters CodeXL would report for this run. */
+    KernelCounters counters(const KernelParams &k, const hw::HwConfig &c,
+                            const ExecutionEstimate &e) const;
+
+    /** Activity factors feeding the power model (CPU busy-waiting). */
+    hw::ActivityFactors activity(const ExecutionEstimate &e) const;
+
+    /**
+     * Steady-state power breakdown while the kernel runs at @p c.
+     */
+    hw::PowerBreakdown power(const KernelParams &k,
+                             const hw::HwConfig &c) const;
+
+    /** Chip-wide energy of one invocation: total power x time. */
+    Joules energy(const KernelParams &k, const hw::HwConfig &c) const;
+
+    /** GPU-plane (GPU+NB+DRAM interface) energy of one invocation. */
+    Joules gpuEnergy(const KernelParams &k, const hw::HwConfig &c) const;
+
+    /** Effective cache hit rate after CU interference. */
+    static double effectiveCacheHit(const KernelParams &k, int cus);
+
+    /** Effective memory bandwidth (bytes/s) for an NB state. */
+    double effectiveBandwidth(hw::NbPState nb) const;
+
+    const hw::ApuParams &params() const { return _p; }
+    const hw::PowerModel &powerModel() const { return _power; }
+
+  private:
+    /** Hidden efficiency factors derived from the kernel's seed. */
+    struct HiddenFactors
+    {
+        double computeEff;
+        double memEff;
+        double serialEff;
+    };
+
+    static HiddenFactors hiddenFactors(const KernelParams &k);
+
+    /** Deterministic lognormal noise for (kernel, configuration). */
+    static double configNoise(const KernelParams &k, const hw::HwConfig &c);
+
+    hw::ApuParams _p;
+    hw::PowerModel _power;
+};
+
+} // namespace gpupm::kernel

@@ -1,0 +1,235 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <numeric>
+#include <ostream>
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace gpupm::ml {
+
+namespace {
+
+/** Mean of targets over a row range. */
+double
+rangeMean(const Dataset &data, std::span<const std::uint32_t> rows)
+{
+    double s = 0.0;
+    for (auto r : rows)
+        s += data.y[r];
+    return rows.empty() ? 0.0 : s / static_cast<double>(rows.size());
+}
+
+struct SplitCandidate
+{
+    int feature = -1;
+    double threshold = 0.0;
+    double score = std::numeric_limits<double>::infinity();
+    std::size_t leftCount = 0;
+};
+
+/**
+ * Best threshold for one feature by exhaustive scan: sort rows by the
+ * feature, sweep prefix sums, and score each boundary by the summed
+ * child SSE (equivalently, maximize variance reduction).
+ */
+SplitCandidate
+bestSplitForFeature(const Dataset &data, std::vector<std::uint32_t> &rows,
+                    std::size_t begin, std::size_t end, int feature,
+                    int min_leaf)
+{
+    SplitCandidate best;
+    best.feature = feature;
+
+    auto span = std::span<std::uint32_t>(rows).subspan(begin, end - begin);
+    std::sort(span.begin(), span.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return data.x[a][feature] < data.x[b][feature];
+              });
+
+    const std::size_t n = span.size();
+    double total_sum = 0.0, total_sq = 0.0;
+    for (auto r : span) {
+        total_sum += data.y[r];
+        total_sq += data.y[r] * data.y[r];
+    }
+
+    double left_sum = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        left_sum += data.y[span[i]];
+        const double xv = data.x[span[i]][feature];
+        const double xn = data.x[span[i + 1]][feature];
+        if (xv == xn)
+            continue; // can't split between equal feature values
+        const std::size_t nl = i + 1;
+        const std::size_t nr = n - nl;
+        if (nl < static_cast<std::size_t>(min_leaf) ||
+            nr < static_cast<std::size_t>(min_leaf)) {
+            continue;
+        }
+        const double right_sum = total_sum - left_sum;
+        // SSE = sum(y^2) - nl*meanL^2 - nr*meanR^2; sum(y^2) is constant
+        // across candidates, so minimize the negative mean-square terms.
+        const double score =
+            total_sq - left_sum * left_sum / static_cast<double>(nl) -
+            right_sum * right_sum / static_cast<double>(nr);
+        if (score < best.score) {
+            best.score = score;
+            best.threshold = 0.5 * (xv + xn);
+            best.leftCount = nl;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+std::int32_t
+DecisionTree::build(const Dataset &data, std::vector<std::uint32_t> &rows,
+                    std::size_t begin, std::size_t end, int depth,
+                    const TreeOptions &opts, Pcg32 &rng)
+{
+    _depth = std::max(_depth, depth);
+    const std::size_t n = end - begin;
+    auto rows_span =
+        std::span<const std::uint32_t>(rows).subspan(begin, n);
+
+    auto make_leaf = [&]() {
+        Node leaf;
+        leaf.value = rangeMean(data, rows_span);
+        _nodes.push_back(leaf);
+        return static_cast<std::int32_t>(_nodes.size() - 1);
+    };
+
+    if (depth >= opts.maxDepth ||
+        n < static_cast<std::size_t>(opts.minSamplesSplit)) {
+        return make_leaf();
+    }
+
+    // Constant target -> leaf.
+    bool constant = true;
+    for (std::size_t i = begin + 1; i < end && constant; ++i)
+        constant = data.y[rows[i]] == data.y[rows[begin]];
+    if (constant)
+        return make_leaf();
+
+    // Pick the candidate feature set (mtry without replacement).
+    std::array<int, numFeatures> order;
+    std::iota(order.begin(), order.end(), 0);
+    int tries = opts.mtry > 0 ? std::min(opts.mtry, numFeatures)
+                              : numFeatures;
+    for (int i = 0; i < tries; ++i) {
+        auto j = i + static_cast<int>(
+                         rng.nextBounded(static_cast<std::uint32_t>(
+                             numFeatures - i)));
+        std::swap(order[i], order[j]);
+    }
+
+    SplitCandidate best;
+    for (int i = 0; i < tries; ++i) {
+        auto cand = bestSplitForFeature(data, rows, begin, end, order[i],
+                                        opts.minSamplesLeaf);
+        if (cand.score < best.score)
+            best = cand;
+    }
+    if (best.feature < 0 || !std::isfinite(best.score))
+        return make_leaf();
+
+    // Partition rows around the chosen threshold.
+    auto mid_it = std::partition(
+        rows.begin() + static_cast<std::ptrdiff_t>(begin),
+        rows.begin() + static_cast<std::ptrdiff_t>(end),
+        [&](std::uint32_t r) {
+            return data.x[r][best.feature] <= best.threshold;
+        });
+    std::size_t mid =
+        static_cast<std::size_t>(mid_it - rows.begin());
+    if (mid == begin || mid == end)
+        return make_leaf(); // numerical degenerate split
+
+    Node node;
+    node.feature = best.feature;
+    node.threshold = best.threshold;
+    _nodes.push_back(node);
+    auto idx = static_cast<std::int32_t>(_nodes.size() - 1);
+
+    auto left = build(data, rows, begin, mid, depth + 1, opts, rng);
+    auto right = build(data, rows, mid, end, depth + 1, opts, rng);
+    _nodes[idx].left = left;
+    _nodes[idx].right = right;
+    return idx;
+}
+
+void
+DecisionTree::fit(const Dataset &data, std::span<const std::uint32_t> rows,
+                  const TreeOptions &opts, Pcg32 &rng)
+{
+    GPUPM_ASSERT(!rows.empty(), "cannot fit a tree on zero rows");
+    GPUPM_ASSERT(data.x.size() == data.y.size(), "dataset x/y mismatch");
+    _nodes.clear();
+    _depth = 0;
+    std::vector<std::uint32_t> work(rows.begin(), rows.end());
+    build(data, work, 0, work.size(), 0, opts, rng);
+}
+
+void
+DecisionTree::save(std::ostream &os) const
+{
+    GPUPM_ASSERT(fitted(), "cannot save an unfitted tree");
+    os << "tree " << _nodes.size() << ' ' << _depth << '\n';
+    // max_digits10 guarantees an exact double round trip.
+    os << std::setprecision(std::numeric_limits<double>::max_digits10);
+    for (const auto &n : _nodes) {
+        os << n.feature << ' ' << n.threshold << ' ' << n.left << ' '
+           << n.right << ' ' << n.value << '\n';
+    }
+    GPUPM_ASSERT(os.good(), "stream failure while saving tree");
+}
+
+DecisionTree
+DecisionTree::load(std::istream &is)
+{
+    std::string tag;
+    std::size_t count = 0;
+    DecisionTree t;
+    if (!(is >> tag >> count >> t._depth) || tag != "tree")
+        GPUPM_FATAL("malformed tree header (got '", tag, "')");
+    GPUPM_ASSERT(count > 0, "tree with zero nodes");
+    t._nodes.resize(count);
+    for (auto &n : t._nodes) {
+        if (!(is >> n.feature >> n.threshold >> n.left >> n.right >>
+              n.value)) {
+            GPUPM_FATAL("truncated tree node list");
+        }
+        if (n.feature >= numFeatures ||
+            (n.feature >= 0 &&
+             (n.left < 0 || n.right < 0 ||
+              n.left >= static_cast<std::int32_t>(count) ||
+              n.right >= static_cast<std::int32_t>(count)))) {
+            GPUPM_FATAL("tree node out of range");
+        }
+    }
+    return t;
+}
+
+double
+DecisionTree::predict(const FeatureVector &f) const
+{
+    GPUPM_ASSERT(fitted(), "predict on an unfitted tree");
+    std::int32_t i = 0;
+    for (;;) {
+        const Node &n = _nodes[static_cast<std::size_t>(i)];
+        if (n.feature < 0)
+            return n.value;
+        i = f[static_cast<std::size_t>(n.feature)] <= n.threshold
+                ? n.left
+                : n.right;
+    }
+}
+
+} // namespace gpupm::ml

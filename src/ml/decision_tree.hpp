@@ -1,0 +1,98 @@
+/**
+ * @file
+ * CART regression tree (variance-reduction splits).
+ *
+ * Building block of the Random Forest (Breiman 2001) the paper uses for
+ * kernel performance and power prediction. Supports per-split random
+ * feature subsetting (mtry) and row subsets, so the forest can drive
+ * bagging and feature bagging from outside.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/features.hpp"
+
+namespace gpupm::ml {
+
+/** Training data: row-major features plus one target per row. */
+struct Dataset
+{
+    std::vector<FeatureVector> x;
+    std::vector<double> y;
+
+    std::size_t size() const { return x.size(); }
+    void
+    add(const FeatureVector &features, double target)
+    {
+        x.push_back(features);
+        y.push_back(target);
+    }
+};
+
+/** Tree growth hyper-parameters. */
+struct TreeOptions
+{
+    int maxDepth = 16;
+    int minSamplesLeaf = 3;
+    int minSamplesSplit = 6;
+    /** Features tried per split; <=0 means all features. */
+    int mtry = 0;
+};
+
+/**
+ * Regression tree with array-packed nodes for cache-friendly inference.
+ */
+class DecisionTree
+{
+  public:
+    /**
+     * Fit on the rows of @p data selected by @p rows (duplicates allowed,
+     * as produced by bootstrap sampling). @p rng drives feature
+     * subsetting when opts.mtry > 0.
+     */
+    void fit(const Dataset &data, std::span<const std::uint32_t> rows,
+             const TreeOptions &opts, Pcg32 &rng);
+
+    /** Predict one sample; fatal if the tree has not been fitted. */
+    double predict(const FeatureVector &f) const;
+
+    /** Number of nodes (diagnostics). */
+    std::size_t nodeCount() const { return _nodes.size(); }
+
+    /** Maximum depth reached (diagnostics). */
+    int depth() const { return _depth; }
+
+    bool fitted() const { return !_nodes.empty(); }
+
+    /** Write the fitted tree ("tree <n>" header plus one node/line). */
+    void save(std::ostream &os) const;
+
+    /** Read a tree written by save(); fatal on malformed input. */
+    static DecisionTree load(std::istream &is);
+
+  private:
+    struct Node
+    {
+        std::int32_t feature = -1; ///< -1 marks a leaf.
+        double threshold = 0.0;    ///< Go left when x[feature] <= this.
+        std::int32_t left = -1;
+        std::int32_t right = -1;
+        double value = 0.0; ///< Leaf prediction.
+    };
+
+    std::int32_t build(const Dataset &data,
+                       std::vector<std::uint32_t> &rows, std::size_t begin,
+                       std::size_t end, int depth, const TreeOptions &opts,
+                       Pcg32 &rng);
+
+    std::vector<Node> _nodes;
+    int _depth = 0;
+};
+
+} // namespace gpupm::ml

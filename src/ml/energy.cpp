@@ -1,0 +1,36 @@
+#include "ml/energy.hpp"
+
+namespace gpupm::ml {
+
+EnergyModel::EnergyModel(const hw::ApuParams &params)
+    : _power(params), _p(params)
+{
+}
+
+Watts
+EnergyModel::cpuBusyWaitPower(hw::CpuPState s) const
+{
+    const auto &pt = hw::cpuDvfs(s);
+    // Normalized V^2*f dynamic power plus voltage-proportional leakage
+    // at the reference temperature.
+    const Watts dyn = _p.cpuCeff * pt.voltage * pt.voltage *
+                      mhzToHz(pt.freq) * _p.cpuBusyWaitActivity;
+    const Watts leak = _p.cpuLeakCoeff * pt.voltage;
+    return dyn + leak;
+}
+
+EnergyEstimate
+EnergyModel::estimate(const PerfPowerPredictor &pred,
+                      const PredictionQuery &q,
+                      const hw::HwConfig &c) const
+{
+    const auto p = pred.predict(q, c);
+    EnergyEstimate e;
+    e.time = p.time;
+    e.gpuPower = p.gpuPower;
+    e.cpuPower = cpuBusyWaitPower(c.cpu);
+    e.energy = (e.gpuPower + e.cpuPower) * e.time;
+    return e;
+}
+
+} // namespace gpupm::ml

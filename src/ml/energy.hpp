@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Governor-side energy estimation.
+ *
+ * Combines a performance/power predictor's (time, GPU power) output with
+ * the normalized V^2*f CPU power model the paper uses for the busy-
+ * waiting CPU (Sec. IV-A3), producing the chip-wide energy the optimizer
+ * minimizes.
+ */
+
+#pragma once
+
+#include "hw/power_model.hpp"
+#include "ml/predictor.hpp"
+
+namespace gpupm::ml {
+
+/** A governor's estimate of one kernel run at one configuration. */
+struct EnergyEstimate
+{
+    Seconds time = 0.0;
+    Watts gpuPower = 0.0;
+    Watts cpuPower = 0.0;
+    Joules energy = 0.0; ///< Chip-wide: (gpuPower + cpuPower) * time.
+};
+
+/**
+ * Chip-wide energy estimator used by all predictive governors.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(
+        const hw::ApuParams &params = hw::ApuParams::defaults());
+
+    /**
+     * Estimate time/power/energy of a kernel at @p c using @p pred for
+     * the GPU side and the V^2*f model for the busy-waiting CPU.
+     */
+    EnergyEstimate estimate(const PerfPowerPredictor &pred,
+                            const PredictionQuery &q,
+                            const hw::HwConfig &c) const;
+
+    /**
+     * CPU power while busy-waiting at a CPU P-state: the normalized
+     * V^2*f model, anchored at the known reference-state power. Leakage
+     * is evaluated at the reference temperature (the model does not
+     * track die temperature).
+     */
+    Watts cpuBusyWaitPower(hw::CpuPState s) const;
+
+  private:
+    hw::PowerModel _power;
+    hw::ApuParams _p;
+};
+
+} // namespace gpupm::ml

@@ -1,0 +1,101 @@
+#include "ml/error_model.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "kernel/perf_model.hpp"
+
+namespace gpupm::ml {
+
+namespace {
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+struct NoisyOraclePredictor::Impl
+{
+    kernel::GroundTruthModel model;
+    double meanTimeErr;
+    double meanPowerErr;
+    std::uint64_t seed;
+
+    Impl(double te, double pe, std::uint64_t s, const hw::ApuParams &p)
+        : model(p), meanTimeErr(te), meanPowerErr(pe), seed(s)
+    {
+    }
+
+    /** Deterministic signed relative error for one (kernel, config). */
+    double
+    relError(double mean_err, const kernel::KernelParams &k,
+             const hw::HwConfig &c, std::uint64_t salt) const
+    {
+        if (mean_err <= 0.0)
+            return 0.0;
+        std::uint64_t key =
+            mix64(seed ^ salt ^ k.idiosyncrasySeed ^
+                  (static_cast<std::uint64_t>(c.cus) << 24) ^
+                  (static_cast<std::uint64_t>(c.gpu) << 16) ^
+                  (static_cast<std::uint64_t>(c.nb) << 8) ^
+                  static_cast<std::uint64_t>(c.cpu));
+        Pcg32 rng(key, 0xabcdULL);
+        double magnitude = rng.halfNormal(mean_err);
+        double sign = rng.nextDouble() < 0.5 ? -1.0 : 1.0;
+        // Bound below so a large draw cannot flip time/power negative.
+        return std::max(-0.9, sign * magnitude);
+    }
+};
+
+NoisyOraclePredictor::NoisyOraclePredictor(double mean_time_err,
+                                           double mean_power_err,
+                                           std::uint64_t seed,
+                                           const hw::ApuParams &params)
+    : _impl(std::make_unique<Impl>(mean_time_err, mean_power_err, seed,
+                                   params))
+{
+}
+
+NoisyOraclePredictor::~NoisyOraclePredictor() = default;
+
+Prediction
+NoisyOraclePredictor::predict(const PredictionQuery &q,
+                              const hw::HwConfig &c) const
+{
+    GPUPM_ASSERT(q.groundTruth != nullptr,
+                 "NoisyOraclePredictor needs the kernel identity");
+    const auto &k = *q.groundTruth;
+    const auto est = _impl->model.estimate(k, c);
+    const auto pb = _impl->model.powerModel().steadyStatePower(
+        c, _impl->model.activity(est));
+
+    Prediction p;
+    p.time = est.time * (1.0 + _impl->relError(_impl->meanTimeErr, k, c,
+                                               0x7157eULL));
+    p.gpuPower = pb.gpu() * (1.0 + _impl->relError(_impl->meanPowerErr, k,
+                                                   c, 0x90e3ULL));
+    return p;
+}
+
+std::string
+NoisyOraclePredictor::name() const
+{
+    auto pct = [](double v) {
+        // Render 0.15 as "15%".
+        return fmt(100.0 * v, 0) + "%";
+    };
+    if (_impl->meanTimeErr == _impl->meanPowerErr)
+        return "Err_" + pct(_impl->meanTimeErr);
+    return "Err_" + pct(_impl->meanTimeErr) + "_" +
+           pct(_impl->meanPowerErr);
+}
+
+} // namespace gpupm::ml

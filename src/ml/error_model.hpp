@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Synthetic prediction-error models (paper Sec. VI-D, Fig. 13).
+ *
+ * To study how MPC degrades with predictor quality, the paper compares
+ * its Random Forest against hypothetical predictors whose errors follow
+ * a half-normal distribution with a prescribed mean absolute error:
+ * Err_15%_10% (15% time / 10% power, as Wu et al.), Err_5% (Paul et
+ * al.), and Err_0% (perfect). The error for a given (kernel, config)
+ * pair is deterministic so optimization sees a stable landscape, as a
+ * real (deterministic) model would provide.
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "ml/predictor.hpp"
+
+namespace gpupm::ml {
+
+/**
+ * Ground truth perturbed by deterministic half-normal relative errors.
+ */
+class NoisyOraclePredictor : public PerfPowerPredictor
+{
+  public:
+    /**
+     * @param mean_time_err Mean absolute relative time error (e.g. 0.15).
+     * @param mean_power_err Mean absolute relative power error.
+     * @param seed Seed decorrelating error draws between instances.
+     * @param params APU model parameters.
+     */
+    NoisyOraclePredictor(double mean_time_err, double mean_power_err,
+                         std::uint64_t seed = 0xe44ULL,
+                         const hw::ApuParams &params =
+                             hw::ApuParams::defaults());
+    ~NoisyOraclePredictor() override;
+
+    Prediction predict(const PredictionQuery &q,
+                       const hw::HwConfig &c) const override;
+
+    std::string name() const override;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> _impl;
+};
+
+} // namespace gpupm::ml

@@ -1,0 +1,55 @@
+#include "ml/features.hpp"
+
+#include <cmath>
+
+#include "hw/power_model.hpp"
+
+namespace gpupm::ml {
+
+FeatureVector
+makeFeatures(const kernel::KernelCounters &k, const hw::HwConfig &c)
+{
+    const auto &cpu = hw::cpuDvfs(c.cpu);
+    const auto &nb = hw::nbDvfs(c.nb);
+    const auto &gpu = hw::gpuDvfs(c.gpu);
+    // Rail voltage duplicates information from (gpu, nb) but gives the
+    // trees direct access to the quantity power actually depends on.
+    static const hw::PowerModel power_model;
+    const double vrail = power_model.railVoltage(c);
+
+    FeatureVector f{};
+    int i = 0;
+    f[i++] = std::log2(1.0 + k.globalWorkSize);
+    f[i++] = k.memUnitStalled / 100.0;
+    f[i++] = k.cacheHit / 100.0;
+    f[i++] = k.vfetchInsts;
+    f[i++] = k.scratchRegs;
+    f[i++] = k.ldsBankConflict / 100.0;
+    f[i++] = std::log2(1.0 + k.valuInsts);
+    f[i++] = std::log2(1.0 + k.fetchSize);
+    f[i++] = std::log2(1.0 + k.globalWorkSize * k.valuInsts);
+    f[i++] = std::log2(1.0 + k.globalWorkSize * k.vfetchInsts);
+    f[i++] = cpu.freq / 3900.0;
+    f[i++] = cpu.voltage;
+    f[i++] = nb.nbFreq / 1800.0;
+    f[i++] = nb.memFreq / 800.0;
+    f[i++] = gpu.freq / 720.0;
+    f[i++] = vrail;
+    f[i++] = c.cus / 8.0;
+    return f;
+}
+
+const std::vector<std::string> &
+featureNames()
+{
+    static const std::vector<std::string> names = {
+        "log2GlobalWorkSize", "MemUnitStalled", "CacheHit",
+        "VFetchInsts",        "ScratchRegs",    "LDSBankConflict",
+        "log2VALUInsts",      "log2FetchSize",  "log2ComputeWork",
+        "log2FetchWork",      "cpuFreq",        "cpuVolt",
+        "nbFreq",             "memFreq",        "gpuFreq",
+        "railVolt",           "cus"};
+    return names;
+}
+
+} // namespace gpupm::ml

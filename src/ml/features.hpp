@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Feature extraction for the learned performance/power models.
+ *
+ * A feature vector combines the eight Table III counters (log-scaled
+ * where the dynamic range is wide) with the numeric description of the
+ * target hardware configuration (clocks, voltages, CU count).
+ */
+
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "hw/config.hpp"
+#include "kernel/counters.hpp"
+
+namespace gpupm::ml {
+
+/**
+ * Number of model input features: the eight Table III counters, two
+ * derived "work" products (compute work GWS*VALU and fetch work
+ * GWS*VFetch - regression trees cannot multiply features, so the
+ * roofline-dominant products are provided directly), and seven numeric
+ * descriptors of the target hardware configuration.
+ */
+inline constexpr int numFeatures = kernel::numCounters + 2 + 7;
+
+using FeatureVector = std::array<double, numFeatures>;
+
+/** Build the feature vector for (counters, configuration). */
+FeatureVector makeFeatures(const kernel::KernelCounters &counters,
+                           const hw::HwConfig &c);
+
+/** Feature names aligned with makeFeatures() (for diagnostics). */
+const std::vector<std::string> &featureNames();
+
+} // namespace gpupm::ml

@@ -1,0 +1,34 @@
+#include "ml/predictor.hpp"
+
+#include "common/logging.hpp"
+#include "kernel/perf_model.hpp"
+
+namespace gpupm::ml {
+
+struct GroundTruthPredictor::Impl
+{
+    kernel::GroundTruthModel model;
+
+    explicit Impl(const hw::ApuParams &p) : model(p) {}
+};
+
+GroundTruthPredictor::GroundTruthPredictor(const hw::ApuParams &params)
+    : _impl(std::make_unique<Impl>(params))
+{
+}
+
+GroundTruthPredictor::~GroundTruthPredictor() = default;
+
+Prediction
+GroundTruthPredictor::predict(const PredictionQuery &q,
+                              const hw::HwConfig &c) const
+{
+    GPUPM_ASSERT(q.groundTruth != nullptr,
+                 "GroundTruthPredictor needs the kernel identity");
+    const auto est = _impl->model.estimate(*q.groundTruth, c);
+    const auto pb = _impl->model.powerModel().steadyStatePower(
+        c, _impl->model.activity(est));
+    return {est.time, pb.gpu()};
+}
+
+} // namespace gpupm::ml

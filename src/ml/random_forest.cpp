@@ -1,0 +1,112 @@
+#include "ml/random_forest.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace gpupm::ml {
+
+void
+RandomForest::fit(const Dataset &data, const ForestOptions &opts)
+{
+    GPUPM_ASSERT(data.size() > 0, "cannot fit forest on empty dataset");
+    GPUPM_ASSERT(opts.numTrees > 0, "numTrees must be positive");
+
+    _trees.assign(static_cast<std::size_t>(opts.numTrees), {});
+
+    const std::size_t n = data.size();
+    const auto sample_size = static_cast<std::size_t>(
+        std::max(1.0, opts.sampleFraction * static_cast<double>(n)));
+
+    std::vector<double> oob_sum(n, 0.0);
+    std::vector<int> oob_count(n, 0);
+    std::vector<char> in_bag(n);
+    std::vector<std::uint32_t> rows(sample_size);
+
+    Pcg32 rng(opts.seed, 0xf042e57ULL);
+    for (auto &tree : _trees) {
+        std::fill(in_bag.begin(), in_bag.end(), 0);
+        for (auto &r : rows) {
+            r = rng.nextBounded(static_cast<std::uint32_t>(n));
+            in_bag[r] = 1;
+        }
+        Pcg32 tree_rng = rng.split();
+        tree.fit(data, rows, opts.tree, tree_rng);
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!in_bag[i]) {
+                oob_sum[i] += tree.predict(data.x[i]);
+                ++oob_count[i];
+            }
+        }
+    }
+
+    _oob.assign(n, std::nullopt);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (oob_count[i] > 0)
+            _oob[i] = oob_sum[i] / oob_count[i];
+    }
+}
+
+double
+RandomForest::predict(const FeatureVector &f) const
+{
+    GPUPM_ASSERT(fitted(), "predict on an unfitted forest");
+    double s = 0.0;
+    for (const auto &tree : _trees)
+        s += tree.predict(f);
+    return s / static_cast<double>(_trees.size());
+}
+
+double
+RandomForest::oobMape(const Dataset &data) const
+{
+    double s = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        if (!_oob[i] || std::fabs(data.y[i]) < 1e-12)
+            continue;
+        s += std::fabs((data.y[i] - *_oob[i]) / data.y[i]);
+        ++n;
+    }
+    return n ? 100.0 * s / static_cast<double>(n) : 0.0;
+}
+
+void
+RandomForest::save(std::ostream &os) const
+{
+    GPUPM_ASSERT(fitted(), "cannot save an unfitted forest");
+    os << "forest trees " << _trees.size() << '\n';
+    for (const auto &t : _trees)
+        t.save(os);
+}
+
+RandomForest
+RandomForest::load(std::istream &is)
+{
+    std::string tag1, tag2;
+    std::size_t count = 0;
+    if (!(is >> tag1 >> tag2 >> count) || tag1 != "forest" ||
+        tag2 != "trees") {
+        GPUPM_FATAL("malformed forest header");
+    }
+    GPUPM_ASSERT(count > 0, "forest with zero trees");
+    RandomForest rf;
+    rf._trees.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        rf._trees.push_back(DecisionTree::load(is));
+    return rf;
+}
+
+std::size_t
+RandomForest::totalNodes() const
+{
+    std::size_t total = 0;
+    for (const auto &t : _trees)
+        total += t.nodeCount();
+    return total;
+}
+
+} // namespace gpupm::ml

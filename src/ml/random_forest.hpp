@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Random Forest regression (Breiman 2001), as used by the paper for
+ * kernel performance and power prediction (Sec. IV-A3).
+ *
+ * Bootstrap-sampled CART trees with per-split feature subsetting; the
+ * prediction is the mean over trees. Out-of-bag (OOB) predictions give
+ * an unbiased generalization-error estimate without a holdout set.
+ */
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace gpupm::ml {
+
+/** Forest hyper-parameters. */
+struct ForestOptions
+{
+    int numTrees = 60;
+    TreeOptions tree{};
+    /** Bootstrap sample size as a fraction of the dataset. */
+    double sampleFraction = 1.0;
+    std::uint64_t seed = 0x5eedf0425ULL;
+
+    /** Defaults tuned on the training corpus (see bench_rf_accuracy). */
+    static ForestOptions
+    regressionDefaults()
+    {
+        ForestOptions o;
+        o.tree.mtry = 8;
+        return o;
+    }
+};
+
+class RandomForest
+{
+  public:
+    /** Fit the forest; deterministic in opts.seed. */
+    void fit(const Dataset &data, const ForestOptions &opts);
+
+    /** Mean prediction over all trees. */
+    double predict(const FeatureVector &f) const;
+
+    /**
+     * Out-of-bag prediction per training row (rows that were in-bag for
+     * every tree come back empty). Computed during fit.
+     */
+    const std::vector<std::optional<double>> &oobPredictions() const
+    {
+        return _oob;
+    }
+
+    /** Mean absolute percentage error of the OOB predictions. */
+    double oobMape(const Dataset &data) const;
+
+    std::size_t treeCount() const { return _trees.size(); }
+    bool fitted() const { return !_trees.empty(); }
+
+    /** Total node count across trees (memory/latency diagnostics). */
+    std::size_t totalNodes() const;
+
+    /**
+     * Write the fitted forest ("forest trees <n>" plus each tree).
+     * OOB predictions are training artifacts and are not persisted.
+     */
+    void save(std::ostream &os) const;
+
+    /** Read a forest written by save(); fatal on malformed input. */
+    static RandomForest load(std::istream &is);
+
+  private:
+    std::vector<DecisionTree> _trees;
+    std::vector<std::optional<double>> _oob;
+};
+
+} // namespace gpupm::ml

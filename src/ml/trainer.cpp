@@ -1,0 +1,139 @@
+#include "ml/trainer.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "kernel/perf_model.hpp"
+#include "workload/training.hpp"
+
+namespace gpupm::ml {
+
+namespace {
+
+/**
+ * Dynamic-instruction proxy computed from observable counters; the time
+ * forest is trained on log(time / proxy) ("seconds per instruction"),
+ * which has a far narrower dynamic range than absolute time and
+ * therefore generalizes across kernels of very different sizes.
+ */
+double
+instructionProxy(const kernel::KernelCounters &c)
+{
+    return std::max(1.0, c.globalWorkSize * (c.valuInsts + c.vfetchInsts));
+}
+
+} // namespace
+
+RandomForestPredictor::RandomForestPredictor(RandomForest time_forest,
+                                             RandomForest power_forest)
+    : _time(std::move(time_forest)), _power(std::move(power_forest))
+{
+    GPUPM_ASSERT(_time.fitted() && _power.fitted(),
+                 "predictor needs fitted forests");
+}
+
+Prediction
+RandomForestPredictor::predict(const PredictionQuery &q,
+                               const hw::HwConfig &c) const
+{
+    const auto f = makeFeatures(q.counters, c);
+    Prediction p;
+    // Trained on log(seconds per instruction); scale back up by the
+    // counter-derived instruction proxy.
+    p.time = std::exp(_time.predict(f)) * instructionProxy(q.counters);
+    p.gpuPower = _power.predict(f);
+    return p;
+}
+
+std::unique_ptr<RandomForestPredictor>
+trainRandomForestPredictor(const TrainerOptions &opts,
+                           TrainingReport *report)
+{
+    const kernel::GroundTruthModel model;
+    const hw::ConfigSpace space;
+    const auto corpus =
+        workload::trainingCorpus(opts.corpusSize, opts.seed);
+
+    Dataset time_data, power_data;
+    const int stride = std::max(1, opts.configStride);
+    for (const auto &k : corpus) {
+        for (std::size_t ci = 0; ci < space.size();
+             ci += static_cast<std::size_t>(stride)) {
+            const auto &c = space.at(ci);
+            const auto est = model.estimate(k, c);
+            const auto counters = model.counters(k, c, est);
+            const auto pb = model.powerModel().steadyStatePower(
+                c, model.activity(est));
+            const auto f = makeFeatures(counters, c);
+            time_data.add(f,
+                          std::log(est.time / instructionProxy(counters)));
+            power_data.add(f, pb.gpu());
+        }
+    }
+
+    ForestOptions fopts = opts.forest;
+    fopts.seed = opts.seed ^ 0x1ee7ULL;
+    RandomForest time_forest;
+    time_forest.fit(time_data, fopts);
+    fopts.seed = opts.seed ^ 0x9ab3ULL;
+    RandomForest power_forest;
+    power_forest.fit(power_data, fopts);
+
+    if (report) {
+        // Time OOB error is on the log-rate target; the proxy factor
+        // cancels in the relative error, so exponentiate and compare.
+        double s = 0.0;
+        std::size_t n = 0;
+        const auto &oob = time_forest.oobPredictions();
+        for (std::size_t i = 0; i < time_data.size(); ++i) {
+            if (!oob[i])
+                continue;
+            double actual = std::exp(time_data.y[i]);
+            double pred = std::exp(*oob[i]);
+            s += std::fabs((actual - pred) / actual);
+            ++n;
+        }
+        report->timeOobMapePct =
+            n ? 100.0 * s / static_cast<double>(n) : 0.0;
+        report->powerOobMapePct = power_forest.oobMape(power_data);
+        report->datasetRows = time_data.size();
+    }
+
+    return std::make_unique<RandomForestPredictor>(std::move(time_forest),
+                                                   std::move(power_forest));
+}
+
+EvalReport
+evaluatePredictor(const PerfPowerPredictor &pred,
+                  const std::vector<kernel::KernelParams> &ks)
+{
+    const kernel::GroundTruthModel model;
+    const hw::ConfigSpace space;
+
+    EvalReport out;
+    double time_err = 0.0, power_err = 0.0;
+    for (const auto &k : ks) {
+        for (const auto &c : space.all()) {
+            const auto est = model.estimate(k, c);
+            const auto pb = model.powerModel().steadyStatePower(
+                c, model.activity(est));
+
+            PredictionQuery q;
+            q.counters = model.counters(k, c, est);
+            q.instructions = k.instructions();
+            q.groundTruth = &k;
+            const auto p = pred.predict(q, c);
+
+            time_err += std::fabs((est.time - p.time) / est.time);
+            power_err += std::fabs((pb.gpu() - p.gpuPower) / pb.gpu());
+            ++out.samples;
+        }
+    }
+    if (out.samples) {
+        out.timeMapePct = 100.0 * time_err / out.samples;
+        out.powerMapePct = 100.0 * power_err / out.samples;
+    }
+    return out;
+}
+
+} // namespace gpupm::ml

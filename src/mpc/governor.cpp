@@ -1,0 +1,298 @@
+#include "mpc/governor.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace gpupm::mpc {
+
+MpcGovernor::MpcGovernor(
+    std::shared_ptr<const ml::PerfPowerPredictor> predictor,
+    const MpcOptions &opts, const hw::ApuParams &params)
+    : _predictor(std::move(predictor)), _opts(opts), _energy(params),
+      _space(opts.searchSpace), _climber(_space, _energy),
+      _ppk(_predictor,
+           policy::PpkOptions{opts.chargeOverhead, opts.overhead,
+                              opts.searchSpace},
+           params)
+{
+    GPUPM_ASSERT(_predictor != nullptr, "MPC needs a predictor");
+}
+
+void
+MpcGovernor::beginRun(const std::string &app_name, Throughput target)
+{
+    GPUPM_ASSERT(target > 0.0, "MPC needs a positive performance target");
+    GPUPM_ASSERT(_appName.empty() || _appName == app_name,
+                 "one MpcGovernor instance serves one application; got '",
+                 app_name, "' after '", _appName, "'");
+    _appName = app_name;
+
+    _pattern.beginRun();
+
+    const bool was_profiling = !_optimizing;
+    if (was_profiling && _pattern.hasLearnedSequence())
+        finalizeProfile(target);
+
+    _tracker.reset(target);
+    if (_horizon.configured())
+        _horizon.beginRun();
+    _ppk.beginRun(app_name, target);
+    _stats = {};
+    _pendingCharged = 0.0;
+    _pendingModeled = 0.0;
+}
+
+void
+MpcGovernor::finalizeProfile(Throughput target)
+{
+    GPUPM_ASSERT(!_profile.empty(), "profiling produced no data");
+    _n = _pattern.learnedSequenceLength();
+    _searchOrder = buildSearchOrder(_profile, target);
+    const double nbar = averageHorizonLength(_profile, target);
+    const Seconds t_total_baseline = _profiledInsts / target;
+
+    std::vector<Seconds> pace;
+    if (!_opts.uniformPacing) {
+        pace.reserve(_profile.size());
+        for (const auto &pk : _profile)
+            pace.push_back(pk.time);
+    }
+    _horizon.configure(_n, nbar, _tppk, t_total_baseline, _opts.alpha,
+                       std::move(pace));
+    _optimizing = true;
+}
+
+std::size_t
+MpcGovernor::horizonFor(std::size_t index)
+{
+    switch (_opts.horizonMode) {
+      case HorizonMode::Adaptive:
+        return _horizon.horizonFor(index);
+      case HorizonMode::Full:
+        return _n;
+      case HorizonMode::Fixed:
+        return _opts.fixedHorizon;
+    }
+    GPUPM_PANIC("bad horizon mode");
+}
+
+sim::Decision
+MpcGovernor::decide(std::size_t index)
+{
+    if (!_optimizing) {
+        // Profiling execution: plain PPK while the pattern extractor
+        // learns the application (Sec. V-B).
+        auto d = _ppk.decide(index);
+        _pendingCharged = d.overheadTime;
+        _pendingModeled =
+            _ppk.lastEvaluationCount() > 0
+                ? _opts.overhead.cost(_ppk.lastEvaluationCount())
+                : 0.0;
+        _stats.overheadTime += d.overheadTime;
+        _stats.evaluations += _ppk.lastEvaluationCount();
+        return d;
+    }
+
+    const std::size_t h = horizonFor(index);
+    _stats.horizonSum += static_cast<double>(h);
+    ++_stats.decisions;
+
+    sim::Decision d;
+    if (!_pattern.hasLearnedSequence()) {
+        d = fallbackDecide();
+    } else if (h == 0) {
+        // Overhead budget exhausted: no model evaluations. Reuse the
+        // configuration chosen the last time this kernel appeared, but
+        // only while the run is on target - the tracker check is free,
+        // and racing at the boost configuration when behind is what
+        // keeps the total loss inside the alpha bound.
+        const auto ids = _pattern.expectedWindow(index, 1);
+        // Race configuration: boost the GPU side, keep the busy-waiting
+        // CPU low (it only contributes launch latency).
+        hw::HwConfig cfg{hw::CpuPState::P7, hw::NbPState::NB0,
+                         hw::GpuPState::DPM4, 8};
+        if (_tracker.onTarget()) {
+            cfg = hw::ConfigSpace::failSafe();
+            if (!ids.empty()) {
+                const auto &rec = _pattern.record(ids[0]);
+                if (rec.lastChosenConfig)
+                    cfg = *rec.lastChosenConfig;
+            }
+        }
+        d.config = cfg;
+        d.overheadTime = 0.0;
+        _pendingModeled = 0.0;
+    } else {
+        d = optimizeWindow(index, h);
+    }
+
+    _pendingCharged = d.overheadTime;
+    _stats.overheadTime += d.overheadTime;
+    return d;
+}
+
+sim::Decision
+MpcGovernor::fallbackDecide()
+{
+    // Pattern unavailable (broken sequence): degrade gracefully to a
+    // PPK-style exhaustive scan over the last observed kernel.
+    const std::size_t store = _pattern.storeSize();
+    if (store == 0) {
+        _pendingModeled = 0.0;
+        return {hw::ConfigSpace::failSafe(), 0.0};
+    }
+    // The most recently observed kernel is the best "previous" guess.
+    const auto &rec = _pattern.record(store - 1);
+
+    ml::PredictionQuery q;
+    q.counters = rec.counters;
+    q.instructions = rec.instructions;
+    q.groundTruth = rec.truth;
+
+    const Seconds headroom = _tracker.headroom(rec.instructions);
+    const hw::HwConfig *best = nullptr;
+    const hw::HwConfig *fastest = nullptr;
+    double best_energy = std::numeric_limits<double>::infinity();
+    double fastest_time = std::numeric_limits<double>::infinity();
+    for (const auto &c : _space.all()) {
+        const auto est = _energy.estimate(*_predictor, q, c);
+        if (est.time < fastest_time) {
+            fastest_time = est.time;
+            fastest = &c;
+        }
+        if (est.time <= headroom && est.energy < best_energy) {
+            best_energy = est.energy;
+            best = &c;
+        }
+    }
+    _stats.evaluations += _space.size();
+    _pendingModeled = _opts.overhead.cost(_space.size());
+
+    sim::Decision d;
+    d.config = best ? *best : *fastest;
+    d.overheadTime = _opts.chargeOverhead ? _pendingModeled : 0.0;
+    return d;
+}
+
+sim::Decision
+MpcGovernor::optimizeWindow(std::size_t index, std::size_t horizon)
+{
+    const auto ids = _pattern.expectedWindow(index, horizon);
+    if (ids.empty())
+        return fallbackDecide();
+
+    const auto order =
+        windowSearchOrder(_searchOrder, index, ids.size());
+    GPUPM_ASSERT(!order.empty(), "window search order is empty");
+
+    // Planned cumulative state: actuals from the tracker, extended by
+    // the expected time/instructions of window kernels as they are
+    // optimized, so excess headroom carries across the window (Fig. 7).
+    // Kernels not yet optimized are reserved at their stored (feedback-
+    // updated) times: Eq. 3's throughput constraint spans the whole
+    // window, so the slack one kernel may consume must account for what
+    // the rest of the window is expected to need.
+    InstCount planned_insts = _tracker.instructions();
+    Seconds planned_time = _tracker.time();
+    const Throughput target = _tracker.target();
+
+    InstCount reserved_insts = 0.0;
+    Seconds reserved_time = 0.0;
+    for (const auto id : ids) {
+        const auto &rec = _pattern.record(id);
+        reserved_insts += rec.instructions;
+        reserved_time += rec.time;
+    }
+
+    hw::HwConfig chosen = hw::ConfigSpace::failSafe();
+    bool found_current = false;
+    std::size_t window_evals = 0;
+
+    for (const auto inv : order) {
+        GPUPM_ASSERT(inv >= index && inv < index + ids.size(),
+                     "window order out of range");
+        auto &rec = _pattern.mutableRecord(ids[inv - index]);
+
+        ml::PredictionQuery q;
+        q.counters = rec.counters;
+        q.instructions = rec.instructions;
+        q.groundTruth = rec.truth;
+
+        // This kernel leaves the reservation and is optimized against
+        // the window-wide budget.
+        reserved_insts -= rec.instructions;
+        reserved_time -= rec.time;
+
+        const Seconds headroom =
+            (planned_insts + rec.instructions + reserved_insts) / target -
+            planned_time - reserved_time;
+        const auto res = _climber.optimize(*_predictor, q, headroom,
+                                           hw::ConfigSpace::failSafe());
+        window_evals += res.evaluations;
+
+        // When the target cannot be met the climber races from the
+        // fail-safe anchor (Sec. IV-A1a) toward the fastest predicted
+        // configuration; its result is used either way.
+        const hw::HwConfig cfg = res.config;
+        const Seconds expected_time = res.predictedTime;
+
+        planned_insts += rec.instructions;
+        planned_time += expected_time;
+        rec.lastChosenConfig = cfg;
+
+        if (inv == index) {
+            chosen = cfg;
+            found_current = true;
+            _pendingExpectedTime = expected_time;
+        }
+    }
+    GPUPM_ASSERT(found_current, "current kernel missing from window");
+
+    _stats.evaluations += window_evals;
+    _pendingModeled = _opts.overhead.cost(window_evals);
+
+    sim::Decision d;
+    d.config = chosen;
+    d.overheadTime = _opts.chargeOverhead ? _pendingModeled : 0.0;
+    return d;
+}
+
+void
+MpcGovernor::observe(const sim::Observation &obs)
+{
+    const auto &m = obs.measurement;
+    _pattern.observe(m.counters, m.time, m.gpuPower, m.instructions,
+                     obs.kernelTruth);
+
+    // Feedback ablation: without feedback the tracker believes its own
+    // predictions and never learns it is behind (or ahead of) target.
+    const Seconds tracked_time =
+        (!_opts.useFeedback && _optimizing && _pendingExpectedTime >= 0.0)
+            ? _pendingExpectedTime
+            : m.time;
+    // obs.nonKernelTime covers host phases plus the *exposed* decision
+    // latency, which is what actually hits the wall clock.
+    _tracker.record(m.instructions, tracked_time + obs.nonKernelTime);
+    if (_horizon.configured())
+        _horizon.record(m.time, _pendingModeled);
+
+    if (!_optimizing) {
+        _ppk.observe(obs);
+        _tppk += _pendingModeled;
+        _profiledInsts += m.instructions;
+
+        ProfiledKernel pk;
+        pk.kernelThroughput =
+            m.time > 0.0 ? m.instructions / m.time : 0.0;
+        pk.cumulativeThroughput = _tracker.achievedThroughput();
+        pk.time = m.time;
+        _profile.push_back(pk);
+    }
+
+    _pendingCharged = 0.0;
+    _pendingModeled = 0.0;
+    _pendingExpectedTime = -1.0;
+}
+
+} // namespace gpupm::mpc

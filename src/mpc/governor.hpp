@@ -1,0 +1,118 @@
+/**
+ * @file
+ * MPC-based power-management governor (paper Sec. IV, Fig. 6).
+ *
+ * The four components of the paper's framework come together here:
+ *
+ *  - the kernel pattern extractor predicts which kernels come next and
+ *    serves their stored counters;
+ *  - the performance tracker turns past actuals into time headroom
+ *    (Eqs. 4/5);
+ *  - the optimizer walks the horizon window in the search-order
+ *    heuristic (Fig. 7) and greedily hill-climbs each kernel's
+ *    configuration, carrying excess headroom across the window;
+ *  - the adaptive horizon generator bounds the optimization overhead.
+ *
+ * On the first encounter with an application the governor runs PPK
+ * while profiling (Sec. V-B); optimization starts from the second
+ * execution, exactly as in the paper's amortization study (Fig. 11).
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/energy.hpp"
+#include "mpc/hill_climb.hpp"
+#include "mpc/horizon.hpp"
+#include "mpc/options.hpp"
+#include "mpc/pattern_extractor.hpp"
+#include "mpc/performance_tracker.hpp"
+#include "mpc/search_order.hpp"
+#include "policy/ppk.hpp"
+#include "sim/governor.hpp"
+
+namespace gpupm::mpc {
+
+/** Per-run MPC statistics (Figs. 14/15). */
+struct MpcRunStats
+{
+    Seconds overheadTime = 0.0; ///< Charged decision latency this run.
+    double horizonSum = 0.0;
+    std::size_t decisions = 0;
+    std::size_t evaluations = 0;
+
+    /** Average horizon as a fraction of N. */
+    double
+    averageHorizonFraction(std::size_t n) const
+    {
+        if (decisions == 0 || n == 0)
+            return 0.0;
+        return horizonSum /
+               (static_cast<double>(decisions) * static_cast<double>(n));
+    }
+};
+
+class MpcGovernor : public sim::Governor
+{
+  public:
+    MpcGovernor(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
+                const MpcOptions &opts = {},
+                const hw::ApuParams &params = hw::ApuParams::defaults());
+
+    std::string name() const override { return "MPC"; }
+
+    void beginRun(const std::string &app_name,
+                  Throughput target) override;
+
+    sim::Decision decide(std::size_t index) override;
+
+    void observe(const sim::Observation &obs) override;
+
+    /** Whether the governor is still in its PPK profiling run. */
+    bool profiling() const { return !_optimizing; }
+
+    /** Statistics of the run in progress (or just completed). */
+    const MpcRunStats &runStats() const { return _stats; }
+
+    /** N as learned from the profiling run (0 before). */
+    std::size_t kernelCount() const { return _n; }
+
+    const MpcOptions &options() const { return _opts; }
+
+  private:
+    sim::Decision fallbackDecide();
+    sim::Decision optimizeWindow(std::size_t index, std::size_t horizon);
+    std::size_t horizonFor(std::size_t index);
+    void finalizeProfile(Throughput target);
+
+    std::shared_ptr<const ml::PerfPowerPredictor> _predictor;
+    MpcOptions _opts;
+    ml::EnergyModel _energy;
+    hw::ConfigSpace _space;
+    HillClimbOptimizer _climber;
+
+    PatternExtractor _pattern;
+    PerformanceTracker _tracker;
+    AdaptiveHorizonGenerator _horizon;
+    policy::PpkGovernor _ppk;
+
+    // Profiling-run products.
+    std::vector<ProfiledKernel> _profile;
+    std::vector<std::size_t> _searchOrder;
+    Seconds _tppk = 0.0;
+    InstCount _profiledInsts = 0.0;
+    std::size_t _n = 0;
+    bool _optimizing = false;
+
+    // Per-decision bookkeeping.
+    Seconds _pendingCharged = 0.0;
+    Seconds _pendingModeled = 0.0;
+    /** Predicted time of the current kernel (feedback ablation). */
+    Seconds _pendingExpectedTime = -1.0;
+    MpcRunStats _stats;
+    std::string _appName;
+};
+
+} // namespace gpupm::mpc

@@ -1,0 +1,110 @@
+#include "mpc/hill_climb.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace gpupm::mpc {
+
+namespace {
+
+struct Eval
+{
+    Seconds time;
+    Joules energy;
+};
+
+} // namespace
+
+HillClimbOptimizer::HillClimbOptimizer(const hw::ConfigSpace &space,
+                                       const ml::EnergyModel &energy)
+    : _space(space), _energy(energy)
+{
+}
+
+HillClimbResult
+HillClimbOptimizer::optimize(const ml::PerfPowerPredictor &pred,
+                             const ml::PredictionQuery &q,
+                             Seconds headroom,
+                             const hw::HwConfig &start) const
+{
+    std::size_t evals = 0;
+    auto evaluate = [&](const hw::HwConfig &c) {
+        ++evals;
+        const auto e = _energy.estimate(pred, q, c);
+        return Eval{e.time, e.energy};
+    };
+
+    hw::HwConfig cur = start;
+    Eval cur_eval = evaluate(cur);
+    bool cur_ok = cur_eval.time <= headroom;
+
+    // A move is an improvement if it establishes/keeps feasibility with
+    // lower energy, or - while infeasible - recovers meaningful time
+    // (the 0.5% floor keeps the racer from burning CPU power on
+    // microsecond launch-latency gains).
+    auto better = [&](const Eval &cand) {
+        const bool cand_ok = cand.time <= headroom;
+        if (cur_ok)
+            return cand_ok && cand.energy < cur_eval.energy;
+        if (cand_ok)
+            return true;
+        return cand.time < cur_eval.time * 0.995;
+    };
+
+    // Energy sensitivity per knob: one single-step probe each, toward
+    // the lower-performance level when possible.
+    std::array<std::pair<double, hw::Knob>, hw::numKnobs> sens;
+    for (std::size_t ki = 0; ki < hw::allKnobs.size(); ++ki) {
+        const hw::Knob k = hw::allKnobs[ki];
+        const int level = _space.levelOf(cur, k);
+        const int probe_level = level > 0 ? level - 1 : level + 1;
+        double s = 0.0;
+        if (probe_level >= 0 && probe_level < _space.levels(k)) {
+            const auto probe =
+                evaluate(_space.withLevel(cur, k, probe_level));
+            s = std::fabs(probe.energy - cur_eval.energy);
+        }
+        sens[ki] = {s, k};
+    }
+    std::sort(sens.begin(), sens.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+
+    for (const auto &[unused, knob] : sens) {
+        (void)unused;
+        // Pick the climbing direction by probing both neighbours, then
+        // keep stepping while the move keeps improving.
+        for (int dir : {-1, +1}) {
+            bool moved_this_dir = false;
+            for (;;) {
+                const int next = _space.levelOf(cur, knob) + dir;
+                if (next < 0 || next >= _space.levels(knob))
+                    break;
+                const auto cand_cfg = _space.withLevel(cur, knob, next);
+                const auto cand = evaluate(cand_cfg);
+                if (!better(cand))
+                    break;
+                cur = cand_cfg;
+                cur_eval = cand;
+                cur_ok = cur_eval.time <= headroom;
+                moved_this_dir = true;
+            }
+            // If we improved going down, don't also try up: the start
+            // point is already better than its upper neighbour.
+            if (moved_this_dir)
+                break;
+        }
+    }
+
+    HillClimbResult out;
+    out.config = cur;
+    out.predictedTime = cur_eval.time;
+    out.predictedEnergy = cur_eval.energy;
+    out.evaluations = evals;
+    out.feasible = cur_ok;
+    return out;
+}
+
+} // namespace gpupm::mpc

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Greedy hill-climbing configuration search (paper Sec. IV-A1a).
+ *
+ * Instead of scanning the full configuration space, the optimizer
+ * estimates the energy sensitivity of each knob (CPU, NB, GPU DVFS and
+ * CU count), sorts knobs by decreasing sensitivity, and climbs each
+ * knob while the predicted energy keeps decreasing and the predicted
+ * execution time stays within the available headroom. This reduces the
+ * number of energy evaluations from |cpu|x|nb|x|gpu|x|cu| = 336 to the
+ * order of |cpu|+|nb|+|gpu|+|cu| = 18, the 19x factor cited in the
+ * paper.
+ */
+
+#pragma once
+
+#include "hw/config.hpp"
+#include "ml/energy.hpp"
+
+namespace gpupm::mpc {
+
+/** Outcome of one greedy optimization. */
+struct HillClimbResult
+{
+    hw::HwConfig config;
+    Seconds predictedTime = 0.0;
+    Joules predictedEnergy = 0.0;
+    std::size_t evaluations = 0;
+    /** predictedTime <= headroom; the caller falls back otherwise. */
+    bool feasible = false;
+};
+
+class HillClimbOptimizer
+{
+  public:
+    HillClimbOptimizer(const hw::ConfigSpace &space,
+                       const ml::EnergyModel &energy);
+
+    /**
+     * Minimize predicted energy subject to predicted time <= headroom.
+     *
+     * @param pred Performance/power predictor.
+     * @param q Kernel being optimized.
+     * @param headroom Time budget for this kernel (may be negative when
+     *        the run is behind target; the search then races).
+     * @param start Starting configuration.
+     */
+    HillClimbResult optimize(const ml::PerfPowerPredictor &pred,
+                             const ml::PredictionQuery &q,
+                             Seconds headroom,
+                             const hw::HwConfig &start) const;
+
+  private:
+    const hw::ConfigSpace &_space;
+    const ml::EnergyModel &_energy;
+};
+
+} // namespace gpupm::mpc

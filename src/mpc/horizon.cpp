@@ -1,0 +1,108 @@
+#include "mpc/horizon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace gpupm::mpc {
+
+void
+AdaptiveHorizonGenerator::configure(std::size_t n, double nbar,
+                                    Seconds t_ppk, Seconds t_total,
+                                    double alpha,
+                                    std::vector<Seconds> profiled_times)
+{
+    GPUPM_ASSERT(n > 0, "horizon generator needs N > 0");
+    GPUPM_ASSERT(nbar >= 1.0, "Nbar must be >= 1, got ", nbar);
+    GPUPM_ASSERT(t_total > 0.0, "baseline time must be positive");
+    _n = n;
+    _nbar = nbar;
+    _tppk = t_ppk;
+    _ttotal = t_total;
+    _alpha = alpha;
+
+    _pacePrefix.clear();
+    if (!profiled_times.empty()) {
+        GPUPM_ASSERT(profiled_times.size() == n,
+                     "pacing schedule must have one entry per kernel");
+        Seconds sum = 0.0;
+        for (Seconds t : profiled_times) {
+            GPUPM_ASSERT(t >= 0.0, "negative profiled time");
+            sum += t;
+        }
+        GPUPM_ASSERT(sum > 0.0, "profiled times sum to zero");
+        const double scale = t_total / sum;
+        Seconds prefix = 0.0;
+        _pacePrefix.reserve(n);
+        for (Seconds t : profiled_times) {
+            prefix += t * scale;
+            _pacePrefix.push_back(prefix);
+        }
+    }
+    beginRun();
+}
+
+void
+AdaptiveHorizonGenerator::beginRun()
+{
+    _elapsed = 0.0;
+    _horizonSum = 0.0;
+    _decisions = 0;
+}
+
+std::size_t
+AdaptiveHorizonGenerator::horizonFor(std::size_t index)
+{
+    GPUPM_ASSERT(configured(), "horizon generator not configured");
+    const double i = static_cast<double>(index + 1); // paper is 1-based
+    const double nd = static_cast<double>(_n);
+    const double tbar = _ttotal / nd;
+
+    // Baseline pace through kernel i and the expected time of kernel i
+    // itself: the paper's uniform i*Tbar, or the profiled schedule.
+    double pace, expected_i;
+    if (_pacePrefix.empty() || index >= _pacePrefix.size()) {
+        pace = i * tbar;
+        expected_i = tbar;
+    } else {
+        pace = _pacePrefix[index];
+        expected_i = index == 0
+                         ? _pacePrefix[0]
+                         : _pacePrefix[index] - _pacePrefix[index - 1];
+    }
+
+    double h;
+    if (_tppk <= 0.0) {
+        // Free optimization (limit studies): nothing bounds the horizon.
+        h = nd;
+    } else {
+        const double budget = (1.0 + _alpha) * pace - expected_i - _elapsed;
+        h = (nd / _nbar) * budget / _tppk;
+    }
+
+    const double clamped = std::clamp(std::floor(h), 0.0, nd);
+    auto out = static_cast<std::size_t>(clamped);
+    _horizonSum += clamped;
+    ++_decisions;
+    return out;
+}
+
+void
+AdaptiveHorizonGenerator::record(Seconds kernel_time, Seconds mpc_overhead)
+{
+    GPUPM_ASSERT(kernel_time >= 0.0 && mpc_overhead >= 0.0,
+                 "negative time accounting");
+    _elapsed += kernel_time + mpc_overhead;
+}
+
+double
+AdaptiveHorizonGenerator::averageHorizonFraction() const
+{
+    if (_decisions == 0 || _n == 0)
+        return 0.0;
+    return _horizonSum /
+           (static_cast<double>(_decisions) * static_cast<double>(_n));
+}
+
+} // namespace gpupm::mpc

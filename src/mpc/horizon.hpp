@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Adaptive prediction-horizon generator (paper Sec. IV-A4).
+ *
+ * Chooses a horizon length H_i for each upcoming kernel so that the
+ * total performance penalty - estimated MPC optimization overhead plus
+ * the time already spent - stays within a factor alpha of the baseline
+ * execution time so far:
+ *
+ *   H_i * (Nbar/N) * T_PPK + sum_{j<i}(T_j + T_MPC,j) + T_total/N
+ *   ------------------------------------------------------------ <= 1+alpha
+ *                     i * T_total / N
+ *
+ * Solving for H_i and flooring gives the horizon, bounded to [0, N].
+ * All inputs come from the initial profiling invocation: N, the average
+ * per-kernel horizon Nbar implied by the search order, and the total
+ * PPK optimization time T_PPK.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace gpupm::mpc {
+
+class AdaptiveHorizonGenerator
+{
+  public:
+    /**
+     * Install the profiling-run statistics.
+     *
+     * @param n Number of kernels N in the application.
+     * @param nbar Average per-kernel horizon length (search order).
+     * @param t_ppk Total PPK optimization time of the profiling run.
+     * @param t_total Baseline (target) execution time of the whole app.
+     * @param alpha Performance-loss bound (paper: 0.05).
+     * @param profiled_times Per-invocation times from the profiling
+     *        run. When non-empty, the pacing term uses these (rescaled
+     *        so they sum to t_total) instead of the paper's uniform
+     *        i*T_total/N, which systematically starves the horizon for
+     *        applications whose longest kernels come first. Pass empty
+     *        to get the paper's exact uniform pacing.
+     */
+    void configure(std::size_t n, double nbar, Seconds t_ppk,
+                   Seconds t_total, double alpha,
+                   std::vector<Seconds> profiled_times = {});
+
+    /** Reset per-run accumulators (call at each application start). */
+    void beginRun();
+
+    /**
+     * Horizon for the upcoming kernel with 0-based index @p index.
+     * Also logs the choice for the average-horizon statistic.
+     */
+    std::size_t horizonFor(std::size_t index);
+
+    /** Record actuals after the kernel completes. */
+    void record(Seconds kernel_time, Seconds mpc_overhead);
+
+    /** Average chosen horizon as a fraction of N (paper Fig. 15). */
+    double averageHorizonFraction() const;
+
+    bool configured() const { return _n > 0; }
+    std::size_t n() const { return _n; }
+
+  private:
+    std::size_t _n = 0;
+    double _nbar = 1.0;
+    Seconds _tppk = 0.0;
+    Seconds _ttotal = 0.0;
+    double _alpha = 0.05;
+
+    /** Prefix sums of the pacing schedule: pace(i) = sum_{j<=i} That_j. */
+    std::vector<Seconds> _pacePrefix;
+
+    Seconds _elapsed = 0.0; ///< sum_{j<i}(T_j + T_MPC,j) this run.
+    double _horizonSum = 0.0;
+    std::size_t _decisions = 0;
+};
+
+} // namespace gpupm::mpc

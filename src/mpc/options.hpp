@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Configuration of the MPC power-management governor.
+ */
+
+#pragma once
+
+#include "hw/config.hpp"
+#include "policy/overhead.hpp"
+
+namespace gpupm::mpc {
+
+/** How the prediction horizon is chosen per kernel. */
+enum class HorizonMode
+{
+    /** Paper Sec. IV-A4: bound total performance loss to alpha. */
+    Adaptive,
+    /** Always optimize over all remaining known kernels (Sec. VI-E). */
+    Full,
+    /** Constant horizon length (ablation). */
+    Fixed,
+};
+
+struct MpcOptions
+{
+    /** Performance-loss bound for the adaptive horizon (paper: 5%). */
+    double alpha = 0.05;
+
+    HorizonMode horizonMode = HorizonMode::Adaptive;
+
+    /** Horizon length when horizonMode == Fixed. */
+    std::size_t fixedHorizon = 4;
+
+    /** Charge modeled decision latency (off for limit studies). */
+    bool chargeOverhead = true;
+
+    /**
+     * Pace the adaptive-horizon budget with the paper's uniform
+     * i*T_total/N term instead of the profiled per-kernel schedule.
+     * Uniform pacing starves the horizon when an application's longest
+     * kernels come first (the pace deficit looks like performance
+     * loss); kept as an option for the ablation bench.
+     */
+    bool uniformPacing = false;
+
+    /**
+     * Use measured kernel times as feedback in the performance tracker
+     * (paper Eq. 4/5). When disabled (ablation), the tracker trusts its
+     * own predictions and cannot recover from mispredictions.
+     */
+    bool useFeedback = true;
+
+    policy::OverheadModel overhead{};
+
+    /** Search space; the paper's 336-point space by default. */
+    hw::ConfigSpaceOptions searchSpace{};
+};
+
+} // namespace gpupm::mpc

@@ -1,0 +1,46 @@
+#include "mpc/performance_tracker.hpp"
+
+#include "common/logging.hpp"
+
+namespace gpupm::mpc {
+
+void
+PerformanceTracker::reset(Throughput target)
+{
+    GPUPM_ASSERT(target >= 0.0, "negative target throughput");
+    _target = target;
+    _insts = 0.0;
+    _time = 0.0;
+}
+
+void
+PerformanceTracker::record(InstCount insts, Seconds time)
+{
+    GPUPM_ASSERT(insts >= 0.0 && time >= 0.0,
+                 "negative kernel accounting: I=", insts, " T=", time);
+    _insts += insts;
+    _time += time;
+}
+
+Seconds
+PerformanceTracker::headroom(InstCount expected_insts) const
+{
+    GPUPM_ASSERT(_target > 0.0, "headroom needs a positive target");
+    return (_insts + expected_insts) / _target - _time;
+}
+
+Throughput
+PerformanceTracker::achievedThroughput() const
+{
+    return _time > 0.0 ? _insts / _time : 0.0;
+}
+
+bool
+PerformanceTracker::onTarget() const
+{
+    if (_time <= 0.0)
+        return true;
+    return achievedThroughput() >= _target;
+}
+
+} // namespace gpupm::mpc

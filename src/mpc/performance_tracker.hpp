@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Performance tracker (paper Sec. IV-A1b, Eqs. 4 and 5).
+ *
+ * Maintains the cumulative instruction count and execution time of
+ * completed kernels (including charged optimization overheads) and
+ * derives the execution-time headroom available to the optimizer:
+ *
+ *   E[T_i] <= (sum_j I_j + E[I_i]) / (I_total / T_total) - sum_j T_j
+ *
+ * Significant slack lets the optimizer aggressively save energy; little
+ * slack forces conservative, higher-performance configurations.
+ */
+
+#pragma once
+
+#include "common/units.hpp"
+
+namespace gpupm::mpc {
+
+class PerformanceTracker
+{
+  public:
+    /** Start a run against a throughput target (insts/s). */
+    void reset(Throughput target);
+
+    /** Record a completed kernel: instructions and elapsed time. */
+    void record(InstCount insts, Seconds time);
+
+    /**
+     * Time headroom for a kernel expected to retire @p expected_insts
+     * instructions (Eq. 5). May be negative when behind target.
+     */
+    Seconds headroom(InstCount expected_insts) const;
+
+    /** Accumulated throughput so far; 0 before any kernel. */
+    Throughput achievedThroughput() const;
+
+    /** Whether the run so far is at or above the target. */
+    bool onTarget() const;
+
+    Throughput target() const { return _target; }
+    InstCount instructions() const { return _insts; }
+    Seconds time() const { return _time; }
+
+  private:
+    Throughput _target = 0.0;
+    InstCount _insts = 0.0;
+    Seconds _time = 0.0;
+};
+
+} // namespace gpupm::mpc

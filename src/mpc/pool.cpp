@@ -1,0 +1,58 @@
+#include "mpc/pool.hpp"
+
+#include "common/logging.hpp"
+
+namespace gpupm::mpc {
+
+MpcGovernorPool::MpcGovernorPool(
+    std::shared_ptr<const ml::PerfPowerPredictor> predictor,
+    const MpcOptions &opts, const hw::ApuParams &params)
+    : _predictor(std::move(predictor)), _opts(opts), _params(params)
+{
+    GPUPM_ASSERT(_predictor != nullptr, "pool needs a predictor");
+}
+
+void
+MpcGovernorPool::beginRun(const std::string &app_name, Throughput target)
+{
+    auto it = _governors.find(app_name);
+    if (it == _governors.end()) {
+        it = _governors
+                 .emplace(app_name, std::make_unique<MpcGovernor>(
+                                        _predictor, _opts, _params))
+                 .first;
+    }
+    _active = it->second.get();
+    _active->beginRun(app_name, target);
+}
+
+sim::Decision
+MpcGovernorPool::decide(std::size_t index)
+{
+    GPUPM_ASSERT(_active != nullptr, "decide before beginRun");
+    return _active->decide(index);
+}
+
+void
+MpcGovernorPool::observe(const sim::Observation &obs)
+{
+    GPUPM_ASSERT(_active != nullptr, "observe before beginRun");
+    _active->observe(obs);
+}
+
+bool
+MpcGovernorPool::knows(const std::string &app_name) const
+{
+    return _governors.contains(app_name);
+}
+
+const MpcGovernor &
+MpcGovernorPool::governorFor(const std::string &app_name) const
+{
+    auto it = _governors.find(app_name);
+    if (it == _governors.end())
+        GPUPM_FATAL("pool has never seen application '", app_name, "'");
+    return *it->second;
+}
+
+} // namespace gpupm::mpc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Multi-application governor pool.
+ *
+ * A deployed power manager serves whatever application the user runs
+ * next; the paper's framework keeps per-application state (patterns,
+ * search order, profiling statistics). The pool owns one MpcGovernor
+ * per application, creating it on first encounter and routing the
+ * decide/observe stream to the governor of the application currently
+ * executing - so learned state survives across interleaved runs of
+ * different applications, as in the paper's repeated-execution study.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "mpc/governor.hpp"
+
+namespace gpupm::mpc {
+
+class MpcGovernorPool : public sim::Governor
+{
+  public:
+    MpcGovernorPool(std::shared_ptr<const ml::PerfPowerPredictor>
+                        predictor,
+                    const MpcOptions &opts = {},
+                    const hw::ApuParams &params =
+                        hw::ApuParams::defaults());
+
+    std::string name() const override { return "MPC pool"; }
+
+    void beginRun(const std::string &app_name,
+                  Throughput target) override;
+
+    sim::Decision decide(std::size_t index) override;
+
+    void observe(const sim::Observation &obs) override;
+
+    /** Number of applications encountered so far. */
+    std::size_t applicationCount() const { return _governors.size(); }
+
+    /** Whether the named application has been seen. */
+    bool knows(const std::string &app_name) const;
+
+    /**
+     * The governor serving @p app_name; fatal if never encountered.
+     * Exposed for statistics (runStats, kernelCount).
+     */
+    const MpcGovernor &governorFor(const std::string &app_name) const;
+
+  private:
+    std::shared_ptr<const ml::PerfPowerPredictor> _predictor;
+    MpcOptions _opts;
+    hw::ApuParams _params;
+    std::unordered_map<std::string, std::unique_ptr<MpcGovernor>>
+        _governors;
+    MpcGovernor *_active = nullptr;
+};
+
+} // namespace gpupm::mpc

@@ -1,0 +1,68 @@
+#include "policy/oracle.hpp"
+
+#include "common/logging.hpp"
+
+namespace gpupm::policy {
+
+TheoreticallyOptimalGovernor::TheoreticallyOptimalGovernor(
+    const workload::Application &app, const hw::ApuParams &params,
+    std::size_t time_bins, const hw::ConfigSpaceOptions &space_opts)
+    : _app(app), _model(params), _space(space_opts),
+      _timeBins(time_bins)
+{
+}
+
+void
+TheoreticallyOptimalGovernor::beginRun(const std::string &app_name,
+                                       Throughput target)
+{
+    GPUPM_ASSERT(app_name == _app.name, "oracle for '", _app.name,
+                 "' run on '", app_name, "'");
+    GPUPM_ASSERT(target > 0.0,
+                 "Theoretically Optimal needs a performance target");
+    if (target != _plannedTarget) {
+        computePlan(target);
+        _plannedTarget = target;
+    }
+}
+
+void
+TheoreticallyOptimalGovernor::computePlan(Throughput target)
+{
+    // One option per (invocation, configuration): ground-truth time and
+    // chip-wide energy. Budget follows from Eq. 1: sum(I)/sum(T) >=
+    // target  <=>  sum(T) <= sum(I)/target.
+    std::vector<std::vector<KnapsackOption>> items;
+    items.reserve(_app.trace.size());
+    for (const auto &inv : _app.trace) {
+        std::vector<KnapsackOption> options;
+        options.reserve(_space.size());
+        for (std::size_t ci = 0; ci < _space.size(); ++ci) {
+            const auto &c = _space.at(ci);
+            const auto est = _model.estimate(inv.params, c);
+            const auto pb = _model.powerModel().steadyStatePower(
+                c, _model.activity(est));
+            options.push_back({est.time, pb.total() * est.time, ci});
+        }
+        items.push_back(std::move(options));
+    }
+
+    const Seconds budget = _app.totalInstructions() / target;
+    const auto sol = solveMinEnergy(items, budget, _timeBins);
+    _feasible = sol.feasible;
+
+    _plan.clear();
+    _plan.reserve(sol.choice.size());
+    for (auto ci : sol.choice)
+        _plan.push_back(_space.at(ci));
+}
+
+sim::Decision
+TheoreticallyOptimalGovernor::decide(std::size_t index)
+{
+    GPUPM_ASSERT(index < _plan.size(), "invocation ", index,
+                 " beyond planned trace of ", _plan.size());
+    return {_plan[index], 0.0};
+}
+
+} // namespace gpupm::policy

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Theoretically Optimal (TO) governor (paper Secs. II-E, III).
+ *
+ * An impractical reference scheme with perfect knowledge of the full
+ * future kernel trace and of every kernel's behaviour at every hardware
+ * configuration. It plans, before the run, the per-invocation
+ * configuration assignment that minimizes total chip-wide energy while
+ * keeping total kernel throughput at or above the baseline target, and
+ * replays that plan with zero overhead.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "kernel/perf_model.hpp"
+#include "policy/knapsack.hpp"
+#include "sim/governor.hpp"
+#include "workload/trace.hpp"
+
+namespace gpupm::policy {
+
+class TheoreticallyOptimalGovernor : public sim::Governor
+{
+  public:
+    /**
+     * @param app The application this oracle is specialized for.
+     * @param params APU model parameters.
+     * @param time_bins DP discretization (see solveMinEnergy).
+     * @param space_opts Search space (the paper's 336 points default).
+     */
+    explicit TheoreticallyOptimalGovernor(
+        const workload::Application &app,
+        const hw::ApuParams &params = hw::ApuParams::defaults(),
+        std::size_t time_bins = 6000,
+        const hw::ConfigSpaceOptions &space_opts = {});
+
+    std::string name() const override { return "Theoretically Optimal"; }
+
+    void beginRun(const std::string &app_name,
+                  Throughput target) override;
+
+    sim::Decision decide(std::size_t index) override;
+
+    /** Whether the planned assignment met the time budget. */
+    bool planFeasible() const { return _feasible; }
+
+    /** The planned configuration for each invocation. */
+    const std::vector<hw::HwConfig> &plan() const { return _plan; }
+
+  private:
+    void computePlan(Throughput target);
+
+    const workload::Application &_app;
+    kernel::GroundTruthModel _model;
+    hw::ConfigSpace _space;
+    std::size_t _timeBins;
+    std::vector<hw::HwConfig> _plan;
+    bool _feasible = false;
+    Throughput _plannedTarget = -1.0;
+};
+
+} // namespace gpupm::policy

@@ -1,0 +1,11 @@
+#include "policy/overhead.hpp"
+
+namespace gpupm::policy {
+
+OverheadModel
+OverheadModel::free()
+{
+    return OverheadModel{0.0, 0.0};
+}
+
+} // namespace gpupm::policy

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Decision-latency model for software governors.
+ *
+ * The paper charges the full optimization latency to the run (worst
+ * case: back-to-back kernels, no idle CPU; Sec. V). The dominant cost of
+ * both PPK and MPC is predictor evaluations (Random Forest inference),
+ * so latency is modeled as a fixed per-decision component plus a
+ * per-evaluation component. The constants are calibrated so the modeled
+ * MPC overheads land in the range the paper measures for its deployed
+ * implementation (Fig. 14: <=0.53% energy, <=1.2% performance);
+ * bench_micro_runtime reports what the same operations cost on the
+ * simulation host, where the un-tuned Random Forest is ~100x slower
+ * per query than the modeled production predictor.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace gpupm::policy {
+
+struct OverheadModel
+{
+    /** Cost of a single predictor (time+power+energy) evaluation. */
+    Seconds perEvaluation = 0.05e-6;
+    /** Fixed per-decision cost: bookkeeping, pattern lookup, sorting. */
+    Seconds perDecisionFixed = 2e-6;
+
+    /** Latency of a decision that made @p evaluations model queries. */
+    Seconds
+    cost(std::size_t evaluations) const
+    {
+        return perDecisionFixed +
+               perEvaluation * static_cast<double>(evaluations);
+    }
+
+    /** A zero-cost model (for oracle/limit studies). */
+    static OverheadModel free();
+};
+
+} // namespace gpupm::policy

@@ -1,0 +1,84 @@
+#include "policy/ppk.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace gpupm::policy {
+
+PpkGovernor::PpkGovernor(
+    std::shared_ptr<const ml::PerfPowerPredictor> predictor,
+    const PpkOptions &opts, const hw::ApuParams &params)
+    : _predictor(std::move(predictor)), _opts(opts), _energy(params),
+      _space(opts.searchSpace)
+{
+    GPUPM_ASSERT(_predictor != nullptr, "PPK needs a predictor");
+}
+
+void
+PpkGovernor::beginRun(const std::string &, Throughput target)
+{
+    _target = target;
+    _cumInsts = 0.0;
+    _cumTime = 0.0;
+    _lastEvals = 0;
+    _last.reset();
+}
+
+sim::Decision
+PpkGovernor::decide(std::size_t)
+{
+    // First kernel: no counters yet, fall back to the fail-safe
+    // configuration (paper Sec. V-B).
+    if (!_last) {
+        _lastEvals = 0;
+        sim::Decision d{hw::ConfigSpace::failSafe(), 0.0};
+        return d;
+    }
+
+    ml::PredictionQuery q;
+    q.counters = _last->counters;
+    q.instructions = _last->instructions;
+    q.groundTruth = _last->truth;
+
+    const hw::HwConfig *best = nullptr;
+    double best_energy = std::numeric_limits<double>::infinity();
+
+    for (const auto &c : _space.all()) {
+        const auto est = _energy.estimate(*_predictor, q, c);
+        // Eq. 2/4: cumulative throughput including the predicted next
+        // kernel must stay at or above the target.
+        const double projected =
+            (_cumInsts + q.instructions) / (_cumTime + est.time);
+        if (_target > 0.0 && projected < _target)
+            continue;
+        if (est.energy < best_energy) {
+            best_energy = est.energy;
+            best = &c;
+        }
+    }
+    _lastEvals = _space.size();
+
+    // When no configuration is predicted to meet the target, default to
+    // the fail-safe configuration (Sec. IV-A1a): near-maximal GPU
+    // performance with the busy-waiting CPU kept low.
+    const hw::HwConfig chosen =
+        best ? *best : hw::ConfigSpace::failSafe();
+
+    sim::Decision d;
+    d.config = chosen;
+    d.overheadTime =
+        _opts.chargeOverhead ? _opts.overhead.cost(_lastEvals) : 0.0;
+    return d;
+}
+
+void
+PpkGovernor::observe(const sim::Observation &obs)
+{
+    _cumInsts += obs.measurement.instructions;
+    _cumTime += obs.measurement.time + obs.nonKernelTime;
+    _last = LastKernel{obs.measurement.counters,
+                       obs.measurement.instructions, obs.kernelTruth};
+}
+
+} // namespace gpupm::policy

@@ -1,0 +1,4 @@
+#include "policy/static_governor.hpp"
+
+// StaticGovernor is header-only; this translation unit anchors the
+// library target.

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fixed-configuration governor: runs every kernel at one configuration
+ * with zero decision overhead. Used for characterization sweeps
+ * (Fig. 2), tests and examples.
+ */
+
+#pragma once
+
+#include "sim/governor.hpp"
+
+namespace gpupm::policy {
+
+class StaticGovernor : public sim::Governor
+{
+  public:
+    explicit StaticGovernor(const hw::HwConfig &config)
+        : _config(config)
+    {
+    }
+
+    std::string
+    name() const override
+    {
+        return "Static " + _config.toString();
+    }
+
+    sim::Decision
+    decide(std::size_t) override
+    {
+        return {_config, 0.0};
+    }
+
+  private:
+    hw::HwConfig _config;
+};
+
+} // namespace gpupm::policy

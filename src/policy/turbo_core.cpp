@@ -1,0 +1,68 @@
+#include "policy/turbo_core.hpp"
+
+#include "hw/dvfs.hpp"
+
+namespace gpupm::policy {
+
+TurboCoreGovernor::TurboCoreGovernor(const hw::ApuParams &params)
+    : _params(params), _power(params),
+      _current(hw::ConfigSpace::maxPerformance())
+{
+}
+
+void
+TurboCoreGovernor::beginRun(const std::string &, Throughput)
+{
+    _lastTotalPower = 0.0;
+    _current = hw::ConfigSpace::maxPerformance();
+}
+
+sim::Decision
+TurboCoreGovernor::decide(std::size_t)
+{
+    // Estimated CPU dynamic-power drop between adjacent P-states.
+    auto step_power = [&](int cpu) {
+        const auto &hi = hw::cpuDvfs(static_cast<hw::CpuPState>(cpu));
+        const auto &lo = hw::cpuDvfs(static_cast<hw::CpuPState>(cpu + 1));
+        return _params.cpuCeff * _params.cpuBusyWaitActivity *
+               (hi.voltage * hi.voltage * mhzToHz(hi.freq) -
+                lo.voltage * lo.voltage * mhzToHz(lo.freq));
+    };
+
+    // Race-to-idle at the highest states; shed CPU P-states (shifting
+    // package power toward the loaded GPU) when the recent package
+    // power exceeds the TDP. Recover one state at a time, and only
+    // when the projected power stays inside the budget - re-boosting
+    // straight to P1 would just oscillate around the TDP.
+    hw::HwConfig cfg = _current;
+    cfg.nb = hw::NbPState::NB0;
+    cfg.gpu = hw::GpuPState::DPM4;
+    cfg.cus = 8;
+
+    int cpu = static_cast<int>(cfg.cpu);
+    if (_lastTotalPower > _params.tdp) {
+        Watts overshoot = _lastTotalPower - _params.tdp;
+        while (overshoot > 0.0 && cpu < hw::numCpuPStates - 1) {
+            overshoot -= step_power(cpu);
+            ++cpu;
+        }
+    } else if (cpu > 0 && _lastTotalPower > 0.0 &&
+               _lastTotalPower + step_power(cpu - 1) <=
+                   _params.tdp * 0.98) {
+        --cpu; // headroom: raise one state with a 2% guard band
+    } else if (_lastTotalPower == 0.0) {
+        cpu = 0; // no utilization history yet: boost
+    }
+    cfg.cpu = static_cast<hw::CpuPState>(cpu);
+    _current = cfg;
+    return {cfg, 0.0}; // firmware: no software latency charged
+}
+
+void
+TurboCoreGovernor::observe(const sim::Observation &obs)
+{
+    _lastTotalPower =
+        obs.measurement.cpuPower + obs.measurement.gpuPower;
+}
+
+} // namespace gpupm::policy

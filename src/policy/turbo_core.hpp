@@ -1,0 +1,44 @@
+/**
+ * @file
+ * AMD Turbo Core baseline (paper Sec. V-B).
+ *
+ * A state-of-the-practice utilization/TDP-driven policy: it keeps the
+ * CPU and GPU at their highest DVFS states while the package stays
+ * within TDP (the CPU busy-waits during kernels, which Turbo Core reads
+ * as high utilization, so it does not drop CPU states), and sheds CPU
+ * P-states first - shifting power toward the loaded GPU - when the
+ * package would exceed TDP. Decisions are made in firmware, so no
+ * software overhead is charged.
+ */
+
+#pragma once
+
+#include "hw/power_model.hpp"
+#include "sim/governor.hpp"
+
+namespace gpupm::policy {
+
+class TurboCoreGovernor : public sim::Governor
+{
+  public:
+    explicit TurboCoreGovernor(
+        const hw::ApuParams &params = hw::ApuParams::defaults());
+
+    std::string name() const override { return "Turbo Core"; }
+
+    void beginRun(const std::string &app_name,
+                  Throughput target) override;
+
+    sim::Decision decide(std::size_t index) override;
+
+    void observe(const sim::Observation &obs) override;
+
+  private:
+    hw::ApuParams _params;
+    hw::PowerModel _power;
+    /** Last observed total package power (the utilization signal). */
+    Watts _lastTotalPower = 0.0;
+    hw::HwConfig _current;
+};
+
+} // namespace gpupm::policy

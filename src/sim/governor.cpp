@@ -1,0 +1,17 @@
+#include "sim/governor.hpp"
+
+namespace gpupm::sim {
+
+Governor::~Governor() = default;
+
+void
+Governor::beginRun(const std::string &, Throughput)
+{
+}
+
+void
+Governor::observe(const Observation &)
+{
+}
+
+} // namespace gpupm::sim

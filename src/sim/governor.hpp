@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Power-management governor interface.
+ *
+ * A governor is consulted between kernel invocations: it picks the
+ * hardware configuration for the upcoming kernel (possibly spending
+ * modeled decision time on the host CPU) and afterwards observes what
+ * actually happened, closing the feedback loop (paper Fig. 6).
+ *
+ * Governors must not inspect the application trace; everything they
+ * learn arrives through observations. Oracle schemes (Theoretically
+ * Optimal, the Sec. II-E limit study) are constructed with the trace
+ * explicitly and are documented as impractical references.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "hw/config.hpp"
+#include "kernel/apu.hpp"
+
+namespace gpupm::sim {
+
+/** A governor's decision for one upcoming kernel invocation. */
+struct Decision
+{
+    hw::HwConfig config;
+    /**
+     * Modeled host-side decision latency charged to the run (the paper
+     * assumes the worst case: kernels are back-to-back, so optimization
+     * time is exposed; Sec. V).
+     */
+    Seconds overheadTime = 0.0;
+};
+
+/** What the governor learns after an invocation completes. */
+struct Observation
+{
+    std::size_t index = 0; ///< Invocation index within the run.
+    char tag = 'A';        ///< Static kernel tag (diagnostics only).
+    kernel::KernelMeasurement measurement;
+    /**
+     * Non-kernel wall time attributable to this invocation: the host
+     * CPU phase plus the governor's exposed decision latency. Policies
+     * fold it into their cumulative-throughput accounting (Eq. 4) so
+     * their view matches the platform's.
+     */
+    Seconds nonKernelTime = 0.0;
+    /**
+     * Ground-truth identity of the executed kernel. Provided so that
+     * oracle-family predictors can be driven through the same governor
+     * code; counter-driven governors must not dereference it except to
+     * forward it in PredictionQuery::groundTruth.
+     */
+    const kernel::KernelParams *kernelTruth = nullptr;
+};
+
+/** Abstract DVFS/CU governor. */
+class Governor
+{
+  public:
+    virtual ~Governor();
+
+    /** Display name ("Turbo Core", "PPK", "MPC", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Called when an application run starts (also on re-execution).
+     *
+     * @param app_name Application identifier (for per-app state).
+     * @param target_throughput The performance target I_total/T_total
+     *        measured on the baseline scheme; 0 if not applicable.
+     */
+    virtual void beginRun(const std::string &app_name,
+                          Throughput target_throughput);
+
+    /** Configuration for invocation @p index. */
+    virtual Decision decide(std::size_t index) = 0;
+
+    /** Feedback after invocation @p obs.index completed. */
+    virtual void observe(const Observation &obs);
+};
+
+} // namespace gpupm::sim

@@ -1,0 +1,57 @@
+#include "sim/metrics.hpp"
+
+#include "common/logging.hpp"
+
+namespace gpupm::sim {
+
+namespace {
+
+void
+checkComparable(const RunResult &ref, const RunResult &x)
+{
+    GPUPM_ASSERT(ref.totalEnergy() > 0.0 && ref.totalTime() > 0.0,
+                 "reference run is empty");
+    GPUPM_ASSERT(ref.appName == x.appName,
+                 "comparing different applications: ", ref.appName,
+                 " vs ", x.appName);
+}
+
+} // namespace
+
+double
+energySavingsPct(const RunResult &ref, const RunResult &x)
+{
+    checkComparable(ref, x);
+    return 100.0 * (1.0 - x.totalEnergy() / ref.totalEnergy());
+}
+
+double
+gpuEnergySavingsPct(const RunResult &ref, const RunResult &x)
+{
+    checkComparable(ref, x);
+    return 100.0 * (1.0 - x.gpuEnergy / ref.gpuEnergy);
+}
+
+double
+speedup(const RunResult &ref, const RunResult &x)
+{
+    checkComparable(ref, x);
+    GPUPM_ASSERT(x.totalTime() > 0.0, "zero run time");
+    return ref.totalTime() / x.totalTime();
+}
+
+double
+overheadEnergyPct(const RunResult &ref, const RunResult &x)
+{
+    checkComparable(ref, x);
+    return 100.0 * x.overheadEnergy / ref.totalEnergy();
+}
+
+double
+overheadTimePct(const RunResult &ref, const RunResult &x)
+{
+    checkComparable(ref, x);
+    return 100.0 * x.overheadTime / ref.totalTime();
+}
+
+} // namespace gpupm::sim

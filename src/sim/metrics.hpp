@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Comparison metrics used throughout the paper's evaluation: energy
+ * savings and speedup of a scheme relative to a reference run.
+ */
+
+#pragma once
+
+#include "sim/simulator.hpp"
+
+namespace gpupm::sim {
+
+/** Chip-wide energy savings of @p x vs @p ref, in percent. */
+double energySavingsPct(const RunResult &ref, const RunResult &x);
+
+/** GPU-plane energy savings of @p x vs @p ref, in percent (Fig. 10). */
+double gpuEnergySavingsPct(const RunResult &ref, const RunResult &x);
+
+/** Speedup of @p x vs @p ref on total time including overheads. */
+double speedup(const RunResult &ref, const RunResult &x);
+
+/** Decision-overhead energy as a percentage of @p ref energy. */
+double overheadEnergyPct(const RunResult &ref, const RunResult &x);
+
+/** Decision-overhead time as a percentage of @p ref total time. */
+double overheadTimePct(const RunResult &ref, const RunResult &x);
+
+} // namespace gpupm::sim

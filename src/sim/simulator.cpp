@@ -1,0 +1,114 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/logging.hpp"
+
+namespace gpupm::sim {
+
+Simulator::Simulator(const hw::ApuParams &params) : _params(params) {}
+
+RunResult
+Simulator::run(const workload::Application &app, Governor &governor,
+               Throughput target_throughput)
+{
+    GPUPM_ASSERT(!app.trace.empty(), "application '", app.name,
+                 "' has an empty trace");
+
+    kernel::Apu apu(_params);
+    governor.beginRun(app.name, target_throughput);
+
+    // Platform DVFS state across the run; the first decision sets it
+    // without charge (the launch configuration is applied while the
+    // application is still loading).
+    std::optional<hw::HwConfig> platform_config;
+
+    RunResult result;
+    result.appName = app.name;
+    result.governorName = governor.name();
+    result.records.reserve(app.trace.size());
+
+    for (std::size_t i = 0; i < app.trace.size(); ++i) {
+        const auto &inv = app.trace[i];
+
+        const Decision decision = governor.decide(i);
+        GPUPM_ASSERT(decision.overheadTime >= 0.0,
+                     "negative decision overhead");
+
+        KernelRecord rec;
+        rec.index = i;
+        rec.tag = inv.tag;
+        rec.kernelName = inv.params.name;
+        rec.config = decision.config;
+
+        // A host CPU phase before the launch (Fig. 1). While it runs,
+        // an idle core can execute the governor, hiding its latency
+        // (Sec. VI-E); only the excess is exposed on the critical path.
+        rec.cpuPhaseTime = inv.cpuPhaseSeconds;
+        rec.hiddenOverheadTime =
+            std::min(decision.overheadTime, rec.cpuPhaseTime);
+        rec.overheadTime =
+            decision.overheadTime - rec.hiddenOverheadTime;
+
+        if (rec.cpuPhaseTime > 0.0) {
+            // The application phase keeps the CPU busy at the boost
+            // state (Turbo Core raises the CPU when it is loaded).
+            const auto phase = apu.runHost(
+                rec.cpuPhaseTime, hw::ConfigSpace::maxPerformance());
+            rec.cpuPhaseCpuEnergy = phase.cpuEnergy;
+            rec.cpuPhaseGpuEnergy = phase.gpuEnergy;
+        }
+        if (decision.overheadTime > 0.0) {
+            // The optimizer's energy is charged in full even when its
+            // latency hides inside the phase - the work still happens.
+            const auto host = apu.runHost(decision.overheadTime,
+                                          kernel::Apu::governorHostConfig());
+            rec.overheadCpuEnergy = host.cpuEnergy;
+            rec.overheadGpuEnergy = host.gpuEnergy;
+        }
+
+        if (platform_config && *platform_config != decision.config) {
+            const auto sw =
+                apu.reconfigure(*platform_config, decision.config);
+            rec.transitionTime = sw.time;
+            rec.transitionCpuEnergy = sw.cpuEnergy;
+            rec.transitionGpuEnergy = sw.gpuEnergy;
+        }
+        platform_config = decision.config;
+
+        const auto m = apu.run(inv.params, decision.config);
+        rec.kernelTime = m.time;
+        rec.kernelCpuEnergy = m.cpuEnergy;
+        rec.kernelGpuEnergy = m.gpuEnergy;
+        rec.instructions = m.instructions;
+
+        Observation obs;
+        obs.index = i;
+        obs.tag = inv.tag;
+        obs.measurement = m;
+        obs.kernelTruth = &inv.params;
+        obs.nonKernelTime =
+            rec.overheadTime + rec.cpuPhaseTime + rec.transitionTime;
+        governor.observe(obs);
+
+        result.kernelTime += rec.kernelTime;
+        result.overheadTime += rec.overheadTime;
+        result.cpuPhaseTime += rec.cpuPhaseTime;
+        result.transitionTime += rec.transitionTime;
+        result.cpuEnergy += rec.kernelCpuEnergy + rec.overheadCpuEnergy +
+                            rec.cpuPhaseCpuEnergy +
+                            rec.transitionCpuEnergy;
+        result.gpuEnergy += rec.kernelGpuEnergy + rec.overheadGpuEnergy +
+                            rec.cpuPhaseGpuEnergy +
+                            rec.transitionGpuEnergy;
+        result.overheadEnergy +=
+            rec.overheadCpuEnergy + rec.overheadGpuEnergy;
+        result.instructions += rec.instructions;
+        result.records.push_back(std::move(rec));
+    }
+
+    return result;
+}
+
+} // namespace gpupm::sim

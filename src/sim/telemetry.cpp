@@ -1,0 +1,142 @@
+#include "sim/telemetry.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace gpupm::sim {
+
+namespace {
+
+/** One piecewise-constant interval of the reconstructed timeline. */
+struct Interval
+{
+    Seconds duration;
+    Watts cpuPower;
+    Watts gpuPower;
+    std::size_t invocation;
+    PhaseKind phase;
+};
+
+std::vector<Interval>
+timelineOf(const RunResult &run)
+{
+    std::vector<Interval> out;
+    for (const auto &rec : run.records) {
+        if (rec.cpuPhaseTime > 0.0) {
+            out.push_back({rec.cpuPhaseTime,
+                           rec.cpuPhaseCpuEnergy / rec.cpuPhaseTime,
+                           rec.cpuPhaseGpuEnergy / rec.cpuPhaseTime,
+                           rec.index, PhaseKind::CpuPhase});
+        }
+        if (rec.overheadTime > 0.0) {
+            // Energy fields cover hidden + exposed latency; prorate to
+            // the exposed interval (power is identical either way).
+            const Seconds full =
+                rec.overheadTime + rec.hiddenOverheadTime;
+            out.push_back({rec.overheadTime,
+                           rec.overheadCpuEnergy / full,
+                           rec.overheadGpuEnergy / full, rec.index,
+                           PhaseKind::Governor});
+        }
+        if (rec.kernelTime > 0.0) {
+            out.push_back({rec.kernelTime,
+                           rec.kernelCpuEnergy / rec.kernelTime,
+                           rec.kernelGpuEnergy / rec.kernelTime,
+                           rec.index, PhaseKind::Kernel});
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TelemetryTrace
+TelemetryTrace::fromRun(const RunResult &run, const hw::ApuParams &params,
+                        Seconds interval)
+{
+    GPUPM_ASSERT(interval > 0.0, "sampling interval must be positive");
+
+    TelemetryTrace trace;
+    trace._interval = interval;
+
+    hw::ThermalModel thermal(params);
+    Seconds now = 0.0;
+    for (const auto &iv : timelineOf(run)) {
+        // Walk the interval in sampler ticks; the final partial tick
+        // is emitted with its true (shorter) duration so that energy
+        // integrates exactly.
+        Seconds remaining = iv.duration;
+        while (remaining > 0.0) {
+            const Seconds dt = std::min(remaining, interval);
+            const Celsius temp =
+                thermal.advance(iv.cpuPower + iv.gpuPower, dt);
+            now += dt;
+            remaining -= dt;
+
+            TelemetrySample s;
+            s.timestamp = now;
+            s.cpuPower = iv.cpuPower;
+            s.gpuPower = iv.gpuPower;
+            s.temperature = temp;
+            s.invocationIndex = iv.invocation;
+            s.phase = iv.phase;
+            trace._samples.push_back(s);
+
+            trace._cpuEnergy += iv.cpuPower * dt;
+            trace._gpuEnergy += iv.gpuPower * dt;
+        }
+    }
+    return trace;
+}
+
+Watts
+TelemetryTrace::peakPower() const
+{
+    Watts peak = 0.0;
+    for (const auto &s : _samples)
+        peak = std::max(peak, s.totalPower());
+    return peak;
+}
+
+Watts
+TelemetryTrace::averagePower() const
+{
+    if (_samples.empty())
+        return 0.0;
+    const Seconds end = _samples.back().timestamp;
+    return end > 0.0 ? totalEnergy() / end : 0.0;
+}
+
+Celsius
+TelemetryTrace::peakTemperature() const
+{
+    Celsius peak = 0.0;
+    for (const auto &s : _samples)
+        peak = std::max(peak, s.temperature);
+    return peak;
+}
+
+bool
+TelemetryTrace::exceedsTdp(Watts tdp) const
+{
+    for (const auto &s : _samples) {
+        if (s.totalPower() > tdp)
+            return true;
+    }
+    return false;
+}
+
+void
+TelemetryTrace::writeCsv(std::ostream &os) const
+{
+    os << "timestamp_ms,cpu_w,gpu_w,total_w,temp_c,invocation,phase\n";
+    for (const auto &s : _samples) {
+        os << s.timestamp * 1e3 << ',' << s.cpuPower << ','
+           << s.gpuPower << ',' << s.totalPower() << ','
+           << s.temperature << ',' << s.invocationIndex << ','
+           << static_cast<char>(s.phase) << '\n';
+    }
+}
+
+} // namespace gpupm::sim

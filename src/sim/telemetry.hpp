@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Power-controller telemetry (paper Sec. V).
+ *
+ * The paper samples CPU and GPU power from the APU's power-management
+ * controller at 1 ms intervals. This module reconstructs that sample
+ * stream from a simulated run: each invocation contributes its host
+ * CPU phase, its exposed optimization interval and its kernel interval
+ * at the measured average powers, and the package temperature is
+ * integrated across the timeline with the RC thermal model.
+ */
+
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "hw/thermal.hpp"
+#include "sim/simulator.hpp"
+
+namespace gpupm::sim {
+
+/** Execution interval kinds, as a telemetry annotation. */
+enum class PhaseKind : char
+{
+    CpuPhase = 'P', ///< Host work between kernels (Fig. 1).
+    Governor = 'O', ///< Exposed optimizer latency.
+    Kernel = 'K',   ///< GPU kernel execution.
+};
+
+/** One power-controller sample. */
+struct TelemetrySample
+{
+    Seconds timestamp = 0.0; ///< Sample time since run start.
+    Watts cpuPower = 0.0;
+    Watts gpuPower = 0.0; ///< GPU plane incl. NB and DRAM interface.
+    Celsius temperature = 0.0;
+    std::size_t invocationIndex = 0;
+    PhaseKind phase = PhaseKind::Kernel;
+
+    Watts totalPower() const { return cpuPower + gpuPower; }
+};
+
+/**
+ * A sampled run. Samples are taken at the *end* of each interval tick,
+ * with partial final ticks weighted by their true duration so that
+ * energy integrates exactly.
+ */
+class TelemetryTrace
+{
+  public:
+    /**
+     * Reconstruct the sample stream of @p run.
+     *
+     * @param run A completed simulation run.
+     * @param params APU parameters (thermal constants).
+     * @param interval Sampling interval; the paper uses 1 ms.
+     */
+    static TelemetryTrace fromRun(const RunResult &run,
+                                  const hw::ApuParams &params =
+                                      hw::ApuParams::defaults(),
+                                  Seconds interval = 1e-3);
+
+    const std::vector<TelemetrySample> &samples() const
+    {
+        return _samples;
+    }
+    Seconds interval() const { return _interval; }
+
+    /** Trapezoid-free exact integration (piecewise-constant power). */
+    Joules cpuEnergy() const { return _cpuEnergy; }
+    Joules gpuEnergy() const { return _gpuEnergy; }
+    Joules totalEnergy() const { return _cpuEnergy + _gpuEnergy; }
+
+    Watts peakPower() const;
+    Watts averagePower() const;
+    Celsius peakTemperature() const;
+
+    /** Whether any sample exceeds the package TDP. */
+    bool exceedsTdp(Watts tdp) const;
+
+    /** Emit "timestamp_ms,cpu_w,gpu_w,total_w,temp_c,invocation,phase". */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    std::vector<TelemetrySample> _samples;
+    Seconds _interval = 1e-3;
+    Joules _cpuEnergy = 0.0;
+    Joules _gpuEnergy = 0.0;
+};
+
+} // namespace gpupm::sim

@@ -1,0 +1,710 @@
+#include "workload/benchmarks.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "workload/pattern.hpp"
+
+namespace gpupm::workload {
+
+namespace {
+
+using kernel::Archetype;
+using kernel::KernelParams;
+
+/** Stable FNV-1a hash for per-kernel idiosyncrasy seeds. */
+std::uint64_t
+seedOf(const std::string &bench, char tag)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (char c : bench + ":" + tag) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** Append @p n invocations of @p k tagged @p tag. */
+void
+repeat(Application &app, const KernelParams &k, char tag, int n)
+{
+    for (int i = 0; i < n; ++i)
+        app.trace.push_back({k, tag});
+}
+
+/** Append one invocation. */
+void
+once(Application &app, const KernelParams &k, char tag)
+{
+    app.trace.push_back({k, tag});
+}
+
+Application
+mandelbulbGPU()
+{
+    Application app{"mandelbulbGPU", Category::Regular, "A20", {}};
+    KernelParams k{
+        .name = "mandelbulb",
+        .archetype = Archetype::ComputeBound,
+        .workItems = 2.1e6,
+        .valuInstsPerItem = 900.0,
+        .vfetchInstsPerItem = 6.0,
+        .bytesPerItem = 12.0,
+        .cacheHitBase = 0.75,
+        .computeMemOverlap = 0.05,
+        .launchCpuSeconds = 40e-6,
+        .idiosyncrasySeed = seedOf("mandelbulbGPU", 'A'),
+    };
+    repeat(app, k, 'A', 20);
+    return app;
+}
+
+Application
+nbody()
+{
+    Application app{"NBody", Category::Regular, "A10", {}};
+    KernelParams k{
+        .name = "nbody_sim",
+        .archetype = Archetype::ComputeBound,
+        .workItems = 1.05e6,
+        .valuInstsPerItem = 2600.0,
+        .vfetchInstsPerItem = 30.0,
+        .bytesPerItem = 24.0,
+        .cacheHitBase = 0.9,
+        .ldsBankConflict = 0.04,
+        .computeMemOverlap = 0.1,
+        .launchCpuSeconds = 45e-6,
+        .idiosyncrasySeed = seedOf("NBody", 'A'),
+    };
+    repeat(app, k, 'A', 10);
+    return app;
+}
+
+Application
+lbm()
+{
+    Application app{"lbm", Category::Regular, "A10", {}};
+    // Peak kernel: strong shared-cache interference beyond ~4-6 CUs, so
+    // both performance and energy optimum sit at a mid configuration
+    // (paper: 51% GPU energy savings because of peak behaviour).
+    KernelParams k{
+        .name = "lbm_stream_collide",
+        .archetype = Archetype::Peak,
+        .workItems = 1.3e6,
+        .valuInstsPerItem = 220.0,
+        .vfetchInstsPerItem = 40.0,
+        .bytesPerItem = 260.0,
+        .cacheHitBase = 0.88,
+        .cachePressure = 0.08,
+        .computeMemOverlap = 0.35,
+        .launchCpuSeconds = 50e-6,
+        .idiosyncrasySeed = seedOf("lbm", 'A'),
+    };
+    repeat(app, k, 'A', 10);
+    return app;
+}
+
+Application
+eigenValue()
+{
+    Application app{"EigenValue", Category::IrregularRepeating, "(AB)5",
+                    {}};
+    KernelParams a{
+        .name = "bisect_intervals",
+        .archetype = Archetype::ComputeBound,
+        .workItems = 4.2e6,
+        .valuInstsPerItem = 800.0,
+        .vfetchInstsPerItem = 12.0,
+        .bytesPerItem = 20.0,
+        .cacheHitBase = 0.6,
+        .computeMemOverlap = 0.15,
+        .launchCpuSeconds = 45e-6,
+        .idiosyncrasySeed = seedOf("EigenValue", 'A'),
+    };
+    KernelParams b{
+        .name = "merge_intervals",
+        .archetype = Archetype::Unscalable,
+        .workItems = 5e5,
+        .valuInstsPerItem = 60.0,
+        .vfetchInstsPerItem = 10.0,
+        .bytesPerItem = 120.0,
+        .cacheHitBase = 0.35,
+        .computeMemOverlap = 0.5,
+        .serialSeconds = 25e-3,
+        .serialGpuFreqSensitivity = 0.25,
+        .launchCpuSeconds = 45e-6,
+        .idiosyncrasySeed = seedOf("EigenValue", 'B'),
+    };
+    for (auto tag : expandPattern("(AB)5"))
+        once(app, tag == 'A' ? a : b, tag);
+    return app;
+}
+
+Application
+xsbench()
+{
+    Application app{"XSBench", Category::IrregularRepeating, "(ABC)2", {}};
+    KernelParams a{
+        .name = "xs_lookup",
+        .archetype = Archetype::MemoryBound,
+        .workItems = 8e6,
+        .valuInstsPerItem = 50.0,
+        .vfetchInstsPerItem = 15.0,
+        .bytesPerItem = 140.0,
+        .cacheHitBase = 0.12,
+        .computeMemOverlap = 0.25,
+        .launchCpuSeconds = 55e-6,
+        .idiosyncrasySeed = seedOf("XSBench", 'A'),
+    };
+    KernelParams b{
+        .name = "xs_interp",
+        .archetype = Archetype::ComputeBound,
+        .workItems = 2e6,
+        .valuInstsPerItem = 1500.0,
+        .vfetchInstsPerItem = 40.0,
+        .bytesPerItem = 36.0,
+        .cacheHitBase = 0.7,
+        .computeMemOverlap = 0.2,
+        .launchCpuSeconds = 55e-6,
+        .idiosyncrasySeed = seedOf("XSBench", 'B'),
+    };
+    KernelParams c{
+        .name = "xs_reduce",
+        .archetype = Archetype::Unscalable,
+        .workItems = 1e6,
+        .valuInstsPerItem = 100.0,
+        .vfetchInstsPerItem = 12.0,
+        .bytesPerItem = 60.0,
+        .cacheHitBase = 0.5,
+        .computeMemOverlap = 0.4,
+        .serialSeconds = 20e-3,
+        .launchCpuSeconds = 55e-6,
+        .idiosyncrasySeed = seedOf("XSBench", 'C'),
+    };
+    for (auto tag : expandPattern("(ABC)2"))
+        once(app, tag == 'A' ? a : (tag == 'B' ? b : c), tag);
+    return app;
+}
+
+Application
+spmv()
+{
+    Application app{"Spmv", Category::IrregularNonRepeating, "A10B10C10",
+                    {}};
+    // Three SpMV algorithms run 10x each; throughput transitions
+    // high -> medium -> low across the phases (paper Fig. 3).
+    KernelParams a{
+        .name = "spmv_csr_vector",
+        .archetype = Archetype::ComputeBound,
+        .workItems = 2.1e6,
+        .valuInstsPerItem = 120.0,
+        .vfetchInstsPerItem = 10.0,
+        .bytesPerItem = 28.0,
+        .cacheHitBase = 0.65,
+        .computeMemOverlap = 0.25,
+        .launchCpuSeconds = 35e-6,
+        .idiosyncrasySeed = seedOf("Spmv", 'A'),
+    };
+    KernelParams b{
+        .name = "spmv_csr_scalar",
+        .archetype = Archetype::MemoryBound,
+        .workItems = 2.1e6,
+        .valuInstsPerItem = 60.0,
+        .vfetchInstsPerItem = 12.0,
+        .bytesPerItem = 56.0,
+        .cacheHitBase = 0.45,
+        .computeMemOverlap = 0.3,
+        .launchCpuSeconds = 35e-6,
+        .idiosyncrasySeed = seedOf("Spmv", 'B'),
+    };
+    KernelParams c{
+        .name = "spmv_ellpack",
+        .archetype = Archetype::MemoryBound,
+        .workItems = 2.1e6,
+        .valuInstsPerItem = 30.0,
+        .vfetchInstsPerItem = 14.0,
+        .bytesPerItem = 80.0,
+        .cacheHitBase = 0.25,
+        .computeMemOverlap = 0.3,
+        .launchCpuSeconds = 35e-6,
+        .idiosyncrasySeed = seedOf("Spmv", 'C'),
+    };
+    repeat(app, a, 'A', 10);
+    repeat(app, b, 'B', 10);
+    repeat(app, c, 'C', 10);
+    return app;
+}
+
+Application
+kmeans()
+{
+    Application app{"kmeans", Category::IrregularNonRepeating, "AB20", {}};
+    // One low-throughput swap kernel dominates the start, then 20
+    // high-throughput kmeans iterations (Fig. 3: low-to-high).
+    KernelParams a{
+        .name = "kmeans_swap",
+        .archetype = Archetype::MemoryBound,
+        .workItems = 4e6,
+        .valuInstsPerItem = 60.0,
+        .vfetchInstsPerItem = 12.0,
+        .bytesPerItem = 100.0,
+        .cacheHitBase = 0.3,
+        .computeMemOverlap = 0.3,
+        .launchCpuSeconds = 40e-6,
+        .idiosyncrasySeed = seedOf("kmeans", 'A'),
+    };
+    KernelParams b{
+        .name = "kmeans_kernel",
+        .archetype = Archetype::ComputeBound,
+        .workItems = 1.4e6,
+        .valuInstsPerItem = 520.0,
+        .vfetchInstsPerItem = 20.0,
+        .bytesPerItem = 40.0,
+        .cacheHitBase = 0.6,
+        .computeMemOverlap = 0.2,
+        .launchCpuSeconds = 40e-6,
+        .idiosyncrasySeed = seedOf("kmeans", 'B'),
+    };
+    once(app, a, 'A');
+    repeat(app, b, 'B', 20);
+    return app;
+}
+
+Application
+swat()
+{
+    Application app{"swat", Category::IrregularInputVarying, "A18", {}};
+    // Smith-Waterman anti-diagonal wavefront: work ramps up then down.
+    KernelParams base{
+        .name = "swat_wavefront",
+        .archetype = Archetype::MemoryBound,
+        .workItems = 1.6e6,
+        .valuInstsPerItem = 180.0,
+        .vfetchInstsPerItem = 16.0,
+        .bytesPerItem = 56.0,
+        .cacheHitBase = 0.5,
+        .computeMemOverlap = 0.3,
+        .launchCpuSeconds = 35e-6,
+        .idiosyncrasySeed = seedOf("swat", 'A'),
+    };
+    for (int i = 0; i < 18; ++i) {
+        // Triangle ramp 0.2 .. 1.0 .. 0.2 over 18 invocations.
+        double frac = i < 9 ? (i + 1) / 9.0 : (18 - i) / 9.0;
+        double scale = 0.2 + 0.8 * frac;
+        once(app, base.withInputScale(scale, 0.05 * frac), 'A');
+    }
+    return app;
+}
+
+Application
+color()
+{
+    Application app{"color", Category::IrregularInputVarying, "A15", {}};
+    // Graph colouring: the uncoloured vertex set shrinks geometrically.
+    KernelParams base{
+        .name = "color_max_independent",
+        .archetype = Archetype::MemoryBound,
+        .workItems = 3e6,
+        .valuInstsPerItem = 45.0,
+        .vfetchInstsPerItem = 10.0,
+        .bytesPerItem = 88.0,
+        .cacheHitBase = 0.25,
+        .computeMemOverlap = 0.35,
+        .launchCpuSeconds = 30e-6,
+        .idiosyncrasySeed = seedOf("color", 'A'),
+    };
+    double scale = 1.0;
+    for (int i = 0; i < 15; ++i) {
+        once(app, base.withInputScale(scale, 0.015 * i), 'A');
+        scale *= 0.78;
+    }
+    return app;
+}
+
+Application
+pbBfs()
+{
+    Application app{"pb-bfs", Category::IrregularInputVarying, "A14", {}};
+    // BFS frontier: small -> large -> small; bigger frontiers coalesce
+    // better (locality improves with scale). Low-to-high throughput
+    // transition early on, like kmeans (paper Sec. II-E).
+    KernelParams base{
+        .name = "bfs_frontier",
+        .archetype = Archetype::MemoryBound,
+        .workItems = 5e6,
+        .valuInstsPerItem = 35.0,
+        .vfetchInstsPerItem = 12.0,
+        .bytesPerItem = 110.0,
+        .cacheHitBase = 0.2,
+        .computeMemOverlap = 0.35,
+        .launchCpuSeconds = 30e-6,
+        .idiosyncrasySeed = seedOf("pb-bfs", 'A'),
+    };
+    const double frontier[] = {0.05, 0.15, 0.4,  0.9,  1.0,  1.0, 0.85,
+                               0.6,  0.35, 0.2,  0.1,  0.06, 0.04, 0.02};
+    for (double s : frontier)
+        once(app, base.withInputScale(s, 0.18 * s), 'A');
+    return app;
+}
+
+Application
+mis()
+{
+    Application app{"mis", Category::IrregularInputVarying, "A12", {}};
+    KernelParams base{
+        .name = "mis_select",
+        .archetype = Archetype::MemoryBound,
+        .workItems = 4e6,
+        .valuInstsPerItem = 40.0,
+        .vfetchInstsPerItem = 10.0,
+        .bytesPerItem = 96.0,
+        .cacheHitBase = 0.22,
+        .computeMemOverlap = 0.35,
+        .launchCpuSeconds = 30e-6,
+        .idiosyncrasySeed = seedOf("mis", 'A'),
+    };
+    double scale = 1.0;
+    for (int i = 0; i < 12; ++i) {
+        once(app, base.withInputScale(scale, 0.02 * i), 'A');
+        scale *= 0.72;
+    }
+    return app;
+}
+
+Application
+srad()
+{
+    Application app{"srad", Category::IrregularInputVarying, "(AB)8", {}};
+    KernelParams a{
+        .name = "srad1",
+        .archetype = Archetype::ComputeBound,
+        .workItems = 2.1e6,
+        .valuInstsPerItem = 160.0,
+        .vfetchInstsPerItem = 18.0,
+        .bytesPerItem = 70.0,
+        .cacheHitBase = 0.55,
+        .computeMemOverlap = 0.3,
+        .launchCpuSeconds = 35e-6,
+        .idiosyncrasySeed = seedOf("srad", 'A'),
+    };
+    KernelParams b{
+        .name = "srad2",
+        .archetype = Archetype::MemoryBound,
+        .workItems = 2.1e6,
+        .valuInstsPerItem = 140.0,
+        .vfetchInstsPerItem = 16.0,
+        .bytesPerItem = 80.0,
+        .cacheHitBase = 0.5,
+        .computeMemOverlap = 0.3,
+        .launchCpuSeconds = 35e-6,
+        .idiosyncrasySeed = seedOf("srad", 'B'),
+    };
+    for (int i = 0; i < 8; ++i) {
+        // Convergence changes the update set each iteration; the final
+        // phases shift locality sharply, which is what defeats the
+        // prediction model in the paper's worst case.
+        double shift = i < 6 ? -0.01 * i : -0.3;
+        once(app, a.withInputScale(1.0 - 0.02 * i, shift), 'A');
+        once(app, b.withInputScale(1.0 - 0.02 * i, shift), 'B');
+    }
+    return app;
+}
+
+Application
+lulesh()
+{
+    Application app{"lulesh", Category::IrregularInputVarying, "(ABC)4",
+                    {}};
+    KernelParams a{
+        .name = "lulesh_stress",
+        .archetype = Archetype::ComputeBound,
+        .workItems = 1.8e6,
+        .valuInstsPerItem = 420.0,
+        .vfetchInstsPerItem = 24.0,
+        .bytesPerItem = 48.0,
+        .cacheHitBase = 0.6,
+        .computeMemOverlap = 0.25,
+        .launchCpuSeconds = 40e-6,
+        .idiosyncrasySeed = seedOf("lulesh", 'A'),
+    };
+    KernelParams b{
+        .name = "lulesh_hourglass",
+        .archetype = Archetype::MemoryBound,
+        .workItems = 2.4e6,
+        .valuInstsPerItem = 90.0,
+        .vfetchInstsPerItem = 20.0,
+        .bytesPerItem = 120.0,
+        .cacheHitBase = 0.3,
+        .computeMemOverlap = 0.3,
+        .launchCpuSeconds = 40e-6,
+        .idiosyncrasySeed = seedOf("lulesh", 'B'),
+    };
+    KernelParams c{
+        .name = "lulesh_constraint",
+        .archetype = Archetype::Unscalable,
+        .workItems = 6e5,
+        .valuInstsPerItem = 70.0,
+        .vfetchInstsPerItem = 10.0,
+        .bytesPerItem = 40.0,
+        .cacheHitBase = 0.5,
+        .computeMemOverlap = 0.4,
+        .serialSeconds = 6e-3,
+        .launchCpuSeconds = 40e-6,
+        .idiosyncrasySeed = seedOf("lulesh", 'C'),
+    };
+    for (int i = 0; i < 4; ++i) {
+        double s = 1.0 - 0.08 * i;
+        once(app, a.withInputScale(s, 0.0), 'A');
+        once(app, b.withInputScale(s, -0.02 * i), 'B');
+        once(app, c.withInputScale(s, 0.0), 'C');
+    }
+    return app;
+}
+
+Application
+lud()
+{
+    Application app{"lud", Category::IrregularInputVarying, "A15", {}};
+    // LU decomposition: the trailing submatrix shrinks every step, so
+    // throughput transitions high-to-low like Spmv (paper Sec. II-E).
+    KernelParams base{
+        .name = "lud_internal",
+        .archetype = Archetype::ComputeBound,
+        .workItems = 2.6e6,
+        .valuInstsPerItem = 260.0,
+        .vfetchInstsPerItem = 18.0,
+        .bytesPerItem = 40.0,
+        .cacheHitBase = 0.7,
+        .computeMemOverlap = 0.25,
+        .launchCpuSeconds = 30e-6,
+        .idiosyncrasySeed = seedOf("lud", 'A'),
+    };
+    double scale = 1.0;
+    for (int i = 0; i < 15; ++i) {
+        // Shrinking tiles also lose arithmetic density: shift the
+        // balance toward memory by degrading locality.
+        once(app, base.withInputScale(scale, -0.025 * i), 'A');
+        scale *= 0.8;
+    }
+    return app;
+}
+
+Application
+hybridsort()
+{
+    Application app{"hybridsort", Category::IrregularInputVarying,
+                    "ABCDEF9G", {}};
+    KernelParams a{
+        .name = "histogram",
+        .archetype = Archetype::MemoryBound,
+        .workItems = 4.2e6,
+        .valuInstsPerItem = 40.0,
+        .vfetchInstsPerItem = 10.0,
+        .bytesPerItem = 60.0,
+        .cacheHitBase = 0.4,
+        .computeMemOverlap = 0.3,
+        .launchCpuSeconds = 30e-6,
+        .idiosyncrasySeed = seedOf("hybridsort", 'A'),
+    };
+    KernelParams b{
+        .name = "bucketprefix",
+        .archetype = Archetype::Unscalable,
+        .workItems = 2e5,
+        .valuInstsPerItem = 50.0,
+        .vfetchInstsPerItem = 8.0,
+        .bytesPerItem = 24.0,
+        .cacheHitBase = 0.6,
+        .computeMemOverlap = 0.4,
+        .serialSeconds = 2.5e-3,
+        .launchCpuSeconds = 30e-6,
+        .idiosyncrasySeed = seedOf("hybridsort", 'B'),
+    };
+    KernelParams c{
+        .name = "bucketsort",
+        .archetype = Archetype::MemoryBound,
+        .workItems = 4.2e6,
+        .valuInstsPerItem = 55.0,
+        .vfetchInstsPerItem = 12.0,
+        .bytesPerItem = 130.0,
+        .cacheHitBase = 0.3,
+        .computeMemOverlap = 0.3,
+        .launchCpuSeconds = 30e-6,
+        .idiosyncrasySeed = seedOf("hybridsort", 'C'),
+    };
+    KernelParams d{
+        .name = "mergesort_first",
+        .archetype = Archetype::ComputeBound,
+        .workItems = 2e6,
+        .valuInstsPerItem = 180.0,
+        .vfetchInstsPerItem = 14.0,
+        .bytesPerItem = 36.0,
+        .cacheHitBase = 0.65,
+        .computeMemOverlap = 0.25,
+        .launchCpuSeconds = 30e-6,
+        .idiosyncrasySeed = seedOf("hybridsort", 'D'),
+    };
+    KernelParams e{
+        .name = "mergesort_global",
+        .archetype = Archetype::MemoryBound,
+        .workItems = 3e6,
+        .valuInstsPerItem = 95.0,
+        .vfetchInstsPerItem = 16.0,
+        .bytesPerItem = 72.0,
+        .cacheHitBase = 0.45,
+        .computeMemOverlap = 0.3,
+        .launchCpuSeconds = 30e-6,
+        .idiosyncrasySeed = seedOf("hybridsort", 'E'),
+    };
+    KernelParams f{
+        .name = "mergeSortPass",
+        .archetype = Archetype::MemoryBound,
+        .workItems = 3.2e6,
+        .valuInstsPerItem = 90.0,
+        .vfetchInstsPerItem = 16.0,
+        .bytesPerItem = 85.0,
+        .cacheHitBase = 0.45,
+        .computeMemOverlap = 0.3,
+        .launchCpuSeconds = 30e-6,
+        .idiosyncrasySeed = seedOf("hybridsort", 'F'),
+    };
+    KernelParams g{
+        .name = "mergepack",
+        .archetype = Archetype::MemoryBound,
+        .workItems = 4.2e6,
+        .valuInstsPerItem = 45.0,
+        .vfetchInstsPerItem = 10.0,
+        .bytesPerItem = 90.0,
+        .cacheHitBase = 0.35,
+        .computeMemOverlap = 0.3,
+        .launchCpuSeconds = 30e-6,
+        .idiosyncrasySeed = seedOf("hybridsort", 'G'),
+    };
+    once(app, a, 'A');
+    once(app, b, 'B');
+    once(app, c, 'C');
+    once(app, d, 'D');
+    once(app, e, 'E');
+    // mergeSortPass iterates nine times, each with a different input
+    // (F1..F9 in Table II): merge widths double so the pass size halves.
+    double scale = 1.0;
+    for (int i = 0; i < 9; ++i) {
+        once(app, f.withInputScale(scale, 0.03 * i), 'F');
+        scale *= 0.55;
+    }
+    once(app, g, 'G');
+    return app;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "mandelbulbGPU", "NBody",  "lbm",   "EigenValue", "XSBench",
+        "Spmv",          "kmeans", "swat",  "color",      "pb-bfs",
+        "mis",           "srad",   "lulesh", "lud",       "hybridsort"};
+    return names;
+}
+
+Application
+makeBenchmark(const std::string &name)
+{
+    if (name == "mandelbulbGPU")
+        return mandelbulbGPU();
+    if (name == "NBody")
+        return nbody();
+    if (name == "lbm")
+        return lbm();
+    if (name == "EigenValue")
+        return eigenValue();
+    if (name == "XSBench")
+        return xsbench();
+    if (name == "Spmv")
+        return spmv();
+    if (name == "kmeans")
+        return kmeans();
+    if (name == "swat")
+        return swat();
+    if (name == "color")
+        return color();
+    if (name == "pb-bfs")
+        return pbBfs();
+    if (name == "mis")
+        return mis();
+    if (name == "srad")
+        return srad();
+    if (name == "lulesh")
+        return lulesh();
+    if (name == "lud")
+        return lud();
+    if (name == "hybridsort")
+        return hybridsort();
+    GPUPM_FATAL("unknown benchmark '", name, "'");
+}
+
+std::vector<Application>
+allBenchmarks()
+{
+    std::vector<Application> apps;
+    for (const auto &n : benchmarkNames())
+        apps.push_back(makeBenchmark(n));
+    return apps;
+}
+
+std::vector<kernel::KernelParams>
+figure2Kernels()
+{
+    using kernel::KernelParams;
+    std::vector<KernelParams> ks;
+    ks.push_back(KernelParams{
+        .name = "MaxFlops",
+        .archetype = Archetype::ComputeBound,
+        .workItems = 4e6,
+        .valuInstsPerItem = 1200.0,
+        .vfetchInstsPerItem = 4.0,
+        .bytesPerItem = 8.0,
+        .cacheHitBase = 0.9,
+        .computeMemOverlap = 0.05,
+        .idiosyncrasySeed = seedOf("fig2", 'A'),
+    });
+    ks.push_back(KernelParams{
+        .name = "readGlobalMemoryCoalesced",
+        .archetype = Archetype::MemoryBound,
+        .workItems = 6e6,
+        .valuInstsPerItem = 20.0,
+        .vfetchInstsPerItem = 16.0,
+        .bytesPerItem = 128.0,
+        .cacheHitBase = 0.1,
+        .computeMemOverlap = 0.2,
+        .idiosyncrasySeed = seedOf("fig2", 'B'),
+    });
+    ks.push_back(KernelParams{
+        .name = "writeCandidates",
+        .archetype = Archetype::Peak,
+        .workItems = 2e6,
+        .valuInstsPerItem = 150.0,
+        .vfetchInstsPerItem = 24.0,
+        .bytesPerItem = 220.0,
+        .cacheHitBase = 0.9,
+        .cachePressure = 0.09,
+        .computeMemOverlap = 0.3,
+        .idiosyncrasySeed = seedOf("fig2", 'C'),
+    });
+    ks.push_back(KernelParams{
+        .name = "astar",
+        .archetype = Archetype::Unscalable,
+        .workItems = 3e5,
+        .valuInstsPerItem = 80.0,
+        .vfetchInstsPerItem = 12.0,
+        .bytesPerItem = 48.0,
+        .cacheHitBase = 0.5,
+        .computeMemOverlap = 0.4,
+        .serialSeconds = 8e-3,
+        .serialGpuFreqSensitivity = 0.15,
+        .idiosyncrasySeed = seedOf("fig2", 'D'),
+    });
+    return ks;
+}
+
+} // namespace gpupm::workload

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The 15 studied GPGPU benchmarks (paper Table IV).
+ *
+ * Each benchmark reproduces the kernel execution pattern reported in the
+ * paper (Tables II/IV) and the throughput phase behaviour of Fig. 3:
+ * Spmv transitions high-to-low throughput across its three SpMV kernels,
+ * kmeans low-to-high after its initial swap kernel, hybridsort varies on
+ * every invocation (including across inputs of the same mergeSortPass
+ * kernel), and so on. Kernel parameters are synthetic but calibrated to
+ * land each kernel in the archetype the paper describes.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/trace.hpp"
+
+namespace gpupm::workload {
+
+/** Names of the 15 benchmarks in the paper's figure order. */
+const std::vector<std::string> &benchmarkNames();
+
+/** Build a benchmark by name; fatal on unknown name. */
+Application makeBenchmark(const std::string &name);
+
+/** All 15 benchmarks in figure order. */
+std::vector<Application> allBenchmarks();
+
+/**
+ * The four example kernels of paper Fig. 2, one per archetype:
+ * MaxFlops (compute-bound), readGlobalMemoryCoalesced (memory-bound),
+ * writeCandidates (peak), astar (unscalable).
+ */
+std::vector<kernel::KernelParams> figure2Kernels();
+
+} // namespace gpupm::workload

@@ -1,0 +1,121 @@
+#include "workload/pattern.hpp"
+
+#include <cctype>
+
+#include "common/logging.hpp"
+
+namespace gpupm::workload {
+
+namespace {
+
+struct Parser
+{
+    const std::string &s;
+    std::size_t pos = 0;
+
+    void
+    skipSpace()
+    {
+        while (pos < s.size() && std::isspace(static_cast<unsigned char>(
+                                     s[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool
+    done()
+    {
+        skipSpace();
+        return pos >= s.size();
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        return pos < s.size() ? s[pos] : '\0';
+    }
+
+    int
+    parseCount()
+    {
+        skipSpace();
+        if (pos >= s.size() ||
+            !std::isdigit(static_cast<unsigned char>(s[pos]))) {
+            return 1;
+        }
+        int n = 0;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos]))) {
+            n = n * 10 + (s[pos] - '0');
+            ++pos;
+        }
+        GPUPM_ASSERT(n >= 1, "pattern count must be >= 1");
+        return n;
+    }
+
+    std::vector<char>
+    parseSeq(bool in_group)
+    {
+        std::vector<char> out;
+        while (!done()) {
+            char c = peek();
+            if (c == ')') {
+                if (!in_group)
+                    GPUPM_FATAL("unbalanced ')' in pattern '", s, "'");
+                return out;
+            }
+            std::vector<char> item;
+            if (c == '(') {
+                ++pos;
+                item = parseSeq(true);
+                if (peek() != ')')
+                    GPUPM_FATAL("missing ')' in pattern '", s, "'");
+                ++pos;
+            } else if (std::isupper(static_cast<unsigned char>(c))) {
+                item.push_back(c);
+                ++pos;
+            } else {
+                GPUPM_FATAL("unexpected character '", c, "' in pattern '",
+                            s, "'");
+            }
+            int count = parseCount();
+            for (int i = 0; i < count; ++i)
+                out.insert(out.end(), item.begin(), item.end());
+        }
+        if (in_group)
+            GPUPM_FATAL("missing ')' in pattern '", s, "'");
+        return out;
+    }
+};
+
+} // namespace
+
+std::vector<char>
+expandPattern(const std::string &pattern)
+{
+    Parser p{pattern};
+    auto tags = p.parseSeq(false);
+    if (tags.empty())
+        GPUPM_FATAL("empty pattern '", pattern, "'");
+    return tags;
+}
+
+std::string
+compactPattern(const std::vector<char> &tags)
+{
+    std::string out;
+    std::size_t i = 0;
+    while (i < tags.size()) {
+        std::size_t j = i;
+        while (j < tags.size() && tags[j] == tags[i])
+            ++j;
+        out += tags[i];
+        if (j - i > 1)
+            out += std::to_string(j - i);
+        i = j;
+    }
+    return out;
+}
+
+} // namespace gpupm::workload

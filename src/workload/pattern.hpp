@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Kernel execution-pattern notation (paper Tables II and IV).
+ *
+ * The paper describes application kernel orderings with a compact
+ * regular-expression-like notation: "A10 B10 C10" (Spmv), "(AB)5"
+ * (EigenValue), "A B20" (kmeans). This module parses that notation into
+ * a flat tag sequence. Tags are single uppercase letters; an optional
+ * decimal count repeats a tag or a parenthesized group.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gpupm::workload {
+
+/**
+ * Expand a pattern string into a flat sequence of kernel tags.
+ *
+ * Grammar: seq := item+ ; item := (TAG | '(' seq ')') COUNT? ;
+ * whitespace is ignored. Fatal on malformed input.
+ *
+ * @param pattern e.g. "A10B10C10", "(AB)5", "A B20".
+ * @return tag sequence, e.g. "AAAABBBB...".
+ */
+std::vector<char> expandPattern(const std::string &pattern);
+
+/**
+ * Render a tag sequence back into compact notation, collapsing runs
+ * ("AAAB" -> "A3B"). Used when printing Table II/IV.
+ */
+std::string compactPattern(const std::vector<char> &tags);
+
+} // namespace gpupm::workload

@@ -1,0 +1,46 @@
+#include "workload/trace.hpp"
+
+#include "common/logging.hpp"
+
+namespace gpupm::workload {
+
+std::string
+toString(Category c)
+{
+    switch (c) {
+      case Category::Regular:
+        return "Regular";
+      case Category::IrregularRepeating:
+        return "Irregular w/ repeating pattern";
+      case Category::IrregularNonRepeating:
+        return "Irregular w/ non-repeating pattern";
+      case Category::IrregularInputVarying:
+        return "Irregular w/ kernels varying with input";
+    }
+    GPUPM_PANIC("bad category");
+}
+
+InstCount
+Application::totalInstructions() const
+{
+    InstCount total = 0.0;
+    for (const auto &inv : trace)
+        total += inv.params.instructions();
+    return total;
+}
+
+Application
+withCpuPhases(Application app, double fraction)
+{
+    GPUPM_ASSERT(fraction >= 0.0, "negative CPU-phase fraction");
+    // Scale each phase by the kernel's nominal size: workItems is a
+    // cheap proxy for the data-transfer/preparation volume of Fig. 1.
+    for (auto &inv : app.trace) {
+        // ~1 ms of host work per 10M work-items at fraction 1.0.
+        inv.cpuPhaseSeconds =
+            fraction * inv.params.workItems * 1e-10;
+    }
+    return app;
+}
+
+} // namespace gpupm::workload

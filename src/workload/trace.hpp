@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Application kernel-invocation traces.
+ *
+ * An application is a named, categorized sequence of kernel invocations.
+ * Each invocation carries fully resolved ground-truth kernel parameters
+ * (input scaling already applied) plus the tag of the static kernel it
+ * came from, so harnesses can report per-kernel statistics.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+
+namespace gpupm::workload {
+
+/** Benchmark categories of paper Table IV. */
+enum class Category
+{
+    Regular,
+    IrregularRepeating,
+    IrregularNonRepeating,
+    IrregularInputVarying,
+};
+
+std::string toString(Category c);
+
+/** One dynamic kernel launch. */
+struct KernelInvocation
+{
+    kernel::KernelParams params;
+    char tag = 'A'; ///< Static kernel identity within the application.
+    /**
+     * Host CPU phase preceding this launch (Fig. 1 of the paper: data
+     * transfer and launch preparation). The paper's evaluation assumes
+     * the worst case of back-to-back kernels (0 s); a non-zero phase
+     * lets the simulator hide governor overhead inside it (Sec. VI-E:
+     * "CPU phases with an available CPU can hide the MPC overheads").
+     */
+    Seconds cpuPhaseSeconds = 0.0;
+};
+
+/** A GPGPU application: an ordered kernel launch trace. */
+struct Application
+{
+    std::string name;
+    Category category = Category::Regular;
+    /** Compact execution-pattern notation for Table II/IV. */
+    std::string patternNotation;
+    std::vector<KernelInvocation> trace;
+
+    /** Total dynamic instructions over the whole trace (paper I_total). */
+    InstCount totalInstructions() const;
+
+    /** Number of kernel invocations N. */
+    std::size_t kernelCount() const { return trace.size(); }
+};
+
+/**
+ * Copy of @p app in which every kernel launch is preceded by a host
+ * CPU phase of @p fraction of that kernel's launch-adjusted footprint
+ * (approximated by the paper's Fig. 1 structure). Used to study how
+ * much of the governor overhead hides inside CPU phases.
+ */
+Application withCpuPhases(Application app, double fraction);
+
+} // namespace gpupm::workload

@@ -1,0 +1,141 @@
+#include "workload/training.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace gpupm::workload {
+
+std::vector<kernel::KernelParams>
+trainingCorpus(std::size_t count, std::uint64_t seed)
+{
+    using kernel::Archetype;
+    using kernel::KernelParams;
+
+    Pcg32 rng(seed, 0x5eedULL);
+    std::vector<KernelParams> out;
+    out.reserve(count);
+
+    for (std::size_t i = 0; i < count; ++i) {
+        // Half the corpus is drawn from archetype-flavoured ranges (the
+        // exemplars of Fig. 2); the other half samples the continuum
+        // between them, as a real multi-suite training set would, so
+        // the model has coverage for kernels that sit between the
+        // archetype clusters.
+        const bool generic = i % 2 == 1;
+        auto arch = static_cast<Archetype>(rng.nextBounded(4));
+        KernelParams k;
+        k.name = "train_" + std::to_string(i);
+        k.archetype = arch;
+        k.workItems = rng.uniform(1e5, 8e6);
+        k.vfetchInstsPerItem = rng.uniform(4.0, 40.0);
+        k.scratchRegs = rng.nextDouble() < 0.25 ? rng.uniform(1.0, 12.0)
+                                                : 0.0;
+        k.ldsBankConflict =
+            rng.nextDouble() < 0.3 ? rng.uniform(0.0, 0.25) : 0.0;
+        k.computeMemOverlap = rng.uniform(0.05, 0.5);
+        k.launchCpuSeconds = rng.uniform(20e-6, 80e-6);
+        k.idiosyncrasySeed = seed * 0x9e3779b97f4a7c15ULL + i;
+
+        if (generic) {
+            // Log-uniform over the full plausible range.
+            k.valuInstsPerItem =
+                std::exp(rng.uniform(std::log(20.0), std::log(3000.0)));
+            k.bytesPerItem = rng.uniform(8.0, 280.0);
+            k.cacheHitBase = rng.uniform(0.05, 0.95);
+            if (rng.nextDouble() < 0.2)
+                k.cachePressure = rng.uniform(0.0, 0.1);
+            if (rng.nextDouble() < 0.25) {
+                k.serialSeconds = rng.uniform(0.5e-3, 30e-3);
+                k.serialGpuFreqSensitivity = rng.uniform(0.1, 0.5);
+            }
+            out.push_back(std::move(k));
+            continue;
+        }
+
+        switch (arch) {
+          case Archetype::ComputeBound:
+            k.valuInstsPerItem = rng.uniform(300.0, 3000.0);
+            k.bytesPerItem = rng.uniform(8.0, 48.0);
+            k.cacheHitBase = rng.uniform(0.55, 0.95);
+            break;
+          case Archetype::MemoryBound:
+            k.valuInstsPerItem = rng.uniform(20.0, 120.0);
+            k.bytesPerItem = rng.uniform(64.0, 200.0);
+            k.cacheHitBase = rng.uniform(0.05, 0.5);
+            break;
+          case Archetype::Peak:
+            k.valuInstsPerItem = rng.uniform(100.0, 400.0);
+            k.bytesPerItem = rng.uniform(120.0, 280.0);
+            k.cacheHitBase = rng.uniform(0.75, 0.95);
+            k.cachePressure = rng.uniform(0.05, 0.1);
+            break;
+          case Archetype::Unscalable:
+            k.valuInstsPerItem = rng.uniform(40.0, 200.0);
+            k.bytesPerItem = rng.uniform(24.0, 96.0);
+            k.cacheHitBase = rng.uniform(0.3, 0.7);
+            k.serialSeconds = rng.uniform(2e-3, 30e-3);
+            k.serialGpuFreqSensitivity = rng.uniform(0.1, 0.5);
+            break;
+        }
+        out.push_back(std::move(k));
+    }
+    return out;
+}
+
+Application
+randomApplication(std::uint64_t seed, std::size_t max_kernels)
+{
+    using kernel::KernelParams;
+
+    if (max_kernels < 2)
+        max_kernels = 2;
+    Pcg32 rng(seed, 0xa99ULL);
+
+    // Draw a small palette of distinct kernels.
+    const std::size_t palette_size = 1 + rng.nextBounded(4);
+    auto palette = trainingCorpus(palette_size, seed ^ 0x1234ULL);
+
+    Application app;
+    app.name = "random_" + std::to_string(seed);
+
+    const int shape = static_cast<int>(rng.nextBounded(3));
+    const std::size_t launches =
+        2 + rng.nextBounded(static_cast<std::uint32_t>(max_kernels - 1));
+    switch (shape) {
+      case 0: { // regular: one kernel repeated
+        app.category = Category::Regular;
+        app.patternNotation =
+            "A" + std::to_string(launches);
+        for (std::size_t i = 0; i < launches; ++i)
+            app.trace.push_back({palette[0], 'A'});
+        break;
+      }
+      case 1: { // interleaved palette
+        app.category = Category::IrregularRepeating;
+        app.patternNotation = "interleaved";
+        for (std::size_t i = 0; i < launches; ++i) {
+            const auto pick = rng.nextBounded(
+                static_cast<std::uint32_t>(palette.size()));
+            app.trace.push_back(
+                {palette[pick], static_cast<char>('A' + pick)});
+        }
+        break;
+      }
+      default: { // input-varying stream
+        app.category = Category::IrregularInputVarying;
+        app.patternNotation = "input-varying";
+        double scale = rng.uniform(0.5, 1.5);
+        for (std::size_t i = 0; i < launches; ++i) {
+            const double shift = rng.uniform(-0.05, 0.05);
+            app.trace.push_back(
+                {palette[0].withInputScale(scale, shift), 'A'});
+            scale = std::max(0.05, scale * rng.uniform(0.6, 1.4));
+        }
+        break;
+      }
+    }
+    return app;
+}
+
+} // namespace gpupm::workload

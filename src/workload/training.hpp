@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Training corpus generator for the offline performance/power models.
+ *
+ * The paper trains its Random Forest on kernel-level counters, execution
+ * times and power across several benchmark suites (73 benchmarks were
+ * studied; 15 are evaluated). This generator produces a diverse corpus
+ * of synthetic kernels spanning all four archetypes, disjoint from the
+ * 15 evaluation benchmarks, so the forest exhibits genuine
+ * generalization error when predicting the evaluation kernels.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernel/kernel.hpp"
+#include "workload/trace.hpp"
+
+namespace gpupm::workload {
+
+/**
+ * Generate @p count random training kernels.
+ *
+ * Parameters are drawn from wide ranges per archetype; the archetype mix
+ * is roughly uniform. Deterministic in @p seed.
+ */
+std::vector<kernel::KernelParams> trainingCorpus(std::size_t count,
+                                                 std::uint64_t seed);
+
+/**
+ * Generate a random application for property/fuzz testing: a random
+ * mix of regular repetition, interleaved kernels and input-varying
+ * streams over randomly drawn kernels. Deterministic in @p seed.
+ *
+ * @param seed Generator seed.
+ * @param max_kernels Upper bound on the number of launches (>= 2).
+ */
+Application randomApplication(std::uint64_t seed,
+                              std::size_t max_kernels = 24);
+
+} // namespace gpupm::workload

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "kernel/apu.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::kernel {
+namespace {
+
+KernelParams
+testKernel()
+{
+    KernelParams k;
+    k.name = "apu-test";
+    k.workItems = 1e6;
+    k.valuInstsPerItem = 300.0;
+    k.vfetchInstsPerItem = 20.0;
+    k.bytesPerItem = 40.0;
+    k.cacheHitBase = 0.5;
+    return k;
+}
+
+TEST(Apu, MeasurementConsistency)
+{
+    Apu apu;
+    const auto k = testKernel();
+    const auto m = apu.run(k, hw::ConfigSpace::maxPerformance());
+    EXPECT_GT(m.time, 0.0);
+    EXPECT_GT(m.cpuPower, 0.0);
+    EXPECT_GT(m.gpuPower, 0.0);
+    EXPECT_NEAR(m.cpuEnergy, m.cpuPower * m.time, 1e-12);
+    EXPECT_NEAR(m.gpuEnergy, m.gpuPower * m.time, 1e-12);
+    EXPECT_NEAR(m.totalEnergy(), m.cpuEnergy + m.gpuEnergy, 1e-12);
+    EXPECT_DOUBLE_EQ(m.instructions, k.instructions());
+    EXPECT_DOUBLE_EQ(m.counters.globalWorkSize, k.workItems);
+}
+
+TEST(Apu, MatchesGroundTruthModel)
+{
+    Apu apu;
+    const auto k = testKernel();
+    const auto c = hw::ConfigSpace::failSafe();
+    const auto m = apu.run(k, c);
+    EXPECT_NEAR(m.totalEnergy(), apu.model().energy(k, c), 1e-9);
+    EXPECT_NEAR(m.gpuEnergy, apu.model().gpuEnergy(k, c), 1e-9);
+}
+
+TEST(Apu, ThermalStateAdvances)
+{
+    Apu apu;
+    const auto k = testKernel();
+    const Celsius ambient = apu.thermal().params().ambient;
+    EXPECT_DOUBLE_EQ(apu.thermal().temperature(), ambient);
+    const auto m = apu.run(k, hw::ConfigSpace::maxPerformance());
+    EXPECT_GT(m.temperature, ambient);
+    EXPECT_DOUBLE_EQ(apu.thermal().temperature(), m.temperature);
+    apu.reset();
+    EXPECT_DOUBLE_EQ(apu.thermal().temperature(), ambient);
+}
+
+TEST(Apu, HostWorkChargesBothPlanes)
+{
+    Apu apu;
+    const auto h = apu.runHost(1e-3, Apu::governorHostConfig());
+    EXPECT_DOUBLE_EQ(h.time, 1e-3);
+    EXPECT_GT(h.cpuEnergy, 0.0);
+    // GPU static energy is charged even though the GPU idles
+    // (Sec. VI-A).
+    EXPECT_GT(h.gpuEnergy, 0.0);
+    EXPECT_LT(h.gpuEnergy, h.cpuEnergy + h.gpuEnergy);
+    EXPECT_NEAR(h.totalEnergy(), h.cpuEnergy + h.gpuEnergy, 1e-15);
+}
+
+TEST(Apu, GovernorHostConfigMatchesPaper)
+{
+    // [P5, NB0, DPM0, 2 CUs] (Sec. V).
+    const auto c = Apu::governorHostConfig();
+    EXPECT_EQ(c.cpu, hw::CpuPState::P5);
+    EXPECT_EQ(c.nb, hw::NbPState::NB0);
+    EXPECT_EQ(c.gpu, hw::GpuPState::DPM0);
+    EXPECT_EQ(c.cus, 2);
+}
+
+TEST(Apu, FasterConfigUsesMorePower)
+{
+    Apu apu;
+    const auto k = testKernel();
+    const auto fast = apu.run(k, hw::ConfigSpace::maxPerformance());
+    apu.reset();
+    const auto slow = apu.run(k, hw::ConfigSpace::minPower());
+    EXPECT_LT(fast.time, slow.time);
+    EXPECT_GT(fast.cpuPower + fast.gpuPower,
+              slow.cpuPower + slow.gpuPower);
+}
+
+} // namespace
+} // namespace gpupm::kernel

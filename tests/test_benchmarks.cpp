@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <map>
+
+#include "kernel/perf_model.hpp"
+#include "workload/benchmarks.hpp"
+#include "workload/pattern.hpp"
+
+namespace gpupm::workload {
+namespace {
+
+TEST(Benchmarks, FifteenInPaperOrder)
+{
+    const auto &names = benchmarkNames();
+    ASSERT_EQ(names.size(), 15u);
+    EXPECT_EQ(names.front(), "mandelbulbGPU");
+    EXPECT_EQ(names[5], "Spmv");
+    EXPECT_EQ(names.back(), "hybridsort");
+}
+
+TEST(Benchmarks, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeBenchmark("nope"), testing::ExitedWithCode(1),
+                "unknown benchmark");
+}
+
+TEST(Benchmarks, TableIVPatterns)
+{
+    // Table II / IV execution patterns.
+    const std::map<std::string, std::size_t> expected_counts = {
+        {"mandelbulbGPU", 20}, {"NBody", 10},      {"lbm", 10},
+        {"EigenValue", 10},    {"XSBench", 6},     {"Spmv", 30},
+        {"kmeans", 21},        {"hybridsort", 15},
+    };
+    for (const auto &[name, n] : expected_counts) {
+        auto app = makeBenchmark(name);
+        EXPECT_EQ(app.kernelCount(), n) << name;
+    }
+}
+
+TEST(Benchmarks, TagSequencesMatchPatterns)
+{
+    // Spmv = A10 B10 C10 exactly.
+    auto spmv = makeBenchmark("Spmv");
+    auto tags = expandPattern("A10B10C10");
+    ASSERT_EQ(spmv.trace.size(), tags.size());
+    for (std::size_t i = 0; i < tags.size(); ++i)
+        EXPECT_EQ(spmv.trace[i].tag, tags[i]);
+
+    // EigenValue alternates (AB)5.
+    auto eigen = makeBenchmark("EigenValue");
+    for (std::size_t i = 0; i < eigen.trace.size(); ++i)
+        EXPECT_EQ(eigen.trace[i].tag, i % 2 == 0 ? 'A' : 'B');
+
+    // hybridsort has 9 F invocations (mergeSortPass).
+    auto hybrid = makeBenchmark("hybridsort");
+    int f_count = 0;
+    for (const auto &inv : hybrid.trace)
+        f_count += inv.tag == 'F';
+    EXPECT_EQ(f_count, 9);
+}
+
+TEST(Benchmarks, Categories)
+{
+    EXPECT_EQ(makeBenchmark("mandelbulbGPU").category,
+              Category::Regular);
+    EXPECT_EQ(makeBenchmark("EigenValue").category,
+              Category::IrregularRepeating);
+    EXPECT_EQ(makeBenchmark("Spmv").category,
+              Category::IrregularNonRepeating);
+    EXPECT_EQ(makeBenchmark("hybridsort").category,
+              Category::IrregularInputVarying);
+}
+
+TEST(Benchmarks, RegularAppsHaveOneKernel)
+{
+    for (const auto &name : {"mandelbulbGPU", "NBody", "lbm"}) {
+        auto app = makeBenchmark(name);
+        for (const auto &inv : app.trace)
+            EXPECT_EQ(inv.tag, 'A') << name;
+    }
+}
+
+TEST(Benchmarks, DeterministicConstruction)
+{
+    auto a = makeBenchmark("hybridsort");
+    auto b = makeBenchmark("hybridsort");
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace[i].params.idiosyncrasySeed,
+                  b.trace[i].params.idiosyncrasySeed);
+        EXPECT_DOUBLE_EQ(a.trace[i].params.workItems,
+                         b.trace[i].params.workItems);
+    }
+}
+
+TEST(Benchmarks, InputVaryingKernelsVary)
+{
+    auto hybrid = makeBenchmark("hybridsort");
+    // The nine mergeSortPass invocations take different inputs.
+    std::vector<double> f_sizes;
+    for (const auto &inv : hybrid.trace)
+        if (inv.tag == 'F')
+            f_sizes.push_back(inv.params.workItems);
+    for (std::size_t i = 1; i < f_sizes.size(); ++i)
+        EXPECT_LT(f_sizes[i], f_sizes[i - 1]);
+}
+
+/** Fig. 3 shape: Spmv transitions from high to low throughput. */
+TEST(Benchmarks, SpmvThroughputHighToLow)
+{
+    const kernel::GroundTruthModel model;
+    const auto cfg = hw::ConfigSpace::maxPerformance();
+    auto app = makeBenchmark("Spmv");
+    auto thr = [&](std::size_t i) {
+        const auto &k = app.trace[i].params;
+        return k.instructions() / model.estimate(k, cfg).time;
+    };
+    EXPECT_GT(thr(0), thr(15));  // A phase above B phase
+    EXPECT_GT(thr(15), thr(25)); // B phase above C phase
+}
+
+/** Fig. 3 shape: kmeans transitions from low to high throughput. */
+TEST(Benchmarks, KmeansThroughputLowToHigh)
+{
+    const kernel::GroundTruthModel model;
+    const auto cfg = hw::ConfigSpace::maxPerformance();
+    auto app = makeBenchmark("kmeans");
+    const auto &swap = app.trace[0].params;
+    const auto &km = app.trace[1].params;
+    const double thr_swap =
+        swap.instructions() / model.estimate(swap, cfg).time;
+    const double thr_km =
+        km.instructions() / model.estimate(km, cfg).time;
+    EXPECT_GT(thr_km, 2.0 * thr_swap);
+}
+
+/** Fig. 3 shape: hybridsort throughput varies on every invocation. */
+TEST(Benchmarks, HybridsortThroughputDiverse)
+{
+    const kernel::GroundTruthModel model;
+    const auto cfg = hw::ConfigSpace::maxPerformance();
+    auto app = makeBenchmark("hybridsort");
+    std::vector<double> thr;
+    for (const auto &inv : app.trace) {
+        thr.push_back(inv.params.instructions() /
+                      model.estimate(inv.params, cfg).time);
+    }
+    // Wide dynamic range across the run.
+    const auto [mn, mx] = std::minmax_element(thr.begin(), thr.end());
+    EXPECT_GT(*mx / *mn, 3.0);
+}
+
+TEST(Benchmarks, Figure2KernelsCoverArchetypes)
+{
+    auto ks = figure2Kernels();
+    ASSERT_EQ(ks.size(), 4u);
+    EXPECT_EQ(ks[0].archetype, kernel::Archetype::ComputeBound);
+    EXPECT_EQ(ks[1].archetype, kernel::Archetype::MemoryBound);
+    EXPECT_EQ(ks[2].archetype, kernel::Archetype::Peak);
+    EXPECT_EQ(ks[3].archetype, kernel::Archetype::Unscalable);
+    EXPECT_EQ(ks[0].name, "MaxFlops");
+    EXPECT_EQ(ks[3].name, "astar");
+}
+
+TEST(Benchmarks, TotalInstructionsPositive)
+{
+    for (const auto &app : allBenchmarks()) {
+        EXPECT_GT(app.totalInstructions(), 0.0) << app.name;
+        EXPECT_FALSE(app.patternNotation.empty()) << app.name;
+    }
+}
+
+TEST(Trace, CategoryNames)
+{
+    EXPECT_EQ(toString(Category::Regular), "Regular");
+    EXPECT_NE(toString(Category::IrregularInputVarying).find("input"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace gpupm::workload

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "hw/config.hpp"
+
+namespace gpupm::hw {
+namespace {
+
+TEST(ConfigSpace, Has336Points)
+{
+    // 7 CPU x 4 NB x 3 GPU x 4 CU counts (paper Sec. V).
+    ConfigSpace space;
+    EXPECT_EQ(space.size(), 336u);
+}
+
+TEST(ConfigSpace, AllConfigsDistinct)
+{
+    ConfigSpace space;
+    std::unordered_set<HwConfig> seen(space.all().begin(),
+                                      space.all().end());
+    EXPECT_EQ(seen.size(), space.size());
+}
+
+TEST(ConfigSpace, IndexRoundTrip)
+{
+    ConfigSpace space;
+    for (std::size_t i = 0; i < space.size(); ++i)
+        EXPECT_EQ(space.indexOf(space.at(i)), i);
+}
+
+TEST(ConfigSpace, ContainsAndFatalOnForeign)
+{
+    ConfigSpace space;
+    EXPECT_TRUE(space.contains(ConfigSpace::failSafe()));
+    // DPM1 is not one of the three searchable GPU states.
+    HwConfig foreign{CpuPState::P1, NbPState::NB0, GpuPState::DPM1, 8};
+    EXPECT_FALSE(space.contains(foreign));
+    EXPECT_EXIT(space.indexOf(foreign), testing::ExitedWithCode(1),
+                "not in search space");
+}
+
+TEST(ConfigSpace, KnobLevels)
+{
+    ConfigSpace space;
+    EXPECT_EQ(space.levels(Knob::CpuDvfs), 7);
+    EXPECT_EQ(space.levels(Knob::NbDvfs), 4);
+    EXPECT_EQ(space.levels(Knob::GpuDvfs), 3);
+    EXPECT_EQ(space.levels(Knob::CuCount), 4);
+}
+
+TEST(ConfigSpace, LevelZeroIsLowestPerformance)
+{
+    ConfigSpace space;
+    HwConfig low = ConfigSpace::minPower();
+    EXPECT_EQ(space.levelOf(low, Knob::CpuDvfs), 0);
+    EXPECT_EQ(space.levelOf(low, Knob::NbDvfs), 0);
+    EXPECT_EQ(space.levelOf(low, Knob::GpuDvfs), 0);
+    EXPECT_EQ(space.levelOf(low, Knob::CuCount), 0);
+
+    HwConfig hi = ConfigSpace::maxPerformance();
+    EXPECT_EQ(space.levelOf(hi, Knob::CpuDvfs), 6);
+    EXPECT_EQ(space.levelOf(hi, Knob::NbDvfs), 3);
+    EXPECT_EQ(space.levelOf(hi, Knob::GpuDvfs), 2);
+    EXPECT_EQ(space.levelOf(hi, Knob::CuCount), 3);
+}
+
+TEST(ConfigSpace, WithLevelRoundTrips)
+{
+    ConfigSpace space;
+    for (Knob k : allKnobs) {
+        for (int level = 0; level < space.levels(k); ++level) {
+            auto cfg =
+                space.withLevel(ConfigSpace::failSafe(), k, level);
+            EXPECT_EQ(space.levelOf(cfg, k), level);
+            EXPECT_TRUE(space.contains(cfg));
+        }
+    }
+}
+
+TEST(ConfigSpace, WithLevelOnlyChangesOneKnob)
+{
+    ConfigSpace space;
+    HwConfig base = ConfigSpace::failSafe();
+    HwConfig changed = space.withLevel(base, Knob::NbDvfs, 3);
+    EXPECT_EQ(changed.cpu, base.cpu);
+    EXPECT_EQ(changed.gpu, base.gpu);
+    EXPECT_EQ(changed.cus, base.cus);
+    EXPECT_EQ(changed.nb, NbPState::NB0);
+}
+
+TEST(ConfigSpace, WithLevelOutOfRangeDies)
+{
+    ConfigSpace space;
+    EXPECT_DEATH(
+        space.withLevel(ConfigSpace::failSafe(), Knob::GpuDvfs, 3),
+        "out of range");
+}
+
+TEST(ConfigSpace, FailSafeMatchesPaper)
+{
+    // [P7, NB2, DPM4, 8 CUs] (Sec. IV-A1a).
+    HwConfig fs = ConfigSpace::failSafe();
+    EXPECT_EQ(fs.cpu, CpuPState::P7);
+    EXPECT_EQ(fs.nb, NbPState::NB2);
+    EXPECT_EQ(fs.gpu, GpuPState::DPM4);
+    EXPECT_EQ(fs.cus, 8);
+}
+
+TEST(HwConfig, ToStringFormat)
+{
+    EXPECT_EQ(ConfigSpace::failSafe().toString(),
+              "[P7, NB2, DPM4, 8 CUs]");
+    EXPECT_EQ(ConfigSpace::maxPerformance().toString(),
+              "[P1, NB0, DPM4, 8 CUs]");
+}
+
+TEST(HwConfig, EqualityAndHash)
+{
+    HwConfig a = ConfigSpace::failSafe();
+    HwConfig b = ConfigSpace::failSafe();
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(std::hash<HwConfig>{}(a), std::hash<HwConfig>{}(b));
+    b.cus = 2;
+    EXPECT_NE(a, b);
+}
+
+TEST(Knob, ToString)
+{
+    EXPECT_EQ(toString(Knob::CpuDvfs), "cpu");
+    EXPECT_EQ(toString(Knob::NbDvfs), "nb");
+    EXPECT_EQ(toString(Knob::GpuDvfs), "gpu");
+    EXPECT_EQ(toString(Knob::CuCount), "cu");
+}
+
+/** Every CU count in the space is one of {2,4,6,8}. */
+TEST(ConfigSpace, CuCountsSearchable)
+{
+    ConfigSpace space;
+    std::set<int> cus;
+    for (const auto &c : space.all())
+        cus.insert(c.cus);
+    EXPECT_EQ(cus, (std::set<int>{2, 4, 6, 8}));
+}
+
+/** Only three GPU DPM states are searchable (paper Sec. V). */
+TEST(ConfigSpace, GpuStatesSearchable)
+{
+    ConfigSpace space;
+    std::set<GpuPState> gpus;
+    for (const auto &c : space.all())
+        gpus.insert(c.gpu);
+    EXPECT_EQ(gpus, (std::set<GpuPState>{GpuPState::DPM0,
+                                         GpuPState::DPM2,
+                                         GpuPState::DPM4}));
+}
+
+} // namespace
+} // namespace gpupm::hw

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Search-space variants (Sec. V restricts the space to 3 of 5 GPU DPM
+ * states and CU counts {2,4,6,8}; variants quantify the restriction).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hw/config.hpp"
+#include "ml/predictor.hpp"
+#include "mpc/governor.hpp"
+#include "policy/turbo_core.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::hw {
+namespace {
+
+TEST(ConfigVariants, FullGpuDvfsHas560Points)
+{
+    ConfigSpace space(ConfigSpaceOptions::fullGpuDvfs());
+    EXPECT_EQ(space.size(), 7u * 4u * 5u * 4u);
+    EXPECT_EQ(space.levels(Knob::GpuDvfs), 5);
+    HwConfig dpm1{CpuPState::P1, NbPState::NB0, GpuPState::DPM1, 8};
+    EXPECT_TRUE(space.contains(dpm1));
+}
+
+TEST(ConfigVariants, FineGrainedCusHas672Points)
+{
+    ConfigSpace space(ConfigSpaceOptions::fineGrainedCus());
+    EXPECT_EQ(space.size(), 7u * 4u * 3u * 8u);
+    EXPECT_EQ(space.levels(Knob::CuCount), 8);
+    HwConfig odd{CpuPState::P1, NbPState::NB0, GpuPState::DPM4, 5};
+    EXPECT_TRUE(space.contains(odd));
+}
+
+TEST(ConfigVariants, LevelsRoundTripInVariants)
+{
+    for (const auto &opts :
+         {ConfigSpaceOptions::fullGpuDvfs(),
+          ConfigSpaceOptions::fineGrainedCus()}) {
+        ConfigSpace space(opts);
+        for (Knob k : allKnobs) {
+            for (int level = 0; level < space.levels(k); ++level) {
+                auto cfg =
+                    space.withLevel(ConfigSpace::failSafe(), k, level);
+                EXPECT_EQ(space.levelOf(cfg, k), level);
+            }
+        }
+        for (std::size_t i = 0; i < space.size(); i += 17)
+            EXPECT_EQ(space.indexOf(space.at(i)), i);
+    }
+}
+
+TEST(ConfigVariants, FailSafeAlwaysReachable)
+{
+    for (const auto &opts :
+         {ConfigSpaceOptions::paperDefault(),
+          ConfigSpaceOptions::fullGpuDvfs(),
+          ConfigSpaceOptions::fineGrainedCus()}) {
+        ConfigSpace space(opts);
+        EXPECT_TRUE(space.contains(ConfigSpace::failSafe()));
+        EXPECT_TRUE(space.contains(ConfigSpace::maxPerformance()));
+    }
+}
+
+TEST(ConfigVariants, InvalidAxesDie)
+{
+    ConfigSpaceOptions no_gpu;
+    no_gpu.gpuStates.clear();
+    EXPECT_DEATH(ConfigSpace{no_gpu}, "empty");
+
+    ConfigSpaceOptions unsorted;
+    unsorted.cuCounts = {8, 2};
+    EXPECT_DEATH(ConfigSpace{unsorted}, "ascending");
+
+    ConfigSpaceOptions no_failsafe;
+    no_failsafe.gpuStates = {GpuPState::DPM0, GpuPState::DPM2};
+    EXPECT_DEATH(ConfigSpace{no_failsafe}, "DPM4");
+}
+
+TEST(ConfigVariants, MpcRunsOnWiderSpace)
+{
+    // End to end: the governor works unchanged on a wider space and
+    // must not do worse than the paper space (it can only find more).
+    auto app = workload::makeBenchmark("Spmv");
+    sim::Simulator sim;
+    policy::TurboCoreGovernor turbo;
+    auto base = sim.run(app, turbo);
+    auto truth = std::make_shared<ml::GroundTruthPredictor>();
+
+    mpc::MpcOptions wide;
+    wide.searchSpace = ConfigSpaceOptions::fullGpuDvfs();
+    mpc::MpcGovernor gov(truth, wide);
+    sim.run(app, gov, base.throughput());
+    auto r = sim.run(app, gov, base.throughput());
+    EXPECT_GT(sim::energySavingsPct(base, r), 10.0);
+    EXPECT_GT(sim::speedup(base, r), 0.9);
+}
+
+} // namespace
+} // namespace gpupm::hw

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "hw/config.hpp"
+#include "kernel/counters.hpp"
+#include "kernel/perf_model.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::kernel {
+namespace {
+
+KernelCounters
+sample()
+{
+    KernelCounters c;
+    c.globalWorkSize = 1e6;
+    c.memUnitStalled = 42.0;
+    c.cacheHit = 61.0;
+    c.vfetchInsts = 16.0;
+    c.scratchRegs = 4.0;
+    c.ldsBankConflict = 7.0;
+    c.valuInsts = 200.0;
+    c.fetchSize = 5000.0;
+    return c;
+}
+
+TEST(Counters, AsArrayOrderMatchesNames)
+{
+    auto c = sample();
+    auto a = c.asArray();
+    EXPECT_DOUBLE_EQ(a[0], c.globalWorkSize);
+    EXPECT_DOUBLE_EQ(a[1], c.memUnitStalled);
+    EXPECT_DOUBLE_EQ(a[2], c.cacheHit);
+    EXPECT_DOUBLE_EQ(a[3], c.vfetchInsts);
+    EXPECT_DOUBLE_EQ(a[4], c.scratchRegs);
+    EXPECT_DOUBLE_EQ(a[5], c.ldsBankConflict);
+    EXPECT_DOUBLE_EQ(a[6], c.valuInsts);
+    EXPECT_DOUBLE_EQ(a[7], c.fetchSize);
+    EXPECT_EQ(KernelCounters::names()[0], "GlobalWorkSize");
+    EXPECT_EQ(KernelCounters::names()[7], "FetchSize");
+}
+
+TEST(Signature, LogBinning)
+{
+    auto c = sample();
+    auto sig = signatureOf(c);
+    // floor(log2(1 + 1e6)) = 19 for GlobalWorkSize.
+    EXPECT_EQ(sig.bins[0], 19);
+    // VALUInsts 200 -> floor(log2(201)) = 7.
+    EXPECT_EQ(sig.bins[6], 7);
+}
+
+TEST(Signature, ZeroCountersGetSentinelBin)
+{
+    KernelCounters c; // all zeros
+    auto sig = signatureOf(c);
+    EXPECT_EQ(sig.bins[0], -1);
+    EXPECT_EQ(sig.bins[6], -1);
+}
+
+TEST(Signature, ConfigDependentCountersExcluded)
+{
+    auto a = sample();
+    auto b = sample();
+    // These vary when the same kernel runs at a different DVFS/CU
+    // configuration; identity must not change.
+    b.memUnitStalled = 90.0;
+    b.cacheHit = 5.0;
+    b.fetchSize = 90000.0;
+    EXPECT_EQ(signatureOf(a), signatureOf(b));
+}
+
+TEST(Signature, InvariantCountersIncluded)
+{
+    auto a = sample();
+    auto b = sample();
+    b.valuInsts = 4000.0;
+    EXPECT_NE(signatureOf(a), signatureOf(b));
+    b = sample();
+    b.globalWorkSize = 8e6;
+    EXPECT_NE(signatureOf(a), signatureOf(b));
+}
+
+TEST(Signature, SimilarKernelsMerge)
+{
+    // The coarse log binning merges kernels with similar counters (the
+    // paper's intent): +5% on every counter keeps the signature.
+    // (1.3e6 sits mid-bin; the sample()'s 1e6 is at a bin boundary.)
+    auto a = sample();
+    a.globalWorkSize = 1.3e6;
+    auto b = a;
+    b.globalWorkSize *= 1.05;
+    b.valuInsts *= 1.02;
+    EXPECT_EQ(signatureOf(a), signatureOf(b));
+}
+
+TEST(Signature, HashAndEquality)
+{
+    auto a = signatureOf(sample());
+    auto b = signatureOf(sample());
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(std::hash<Signature>{}(a), std::hash<Signature>{}(b));
+    std::unordered_set<Signature> set{a, b};
+    EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(Signature, ToStringReadable)
+{
+    auto sig = signatureOf(sample());
+    auto s = sig.toString();
+    EXPECT_EQ(s.front(), '(');
+    EXPECT_EQ(s.back(), ')');
+    EXPECT_NE(s.find("19"), std::string::npos);
+}
+
+/**
+ * Property: a kernel's signature is identical at every hardware
+ * configuration - the invariant the pattern extractor depends on.
+ */
+class SignatureInvariance : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SignatureInvariance, StableAcrossAllConfigs)
+{
+    const GroundTruthModel model;
+    const hw::ConfigSpace space;
+    auto app = workload::makeBenchmark(GetParam());
+    for (const auto &inv : app.trace) {
+        std::unordered_set<Signature> sigs;
+        for (std::size_t ci = 0; ci < space.size(); ci += 13) {
+            const auto &c = space.at(ci);
+            const auto est = model.estimate(inv.params, c);
+            sigs.insert(signatureOf(model.counters(inv.params, c, est)));
+        }
+        EXPECT_EQ(sigs.size(), 1u)
+            << inv.params.name << " changes identity across configs";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, SignatureInvariance,
+                         testing::Values("Spmv", "kmeans", "hybridsort",
+                                         "lbm", "EigenValue", "srad"));
+
+} // namespace
+} // namespace gpupm::kernel

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * CPU-phase modeling: host phases between kernels (paper Fig. 1) and
+ * governor-overhead hiding inside them (Sec. VI-E: "CPU phases with an
+ * available CPU can hide the MPC overheads").
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ml/predictor.hpp"
+#include "mpc/governor.hpp"
+#include "policy/turbo_core.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm {
+namespace {
+
+TEST(CpuPhases, WithCpuPhasesScalesWithWork)
+{
+    auto app = workload::makeBenchmark("Spmv");
+    auto phased = workload::withCpuPhases(app, 0.5);
+    ASSERT_EQ(phased.trace.size(), app.trace.size());
+    for (std::size_t i = 0; i < app.trace.size(); ++i) {
+        EXPECT_DOUBLE_EQ(app.trace[i].cpuPhaseSeconds, 0.0);
+        EXPECT_GT(phased.trace[i].cpuPhaseSeconds, 0.0);
+        EXPECT_NEAR(phased.trace[i].cpuPhaseSeconds,
+                    0.5 * phased.trace[i].params.workItems * 1e-10,
+                    1e-15);
+    }
+    auto heavier = workload::withCpuPhases(app, 1.0);
+    EXPECT_GT(heavier.trace[0].cpuPhaseSeconds,
+              phased.trace[0].cpuPhaseSeconds);
+}
+
+TEST(CpuPhases, NegativeFractionDies)
+{
+    auto app = workload::makeBenchmark("NBody");
+    EXPECT_DEATH(workload::withCpuPhases(app, -0.1), "negative");
+}
+
+TEST(CpuPhases, PhasesExtendWallTimeAndEnergy)
+{
+    auto app = workload::makeBenchmark("NBody");
+    auto phased = workload::withCpuPhases(app, 1.0);
+    sim::Simulator sim;
+    policy::TurboCoreGovernor g1, g2;
+    auto plain = sim.run(app, g1);
+    auto with = sim.run(phased, g2);
+
+    Seconds total_phase = 0.0;
+    for (const auto &inv : phased.trace)
+        total_phase += inv.cpuPhaseSeconds;
+
+    EXPECT_NEAR(with.cpuPhaseTime, total_phase, 1e-12);
+    EXPECT_NEAR(with.totalTime(), plain.totalTime() + total_phase,
+                1e-9);
+    EXPECT_GT(with.totalEnergy(), plain.totalEnergy());
+    // Kernel-side accounting is unchanged.
+    EXPECT_NEAR(with.kernelTime, plain.kernelTime, 1e-12);
+}
+
+TEST(CpuPhases, RecordsSplitPhaseEnergy)
+{
+    auto app = workload::withCpuPhases(
+        workload::makeBenchmark("kmeans"), 0.5);
+    sim::Simulator sim;
+    policy::TurboCoreGovernor gov;
+    auto r = sim.run(app, gov);
+    for (const auto &rec : r.records) {
+        EXPECT_GT(rec.cpuPhaseTime, 0.0);
+        EXPECT_GT(rec.cpuPhaseCpuEnergy, 0.0);
+        EXPECT_GT(rec.cpuPhaseGpuEnergy, 0.0);
+        EXPECT_DOUBLE_EQ(rec.hiddenOverheadTime, 0.0); // no overhead
+    }
+}
+
+TEST(CpuPhases, PhasesHideMpcOverhead)
+{
+    auto plain = workload::makeBenchmark("Spmv");
+    auto phased = workload::withCpuPhases(plain, 1.0);
+
+    sim::Simulator sim;
+    auto truth = std::make_shared<ml::GroundTruthPredictor>();
+
+    policy::TurboCoreGovernor turbo;
+    auto base = sim.run(phased, turbo);
+
+    mpc::MpcGovernor gov(truth);
+    sim.run(phased, gov, base.throughput());
+    auto r = sim.run(phased, gov, base.throughput());
+
+    // Some decisions cost time, but the phases absorb it.
+    Seconds hidden = 0.0;
+    for (const auto &rec : r.records)
+        hidden += rec.hiddenOverheadTime;
+    EXPECT_GT(hidden, 0.0);
+    EXPECT_NEAR(sim::overheadTimePct(base, r), 0.0, 0.02);
+    // Energy is still charged for the hidden work.
+    EXPECT_GT(r.overheadEnergy, 0.0);
+}
+
+TEST(CpuPhases, ExposedOverheadOnlyBeyondPhase)
+{
+    // A tiny phase hides only part of a decision's latency.
+    auto app = workload::makeBenchmark("NBody");
+    for (auto &inv : app.trace)
+        inv.cpuPhaseSeconds = 1e-6; // 1 us, smaller than a decision
+
+    sim::Simulator sim;
+    auto truth = std::make_shared<ml::GroundTruthPredictor>();
+    policy::TurboCoreGovernor turbo;
+    auto base = sim.run(app, turbo);
+    mpc::MpcGovernor gov(truth);
+    sim.run(app, gov, base.throughput());
+    auto r = sim.run(app, gov, base.throughput());
+
+    for (const auto &rec : r.records) {
+        if (rec.hiddenOverheadTime > 0.0 && rec.overheadTime > 0.0)
+            EXPECT_NEAR(rec.hiddenOverheadTime, 1e-6, 1e-12);
+    }
+}
+
+TEST(CpuPhases, GovernorsSeeNonKernelTime)
+{
+    // The MPC tracker must fold phases into its throughput accounting,
+    // otherwise it believes it has more headroom than the wall clock.
+    auto phased = workload::withCpuPhases(
+        workload::makeBenchmark("EigenValue"), 1.0);
+    sim::Simulator sim;
+    auto truth = std::make_shared<ml::GroundTruthPredictor>();
+    policy::TurboCoreGovernor turbo;
+    auto base = sim.run(phased, turbo);
+    mpc::MpcGovernor gov(truth);
+    sim.run(phased, gov, base.throughput());
+    auto r = sim.run(phased, gov, base.throughput());
+    EXPECT_GT(sim::speedup(base, r), 0.90);
+    EXPECT_GT(sim::energySavingsPct(base, r), 5.0);
+}
+
+} // namespace
+} // namespace gpupm

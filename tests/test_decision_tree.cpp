@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <numeric>
+
+#include "ml/decision_tree.hpp"
+
+namespace gpupm::ml {
+namespace {
+
+FeatureVector
+fv(double x, double y = 0.0)
+{
+    FeatureVector f{};
+    f[0] = x;
+    f[1] = y;
+    return f;
+}
+
+std::vector<std::uint32_t>
+allRows(const Dataset &d)
+{
+    std::vector<std::uint32_t> rows(d.size());
+    std::iota(rows.begin(), rows.end(), 0);
+    return rows;
+}
+
+TEST(DecisionTree, ConstantTargetGivesSingleLeaf)
+{
+    Dataset d;
+    for (int i = 0; i < 20; ++i)
+        d.add(fv(i), 5.0);
+    DecisionTree t;
+    Pcg32 rng(1);
+    t.fit(d, allRows(d), {}, rng);
+    EXPECT_EQ(t.nodeCount(), 1u);
+    EXPECT_DOUBLE_EQ(t.predict(fv(3.0)), 5.0);
+    EXPECT_DOUBLE_EQ(t.predict(fv(-100.0)), 5.0);
+}
+
+TEST(DecisionTree, LearnsStepFunction)
+{
+    Dataset d;
+    for (int i = 0; i < 50; ++i)
+        d.add(fv(i), i < 25 ? 1.0 : 2.0);
+    DecisionTree t;
+    Pcg32 rng(2);
+    t.fit(d, allRows(d), {}, rng);
+    EXPECT_DOUBLE_EQ(t.predict(fv(10.0)), 1.0);
+    EXPECT_DOUBLE_EQ(t.predict(fv(40.0)), 2.0);
+}
+
+TEST(DecisionTree, LearnsTwoDimensionalCheckerboard)
+{
+    Dataset d;
+    for (int x = 0; x < 10; ++x) {
+        for (int y = 0; y < 10; ++y) {
+            double target = (x < 5) == (y < 5) ? 1.0 : -1.0;
+            d.add(fv(x, y), target);
+        }
+    }
+    DecisionTree t;
+    Pcg32 rng(3);
+    t.fit(d, allRows(d), {}, rng);
+    EXPECT_DOUBLE_EQ(t.predict(fv(2, 2)), 1.0);
+    EXPECT_DOUBLE_EQ(t.predict(fv(7, 2)), -1.0);
+    EXPECT_DOUBLE_EQ(t.predict(fv(2, 7)), -1.0);
+    EXPECT_DOUBLE_EQ(t.predict(fv(7, 7)), 1.0);
+}
+
+TEST(DecisionTree, RespectsMaxDepth)
+{
+    Dataset d;
+    for (int i = 0; i < 256; ++i)
+        d.add(fv(i), static_cast<double>(i));
+    TreeOptions opts;
+    opts.maxDepth = 3;
+    opts.minSamplesLeaf = 1;
+    opts.minSamplesSplit = 2;
+    DecisionTree t;
+    Pcg32 rng(4);
+    t.fit(d, allRows(d), opts, rng);
+    EXPECT_LE(t.depth(), 3);
+    // Depth 3 -> at most 15 nodes.
+    EXPECT_LE(t.nodeCount(), 15u);
+}
+
+TEST(DecisionTree, RespectsMinSamplesLeaf)
+{
+    Dataset d;
+    for (int i = 0; i < 16; ++i)
+        d.add(fv(i), static_cast<double>(i % 2));
+    TreeOptions opts;
+    opts.minSamplesLeaf = 8;
+    DecisionTree t;
+    Pcg32 rng(5);
+    t.fit(d, allRows(d), opts, rng);
+    // Only one split can satisfy 8 samples per side.
+    EXPECT_LE(t.nodeCount(), 3u);
+}
+
+TEST(DecisionTree, DeterministicGivenSameRng)
+{
+    Dataset d;
+    Pcg32 data_rng(99);
+    for (int i = 0; i < 200; ++i) {
+        double x = data_rng.uniform(0, 10);
+        double y = data_rng.uniform(0, 10);
+        d.add(fv(x, y), x * 2.0 + y);
+    }
+    TreeOptions opts;
+    opts.mtry = 2;
+    DecisionTree t1, t2;
+    Pcg32 r1(7), r2(7);
+    t1.fit(d, allRows(d), opts, r1);
+    t2.fit(d, allRows(d), opts, r2);
+    for (int i = 0; i < 50; ++i) {
+        auto f = fv(i * 0.2, i * 0.1);
+        EXPECT_DOUBLE_EQ(t1.predict(f), t2.predict(f));
+    }
+}
+
+TEST(DecisionTree, FitsSubsetOnly)
+{
+    Dataset d;
+    for (int i = 0; i < 20; ++i)
+        d.add(fv(i), i < 10 ? 1.0 : 100.0);
+    // Fit on the first half only: prediction ignores the second half.
+    std::vector<std::uint32_t> rows(10);
+    std::iota(rows.begin(), rows.end(), 0);
+    DecisionTree t;
+    Pcg32 rng(8);
+    t.fit(d, rows, {}, rng);
+    EXPECT_DOUBLE_EQ(t.predict(fv(15.0)), 1.0);
+}
+
+TEST(DecisionTree, DuplicateRowsAllowed)
+{
+    Dataset d;
+    d.add(fv(1.0), 1.0);
+    d.add(fv(2.0), 2.0);
+    std::vector<std::uint32_t> rows = {0, 0, 0, 1, 1, 1, 0, 1};
+    DecisionTree t;
+    Pcg32 rng(9);
+    TreeOptions opts;
+    opts.minSamplesLeaf = 1;
+    opts.minSamplesSplit = 2;
+    t.fit(d, rows, opts, rng);
+    EXPECT_DOUBLE_EQ(t.predict(fv(1.0)), 1.0);
+    EXPECT_DOUBLE_EQ(t.predict(fv(2.0)), 2.0);
+}
+
+TEST(DecisionTree, EmptyFitDies)
+{
+    Dataset d;
+    d.add(fv(1.0), 1.0);
+    DecisionTree t;
+    Pcg32 rng(10);
+    std::vector<std::uint32_t> empty;
+    EXPECT_DEATH(t.fit(d, empty, {}, rng), "zero rows");
+}
+
+TEST(DecisionTree, PredictBeforeFitDies)
+{
+    DecisionTree t;
+    EXPECT_DEATH(t.predict(fv(0.0)), "unfitted");
+}
+
+TEST(DecisionTree, ApproximatesSmoothFunction)
+{
+    Dataset d;
+    Pcg32 rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        double x = rng.uniform(0, 10);
+        d.add(fv(x), std::sin(x));
+    }
+    DecisionTree t;
+    TreeOptions opts;
+    opts.maxDepth = 12;
+    opts.minSamplesLeaf = 2;
+    opts.minSamplesSplit = 4;
+    Pcg32 fit_rng(12);
+    t.fit(d, allRows(d), opts, fit_rng);
+    double max_err = 0.0;
+    for (double x = 0.5; x < 9.5; x += 0.1)
+        max_err = std::max(max_err,
+                           std::fabs(t.predict(fv(x)) - std::sin(x)));
+    EXPECT_LT(max_err, 0.05);
+}
+
+} // namespace
+} // namespace gpupm::ml

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "hw/dvfs.hpp"
+
+namespace gpupm::hw {
+namespace {
+
+/** Table I, CPU block: exact values. */
+TEST(Dvfs, CpuTableMatchesPaper)
+{
+    EXPECT_DOUBLE_EQ(cpuDvfs(CpuPState::P1).voltage, 1.325);
+    EXPECT_DOUBLE_EQ(cpuDvfs(CpuPState::P1).freq, 3900.0);
+    EXPECT_DOUBLE_EQ(cpuDvfs(CpuPState::P2).voltage, 1.3125);
+    EXPECT_DOUBLE_EQ(cpuDvfs(CpuPState::P2).freq, 3800.0);
+    EXPECT_DOUBLE_EQ(cpuDvfs(CpuPState::P3).voltage, 1.2625);
+    EXPECT_DOUBLE_EQ(cpuDvfs(CpuPState::P3).freq, 3700.0);
+    EXPECT_DOUBLE_EQ(cpuDvfs(CpuPState::P4).voltage, 1.225);
+    EXPECT_DOUBLE_EQ(cpuDvfs(CpuPState::P4).freq, 3500.0);
+    EXPECT_DOUBLE_EQ(cpuDvfs(CpuPState::P5).voltage, 1.0625);
+    EXPECT_DOUBLE_EQ(cpuDvfs(CpuPState::P5).freq, 3000.0);
+    EXPECT_DOUBLE_EQ(cpuDvfs(CpuPState::P6).voltage, 0.975);
+    EXPECT_DOUBLE_EQ(cpuDvfs(CpuPState::P6).freq, 2400.0);
+    EXPECT_DOUBLE_EQ(cpuDvfs(CpuPState::P7).voltage, 0.8875);
+    EXPECT_DOUBLE_EQ(cpuDvfs(CpuPState::P7).freq, 1700.0);
+}
+
+/** Table I, NB block: NB0-NB2 share the 800 MHz memory clock. */
+TEST(Dvfs, NbTableMatchesPaper)
+{
+    EXPECT_DOUBLE_EQ(nbDvfs(NbPState::NB0).nbFreq, 1800.0);
+    EXPECT_DOUBLE_EQ(nbDvfs(NbPState::NB0).memFreq, 800.0);
+    EXPECT_DOUBLE_EQ(nbDvfs(NbPState::NB1).nbFreq, 1600.0);
+    EXPECT_DOUBLE_EQ(nbDvfs(NbPState::NB1).memFreq, 800.0);
+    EXPECT_DOUBLE_EQ(nbDvfs(NbPState::NB2).nbFreq, 1400.0);
+    EXPECT_DOUBLE_EQ(nbDvfs(NbPState::NB2).memFreq, 800.0);
+    EXPECT_DOUBLE_EQ(nbDvfs(NbPState::NB3).nbFreq, 1100.0);
+    EXPECT_DOUBLE_EQ(nbDvfs(NbPState::NB3).memFreq, 333.0);
+}
+
+/** Table I, GPU block. */
+TEST(Dvfs, GpuTableMatchesPaper)
+{
+    EXPECT_DOUBLE_EQ(gpuDvfs(GpuPState::DPM0).voltage, 0.95);
+    EXPECT_DOUBLE_EQ(gpuDvfs(GpuPState::DPM0).freq, 351.0);
+    EXPECT_DOUBLE_EQ(gpuDvfs(GpuPState::DPM1).voltage, 1.05);
+    EXPECT_DOUBLE_EQ(gpuDvfs(GpuPState::DPM1).freq, 450.0);
+    EXPECT_DOUBLE_EQ(gpuDvfs(GpuPState::DPM2).voltage, 1.125);
+    EXPECT_DOUBLE_EQ(gpuDvfs(GpuPState::DPM2).freq, 553.0);
+    EXPECT_DOUBLE_EQ(gpuDvfs(GpuPState::DPM3).voltage, 1.1875);
+    EXPECT_DOUBLE_EQ(gpuDvfs(GpuPState::DPM3).freq, 654.0);
+    EXPECT_DOUBLE_EQ(gpuDvfs(GpuPState::DPM4).voltage, 1.225);
+    EXPECT_DOUBLE_EQ(gpuDvfs(GpuPState::DPM4).freq, 720.0);
+}
+
+TEST(Dvfs, CpuVoltageAndFreqMonotone)
+{
+    for (int i = 0; i + 1 < numCpuPStates; ++i) {
+        auto hi = cpuDvfs(static_cast<CpuPState>(i));
+        auto lo = cpuDvfs(static_cast<CpuPState>(i + 1));
+        EXPECT_GE(hi.voltage, lo.voltage);
+        EXPECT_GT(hi.freq, lo.freq);
+    }
+}
+
+TEST(Dvfs, GpuVoltageAndFreqMonotone)
+{
+    // DPM numbering is ascending performance.
+    for (int i = 0; i + 1 < numGpuPStates; ++i) {
+        auto lo = gpuDvfs(static_cast<GpuPState>(i));
+        auto hi = gpuDvfs(static_cast<GpuPState>(i + 1));
+        EXPECT_LT(lo.voltage, hi.voltage);
+        EXPECT_LT(lo.freq, hi.freq);
+    }
+}
+
+TEST(Dvfs, NbMinRailVoltageMonotone)
+{
+    for (int i = 0; i + 1 < numNbPStates; ++i) {
+        auto hi = nbDvfs(static_cast<NbPState>(i));
+        auto lo = nbDvfs(static_cast<NbPState>(i + 1));
+        EXPECT_GT(hi.minRailVoltage, lo.minRailVoltage);
+        EXPECT_GT(hi.nbFreq, lo.nbFreq);
+    }
+}
+
+TEST(Dvfs, ToStringNames)
+{
+    EXPECT_EQ(toString(CpuPState::P1), "P1");
+    EXPECT_EQ(toString(CpuPState::P7), "P7");
+    EXPECT_EQ(toString(NbPState::NB0), "NB0");
+    EXPECT_EQ(toString(NbPState::NB3), "NB3");
+    EXPECT_EQ(toString(GpuPState::DPM0), "DPM0");
+    EXPECT_EQ(toString(GpuPState::DPM4), "DPM4");
+}
+
+TEST(Dvfs, FastestSlowestConstants)
+{
+    EXPECT_GT(cpuDvfs(fastestCpu).freq, cpuDvfs(slowestCpu).freq);
+    EXPECT_GT(nbDvfs(fastestNb).nbFreq, nbDvfs(slowestNb).nbFreq);
+    EXPECT_GT(gpuDvfs(fastestGpu).freq, gpuDvfs(slowestGpu).freq);
+}
+
+} // namespace
+} // namespace gpupm::hw

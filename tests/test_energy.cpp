@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "kernel/perf_model.hpp"
+
+#include "ml/energy.hpp"
+#include "ml/predictor.hpp"
+#include "workload/training.hpp"
+
+namespace gpupm::ml {
+namespace {
+
+TEST(EnergyModel, CpuBusyWaitPowerMonotone)
+{
+    EnergyModel em;
+    double prev = 1e18;
+    for (int i = 0; i < hw::numCpuPStates; ++i) {
+        double p = em.cpuBusyWaitPower(static_cast<hw::CpuPState>(i));
+        EXPECT_LT(p, prev);
+        EXPECT_GT(p, 0.0);
+        prev = p;
+    }
+}
+
+TEST(EnergyModel, NormalizedV2fShape)
+{
+    // P ~ V^2 * f + leakage: the dynamic part must scale exactly.
+    EnergyModel em;
+    const auto &p = hw::ApuParams::defaults();
+    const auto p1 = hw::cpuDvfs(hw::CpuPState::P1);
+    const auto p7 = hw::cpuDvfs(hw::CpuPState::P7);
+    const double dyn1 = em.cpuBusyWaitPower(hw::CpuPState::P1) -
+                        p.cpuLeakCoeff * p1.voltage;
+    const double dyn7 = em.cpuBusyWaitPower(hw::CpuPState::P7) -
+                        p.cpuLeakCoeff * p7.voltage;
+    const double expected = (p1.voltage * p1.voltage * p1.freq) /
+                            (p7.voltage * p7.voltage * p7.freq);
+    EXPECT_NEAR(dyn1 / dyn7, expected, 1e-9);
+}
+
+TEST(EnergyModel, EstimateComposesPredictorAndCpuModel)
+{
+    EnergyModel em;
+    GroundTruthPredictor truth;
+    const kernel::GroundTruthModel model;
+    const auto k = workload::trainingCorpus(1, 11)[0];
+    const auto c = hw::ConfigSpace::failSafe();
+
+    PredictionQuery q;
+    const auto est_gt = model.estimate(k, c);
+    q.counters = model.counters(k, c, est_gt);
+    q.instructions = k.instructions();
+    q.groundTruth = &k;
+
+    const auto e = em.estimate(truth, q, c);
+    EXPECT_DOUBLE_EQ(e.time, est_gt.time);
+    EXPECT_DOUBLE_EQ(e.cpuPower, em.cpuBusyWaitPower(c.cpu));
+    EXPECT_NEAR(e.energy, (e.gpuPower + e.cpuPower) * e.time, 1e-12);
+}
+
+TEST(EnergyModel, LowerCpuStateLowersEnergyForGpuKernels)
+{
+    // The CPU busy-waits: dropping its P-state must reduce estimated
+    // energy (the mechanism behind 75% of the paper's savings).
+    EnergyModel em;
+    GroundTruthPredictor truth;
+    const kernel::GroundTruthModel model;
+    auto k = workload::trainingCorpus(1, 13)[0];
+    k.launchCpuSeconds = 0.0; // isolate the power effect
+
+    hw::HwConfig hi = hw::ConfigSpace::maxPerformance();
+    hw::HwConfig lo = hi;
+    lo.cpu = hw::CpuPState::P7;
+
+    PredictionQuery q;
+    const auto est = model.estimate(k, hi);
+    q.counters = model.counters(k, hi, est);
+    q.instructions = k.instructions();
+    q.groundTruth = &k;
+
+    EXPECT_LT(em.estimate(truth, q, lo).energy,
+              em.estimate(truth, q, hi).energy);
+}
+
+} // namespace
+} // namespace gpupm::ml

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "kernel/perf_model.hpp"
+#include "ml/error_model.hpp"
+#include "workload/training.hpp"
+
+namespace gpupm::ml {
+namespace {
+
+PredictionQuery
+queryFor(const kernel::KernelParams &k, const hw::HwConfig &c)
+{
+    static kernel::GroundTruthModel model;
+    PredictionQuery q;
+    const auto est = model.estimate(k, c);
+    q.counters = model.counters(k, c, est);
+    q.instructions = k.instructions();
+    q.groundTruth = &k;
+    return q;
+}
+
+TEST(ErrorModel, ZeroErrorMatchesGroundTruth)
+{
+    const kernel::GroundTruthModel model;
+    NoisyOraclePredictor err0(0.0, 0.0);
+    GroundTruthPredictor truth;
+    const auto corpus = workload::trainingCorpus(5, 1);
+    const hw::ConfigSpace space;
+    for (const auto &k : corpus) {
+        for (std::size_t ci = 0; ci < space.size(); ci += 37) {
+            const auto &c = space.at(ci);
+            const auto q = queryFor(k, c);
+            const auto a = err0.predict(q, c);
+            const auto b = truth.predict(q, c);
+            EXPECT_DOUBLE_EQ(a.time, b.time);
+            EXPECT_DOUBLE_EQ(a.gpuPower, b.gpuPower);
+        }
+    }
+}
+
+TEST(ErrorModel, GroundTruthPredictorIsExact)
+{
+    const kernel::GroundTruthModel model;
+    GroundTruthPredictor truth;
+    const auto corpus = workload::trainingCorpus(5, 2);
+    const auto c = hw::ConfigSpace::failSafe();
+    for (const auto &k : corpus) {
+        const auto q = queryFor(k, c);
+        const auto p = truth.predict(q, c);
+        EXPECT_DOUBLE_EQ(p.time, model.estimate(k, c).time);
+    }
+}
+
+TEST(ErrorModel, MeanAbsoluteErrorMatchesTarget)
+{
+    // Average |relative error| over many (kernel, config) pairs must
+    // land near the configured half-normal mean (Sec. VI-D).
+    for (double target : {0.05, 0.15}) {
+        NoisyOraclePredictor noisy(target, target / 2.0);
+        GroundTruthPredictor truth;
+        const auto corpus = workload::trainingCorpus(40, 3);
+        const hw::ConfigSpace space;
+        Accumulator time_err, power_err;
+        for (const auto &k : corpus) {
+            for (std::size_t ci = 0; ci < space.size(); ci += 17) {
+                const auto &c = space.at(ci);
+                const auto q = queryFor(k, c);
+                const auto a = noisy.predict(q, c);
+                const auto b = truth.predict(q, c);
+                time_err.add(std::fabs(a.time - b.time) / b.time);
+                power_err.add(std::fabs(a.gpuPower - b.gpuPower) /
+                              b.gpuPower);
+            }
+        }
+        EXPECT_NEAR(time_err.mean(), target, target * 0.15);
+        EXPECT_NEAR(power_err.mean(), target / 2.0, target * 0.1);
+    }
+}
+
+TEST(ErrorModel, DeterministicPerKernelConfig)
+{
+    NoisyOraclePredictor noisy(0.15, 0.10);
+    const auto corpus = workload::trainingCorpus(3, 4);
+    const auto c = hw::ConfigSpace::maxPerformance();
+    for (const auto &k : corpus) {
+        const auto q = queryFor(k, c);
+        const auto a = noisy.predict(q, c);
+        const auto b = noisy.predict(q, c);
+        EXPECT_DOUBLE_EQ(a.time, b.time);
+        EXPECT_DOUBLE_EQ(a.gpuPower, b.gpuPower);
+    }
+}
+
+TEST(ErrorModel, ErrorsDifferAcrossConfigs)
+{
+    NoisyOraclePredictor noisy(0.15, 0.10);
+    GroundTruthPredictor truth;
+    const auto corpus = workload::trainingCorpus(1, 5);
+    const auto &k = corpus[0];
+    const hw::ConfigSpace space;
+    std::set<double> rel_errors;
+    for (std::size_t ci = 0; ci < space.size(); ci += 29) {
+        const auto &c = space.at(ci);
+        const auto q = queryFor(k, c);
+        const double rel = noisy.predict(q, c).time /
+                           truth.predict(q, c).time;
+        rel_errors.insert(rel);
+    }
+    EXPECT_GT(rel_errors.size(), 5u);
+}
+
+TEST(ErrorModel, PredictionsStayPositive)
+{
+    NoisyOraclePredictor noisy(0.5, 0.5, 0x123);
+    const auto corpus = workload::trainingCorpus(20, 6);
+    const hw::ConfigSpace space;
+    for (const auto &k : corpus) {
+        for (std::size_t ci = 0; ci < space.size(); ci += 23) {
+            const auto &c = space.at(ci);
+            const auto q = queryFor(k, c);
+            const auto p = noisy.predict(q, c);
+            EXPECT_GT(p.time, 0.0);
+            EXPECT_GT(p.gpuPower, 0.0);
+        }
+    }
+}
+
+TEST(ErrorModel, Names)
+{
+    EXPECT_EQ(NoisyOraclePredictor(0.15, 0.10).name(), "Err_15%_10%");
+    EXPECT_EQ(NoisyOraclePredictor(0.05, 0.05).name(), "Err_5%");
+    EXPECT_EQ(NoisyOraclePredictor(0.0, 0.0).name(), "Err_0%");
+    EXPECT_EQ(GroundTruthPredictor().name(), "Err_0%");
+}
+
+TEST(ErrorModel, RequiresKernelIdentity)
+{
+    NoisyOraclePredictor noisy(0.1, 0.1);
+    PredictionQuery q; // groundTruth left null
+    EXPECT_DEATH(noisy.predict(q, hw::ConfigSpace::failSafe()),
+                 "identity");
+}
+
+} // namespace
+} // namespace gpupm::ml

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/features.hpp"
+
+namespace gpupm::ml {
+namespace {
+
+kernel::KernelCounters
+sampleCounters()
+{
+    kernel::KernelCounters c;
+    c.globalWorkSize = 1024.0;
+    c.memUnitStalled = 50.0;
+    c.cacheHit = 80.0;
+    c.vfetchInsts = 10.0;
+    c.scratchRegs = 2.0;
+    c.ldsBankConflict = 5.0;
+    c.valuInsts = 100.0;
+    c.fetchSize = 2048.0;
+    return c;
+}
+
+TEST(Features, NamesMatchCount)
+{
+    EXPECT_EQ(featureNames().size(),
+              static_cast<std::size_t>(numFeatures));
+}
+
+TEST(Features, CounterTransforms)
+{
+    auto f = makeFeatures(sampleCounters(),
+                          hw::ConfigSpace::maxPerformance());
+    EXPECT_NEAR(f[0], std::log2(1025.0), 1e-12);  // log GWS
+    EXPECT_DOUBLE_EQ(f[1], 0.5);                  // stall fraction
+    EXPECT_DOUBLE_EQ(f[2], 0.8);                  // cache hit fraction
+    EXPECT_DOUBLE_EQ(f[3], 10.0);                 // vfetch raw
+    EXPECT_DOUBLE_EQ(f[4], 2.0);                  // scratch raw
+    EXPECT_DOUBLE_EQ(f[5], 0.05);                 // lds fraction
+    EXPECT_NEAR(f[6], std::log2(101.0), 1e-12);   // log valu
+    EXPECT_NEAR(f[7], std::log2(2049.0), 1e-12);  // log fetch
+}
+
+TEST(Features, WorkProducts)
+{
+    auto f = makeFeatures(sampleCounters(),
+                          hw::ConfigSpace::maxPerformance());
+    EXPECT_NEAR(f[8], std::log2(1.0 + 1024.0 * 100.0), 1e-12);
+    EXPECT_NEAR(f[9], std::log2(1.0 + 1024.0 * 10.0), 1e-12);
+}
+
+TEST(Features, ConfigDescriptors)
+{
+    auto c = sampleCounters();
+    auto hi = makeFeatures(c, hw::ConfigSpace::maxPerformance());
+    // Max performance: normalized clocks at 1.0, 8 CUs.
+    EXPECT_DOUBLE_EQ(hi[10], 1.0); // cpu freq
+    EXPECT_DOUBLE_EQ(hi[12], 1.0); // nb freq
+    EXPECT_DOUBLE_EQ(hi[13], 1.0); // mem freq
+    EXPECT_DOUBLE_EQ(hi[14], 1.0); // gpu freq
+    EXPECT_DOUBLE_EQ(hi[16], 1.0); // cus/8
+
+    auto lo = makeFeatures(c, hw::ConfigSpace::minPower());
+    EXPECT_NEAR(lo[10], 1700.0 / 3900.0, 1e-12);
+    EXPECT_NEAR(lo[13], 333.0 / 800.0, 1e-12);
+    EXPECT_NEAR(lo[14], 351.0 / 720.0, 1e-12);
+    EXPECT_DOUBLE_EQ(lo[16], 0.25);
+}
+
+TEST(Features, RailVoltageCoupling)
+{
+    auto c = sampleCounters();
+    // DPM0 at NB0: rail pinned by NB; at NB3 it follows the GPU.
+    hw::HwConfig nb0{hw::CpuPState::P7, hw::NbPState::NB0,
+                     hw::GpuPState::DPM0, 8};
+    hw::HwConfig nb3{hw::CpuPState::P7, hw::NbPState::NB3,
+                     hw::GpuPState::DPM0, 8};
+    auto f0 = makeFeatures(c, nb0);
+    auto f3 = makeFeatures(c, nb3);
+    EXPECT_GT(f0[15], f3[15]);
+    EXPECT_DOUBLE_EQ(f3[15], 0.95);
+}
+
+TEST(Features, DifferentConfigsDifferentVectors)
+{
+    auto c = sampleCounters();
+    auto a = makeFeatures(c, hw::ConfigSpace::maxPerformance());
+    auto b = makeFeatures(c, hw::ConfigSpace::minPower());
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace gpupm::ml

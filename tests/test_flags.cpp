@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "common/flags.hpp"
+
+namespace gpupm {
+namespace {
+
+FlagParser
+sampleParser()
+{
+    FlagParser p("test tool");
+    p.addString("name", "default", "a string");
+    p.addDouble("ratio", 0.5, "a double");
+    p.addInt("count", 3, "an int");
+    p.addBool("verbose", "a switch");
+    return p;
+}
+
+bool
+parseArgs(FlagParser &p, std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv = {"tool"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return p.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, DefaultsApply)
+{
+    auto p = sampleParser();
+    ASSERT_TRUE(parseArgs(p, {}));
+    EXPECT_EQ(p.getString("name"), "default");
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 0.5);
+    EXPECT_EQ(p.getInt("count"), 3);
+    EXPECT_FALSE(p.getBool("verbose"));
+}
+
+TEST(Flags, SpaceSeparatedValues)
+{
+    auto p = sampleParser();
+    ASSERT_TRUE(parseArgs(p, {"--name", "x", "--ratio", "1.5",
+                              "--count", "7", "--verbose"}));
+    EXPECT_EQ(p.getString("name"), "x");
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 1.5);
+    EXPECT_EQ(p.getInt("count"), 7);
+    EXPECT_TRUE(p.getBool("verbose"));
+}
+
+TEST(Flags, EqualsSyntax)
+{
+    auto p = sampleParser();
+    ASSERT_TRUE(parseArgs(p, {"--name=y", "--ratio=0.25"}));
+    EXPECT_EQ(p.getString("name"), "y");
+    EXPECT_DOUBLE_EQ(p.getDouble("ratio"), 0.25);
+}
+
+TEST(Flags, PositionalArguments)
+{
+    auto p = sampleParser();
+    ASSERT_TRUE(parseArgs(p, {"pos1", "--count", "2", "pos2"}));
+    EXPECT_EQ(p.positional(),
+              (std::vector<std::string>{"pos1", "pos2"}));
+}
+
+TEST(Flags, UnknownFlagFails)
+{
+    auto p = sampleParser();
+    EXPECT_FALSE(parseArgs(p, {"--nope"}));
+    EXPECT_NE(p.error().find("unknown flag"), std::string::npos);
+}
+
+TEST(Flags, MissingValueFails)
+{
+    auto p = sampleParser();
+    EXPECT_FALSE(parseArgs(p, {"--name"}));
+    EXPECT_NE(p.error().find("needs a value"), std::string::npos);
+}
+
+TEST(Flags, NonNumericValueFails)
+{
+    auto p = sampleParser();
+    EXPECT_FALSE(parseArgs(p, {"--count", "seven"}));
+    EXPECT_NE(p.error().find("expects a number"), std::string::npos);
+}
+
+TEST(Flags, HelpRequested)
+{
+    auto p = sampleParser();
+    EXPECT_FALSE(parseArgs(p, {"--help"}));
+    EXPECT_TRUE(p.helpRequested());
+    EXPECT_TRUE(p.error().empty());
+}
+
+TEST(Flags, UsageMentionsAllFlags)
+{
+    auto p = sampleParser();
+    const auto usage = p.usage();
+    for (const char *name : {"name", "ratio", "count", "verbose", "help"})
+        EXPECT_NE(usage.find(name), std::string::npos) << name;
+}
+
+TEST(Flags, WrongTypeAccessDies)
+{
+    auto p = sampleParser();
+    ASSERT_TRUE(parseArgs(p, {}));
+    EXPECT_DEATH(p.getInt("name"), "wrong type");
+    EXPECT_DEATH(p.getString("missing"), "not registered");
+}
+
+} // namespace
+} // namespace gpupm

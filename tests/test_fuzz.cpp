@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Property/fuzz tests over randomly generated applications: the whole
+ * governor stack must hold its invariants on workloads it was never
+ * calibrated for.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ml/predictor.hpp"
+#include "mpc/governor.hpp"
+#include "policy/oracle.hpp"
+#include "policy/ppk.hpp"
+#include "policy/turbo_core.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/training.hpp"
+
+namespace gpupm {
+namespace {
+
+std::shared_ptr<const ml::PerfPowerPredictor>
+truth()
+{
+    static auto p = std::make_shared<ml::GroundTruthPredictor>();
+    return p;
+}
+
+class RandomApps : public testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        app = workload::randomApplication(GetParam());
+        policy::TurboCoreGovernor turbo;
+        baseline = sim.run(app, turbo);
+        target = baseline.throughput();
+    }
+
+    sim::Simulator sim;
+    workload::Application app;
+    sim::RunResult baseline;
+    Throughput target = 0.0;
+};
+
+TEST_P(RandomApps, GeneratorProducesValidApps)
+{
+    EXPECT_GE(app.kernelCount(), 2u);
+    EXPECT_GT(app.totalInstructions(), 0.0);
+    EXPECT_GT(baseline.totalEnergy(), 0.0);
+    EXPECT_GT(baseline.totalTime(), 0.0);
+    // Deterministic in the seed.
+    auto again = workload::randomApplication(GetParam());
+    EXPECT_EQ(again.kernelCount(), app.kernelCount());
+}
+
+TEST_P(RandomApps, AccountingIdentities)
+{
+    policy::PpkGovernor ppk(truth());
+    auto r = sim.run(app, ppk, target);
+    Seconds t_sum = 0.0;
+    Joules e_sum = 0.0;
+    for (const auto &rec : r.records) {
+        t_sum += rec.kernelTime + rec.overheadTime + rec.cpuPhaseTime +
+                 rec.transitionTime;
+        e_sum += rec.kernelCpuEnergy + rec.kernelGpuEnergy +
+                 rec.overheadCpuEnergy + rec.overheadGpuEnergy +
+                 rec.cpuPhaseCpuEnergy + rec.cpuPhaseGpuEnergy +
+                 rec.transitionCpuEnergy + rec.transitionGpuEnergy;
+    }
+    EXPECT_NEAR(r.totalTime(), t_sum, 1e-12);
+    EXPECT_NEAR(r.totalEnergy(), e_sum, 1e-9);
+}
+
+TEST_P(RandomApps, MpcHoldsInvariantsOnArbitraryApps)
+{
+    mpc::MpcGovernor gov(truth());
+    sim.run(app, gov, target);
+    auto r = sim.run(app, gov, target);
+
+    // Never slower than a loose floor, never more energy than an
+    // unmanaged baseline plus slack, overheads sane.
+    EXPECT_GT(sim::speedup(baseline, r), 0.85) << app.name;
+    EXPECT_LT(r.totalEnergy(), baseline.totalEnergy() * 1.1)
+        << app.name;
+    EXPECT_GE(r.overheadTime, 0.0);
+    EXPECT_LT(r.overheadTime, 0.05 * r.totalTime()) << app.name;
+}
+
+TEST_P(RandomApps, OracleDominatesAndMeetsTarget)
+{
+    policy::TheoreticallyOptimalGovernor oracle(app);
+    auto to = sim.run(app, oracle, target);
+    EXPECT_GE(sim::speedup(baseline, to), 0.98) << app.name;
+    EXPECT_LE(to.totalEnergy(), baseline.totalEnergy() * 1.001)
+        << app.name;
+}
+
+TEST_P(RandomApps, RepeatedMpcRunsConverge)
+{
+    mpc::MpcGovernor gov(truth());
+    sim::RunResult prev, cur;
+    for (int i = 0; i < 5; ++i) {
+        prev = cur;
+        cur = sim.run(app, gov, target);
+    }
+    EXPECT_NEAR(cur.totalEnergy(), prev.totalEnergy(),
+                0.1 * prev.totalEnergy())
+        << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomApps,
+                         testing::Range<std::uint64_t>(1, 21));
+
+} // namespace
+} // namespace gpupm

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "kernel/perf_model.hpp"
+#include "ml/predictor.hpp"
+#include "mpc/hill_climb.hpp"
+#include "workload/training.hpp"
+
+namespace gpupm::mpc {
+namespace {
+
+class HillClimbTest : public testing::Test
+{
+  protected:
+    hw::ConfigSpace space;
+    ml::EnergyModel energy;
+    ml::GroundTruthPredictor truth;
+    kernel::GroundTruthModel model;
+
+    ml::PredictionQuery
+    queryFor(const kernel::KernelParams &k)
+    {
+        ml::PredictionQuery q;
+        const auto c = hw::ConfigSpace::failSafe();
+        const auto est = model.estimate(k, c);
+        q.counters = model.counters(k, c, est);
+        q.instructions = k.instructions();
+        q.groundTruth = &k;
+        return q;
+    }
+
+    /** Exhaustive reference: min energy s.t. time <= headroom. */
+    std::pair<double, double>
+    exhaustive(const ml::PredictionQuery &q, Seconds headroom)
+    {
+        double best_e = std::numeric_limits<double>::infinity();
+        double fastest = std::numeric_limits<double>::infinity();
+        for (const auto &c : space.all()) {
+            const auto est = energy.estimate(truth, q, c);
+            fastest = std::min(fastest, est.time);
+            if (est.time <= headroom)
+                best_e = std::min(best_e, est.energy);
+        }
+        return {best_e, fastest};
+    }
+};
+
+TEST_F(HillClimbTest, RespectsHeadroom)
+{
+    HillClimbOptimizer opt(space, energy);
+    const auto ks = workload::trainingCorpus(10, 42);
+    for (const auto &k : ks) {
+        const auto q = queryFor(k);
+        // Generous headroom: must be feasible.
+        const auto res =
+            opt.optimize(truth, q, 10.0, hw::ConfigSpace::failSafe());
+        EXPECT_TRUE(res.feasible);
+        EXPECT_LE(res.predictedTime, 10.0);
+        // The reported prediction matches a fresh evaluation.
+        const auto check = energy.estimate(truth, q, res.config);
+        EXPECT_DOUBLE_EQ(check.energy, res.predictedEnergy);
+        EXPECT_DOUBLE_EQ(check.time, res.predictedTime);
+    }
+}
+
+TEST_F(HillClimbTest, NearExhaustiveQualityWithFarFewerEvals)
+{
+    // The paper's claim: greedy climbing approximates the exhaustive
+    // scan at ~19x fewer energy evaluations. Verify the energy found
+    // is within a modest factor and evaluations are bounded.
+    HillClimbOptimizer opt(space, energy);
+    const auto ks = workload::trainingCorpus(20, 7);
+    double total_ratio = 0.0;
+    for (const auto &k : ks) {
+        const auto q = queryFor(k);
+        const auto fs = energy.estimate(truth, q,
+                                        hw::ConfigSpace::failSafe());
+        const Seconds headroom = fs.time * 1.3;
+        const auto res =
+            opt.optimize(truth, q, headroom, hw::ConfigSpace::failSafe());
+        const auto [best_e, fastest] = exhaustive(q, headroom);
+        ASSERT_TRUE(res.feasible);
+        EXPECT_LT(res.evaluations, 60u); // ~19x below 336
+        total_ratio += res.predictedEnergy / best_e;
+    }
+    EXPECT_LT(total_ratio / 20.0, 1.25);
+}
+
+TEST_F(HillClimbTest, NeverWorseThanStart)
+{
+    HillClimbOptimizer opt(space, energy);
+    const auto ks = workload::trainingCorpus(10, 9);
+    for (const auto &k : ks) {
+        const auto q = queryFor(k);
+        const auto start = hw::ConfigSpace::failSafe();
+        const auto start_est = energy.estimate(truth, q, start);
+        const Seconds headroom = start_est.time * 1.2;
+        const auto res = opt.optimize(truth, q, headroom, start);
+        if (res.feasible)
+            EXPECT_LE(res.predictedEnergy, start_est.energy * 1.0001);
+    }
+}
+
+TEST_F(HillClimbTest, RacesWhenInfeasible)
+{
+    HillClimbOptimizer opt(space, energy);
+    const auto k = workload::trainingCorpus(1, 3)[0];
+    const auto q = queryFor(k);
+    // Impossible headroom: result is infeasible but should be no
+    // slower than the fail-safe start (it races toward fastest).
+    const auto start = hw::ConfigSpace::failSafe();
+    const auto start_est = energy.estimate(truth, q, start);
+    const auto res = opt.optimize(truth, q, 1e-9, start);
+    EXPECT_FALSE(res.feasible);
+    EXPECT_LE(res.predictedTime, start_est.time * 1.0001);
+}
+
+TEST_F(HillClimbTest, PrefersLowCpuForGpuKernels)
+{
+    // The busy-waiting CPU contributes only launch latency; with slack
+    // available, the climber must keep the CPU at a low P-state.
+    HillClimbOptimizer opt(space, energy);
+    auto k = workload::trainingCorpus(1, 5)[0];
+    k.launchCpuSeconds = 0.0;
+    const auto q = queryFor(k);
+    const auto res =
+        opt.optimize(truth, q, 10.0, hw::ConfigSpace::failSafe());
+    EXPECT_EQ(res.config.cpu, hw::CpuPState::P7);
+}
+
+TEST_F(HillClimbTest, CountsEvaluations)
+{
+    HillClimbOptimizer opt(space, energy);
+    const auto k = workload::trainingCorpus(1, 6)[0];
+    const auto q = queryFor(k);
+    const auto res =
+        opt.optimize(truth, q, 1.0, hw::ConfigSpace::failSafe());
+    // At least: start + one probe per knob.
+    EXPECT_GE(res.evaluations, 1u + hw::numKnobs);
+}
+
+TEST_F(HillClimbTest, DeterministicResult)
+{
+    HillClimbOptimizer opt(space, energy);
+    const auto k = workload::trainingCorpus(1, 8)[0];
+    const auto q = queryFor(k);
+    const auto a =
+        opt.optimize(truth, q, 0.5, hw::ConfigSpace::failSafe());
+    const auto b =
+        opt.optimize(truth, q, 0.5, hw::ConfigSpace::failSafe());
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+} // namespace
+} // namespace gpupm::mpc

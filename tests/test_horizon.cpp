@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "mpc/horizon.hpp"
+
+namespace gpupm::mpc {
+namespace {
+
+TEST(Horizon, UnconfiguredDies)
+{
+    AdaptiveHorizonGenerator h;
+    EXPECT_FALSE(h.configured());
+    EXPECT_DEATH(h.horizonFor(0), "not configured");
+}
+
+TEST(Horizon, PaperFormulaUniformPacing)
+{
+    // N=10, Nbar=2, TPPK=1ms, Ttotal=100ms, alpha=0.05, uniform pace.
+    AdaptiveHorizonGenerator h;
+    h.configure(10, 2.0, 1e-3, 100e-3, 0.05);
+
+    // i=1: budget = (1+a)*Tbar - Tbar = a*Tbar = 0.5 ms.
+    // H = (N/Nbar) * budget / TPPK = 5 * 0.5 = 2.5 -> floor 2.
+    EXPECT_EQ(h.horizonFor(0), 2u);
+
+    // With no elapsed time recorded, i=2: budget = (1.05*2-1)*10ms =
+    // 11 ms -> H = 5*11 = 55 -> clamped to N = 10.
+    EXPECT_EQ(h.horizonFor(1), 10u);
+}
+
+TEST(Horizon, ElapsedTimeShrinksHorizon)
+{
+    AdaptiveHorizonGenerator h;
+    h.configure(10, 2.0, 1e-3, 100e-3, 0.05);
+    (void)h.horizonFor(0);
+    // Kernel 1 was much slower than pace: 30 ms vs 10 ms.
+    h.record(30e-3, 0.0);
+    // i=2: budget = 1.05*20 - 10 - 30 = -19 ms -> H = 0.
+    EXPECT_EQ(h.horizonFor(1), 0u);
+}
+
+TEST(Horizon, MpcOverheadCountsAgainstBudget)
+{
+    AdaptiveHorizonGenerator a, b;
+    a.configure(10, 1.0, 1e-3, 100e-3, 0.05);
+    b.configure(10, 1.0, 1e-3, 100e-3, 0.05);
+    (void)a.horizonFor(0);
+    (void)b.horizonFor(0);
+    a.record(10e-3, 0.0);
+    b.record(10e-3, 5e-3); // extra MPC overhead
+    EXPECT_GE(a.horizonFor(1), b.horizonFor(1));
+}
+
+TEST(Horizon, ZeroTppkMeansFullHorizon)
+{
+    // Limit studies run with a free overhead model.
+    AdaptiveHorizonGenerator h;
+    h.configure(8, 2.0, 0.0, 1.0, 0.05);
+    EXPECT_EQ(h.horizonFor(0), 8u);
+    h.record(10.0, 0.0); // hopelessly behind
+    EXPECT_EQ(h.horizonFor(1), 8u);
+}
+
+TEST(Horizon, ClampedToN)
+{
+    AdaptiveHorizonGenerator h;
+    h.configure(5, 1.0, 1e-9, 1.0, 0.05);
+    EXPECT_EQ(h.horizonFor(0), 5u);
+}
+
+TEST(Horizon, ProfiledPacingFollowsSchedule)
+{
+    // Front-loaded app: first kernel takes 70% of the time. Uniform
+    // pacing would treat the long first kernel as a deficit; the
+    // profiled schedule does not.
+    AdaptiveHorizonGenerator uniform, profiled;
+    uniform.configure(2, 1.0, 1e-3, 100e-3, 0.05);
+    profiled.configure(2, 1.0, 1e-3, 100e-3, 0.05, {70e-3, 30e-3});
+
+    (void)uniform.horizonFor(0);
+    (void)profiled.horizonFor(0);
+    uniform.record(70e-3, 0.0);
+    profiled.record(70e-3, 0.0);
+
+    // i=2 uniform: budget = 1.05*100 - 50 - 70 = -15 -> 0.
+    EXPECT_EQ(uniform.horizonFor(1), 0u);
+    // i=2 profiled: budget = 1.05*100 - 30 - 70 = 5 ms -> 2*5/1 = 10
+    // -> clamped to 2.
+    EXPECT_EQ(profiled.horizonFor(1), 2u);
+}
+
+TEST(Horizon, AverageHorizonFraction)
+{
+    AdaptiveHorizonGenerator h;
+    h.configure(10, 1.0, 0.0, 1.0, 0.05);
+    (void)h.horizonFor(0); // 10
+    (void)h.horizonFor(1); // 10
+    EXPECT_DOUBLE_EQ(h.averageHorizonFraction(), 1.0);
+    h.beginRun();
+    EXPECT_DOUBLE_EQ(h.averageHorizonFraction(), 0.0);
+}
+
+TEST(Horizon, BeginRunResetsElapsed)
+{
+    AdaptiveHorizonGenerator h;
+    h.configure(10, 2.0, 1e-3, 100e-3, 0.05);
+    h.record(1.0, 0.0); // way behind
+    EXPECT_EQ(h.horizonFor(1), 0u);
+    h.beginRun();
+    EXPECT_EQ(h.horizonFor(0), 2u); // fresh budget
+}
+
+TEST(Horizon, InvalidConfigurationDies)
+{
+    AdaptiveHorizonGenerator h;
+    EXPECT_DEATH(h.configure(0, 1.0, 1.0, 1.0, 0.05), "N > 0");
+    EXPECT_DEATH(h.configure(5, 0.5, 1.0, 1.0, 0.05), "Nbar");
+    EXPECT_DEATH(h.configure(5, 1.0, 1.0, 0.0, 0.05), "positive");
+    EXPECT_DEATH(h.configure(5, 1.0, 1.0, 1.0, 0.05, {1.0}),
+                 "one entry per kernel");
+}
+
+TEST(Horizon, NegativeRecordDies)
+{
+    AdaptiveHorizonGenerator h;
+    h.configure(5, 1.0, 1.0, 1.0, 0.05);
+    EXPECT_DEATH(h.record(-1.0, 0.0), "negative");
+}
+
+} // namespace
+} // namespace gpupm::mpc

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.hpp"
+
+namespace gpupm::kernel {
+namespace {
+
+TEST(Kernel, InstructionsAreThreadsTimesPerThread)
+{
+    KernelParams k;
+    k.workItems = 1000.0;
+    k.valuInstsPerItem = 50.0;
+    k.vfetchInstsPerItem = 10.0;
+    EXPECT_DOUBLE_EQ(k.instructions(), 60000.0);
+}
+
+TEST(Kernel, ArchetypeNames)
+{
+    EXPECT_EQ(toString(Archetype::ComputeBound), "compute-bound");
+    EXPECT_EQ(toString(Archetype::MemoryBound), "memory-bound");
+    EXPECT_EQ(toString(Archetype::Peak), "peak");
+    EXPECT_EQ(toString(Archetype::Unscalable), "unscalable");
+}
+
+TEST(Kernel, InputScaleScalesWork)
+{
+    KernelParams k;
+    k.workItems = 1e6;
+    auto half = k.withInputScale(0.5);
+    EXPECT_DOUBLE_EQ(half.workItems, 5e5);
+    EXPECT_DOUBLE_EQ(half.valuInstsPerItem, k.valuInstsPerItem);
+    // Instructions scale linearly with the input.
+    EXPECT_DOUBLE_EQ(half.instructions(), 0.5 * k.instructions());
+}
+
+TEST(Kernel, InputScaleShiftsLocality)
+{
+    KernelParams k;
+    k.cacheHitBase = 0.5;
+    EXPECT_DOUBLE_EQ(k.withInputScale(1.0, 0.2).cacheHitBase, 0.7);
+    EXPECT_DOUBLE_EQ(k.withInputScale(1.0, -0.2).cacheHitBase, 0.3);
+    // Clamped to [0, 0.98].
+    EXPECT_DOUBLE_EQ(k.withInputScale(1.0, 1.0).cacheHitBase, 0.98);
+    EXPECT_DOUBLE_EQ(k.withInputScale(1.0, -1.0).cacheHitBase, 0.0);
+}
+
+TEST(Kernel, InputScaleChangesHiddenSeed)
+{
+    KernelParams k;
+    k.idiosyncrasySeed = 1234;
+    auto scaled = k.withInputScale(0.5);
+    EXPECT_NE(scaled.idiosyncrasySeed, k.idiosyncrasySeed);
+    // Deterministic: same scale gives the same seed.
+    EXPECT_EQ(scaled.idiosyncrasySeed,
+              k.withInputScale(0.5).idiosyncrasySeed);
+}
+
+TEST(Kernel, InputScaleMustBePositive)
+{
+    KernelParams k;
+    EXPECT_DEATH(k.withInputScale(0.0), "positive");
+    EXPECT_DEATH(k.withInputScale(-1.0), "positive");
+}
+
+} // namespace
+} // namespace gpupm::kernel

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.hpp"
+#include "policy/knapsack.hpp"
+
+namespace gpupm::policy {
+namespace {
+
+/** Exhaustive reference solver for small instances. */
+KnapsackSolution
+bruteForce(const std::vector<std::vector<KnapsackOption>> &items,
+           Seconds budget)
+{
+    KnapsackSolution best;
+    best.totalEnergy = std::numeric_limits<double>::infinity();
+    std::vector<std::size_t> pick(items.size(), 0);
+    for (;;) {
+        Seconds t = 0.0;
+        Joules e = 0.0;
+        for (std::size_t j = 0; j < items.size(); ++j) {
+            t += items[j][pick[j]].time;
+            e += items[j][pick[j]].energy;
+        }
+        if (t <= budget && e < best.totalEnergy) {
+            best.totalEnergy = e;
+            best.totalTime = t;
+            best.feasible = true;
+            best.choice.clear();
+            for (std::size_t j = 0; j < items.size(); ++j)
+                best.choice.push_back(items[j][pick[j]].id);
+        }
+        // Odometer increment.
+        std::size_t j = 0;
+        while (j < items.size() && ++pick[j] == items[j].size()) {
+            pick[j] = 0;
+            ++j;
+        }
+        if (j == items.size())
+            break;
+    }
+    return best;
+}
+
+std::vector<std::vector<KnapsackOption>>
+randomInstance(std::size_t n_items, std::size_t n_options,
+               std::uint64_t seed)
+{
+    Pcg32 rng(seed);
+    std::vector<std::vector<KnapsackOption>> items(n_items);
+    for (auto &opts : items) {
+        for (std::size_t o = 0; o < n_options; ++o) {
+            opts.push_back(
+                {rng.uniform(1.0, 10.0), rng.uniform(1.0, 10.0), o});
+        }
+    }
+    return items;
+}
+
+TEST(ParetoPrune, RemovesDominated)
+{
+    std::vector<KnapsackOption> opts = {
+        {1.0, 10.0, 0}, // fastest, expensive
+        {2.0, 12.0, 1}, // dominated by 0 (slower AND more energy)
+        {3.0, 5.0, 2},  // slower but cheaper: survives
+        {4.0, 5.0, 3},  // dominated by 2
+        {5.0, 1.0, 4},  // survives
+    };
+    auto pruned = paretoPrune(opts);
+    ASSERT_EQ(pruned.size(), 3u);
+    EXPECT_EQ(pruned[0].id, 0u);
+    EXPECT_EQ(pruned[1].id, 2u);
+    EXPECT_EQ(pruned[2].id, 4u);
+    // Sorted by increasing time, decreasing energy.
+    EXPECT_LT(pruned[0].time, pruned[1].time);
+    EXPECT_GT(pruned[0].energy, pruned[1].energy);
+}
+
+TEST(ParetoPrune, TiesKeepCheapest)
+{
+    std::vector<KnapsackOption> opts = {
+        {1.0, 5.0, 0},
+        {1.0, 3.0, 1},
+    };
+    auto pruned = paretoPrune(opts);
+    ASSERT_EQ(pruned.size(), 1u);
+    EXPECT_EQ(pruned[0].id, 1u);
+}
+
+TEST(SolveMinEnergy, SingleItemPicksCheapestFeasible)
+{
+    std::vector<std::vector<KnapsackOption>> items = {{
+        {1.0, 10.0, 0},
+        {2.0, 6.0, 1},
+        {4.0, 3.0, 2},
+    }};
+    auto sol = solveMinEnergy(items, 2.5);
+    EXPECT_TRUE(sol.feasible);
+    EXPECT_EQ(sol.choice[0], 1u);
+}
+
+TEST(SolveMinEnergy, BudgetForcesTradeoff)
+{
+    // Two items; generous budget would pick both cheap-slow options,
+    // but the budget only allows one to be slow.
+    std::vector<std::vector<KnapsackOption>> items = {
+        {{1.0, 10.0, 0}, {5.0, 2.0, 1}},
+        {{1.0, 10.0, 0}, {5.0, 2.0, 1}},
+    };
+    auto sol = solveMinEnergy(items, 7.0);
+    EXPECT_TRUE(sol.feasible);
+    EXPECT_NEAR(sol.totalEnergy, 12.0, 1e-9);
+    EXPECT_LE(sol.totalTime, 7.0);
+}
+
+TEST(SolveMinEnergy, InfeasibleRacesFastest)
+{
+    std::vector<std::vector<KnapsackOption>> items = {
+        {{3.0, 10.0, 0}, {5.0, 2.0, 1}},
+        {{4.0, 10.0, 0}, {6.0, 2.0, 1}},
+    };
+    auto sol = solveMinEnergy(items, 5.0); // fastest total is 7
+    EXPECT_FALSE(sol.feasible);
+    EXPECT_EQ(sol.choice[0], 0u);
+    EXPECT_EQ(sol.choice[1], 0u);
+    EXPECT_NEAR(sol.totalTime, 7.0, 1e-9);
+}
+
+TEST(SolveMinEnergy, MatchesBruteForceOnRandomInstances)
+{
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        auto items = randomInstance(5, 4, seed);
+        const Seconds budget = 25.0;
+        auto dp = solveMinEnergy(items, budget, 20000);
+        auto bf = bruteForce(items, budget);
+        ASSERT_EQ(dp.feasible, bf.feasible) << "seed " << seed;
+        if (bf.feasible) {
+            // DP is exact up to the time quantum.
+            EXPECT_LE(dp.totalTime, budget);
+            EXPECT_NEAR(dp.totalEnergy, bf.totalEnergy,
+                        bf.totalEnergy * 0.02)
+                << "seed " << seed;
+        }
+    }
+}
+
+TEST(SolveMinEnergy, SolutionAlwaysWithinBudgetWhenFeasible)
+{
+    for (std::uint64_t seed = 20; seed < 30; ++seed) {
+        auto items = randomInstance(8, 12, seed);
+        auto sol = solveMinEnergy(items, 40.0, 4000);
+        if (sol.feasible)
+            EXPECT_LE(sol.totalTime, 40.0);
+        EXPECT_EQ(sol.choice.size(), items.size());
+    }
+}
+
+TEST(SolveMinEnergy, ChoiceIdsComeFromInput)
+{
+    auto items = randomInstance(3, 5, 99);
+    auto sol = solveMinEnergy(items, 100.0);
+    for (auto id : sol.choice)
+        EXPECT_LT(id, 5u);
+}
+
+TEST(SolveMinEnergy, BadInputsDie)
+{
+    std::vector<std::vector<KnapsackOption>> empty;
+    EXPECT_DEATH(solveMinEnergy(empty, 1.0), "no items");
+    std::vector<std::vector<KnapsackOption>> one = {{{1.0, 1.0, 0}}};
+    EXPECT_DEATH(solveMinEnergy(one, -1.0), "budget");
+    std::vector<std::vector<KnapsackOption>> hole = {{}};
+    EXPECT_DEATH(solveMinEnergy(hole, 1.0), "no options");
+}
+
+} // namespace
+} // namespace gpupm::policy

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "policy/static_governor.hpp"
+#include "sim/metrics.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::sim {
+namespace {
+
+class MetricsTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        app = workload::makeBenchmark("NBody");
+        policy::StaticGovernor fast(hw::ConfigSpace::maxPerformance());
+        policy::StaticGovernor slow(hw::ConfigSpace::minPower());
+        ref = sim.run(app, fast);
+        low = sim.run(app, slow);
+    }
+
+    Simulator sim;
+    workload::Application app;
+    RunResult ref, low;
+};
+
+TEST_F(MetricsTest, SelfComparisonIsZero)
+{
+    EXPECT_NEAR(energySavingsPct(ref, ref), 0.0, 1e-9);
+    EXPECT_NEAR(gpuEnergySavingsPct(ref, ref), 0.0, 1e-9);
+    EXPECT_NEAR(speedup(ref, ref), 1.0, 1e-9);
+}
+
+TEST_F(MetricsTest, LowPowerConfigLosesTime)
+{
+    // NBody is compute-bound: the min-power config is so much slower
+    // that race-to-idle wins on energy too; only the slowdown is
+    // guaranteed here.
+    EXPECT_LT(speedup(ref, low), 1.0);
+}
+
+TEST_F(MetricsTest, CpuDownshiftSavesEnergy)
+{
+    // Dropping only the busy-waiting CPU barely affects time but
+    // saves energy.
+    auto cfg = hw::ConfigSpace::maxPerformance();
+    cfg.cpu = hw::CpuPState::P7;
+    policy::StaticGovernor gov(cfg);
+    auto r = sim.run(app, gov);
+    EXPECT_GT(energySavingsPct(ref, r), 0.0);
+    EXPECT_GT(speedup(ref, r), 0.95);
+}
+
+TEST_F(MetricsTest, SavingsFormula)
+{
+    const double expected =
+        100.0 * (1.0 - low.totalEnergy() / ref.totalEnergy());
+    EXPECT_NEAR(energySavingsPct(ref, low), expected, 1e-9);
+    EXPECT_NEAR(speedup(ref, low), ref.totalTime() / low.totalTime(),
+                1e-12);
+}
+
+TEST_F(MetricsTest, GpuSavingsUsesGpuPlaneOnly)
+{
+    const double expected =
+        100.0 * (1.0 - low.gpuEnergy / ref.gpuEnergy);
+    EXPECT_NEAR(gpuEnergySavingsPct(ref, low), expected, 1e-9);
+}
+
+TEST_F(MetricsTest, OverheadPercentagesZeroForStatic)
+{
+    EXPECT_DOUBLE_EQ(overheadEnergyPct(ref, low), 0.0);
+    EXPECT_DOUBLE_EQ(overheadTimePct(ref, low), 0.0);
+}
+
+TEST_F(MetricsTest, DifferentAppsDie)
+{
+    auto other = workload::makeBenchmark("lbm");
+    policy::StaticGovernor gov(hw::ConfigSpace::failSafe());
+    auto r = sim.run(other, gov);
+    EXPECT_DEATH(energySavingsPct(ref, r), "different applications");
+}
+
+} // namespace
+} // namespace gpupm::sim

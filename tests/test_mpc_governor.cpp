@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "ml/error_model.hpp"
+
+#include <memory>
+
+#include "ml/predictor.hpp"
+#include "mpc/governor.hpp"
+#include "policy/ppk.hpp"
+#include "policy/turbo_core.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::mpc {
+namespace {
+
+std::shared_ptr<const ml::PerfPowerPredictor>
+truthPredictor()
+{
+    static auto p = std::make_shared<ml::GroundTruthPredictor>();
+    return p;
+}
+
+struct BenchSetup
+{
+    workload::Application app;
+    sim::RunResult baseline;
+    Throughput target;
+
+    explicit BenchSetup(const std::string &name)
+        : app(workload::makeBenchmark(name))
+    {
+        sim::Simulator sim;
+        policy::TurboCoreGovernor turbo;
+        baseline = sim.run(app, turbo);
+        target = baseline.throughput();
+    }
+};
+
+TEST(MpcGovernor, ProfilesOnFirstRunThenOptimizes)
+{
+    BenchSetup s("Spmv");
+    sim::Simulator sim;
+    MpcGovernor gov(truthPredictor());
+    EXPECT_TRUE(gov.profiling());
+    sim.run(s.app, gov, s.target);
+    // Still "profiling" until the next beginRun commits the pattern.
+    auto r2 = sim.run(s.app, gov, s.target);
+    EXPECT_FALSE(gov.profiling());
+    EXPECT_EQ(gov.kernelCount(), s.app.kernelCount());
+    EXPECT_GT(gov.runStats().decisions, 0u);
+    (void)r2;
+}
+
+TEST(MpcGovernor, FirstRunBehavesLikePpk)
+{
+    BenchSetup s("EigenValue");
+    sim::Simulator sim;
+    MpcGovernor gov(truthPredictor());
+    auto mpc_run1 = sim.run(s.app, gov, s.target);
+    policy::PpkGovernor ppk(truthPredictor());
+    auto ppk_run = sim.run(s.app, ppk, s.target);
+    // Identical decisions during the profiling execution (Sec. V-B).
+    ASSERT_EQ(mpc_run1.records.size(), ppk_run.records.size());
+    for (std::size_t i = 0; i < mpc_run1.records.size(); ++i)
+        EXPECT_EQ(mpc_run1.records[i].config, ppk_run.records[i].config);
+}
+
+TEST(MpcGovernor, NeedsTargetAndPredictor)
+{
+    EXPECT_DEATH(MpcGovernor(nullptr), "predictor");
+    BenchSetup s("lud");
+    sim::Simulator sim;
+    MpcGovernor gov(truthPredictor());
+    EXPECT_DEATH(sim.run(s.app, gov, 0.0), "target");
+}
+
+TEST(MpcGovernor, OneGovernorPerApplication)
+{
+    BenchSetup a("lud");
+    BenchSetup b("mis");
+    sim::Simulator sim;
+    MpcGovernor gov(truthPredictor());
+    sim.run(a.app, gov, a.target);
+    EXPECT_DEATH(sim.run(b.app, gov, b.target), "one MpcGovernor");
+}
+
+TEST(MpcGovernor, ChargesOverheadWhenEnabled)
+{
+    BenchSetup s("Spmv");
+    sim::Simulator sim;
+    MpcGovernor gov(truthPredictor());
+    sim.run(s.app, gov, s.target);
+    auto r2 = sim.run(s.app, gov, s.target);
+    EXPECT_GT(r2.overheadTime, 0.0);
+    EXPECT_NEAR(gov.runStats().overheadTime, r2.overheadTime, 1e-12);
+    EXPECT_GT(gov.runStats().evaluations, 0u);
+}
+
+TEST(MpcGovernor, OverheadDisabledForLimitStudies)
+{
+    BenchSetup s("Spmv");
+    sim::Simulator sim;
+    MpcOptions opts;
+    opts.chargeOverhead = false;
+    opts.overhead = policy::OverheadModel::free();
+    opts.horizonMode = HorizonMode::Full;
+    MpcGovernor gov(truthPredictor(), opts);
+    sim.run(s.app, gov, s.target);
+    auto r2 = sim.run(s.app, gov, s.target);
+    EXPECT_DOUBLE_EQ(r2.overheadTime, 0.0);
+}
+
+TEST(MpcGovernor, FullHorizonUsesWholeApp)
+{
+    BenchSetup s("NBody");
+    sim::Simulator sim;
+    MpcOptions opts;
+    opts.horizonMode = HorizonMode::Full;
+    MpcGovernor gov(truthPredictor(), opts);
+    sim.run(s.app, gov, s.target);
+    sim.run(s.app, gov, s.target);
+    EXPECT_DOUBLE_EQ(
+        gov.runStats().averageHorizonFraction(gov.kernelCount()), 1.0);
+}
+
+TEST(MpcGovernor, FixedHorizonMode)
+{
+    BenchSetup s("NBody");
+    sim::Simulator sim;
+    MpcOptions opts;
+    opts.horizonMode = HorizonMode::Fixed;
+    opts.fixedHorizon = 2;
+    MpcGovernor gov(truthPredictor(), opts);
+    sim.run(s.app, gov, s.target);
+    sim.run(s.app, gov, s.target);
+    EXPECT_NEAR(gov.runStats().averageHorizonFraction(gov.kernelCount()),
+                2.0 / 10.0, 1e-9);
+}
+
+/**
+ * The paper's headline property, per benchmark: after profiling, MPC
+ * saves energy vs Turbo Core while keeping the performance loss small
+ * (alpha-bounded plus misprediction tail).
+ */
+class MpcHeadline : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(MpcHeadline, SavesEnergyWithBoundedLoss)
+{
+    BenchSetup s(GetParam());
+    sim::Simulator sim;
+    MpcGovernor gov(truthPredictor());
+    sim.run(s.app, gov, s.target);
+    auto r2 = sim.run(s.app, gov, s.target);
+
+    EXPECT_GT(sim::energySavingsPct(s.baseline, r2), 10.0);
+    EXPECT_GT(sim::speedup(s.baseline, r2), 0.90);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, MpcHeadline,
+                         testing::ValuesIn(workload::benchmarkNames()));
+
+TEST(MpcGovernor, RegularAppMatchesPpk)
+{
+    // Paper Fig. 8: MPC fares similarly to PPK for regular benchmarks.
+    BenchSetup s("mandelbulbGPU");
+    sim::Simulator sim;
+    policy::PpkGovernor ppk(truthPredictor());
+    auto rp = sim.run(s.app, ppk, s.target);
+    MpcGovernor gov(truthPredictor());
+    sim.run(s.app, gov, s.target);
+    auto rm = sim.run(s.app, gov, s.target);
+    EXPECT_NEAR(sim::energySavingsPct(s.baseline, rm),
+                sim::energySavingsPct(s.baseline, rp), 5.0);
+}
+
+TEST(MpcGovernor, BeatsPpkOnIrregularApps)
+{
+    // Paper Fig. 9: on irregular apps MPC recovers the performance PPK
+    // loses. Compare speedups on the benchmarks PPK handles worst.
+    for (const auto &name : {"Spmv", "hybridsort", "lulesh"}) {
+        BenchSetup s(name);
+        sim::Simulator sim;
+        policy::PpkGovernor ppk(truthPredictor());
+        auto rp = sim.run(s.app, ppk, s.target);
+        MpcGovernor gov(truthPredictor());
+        sim.run(s.app, gov, s.target);
+        auto rm = sim.run(s.app, gov, s.target);
+        EXPECT_GT(sim::speedup(s.baseline, rm),
+                  sim::speedup(s.baseline, rp))
+            << name;
+    }
+}
+
+TEST(MpcGovernor, FeedbackAblationDegradesOrEquals)
+{
+    // Without Eq. 4/5 feedback the tracker believes its predictions;
+    // with an imperfect predictor this forfeits recovery.
+    auto noisy = std::make_shared<ml::NoisyOraclePredictor>(0.15, 0.10);
+    BenchSetup s("Spmv");
+    sim::Simulator sim;
+
+    MpcOptions with;
+    MpcGovernor gov_fb(noisy, with);
+    sim.run(s.app, gov_fb, s.target);
+    auto r_fb = sim.run(s.app, gov_fb, s.target);
+
+    MpcOptions without = with;
+    without.useFeedback = false;
+    MpcGovernor gov_nf(noisy, without);
+    sim.run(s.app, gov_nf, s.target);
+    auto r_nf = sim.run(s.app, gov_nf, s.target);
+
+    EXPECT_GE(sim::speedup(s.baseline, r_fb),
+              sim::speedup(s.baseline, r_nf) - 0.01);
+}
+
+TEST(MpcGovernor, StatsResetEachRun)
+{
+    BenchSetup s("lud");
+    sim::Simulator sim;
+    MpcGovernor gov(truthPredictor());
+    sim.run(s.app, gov, s.target);
+    sim.run(s.app, gov, s.target);
+    const auto stats2 = gov.runStats();
+    sim.run(s.app, gov, s.target);
+    const auto stats3 = gov.runStats();
+    EXPECT_EQ(stats2.decisions, stats3.decisions);
+}
+
+} // namespace
+} // namespace gpupm::mpc

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "policy/oracle.hpp"
+#include "policy/static_governor.hpp"
+#include "policy/turbo_core.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::policy {
+namespace {
+
+class OracleTest : public testing::TestWithParam<std::string>
+{
+  protected:
+    sim::Simulator sim;
+};
+
+TEST_P(OracleTest, MeetsTargetAndSavesEnergy)
+{
+    auto app = workload::makeBenchmark(GetParam());
+    TurboCoreGovernor turbo;
+    auto base = sim.run(app, turbo);
+
+    TheoreticallyOptimalGovernor oracle(app);
+    auto r = sim.run(app, oracle, base.throughput());
+
+    // TO is defined to at least match the baseline throughput. Its
+    // plan follows the paper's Eq. 1, which has no sequence coupling,
+    // so the DVFS transition stalls of per-kernel reconfiguration can
+    // cost it up to ~1%.
+    EXPECT_TRUE(oracle.planFeasible()) << GetParam();
+    EXPECT_GE(sim::speedup(base, r), 0.985) << GetParam();
+    // ...while saving energy (Fig. 4: TO always wins energy).
+    EXPECT_GT(sim::energySavingsPct(base, r), 5.0) << GetParam();
+    // And no overhead is charged for the impractical oracle.
+    EXPECT_DOUBLE_EQ(r.overheadTime, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, OracleTest,
+                         testing::ValuesIn(workload::benchmarkNames()));
+
+TEST(Oracle, PlanIsPerInvocation)
+{
+    auto app = workload::makeBenchmark("Spmv");
+    sim::Simulator sim;
+    TurboCoreGovernor turbo;
+    auto base = sim.run(app, turbo);
+    TheoreticallyOptimalGovernor oracle(app);
+    sim.run(app, oracle, base.throughput());
+    EXPECT_EQ(oracle.plan().size(), app.kernelCount());
+}
+
+TEST(Oracle, PlanReusedForSameTarget)
+{
+    auto app = workload::makeBenchmark("NBody");
+    sim::Simulator sim;
+    TurboCoreGovernor turbo;
+    auto base = sim.run(app, turbo);
+    TheoreticallyOptimalGovernor oracle(app);
+    auto r1 = sim.run(app, oracle, base.throughput());
+    auto r2 = sim.run(app, oracle, base.throughput());
+    EXPECT_DOUBLE_EQ(r1.totalEnergy(), r2.totalEnergy());
+}
+
+TEST(Oracle, UnreachableTargetRaces)
+{
+    auto app = workload::makeBenchmark("kmeans");
+    sim::Simulator sim;
+    TheoreticallyOptimalGovernor oracle(app);
+    // An impossible target (10x any achievable throughput).
+    TurboCoreGovernor turbo;
+    auto base = sim.run(app, turbo);
+    sim.run(app, oracle, base.throughput() * 10.0);
+    EXPECT_FALSE(oracle.planFeasible());
+}
+
+TEST(Oracle, BeatsEveryStaticConfiguration)
+{
+    // TO's plan must use no more energy than the best static config
+    // that also meets the target (static assignment is a special case
+    // of the per-kernel plan).
+    auto app = workload::makeBenchmark("Spmv");
+    sim::Simulator sim;
+    TurboCoreGovernor turbo;
+    auto base = sim.run(app, turbo);
+    const auto target = base.throughput();
+
+    TheoreticallyOptimalGovernor oracle(app);
+    auto to = sim.run(app, oracle, target);
+
+    const hw::ConfigSpace space;
+    for (std::size_t ci = 0; ci < space.size(); ci += 19) {
+        StaticGovernor gov(space.at(ci));
+        auto r = sim.run(app, gov);
+        if (r.throughput() >= target) {
+            EXPECT_LE(to.totalEnergy(), r.totalEnergy() * 1.005)
+                << space.at(ci).toString();
+        }
+    }
+}
+
+TEST(Oracle, WrongApplicationDies)
+{
+    auto app = workload::makeBenchmark("lud");
+    auto other = workload::makeBenchmark("mis");
+    sim::Simulator sim;
+    TheoreticallyOptimalGovernor oracle(app);
+    EXPECT_DEATH(sim.run(other, oracle, 1e10), "oracle for");
+}
+
+TEST(Oracle, NeedsTarget)
+{
+    auto app = workload::makeBenchmark("lud");
+    sim::Simulator sim;
+    TheoreticallyOptimalGovernor oracle(app);
+    EXPECT_DEATH(sim.run(app, oracle, 0.0), "target");
+}
+
+} // namespace
+} // namespace gpupm::policy

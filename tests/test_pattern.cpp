@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "workload/pattern.hpp"
+
+namespace gpupm::workload {
+namespace {
+
+std::string
+expandToString(const std::string &pattern)
+{
+    auto tags = expandPattern(pattern);
+    return std::string(tags.begin(), tags.end());
+}
+
+TEST(Pattern, SingleTag)
+{
+    EXPECT_EQ(expandToString("A"), "A");
+}
+
+TEST(Pattern, RepeatedTag)
+{
+    EXPECT_EQ(expandToString("A3"), "AAA");
+    EXPECT_EQ(expandToString("A10"), "AAAAAAAAAA");
+}
+
+TEST(Pattern, Concatenation)
+{
+    EXPECT_EQ(expandToString("AB"), "AB");
+    EXPECT_EQ(expandToString("A2B3"), "AABBB");
+}
+
+TEST(Pattern, PaperTableII)
+{
+    // Spmv: A10 B10 C10.
+    auto spmv = expandToString("A10B10C10");
+    EXPECT_EQ(spmv.size(), 30u);
+    EXPECT_EQ(spmv.substr(0, 10), "AAAAAAAAAA");
+    EXPECT_EQ(spmv.substr(20, 10), "CCCCCCCCCC");
+    // kmeans: A B20.
+    EXPECT_EQ(expandToString("AB20"),
+              "A" + std::string(20, 'B'));
+}
+
+TEST(Pattern, Groups)
+{
+    EXPECT_EQ(expandToString("(AB)5"), "ABABABABAB");
+    EXPECT_EQ(expandToString("(ABC)2"), "ABCABC");
+    EXPECT_EQ(expandToString("(A2B)2"), "AABAAB");
+}
+
+TEST(Pattern, NestedGroups)
+{
+    EXPECT_EQ(expandToString("((AB)2C)2"), "ABABCABABC");
+}
+
+TEST(Pattern, WhitespaceIgnored)
+{
+    EXPECT_EQ(expandToString(" A 10  B10 C10 "), expandToString("A10B10C10"));
+}
+
+TEST(Pattern, ErrorsAreFatal)
+{
+    EXPECT_EXIT(expandPattern(""), testing::ExitedWithCode(1), "empty");
+    EXPECT_EXIT(expandPattern("(AB"), testing::ExitedWithCode(1),
+                "missing");
+    EXPECT_EXIT(expandPattern("AB)"), testing::ExitedWithCode(1),
+                "unbalanced");
+    EXPECT_EXIT(expandPattern("ab"), testing::ExitedWithCode(1),
+                "unexpected");
+    EXPECT_EXIT(expandPattern("3A"), testing::ExitedWithCode(1),
+                "unexpected");
+}
+
+TEST(Pattern, CompactRoundTrip)
+{
+    for (const std::string p :
+         {"A10B10C10", "AB20", "A20", "ABCDEF9G"}) {
+        EXPECT_EQ(compactPattern(expandPattern(p)), p);
+    }
+}
+
+TEST(Pattern, CompactCollapsesRuns)
+{
+    EXPECT_EQ(compactPattern({'A', 'A', 'B'}), "A2B");
+    EXPECT_EQ(compactPattern({'A'}), "A");
+    EXPECT_EQ(compactPattern({}), "");
+}
+
+TEST(Pattern, GroupsDoNotCompactToGroups)
+{
+    // (AB)5 expands to alternating tags; compact leaves them verbatim.
+    EXPECT_EQ(compactPattern(expandPattern("(AB)5")), "ABABABABAB");
+}
+
+} // namespace
+} // namespace gpupm::workload

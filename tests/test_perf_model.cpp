@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernel/perf_model.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::kernel {
+namespace {
+
+using hw::ConfigSpace;
+using hw::CpuPState;
+using hw::GpuPState;
+using hw::HwConfig;
+using hw::NbPState;
+
+class PerfModelTest : public testing::Test
+{
+  protected:
+    GroundTruthModel model;
+
+    static KernelParams
+    computeKernel()
+    {
+        KernelParams k;
+        k.name = "compute";
+        k.archetype = Archetype::ComputeBound;
+        k.workItems = 1e6;
+        k.valuInstsPerItem = 1000.0;
+        k.bytesPerItem = 8.0;
+        k.cacheHitBase = 0.9;
+        k.computeMemOverlap = 0.1;
+        k.idiosyncrasyMag = 0.0; // deterministic for scaling checks
+        return k;
+    }
+
+    static KernelParams
+    memoryKernel()
+    {
+        KernelParams k;
+        k.name = "memory";
+        k.archetype = Archetype::MemoryBound;
+        k.workItems = 4e6;
+        k.valuInstsPerItem = 30.0;
+        k.bytesPerItem = 120.0;
+        k.cacheHitBase = 0.1;
+        k.computeMemOverlap = 0.2;
+        k.idiosyncrasyMag = 0.0;
+        return k;
+    }
+
+    static KernelParams
+    peakKernel()
+    {
+        KernelParams k;
+        k.name = "peak";
+        k.archetype = Archetype::Peak;
+        k.workItems = 2e6;
+        k.valuInstsPerItem = 200.0;
+        k.bytesPerItem = 240.0;
+        k.cacheHitBase = 0.9;
+        k.cachePressure = 0.09;
+        k.computeMemOverlap = 0.3;
+        k.idiosyncrasyMag = 0.0;
+        return k;
+    }
+
+    static KernelParams
+    unscalableKernel()
+    {
+        KernelParams k;
+        k.name = "unscalable";
+        k.archetype = Archetype::Unscalable;
+        k.workItems = 2e5;
+        k.valuInstsPerItem = 50.0;
+        k.bytesPerItem = 30.0;
+        k.serialSeconds = 10e-3;
+        k.serialGpuFreqSensitivity = 0.15;
+        k.idiosyncrasyMag = 0.0;
+        return k;
+    }
+
+    Seconds
+    timeAt(const KernelParams &k, const HwConfig &c) const
+    {
+        return model.estimate(k, c).time;
+    }
+};
+
+/** Fig. 2a: compute-bound kernels scale with CU count. */
+TEST_F(PerfModelTest, ComputeBoundScalesWithCus)
+{
+    auto k = computeKernel();
+    HwConfig c = ConfigSpace::maxPerformance();
+    c.cus = 2;
+    const Seconds t2 = timeAt(k, c);
+    c.cus = 8;
+    const Seconds t8 = timeAt(k, c);
+    EXPECT_NEAR(t2 / t8, 4.0, 0.4); // near-linear CU scaling
+}
+
+/** Compute-bound kernels scale with the GPU clock. */
+TEST_F(PerfModelTest, ComputeBoundScalesWithGpuClock)
+{
+    auto k = computeKernel();
+    HwConfig c = ConfigSpace::maxPerformance();
+    c.gpu = GpuPState::DPM0;
+    const Seconds slow = timeAt(k, c);
+    c.gpu = GpuPState::DPM4;
+    const Seconds fast = timeAt(k, c);
+    EXPECT_NEAR(slow / fast, 720.0 / 351.0, 0.1);
+}
+
+/** Compute-bound kernels barely react to the NB state. */
+TEST_F(PerfModelTest, ComputeBoundInsensitiveToNb)
+{
+    auto k = computeKernel();
+    HwConfig c = ConfigSpace::maxPerformance();
+    const Seconds nb0 = timeAt(k, c);
+    c.nb = NbPState::NB3;
+    const Seconds nb3 = timeAt(k, c);
+    EXPECT_LT(nb3 / nb0, 1.1);
+}
+
+/** Fig. 2b: memory-bound kernels saturate from NB2 onward. */
+TEST_F(PerfModelTest, MemoryBoundSaturatesPastNb2)
+{
+    auto k = memoryKernel();
+    HwConfig c = ConfigSpace::maxPerformance();
+    c.nb = NbPState::NB3;
+    const Seconds nb3 = timeAt(k, c);
+    c.nb = NbPState::NB2;
+    const Seconds nb2 = timeAt(k, c);
+    c.nb = NbPState::NB0;
+    const Seconds nb0 = timeAt(k, c);
+    // Big jump NB3 -> NB2 (memory clock rises 333 -> 800 MHz)...
+    EXPECT_GT(nb3 / nb2, 1.8);
+    // ...but only a small latency effect from NB2 -> NB0.
+    EXPECT_LT(nb2 / nb0, 1.06);
+}
+
+/** Memory-bound kernels gain little from more CUs. */
+TEST_F(PerfModelTest, MemoryBoundCuInsensitive)
+{
+    auto k = memoryKernel();
+    HwConfig c = ConfigSpace::maxPerformance();
+    c.cus = 2;
+    const Seconds t2 = timeAt(k, c);
+    c.cus = 8;
+    const Seconds t8 = timeAt(k, c);
+    EXPECT_LT(t2 / t8, 1.5);
+}
+
+/** Fig. 2c: peak kernels get slower beyond their CU sweet spot. */
+TEST_F(PerfModelTest, PeakKernelRegressesAtFullCus)
+{
+    auto k = peakKernel();
+    HwConfig c = ConfigSpace::maxPerformance();
+    Seconds best = 1e9;
+    int best_cus = 0;
+    for (int cus : {2, 4, 6, 8}) {
+        c.cus = cus;
+        const Seconds t = timeAt(k, c);
+        if (t < best) {
+            best = t;
+            best_cus = cus;
+        }
+    }
+    EXPECT_GT(best_cus, 2);
+    EXPECT_LT(best_cus, 8);
+    c.cus = 8;
+    EXPECT_GT(timeAt(k, c), best * 1.05);
+}
+
+/** Peak kernels lose cache hit rate as CUs activate. */
+TEST_F(PerfModelTest, CacheInterferenceModel)
+{
+    auto k = peakKernel();
+    EXPECT_NEAR(GroundTruthModel::effectiveCacheHit(k, 2), 0.9, 1e-12);
+    EXPECT_NEAR(GroundTruthModel::effectiveCacheHit(k, 8),
+                0.9 - 0.09 * 6, 1e-12);
+    // Never negative.
+    k.cachePressure = 0.5;
+    EXPECT_GE(GroundTruthModel::effectiveCacheHit(k, 8), 0.0);
+}
+
+/** Fig. 2d: unscalable kernels are insensitive to everything. */
+TEST_F(PerfModelTest, UnscalableInsensitive)
+{
+    auto k = unscalableKernel();
+    const Seconds t_max = timeAt(k, ConfigSpace::maxPerformance());
+    HwConfig low = ConfigSpace::minPower();
+    low.cpu = CpuPState::P1; // isolate GPU-side insensitivity
+    const Seconds t_min = timeAt(k, low);
+    EXPECT_LT(t_min / t_max, 1.35);
+}
+
+TEST_F(PerfModelTest, LaunchTimeScalesWithCpuClock)
+{
+    auto k = computeKernel();
+    k.launchCpuSeconds = 100e-6;
+    HwConfig c = ConfigSpace::maxPerformance();
+    const auto fast = model.estimate(k, c);
+    c.cpu = CpuPState::P7;
+    const auto slow = model.estimate(k, c);
+    EXPECT_NEAR(slow.launchTime / fast.launchTime, 3900.0 / 1700.0,
+                1e-9);
+    // Kernel GPU time unchanged.
+    EXPECT_NEAR(slow.time - slow.launchTime, fast.time - fast.launchTime,
+                1e-12);
+}
+
+TEST_F(PerfModelTest, EffectiveBandwidthMatchesTableI)
+{
+    // NB0-NB2 share the DRAM-limited 25.6 GB/s; NB3 drops to the
+    // 333 MHz memory clock.
+    const double bw_hi = model.effectiveBandwidth(NbPState::NB0);
+    EXPECT_DOUBLE_EQ(bw_hi, model.effectiveBandwidth(NbPState::NB1));
+    EXPECT_DOUBLE_EQ(bw_hi, model.effectiveBandwidth(NbPState::NB2));
+    EXPECT_NEAR(bw_hi, 25.6e9, 1e6);
+    EXPECT_NEAR(model.effectiveBandwidth(NbPState::NB3), 10.656e9, 1e6);
+}
+
+TEST_F(PerfModelTest, CountersConsistentWithEstimate)
+{
+    auto k = memoryKernel();
+    HwConfig c = ConfigSpace::maxPerformance();
+    const auto est = model.estimate(k, c);
+    const auto counters = model.counters(k, c, est);
+    EXPECT_DOUBLE_EQ(counters.globalWorkSize, k.workItems);
+    EXPECT_DOUBLE_EQ(counters.valuInsts, k.valuInstsPerItem);
+    EXPECT_DOUBLE_EQ(counters.vfetchInsts, k.vfetchInstsPerItem);
+    EXPECT_NEAR(counters.cacheHit, 100.0 * est.cacheHitRate, 1e-9);
+    EXPECT_NEAR(counters.fetchSize, est.memBytes / 1024.0, 1e-9);
+    EXPECT_GE(counters.memUnitStalled, 0.0);
+    EXPECT_LE(counters.memUnitStalled, 100.0);
+}
+
+TEST_F(PerfModelTest, EnergyEqualsPowerTimesTime)
+{
+    auto k = computeKernel();
+    HwConfig c = ConfigSpace::failSafe();
+    const auto est = model.estimate(k, c);
+    const auto pb =
+        model.powerModel().steadyStatePower(c, model.activity(est));
+    EXPECT_NEAR(model.energy(k, c), pb.total() * est.time, 1e-12);
+    EXPECT_NEAR(model.gpuEnergy(k, c), pb.gpu() * est.time, 1e-12);
+    EXPECT_LT(model.gpuEnergy(k, c), model.energy(k, c));
+}
+
+TEST_F(PerfModelTest, IdiosyncrasyDeterministic)
+{
+    auto k = computeKernel();
+    k.idiosyncrasyMag = 0.05;
+    k.idiosyncrasySeed = 99;
+    HwConfig c = ConfigSpace::failSafe();
+    EXPECT_DOUBLE_EQ(timeAt(k, c), timeAt(k, c));
+}
+
+TEST_F(PerfModelTest, IdiosyncrasyIgnoresCpuState)
+{
+    // GPU time must be identical across CPU P-states (only the launch
+    // component differs), so racing at P7 is never noise-penalized.
+    auto k = computeKernel();
+    k.idiosyncrasyMag = 0.05;
+    k.idiosyncrasySeed = 99;
+    k.launchCpuSeconds = 0.0;
+    HwConfig a = ConfigSpace::maxPerformance();
+    HwConfig b = a;
+    b.cpu = CpuPState::P7;
+    EXPECT_DOUBLE_EQ(timeAt(k, a), timeAt(k, b));
+}
+
+TEST_F(PerfModelTest, HiddenFactorsVaryBySeed)
+{
+    auto k1 = computeKernel();
+    k1.idiosyncrasySeed = 1;
+    auto k2 = computeKernel();
+    k2.idiosyncrasySeed = 2;
+    const HwConfig c = ConfigSpace::maxPerformance();
+    EXPECT_NE(timeAt(k1, c), timeAt(k2, c));
+}
+
+TEST_F(PerfModelTest, LdsConflictSlowsCompute)
+{
+    auto base = computeKernel();
+    auto conflicted = base;
+    conflicted.ldsBankConflict = 0.3;
+    const HwConfig c = ConfigSpace::maxPerformance();
+    EXPECT_GT(timeAt(conflicted, c), timeAt(base, c));
+}
+
+TEST_F(PerfModelTest, ScratchRegsAddTraffic)
+{
+    auto base = memoryKernel();
+    auto spilled = base;
+    spilled.scratchRegs = 16.0;
+    const HwConfig c = ConfigSpace::maxPerformance();
+    EXPECT_GT(model.estimate(spilled, c).memBytes,
+              model.estimate(base, c).memBytes);
+    EXPECT_GT(timeAt(spilled, c), timeAt(base, c));
+}
+
+/**
+ * Property sweep over benchmark kernels x configurations: times are
+ * positive/finite and activities are valid fractions.
+ */
+class GroundTruthSweep : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GroundTruthSweep, SaneEverywhere)
+{
+    const GroundTruthModel model;
+    const hw::ConfigSpace space;
+    auto app = workload::makeBenchmark(GetParam());
+    for (const auto &inv : app.trace) {
+        for (std::size_t ci = 0; ci < space.size(); ci += 11) {
+            const auto &c = space.at(ci);
+            const auto est = model.estimate(inv.params, c);
+            ASSERT_GT(est.time, 0.0);
+            ASSERT_TRUE(std::isfinite(est.time));
+            ASSERT_GE(est.memStallFraction, 0.0);
+            ASSERT_LE(est.memStallFraction, 1.0);
+            ASSERT_GE(est.computeActivity, 0.0);
+            ASSERT_LE(est.computeActivity, 1.0);
+            ASSERT_GE(est.memBandwidthUtil, 0.0);
+            ASSERT_LE(est.memBandwidthUtil, 1.0);
+            ASSERT_GT(model.energy(inv.params, c), 0.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, GroundTruthSweep,
+                         testing::ValuesIn(workload::benchmarkNames()));
+
+} // namespace
+} // namespace gpupm::kernel

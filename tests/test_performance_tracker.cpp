@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "mpc/performance_tracker.hpp"
+
+namespace gpupm::mpc {
+namespace {
+
+TEST(PerformanceTracker, StartsOnTarget)
+{
+    PerformanceTracker t;
+    t.reset(100.0);
+    EXPECT_TRUE(t.onTarget());
+    EXPECT_DOUBLE_EQ(t.achievedThroughput(), 0.0);
+    EXPECT_DOUBLE_EQ(t.instructions(), 0.0);
+    EXPECT_DOUBLE_EQ(t.time(), 0.0);
+}
+
+TEST(PerformanceTracker, HeadroomEquation5)
+{
+    // headroom = (sum I + E[I]) / target - sum T.
+    PerformanceTracker t;
+    t.reset(1000.0); // 1000 insts/s
+    t.record(500.0, 0.4);
+    // (500 + 100) / 1000 - 0.4 = 0.2 s.
+    EXPECT_NEAR(t.headroom(100.0), 0.2, 1e-12);
+}
+
+TEST(PerformanceTracker, HeadroomNegativeWhenBehind)
+{
+    PerformanceTracker t;
+    t.reset(1000.0);
+    t.record(100.0, 1.0); // achieved 100 i/s, 10x too slow
+    EXPECT_LT(t.headroom(10.0), 0.0);
+    EXPECT_FALSE(t.onTarget());
+}
+
+TEST(PerformanceTracker, AccumulatesOverKernels)
+{
+    PerformanceTracker t;
+    t.reset(10.0);
+    t.record(5.0, 0.25);
+    t.record(10.0, 1.0);
+    EXPECT_DOUBLE_EQ(t.instructions(), 15.0);
+    EXPECT_DOUBLE_EQ(t.time(), 1.25);
+    EXPECT_DOUBLE_EQ(t.achievedThroughput(), 12.0);
+    EXPECT_TRUE(t.onTarget());
+}
+
+TEST(PerformanceTracker, SlackGrowsWhenAhead)
+{
+    PerformanceTracker t;
+    t.reset(100.0);
+    const double h0 = t.headroom(50.0);
+    t.record(100.0, 0.5); // 200 i/s: twice the target pace
+    const double h1 = t.headroom(50.0);
+    EXPECT_GT(h1, h0);
+}
+
+TEST(PerformanceTracker, OnTargetBoundaryExact)
+{
+    PerformanceTracker t;
+    t.reset(100.0);
+    t.record(100.0, 1.0); // exactly on target
+    EXPECT_TRUE(t.onTarget());
+    t.record(0.0, 1e-9); // nudge below
+    EXPECT_FALSE(t.onTarget());
+}
+
+TEST(PerformanceTracker, ResetClears)
+{
+    PerformanceTracker t;
+    t.reset(10.0);
+    t.record(100.0, 1.0);
+    t.reset(20.0);
+    EXPECT_DOUBLE_EQ(t.instructions(), 0.0);
+    EXPECT_DOUBLE_EQ(t.time(), 0.0);
+    EXPECT_DOUBLE_EQ(t.target(), 20.0);
+}
+
+TEST(PerformanceTracker, NegativeInputsDie)
+{
+    PerformanceTracker t;
+    t.reset(10.0);
+    EXPECT_DEATH(t.record(-1.0, 1.0), "negative");
+    EXPECT_DEATH(t.record(1.0, -1.0), "negative");
+}
+
+TEST(PerformanceTracker, HeadroomNeedsTarget)
+{
+    PerformanceTracker t;
+    t.reset(0.0);
+    EXPECT_DEATH(t.headroom(1.0), "target");
+}
+
+} // namespace
+} // namespace gpupm::mpc

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ml/predictor.hpp"
+#include "mpc/pool.hpp"
+#include "policy/turbo_core.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::mpc {
+namespace {
+
+std::shared_ptr<const ml::PerfPowerPredictor>
+truth()
+{
+    static auto p = std::make_shared<ml::GroundTruthPredictor>();
+    return p;
+}
+
+struct App
+{
+    workload::Application app;
+    sim::RunResult baseline;
+    Throughput target;
+
+    explicit App(const std::string &name)
+        : app(workload::makeBenchmark(name))
+    {
+        sim::Simulator sim;
+        policy::TurboCoreGovernor turbo;
+        baseline = sim.run(app, turbo);
+        target = baseline.throughput();
+    }
+};
+
+TEST(Pool, CreatesOneGovernorPerApplication)
+{
+    MpcGovernorPool pool(truth());
+    EXPECT_EQ(pool.applicationCount(), 0u);
+
+    App a("Spmv"), b("kmeans");
+    sim::Simulator sim;
+    sim.run(a.app, pool, a.target);
+    EXPECT_EQ(pool.applicationCount(), 1u);
+    EXPECT_TRUE(pool.knows("Spmv"));
+    EXPECT_FALSE(pool.knows("kmeans"));
+
+    sim.run(b.app, pool, b.target);
+    EXPECT_EQ(pool.applicationCount(), 2u);
+    sim.run(a.app, pool, a.target);
+    EXPECT_EQ(pool.applicationCount(), 2u);
+}
+
+TEST(Pool, InterleavedRunsKeepSeparateLearning)
+{
+    // A-B-A-B interleaving must behave exactly like two dedicated
+    // governors run A-A / B-B.
+    App a("Spmv"), b("kmeans");
+    sim::Simulator sim;
+
+    MpcGovernorPool pool(truth());
+    sim.run(a.app, pool, a.target);
+    sim.run(b.app, pool, b.target);
+    auto pooled_a2 = sim.run(a.app, pool, a.target);
+    auto pooled_b2 = sim.run(b.app, pool, b.target);
+
+    MpcGovernor solo_a(truth());
+    sim.run(a.app, solo_a, a.target);
+    auto solo_a2 = sim.run(a.app, solo_a, a.target);
+    MpcGovernor solo_b(truth());
+    sim.run(b.app, solo_b, b.target);
+    auto solo_b2 = sim.run(b.app, solo_b, b.target);
+
+    EXPECT_DOUBLE_EQ(pooled_a2.totalEnergy(), solo_a2.totalEnergy());
+    EXPECT_DOUBLE_EQ(pooled_a2.totalTime(), solo_a2.totalTime());
+    EXPECT_DOUBLE_EQ(pooled_b2.totalEnergy(), solo_b2.totalEnergy());
+    EXPECT_DOUBLE_EQ(pooled_b2.totalTime(), solo_b2.totalTime());
+}
+
+TEST(Pool, SecondRunOptimizes)
+{
+    App a("EigenValue");
+    sim::Simulator sim;
+    MpcGovernorPool pool(truth());
+    sim.run(a.app, pool, a.target);
+    auto r2 = sim.run(a.app, pool, a.target);
+    EXPECT_FALSE(pool.governorFor("EigenValue").profiling());
+    EXPECT_GT(sim::energySavingsPct(a.baseline, r2), 10.0);
+    EXPECT_GT(sim::speedup(a.baseline, r2), 0.9);
+}
+
+TEST(Pool, GovernorForUnknownAppDies)
+{
+    MpcGovernorPool pool(truth());
+    EXPECT_EXIT(pool.governorFor("nope"), testing::ExitedWithCode(1),
+                "never seen");
+}
+
+TEST(Pool, DecideBeforeBeginRunDies)
+{
+    MpcGovernorPool pool(truth());
+    EXPECT_DEATH(pool.decide(0), "beginRun");
+}
+
+TEST(Pool, NullPredictorDies)
+{
+    EXPECT_DEATH(MpcGovernorPool(nullptr), "predictor");
+}
+
+} // namespace
+} // namespace gpupm::mpc

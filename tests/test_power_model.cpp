@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/power_model.hpp"
+
+namespace gpupm::hw {
+namespace {
+
+class PowerModelTest : public testing::Test
+{
+  protected:
+    PowerModel model;
+    ActivityFactors busy{1.0, 1.0, 1.0};
+    ActivityFactors idle{0.0, 0.0, 0.0};
+};
+
+/** Shared rail: max of GPU DPM voltage and NB minimum (Sec. II-A). */
+TEST_F(PowerModelTest, RailVoltageIsMax)
+{
+    // High NB pins the rail above a low GPU voltage.
+    HwConfig c{CpuPState::P1, NbPState::NB0, GpuPState::DPM0, 8};
+    EXPECT_DOUBLE_EQ(model.railVoltage(c),
+                     nbDvfs(NbPState::NB0).minRailVoltage);
+    // High GPU DPM voltage dominates every NB state.
+    c.gpu = GpuPState::DPM4;
+    for (int nb = 0; nb < numNbPStates; ++nb) {
+        c.nb = static_cast<NbPState>(nb);
+        EXPECT_DOUBLE_EQ(model.railVoltage(c),
+                         gpuDvfs(GpuPState::DPM4).voltage);
+    }
+}
+
+/**
+ * The paper's coupling: at NB0, dropping the GPU from DPM2 to DPM0
+ * cannot drop the rail voltage, so the GPU power saving is limited to
+ * the frequency factor.
+ */
+TEST_F(PowerModelTest, HighNbLimitsGpuVoltageSaving)
+{
+    HwConfig hi{CpuPState::P7, NbPState::NB0, GpuPState::DPM2, 8};
+    HwConfig lo{CpuPState::P7, NbPState::NB0, GpuPState::DPM0, 8};
+    EXPECT_DOUBLE_EQ(model.railVoltage(hi), model.railVoltage(lo));
+
+    const double f_ratio = gpuDvfs(GpuPState::DPM0).freq /
+                           gpuDvfs(GpuPState::DPM2).freq;
+    auto p_hi = model.power(hi, busy, 60.0);
+    auto p_lo = model.power(lo, busy, 60.0);
+    EXPECT_NEAR(p_lo.gpuDynamic / p_hi.gpuDynamic, f_ratio, 1e-9);
+}
+
+TEST_F(PowerModelTest, CpuPowerMonotoneInPState)
+{
+    HwConfig c = ConfigSpace::failSafe();
+    double prev = 1e18;
+    for (int i = 0; i < numCpuPStates; ++i) {
+        c.cpu = static_cast<CpuPState>(i);
+        double p = model.power(c, busy, 60.0).cpu();
+        EXPECT_LT(p, prev);
+        prev = p;
+    }
+}
+
+TEST_F(PowerModelTest, GpuDynamicScalesWithCus)
+{
+    HwConfig c = ConfigSpace::maxPerformance();
+    c.cus = 4;
+    auto p4 = model.power(c, busy, 60.0);
+    c.cus = 8;
+    auto p8 = model.power(c, busy, 60.0);
+    EXPECT_NEAR(p8.gpuDynamic / p4.gpuDynamic, 2.0, 1e-9);
+    // Leakage grows with CUs but not proportionally (uncore floor).
+    EXPECT_GT(p8.gpuLeakage, p4.gpuLeakage);
+    EXPECT_LT(p8.gpuLeakage / p4.gpuLeakage, 2.0);
+}
+
+TEST_F(PowerModelTest, LeakageGrowsWithTemperature)
+{
+    HwConfig c = ConfigSpace::maxPerformance();
+    auto cold = model.power(c, busy, 40.0);
+    auto hot = model.power(c, busy, 90.0);
+    EXPECT_GT(hot.cpuLeakage, cold.cpuLeakage);
+    EXPECT_GT(hot.gpuLeakage, cold.gpuLeakage);
+    // Dynamic power is temperature independent.
+    EXPECT_DOUBLE_EQ(hot.cpuDynamic, cold.cpuDynamic);
+    EXPECT_DOUBLE_EQ(hot.gpuDynamic, cold.gpuDynamic);
+}
+
+TEST_F(PowerModelTest, IdleBelowBusy)
+{
+    HwConfig c = ConfigSpace::maxPerformance();
+    EXPECT_LT(model.power(c, idle, 60.0).total(),
+              model.power(c, busy, 60.0).total());
+}
+
+TEST_F(PowerModelTest, BreakdownSumsToTotal)
+{
+    HwConfig c = ConfigSpace::failSafe();
+    auto p = model.power(c, busy, 60.0);
+    EXPECT_NEAR(p.total(), p.cpu() + p.gpu(), 1e-12);
+    EXPECT_NEAR(p.gpu(),
+                p.gpuDynamic + p.gpuLeakage + p.nbDynamic +
+                    p.memInterface,
+                1e-12);
+}
+
+TEST_F(PowerModelTest, MemoryInterfaceTracksMemClock)
+{
+    HwConfig fast{CpuPState::P7, NbPState::NB0, GpuPState::DPM0, 2};
+    HwConfig slow{CpuPState::P7, NbPState::NB3, GpuPState::DPM0, 2};
+    auto pf = model.power(fast, busy, 60.0);
+    auto ps = model.power(slow, busy, 60.0);
+    EXPECT_GT(pf.memInterface, ps.memInterface);
+}
+
+TEST_F(PowerModelTest, SteadyStateConverges)
+{
+    HwConfig c = ConfigSpace::maxPerformance();
+    Celsius temp = 0.0;
+    auto pb = model.steadyStatePower(c, busy, &temp);
+    // At the settled temperature, power must reproduce itself.
+    auto again = model.power(c, busy, temp);
+    EXPECT_NEAR(pb.total(), again.total(), 1e-6);
+    EXPECT_GT(temp, model.params().ambient);
+}
+
+TEST_F(PowerModelTest, PackageStaysWithinRealisticEnvelope)
+{
+    // The A10-7850K is a 95 W part; the model's worst case should be
+    // in that neighbourhood and the best case clearly above zero.
+    PowerModel m;
+    auto max_p = m.steadyStatePower(ConfigSpace::maxPerformance(), busy);
+    auto min_p = m.steadyStatePower(ConfigSpace::minPower(), idle);
+    EXPECT_LT(max_p.total(), 95.0);
+    EXPECT_GT(max_p.total(), 30.0);
+    EXPECT_GT(min_p.total(), 2.0);
+    EXPECT_LT(min_p.total(), 20.0);
+}
+
+TEST_F(PowerModelTest, ActivityClamped)
+{
+    HwConfig c = ConfigSpace::maxPerformance();
+    ActivityFactors over{5.0, 5.0, 5.0};
+    auto p_over = model.power(c, over, 60.0);
+    auto p_busy = model.power(c, busy, 60.0);
+    EXPECT_NEAR(p_over.total(), p_busy.total(), 1e-12);
+}
+
+TEST_F(PowerModelTest, BadCuCountDies)
+{
+    HwConfig c = ConfigSpace::maxPerformance();
+    c.cus = 0;
+    EXPECT_DEATH(model.power(c, busy, 60.0), "CU count");
+}
+
+/** Property sweep: power positive and finite over the whole space. */
+class PowerSweep : public testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(PowerSweep, PositiveFiniteEverywhere)
+{
+    static const ConfigSpace space;
+    static const PowerModel model;
+    const auto &c = space.at(GetParam());
+    for (double act : {0.0, 0.3, 1.0}) {
+        ActivityFactors a{act, act, act};
+        auto p = model.steadyStatePower(c, a);
+        EXPECT_GT(p.total(), 0.0) << c.toString();
+        EXPECT_TRUE(std::isfinite(p.total())) << c.toString();
+        EXPECT_GE(p.gpuDynamic, 0.0);
+        EXPECT_GE(p.cpuLeakage, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, PowerSweep,
+                         testing::Range<std::size_t>(0, 336, 7));
+
+} // namespace
+} // namespace gpupm::hw

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "ml/predictor.hpp"
+#include "policy/ppk.hpp"
+#include "policy/turbo_core.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::policy {
+namespace {
+
+class PpkTest : public testing::Test
+{
+  protected:
+    std::shared_ptr<const ml::PerfPowerPredictor> truth =
+        std::make_shared<ml::GroundTruthPredictor>();
+    sim::Simulator sim;
+
+    Throughput
+    targetFor(const workload::Application &app)
+    {
+        TurboCoreGovernor turbo;
+        return sim.run(app, turbo).throughput();
+    }
+};
+
+TEST_F(PpkTest, FirstKernelRunsFailSafe)
+{
+    // No counters are available for the very first kernel (Sec. V-B).
+    auto app = workload::makeBenchmark("Spmv");
+    PpkGovernor gov(truth);
+    auto r = sim.run(app, gov, targetFor(app));
+    EXPECT_EQ(r.records[0].config, hw::ConfigSpace::failSafe());
+    EXPECT_DOUBLE_EQ(r.records[0].overheadTime, 0.0);
+}
+
+TEST_F(PpkTest, ScansFullConfigSpace)
+{
+    auto app = workload::makeBenchmark("NBody");
+    PpkGovernor gov(truth);
+    sim.run(app, gov, targetFor(app));
+    EXPECT_EQ(gov.lastEvaluationCount(), hw::ConfigSpace().size());
+}
+
+TEST_F(PpkTest, ChargesOverheadPerDecision)
+{
+    auto app = workload::makeBenchmark("NBody");
+    PpkGovernor gov(truth);
+    auto r = sim.run(app, gov, targetFor(app));
+    // Overhead charged for every kernel except the fail-safe first.
+    const OverheadModel model;
+    const Seconds expected =
+        static_cast<double>(app.kernelCount() - 1) *
+        model.cost(hw::ConfigSpace().size());
+    EXPECT_NEAR(r.overheadTime, expected, 1e-9);
+}
+
+TEST_F(PpkTest, OverheadCanBeDisabled)
+{
+    auto app = workload::makeBenchmark("NBody");
+    PpkOptions opts;
+    opts.chargeOverhead = false;
+    PpkGovernor gov(truth, opts);
+    auto r = sim.run(app, gov, targetFor(app));
+    EXPECT_DOUBLE_EQ(r.overheadTime, 0.0);
+}
+
+TEST_F(PpkTest, SavesEnergyOnRegularApp)
+{
+    // Perfect prediction + a single repeating kernel: PPK is near
+    // optimal (paper Sec. II-E).
+    auto app = workload::makeBenchmark("mandelbulbGPU");
+    TurboCoreGovernor turbo;
+    auto base = sim.run(app, turbo);
+    PpkGovernor gov(truth);
+    auto r = sim.run(app, gov, base.throughput());
+    EXPECT_GT(sim::energySavingsPct(base, r), 10.0);
+    EXPECT_GT(sim::speedup(base, r), 0.95);
+}
+
+TEST_F(PpkTest, MeetsThroughputTargetApproximately)
+{
+    for (const auto &name : {"mandelbulbGPU", "NBody"}) {
+        auto app = workload::makeBenchmark(name);
+        TurboCoreGovernor turbo;
+        auto base = sim.run(app, turbo);
+        PpkGovernor gov(truth);
+        auto r = sim.run(app, gov, base.throughput());
+        EXPECT_GT(sim::speedup(base, r), 0.93) << name;
+    }
+}
+
+TEST_F(PpkTest, SuffersOnIrregularApps)
+{
+    // The paper's core observation (Sec. II-E): PPK mispredicts phase
+    // transitions, so it either loses performance or strands energy.
+    auto app = workload::makeBenchmark("hybridsort");
+    TurboCoreGovernor turbo;
+    auto base = sim.run(app, turbo);
+    PpkGovernor gov(truth);
+    auto r = sim.run(app, gov, base.throughput());
+    EXPECT_LT(sim::speedup(base, r), 0.97);
+}
+
+TEST_F(PpkTest, BeginRunResetsState)
+{
+    auto app = workload::makeBenchmark("Spmv");
+    const auto target = targetFor(app);
+    PpkGovernor gov(truth);
+    auto r1 = sim.run(app, gov, target);
+    auto r2 = sim.run(app, gov, target);
+    // PPK has no cross-run learning: identical behaviour each run.
+    EXPECT_DOUBLE_EQ(r1.totalEnergy(), r2.totalEnergy());
+    EXPECT_DOUBLE_EQ(r1.totalTime(), r2.totalTime());
+    EXPECT_EQ(r2.records[0].config, hw::ConfigSpace::failSafe());
+}
+
+TEST_F(PpkTest, NullPredictorDies)
+{
+    EXPECT_DEATH(PpkGovernor(nullptr), "predictor");
+}
+
+TEST_F(PpkTest, Name)
+{
+    PpkGovernor gov(truth);
+    EXPECT_EQ(gov.name(), "PPK");
+}
+
+} // namespace
+} // namespace gpupm::policy

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace gpupm {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed)
+{
+    Pcg32 a(42, 7), b(42, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Pcg32, DifferentSeedsDiffer)
+{
+    Pcg32 a(42, 7), b(43, 7);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.nextU32() == b.nextU32();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32, DifferentStreamsDiffer)
+{
+    Pcg32 a(42, 1), b(42, 2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.nextU32() == b.nextU32();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Pcg32, NextDoubleInUnitInterval)
+{
+    Pcg32 rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Pcg32, NextDoubleMeanNearHalf)
+{
+    Pcg32 rng(2);
+    Accumulator acc;
+    for (int i = 0; i < 100000; ++i)
+        acc.add(rng.nextDouble());
+    EXPECT_NEAR(acc.mean(), 0.5, 0.01);
+}
+
+TEST(Pcg32, BoundedStaysInBounds)
+{
+    Pcg32 rng(3);
+    for (std::uint32_t bound : {1u, 2u, 7u, 100u, 1000000u}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.nextBounded(bound), bound);
+    }
+}
+
+TEST(Pcg32, BoundedZeroReturnsZero)
+{
+    Pcg32 rng(4);
+    EXPECT_EQ(rng.nextBounded(0), 0u);
+}
+
+TEST(Pcg32, BoundedCoversAllValues)
+{
+    Pcg32 rng(5);
+    std::vector<int> seen(10, 0);
+    for (int i = 0; i < 10000; ++i)
+        ++seen[rng.nextBounded(10)];
+    for (int i = 0; i < 10; ++i)
+        EXPECT_GT(seen[i], 800) << "value " << i << " under-represented";
+}
+
+TEST(Pcg32, UniformRange)
+{
+    Pcg32 rng(6);
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Pcg32, GaussianMoments)
+{
+    Pcg32 rng(7);
+    Accumulator acc;
+    for (int i = 0; i < 200000; ++i)
+        acc.add(rng.gaussian());
+    EXPECT_NEAR(acc.mean(), 0.0, 0.01);
+    EXPECT_NEAR(acc.stddev(), 1.0, 0.01);
+}
+
+TEST(Pcg32, GaussianScaled)
+{
+    Pcg32 rng(8);
+    Accumulator acc;
+    for (int i = 0; i < 100000; ++i)
+        acc.add(rng.gaussian(10.0, 2.0));
+    EXPECT_NEAR(acc.mean(), 10.0, 0.05);
+    EXPECT_NEAR(acc.stddev(), 2.0, 0.05);
+}
+
+TEST(Pcg32, HalfNormalAbsMeanMatches)
+{
+    // E[|X|] should equal the requested absolute mean (paper Sec. VI-D
+    // models prediction error as half-normal with given mean).
+    Pcg32 rng(9);
+    for (double target : {0.05, 0.10, 0.15}) {
+        Accumulator acc;
+        for (int i = 0; i < 100000; ++i)
+            acc.add(rng.halfNormal(target));
+        EXPECT_NEAR(acc.mean(), target, target * 0.05);
+        EXPECT_GE(acc.min(), 0.0);
+    }
+}
+
+TEST(Pcg32, HalfNormalZeroMeanIsZero)
+{
+    Pcg32 rng(10);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(rng.halfNormal(0.0), 0.0);
+}
+
+TEST(Pcg32, SplitIndependentStreams)
+{
+    Pcg32 parent(11);
+    Pcg32 c1 = parent.split();
+    Pcg32 c2 = parent.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += c1.nextU32() == c2.nextU32();
+    EXPECT_LT(same, 4);
+}
+
+} // namespace
+} // namespace gpupm

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "policy/static_governor.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::sim {
+namespace {
+
+/** Scripted governor for observing the simulator protocol. */
+class ScriptedGovernor : public Governor
+{
+  public:
+    std::string name() const override { return "scripted"; }
+
+    void
+    beginRun(const std::string &app, Throughput target) override
+    {
+        beginCalls.push_back({app, target});
+    }
+
+    Decision
+    decide(std::size_t index) override
+    {
+        decideIndices.push_back(index);
+        Decision d;
+        d.config = hw::ConfigSpace::failSafe();
+        d.overheadTime = overhead;
+        return d;
+    }
+
+    void
+    observe(const Observation &obs) override
+    {
+        observations.push_back(obs);
+    }
+
+    Seconds overhead = 0.0;
+    std::vector<std::pair<std::string, Throughput>> beginCalls;
+    std::vector<std::size_t> decideIndices;
+    std::vector<Observation> observations;
+};
+
+TEST(Simulator, ProtocolOrderAndArguments)
+{
+    Simulator sim;
+    auto app = workload::makeBenchmark("XSBench");
+    ScriptedGovernor gov;
+    auto result = sim.run(app, gov, 123.0);
+
+    ASSERT_EQ(gov.beginCalls.size(), 1u);
+    EXPECT_EQ(gov.beginCalls[0].first, "XSBench");
+    EXPECT_DOUBLE_EQ(gov.beginCalls[0].second, 123.0);
+
+    ASSERT_EQ(gov.decideIndices.size(), app.kernelCount());
+    ASSERT_EQ(gov.observations.size(), app.kernelCount());
+    for (std::size_t i = 0; i < app.kernelCount(); ++i) {
+        EXPECT_EQ(gov.decideIndices[i], i);
+        EXPECT_EQ(gov.observations[i].index, i);
+        EXPECT_EQ(gov.observations[i].tag, app.trace[i].tag);
+        EXPECT_EQ(gov.observations[i].kernelTruth, &app.trace[i].params);
+    }
+    EXPECT_EQ(result.records.size(), app.kernelCount());
+}
+
+TEST(Simulator, AggregatesMatchRecords)
+{
+    Simulator sim;
+    auto app = workload::makeBenchmark("Spmv");
+    ScriptedGovernor gov;
+    gov.overhead = 50e-6;
+    auto r = sim.run(app, gov, 1.0);
+
+    Seconds kt = 0.0, ot = 0.0;
+    Joules ce = 0.0, ge = 0.0, oe = 0.0;
+    InstCount insts = 0.0;
+    for (const auto &rec : r.records) {
+        kt += rec.kernelTime;
+        ot += rec.overheadTime;
+        ce += rec.kernelCpuEnergy + rec.overheadCpuEnergy;
+        ge += rec.kernelGpuEnergy + rec.overheadGpuEnergy;
+        oe += rec.overheadCpuEnergy + rec.overheadGpuEnergy;
+        insts += rec.instructions;
+    }
+    EXPECT_NEAR(r.kernelTime, kt, 1e-12);
+    EXPECT_NEAR(r.overheadTime, ot, 1e-12);
+    EXPECT_NEAR(r.cpuEnergy, ce, 1e-12);
+    EXPECT_NEAR(r.gpuEnergy, ge, 1e-12);
+    EXPECT_NEAR(r.overheadEnergy, oe, 1e-12);
+    EXPECT_NEAR(r.instructions, insts, 1e-3);
+    EXPECT_NEAR(r.totalTime(), kt + ot, 1e-12);
+    EXPECT_NEAR(r.totalEnergy(), ce + ge, 1e-12);
+    EXPECT_NEAR(r.throughput(), insts / (kt + ot), 1.0);
+}
+
+TEST(Simulator, OverheadChargedOnlyWhenNonZero)
+{
+    Simulator sim;
+    auto app = workload::makeBenchmark("NBody");
+    ScriptedGovernor gov; // zero overhead
+    auto r = sim.run(app, gov, 1.0);
+    EXPECT_DOUBLE_EQ(r.overheadTime, 0.0);
+    EXPECT_DOUBLE_EQ(r.overheadEnergy, 0.0);
+
+    ScriptedGovernor gov2;
+    gov2.overhead = 1e-3;
+    auto r2 = sim.run(app, gov2, 1.0);
+    EXPECT_NEAR(r2.overheadTime, 1e-3 * app.kernelCount(), 1e-12);
+    EXPECT_GT(r2.overheadEnergy, 0.0);
+    EXPECT_GT(r2.totalEnergy(), r.totalEnergy());
+}
+
+TEST(Simulator, StaticGovernorConfigApplied)
+{
+    Simulator sim;
+    auto app = workload::makeBenchmark("kmeans");
+    const auto cfg = hw::ConfigSpace::minPower();
+    policy::StaticGovernor gov(cfg);
+    auto r = sim.run(app, gov);
+    for (const auto &rec : r.records)
+        EXPECT_EQ(rec.config, cfg);
+    EXPECT_NE(r.governorName.find("P7"), std::string::npos);
+}
+
+TEST(Simulator, FasterConfigFasterRun)
+{
+    Simulator sim;
+    auto app = workload::makeBenchmark("mandelbulbGPU");
+    policy::StaticGovernor fast(hw::ConfigSpace::maxPerformance());
+    policy::StaticGovernor slow(hw::ConfigSpace::minPower());
+    auto rf = sim.run(app, fast);
+    auto rs = sim.run(app, slow);
+    EXPECT_LT(rf.totalTime(), rs.totalTime());
+}
+
+TEST(Simulator, RecordsCarryKernelNames)
+{
+    Simulator sim;
+    auto app = workload::makeBenchmark("hybridsort");
+    policy::StaticGovernor gov(hw::ConfigSpace::failSafe());
+    auto r = sim.run(app, gov);
+    EXPECT_EQ(r.records[0].kernelName, "histogram");
+    EXPECT_EQ(r.appName, "hybridsort");
+}
+
+TEST(Simulator, RepeatedRunsAreIndependent)
+{
+    // Energy accounting uses the self-consistent steady state, so two
+    // identical runs must produce identical results.
+    Simulator sim;
+    auto app = workload::makeBenchmark("lbm");
+    policy::StaticGovernor gov(hw::ConfigSpace::failSafe());
+    auto a = sim.run(app, gov);
+    auto b = sim.run(app, gov);
+    EXPECT_DOUBLE_EQ(a.totalEnergy(), b.totalEnergy());
+    EXPECT_DOUBLE_EQ(a.totalTime(), b.totalTime());
+}
+
+} // namespace
+} // namespace gpupm::sim

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace gpupm {
+namespace {
+
+TEST(Stats, MeanBasics)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{7.0}), 7.0);
+}
+
+TEST(Stats, GeomeanBasics)
+{
+    std::vector<double> xs = {1.0, 4.0};
+    EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+    std::vector<double> ys = {2.0, 2.0, 2.0};
+    EXPECT_NEAR(geomean(ys), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(geomean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive)
+{
+    std::vector<double> xs = {1.0, 0.0};
+    EXPECT_DEATH(geomean(xs), "positive");
+}
+
+TEST(Stats, StddevBasics)
+{
+    std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_NEAR(stddev(xs), 2.138089935, 1e-6);
+    EXPECT_DOUBLE_EQ(stddev(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(Stats, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, MapeBasics)
+{
+    std::vector<double> actual = {100.0, 200.0};
+    std::vector<double> pred = {110.0, 180.0};
+    EXPECT_NEAR(mape(actual, pred), 10.0, 1e-9);
+}
+
+TEST(Stats, MapeSkipsZeroActuals)
+{
+    std::vector<double> actual = {0.0, 100.0};
+    std::vector<double> pred = {5.0, 150.0};
+    EXPECT_NEAR(mape(actual, pred), 50.0, 1e-9);
+}
+
+TEST(Stats, MapeSizeMismatchDies)
+{
+    std::vector<double> a = {1.0};
+    std::vector<double> p = {1.0, 2.0};
+    EXPECT_DEATH(mape(a, p), "mismatch");
+}
+
+TEST(Accumulator, Empty)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, TracksMinMaxMeanVar)
+{
+    Accumulator acc;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(x);
+    EXPECT_EQ(acc.count(), 8u);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+    EXPECT_NEAR(acc.stddev(), 2.138089935, 1e-6);
+}
+
+TEST(Accumulator, SingleValue)
+{
+    Accumulator acc;
+    acc.add(-3.5);
+    EXPECT_DOUBLE_EQ(acc.min(), -3.5);
+    EXPECT_DOUBLE_EQ(acc.max(), -3.5);
+    EXPECT_DOUBLE_EQ(acc.mean(), -3.5);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+/** Welford result must match the two-pass stddev on random data. */
+TEST(Accumulator, MatchesTwoPass)
+{
+    std::vector<double> xs;
+    double v = 0.1;
+    for (int i = 0; i < 1000; ++i) {
+        v = v * 1.7 - static_cast<int>(v * 1.7); // chaotic but fixed
+        xs.push_back(v * 100.0);
+    }
+    Accumulator acc;
+    for (double x : xs)
+        acc.add(x);
+    EXPECT_NEAR(acc.mean(), mean(xs), 1e-9);
+    EXPECT_NEAR(acc.stddev(), stddev(xs), 1e-9);
+}
+
+} // namespace
+} // namespace gpupm

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace gpupm {
+namespace {
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header underline present.
+    EXPECT_NE(out.find("------"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, ArityMismatchDies)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+TEST(TextTable, EmptyHeaderDies)
+{
+    EXPECT_DEATH(TextTable({}), "column");
+}
+
+TEST(Fmt, FixedDecimals)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+    EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+    EXPECT_EQ(fmtPct(24.84, 1), "24.8%");
+}
+
+TEST(CsvWriter, BasicOutput)
+{
+    CsvWriter w({"a", "b"});
+    w.addRow({"1", "2"});
+    w.addRow({"x", "y"});
+    std::ostringstream os;
+    w.print(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\nx,y\n");
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters)
+{
+    CsvWriter w({"a"});
+    w.addRow({"has,comma"});
+    w.addRow({"has\"quote"});
+    std::ostringstream os;
+    w.print(os);
+    EXPECT_EQ(os.str(), "a\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(CsvWriter, ArityMismatchDies)
+{
+    CsvWriter w({"a", "b"});
+    EXPECT_DEATH(w.addRow({"1"}), "arity");
+}
+
+} // namespace
+} // namespace gpupm

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "ml/predictor.hpp"
+#include "mpc/governor.hpp"
+#include "policy/static_governor.hpp"
+#include "policy/turbo_core.hpp"
+#include "sim/telemetry.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::sim {
+namespace {
+
+RunResult
+sampleRun(const std::string &bench = "Spmv")
+{
+    Simulator sim;
+    auto app = workload::makeBenchmark(bench);
+    policy::TurboCoreGovernor gov;
+    return sim.run(app, gov);
+}
+
+TEST(Telemetry, EnergyIntegratesExactly)
+{
+    auto run = sampleRun();
+    auto trace = TelemetryTrace::fromRun(run);
+    EXPECT_NEAR(trace.cpuEnergy(), run.cpuEnergy,
+                1e-9 * run.cpuEnergy);
+    EXPECT_NEAR(trace.gpuEnergy(), run.gpuEnergy,
+                1e-9 * run.gpuEnergy);
+    EXPECT_NEAR(trace.totalEnergy(), run.totalEnergy(),
+                1e-9 * run.totalEnergy());
+}
+
+TEST(Telemetry, TimestampsMonotoneAndCoverRun)
+{
+    auto run = sampleRun();
+    auto trace = TelemetryTrace::fromRun(run);
+    ASSERT_FALSE(trace.samples().empty());
+    Seconds prev = 0.0;
+    for (const auto &s : trace.samples()) {
+        EXPECT_GT(s.timestamp, prev);
+        prev = s.timestamp;
+    }
+    EXPECT_NEAR(prev, run.totalTime(), 1e-9);
+}
+
+TEST(Telemetry, OneMillisecondSamplingDensity)
+{
+    auto run = sampleRun();
+    auto trace = TelemetryTrace::fromRun(run);
+    // ~1 sample per ms plus one partial sample per interval boundary.
+    const auto lower =
+        static_cast<std::size_t>(run.totalTime() / 1e-3);
+    EXPECT_GE(trace.samples().size(), lower);
+    EXPECT_LE(trace.samples().size(),
+              lower + 3 * run.records.size() + 3);
+}
+
+TEST(Telemetry, CustomInterval)
+{
+    auto run = sampleRun("NBody");
+    auto coarse = TelemetryTrace::fromRun(
+        run, hw::ApuParams::defaults(), 10e-3);
+    auto fine = TelemetryTrace::fromRun(
+        run, hw::ApuParams::defaults(), 0.5e-3);
+    EXPECT_LT(coarse.samples().size(), fine.samples().size());
+    EXPECT_NEAR(coarse.totalEnergy(), fine.totalEnergy(),
+                1e-9 * fine.totalEnergy());
+}
+
+TEST(Telemetry, InvalidIntervalDies)
+{
+    auto run = sampleRun("NBody");
+    EXPECT_DEATH(TelemetryTrace::fromRun(run,
+                                         hw::ApuParams::defaults(), 0.0),
+                 "positive");
+}
+
+TEST(Telemetry, PowerEnvelopeWithinTdp)
+{
+    // Property: none of the benchmarks drive the modeled package past
+    // its 95 W TDP under Turbo Core.
+    for (const auto &name : workload::benchmarkNames()) {
+        auto run = sampleRun(name);
+        auto trace = TelemetryTrace::fromRun(run);
+        EXPECT_FALSE(
+            trace.exceedsTdp(hw::ApuParams::defaults().tdp))
+            << name;
+        EXPECT_GT(trace.peakPower(), 10.0) << name;
+        // <= up to rounding: constant-power runs have average == peak.
+        EXPECT_LE(trace.averagePower(), trace.peakPower() * (1 + 1e-9))
+            << name;
+    }
+}
+
+TEST(Telemetry, TemperatureRisesUnderLoad)
+{
+    auto run = sampleRun("mandelbulbGPU");
+    auto trace = TelemetryTrace::fromRun(run);
+    const auto &first = trace.samples().front();
+    EXPECT_GT(trace.peakTemperature(), first.temperature);
+    EXPECT_LT(trace.peakTemperature(), 110.0);
+}
+
+TEST(Telemetry, PhasesAnnotated)
+{
+    // An MPC run has governor intervals; a phased app has CPU phases.
+    Simulator sim;
+    auto app = workload::withCpuPhases(
+        workload::makeBenchmark("Spmv"), 0.1);
+    policy::TurboCoreGovernor turbo;
+    auto base = sim.run(app, turbo);
+    auto truth = std::make_shared<ml::GroundTruthPredictor>();
+    mpc::MpcGovernor gov(truth);
+    sim.run(app, gov, base.throughput());
+    auto r = sim.run(app, gov, base.throughput());
+
+    auto trace = TelemetryTrace::fromRun(r);
+    bool saw_kernel = false, saw_phase = false;
+    for (const auto &s : trace.samples()) {
+        saw_kernel |= s.phase == PhaseKind::Kernel;
+        saw_phase |= s.phase == PhaseKind::CpuPhase;
+    }
+    EXPECT_TRUE(saw_kernel);
+    EXPECT_TRUE(saw_phase);
+}
+
+TEST(Telemetry, MarksGovernorIntervals)
+{
+    Simulator sim;
+    auto app = workload::makeBenchmark("Spmv");
+    policy::TurboCoreGovernor turbo;
+    auto base = sim.run(app, turbo);
+    auto truth = std::make_shared<ml::GroundTruthPredictor>();
+    mpc::MpcGovernor gov(truth);
+    sim.run(app, gov, base.throughput());
+    auto r = sim.run(app, gov, base.throughput());
+
+    auto trace = TelemetryTrace::fromRun(r);
+    bool saw_governor = false;
+    for (const auto &s : trace.samples())
+        saw_governor |= s.phase == PhaseKind::Governor;
+    EXPECT_TRUE(saw_governor);
+}
+
+TEST(Telemetry, CsvOutputWellFormed)
+{
+    auto run = sampleRun("NBody");
+    auto trace = TelemetryTrace::fromRun(run);
+    std::ostringstream os;
+    trace.writeCsv(os);
+    const std::string csv = os.str();
+    EXPECT_EQ(csv.find("timestamp_ms,cpu_w,gpu_w"), 0u);
+    // One line per sample plus the header.
+    const auto lines =
+        static_cast<std::size_t>(std::count(csv.begin(), csv.end(), '\n'));
+    EXPECT_EQ(lines, trace.samples().size() + 1);
+}
+
+} // namespace
+} // namespace gpupm::sim

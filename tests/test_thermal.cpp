@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/thermal.hpp"
+
+namespace gpupm::hw {
+namespace {
+
+TEST(Thermal, StartsAtAmbient)
+{
+    ThermalModel t;
+    EXPECT_DOUBLE_EQ(t.temperature(), t.params().ambient);
+}
+
+TEST(Thermal, SteadyStateLinearInPower)
+{
+    ThermalModel t;
+    const auto &p = t.params();
+    EXPECT_DOUBLE_EQ(t.steadyState(0.0), p.ambient);
+    EXPECT_DOUBLE_EQ(t.steadyState(50.0),
+                     p.ambient + 50.0 * p.thermalResistance);
+}
+
+TEST(Thermal, AdvanceApproachesSteadyState)
+{
+    ThermalModel t;
+    const Celsius target = t.steadyState(60.0);
+    // Much longer than the time constant: effectively settled.
+    t.advance(60.0, 100.0);
+    EXPECT_NEAR(t.temperature(), target, 1e-6);
+}
+
+TEST(Thermal, AdvanceIsExponential)
+{
+    ThermalModel t;
+    const Celsius t0 = t.temperature();
+    const Celsius target = t.steadyState(60.0);
+    t.advance(60.0, t.params().thermalTau);
+    // After one time constant, ~63.2% of the gap is closed.
+    const double frac = (t.temperature() - t0) / (target - t0);
+    EXPECT_NEAR(frac, 1.0 - std::exp(-1.0), 1e-9);
+}
+
+TEST(Thermal, ZeroDtKeepsTemperature)
+{
+    ThermalModel t;
+    t.advance(80.0, 1.0);
+    const Celsius before = t.temperature();
+    t.advance(20.0, 0.0);
+    EXPECT_DOUBLE_EQ(t.temperature(), before);
+}
+
+TEST(Thermal, CoolsWhenPowerDrops)
+{
+    ThermalModel t;
+    t.advance(80.0, 50.0);
+    const Celsius hot = t.temperature();
+    t.advance(5.0, 1.0);
+    EXPECT_LT(t.temperature(), hot);
+}
+
+TEST(Thermal, NegativeDtDies)
+{
+    ThermalModel t;
+    EXPECT_DEATH(t.advance(10.0, -1.0), "negative");
+}
+
+TEST(Thermal, ResetReturnsToAmbient)
+{
+    ThermalModel t;
+    t.advance(90.0, 100.0);
+    t.reset();
+    EXPECT_DOUBLE_EQ(t.temperature(), t.params().ambient);
+}
+
+TEST(Thermal, TdpCheck)
+{
+    ThermalModel t;
+    EXPECT_FALSE(t.exceedsTdp(t.params().tdp));
+    EXPECT_TRUE(t.exceedsTdp(t.params().tdp + 0.1));
+}
+
+} // namespace
+} // namespace gpupm::hw

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/training.hpp"
+
+namespace gpupm::workload {
+namespace {
+
+TEST(Training, RequestedCount)
+{
+    EXPECT_EQ(trainingCorpus(0, 1).size(), 0u);
+    EXPECT_EQ(trainingCorpus(17, 1).size(), 17u);
+    EXPECT_EQ(trainingCorpus(128, 1).size(), 128u);
+}
+
+TEST(Training, DeterministicInSeed)
+{
+    auto a = trainingCorpus(32, 42);
+    auto b = trainingCorpus(32, 42);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].workItems, b[i].workItems);
+        EXPECT_DOUBLE_EQ(a[i].valuInstsPerItem, b[i].valuInstsPerItem);
+        EXPECT_EQ(a[i].idiosyncrasySeed, b[i].idiosyncrasySeed);
+    }
+}
+
+TEST(Training, DifferentSeedsDiffer)
+{
+    auto a = trainingCorpus(8, 1);
+    auto b = trainingCorpus(8, 2);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        any_diff |= a[i].workItems != b[i].workItems;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Training, ParametersInValidRanges)
+{
+    for (const auto &k : trainingCorpus(200, 7)) {
+        EXPECT_GE(k.workItems, 1e5);
+        EXPECT_LE(k.workItems, 8e6);
+        EXPECT_GE(k.valuInstsPerItem, 20.0);
+        EXPECT_LE(k.valuInstsPerItem, 3000.0);
+        EXPECT_GE(k.cacheHitBase, 0.0);
+        EXPECT_LE(k.cacheHitBase, 0.98);
+        EXPECT_GE(k.cachePressure, 0.0);
+        EXPECT_GE(k.serialSeconds, 0.0);
+        EXPECT_GE(k.computeMemOverlap, 0.0);
+        EXPECT_LE(k.computeMemOverlap, 0.5);
+    }
+}
+
+TEST(Training, CoversAllArchetypes)
+{
+    std::set<kernel::Archetype> seen;
+    for (const auto &k : trainingCorpus(100, 3))
+        seen.insert(k.archetype);
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Training, UniqueSeedsPerKernel)
+{
+    std::set<std::uint64_t> seeds;
+    auto corpus = trainingCorpus(100, 5);
+    for (const auto &k : corpus)
+        seeds.insert(k.idiosyncrasySeed);
+    EXPECT_EQ(seeds.size(), corpus.size());
+}
+
+TEST(Training, IncludesContinuumKernels)
+{
+    // Half the corpus samples the continuum between archetype
+    // clusters; check that mid-range VALU densities appear (the gap
+    // between memory-bound <=120 and compute-bound >=300 ranges).
+    bool mid = false;
+    for (const auto &k : trainingCorpus(200, 9)) {
+        if (k.valuInstsPerItem > 130.0 && k.valuInstsPerItem < 290.0)
+            mid = true;
+    }
+    EXPECT_TRUE(mid);
+}
+
+} // namespace
+} // namespace gpupm::workload

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hw/transition.hpp"
+#include "kernel/apu.hpp"
+#include "ml/predictor.hpp"
+#include "mpc/governor.hpp"
+#include "policy/static_governor.hpp"
+#include "policy/turbo_core.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::hw {
+namespace {
+
+TEST(Transition, IdenticalConfigsAreFree)
+{
+    TransitionModel m;
+    const auto c = ConfigSpace::failSafe();
+    EXPECT_DOUBLE_EQ(m.latency(c, c), 0.0);
+}
+
+TEST(Transition, Symmetric)
+{
+    TransitionModel m;
+    const auto a = ConfigSpace::maxPerformance();
+    const auto b = ConfigSpace::minPower();
+    EXPECT_DOUBLE_EQ(m.latency(a, b), m.latency(b, a));
+}
+
+TEST(Transition, VoltageRampDominatesBigSwings)
+{
+    TransitionModel m;
+    // CPU plane: P1 (1.325 V) <-> P7 (0.8875 V) = 0.4375 V swing at
+    // 100 us/V plus one PLL relock.
+    HwConfig a = ConfigSpace::maxPerformance();
+    HwConfig b = a;
+    b.cpu = CpuPState::P7;
+    EXPECT_NEAR(m.latency(a, b), 0.4375 * 100e-6 + 8e-6, 1e-12);
+}
+
+TEST(Transition, SharedRailUsesEffectiveVoltage)
+{
+    TransitionModel m;
+    // At NB0 the rail is pinned at 1.175 V: switching DPM2 -> DPM0
+    // changes only the GPU clock (the rail stays), so the cost is one
+    // PLL relock and no ramp.
+    HwConfig a{CpuPState::P7, NbPState::NB0, GpuPState::DPM2, 8};
+    HwConfig b = a;
+    b.gpu = GpuPState::DPM0;
+    EXPECT_NEAR(m.latency(a, b), 8e-6, 1e-12);
+}
+
+TEST(Transition, CuGatingScalesWithCount)
+{
+    TransitionModel m;
+    HwConfig a = ConfigSpace::maxPerformance();
+    HwConfig b = a;
+    b.cus = 6;
+    HwConfig c = a;
+    c.cus = 2;
+    EXPECT_LT(m.latency(a, b), m.latency(a, c));
+    EXPECT_NEAR(m.latency(a, b), 2 * 3e-6, 1e-12);
+}
+
+TEST(Transition, PlanesTransitionConcurrently)
+{
+    TransitionModel m;
+    // Changing only the CPU and changing only the GPU cost their own
+    // plane times; changing both costs the max, not the sum.
+    HwConfig base = ConfigSpace::failSafe();
+    HwConfig cpu_only = base;
+    cpu_only.cpu = CpuPState::P1;
+    HwConfig gpu_only = base;
+    gpu_only.gpu = GpuPState::DPM0;
+    HwConfig both = base;
+    both.cpu = CpuPState::P1;
+    both.gpu = GpuPState::DPM0;
+    const Seconds t_both = m.latency(base, both);
+    EXPECT_NEAR(t_both,
+                std::max(m.latency(base, cpu_only),
+                         m.latency(base, gpu_only)),
+                1e-12);
+}
+
+TEST(Transition, ZeroParamsDisable)
+{
+    ApuParams p;
+    p.transition = TransitionParams::zero();
+    TransitionModel m(p);
+    EXPECT_DOUBLE_EQ(m.latency(ConfigSpace::maxPerformance(),
+                               ConfigSpace::minPower()),
+                     0.0);
+}
+
+TEST(Transition, ApuChargesIdleEnergy)
+{
+    kernel::Apu apu;
+    const auto a = ConfigSpace::maxPerformance();
+    const auto b = ConfigSpace::minPower();
+    const auto m = apu.reconfigure(a, b);
+    EXPECT_GT(m.time, 0.0);
+    EXPECT_GT(m.cpuEnergy, 0.0);
+    EXPECT_GT(m.gpuEnergy, 0.0);
+    // Same config: free.
+    const auto zero = apu.reconfigure(a, a);
+    EXPECT_DOUBLE_EQ(zero.time, 0.0);
+    EXPECT_DOUBLE_EQ(zero.totalEnergy(), 0.0);
+}
+
+TEST(Transition, SimulatorChargesOnlyOnChange)
+{
+    // A static governor never switches: zero transition time. The
+    // first kernel's configuration is applied for free.
+    sim::Simulator sim;
+    auto app = workload::makeBenchmark("Spmv");
+    policy::StaticGovernor gov(ConfigSpace::minPower());
+    auto r = sim.run(app, gov);
+    EXPECT_DOUBLE_EQ(r.transitionTime, 0.0);
+    for (const auto &rec : r.records)
+        EXPECT_DOUBLE_EQ(rec.transitionTime, 0.0);
+}
+
+TEST(Transition, MpcPaysForSwitching)
+{
+    sim::Simulator sim;
+    auto app = workload::makeBenchmark("Spmv");
+    policy::TurboCoreGovernor turbo;
+    auto base = sim.run(app, turbo);
+    EXPECT_DOUBLE_EQ(base.transitionTime, 0.0); // holds boost config
+
+    auto truth = std::make_shared<ml::GroundTruthPredictor>();
+    mpc::MpcGovernor gov(truth);
+    sim.run(app, gov, base.throughput());
+    auto r = sim.run(app, gov, base.throughput());
+    // MPC reconfigures across phases: transitions exist but stay tiny
+    // relative to the run.
+    EXPECT_GT(r.transitionTime, 0.0);
+    EXPECT_LT(r.transitionTime, 0.01 * r.totalTime());
+    // And the alpha bound still holds.
+    EXPECT_GT(sim::speedup(base, r), 0.90);
+}
+
+TEST(Transition, IncludedInNonKernelAccounting)
+{
+    sim::Simulator sim;
+    auto app = workload::makeBenchmark("kmeans");
+    policy::TurboCoreGovernor turbo;
+    auto base = sim.run(app, turbo);
+    auto truth = std::make_shared<ml::GroundTruthPredictor>();
+    mpc::MpcGovernor gov(truth);
+    sim.run(app, gov, base.throughput());
+    auto r = sim.run(app, gov, base.throughput());
+    Seconds sum = 0.0;
+    for (const auto &rec : r.records) {
+        sum += rec.kernelTime + rec.overheadTime + rec.cpuPhaseTime +
+               rec.transitionTime;
+    }
+    EXPECT_NEAR(sum, r.totalTime(), 1e-12);
+}
+
+} // namespace
+} // namespace gpupm::hw

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "policy/turbo_core.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::policy {
+namespace {
+
+TEST(TurboCore, RunsAtMaxWhileUnderTdp)
+{
+    // The 95 W A10-7850K never exceeds TDP on these workloads, so
+    // Turbo Core holds the boost configuration (Sec. V-B).
+    sim::Simulator sim;
+    auto app = workload::makeBenchmark("Spmv");
+    TurboCoreGovernor gov;
+    auto r = sim.run(app, gov);
+    for (const auto &rec : r.records)
+        EXPECT_EQ(rec.config, hw::ConfigSpace::maxPerformance());
+}
+
+TEST(TurboCore, NoSoftwareOverhead)
+{
+    sim::Simulator sim;
+    auto app = workload::makeBenchmark("kmeans");
+    TurboCoreGovernor gov;
+    auto r = sim.run(app, gov);
+    EXPECT_DOUBLE_EQ(r.overheadTime, 0.0);
+    EXPECT_DOUBLE_EQ(r.overheadEnergy, 0.0);
+}
+
+TEST(TurboCore, ShedsCpuStatesOverTdp)
+{
+    // With a deliberately tiny TDP, the package power exceeds the
+    // budget and Turbo Core must shift power away from the CPU.
+    hw::ApuParams tight;
+    tight.tdp = 30.0;
+    sim::Simulator sim(tight);
+    auto app = workload::makeBenchmark("mandelbulbGPU");
+    TurboCoreGovernor gov(tight);
+    auto r = sim.run(app, gov);
+
+    // First decision has no utilization history -> boost; after the
+    // first observation the governor sees the overshoot and sheds.
+    EXPECT_EQ(r.records[0].config.cpu, hw::CpuPState::P1);
+    bool shed = false;
+    for (std::size_t i = 1; i < r.records.size(); ++i) {
+        if (r.records[i].config.cpu != hw::CpuPState::P1)
+            shed = true;
+        // GPU keeps the boost states; power shifts toward the loaded
+        // GPU, not away from it.
+        EXPECT_EQ(r.records[i].config.gpu, hw::GpuPState::DPM4);
+        EXPECT_EQ(r.records[i].config.cus, 8);
+    }
+    EXPECT_TRUE(shed);
+}
+
+TEST(TurboCore, ShedsProportionallyToOvershoot)
+{
+    // The CPU's full dynamic range is ~10 W; budgets must sit within
+    // it of the ~51 W peak package power to differentiate.
+    hw::ApuParams tighter;
+    tighter.tdp = 45.0;
+    hw::ApuParams tight;
+    tight.tdp = 49.0;
+
+    auto app = workload::makeBenchmark("mandelbulbGPU");
+    sim::Simulator s1(tight), s2(tighter);
+    TurboCoreGovernor g1(tight), g2(tighter);
+    auto r1 = s1.run(app, g1);
+    auto r2 = s2.run(app, g2);
+    // A tighter budget forces a lower (numerically higher) CPU state.
+    EXPECT_GT(static_cast<int>(r2.records.back().config.cpu),
+              static_cast<int>(r1.records.back().config.cpu));
+}
+
+TEST(TurboCore, BeginRunResetsHistory)
+{
+    hw::ApuParams tight;
+    tight.tdp = 30.0;
+    sim::Simulator sim(tight);
+    auto app = workload::makeBenchmark("NBody");
+    TurboCoreGovernor gov(tight);
+    auto r1 = sim.run(app, gov);
+    auto r2 = sim.run(app, gov);
+    // Each run starts at boost again.
+    EXPECT_EQ(r2.records[0].config.cpu, hw::CpuPState::P1);
+    EXPECT_NEAR(r1.totalTime(), r2.totalTime(), 1e-12);
+}
+
+TEST(TurboCore, Name)
+{
+    TurboCoreGovernor gov;
+    EXPECT_EQ(gov.name(), "Turbo Core");
+}
+
+} // namespace
+} // namespace gpupm::policy

@@ -1,0 +1,31 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace gpupm {
+namespace {
+
+TEST(Units, MhzToHz)
+{
+    EXPECT_DOUBLE_EQ(mhzToHz(1.0), 1e6);
+    EXPECT_DOUBLE_EQ(mhzToHz(720.0), 7.2e8);
+    EXPECT_DOUBLE_EQ(mhzToHz(3900.0), 3.9e9);
+    EXPECT_DOUBLE_EQ(mhzToHz(0.0), 0.0);
+}
+
+TEST(Units, MsToSeconds)
+{
+    EXPECT_DOUBLE_EQ(msToSeconds(1.0), 1e-3);
+    EXPECT_DOUBLE_EQ(msToSeconds(1000.0), 1.0);
+    EXPECT_DOUBLE_EQ(msToSeconds(0.5), 5e-4);
+}
+
+TEST(Units, ConstexprUsable)
+{
+    static_assert(mhzToHz(100.0) == 1e8);
+    static_assert(msToSeconds(2.0) == 2e-3);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace gpupm

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * gpupm command-line driver.
+ *
+ * Subcommands:
+ *   list                      list the built-in benchmarks
+ *   info                      DVFS tables and search-space summary
+ *   train [flags]             train a Random Forest and save it
+ *   run [flags]               run governors over benchmarks
+ *
+ * Examples:
+ *   gpupm run --bench Spmv --governor mpc --predictor perfect
+ *   gpupm run --bench all --governor mpc --predictor rf --model m.rf
+ *   gpupm run --bench kmeans --governor mpc --trace kmeans.csv
+ *   gpupm train --out model.rf --corpus 128
+ */
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+
+#include "common/flags.hpp"
+#include "common/table.hpp"
+#include "ml/error_model.hpp"
+#include "ml/serialize.hpp"
+#include "ml/trainer.hpp"
+#include "mpc/governor.hpp"
+#include "policy/oracle.hpp"
+#include "policy/ppk.hpp"
+#include "policy/turbo_core.hpp"
+#include "sim/metrics.hpp"
+#include "sim/telemetry.hpp"
+#include "workload/benchmarks.hpp"
+
+using namespace gpupm;
+
+namespace {
+
+int
+cmdList()
+{
+    TextTable t({"benchmark", "category", "pattern", "launches"});
+    for (const auto &app : workload::allBenchmarks()) {
+        t.addRow({app.name, toString(app.category), app.patternNotation,
+                  std::to_string(app.kernelCount())});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdInfo()
+{
+    hw::ConfigSpace space;
+    std::cout << "Modeled platform: AMD A10-7850K-class APU\n"
+              << "Search space: " << space.size()
+              << " configurations (7 CPU x 4 NB x 3 GPU x 4 CU)\n"
+              << "Fail-safe: " << hw::ConfigSpace::failSafe().toString()
+              << "\nBoost:     "
+              << hw::ConfigSpace::maxPerformance().toString() << "\n"
+              << "TDP: " << fmt(hw::ApuParams::defaults().tdp, 0)
+              << " W\n";
+    return 0;
+}
+
+int
+cmdTrain(int argc, const char *const *argv)
+{
+    FlagParser flags("gpupm train: fit the Random Forest predictor");
+    flags.addString("out", "model.rf", "output model path");
+    flags.addInt("corpus", 128, "training kernels");
+    flags.addInt("trees", 60, "trees per forest");
+    flags.addInt("stride", 1, "use every k-th configuration");
+    if (!flags.parse(argc, argv)) {
+        std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
+                  << flags.usage();
+        return flags.helpRequested() ? 0 : 2;
+    }
+
+    ml::TrainerOptions opts;
+    opts.corpusSize = static_cast<std::size_t>(flags.getInt("corpus"));
+    opts.forest.numTrees = flags.getInt("trees");
+    opts.configStride = flags.getInt("stride");
+    ml::TrainingReport report;
+    std::cout << "training on " << opts.corpusSize << " kernels...\n";
+    auto rf = ml::trainRandomForestPredictor(opts, &report);
+    std::cout << "OOB time MAPE " << fmt(report.timeOobMapePct, 1)
+              << "%, power MAPE " << fmt(report.powerOobMapePct, 1)
+              << "% over " << report.datasetRows << " rows\n";
+
+    const std::string out = flags.getString("out");
+    std::ofstream os(out);
+    if (!os) {
+        std::cerr << "cannot write " << out << "\n";
+        return 1;
+    }
+    ml::saveRandomForest(*rf, os);
+    std::cout << "model saved to " << out << "\n";
+    return 0;
+}
+
+std::shared_ptr<const ml::PerfPowerPredictor>
+makePredictor(const std::string &kind, const std::string &model_path)
+{
+    if (kind == "perfect")
+        return std::make_shared<ml::GroundTruthPredictor>();
+    if (kind == "err15")
+        return std::make_shared<ml::NoisyOraclePredictor>(0.15, 0.10);
+    if (kind == "err5")
+        return std::make_shared<ml::NoisyOraclePredictor>(0.05, 0.05);
+    if (kind == "rf") {
+        if (!model_path.empty()) {
+            std::ifstream is(model_path);
+            if (!is) {
+                std::cerr << "cannot read model " << model_path << "\n";
+                return nullptr;
+            }
+            return ml::loadRandomForest(is);
+        }
+        std::cerr << "training Random Forest (pass --model to reuse a "
+                     "saved one)...\n";
+        return ml::trainRandomForestPredictor();
+    }
+    std::cerr << "unknown predictor '" << kind
+              << "' (perfect|rf|err15|err5)\n";
+    return nullptr;
+}
+
+int
+cmdRun(int argc, const char *const *argv)
+{
+    FlagParser flags("gpupm run: execute governors over benchmarks");
+    flags.addString("bench", "all", "benchmark name or 'all'");
+    flags.addString("governor", "mpc", "turbo|ppk|mpc|oracle");
+    flags.addString("predictor", "perfect", "perfect|rf|err15|err5");
+    flags.addString("model", "", "saved .rf model (with --predictor rf)");
+    flags.addString("horizon", "adaptive", "adaptive|full|fixed");
+    flags.addInt("fixed-horizon", 4, "length for --horizon fixed");
+    flags.addDouble("alpha", 0.05, "performance-loss bound");
+    flags.addInt("runs", 2, "MPC executions after profiling");
+    flags.addDouble("phases", 0.0, "CPU-phase fraction between kernels");
+    flags.addString("trace", "", "write 1 ms telemetry CSV here");
+    flags.addBool("no-overhead", "do not charge decision latency");
+    if (!flags.parse(argc, argv)) {
+        std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
+                  << flags.usage();
+        return flags.helpRequested() ? 0 : 2;
+    }
+
+    const std::string gov_kind = flags.getString("governor");
+    std::shared_ptr<const ml::PerfPowerPredictor> predictor;
+    if (gov_kind == "ppk" || gov_kind == "mpc") {
+        predictor = makePredictor(flags.getString("predictor"),
+                                  flags.getString("model"));
+        if (!predictor)
+            return 2;
+    }
+
+    std::vector<std::string> names;
+    if (flags.getString("bench") == "all")
+        names = workload::benchmarkNames();
+    else
+        names.push_back(flags.getString("bench"));
+
+    mpc::MpcOptions mpc_opts;
+    mpc_opts.alpha = flags.getDouble("alpha");
+    if (flags.getString("horizon") == "full")
+        mpc_opts.horizonMode = mpc::HorizonMode::Full;
+    else if (flags.getString("horizon") == "fixed")
+        mpc_opts.horizonMode = mpc::HorizonMode::Fixed;
+    mpc_opts.fixedHorizon =
+        static_cast<std::size_t>(flags.getInt("fixed-horizon"));
+    if (flags.getBool("no-overhead")) {
+        mpc_opts.chargeOverhead = false;
+        mpc_opts.overhead = policy::OverheadModel::free();
+    }
+
+    sim::Simulator sim;
+    TextTable t({"benchmark", "scheme", "energy (J)", "time (ms)",
+                 "energy savings", "speedup"});
+    sim::RunResult last;
+    for (const auto &name : names) {
+        auto app = workload::makeBenchmark(name);
+        if (flags.getDouble("phases") > 0.0)
+            app = workload::withCpuPhases(app, flags.getDouble("phases"));
+
+        policy::TurboCoreGovernor turbo;
+        auto baseline = sim.run(app, turbo);
+
+        sim::RunResult r;
+        if (gov_kind == "turbo") {
+            r = baseline;
+        } else if (gov_kind == "ppk") {
+            policy::PpkGovernor gov(predictor);
+            r = sim.run(app, gov, baseline.throughput());
+        } else if (gov_kind == "mpc") {
+            mpc::MpcGovernor gov(predictor, mpc_opts);
+            sim.run(app, gov, baseline.throughput());
+            for (int i = 0; i < flags.getInt("runs"); ++i)
+                r = sim.run(app, gov, baseline.throughput());
+        } else if (gov_kind == "oracle") {
+            policy::TheoreticallyOptimalGovernor gov(app);
+            r = sim.run(app, gov, baseline.throughput());
+        } else {
+            std::cerr << "unknown governor '" << gov_kind << "'\n";
+            return 2;
+        }
+
+        t.addRow({name, r.governorName, fmt(r.totalEnergy(), 3),
+                  fmt(r.totalTime() * 1e3, 2),
+                  fmtPct(sim::energySavingsPct(baseline, r)),
+                  fmt(sim::speedup(baseline, r), 3)});
+        last = r;
+    }
+    t.print(std::cout);
+
+    const std::string trace_path = flags.getString("trace");
+    if (!trace_path.empty()) {
+        std::ofstream os(trace_path);
+        if (!os) {
+            std::cerr << "cannot write " << trace_path << "\n";
+            return 1;
+        }
+        sim::TelemetryTrace::fromRun(last).writeCsv(os);
+        std::cout << "telemetry of the last run written to "
+                  << trace_path << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: gpupm <list|info|train|run> [flags]\n"
+                     "       gpupm <subcommand> --help\n";
+        return 2;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "info")
+        return cmdInfo();
+    if (cmd == "train")
+        return cmdTrain(argc - 1, argv + 1);
+    if (cmd == "run")
+        return cmdRun(argc - 1, argv + 1);
+    std::cerr << "unknown subcommand '" << cmd << "'\n";
+    return 2;
+}
