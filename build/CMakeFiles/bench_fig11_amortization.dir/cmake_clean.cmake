@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_amortization.dir/bench/bench_fig11_amortization.cpp.o"
+  "CMakeFiles/bench_fig11_amortization.dir/bench/bench_fig11_amortization.cpp.o.d"
+  "bench/bench_fig11_amortization"
+  "bench/bench_fig11_amortization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_amortization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

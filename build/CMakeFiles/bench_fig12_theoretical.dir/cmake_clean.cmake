@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_theoretical.dir/bench/bench_fig12_theoretical.cpp.o"
+  "CMakeFiles/bench_fig12_theoretical.dir/bench/bench_fig12_theoretical.cpp.o.d"
+  "bench/bench_fig12_theoretical"
+  "bench/bench_fig12_theoretical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_theoretical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_overheads.dir/bench/bench_fig14_overheads.cpp.o"
+  "CMakeFiles/bench_fig14_overheads.dir/bench/bench_fig14_overheads.cpp.o.d"
+  "bench/bench_fig14_overheads"
+  "bench/bench_fig14_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_horizon.dir/bench/bench_fig15_horizon.cpp.o"
+  "CMakeFiles/bench_fig15_horizon.dir/bench/bench_fig15_horizon.cpp.o.d"
+  "bench/bench_fig15_horizon"
+  "bench/bench_fig15_horizon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_horizon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_limit.dir/bench/bench_fig4_limit.cpp.o"
+  "CMakeFiles/bench_fig4_limit.dir/bench/bench_fig4_limit.cpp.o.d"
+  "bench/bench_fig4_limit"
+  "bench/bench_fig4_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

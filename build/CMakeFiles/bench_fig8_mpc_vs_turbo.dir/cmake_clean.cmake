@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_mpc_vs_turbo.dir/bench/bench_fig8_mpc_vs_turbo.cpp.o"
+  "CMakeFiles/bench_fig8_mpc_vs_turbo.dir/bench/bench_fig8_mpc_vs_turbo.cpp.o.d"
+  "bench/bench_fig8_mpc_vs_turbo"
+  "bench/bench_fig8_mpc_vs_turbo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_mpc_vs_turbo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_mpc_vs_ppk.dir/bench/bench_fig9_mpc_vs_ppk.cpp.o"
+  "CMakeFiles/bench_fig9_mpc_vs_ppk.dir/bench/bench_fig9_mpc_vs_ppk.cpp.o.d"
+  "bench/bench_fig9_mpc_vs_ppk"
+  "bench/bench_fig9_mpc_vs_ppk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_mpc_vs_ppk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9_mpc_vs_ppk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_dvfs.dir/bench/bench_table1_dvfs.cpp.o"
+  "CMakeFiles/bench_table1_dvfs.dir/bench/bench_table1_dvfs.cpp.o.d"
+  "bench/bench_table1_dvfs"
+  "bench/bench_table1_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

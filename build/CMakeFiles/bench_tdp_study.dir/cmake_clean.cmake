@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tdp_study.dir/bench/bench_tdp_study.cpp.o"
+  "CMakeFiles/bench_tdp_study.dir/bench/bench_tdp_study.cpp.o.d"
+  "bench/bench_tdp_study"
+  "bench/bench_tdp_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tdp_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_bench_harness.dir/bench/harness.cpp.o"
+  "CMakeFiles/gpupm_bench_harness.dir/bench/harness.cpp.o.d"
+  "libgpupm_bench_harness.a"
+  "libgpupm_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_governors.dir/compare_governors.cpp.o"
+  "CMakeFiles/compare_governors.dir/compare_governors.cpp.o.d"
+  "compare_governors"
+  "compare_governors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

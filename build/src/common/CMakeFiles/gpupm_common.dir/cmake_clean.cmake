@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_common.dir/flags.cpp.o"
+  "CMakeFiles/gpupm_common.dir/flags.cpp.o.d"
+  "CMakeFiles/gpupm_common.dir/logging.cpp.o"
+  "CMakeFiles/gpupm_common.dir/logging.cpp.o.d"
+  "CMakeFiles/gpupm_common.dir/rng.cpp.o"
+  "CMakeFiles/gpupm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gpupm_common.dir/stats.cpp.o"
+  "CMakeFiles/gpupm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/gpupm_common.dir/table.cpp.o"
+  "CMakeFiles/gpupm_common.dir/table.cpp.o.d"
+  "libgpupm_common.a"
+  "libgpupm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

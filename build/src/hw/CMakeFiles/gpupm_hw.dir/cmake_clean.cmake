@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_hw.dir/config.cpp.o"
+  "CMakeFiles/gpupm_hw.dir/config.cpp.o.d"
+  "CMakeFiles/gpupm_hw.dir/dvfs.cpp.o"
+  "CMakeFiles/gpupm_hw.dir/dvfs.cpp.o.d"
+  "CMakeFiles/gpupm_hw.dir/power_model.cpp.o"
+  "CMakeFiles/gpupm_hw.dir/power_model.cpp.o.d"
+  "CMakeFiles/gpupm_hw.dir/thermal.cpp.o"
+  "CMakeFiles/gpupm_hw.dir/thermal.cpp.o.d"
+  "CMakeFiles/gpupm_hw.dir/transition.cpp.o"
+  "CMakeFiles/gpupm_hw.dir/transition.cpp.o.d"
+  "libgpupm_hw.a"
+  "libgpupm_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/apu.cpp" "src/kernel/CMakeFiles/gpupm_kernel.dir/apu.cpp.o" "gcc" "src/kernel/CMakeFiles/gpupm_kernel.dir/apu.cpp.o.d"
+  "/root/repo/src/kernel/counters.cpp" "src/kernel/CMakeFiles/gpupm_kernel.dir/counters.cpp.o" "gcc" "src/kernel/CMakeFiles/gpupm_kernel.dir/counters.cpp.o.d"
+  "/root/repo/src/kernel/kernel.cpp" "src/kernel/CMakeFiles/gpupm_kernel.dir/kernel.cpp.o" "gcc" "src/kernel/CMakeFiles/gpupm_kernel.dir/kernel.cpp.o.d"
+  "/root/repo/src/kernel/perf_model.cpp" "src/kernel/CMakeFiles/gpupm_kernel.dir/perf_model.cpp.o" "gcc" "src/kernel/CMakeFiles/gpupm_kernel.dir/perf_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/gpupm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpupm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

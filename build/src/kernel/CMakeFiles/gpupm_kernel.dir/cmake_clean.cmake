@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_kernel.dir/apu.cpp.o"
+  "CMakeFiles/gpupm_kernel.dir/apu.cpp.o.d"
+  "CMakeFiles/gpupm_kernel.dir/counters.cpp.o"
+  "CMakeFiles/gpupm_kernel.dir/counters.cpp.o.d"
+  "CMakeFiles/gpupm_kernel.dir/kernel.cpp.o"
+  "CMakeFiles/gpupm_kernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/gpupm_kernel.dir/perf_model.cpp.o"
+  "CMakeFiles/gpupm_kernel.dir/perf_model.cpp.o.d"
+  "libgpupm_kernel.a"
+  "libgpupm_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/gpupm_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/gpupm_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/energy.cpp" "src/ml/CMakeFiles/gpupm_ml.dir/energy.cpp.o" "gcc" "src/ml/CMakeFiles/gpupm_ml.dir/energy.cpp.o.d"
+  "/root/repo/src/ml/error_model.cpp" "src/ml/CMakeFiles/gpupm_ml.dir/error_model.cpp.o" "gcc" "src/ml/CMakeFiles/gpupm_ml.dir/error_model.cpp.o.d"
+  "/root/repo/src/ml/features.cpp" "src/ml/CMakeFiles/gpupm_ml.dir/features.cpp.o" "gcc" "src/ml/CMakeFiles/gpupm_ml.dir/features.cpp.o.d"
+  "/root/repo/src/ml/predictor.cpp" "src/ml/CMakeFiles/gpupm_ml.dir/predictor.cpp.o" "gcc" "src/ml/CMakeFiles/gpupm_ml.dir/predictor.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/gpupm_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/gpupm_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/gpupm_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/gpupm_ml.dir/serialize.cpp.o.d"
+  "/root/repo/src/ml/trainer.cpp" "src/ml/CMakeFiles/gpupm_ml.dir/trainer.cpp.o" "gcc" "src/ml/CMakeFiles/gpupm_ml.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/gpupm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/gpupm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpupm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gpupm_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

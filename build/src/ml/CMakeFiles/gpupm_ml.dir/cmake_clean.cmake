@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/gpupm_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/gpupm_ml.dir/energy.cpp.o"
+  "CMakeFiles/gpupm_ml.dir/energy.cpp.o.d"
+  "CMakeFiles/gpupm_ml.dir/error_model.cpp.o"
+  "CMakeFiles/gpupm_ml.dir/error_model.cpp.o.d"
+  "CMakeFiles/gpupm_ml.dir/features.cpp.o"
+  "CMakeFiles/gpupm_ml.dir/features.cpp.o.d"
+  "CMakeFiles/gpupm_ml.dir/predictor.cpp.o"
+  "CMakeFiles/gpupm_ml.dir/predictor.cpp.o.d"
+  "CMakeFiles/gpupm_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/gpupm_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/gpupm_ml.dir/serialize.cpp.o"
+  "CMakeFiles/gpupm_ml.dir/serialize.cpp.o.d"
+  "CMakeFiles/gpupm_ml.dir/trainer.cpp.o"
+  "CMakeFiles/gpupm_ml.dir/trainer.cpp.o.d"
+  "libgpupm_ml.a"
+  "libgpupm_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

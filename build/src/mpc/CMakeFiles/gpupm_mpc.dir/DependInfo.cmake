@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpc/governor.cpp" "src/mpc/CMakeFiles/gpupm_mpc.dir/governor.cpp.o" "gcc" "src/mpc/CMakeFiles/gpupm_mpc.dir/governor.cpp.o.d"
+  "/root/repo/src/mpc/hill_climb.cpp" "src/mpc/CMakeFiles/gpupm_mpc.dir/hill_climb.cpp.o" "gcc" "src/mpc/CMakeFiles/gpupm_mpc.dir/hill_climb.cpp.o.d"
+  "/root/repo/src/mpc/horizon.cpp" "src/mpc/CMakeFiles/gpupm_mpc.dir/horizon.cpp.o" "gcc" "src/mpc/CMakeFiles/gpupm_mpc.dir/horizon.cpp.o.d"
+  "/root/repo/src/mpc/pattern_extractor.cpp" "src/mpc/CMakeFiles/gpupm_mpc.dir/pattern_extractor.cpp.o" "gcc" "src/mpc/CMakeFiles/gpupm_mpc.dir/pattern_extractor.cpp.o.d"
+  "/root/repo/src/mpc/performance_tracker.cpp" "src/mpc/CMakeFiles/gpupm_mpc.dir/performance_tracker.cpp.o" "gcc" "src/mpc/CMakeFiles/gpupm_mpc.dir/performance_tracker.cpp.o.d"
+  "/root/repo/src/mpc/pool.cpp" "src/mpc/CMakeFiles/gpupm_mpc.dir/pool.cpp.o" "gcc" "src/mpc/CMakeFiles/gpupm_mpc.dir/pool.cpp.o.d"
+  "/root/repo/src/mpc/search_order.cpp" "src/mpc/CMakeFiles/gpupm_mpc.dir/search_order.cpp.o" "gcc" "src/mpc/CMakeFiles/gpupm_mpc.dir/search_order.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/policy/CMakeFiles/gpupm_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpupm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/gpupm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpupm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gpupm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/gpupm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/gpupm_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_mpc.dir/governor.cpp.o"
+  "CMakeFiles/gpupm_mpc.dir/governor.cpp.o.d"
+  "CMakeFiles/gpupm_mpc.dir/hill_climb.cpp.o"
+  "CMakeFiles/gpupm_mpc.dir/hill_climb.cpp.o.d"
+  "CMakeFiles/gpupm_mpc.dir/horizon.cpp.o"
+  "CMakeFiles/gpupm_mpc.dir/horizon.cpp.o.d"
+  "CMakeFiles/gpupm_mpc.dir/pattern_extractor.cpp.o"
+  "CMakeFiles/gpupm_mpc.dir/pattern_extractor.cpp.o.d"
+  "CMakeFiles/gpupm_mpc.dir/performance_tracker.cpp.o"
+  "CMakeFiles/gpupm_mpc.dir/performance_tracker.cpp.o.d"
+  "CMakeFiles/gpupm_mpc.dir/pool.cpp.o"
+  "CMakeFiles/gpupm_mpc.dir/pool.cpp.o.d"
+  "CMakeFiles/gpupm_mpc.dir/search_order.cpp.o"
+  "CMakeFiles/gpupm_mpc.dir/search_order.cpp.o.d"
+  "libgpupm_mpc.a"
+  "libgpupm_mpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_mpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policy/knapsack.cpp" "src/policy/CMakeFiles/gpupm_policy.dir/knapsack.cpp.o" "gcc" "src/policy/CMakeFiles/gpupm_policy.dir/knapsack.cpp.o.d"
+  "/root/repo/src/policy/oracle.cpp" "src/policy/CMakeFiles/gpupm_policy.dir/oracle.cpp.o" "gcc" "src/policy/CMakeFiles/gpupm_policy.dir/oracle.cpp.o.d"
+  "/root/repo/src/policy/overhead.cpp" "src/policy/CMakeFiles/gpupm_policy.dir/overhead.cpp.o" "gcc" "src/policy/CMakeFiles/gpupm_policy.dir/overhead.cpp.o.d"
+  "/root/repo/src/policy/ppk.cpp" "src/policy/CMakeFiles/gpupm_policy.dir/ppk.cpp.o" "gcc" "src/policy/CMakeFiles/gpupm_policy.dir/ppk.cpp.o.d"
+  "/root/repo/src/policy/static_governor.cpp" "src/policy/CMakeFiles/gpupm_policy.dir/static_governor.cpp.o" "gcc" "src/policy/CMakeFiles/gpupm_policy.dir/static_governor.cpp.o.d"
+  "/root/repo/src/policy/turbo_core.cpp" "src/policy/CMakeFiles/gpupm_policy.dir/turbo_core.cpp.o" "gcc" "src/policy/CMakeFiles/gpupm_policy.dir/turbo_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gpupm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/gpupm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpupm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gpupm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/gpupm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/gpupm_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

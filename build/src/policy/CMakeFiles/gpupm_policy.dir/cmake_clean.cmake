@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_policy.dir/knapsack.cpp.o"
+  "CMakeFiles/gpupm_policy.dir/knapsack.cpp.o.d"
+  "CMakeFiles/gpupm_policy.dir/oracle.cpp.o"
+  "CMakeFiles/gpupm_policy.dir/oracle.cpp.o.d"
+  "CMakeFiles/gpupm_policy.dir/overhead.cpp.o"
+  "CMakeFiles/gpupm_policy.dir/overhead.cpp.o.d"
+  "CMakeFiles/gpupm_policy.dir/ppk.cpp.o"
+  "CMakeFiles/gpupm_policy.dir/ppk.cpp.o.d"
+  "CMakeFiles/gpupm_policy.dir/static_governor.cpp.o"
+  "CMakeFiles/gpupm_policy.dir/static_governor.cpp.o.d"
+  "CMakeFiles/gpupm_policy.dir/turbo_core.cpp.o"
+  "CMakeFiles/gpupm_policy.dir/turbo_core.cpp.o.d"
+  "libgpupm_policy.a"
+  "libgpupm_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

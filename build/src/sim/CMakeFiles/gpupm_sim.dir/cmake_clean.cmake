@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_sim.dir/governor.cpp.o"
+  "CMakeFiles/gpupm_sim.dir/governor.cpp.o.d"
+  "CMakeFiles/gpupm_sim.dir/metrics.cpp.o"
+  "CMakeFiles/gpupm_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/gpupm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/gpupm_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/gpupm_sim.dir/telemetry.cpp.o"
+  "CMakeFiles/gpupm_sim.dir/telemetry.cpp.o.d"
+  "libgpupm_sim.a"
+  "libgpupm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/benchmarks.cpp" "src/workload/CMakeFiles/gpupm_workload.dir/benchmarks.cpp.o" "gcc" "src/workload/CMakeFiles/gpupm_workload.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/workload/pattern.cpp" "src/workload/CMakeFiles/gpupm_workload.dir/pattern.cpp.o" "gcc" "src/workload/CMakeFiles/gpupm_workload.dir/pattern.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/gpupm_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/gpupm_workload.dir/trace.cpp.o.d"
+  "/root/repo/src/workload/training.cpp" "src/workload/CMakeFiles/gpupm_workload.dir/training.cpp.o" "gcc" "src/workload/CMakeFiles/gpupm_workload.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/gpupm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpupm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/gpupm_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpupm_workload.dir/benchmarks.cpp.o"
+  "CMakeFiles/gpupm_workload.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/gpupm_workload.dir/pattern.cpp.o"
+  "CMakeFiles/gpupm_workload.dir/pattern.cpp.o.d"
+  "CMakeFiles/gpupm_workload.dir/trace.cpp.o"
+  "CMakeFiles/gpupm_workload.dir/trace.cpp.o.d"
+  "CMakeFiles/gpupm_workload.dir/training.cpp.o"
+  "CMakeFiles/gpupm_workload.dir/training.cpp.o.d"
+  "libgpupm_workload.a"
+  "libgpupm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpupm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apu.dir/test_apu.cpp.o"
+  "CMakeFiles/test_apu.dir/test_apu.cpp.o.d"
+  "test_apu"
+  "test_apu.pdb"
+  "test_apu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_phases.dir/test_cpu_phases.cpp.o"
+  "CMakeFiles/test_cpu_phases.dir/test_cpu_phases.cpp.o.d"
+  "test_cpu_phases"
+  "test_cpu_phases.pdb"
+  "test_cpu_phases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

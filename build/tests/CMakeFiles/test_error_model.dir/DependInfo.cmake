@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_error_model.cpp" "tests/CMakeFiles/test_error_model.dir/test_error_model.cpp.o" "gcc" "tests/CMakeFiles/test_error_model.dir/test_error_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpc/CMakeFiles/gpupm_mpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/gpupm_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gpupm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/gpupm_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/gpupm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/gpupm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/gpupm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gpupm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

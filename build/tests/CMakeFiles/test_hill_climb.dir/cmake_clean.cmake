@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hill_climb.dir/test_hill_climb.cpp.o"
+  "CMakeFiles/test_hill_climb.dir/test_hill_climb.cpp.o.d"
+  "test_hill_climb"
+  "test_hill_climb.pdb"
+  "test_hill_climb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hill_climb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pattern_extractor.dir/test_pattern_extractor.cpp.o"
+  "CMakeFiles/test_pattern_extractor.dir/test_pattern_extractor.cpp.o.d"
+  "test_pattern_extractor"
+  "test_pattern_extractor.pdb"
+  "test_pattern_extractor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pattern_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

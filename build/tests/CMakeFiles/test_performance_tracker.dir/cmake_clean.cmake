@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_performance_tracker.dir/test_performance_tracker.cpp.o"
+  "CMakeFiles/test_performance_tracker.dir/test_performance_tracker.cpp.o.d"
+  "test_performance_tracker"
+  "test_performance_tracker.pdb"
+  "test_performance_tracker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_performance_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppk.dir/test_ppk.cpp.o"
+  "CMakeFiles/test_ppk.dir/test_ppk.cpp.o.d"
+  "test_ppk"
+  "test_ppk.pdb"
+  "test_ppk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

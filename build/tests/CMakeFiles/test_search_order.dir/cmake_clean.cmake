@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_order.dir/test_search_order.cpp.o"
+  "CMakeFiles/test_search_order.dir/test_search_order.cpp.o.d"
+  "test_search_order"
+  "test_search_order.pdb"
+  "test_search_order[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transition.dir/test_transition.cpp.o"
+  "CMakeFiles/test_transition.dir/test_transition.cpp.o.d"
+  "test_transition"
+  "test_transition.pdb"
+  "test_transition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

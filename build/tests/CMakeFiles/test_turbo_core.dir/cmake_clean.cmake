@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_turbo_core.dir/test_turbo_core.cpp.o"
+  "CMakeFiles/test_turbo_core.dir/test_turbo_core.cpp.o.d"
+  "test_turbo_core"
+  "test_turbo_core.pdb"
+  "test_turbo_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_turbo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
