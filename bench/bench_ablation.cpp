@@ -191,7 +191,7 @@ feedbackAblation(bench::Harness &h)
 {
     std::cout << "--- 4. Performance-tracker feedback (Eq. 4/5) under "
                  "Err_15%_10% prediction ---\n";
-    auto noisy = bench::Harness::noisyPredictor(0.15, 0.10);
+    auto noisy = h.noisyPredictor(0.15, 0.10);
     mpc::MpcOptions no_feedback;
     no_feedback.useFeedback = false;
 
@@ -265,13 +265,13 @@ transitionCostAblation(bench::Harness &h)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::Harness::printHeader(
         "Ablations: search cost, horizon policy, pacing, feedback",
         "Secs. IV-A1a, IV-A4, VI-D/E of the paper + DESIGN.md Sec. 4");
 
-    bench::Harness h;
+    bench::Harness h(bench::harnessOptionsFromArgs(argc, argv));
     searchCostAblation(h);
     horizonAblation(h);
     pacingAblation(h);

@@ -16,22 +16,37 @@
 using namespace gpupm;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::Harness::printHeader(
         "Figure 12: MPC vs Theoretically Optimal (perfect prediction, "
         "no overheads, full horizon)",
         "Fig. 12 and Sec. VI-C of the paper");
 
-    bench::Harness h;
+    bench::Harness h(bench::harnessOptionsFromArgs(argc, argv));
+
+    // One sweep job per benchmark: the limit-study MPC runs and the
+    // oracle's exhaustive plan both execute inside the job, so the
+    // whole figure scales with --jobs while the row order (and every
+    // digit) stays identical to the serial run.
+    struct Row
+    {
+        bench::SchemeResult mpc, to;
+    };
+    auto truth = h.groundTruth();
+    const auto rows = h.mapCases<Row>([&](const bench::BenchCase &bc) {
+        return Row{h.runMpc(bc, truth,
+                            bench::Harness::limitStudyOptions(), 3),
+                   h.runOracle(bc)};
+    });
 
     TextTable t({"benchmark", "MPC energy sav (%)", "MPC speedup",
                  "TO energy sav (%)", "TO speedup"});
     std::vector<double> frac_e, me, te, ms, ts;
-    for (const auto &bc : h.cases()) {
-        auto mpc = h.runMpc(bc, h.groundTruth(),
-                            bench::Harness::limitStudyOptions(), 3);
-        auto to = h.runOracle(bc);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &bc = h.cases()[i];
+        const auto &mpc = rows[i].mpc;
+        const auto &to = rows[i].to;
         t.addRow({bc.app.name, fmt(mpc.energySavingsPct, 1),
                   fmt(mpc.speedup, 3), fmt(to.energySavingsPct, 1),
                   fmt(to.speedup, 3)});

@@ -19,13 +19,13 @@
 using namespace gpupm;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::Harness::printHeader(
         "Figure 13: sensitivity to prediction inaccuracy",
         "Fig. 13 and Sec. VI-D of the paper");
 
-    bench::Harness h;
+    bench::Harness h(bench::harnessOptionsFromArgs(argc, argv));
     const auto opts = bench::Harness::limitStudyOptions();
 
     struct Scheme
@@ -37,20 +37,30 @@ main()
     std::vector<Scheme> schemes;
     schemes.push_back({"RF", h.randomForest(), {}, {}});
     schemes.push_back(
-        {"Err_15%_10%", bench::Harness::noisyPredictor(0.15, 0.10),
-         {}, {}});
-    schemes.push_back(
-        {"Err_5%", bench::Harness::noisyPredictor(0.05, 0.05), {}, {}});
+        {"Err_15%_10%", h.noisyPredictor(0.15, 0.10), {}, {}});
+    schemes.push_back({"Err_5%", h.noisyPredictor(0.05, 0.05), {}, {}});
     schemes.push_back({"Err_0%", h.groundTruth(), {}, {}});
+
+    // One job per benchmark; each job runs all four predictors so the
+    // per-scheme accumulation below stays in benchmark order.
+    const auto results = h.mapCases<std::vector<bench::SchemeResult>>(
+        [&](const bench::BenchCase &bc) {
+            std::vector<bench::SchemeResult> per_scheme;
+            per_scheme.reserve(schemes.size());
+            for (const auto &s : schemes)
+                per_scheme.push_back(h.runMpc(bc, s.pred, opts, 2));
+            return per_scheme;
+        });
 
     TextTable t({"benchmark", "RF (dE% / spd)", "Err_15%_10%", "Err_5%",
                  "Err_0%"});
-    for (const auto &bc : h.cases()) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &bc = h.cases()[i];
         std::vector<std::string> row = {bc.app.name};
-        for (auto &s : schemes) {
-            auto r = h.runMpc(bc, s.pred, opts, 2);
-            s.energy.push_back(r.energySavingsPct);
-            s.speedup.push_back(r.speedup);
+        for (std::size_t si = 0; si < schemes.size(); ++si) {
+            const auto &r = results[i][si];
+            schemes[si].energy.push_back(r.energySavingsPct);
+            schemes[si].speedup.push_back(r.speedup);
             row.push_back(fmt(r.energySavingsPct, 1) + " / " +
                           fmt(r.speedup, 3));
         }

@@ -16,22 +16,31 @@
 using namespace gpupm;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::Harness::printHeader(
         "Figure 8: PPK and MPC vs AMD Turbo Core (RF prediction, "
         "overheads included)",
         "Fig. 8 and Sec. VI-A of the paper");
 
-    bench::Harness h;
+    bench::Harness h(bench::harnessOptionsFromArgs(argc, argv));
     auto rf = h.randomForest();
+
+    struct Row
+    {
+        bench::SchemeResult ppk, mpc;
+    };
+    const auto rows = h.mapCases<Row>([&](const bench::BenchCase &bc) {
+        return Row{h.runPpk(bc, rf), h.runMpc(bc, rf)};
+    });
 
     TextTable t({"benchmark", "PPK energy sav (%)", "PPK speedup",
                  "MPC energy sav (%)", "MPC speedup"});
     std::vector<double> pe, ps, me, ms;
-    for (const auto &bc : h.cases()) {
-        auto ppk = h.runPpk(bc, rf);
-        auto mpc = h.runMpc(bc, rf);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &bc = h.cases()[i];
+        const auto &ppk = rows[i].ppk;
+        const auto &mpc = rows[i].mpc;
         t.addRow({bc.app.name, fmt(ppk.energySavingsPct, 1),
                   fmt(ppk.speedup, 3), fmt(mpc.energySavingsPct, 1),
                   fmt(mpc.speedup, 3)});

@@ -1,26 +1,62 @@
 #include "harness.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <iostream>
 
+#include "common/flags.hpp"
 #include "common/logging.hpp"
 
 namespace gpupm::bench {
 
-Harness::Harness() = default;
+HarnessOptions
+harnessOptionsFromArgs(int argc, const char *const *argv)
+{
+    FlagParser flags("standard bench harness flags");
+    flags.addInt("jobs", 0,
+                 "sweep workers (0 = hardware concurrency, 1 = serial)");
+    flags.addInt("seed", 0xe44,
+                 "root seed for synthetic randomness");
+    if (!flags.parse(argc, argv)) {
+        std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
+                  << flags.usage();
+        std::exit(flags.helpRequested() ? 0 : 2);
+    }
+    HarnessOptions opts;
+    opts.jobs = static_cast<std::size_t>(std::max(0, flags.getInt("jobs")));
+    opts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+    return opts;
+}
+
+Harness::Harness(const HarnessOptions &opts)
+    : _opts(opts), _engine({opts.jobs, opts.seed})
+{
+}
 
 const std::vector<BenchCase> &
 Harness::cases()
 {
-    if (_cases.empty()) {
-        for (const auto &name : workload::benchmarkNames()) {
-            BenchCase bc;
-            bc.app = workload::makeBenchmark(name);
-            policy::TurboCoreGovernor turbo;
-            bc.baseline = _sim.run(bc.app, turbo);
-            bc.target = bc.baseline.throughput();
-            _cases.push_back(std::move(bc));
-        }
+    {
+        std::lock_guard lock(_initMutex);
+        if (!_cases.empty())
+            return _cases;
     }
+    // Build outside the lock: the fan-out below runs on the engine, and
+    // a worker job re-entering cases()/benchCase() must not deadlock.
+    const auto names = workload::benchmarkNames();
+    auto built = _engine.map<BenchCase>(
+        names.size(), [&](std::size_t i, Pcg32 &) {
+            BenchCase bc;
+            bc.app = workload::makeBenchmark(names[i]);
+            policy::TurboCoreGovernor turbo;
+            sim::Simulator sim;
+            bc.baseline = sim.run(bc.app, turbo);
+            bc.target = bc.baseline.throughput();
+            return bc;
+        });
+    std::lock_guard lock(_initMutex);
+    if (_cases.empty())
+        _cases = std::move(built);
     return _cases;
 }
 
@@ -37,12 +73,15 @@ Harness::benchCase(const std::string &name)
 std::shared_ptr<const ml::PerfPowerPredictor>
 Harness::randomForest()
 {
+    std::lock_guard lock(_initMutex);
     if (!_rf) {
+        ml::TrainerOptions topts;
+        topts.jobs = _opts.jobs;
         std::cerr << "[harness] training Random Forest predictor ("
-                  << ml::TrainerOptions{}.corpusSize
+                  << topts.corpusSize
                   << " corpus kernels x 336 configurations)..."
                   << std::endl;
-        _rf = ml::trainRandomForestPredictor({}, &_trainingReport);
+        _rf = ml::trainRandomForestPredictor(topts, &_trainingReport);
         std::cerr << "[harness] trained: OOB time MAPE "
                   << fmt(_trainingReport.timeOobMapePct, 1)
                   << "%, power MAPE "
@@ -55,16 +94,17 @@ Harness::randomForest()
 std::shared_ptr<const ml::PerfPowerPredictor>
 Harness::groundTruth()
 {
+    std::lock_guard lock(_initMutex);
     if (!_truth)
         _truth = std::make_shared<ml::GroundTruthPredictor>();
     return _truth;
 }
 
 std::shared_ptr<const ml::PerfPowerPredictor>
-Harness::noisyPredictor(double time_err, double power_err)
+Harness::noisyPredictor(double time_err, double power_err) const
 {
-    return std::make_shared<ml::NoisyOraclePredictor>(time_err,
-                                                      power_err);
+    return std::make_shared<ml::NoisyOraclePredictor>(
+        time_err, power_err, _opts.seed);
 }
 
 SchemeResult
@@ -83,8 +123,11 @@ Harness::runPpk(const BenchCase &bc,
                 std::shared_ptr<const ml::PerfPowerPredictor> pred,
                 const policy::PpkOptions &opts)
 {
+    // Local simulator per call: the scheme runners are invoked
+    // concurrently from mapCases workers.
+    sim::Simulator sim;
     policy::PpkGovernor gov(std::move(pred), opts);
-    return finish(bc, _sim.run(bc.app, gov, bc.target));
+    return finish(bc, sim.run(bc.app, gov, bc.target));
 }
 
 SchemeResult
@@ -93,11 +136,12 @@ Harness::runMpc(const BenchCase &bc,
                 const mpc::MpcOptions &opts, int extra_runs)
 {
     GPUPM_ASSERT(extra_runs >= 1, "need at least one optimized run");
+    sim::Simulator sim;
     mpc::MpcGovernor gov(std::move(pred), opts);
-    _sim.run(bc.app, gov, bc.target); // profiling execution
+    sim.run(bc.app, gov, bc.target); // profiling execution
     sim::RunResult last;
     for (int i = 0; i < extra_runs; ++i)
-        last = _sim.run(bc.app, gov, bc.target);
+        last = sim.run(bc.app, gov, bc.target);
     auto out = finish(bc, std::move(last));
     out.mpcStats = gov.runStats();
     out.mpcKernelCount = gov.kernelCount();
@@ -105,10 +149,12 @@ Harness::runMpc(const BenchCase &bc,
 }
 
 SchemeResult
-Harness::runOracle(const BenchCase &bc)
+Harness::runOracle(const BenchCase &bc, std::size_t jobs)
 {
-    policy::TheoreticallyOptimalGovernor gov(bc.app);
-    return finish(bc, _sim.run(bc.app, gov, bc.target));
+    sim::Simulator sim;
+    policy::TheoreticallyOptimalGovernor gov(
+        bc.app, hw::ApuParams::defaults(), 6000, {}, jobs);
+    return finish(bc, sim.run(bc.app, gov, bc.target));
 }
 
 mpc::MpcOptions

@@ -8,15 +8,23 @@
  * steady-state MPC execution (profile run + optimized runs, as in
  * Sec. VI-A), and formatted output with the paper's reported values
  * alongside ours.
+ *
+ * Harnesses fan their per-benchmark work across the sweep engine
+ * (mapCases); every bench binary accepts --jobs N (default: hardware
+ * concurrency; 1 preserves the exact serial path) and --seed S (the
+ * root seed for all synthetic-randomness, e.g. the noisy predictors).
+ * Output is bit-identical for every --jobs value.
  */
 
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
+#include "exec/sweep.hpp"
 #include "ml/error_model.hpp"
 #include "ml/trainer.hpp"
 #include "mpc/governor.hpp"
@@ -48,16 +56,53 @@ struct SchemeResult
     std::size_t mpcKernelCount = 0;
 };
 
+/** Harness-wide execution options. */
+struct HarnessOptions
+{
+    /** Sweep workers; 0 = hardware concurrency, 1 = serial path. */
+    std::size_t jobs = 0;
+    /** Root seed for synthetic randomness (noisy predictors). */
+    std::uint64_t seed = 0xe44ULL;
+};
+
+/**
+ * Parse the standard bench flags (--jobs, --seed) from argv. Prints
+ * usage and exits on --help or a malformed command line.
+ */
+HarnessOptions harnessOptionsFromArgs(int argc,
+                                      const char *const *argv);
+
 class Harness
 {
   public:
-    Harness();
+    explicit Harness(const HarnessOptions &opts = {});
+
+    const HarnessOptions &options() const { return _opts; }
 
     /** All 15 paper benchmarks with their baselines (cached). */
     const std::vector<BenchCase> &cases();
 
     /** One benchmark by name. */
     const BenchCase &benchCase(const std::string &name);
+
+    /**
+     * Fan fn over the 15 benchmark cases on the sweep engine;
+     * result[i] always belongs to cases()[i]. fn must be thread-safe
+     * (the scheme runners below are). Bit-identical at any --jobs.
+     */
+    template <typename R>
+    std::vector<R>
+    mapCases(const std::function<R(const BenchCase &)> &fn)
+    {
+        const auto &cs = cases();
+        return _engine.map<R>(cs.size(),
+                              [&](std::size_t i, Pcg32 &) {
+                                  return fn(cs[i]);
+                              });
+    }
+
+    /** The engine the harness fans work across. */
+    exec::SweepEngine &engine() { return _engine; }
 
     /**
      * The trained Random Forest predictor (paper Sec. IV-A3), trained
@@ -68,9 +113,12 @@ class Harness
     /** Perfect-knowledge predictor (Err_0%). */
     std::shared_ptr<const ml::PerfPowerPredictor> groundTruth();
 
-    /** Half-normal error predictor (Fig. 13). */
-    static std::shared_ptr<const ml::PerfPowerPredictor>
-    noisyPredictor(double time_err, double power_err);
+    /**
+     * Half-normal error predictor (Fig. 13), seeded from the harness
+     * --seed flag so bench runs are reproducible at any --jobs.
+     */
+    std::shared_ptr<const ml::PerfPowerPredictor>
+    noisyPredictor(double time_err, double power_err) const;
 
     /** PPK over a benchmark (single run; PPK does not learn). */
     SchemeResult
@@ -87,8 +135,12 @@ class Harness
            std::shared_ptr<const ml::PerfPowerPredictor> pred,
            const mpc::MpcOptions &opts = {}, int extra_runs = 2);
 
-    /** Theoretically Optimal over a benchmark. */
-    SchemeResult runOracle(const BenchCase &bc);
+    /**
+     * Theoretically Optimal over a benchmark. @p jobs parallelizes the
+     * plan construction (use > 1 only outside mapCases, which already
+     * saturates the machine with one benchmark per worker).
+     */
+    SchemeResult runOracle(const BenchCase &bc, std::size_t jobs = 1);
 
     /** Limit-study MPC options: full horizon, free, perfect-friendly. */
     static mpc::MpcOptions limitStudyOptions();
@@ -108,7 +160,10 @@ class Harness
   private:
     SchemeResult finish(const BenchCase &bc, sim::RunResult run);
 
-    sim::Simulator _sim;
+    HarnessOptions _opts;
+    exec::SweepEngine _engine;
+    /** Guards lazy construction of the shared state below. */
+    std::mutex _initMutex;
     std::vector<BenchCase> _cases;
     std::shared_ptr<const ml::PerfPowerPredictor> _rf;
     std::shared_ptr<const ml::PerfPowerPredictor> _truth;

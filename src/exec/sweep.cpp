@@ -1,0 +1,141 @@
+#include "exec/sweep.hpp"
+
+#include <bit>
+#include <string_view>
+
+#include "kernel/kernel.hpp"
+
+namespace gpupm::exec {
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+namespace {
+
+std::uint64_t
+hashCombine(std::uint64_t h, std::uint64_t v)
+{
+    return mix64(h ^ v);
+}
+
+std::uint64_t
+hashDouble(std::uint64_t h, double v)
+{
+    return hashCombine(h, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t
+hashString(std::uint64_t h, std::string_view s)
+{
+    for (char c : s)
+        h = hashCombine(h, static_cast<std::uint64_t>(
+                               static_cast<unsigned char>(c)));
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+kernelSignature(const kernel::KernelParams &k)
+{
+    std::uint64_t h = 0x6b65726e656c5f31ULL;
+    h = hashString(h, k.name);
+    h = hashCombine(h, static_cast<std::uint64_t>(k.archetype));
+    h = hashDouble(h, k.workItems);
+    h = hashDouble(h, k.valuInstsPerItem);
+    h = hashDouble(h, k.vfetchInstsPerItem);
+    h = hashDouble(h, k.bytesPerItem);
+    h = hashDouble(h, k.cacheHitBase);
+    h = hashDouble(h, k.cachePressure);
+    h = hashDouble(h, k.ldsBankConflict);
+    h = hashDouble(h, k.scratchRegs);
+    h = hashDouble(h, k.computeMemOverlap);
+    h = hashDouble(h, k.serialSeconds);
+    h = hashDouble(h, k.serialGpuFreqSensitivity);
+    h = hashDouble(h, k.launchCpuSeconds);
+    h = hashCombine(h, k.idiosyncrasySeed);
+    h = hashDouble(h, k.idiosyncrasyMag);
+    return h;
+}
+
+SweepEngine::SweepEngine(const SweepOptions &opts)
+    : _opts(opts), _jobs(ThreadPool::resolveJobs(opts.jobs))
+{
+    if (_jobs > 1)
+        _pool = std::make_unique<ThreadPool>(_jobs);
+}
+
+SweepEngine::~SweepEngine() = default;
+
+Pcg32
+SweepEngine::jobRng(std::size_t index) const
+{
+    // Stream selection keyed on the job index alone: the same job gets
+    // the same stream no matter which worker runs it, or how many.
+    const auto i = static_cast<std::uint64_t>(index);
+    return Pcg32(mix64(_opts.rootSeed ^ i), mix64(i ^ 0x9044ULL));
+}
+
+void
+SweepEngine::forEach(std::size_t n,
+                     const std::function<void(std::size_t, Pcg32 &)> &fn)
+{
+    if (_jobs == 1 || n <= 1) {
+        // Exact serial path: submission order, calling thread.
+        for (std::size_t i = 0; i < n; ++i) {
+            Pcg32 rng = jobRng(i);
+            fn(i, rng);
+        }
+        return;
+    }
+    _pool->parallelFor(n, [&](std::size_t i) {
+        Pcg32 rng = jobRng(i);
+        fn(i, rng);
+    });
+}
+
+EvalCache::Value
+EvalCache::getOrCompute(std::uint64_t signature,
+                        std::size_t config_index,
+                        const std::function<Value()> &compute)
+{
+    const std::uint64_t key =
+        mix64(signature ^ mix64(config_index ^ 0xc0f19ULL));
+    Shard &shard = _shards[key % numShards];
+    {
+        std::lock_guard lock(shard.mutex);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            _hits.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    // Compute outside the shard lock; values are pure functions of the
+    // key, so a racing duplicate insert stores the identical value.
+    const Value v = compute();
+    {
+        std::lock_guard lock(shard.mutex);
+        shard.map.emplace(key, v);
+    }
+    _misses.fetch_add(1, std::memory_order_relaxed);
+    return v;
+}
+
+void
+EvalCache::clear()
+{
+    for (auto &shard : _shards) {
+        std::lock_guard lock(shard.mutex);
+        shard.map.clear();
+    }
+    _hits.store(0);
+    _misses.store(0);
+}
+
+} // namespace gpupm::exec

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Deterministic parallel sweep engine.
+ *
+ * Every large experiment in gpupm — benchmark x configuration x policy
+ * sweeps, the oracle's exhaustive plan, Random Forest training-set
+ * generation — is an embarrassingly parallel map over independent
+ * simulation jobs. SweepEngine fans such maps across a work-stealing
+ * ThreadPool under a strict determinism contract:
+ *
+ *  - Jobs carry their index. Results are written into a pre-sized
+ *    vector at that index, never gathered in completion order.
+ *  - A job that needs randomness receives a Pcg32 stream derived from
+ *    (root seed, job index) — never from the worker that happens to
+ *    run it — so output is independent of scheduling.
+ *  - jobs == 1 bypasses the pool entirely and runs the exact serial
+ *    path, in submission order, on the calling thread.
+ *
+ * Under this contract the output at --jobs N is bit-identical to
+ * --jobs 1 for every N (pinned by test_sweep_determinism's golden
+ * traces).
+ */
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace gpupm::kernel {
+struct KernelParams;
+}
+
+namespace gpupm::exec {
+
+/** SplitMix64 finalizer; used to derive stream selectors and keys. */
+std::uint64_t mix64(std::uint64_t x);
+
+/**
+ * 64-bit signature of a kernel's ground-truth parameters. Covers every
+ * field that influences modeled time/power, so any mutation of the
+ * kernel yields a different signature (this is what invalidates
+ * EvalCache entries: stale keys are simply never queried again).
+ */
+std::uint64_t kernelSignature(const kernel::KernelParams &k);
+
+struct SweepOptions
+{
+    /** Worker count; 0 means hardware_concurrency. 1 = serial path. */
+    std::size_t jobs = 0;
+    /** Root seed from which per-job RNG streams are derived. */
+    std::uint64_t rootSeed = 0x5eedULL;
+};
+
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(const SweepOptions &opts = {});
+    ~SweepEngine();
+
+    /** Resolved worker count (>= 1). */
+    std::size_t jobs() const { return _jobs; }
+
+    /** The RNG stream job @p index sees, derived from the root seed. */
+    Pcg32 jobRng(std::size_t index) const;
+
+    /**
+     * Run fn(i, rng_i) for i in [0, n); blocks until done. Rethrows
+     * the first job exception. Deterministic: rng_i depends only on
+     * (rootSeed, i).
+     */
+    void forEach(std::size_t n,
+                 const std::function<void(std::size_t, Pcg32 &)> &fn);
+
+    /** Deterministic gather: out[i] = fn(i, rng_i). */
+    template <typename R>
+    std::vector<R>
+    map(std::size_t n,
+        const std::function<R(std::size_t, Pcg32 &)> &fn)
+    {
+        std::vector<R> out(n);
+        forEach(n, [&](std::size_t i, Pcg32 &rng) {
+            out[i] = fn(i, rng);
+        });
+        return out;
+    }
+
+    /** The underlying pool; null when jobs() == 1 (serial path). */
+    ThreadPool *pool() { return _pool.get(); }
+
+  private:
+    SweepOptions _opts;
+    std::size_t _jobs;
+    std::unique_ptr<ThreadPool> _pool;
+};
+
+/**
+ * Memoized predictor/ground-truth evaluation cache.
+ *
+ * Sweeps evaluate the same (kernel, configuration) point many times —
+ * application traces repeat kernels, and the oracle revisits the whole
+ * space per invocation. Entries are keyed on (kernel signature,
+ * configuration index) and hold the modeled time and power planes.
+ * Values are pure functions of the key, so concurrent insertion is
+ * idempotent; the map is sharded to keep lock contention negligible.
+ */
+class EvalCache
+{
+  public:
+    struct Value
+    {
+        Seconds time = 0.0;
+        Watts gpuPower = 0.0;
+        Watts totalPower = 0.0;
+    };
+
+    /** Fetch, or compute-and-insert, the value for a sweep point. */
+    Value getOrCompute(std::uint64_t signature, std::size_t config_index,
+                       const std::function<Value()> &compute);
+
+    std::size_t hits() const { return _hits.load(); }
+    std::size_t misses() const { return _misses.load(); }
+
+    /** Drop all entries (e.g. when the model parameters change). */
+    void clear();
+
+  private:
+    static constexpr std::size_t numShards = 16;
+
+    struct Shard
+    {
+        std::mutex mutex;
+        std::unordered_map<std::uint64_t, Value> map;
+    };
+
+    std::array<Shard, numShards> _shards;
+    std::atomic<std::size_t> _hits{0};
+    std::atomic<std::size_t> _misses{0};
+};
+
+} // namespace gpupm::exec

@@ -1,0 +1,66 @@
+#include "exec/sweep_jobs.hpp"
+
+#include "common/logging.hpp"
+#include "mpc/governor.hpp"
+#include "policy/oracle.hpp"
+#include "policy/ppk.hpp"
+#include "policy/static_governor.hpp"
+#include "policy/turbo_core.hpp"
+
+namespace gpupm::exec {
+
+sim::RunResult
+runSimJob(const SimJob &job, const hw::ApuParams &params)
+{
+    sim::Simulator sim(params);
+
+    Throughput target = job.target;
+    if (target == 0.0 && job.policy != SimJob::Policy::Turbo &&
+        job.policy != SimJob::Policy::Static) {
+        policy::TurboCoreGovernor turbo;
+        target = sim.run(job.app, turbo).throughput();
+    }
+
+    switch (job.policy) {
+    case SimJob::Policy::Turbo: {
+        policy::TurboCoreGovernor gov;
+        return sim.run(job.app, gov);
+    }
+    case SimJob::Policy::Static: {
+        policy::StaticGovernor gov(job.staticConfig);
+        return sim.run(job.app, gov);
+    }
+    case SimJob::Policy::Ppk: {
+        GPUPM_ASSERT(job.predictor, "PPK job needs a predictor");
+        policy::PpkGovernor gov(job.predictor);
+        return sim.run(job.app, gov, target);
+    }
+    case SimJob::Policy::Mpc: {
+        GPUPM_ASSERT(job.predictor, "MPC job needs a predictor");
+        GPUPM_ASSERT(job.mpcRuns >= 1, "need one optimized MPC run");
+        mpc::MpcGovernor gov(job.predictor, job.mpcOpts);
+        sim.run(job.app, gov, target); // profiling execution
+        sim::RunResult last;
+        for (int i = 0; i < job.mpcRuns; ++i)
+            last = sim.run(job.app, gov, target);
+        return last;
+    }
+    case SimJob::Policy::Oracle: {
+        policy::TheoreticallyOptimalGovernor gov(job.app, params);
+        return sim.run(job.app, gov, target);
+    }
+    }
+    GPUPM_FATAL("unreachable sweep policy");
+}
+
+std::vector<sim::RunResult>
+runSweep(SweepEngine &engine, const std::vector<SimJob> &jobs,
+         const hw::ApuParams &params)
+{
+    return engine.map<sim::RunResult>(
+        jobs.size(), [&](std::size_t i, Pcg32 &) {
+            return runSimJob(jobs[i], params);
+        });
+}
+
+} // namespace gpupm::exec

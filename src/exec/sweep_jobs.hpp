@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Domain-level sweep jobs: one (benchmark, policy, configuration)
+ * tuple per job, executed on the SweepEngine.
+ *
+ * This is the shared fan-out path behind the CLI `sweep` subcommand,
+ * the golden-trace determinism suite and the property tests. Each job
+ * is self-contained — it builds its own governor and Simulator — so
+ * jobs can run on any worker in any order; shared predictors are
+ * immutable and thread-safe (their predictions are pure functions of
+ * the query).
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "exec/sweep.hpp"
+#include "hw/params.hpp"
+#include "ml/predictor.hpp"
+#include "mpc/options.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace gpupm::exec {
+
+/** One simulation job in a sweep. */
+struct SimJob
+{
+    enum class Policy { Turbo, Static, Ppk, Mpc, Oracle };
+
+    workload::Application app;
+    Policy policy = Policy::Turbo;
+    /** Pinned configuration for Policy::Static. */
+    hw::HwConfig staticConfig{};
+    /** Predictor for Ppk/Mpc; must be immutable and thread-safe. */
+    std::shared_ptr<const ml::PerfPowerPredictor> predictor;
+    mpc::MpcOptions mpcOpts{};
+    /** Optimized MPC executions after the profiling run. */
+    int mpcRuns = 1;
+    /**
+     * Performance target for Ppk/Mpc/Oracle; 0 means "run the Turbo
+     * Core baseline first and use its throughput", as the paper does.
+     */
+    Throughput target = 0.0;
+};
+
+/** Execute one job (also the body each sweep worker runs). */
+sim::RunResult
+runSimJob(const SimJob &job,
+          const hw::ApuParams &params = hw::ApuParams::defaults());
+
+/**
+ * Fan @p jobs across @p engine; results[i] always belongs to jobs[i]
+ * (index-ordered gather, bit-identical to a serial loop).
+ */
+std::vector<sim::RunResult>
+runSweep(SweepEngine &engine, const std::vector<SimJob> &jobs,
+         const hw::ApuParams &params = hw::ApuParams::defaults());
+
+} // namespace gpupm::exec

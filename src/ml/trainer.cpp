@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "exec/sweep.hpp"
 #include "kernel/perf_model.hpp"
 #include "workload/training.hpp"
 
@@ -54,20 +55,42 @@ trainRandomForestPredictor(const TrainerOptions &opts,
     const auto corpus =
         workload::trainingCorpus(opts.corpusSize, opts.seed);
 
-    Dataset time_data, power_data;
+    // Row generation fans out per corpus kernel; each job fills its own
+    // slot and rows are appended in corpus order afterwards, so the
+    // dataset is bit-identical to the serial loop at any job count.
+    struct Row
+    {
+        FeatureVector f;
+        double timeTarget;
+        double powerTarget;
+    };
     const int stride = std::max(1, opts.configStride);
-    for (const auto &k : corpus) {
-        for (std::size_t ci = 0; ci < space.size();
-             ci += static_cast<std::size_t>(stride)) {
-            const auto &c = space.at(ci);
-            const auto est = model.estimate(k, c);
-            const auto counters = model.counters(k, c, est);
-            const auto pb = model.powerModel().steadyStatePower(
-                c, model.activity(est));
-            const auto f = makeFeatures(counters, c);
-            time_data.add(f,
-                          std::log(est.time / instructionProxy(counters)));
-            power_data.add(f, pb.gpu());
+    exec::SweepEngine engine({opts.jobs, opts.seed});
+    const auto per_kernel = engine.map<std::vector<Row>>(
+        corpus.size(), [&](std::size_t ki, Pcg32 &) {
+            const auto &k = corpus[ki];
+            std::vector<Row> rows;
+            rows.reserve(space.size() / stride + 1);
+            for (std::size_t ci = 0; ci < space.size();
+                 ci += static_cast<std::size_t>(stride)) {
+                const auto &c = space.at(ci);
+                const auto est = model.estimate(k, c);
+                const auto counters = model.counters(k, c, est);
+                const auto pb = model.powerModel().steadyStatePower(
+                    c, model.activity(est));
+                rows.push_back(
+                    {makeFeatures(counters, c),
+                     std::log(est.time / instructionProxy(counters)),
+                     pb.gpu()});
+            }
+            return rows;
+        });
+
+    Dataset time_data, power_data;
+    for (const auto &rows : per_kernel) {
+        for (const auto &row : rows) {
+            time_data.add(row.f, row.timeTarget);
+            power_data.add(row.f, row.powerTarget);
         }
     }
 

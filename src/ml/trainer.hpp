@@ -49,6 +49,13 @@ struct TrainerOptions
     std::uint64_t seed = 0x7a41ULL;
     /** Keep every config (1) or sample every k-th config (k>1). */
     int configStride = 1;
+    /**
+     * Worker threads for dataset generation (1 = serial, 0 = hardware
+     * concurrency). The dataset — and therefore the fitted forests —
+     * is bit-identical for every value: rows are produced per kernel
+     * and appended in corpus order.
+     */
+    std::size_t jobs = 1;
     ForestOptions forest = ForestOptions::regressionDefaults();
 };
 

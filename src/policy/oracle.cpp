@@ -6,9 +6,10 @@ namespace gpupm::policy {
 
 TheoreticallyOptimalGovernor::TheoreticallyOptimalGovernor(
     const workload::Application &app, const hw::ApuParams &params,
-    std::size_t time_bins, const hw::ConfigSpaceOptions &space_opts)
+    std::size_t time_bins, const hw::ConfigSpaceOptions &space_opts,
+    std::size_t jobs)
     : _app(app), _model(params), _space(space_opts),
-      _timeBins(time_bins)
+      _timeBins(time_bins), _jobs(jobs)
 {
 }
 
@@ -31,21 +32,29 @@ TheoreticallyOptimalGovernor::computePlan(Throughput target)
 {
     // One option per (invocation, configuration): ground-truth time and
     // chip-wide energy. Budget follows from Eq. 1: sum(I)/sum(T) >=
-    // target  <=>  sum(T) <= sum(I)/target.
-    std::vector<std::vector<KnapsackOption>> items;
-    items.reserve(_app.trace.size());
-    for (const auto &inv : _app.trace) {
+    // target  <=>  sum(T) <= sum(I)/target. Invocations fan out across
+    // the sweep engine into index-addressed slots; traces repeat
+    // kernels, so most (kernel, config) points hit the eval cache.
+    std::vector<std::vector<KnapsackOption>> items(_app.trace.size());
+    exec::SweepEngine engine({_jobs, 0});
+    engine.forEach(_app.trace.size(), [&](std::size_t i, Pcg32 &) {
+        const auto &inv = _app.trace[i];
+        const auto sig = exec::kernelSignature(inv.params);
         std::vector<KnapsackOption> options;
         options.reserve(_space.size());
         for (std::size_t ci = 0; ci < _space.size(); ++ci) {
-            const auto &c = _space.at(ci);
-            const auto est = _model.estimate(inv.params, c);
-            const auto pb = _model.powerModel().steadyStatePower(
-                c, _model.activity(est));
-            options.push_back({est.time, pb.total() * est.time, ci});
+            const auto v = _cache.getOrCompute(sig, ci, [&] {
+                const auto &c = _space.at(ci);
+                const auto est = _model.estimate(inv.params, c);
+                const auto pb = _model.powerModel().steadyStatePower(
+                    c, _model.activity(est));
+                return exec::EvalCache::Value{est.time, pb.gpu(),
+                                              pb.total()};
+            });
+            options.push_back({v.time, v.totalPower * v.time, ci});
         }
-        items.push_back(std::move(options));
-    }
+        items[i] = std::move(options);
+    });
 
     const Seconds budget = _app.totalInstructions() / target;
     const auto sol = solveMinEnergy(items, budget, _timeBins);

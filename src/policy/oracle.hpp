@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "exec/sweep.hpp"
 #include "kernel/perf_model.hpp"
 #include "policy/knapsack.hpp"
 #include "sim/governor.hpp"
@@ -29,12 +30,16 @@ class TheoreticallyOptimalGovernor : public sim::Governor
      * @param params APU model parameters.
      * @param time_bins DP discretization (see solveMinEnergy).
      * @param space_opts Search space (the paper's 336 points default).
+     * @param jobs Worker threads for plan construction (1 = serial,
+     *        0 = hardware concurrency); the plan is bit-identical for
+     *        every value.
      */
     explicit TheoreticallyOptimalGovernor(
         const workload::Application &app,
         const hw::ApuParams &params = hw::ApuParams::defaults(),
         std::size_t time_bins = 6000,
-        const hw::ConfigSpaceOptions &space_opts = {});
+        const hw::ConfigSpaceOptions &space_opts = {},
+        std::size_t jobs = 1);
 
     std::string name() const override { return "Theoretically Optimal"; }
 
@@ -49,6 +54,9 @@ class TheoreticallyOptimalGovernor : public sim::Governor
     /** The planned configuration for each invocation. */
     const std::vector<hw::HwConfig> &plan() const { return _plan; }
 
+    /** Memoized (kernel, config) evaluations behind the last plan. */
+    const exec::EvalCache &evalCache() const { return _cache; }
+
   private:
     void computePlan(Throughput target);
 
@@ -56,6 +64,8 @@ class TheoreticallyOptimalGovernor : public sim::Governor
     kernel::GroundTruthModel _model;
     hw::ConfigSpace _space;
     std::size_t _timeBins;
+    std::size_t _jobs;
+    exec::EvalCache _cache;
     std::vector<hw::HwConfig> _plan;
     bool _feasible = false;
     Throughput _plannedTarget = -1.0;

@@ -9,10 +9,13 @@
 
 #include <memory>
 
+#include "common/rng.hpp"
+#include "exec/sweep_jobs.hpp"
 #include "ml/predictor.hpp"
 #include "mpc/governor.hpp"
 #include "policy/oracle.hpp"
 #include "policy/ppk.hpp"
+#include "policy/static_governor.hpp"
 #include "policy/turbo_core.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
@@ -114,6 +117,70 @@ TEST_P(RandomApps, RepeatedMpcRunsConverge)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomApps,
                          testing::Range<std::uint64_t>(1, 21));
+
+/** Exact-equality check of two runs of the same (app, governor). */
+void
+expectRunsIdentical(const sim::RunResult &a, const sim::RunResult &b)
+{
+    EXPECT_EQ(a.appName, b.appName);
+    EXPECT_EQ(a.governorName, b.governorName);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    EXPECT_EQ(a.kernelTime, b.kernelTime);
+    EXPECT_EQ(a.overheadTime, b.overheadTime);
+    EXPECT_EQ(a.cpuPhaseTime, b.cpuPhaseTime);
+    EXPECT_EQ(a.transitionTime, b.transitionTime);
+    EXPECT_EQ(a.cpuEnergy, b.cpuEnergy);
+    EXPECT_EQ(a.gpuEnergy, b.gpuEnergy);
+    EXPECT_EQ(a.instructions, b.instructions);
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].config, b.records[i].config);
+        EXPECT_EQ(a.records[i].kernelTime, b.records[i].kernelTime);
+        EXPECT_EQ(a.records[i].kernelGpuEnergy,
+                  b.records[i].kernelGpuEnergy);
+    }
+}
+
+/**
+ * Property: random (kernel stream, configuration) jobs submitted to
+ * the pool return exactly the RunResult a direct Simulator call
+ * produces — worker count, stealing and completion order included.
+ */
+TEST(PoolEquivalence, RandomJobsMatchDirectSimulatorCalls)
+{
+    const hw::ConfigSpace space;
+    Pcg32 rng(0xf00dULL, 0x11ULL);
+
+    std::vector<exec::SimJob> jobs;
+    for (int i = 0; i < 16; ++i) {
+        exec::SimJob job;
+        job.app = workload::randomApplication(1 + rng.nextBounded(500));
+        job.policy = exec::SimJob::Policy::Static;
+        job.staticConfig = space.at(
+            rng.nextBounded(static_cast<std::uint32_t>(space.size())));
+        jobs.push_back(std::move(job));
+    }
+    // A few managed-policy jobs exercise the shared (immutable)
+    // predictor across workers.
+    for (int i = 0; i < 4; ++i) {
+        exec::SimJob job;
+        job.app = workload::randomApplication(600 + rng.nextBounded(200));
+        job.policy = i % 2 ? exec::SimJob::Policy::Ppk
+                           : exec::SimJob::Policy::Mpc;
+        job.predictor = truth();
+        job.mpcRuns = 1;
+        jobs.push_back(std::move(job));
+    }
+
+    exec::SweepEngine engine({4, 0x5eedULL});
+    const auto pooled = exec::runSweep(engine, jobs);
+    ASSERT_EQ(pooled.size(), jobs.size());
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i) + " (" +
+                     jobs[i].app.name + ")");
+        expectRunsIdentical(pooled[i], exec::runSimJob(jobs[i]));
+    }
+}
 
 } // namespace
 } // namespace gpupm

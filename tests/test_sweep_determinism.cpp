@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Golden-trace regression suite for the sweep engine's determinism
+ * contract: a 3-benchmark x 36-configuration x {MPC, Turbo, PPK}
+ * sweep must produce byte-identical metrics at --jobs 1 and --jobs 8,
+ * and both must match the checked-in golden trace
+ * (tests/golden/sweep_golden.json).
+ *
+ * Regenerating the golden file (after an intentional model or policy
+ * change):
+ *
+ *     GPUPM_REGEN_GOLDEN=1 ./build/tests/test_sweep_determinism
+ *
+ * writes the new trace into the source tree; review the diff like any
+ * other code change. Every metric is serialized with %.17g, which
+ * round-trips doubles exactly, so a single-ULP behaviour change shows
+ * up as a test failure, not as silent drift.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exec/sweep_jobs.hpp"
+#include "hw/config.hpp"
+#include "ml/predictor.hpp"
+#include "workload/benchmarks.hpp"
+
+#ifndef GPUPM_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define GPUPM_GOLDEN_DIR"
+#endif
+
+namespace gpupm {
+namespace {
+
+constexpr char kGoldenPath[] = GPUPM_GOLDEN_DIR "/sweep_golden.json";
+
+/** %.17g round-trips IEEE doubles exactly. */
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::shared_ptr<const ml::PerfPowerPredictor>
+truth()
+{
+    static auto p = std::make_shared<ml::GroundTruthPredictor>();
+    return p;
+}
+
+/** The pinned sweep: 3 benchmarks x (36 static configs + 3 policies). */
+std::vector<exec::SimJob>
+goldenJobs()
+{
+    const hw::ConfigSpace space;
+    const auto &names = workload::benchmarkNames();
+    std::vector<exec::SimJob> jobs;
+    for (std::size_t b = 0; b < 3; ++b) {
+        const auto app = workload::makeBenchmark(names[b]);
+        for (std::size_t i = 0; i < 36; ++i) {
+            exec::SimJob job;
+            job.app = app;
+            job.policy = exec::SimJob::Policy::Static;
+            // 36 configurations spread evenly over the 336-point space.
+            job.staticConfig = space.at(i * space.size() / 36);
+            jobs.push_back(std::move(job));
+        }
+        for (auto policy : {exec::SimJob::Policy::Mpc,
+                            exec::SimJob::Policy::Turbo,
+                            exec::SimJob::Policy::Ppk}) {
+            exec::SimJob job;
+            job.app = app;
+            job.policy = policy;
+            job.predictor = truth();
+            job.mpcRuns = 1;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+/** One JSON line per job; every digit of every metric is pinned. */
+std::string
+serialize(const std::vector<sim::RunResult> &results)
+{
+    std::ostringstream os;
+    os << "[\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        os << "  {\"app\": \"" << r.appName << "\", \"governor\": \""
+           << r.governorName << "\", \"records\": " << r.records.size()
+           << ", \"kernelTime\": " << num(r.kernelTime)
+           << ", \"overheadTime\": " << num(r.overheadTime)
+           << ", \"cpuPhaseTime\": " << num(r.cpuPhaseTime)
+           << ", \"transitionTime\": " << num(r.transitionTime)
+           << ", \"cpuEnergy\": " << num(r.cpuEnergy)
+           << ", \"gpuEnergy\": " << num(r.gpuEnergy)
+           << ", \"overheadEnergy\": " << num(r.overheadEnergy)
+           << ", \"instructions\": " << num(r.instructions) << "}"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+    return os.str();
+}
+
+std::string
+runSweepAt(std::size_t jobs)
+{
+    exec::SweepEngine engine({jobs, 0x90d1ULL});
+    return serialize(exec::runSweep(engine, goldenJobs()));
+}
+
+TEST(SweepDeterminism, ParallelSweepIsByteIdenticalToSerial)
+{
+    const std::string serial = runSweepAt(1);
+    const std::string parallel = runSweepAt(8);
+    // Byte-identical, not approximately equal: the engine's contract
+    // is that scheduling can never influence results.
+    ASSERT_EQ(serial, parallel);
+}
+
+TEST(SweepDeterminism, MatchesGoldenTrace)
+{
+    const std::string current = runSweepAt(8);
+
+    if (std::getenv("GPUPM_REGEN_GOLDEN") != nullptr) {
+        std::ofstream os(kGoldenPath, std::ios::binary);
+        ASSERT_TRUE(os) << "cannot write " << kGoldenPath;
+        os << current;
+        GTEST_SKIP() << "golden trace regenerated at " << kGoldenPath;
+    }
+
+    std::ifstream is(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(is) << "missing golden trace " << kGoldenPath
+                    << "; regenerate with GPUPM_REGEN_GOLDEN=1";
+    std::ostringstream golden;
+    golden << is.rdbuf();
+    EXPECT_EQ(golden.str(), current)
+        << "sweep results drifted from the golden trace; if the "
+           "change is intentional, rerun with GPUPM_REGEN_GOLDEN=1 "
+           "and commit the diff";
+}
+
+TEST(SweepDeterminism, RepeatedParallelRunsAgree)
+{
+    EXPECT_EQ(runSweepAt(3), runSweepAt(5));
+}
+
+} // namespace
+} // namespace gpupm

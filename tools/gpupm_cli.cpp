@@ -7,20 +7,25 @@
  *   info                      DVFS tables and search-space summary
  *   train [flags]             train a Random Forest and save it
  *   run [flags]               run governors over benchmarks
+ *   sweep [flags]             fan benchmark x governor jobs over a pool
  *
  * Examples:
  *   gpupm run --bench Spmv --governor mpc --predictor perfect
  *   gpupm run --bench all --governor mpc --predictor rf --model m.rf
  *   gpupm run --bench kmeans --governor mpc --trace kmeans.csv
- *   gpupm train --out model.rf --corpus 128
+ *   gpupm train --out model.rf --corpus 128 --jobs 8
+ *   gpupm sweep --bench all --governors turbo,ppk,mpc --jobs 8
  */
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 
 #include "common/flags.hpp"
 #include "common/table.hpp"
+#include "exec/sweep_jobs.hpp"
 #include "ml/error_model.hpp"
 #include "ml/serialize.hpp"
 #include "ml/trainer.hpp"
@@ -71,6 +76,9 @@ cmdTrain(int argc, const char *const *argv)
     flags.addInt("corpus", 128, "training kernels");
     flags.addInt("trees", 60, "trees per forest");
     flags.addInt("stride", 1, "use every k-th configuration");
+    flags.addInt("jobs", 0,
+                 "dataset-generation workers (0 = hardware "
+                 "concurrency, 1 = serial; output is identical)");
     if (!flags.parse(argc, argv)) {
         std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
                   << flags.usage();
@@ -81,6 +89,7 @@ cmdTrain(int argc, const char *const *argv)
     opts.corpusSize = static_cast<std::size_t>(flags.getInt("corpus"));
     opts.forest.numTrees = flags.getInt("trees");
     opts.configStride = flags.getInt("stride");
+    opts.jobs = static_cast<std::size_t>(std::max(0, flags.getInt("jobs")));
     ml::TrainingReport report;
     std::cout << "training on " << opts.corpusSize << " kernels...\n";
     auto rf = ml::trainRandomForestPredictor(opts, &report);
@@ -228,13 +237,115 @@ cmdRun(int argc, const char *const *argv)
     return 0;
 }
 
+std::vector<std::string>
+splitCommaList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+int
+cmdSweep(int argc, const char *const *argv)
+{
+    FlagParser flags(
+        "gpupm sweep: fan benchmark x governor jobs across a "
+        "work-stealing pool (deterministic: output is bit-identical "
+        "for every --jobs value)");
+    flags.addString("bench", "all", "benchmark name or 'all'");
+    flags.addString("governors", "turbo,ppk,mpc",
+                    "comma list of turbo|ppk|mpc|oracle");
+    flags.addString("predictor", "perfect", "perfect|rf|err15|err5");
+    flags.addString("model", "", "saved .rf model (with --predictor rf)");
+    flags.addInt("jobs", 0,
+                 "worker threads (0 = hardware concurrency, 1 = serial)");
+    flags.addInt("seed", 0x5eed, "root seed for per-job RNG streams");
+    flags.addInt("runs", 2, "MPC executions after profiling");
+    if (!flags.parse(argc, argv)) {
+        std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
+                  << flags.usage();
+        return flags.helpRequested() ? 0 : 2;
+    }
+
+    const auto governors = splitCommaList(flags.getString("governors"));
+    if (governors.empty()) {
+        std::cerr << "no governors given\n";
+        return 2;
+    }
+
+    bool needs_predictor = false;
+    for (const auto &g : governors)
+        needs_predictor |= (g == "ppk" || g == "mpc");
+    std::shared_ptr<const ml::PerfPowerPredictor> predictor;
+    if (needs_predictor) {
+        predictor = makePredictor(flags.getString("predictor"),
+                                  flags.getString("model"));
+        if (!predictor)
+            return 2;
+    }
+
+    std::vector<std::string> names;
+    if (flags.getString("bench") == "all")
+        names = workload::benchmarkNames();
+    else
+        names.push_back(flags.getString("bench"));
+
+    // The job grid, in deterministic (benchmark-major) order. Each
+    // managed-policy job measures its own Turbo baseline internally.
+    std::vector<exec::SimJob> jobs;
+    for (const auto &name : names) {
+        const auto app = workload::makeBenchmark(name);
+        for (const auto &g : governors) {
+            exec::SimJob job;
+            job.app = app;
+            job.predictor = predictor;
+            job.mpcRuns = std::max(1, flags.getInt("runs"));
+            if (g == "turbo")
+                job.policy = exec::SimJob::Policy::Turbo;
+            else if (g == "ppk")
+                job.policy = exec::SimJob::Policy::Ppk;
+            else if (g == "mpc")
+                job.policy = exec::SimJob::Policy::Mpc;
+            else if (g == "oracle")
+                job.policy = exec::SimJob::Policy::Oracle;
+            else {
+                std::cerr << "unknown governor '" << g << "'\n";
+                return 2;
+            }
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    exec::SweepOptions sopts;
+    sopts.jobs = static_cast<std::size_t>(std::max(0, flags.getInt("jobs")));
+    sopts.rootSeed = static_cast<std::uint64_t>(flags.getInt("seed"));
+    exec::SweepEngine engine(sopts);
+    std::cerr << "[sweep] " << jobs.size() << " jobs on "
+              << engine.jobs() << " workers\n";
+    const auto results = exec::runSweep(engine, jobs);
+
+    TextTable t({"benchmark", "scheme", "energy (J)", "time (ms)",
+                 "throughput (Ginst/s)"});
+    for (const auto &r : results) {
+        t.addRow({r.appName, r.governorName, fmt(r.totalEnergy(), 3),
+                  fmt(r.totalTime() * 1e3, 2),
+                  fmt(r.throughput() / 1e9, 3)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::cerr << "usage: gpupm <list|info|train|run> [flags]\n"
+        std::cerr << "usage: gpupm <list|info|train|run|sweep> [flags]\n"
                      "       gpupm <subcommand> --help\n";
         return 2;
     }
@@ -247,6 +358,8 @@ main(int argc, char **argv)
         return cmdTrain(argc - 1, argv + 1);
     if (cmd == "run")
         return cmdRun(argc - 1, argv + 1);
+    if (cmd == "sweep")
+        return cmdSweep(argc - 1, argv + 1);
     std::cerr << "unknown subcommand '" << cmd << "'\n";
     return 2;
 }

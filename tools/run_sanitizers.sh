@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build and run the test suite under ThreadSanitizer and
+# AddressSanitizer(+UBSan). Extra arguments are forwarded to ctest,
+# e.g. to check only the concurrency suites quickly:
+#
+#   tools/run_sanitizers.sh -R 'thread_pool|sweep_determinism|fuzz'
+#
+# Each sanitizer gets its own build tree (build-tsan/, build-asan/) so
+# the regular build/ stays untouched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+run_one() {
+    local name="$1" flag="$2"
+    shift 2
+    echo "=== ${name}: configure + build ==="
+    cmake -B "build-${name}" -S . "-D${flag}=ON" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+    cmake --build "build-${name}" -j "${jobs}"
+    echo "=== ${name}: ctest ==="
+    ctest --test-dir "build-${name}" --output-on-failure -j "${jobs}" "$@"
+}
+
+run_one tsan GPUPM_TSAN "$@"
+run_one asan GPUPM_ASAN "$@"
+echo "=== sanitizers clean ==="
