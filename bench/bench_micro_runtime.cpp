@@ -12,10 +12,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <memory>
+#include <vector>
 
 #include "harness.hpp"
 #include "kernel/perf_model.hpp"
+#include "ml/features.hpp"
 #include "mpc/hill_climb.hpp"
 #include "mpc/pattern_extractor.hpp"
 #include "policy/knapsack.hpp"
@@ -70,6 +73,82 @@ BM_RandomForestInference(benchmark::State &state)
 }
 BENCHMARK(BM_RandomForestInference);
 
+/**
+ * The pre-FlatForest inference path, kept as the reference the flat
+ * engine is measured against: per-query feature assembly plus two
+ * pointer-chasing scalar forest walks.
+ */
+void
+BM_ScalarForestReference(benchmark::State &state)
+{
+    auto &f = fixture();
+    const auto c = hw::ConfigSpace::maxPerformance();
+    const double proxy = ml::instructionProxy(f.query.counters);
+    for (auto _ : state) {
+        const auto feats = ml::makeFeatures(f.query.counters, c);
+        ml::Prediction p;
+        p.time = std::exp(f.rf->timeForest().predict(feats)) * proxy;
+        p.gpuPower = f.rf->powerForest().predict(feats);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_ScalarForestReference);
+
+/**
+ * The flat engine itself: tree-major batched walks of both full
+ * forests over the 336-config static space, features prebuilt. No
+ * specialization, no memo - this is the raw per-config cost of a
+ * (time, power) prediction pair, the number to compare against
+ * BM_ScalarForestReference.
+ */
+void
+BM_BatchedForestInference(benchmark::State &state)
+{
+    auto &f = fixture();
+    const auto &cfgs = f.space.all();
+    std::vector<ml::FeatureVector> feats;
+    feats.reserve(cfgs.size());
+    for (const auto &c : cfgs)
+        feats.push_back(ml::makeFeatures(f.query.counters, c));
+    std::vector<double> time_pred(cfgs.size()), power_pred(cfgs.size());
+    for (auto _ : state) {
+        f.rf->timeFlat().predictBatch(feats, time_pred);
+        f.rf->powerFlat().predictBatch(feats, power_pred);
+        benchmark::DoNotOptimize(time_pred.data());
+        benchmark::DoNotOptimize(power_pred.data());
+    }
+    state.counters["configs"] = static_cast<double>(cfgs.size());
+    // Rate counter + invert = seconds per (time, power) prediction pair.
+    state.counters["s_per_predict"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(cfgs.size()),
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_BatchedForestInference);
+
+/**
+ * Predictor-level batch over the same 336 configs. Steady state for a
+ * recurring kernel: the specialization cache hits and most configs are
+ * served from the per-kernel prediction memo.
+ */
+void
+BM_PredictorBatchSteadyState(benchmark::State &state)
+{
+    auto &f = fixture();
+    const auto &cfgs = f.space.all();
+    std::vector<ml::Prediction> preds(cfgs.size());
+    for (auto _ : state) {
+        f.rf->predictBatch(f.query, cfgs, preds);
+        benchmark::DoNotOptimize(preds.data());
+    }
+    state.counters["configs"] = static_cast<double>(cfgs.size());
+    state.counters["s_per_predict"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) *
+            static_cast<double>(cfgs.size()),
+        benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_PredictorBatchSteadyState);
+
 void
 BM_EnergyEstimate(benchmark::State &state)
 {
@@ -87,24 +166,54 @@ BM_HillClimbDecision(benchmark::State &state)
     auto &f = fixture();
     mpc::HillClimbOptimizer climber(f.space, f.energy);
     std::size_t evals = 0;
+    std::size_t unique = 0;
     for (auto _ : state) {
         auto res = climber.optimize(*f.rf, f.query, f.headroom,
                                     hw::ConfigSpace::failSafe());
         evals = res.evaluations;
+        unique = res.uniqueEvaluations;
         benchmark::DoNotOptimize(res);
     }
     state.counters["evaluations"] = static_cast<double>(evals);
+    state.counters["unique_evaluations"] = static_cast<double>(unique);
 }
 BENCHMARK(BM_HillClimbDecision);
+
+/**
+ * A decision for a never-seen kernel: the counters change every
+ * iteration, so each decision pays for forest specialization and
+ * walks the residual forests for every evaluation instead of hitting
+ * the per-kernel prediction memo. This is the MPC governor's
+ * first-launch cost; BM_HillClimbDecision is its recurring-launch
+ * cost.
+ */
+void
+BM_HillClimbDecisionColdKernel(benchmark::State &state)
+{
+    auto &f = fixture();
+    mpc::HillClimbOptimizer climber(f.space, f.energy);
+    auto q = f.query;
+    for (auto _ : state) {
+        // A new kernel identity per decision (any counter bit change
+        // misses the specialization cache).
+        q.counters.globalWorkSize += 1.0;
+        auto res = climber.optimize(*f.rf, q, f.headroom,
+                                    hw::ConfigSpace::failSafe());
+        benchmark::DoNotOptimize(res);
+    }
+}
+BENCHMARK(BM_HillClimbDecisionColdKernel);
 
 void
 BM_ExhaustiveScanDecision(benchmark::State &state)
 {
     auto &f = fixture();
+    const auto &cfgs = f.space.all();
+    std::vector<ml::EnergyEstimate> ests(cfgs.size());
     for (auto _ : state) {
+        f.energy.estimateBatch(*f.rf, f.query, cfgs, ests);
         double best = 1e300;
-        for (const auto &c : f.space.all()) {
-            const auto e = f.energy.estimate(*f.rf, f.query, c);
+        for (const auto &e : ests) {
             if (e.time <= f.headroom && e.energy < best)
                 best = e.energy;
         }

@@ -47,6 +47,30 @@ inline constexpr std::array<Knob, numKnobs> allKnobs = {
 std::string toString(Knob k);
 
 /**
+ * Number of representable configurations across every ConfigSpace
+ * variant: all CPU/NB/GPU states and CU counts 1..8. Used to size dense
+ * per-config lookup tables (feature caches, evaluation memos).
+ */
+inline constexpr std::size_t denseConfigCount =
+    static_cast<std::size_t>(numCpuPStates) * numNbPStates *
+    numGpuPStates * 8;
+
+/**
+ * Dense index of a configuration in [0, denseConfigCount). Unlike
+ * ConfigSpace::indexOf this covers every representable config, is O(1)
+ * arithmetic, and never consults a space.
+ */
+inline std::size_t
+denseConfigIndex(const HwConfig &c)
+{
+    const auto cpu = static_cast<std::size_t>(c.cpu);
+    const auto nb = static_cast<std::size_t>(c.nb);
+    const auto gpu = static_cast<std::size_t>(c.gpu);
+    const auto cu = static_cast<std::size_t>(c.cus - 1);
+    return ((cpu * numNbPStates + nb) * numGpuPStates + gpu) * 8 + cu;
+}
+
+/**
  * Which knob levels a ConfigSpace exposes to the power manager.
  *
  * The paper's methodology (Sec. V) searches three of the five GPU DPM

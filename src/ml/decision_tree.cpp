@@ -213,6 +213,10 @@ DecisionTree::load(std::istream &is)
               n.right >= static_cast<std::int32_t>(count)))) {
             GPUPM_FATAL("tree node out of range");
         }
+        // A corrupted model file must fail here, not poison every
+        // later prediction with NaN/inf.
+        if (!std::isfinite(n.threshold) || !std::isfinite(n.value))
+            GPUPM_FATAL("tree node with non-finite threshold or value");
     }
     return t;
 }

@@ -76,7 +76,6 @@ class DecisionTree
     /** Read a tree written by save(); fatal on malformed input. */
     static DecisionTree load(std::istream &is);
 
-  private:
     struct Node
     {
         std::int32_t feature = -1; ///< -1 marks a leaf.
@@ -86,6 +85,10 @@ class DecisionTree
         double value = 0.0; ///< Leaf prediction.
     };
 
+    /** Read-only node storage (index 0 = root); FlatForest compiles it. */
+    const std::vector<Node> &nodes() const { return _nodes; }
+
+  private:
     std::int32_t build(const Dataset &data,
                        std::vector<std::uint32_t> &rows, std::size_t begin,
                        std::size_t end, int depth, const TreeOptions &opts,

@@ -1,22 +1,35 @@
 #include "ml/energy.hpp"
 
+#include <vector>
+
+#include "common/logging.hpp"
+
 namespace gpupm::ml {
+
+namespace {
+
+/** Normalized V^2*f dynamic power plus voltage-proportional leakage. */
+Watts
+busyWaitPowerAt(const hw::ApuParams &p, hw::CpuPState s)
+{
+    const auto &pt = hw::cpuDvfs(s);
+    const Watts dyn = p.cpuCeff * pt.voltage * pt.voltage *
+                      mhzToHz(pt.freq) * p.cpuBusyWaitActivity;
+    const Watts leak = p.cpuLeakCoeff * pt.voltage;
+    return dyn + leak;
+}
+
+} // namespace
 
 EnergyModel::EnergyModel(const hw::ApuParams &params)
     : _power(params), _p(params)
 {
-}
-
-Watts
-EnergyModel::cpuBusyWaitPower(hw::CpuPState s) const
-{
-    const auto &pt = hw::cpuDvfs(s);
-    // Normalized V^2*f dynamic power plus voltage-proportional leakage
-    // at the reference temperature.
-    const Watts dyn = _p.cpuCeff * pt.voltage * pt.voltage *
-                      mhzToHz(pt.freq) * _p.cpuBusyWaitActivity;
-    const Watts leak = _p.cpuLeakCoeff * pt.voltage;
-    return dyn + leak;
+    // The busy-wait power depends only on the CPU P-state; evaluating
+    // the 7 points here takes V^2*f math off the per-candidate path.
+    for (int s = 0; s < hw::numCpuPStates; ++s) {
+        _cpuBusyWait[static_cast<std::size_t>(s)] =
+            busyWaitPowerAt(_p, static_cast<hw::CpuPState>(s));
+    }
 }
 
 EnergyEstimate
@@ -31,6 +44,29 @@ EnergyModel::estimate(const PerfPowerPredictor &pred,
     e.cpuPower = cpuBusyWaitPower(c.cpu);
     e.energy = (e.gpuPower + e.cpuPower) * e.time;
     return e;
+}
+
+void
+EnergyModel::estimateBatch(const PerfPowerPredictor &pred,
+                           const PredictionQuery &q,
+                           std::span<const hw::HwConfig> cs,
+                           std::span<EnergyEstimate> out) const
+{
+    GPUPM_ASSERT(out.size() == cs.size(),
+                 "estimateBatch output size mismatch");
+    if (cs.empty())
+        return;
+
+    thread_local std::vector<Prediction> preds;
+    preds.resize(cs.size());
+    pred.predictBatch(q, cs, preds);
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+        out[i].time = preds[i].time;
+        out[i].gpuPower = preds[i].gpuPower;
+        out[i].cpuPower = cpuBusyWaitPower(cs[i].cpu);
+        out[i].energy =
+            (out[i].gpuPower + out[i].cpuPower) * out[i].time;
+    }
 }
 
 } // namespace gpupm::ml

@@ -10,6 +10,9 @@
 
 #pragma once
 
+#include <array>
+#include <span>
+
 #include "hw/power_model.hpp"
 #include "ml/predictor.hpp"
 
@@ -42,16 +45,32 @@ class EnergyModel
                             const hw::HwConfig &c) const;
 
     /**
+     * Estimate one kernel at many candidate configurations through the
+     * predictor's batched path: out[i] is the estimate at cs[i];
+     * out.size() must equal cs.size(). Bit-identical to calling
+     * estimate() per config.
+     */
+    void estimateBatch(const PerfPowerPredictor &pred,
+                       const PredictionQuery &q,
+                       std::span<const hw::HwConfig> cs,
+                       std::span<EnergyEstimate> out) const;
+
+    /**
      * CPU power while busy-waiting at a CPU P-state: the normalized
      * V^2*f model, anchored at the known reference-state power. Leakage
      * is evaluated at the reference temperature (the model does not
-     * track die temperature).
+     * track die temperature). Precomputed per P-state at construction.
      */
-    Watts cpuBusyWaitPower(hw::CpuPState s) const;
+    Watts
+    cpuBusyWaitPower(hw::CpuPState s) const
+    {
+        return _cpuBusyWait[static_cast<std::size_t>(s)];
+    }
 
   private:
     hw::PowerModel _power;
     hw::ApuParams _p;
+    std::array<Watts, hw::numCpuPStates> _cpuBusyWait{};
 };
 
 } // namespace gpupm::ml

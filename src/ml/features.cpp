@@ -1,23 +1,17 @@
 #include "ml/features.hpp"
 
 #include <cmath>
+#include <cstring>
 
+#include "common/logging.hpp"
 #include "hw/power_model.hpp"
 
 namespace gpupm::ml {
 
-FeatureVector
-makeFeatures(const kernel::KernelCounters &k, const hw::HwConfig &c)
+KernelFeatures
+makeKernelFeatures(const kernel::KernelCounters &k)
 {
-    const auto &cpu = hw::cpuDvfs(c.cpu);
-    const auto &nb = hw::nbDvfs(c.nb);
-    const auto &gpu = hw::gpuDvfs(c.gpu);
-    // Rail voltage duplicates information from (gpu, nb) but gives the
-    // trees direct access to the quantity power actually depends on.
-    static const hw::PowerModel power_model;
-    const double vrail = power_model.railVoltage(c);
-
-    FeatureVector f{};
+    KernelFeatures f{};
     int i = 0;
     f[i++] = std::log2(1.0 + k.globalWorkSize);
     f[i++] = k.memUnitStalled / 100.0;
@@ -29,6 +23,22 @@ makeFeatures(const kernel::KernelCounters &k, const hw::HwConfig &c)
     f[i++] = std::log2(1.0 + k.fetchSize);
     f[i++] = std::log2(1.0 + k.globalWorkSize * k.valuInsts);
     f[i++] = std::log2(1.0 + k.globalWorkSize * k.vfetchInsts);
+    return f;
+}
+
+ConfigFeatures
+makeConfigFeatures(const hw::HwConfig &c)
+{
+    const auto &cpu = hw::cpuDvfs(c.cpu);
+    const auto &nb = hw::nbDvfs(c.nb);
+    const auto &gpu = hw::gpuDvfs(c.gpu);
+    // Rail voltage duplicates information from (gpu, nb) but gives the
+    // trees direct access to the quantity power actually depends on.
+    static const hw::PowerModel power_model;
+    const double vrail = power_model.railVoltage(c);
+
+    ConfigFeatures f{};
+    int i = 0;
     f[i++] = cpu.freq / 3900.0;
     f[i++] = cpu.voltage;
     f[i++] = nb.nbFreq / 1800.0;
@@ -37,6 +47,48 @@ makeFeatures(const kernel::KernelCounters &k, const hw::HwConfig &c)
     f[i++] = vrail;
     f[i++] = c.cus / 8.0;
     return f;
+}
+
+FeatureVector
+combineFeatures(const KernelFeatures &k, const ConfigFeatures &c)
+{
+    FeatureVector f;
+    std::memcpy(f.data(), k.data(), sizeof k);
+    std::memcpy(f.data() + numKernelFeatures, c.data(), sizeof c);
+    return f;
+}
+
+FeatureVector
+makeFeatures(const kernel::KernelCounters &k, const hw::HwConfig &c)
+{
+    return combineFeatures(makeKernelFeatures(k), makeConfigFeatures(c));
+}
+
+const ConfigFeatures &
+configFeatures(const hw::HwConfig &c)
+{
+    // Dense table over every representable config; ~63 KB, built once
+    // (thread-safe function-local static).
+    static const std::vector<ConfigFeatures> table = [] {
+        std::vector<ConfigFeatures> t;
+        t.reserve(hw::denseConfigCount);
+        for (int cpu = 0; cpu < hw::numCpuPStates; ++cpu) {
+            for (int nb = 0; nb < hw::numNbPStates; ++nb) {
+                for (int gpu = 0; gpu < hw::numGpuPStates; ++gpu) {
+                    for (int cus = 1; cus <= 8; ++cus) {
+                        t.push_back(makeConfigFeatures(
+                            {static_cast<hw::CpuPState>(cpu),
+                             static_cast<hw::NbPState>(nb),
+                             static_cast<hw::GpuPState>(gpu), cus}));
+                    }
+                }
+            }
+        }
+        return t;
+    }();
+    GPUPM_ASSERT(c.cus >= 1 && c.cus <= 8, "CU count ", c.cus,
+                 " outside the representable range");
+    return table[hw::denseConfigIndex(c)];
 }
 
 const std::vector<std::string> &

@@ -27,11 +27,44 @@ namespace gpupm::ml {
  */
 inline constexpr int numFeatures = kernel::numCounters + 2 + 7;
 
+/** Kernel-dependent feature prefix: counters + derived work products. */
+inline constexpr int numKernelFeatures = kernel::numCounters + 2;
+
+/** Config-dependent feature suffix: clocks, voltages, CU count. */
+inline constexpr int numConfigFeatures = 7;
+
+static_assert(numKernelFeatures + numConfigFeatures == numFeatures);
+
 using FeatureVector = std::array<double, numFeatures>;
+using KernelFeatures = std::array<double, numKernelFeatures>;
+using ConfigFeatures = std::array<double, numConfigFeatures>;
 
 /** Build the feature vector for (counters, configuration). */
 FeatureVector makeFeatures(const kernel::KernelCounters &counters,
                            const hw::HwConfig &c);
+
+/**
+ * Kernel-invariant feature prefix from the counters alone. The log2
+ * scalings here are the expensive part of makeFeatures; at decision
+ * time the counters are fixed while hundreds of candidate configs are
+ * scored, so the prefix is computed once per decision.
+ */
+KernelFeatures makeKernelFeatures(const kernel::KernelCounters &counters);
+
+/** Config-dependent feature suffix (clocks, voltages, rail, CUs). */
+ConfigFeatures makeConfigFeatures(const hw::HwConfig &c);
+
+/** Concatenate prefix and suffix; equals makeFeatures bit-for-bit. */
+FeatureVector combineFeatures(const KernelFeatures &k,
+                              const ConfigFeatures &c);
+
+/**
+ * Precomputed makeConfigFeatures for every representable HwConfig
+ * (7 CPU x 4 NB x 5 GPU states x CU counts 1..8), built once at first
+ * use. Saves the per-candidate rail-voltage solve and divisions on the
+ * hot path; bit-identical to makeConfigFeatures.
+ */
+const ConfigFeatures &configFeatures(const hw::HwConfig &c);
 
 /** Feature names aligned with makeFeatures() (for diagnostics). */
 const std::vector<std::string> &featureNames();

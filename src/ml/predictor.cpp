@@ -5,6 +5,17 @@
 
 namespace gpupm::ml {
 
+void
+PerfPowerPredictor::predictBatch(const PredictionQuery &q,
+                                 std::span<const hw::HwConfig> cs,
+                                 std::span<Prediction> out) const
+{
+    GPUPM_ASSERT(out.size() == cs.size(),
+                 "predictBatch output size mismatch");
+    for (std::size_t i = 0; i < cs.size(); ++i)
+        out[i] = predict(q, cs[i]);
+}
+
 struct GroundTruthPredictor::Impl
 {
     kernel::GroundTruthModel model;

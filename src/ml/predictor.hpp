@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "hw/config.hpp"
@@ -53,6 +54,19 @@ class PerfPowerPredictor
     /** Predict time and GPU power at configuration @p c. */
     virtual Prediction predict(const PredictionQuery &q,
                                const hw::HwConfig &c) const = 0;
+
+    /**
+     * Predict one kernel at many candidate configurations: out[i] is
+     * the prediction for cs[i]; out.size() must equal cs.size(). This
+     * is the governor hot path - every decision scores one kernel's
+     * counters against many configs. The default implementation loops
+     * over predict(); batch-capable predictors (the Random Forest)
+     * override it with a fused evaluation that is bit-identical to the
+     * scalar loop.
+     */
+    virtual void predictBatch(const PredictionQuery &q,
+                              std::span<const hw::HwConfig> cs,
+                              std::span<Prediction> out) const;
 
     /** Identifier for reports ("RF", "Err_0%", ...). */
     virtual std::string name() const = 0;

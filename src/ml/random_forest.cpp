@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <string>
 
 #include "common/logging.hpp"
+#include "ml/flat_forest.hpp"
 
 namespace gpupm::ml {
 
@@ -26,6 +28,16 @@ RandomForest::fit(const Dataset &data, const ForestOptions &opts)
     std::vector<char> in_bag(n);
     std::vector<std::uint32_t> rows(sample_size);
 
+    // OOB accumulation scratch: each tree's out-of-bag rows are
+    // gathered and pushed through the flat batched engine in one pass
+    // (bit-identical to per-row DecisionTree::predict, in row order).
+    std::vector<FeatureVector> oob_x;
+    std::vector<std::uint32_t> oob_rows;
+    std::vector<double> oob_pred;
+    oob_x.reserve(n);
+    oob_rows.reserve(n);
+    oob_pred.reserve(n);
+
     Pcg32 rng(opts.seed, 0xf042e57ULL);
     for (auto &tree : _trees) {
         std::fill(in_bag.begin(), in_bag.end(), 0);
@@ -35,11 +47,20 @@ RandomForest::fit(const Dataset &data, const ForestOptions &opts)
         }
         Pcg32 tree_rng = rng.split();
         tree.fit(data, rows, opts.tree, tree_rng);
+
+        oob_x.clear();
+        oob_rows.clear();
         for (std::size_t i = 0; i < n; ++i) {
             if (!in_bag[i]) {
-                oob_sum[i] += tree.predict(data.x[i]);
-                ++oob_count[i];
+                oob_x.push_back(data.x[i]);
+                oob_rows.push_back(static_cast<std::uint32_t>(i));
             }
+        }
+        oob_pred.resize(oob_x.size());
+        FlatForest::compile(tree).predictBatch(oob_x, oob_pred);
+        for (std::size_t j = 0; j < oob_rows.size(); ++j) {
+            oob_sum[oob_rows[j]] += oob_pred[j];
+            ++oob_count[oob_rows[j]];
         }
     }
 
@@ -63,6 +84,15 @@ RandomForest::predict(const FeatureVector &f) const
 double
 RandomForest::oobMape(const Dataset &data) const
 {
+    // A forest restored via load() carries no OOB predictions (they
+    // are training artifacts); report "no data" as NaN instead of
+    // indexing an empty vector.
+    if (_oob.size() != data.size()) {
+        GPUPM_WARN("oobMape: no OOB data for this forest (loaded from "
+                   "a stream, or dataset size mismatch)");
+        return std::numeric_limits<double>::quiet_NaN();
+    }
+
     double s = 0.0;
     std::size_t n = 0;
     for (std::size_t i = 0; i < data.size(); ++i) {

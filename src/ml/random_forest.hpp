@@ -60,6 +60,12 @@ class RandomForest
     std::size_t treeCount() const { return _trees.size(); }
     bool fitted() const { return !_trees.empty(); }
 
+    /** Whether OOB predictions exist (absent on a load()ed forest). */
+    bool hasOobData() const { return !_oob.empty(); }
+
+    /** Read-only tree access (FlatForest compiles from it). */
+    const std::vector<DecisionTree> &trees() const { return _trees; }
+
     /** Total node count across trees (memory/latency diagnostics). */
     std::size_t totalNodes() const;
 

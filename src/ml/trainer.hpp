@@ -15,12 +15,29 @@
 #include <memory>
 #include <vector>
 
+#include "ml/flat_forest.hpp"
 #include "ml/predictor.hpp"
 #include "ml/random_forest.hpp"
 
 namespace gpupm::ml {
 
-/** Counter-driven Random Forest predictor (the paper's "RF"). */
+/**
+ * Dynamic-instruction proxy computed from observable counters; the time
+ * forest is trained on log(time / proxy) ("seconds per instruction"),
+ * which has a far narrower dynamic range than absolute time and
+ * therefore generalizes across kernels of very different sizes.
+ */
+double instructionProxy(const kernel::KernelCounters &c);
+
+/**
+ * Counter-driven Random Forest predictor (the paper's "RF").
+ *
+ * Construction compiles both fitted forests into FlatForest arenas;
+ * all inference - scalar and batched - runs on the flat engine, with
+ * the kernel-feature prefix computed once per query and the config
+ * suffix served from the precomputed table. Results are bit-identical
+ * to evaluating the retained scalar forests via makeFeatures.
+ */
 class RandomForestPredictor : public PerfPowerPredictor
 {
   public:
@@ -30,14 +47,24 @@ class RandomForestPredictor : public PerfPowerPredictor
     Prediction predict(const PredictionQuery &q,
                        const hw::HwConfig &c) const override;
 
+    void predictBatch(const PredictionQuery &q,
+                      std::span<const hw::HwConfig> cs,
+                      std::span<Prediction> out) const override;
+
     std::string name() const override { return "RF"; }
 
     const RandomForest &timeForest() const { return _time; }
     const RandomForest &powerForest() const { return _power; }
 
+    /** The compiled inference engines (diagnostics). */
+    const FlatForest &timeFlat() const { return _timeFlat; }
+    const FlatForest &powerFlat() const { return _powerFlat; }
+
   private:
     RandomForest _time;
     RandomForest _power;
+    FlatForest _timeFlat;
+    FlatForest _powerFlat;
 };
 
 /** Training configuration. */

@@ -1,6 +1,7 @@
 #include "mpc/governor.hpp"
 
 #include <limits>
+#include <vector>
 
 #include "common/logging.hpp"
 
@@ -91,6 +92,7 @@ MpcGovernor::decide(std::size_t index)
                 : 0.0;
         _stats.overheadTime += d.overheadTime;
         _stats.evaluations += _ppk.lastEvaluationCount();
+        _stats.uniqueEvaluations += _ppk.lastEvaluationCount();
         return d;
     }
 
@@ -155,18 +157,26 @@ MpcGovernor::fallbackDecide()
     const hw::HwConfig *fastest = nullptr;
     double best_energy = std::numeric_limits<double>::infinity();
     double fastest_time = std::numeric_limits<double>::infinity();
-    for (const auto &c : _space.all()) {
-        const auto est = _energy.estimate(*_predictor, q, c);
+
+    // Batched exhaustive scan: one predictor sweep over the space.
+    const auto &cfgs = _space.all();
+    thread_local std::vector<ml::EnergyEstimate> ests;
+    ests.resize(cfgs.size());
+    _energy.estimateBatch(*_predictor, q, cfgs, ests);
+
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        const auto &est = ests[i];
         if (est.time < fastest_time) {
             fastest_time = est.time;
-            fastest = &c;
+            fastest = &cfgs[i];
         }
         if (est.time <= headroom && est.energy < best_energy) {
             best_energy = est.energy;
-            best = &c;
+            best = &cfgs[i];
         }
     }
     _stats.evaluations += _space.size();
+    _stats.uniqueEvaluations += _space.size();
     _pendingModeled = _opts.overhead.cost(_space.size());
 
     sim::Decision d;
@@ -208,6 +218,7 @@ MpcGovernor::optimizeWindow(std::size_t index, std::size_t horizon)
     hw::HwConfig chosen = hw::ConfigSpace::failSafe();
     bool found_current = false;
     std::size_t window_evals = 0;
+    std::size_t window_unique = 0;
 
     for (const auto inv : order) {
         GPUPM_ASSERT(inv >= index && inv < index + ids.size(),
@@ -230,6 +241,7 @@ MpcGovernor::optimizeWindow(std::size_t index, std::size_t horizon)
         const auto res = _climber.optimize(*_predictor, q, headroom,
                                            hw::ConfigSpace::failSafe());
         window_evals += res.evaluations;
+        window_unique += res.uniqueEvaluations;
 
         // When the target cannot be met the climber races from the
         // fail-safe anchor (Sec. IV-A1a) toward the fastest predicted
@@ -250,6 +262,7 @@ MpcGovernor::optimizeWindow(std::size_t index, std::size_t horizon)
     GPUPM_ASSERT(found_current, "current kernel missing from window");
 
     _stats.evaluations += window_evals;
+    _stats.uniqueEvaluations += window_unique;
     _pendingModeled = _opts.overhead.cost(window_evals);
 
     sim::Decision d;

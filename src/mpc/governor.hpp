@@ -41,7 +41,10 @@ struct MpcRunStats
     Seconds overheadTime = 0.0; ///< Charged decision latency this run.
     double horizonSum = 0.0;
     std::size_t decisions = 0;
+    /** Evaluation requests charged by the overhead model. */
     std::size_t evaluations = 0;
+    /** Distinct predictor evaluations after hill-climb memoization. */
+    std::size_t uniqueEvaluations = 0;
 
     /** Average horizon as a fraction of N. */
     double

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <vector>
 
 #include "common/logging.hpp"
 
@@ -31,14 +32,66 @@ HillClimbOptimizer::optimize(const ml::PerfPowerPredictor &pred,
                              const hw::HwConfig &start) const
 {
     std::size_t evals = 0;
+    std::size_t unique_evals = 0;
+
+    // Per-decision eval memo keyed by the universal dense config index:
+    // sensitivity probes and climbing steps frequently revisit the same
+    // configuration (each knob's first downward step repeats its probe),
+    // and revisits must not re-run the predictor. Requests are still
+    // counted per call so the charged overhead matches the paper's
+    // evaluation accounting.
+    std::vector<std::int16_t> slot(hw::denseConfigCount, -1);
+    std::vector<Eval> cache;
+    cache.reserve(64);
+
+    auto remember = [&](const hw::HwConfig &c,
+                        const ml::EnergyEstimate &est) {
+        slot[hw::denseConfigIndex(c)] =
+            static_cast<std::int16_t>(cache.size());
+        cache.push_back(Eval{est.time, est.energy});
+    };
+
     auto evaluate = [&](const hw::HwConfig &c) {
         ++evals;
-        const auto e = _energy.estimate(pred, q, c);
-        return Eval{e.time, e.energy};
+        const auto d = hw::denseConfigIndex(c);
+        if (slot[d] >= 0)
+            return cache[static_cast<std::size_t>(slot[d])];
+        ++unique_evals;
+        remember(c, _energy.estimate(pred, q, c));
+        return cache.back();
     };
 
     hw::HwConfig cur = start;
-    Eval cur_eval = evaluate(cur);
+
+    // Sensitivity phase, batched: the start configuration plus one
+    // single-step probe per knob (toward the lower-performance level
+    // when possible) go through the predictor's batched path together,
+    // so the forest is walked tree-major over all five queries.
+    std::array<hw::HwConfig, 1 + hw::numKnobs> batch_cfg;
+    std::array<ml::EnergyEstimate, 1 + hw::numKnobs> batch_est;
+    std::array<int, hw::numKnobs> probe_slot; // batch index or -1
+    std::size_t batch_n = 0;
+    batch_cfg[batch_n++] = cur;
+    for (std::size_t ki = 0; ki < hw::allKnobs.size(); ++ki) {
+        const hw::Knob k = hw::allKnobs[ki];
+        const int level = _space.levelOf(cur, k);
+        const int probe_level = level > 0 ? level - 1 : level + 1;
+        if (probe_level >= 0 && probe_level < _space.levels(k)) {
+            probe_slot[ki] = static_cast<int>(batch_n);
+            batch_cfg[batch_n++] = _space.withLevel(cur, k, probe_level);
+        } else {
+            probe_slot[ki] = -1;
+        }
+    }
+    _energy.estimateBatch(
+        pred, q, std::span<const hw::HwConfig>(batch_cfg.data(), batch_n),
+        std::span<ml::EnergyEstimate>(batch_est.data(), batch_n));
+    evals += batch_n;
+    unique_evals += batch_n; // start and probes are pairwise distinct
+    for (std::size_t i = 0; i < batch_n; ++i)
+        remember(batch_cfg[i], batch_est[i]);
+
+    Eval cur_eval{batch_est[0].time, batch_est[0].energy};
     bool cur_ok = cur_eval.time <= headroom;
 
     // A move is an improvement if it establishes/keeps feasibility with
@@ -54,20 +107,17 @@ HillClimbOptimizer::optimize(const ml::PerfPowerPredictor &pred,
         return cand.time < cur_eval.time * 0.995;
     };
 
-    // Energy sensitivity per knob: one single-step probe each, toward
-    // the lower-performance level when possible.
+    // Energy sensitivity per knob from the batched probes.
     std::array<std::pair<double, hw::Knob>, hw::numKnobs> sens;
     for (std::size_t ki = 0; ki < hw::allKnobs.size(); ++ki) {
-        const hw::Knob k = hw::allKnobs[ki];
-        const int level = _space.levelOf(cur, k);
-        const int probe_level = level > 0 ? level - 1 : level + 1;
         double s = 0.0;
-        if (probe_level >= 0 && probe_level < _space.levels(k)) {
-            const auto probe =
-                evaluate(_space.withLevel(cur, k, probe_level));
-            s = std::fabs(probe.energy - cur_eval.energy);
+        if (probe_slot[ki] >= 0) {
+            s = std::fabs(
+                batch_est[static_cast<std::size_t>(probe_slot[ki])]
+                    .energy -
+                cur_eval.energy);
         }
-        sens[ki] = {s, k};
+        sens[ki] = {s, hw::allKnobs[ki]};
     }
     std::sort(sens.begin(), sens.end(),
               [](const auto &a, const auto &b) { return a.first > b.first; });
@@ -103,6 +153,7 @@ HillClimbOptimizer::optimize(const ml::PerfPowerPredictor &pred,
     out.predictedTime = cur_eval.time;
     out.predictedEnergy = cur_eval.energy;
     out.evaluations = evals;
+    out.uniqueEvaluations = unique_evals;
     out.feasible = cur_ok;
     return out;
 }

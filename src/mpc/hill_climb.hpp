@@ -25,7 +25,18 @@ struct HillClimbResult
     hw::HwConfig config;
     Seconds predictedTime = 0.0;
     Joules predictedEnergy = 0.0;
+    /**
+     * Evaluation requests made by the search (what the overhead model
+     * charges for). Counted per request, memo hits included, so the
+     * charged decision latency is independent of the memoization.
+     */
     std::size_t evaluations = 0;
+    /**
+     * Distinct configurations actually run through the predictor: the
+     * requests minus per-decision memo hits. This is the real predictor
+     * work a deployment would pay.
+     */
+    std::size_t uniqueEvaluations = 0;
     /** predictedTime <= headroom; the caller falls back otherwise. */
     bool feasible = false;
 };

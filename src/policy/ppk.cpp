@@ -1,6 +1,7 @@
 #include "policy/ppk.hpp"
 
 #include <limits>
+#include <vector>
 
 #include "common/logging.hpp"
 
@@ -44,8 +45,15 @@ PpkGovernor::decide(std::size_t)
     const hw::HwConfig *best = nullptr;
     double best_energy = std::numeric_limits<double>::infinity();
 
-    for (const auto &c : _space.all()) {
-        const auto est = _energy.estimate(*_predictor, q, c);
+    // One batched sweep over the space: the predictor walks each tree
+    // once for all 336 candidates instead of once per candidate.
+    const auto &cfgs = _space.all();
+    thread_local std::vector<ml::EnergyEstimate> ests;
+    ests.resize(cfgs.size());
+    _energy.estimateBatch(*_predictor, q, cfgs, ests);
+
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        const auto &est = ests[i];
         // Eq. 2/4: cumulative throughput including the predicted next
         // kernel must stay at or above the target.
         const double projected =
@@ -54,7 +62,7 @@ PpkGovernor::decide(std::size_t)
             continue;
         if (est.energy < best_energy) {
             best_energy = est.energy;
-            best = &c;
+            best = &cfgs[i];
         }
     }
     _lastEvals = _space.size();

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and flag regressions.
+
+Usage:
+    tools/perf_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+
+Benchmarks are matched by name; aggregate entries (mean/median/stddev
+rows emitted with --benchmark_repetitions) are ignored in favour of the
+plain run. For every benchmark present in both files the real-time
+delta is printed, and the script exits non-zero if any shared benchmark
+slowed down by more than the threshold (default 15%, chosen above
+typical run-to-run noise on an unpinned machine). Benchmarks present in
+only one file are listed but never fail the comparison, so adding or
+retiring a benchmark does not break CI.
+
+Capture inputs with:
+    bench_micro_runtime --benchmark_min_time=0.5 \
+        --benchmark_out=out.json --benchmark_out_format=json
+
+Only the python3 standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Map benchmark name -> real_time in ns for the plain runs."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip mean/median/stddev aggregates from repetition runs.
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None:
+            print(f"warning: {b['name']}: unknown unit {unit}, skipped",
+                  file=sys.stderr)
+            continue
+        out[b["name"]] = float(b["real_time"]) * scale
+    return out
+
+
+def fmt_ns(ns):
+    for limit, unit in ((1e9, "s"), (1e6, "ms"), (1e3, "us")):
+        if ns >= limit:
+            return f"{ns / limit:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=15.0,
+                    help="regression threshold in percent (default 15)")
+    args = ap.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cand = load_benchmarks(args.candidate)
+    shared = sorted(set(base) & set(cand))
+    if not shared:
+        print("error: no benchmarks in common", file=sys.stderr)
+        return 2
+
+    width = max(len(n) for n in shared)
+    regressions = []
+    for name in shared:
+        b, c = base[name], cand[name]
+        delta = 100.0 * (c - b) / b if b > 0 else 0.0
+        marker = ""
+        if delta > args.threshold:
+            marker = "  REGRESSION"
+            regressions.append(name)
+        elif delta < -args.threshold:
+            marker = "  improved"
+        print(f"{name:<{width}}  {fmt_ns(b):>9} -> {fmt_ns(c):>9} "
+              f"{delta:+7.1f}%{marker}")
+
+    for name in sorted(set(base) - set(cand)):
+        print(f"{name:<{width}}  only in baseline")
+    for name in sorted(set(cand) - set(base)):
+        print(f"{name:<{width}}  only in candidate")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0f}%: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0f}% "
+          f"across {len(shared)} shared benchmark(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,12 @@
 # AddressSanitizer(+UBSan). Extra arguments are forwarded to ctest,
 # e.g. to check only the concurrency suites quickly:
 #
-#   tools/run_sanitizers.sh -R 'thread_pool|sweep_determinism|fuzz'
+#   tools/run_sanitizers.sh -R 'ThreadPool|SweepDeterminism|Fuzz'
+#
+# or just the inference engine's suites (-R matches gtest suite names,
+# e.g. FlatForest.FuzzBitIdenticalToScalar, not test file names):
+#
+#   tools/run_sanitizers.sh -R 'FlatForest|RandomForest|Trainer'
 #
 # Each sanitizer gets its own build tree (build-tsan/, build-asan/) so
 # the regular build/ stays untouched.
