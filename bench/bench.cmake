@@ -31,3 +31,25 @@ target_link_libraries(bench_micro_runtime PRIVATE gpupm_bench_harness
     benchmark::benchmark benchmark::benchmark_main)
 set_target_properties(bench_micro_runtime PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+# `cmake --build build --target bench-compare` runs the microbenchmarks
+# and diffs them against the checked-in baseline (see
+# tools/perf_compare.py). The threshold is 25% rather than the
+# script's 15% default: the sub-microsecond benchmarks swing up to
+# ~20% run-to-run on an unpinned shared host, and this target is a
+# smoke guard against real regressions, not a precision gate — tighten
+# it (or pin the machine) when measuring a specific change.
+if(NOT Python3_EXECUTABLE)
+    set(Python3_EXECUTABLE python3)
+endif()
+add_custom_target(bench-compare
+    COMMAND ${CMAKE_BINARY_DIR}/bench/bench_micro_runtime
+        --benchmark_out=${CMAKE_BINARY_DIR}/bench/BENCH_candidate.json
+        --benchmark_out_format=json
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/perf_compare.py
+        ${CMAKE_SOURCE_DIR}/docs/perf/BENCH_micro.json
+        ${CMAKE_BINARY_DIR}/bench/BENCH_candidate.json
+        --threshold 25
+    DEPENDS bench_micro_runtime
+    COMMENT "Running microbenchmarks and comparing against docs/perf/BENCH_micro.json"
+    VERBATIM)

@@ -17,13 +17,13 @@
 using namespace gpupm;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::Harness::printHeader(
         "Figure 10: GPU energy savings over AMD Turbo Core",
         "Fig. 10 of the paper");
 
-    bench::Harness h;
+    bench::Harness h(bench::harnessOptionsFromArgs(argc, argv));
     auto rf = h.randomForest();
 
     TextTable t({"benchmark", "PPK GPU energy sav (%)",

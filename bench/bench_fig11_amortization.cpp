@@ -49,13 +49,13 @@ after(const std::vector<sim::RunResult> &mpc_runs,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::Harness::printHeader(
         "Figure 11: amortization of initial profiling losses",
         "Fig. 11 of the paper");
 
-    bench::Harness h;
+    bench::Harness h(bench::harnessOptionsFromArgs(argc, argv));
     auto rf = h.randomForest();
     constexpr int simulated_runs = 8;
 

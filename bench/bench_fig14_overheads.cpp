@@ -17,13 +17,13 @@
 using namespace gpupm;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::Harness::printHeader(
         "Figure 14: MPC optimization overheads (alpha = 0.05)",
         "Fig. 14 and Sec. VI-E of the paper");
 
-    bench::Harness h;
+    bench::Harness h(bench::harnessOptionsFromArgs(argc, argv));
     auto rf = h.randomForest();
 
     TextTable t({"benchmark", "energy overhead (%)",

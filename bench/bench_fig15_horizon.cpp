@@ -16,13 +16,13 @@
 using namespace gpupm;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::Harness::printHeader(
         "Figure 15: average adaptive horizon length (% of N)",
         "Fig. 15 of the paper");
 
-    bench::Harness h;
+    bench::Harness h(bench::harnessOptionsFromArgs(argc, argv));
     auto rf = h.randomForest();
 
     TextTable t({"benchmark", "N", "avg horizon (% of N)",

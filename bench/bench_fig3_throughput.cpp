@@ -13,13 +13,13 @@
 using namespace gpupm;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::Harness::printHeader(
         "Figure 3: kernel throughput during execution",
         "Fig. 3 of the paper (Spmv, kmeans, hybridsort)");
 
-    bench::Harness h;
+    bench::Harness h(bench::harnessOptionsFromArgs(argc, argv));
     for (const auto &name : {"Spmv", "kmeans", "hybridsort"}) {
         const auto &bc = h.benchCase(name);
         const Throughput overall = bc.baseline.throughput();

@@ -14,14 +14,14 @@
 using namespace gpupm;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::Harness::printHeader(
         "Figure 4: Predict Previous Kernel vs Theoretically Optimal "
         "(perfect prediction)",
         "Fig. 4 of the paper");
 
-    bench::Harness h;
+    bench::Harness h(bench::harnessOptionsFromArgs(argc, argv));
     policy::PpkOptions perfect;
     perfect.chargeOverhead = false;
 

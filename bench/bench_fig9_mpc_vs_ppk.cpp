@@ -15,13 +15,13 @@
 using namespace gpupm;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::Harness::printHeader(
         "Figure 9: MPC vs PPK (RF prediction, overheads included)",
         "Fig. 9 of the paper");
 
-    bench::Harness h;
+    bench::Harness h(bench::harnessOptionsFromArgs(argc, argv));
     auto rf = h.randomForest();
 
     TextTable t({"benchmark", "energy sav vs PPK (%)",

@@ -223,6 +223,74 @@ BM_ExhaustiveScanDecision(benchmark::State &state)
 }
 BENCHMARK(BM_ExhaustiveScanDecision);
 
+/**
+ * Synthetic regression dataset shaped like the trainer's: all features
+ * populated, a nonlinear target, and heavy feature-value ties (config
+ * features are drawn from small discrete sets), which is what makes
+ * split-search tie handling and presorting matter.
+ */
+ml::Dataset
+makeTrainingDataset(std::size_t n, std::uint64_t seed)
+{
+    ml::Dataset d;
+    Pcg32 rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        ml::FeatureVector f{};
+        double target = 1.0;
+        for (int j = 0; j < ml::numFeatures; ++j) {
+            // Half the features are "discrete" (few distinct levels).
+            f[static_cast<std::size_t>(j)] =
+                (j % 2) ? static_cast<double>(rng.nextBounded(7))
+                        : rng.uniform(0.0, 10.0);
+            target += (j % 3) ? f[static_cast<std::size_t>(j)]
+                              : 0.5 * f[static_cast<std::size_t>(j)] *
+                                    f[static_cast<std::size_t>(j)];
+        }
+        d.add(f, target + rng.gaussian(0.0, 0.5));
+    }
+    return d;
+}
+
+/**
+ * Fit one forest on a trainer-shaped dataset: the split-search hot
+ * loop in isolation (no corpus generation, no OOB reporting around
+ * it). state.range(0) is the worker count.
+ */
+void
+BM_TrainForest(benchmark::State &state)
+{
+    const auto data = makeTrainingDataset(4096, 0x7a41);
+    ml::ForestOptions opts = ml::ForestOptions::regressionDefaults();
+    opts.numTrees = 20;
+    for (auto _ : state) {
+        ml::RandomForest rf;
+        rf.fit(data, opts);
+        benchmark::DoNotOptimize(rf);
+    }
+    state.counters["trees"] = opts.numTrees;
+    state.counters["rows"] = static_cast<double>(data.size());
+}
+BENCHMARK(BM_TrainForest)->Unit(benchmark::kMillisecond);
+
+/**
+ * The full offline pipeline every bench binary pays on startup:
+ * corpus generation, dataset assembly, and both forest fits, at the
+ * same corpus/stride the micro fixture uses.
+ */
+void
+BM_TrainPredictorEndToEnd(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ml::TrainerOptions opts;
+        opts.corpusSize = 24;
+        opts.configStride = 3;
+        opts.forest.numTrees = 60;
+        auto rf = ml::trainRandomForestPredictor(opts);
+        benchmark::DoNotOptimize(rf);
+    }
+}
+BENCHMARK(BM_TrainPredictorEndToEnd)->Unit(benchmark::kMillisecond);
+
 void
 BM_SignatureAndLookup(benchmark::State &state)
 {

@@ -17,23 +17,28 @@
 using namespace gpupm;
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::Harness::printHeader(
         "Sec. VI-D: Random Forest prediction accuracy",
         "Mean Absolute Percentage Errors quoted in Sec. VI-D");
 
-    bench::Harness h;
+    bench::Harness h(bench::harnessOptionsFromArgs(argc, argv));
     auto rf_shared = h.randomForest();
     const auto &rf =
         static_cast<const ml::RandomForestPredictor &>(*rf_shared);
 
-    std::cout << "Training: " << h.trainingReport().datasetRows
-              << " rows; OOB time MAPE "
-              << fmt(h.trainingReport().timeOobMapePct, 1)
-              << "%, OOB power MAPE "
-              << fmt(h.trainingReport().powerOobMapePct, 1) << "%\n"
-              << "Forest: " << rf.timeForest().treeCount()
+    if (h.hasTrainingReport()) {
+        std::cout << "Training: " << h.trainingReport().datasetRows
+                  << " rows; OOB time MAPE "
+                  << fmt(h.trainingReport().timeOobMapePct, 1)
+                  << "%, OOB power MAPE "
+                  << fmt(h.trainingReport().powerOobMapePct, 1) << "%\n";
+    } else {
+        std::cout << "Training: report unavailable (predictor loaded "
+                     "via --model-cache)\n";
+    }
+    std::cout << "Forest: " << rf.timeForest().treeCount()
               << " trees/target, "
               << rf.timeForest().totalNodes() +
                      rf.powerForest().totalNodes()

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "common/flags.hpp"
 #include "common/logging.hpp"
+#include "ml/serialize.hpp"
 
 namespace gpupm::bench {
 
@@ -17,6 +19,9 @@ harnessOptionsFromArgs(int argc, const char *const *argv)
                  "sweep workers (0 = hardware concurrency, 1 = serial)");
     flags.addInt("seed", 0xe44,
                  "root seed for synthetic randomness");
+    flags.addString("model-cache", "",
+                    "save/load the trained RF predictor at this path "
+                    "(skips identical retraining across bench binaries)");
     if (!flags.parse(argc, argv)) {
         std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
                   << flags.usage();
@@ -25,6 +30,7 @@ harnessOptionsFromArgs(int argc, const char *const *argv)
     HarnessOptions opts;
     opts.jobs = static_cast<std::size_t>(std::max(0, flags.getInt("jobs")));
     opts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+    opts.modelCache = flags.getString("model-cache");
     return opts;
 }
 
@@ -75,18 +81,42 @@ Harness::randomForest()
 {
     std::lock_guard lock(_initMutex);
     if (!_rf) {
+        if (!_opts.modelCache.empty()) {
+            if (std::ifstream in(_opts.modelCache); in) {
+                _rf = ml::loadRandomForest(in);
+                std::cerr << "[harness] loaded RF predictor from cache "
+                          << _opts.modelCache
+                          << " (training report unavailable)"
+                          << std::endl;
+                return _rf;
+            }
+        }
         ml::TrainerOptions topts;
         topts.jobs = _opts.jobs;
         std::cerr << "[harness] training Random Forest predictor ("
                   << topts.corpusSize
                   << " corpus kernels x 336 configurations)..."
                   << std::endl;
-        _rf = ml::trainRandomForestPredictor(topts, &_trainingReport);
+        auto trained =
+            ml::trainRandomForestPredictor(topts, &_trainingReport);
+        _hasTrainingReport = true;
         std::cerr << "[harness] trained: OOB time MAPE "
                   << fmt(_trainingReport.timeOobMapePct, 1)
                   << "%, power MAPE "
                   << fmt(_trainingReport.powerOobMapePct, 1) << "%"
                   << std::endl;
+        if (!_opts.modelCache.empty()) {
+            std::ofstream out(_opts.modelCache);
+            if (out) {
+                ml::saveRandomForest(*trained, out);
+                std::cerr << "[harness] saved RF predictor to "
+                          << _opts.modelCache << std::endl;
+            } else {
+                GPUPM_WARN("cannot write model cache '", _opts.modelCache,
+                           "' - continuing without caching");
+            }
+        }
+        _rf = std::move(trained);
     }
     return _rf;
 }

@@ -63,11 +63,19 @@ struct HarnessOptions
     std::size_t jobs = 0;
     /** Root seed for synthetic randomness (noisy predictors). */
     std::uint64_t seed = 0xe44ULL;
+    /**
+     * Save/load the trained RF predictor at this path (empty = always
+     * retrain). Training is deterministic, so the 17 bench binaries
+     * produce identical predictors — with a cache only the first one
+     * pays for the fit. On a cache hit the training report (OOB MAPE)
+     * is unavailable; benches that print it should retrain.
+     */
+    std::string modelCache;
 };
 
 /**
- * Parse the standard bench flags (--jobs, --seed) from argv. Prints
- * usage and exits on --help or a malformed command line.
+ * Parse the standard bench flags (--jobs, --seed, --model-cache) from
+ * argv. Prints usage and exits on --help or a malformed command line.
  */
 HarnessOptions harnessOptionsFromArgs(int argc,
                                       const char *const *argv);
@@ -168,12 +176,20 @@ class Harness
     std::shared_ptr<const ml::PerfPowerPredictor> _rf;
     std::shared_ptr<const ml::PerfPowerPredictor> _truth;
     ml::TrainingReport _trainingReport;
+    bool _hasTrainingReport = false;
 
   public:
     const ml::TrainingReport &trainingReport() const
     {
         return _trainingReport;
     }
+
+    /**
+     * False when randomForest() was served from --model-cache (or has
+     * not been requested yet): the report is then default-constructed
+     * zeros, which would read as a perfect 0% MAPE.
+     */
+    bool hasTrainingReport() const { return _hasTrainingReport; }
 };
 
 } // namespace gpupm::bench

@@ -10,8 +10,36 @@
 #include <string>
 
 #include "common/logging.hpp"
+#include "ml/tree_builder.hpp"
 
 namespace gpupm::ml {
+
+DatasetOrder
+DatasetOrder::build(const Dataset &data)
+{
+    DatasetOrder order;
+    order._rows = data.size();
+    const std::size_t n = order._rows;
+    order.columns.resize(static_cast<std::size_t>(numFeatures) * n);
+    order.sorted.resize(static_cast<std::size_t>(numFeatures) * n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (int f = 0; f < numFeatures; ++f)
+            order.columns[static_cast<std::size_t>(f) * n + r] =
+                data.x[r][static_cast<std::size_t>(f)];
+    }
+    for (int f = 0; f < numFeatures; ++f) {
+        const double *col = order.column(f);
+        std::uint32_t *s =
+            order.sorted.data() + static_cast<std::size_t>(f) * n;
+        std::iota(s, s + n, 0U);
+        // (value, row) is a strict total order; ties land in ascending
+        // row order, the canonical tie order both split scans use.
+        std::sort(s, s + n, [col](std::uint32_t a, std::uint32_t b) {
+            return col[a] != col[b] ? col[a] < col[b] : a < b;
+        });
+    }
+    return order;
+}
 
 namespace {
 
@@ -34,31 +62,37 @@ struct SplitCandidate
 };
 
 /**
- * Best threshold for one feature by exhaustive scan: sort rows by the
- * feature, sweep prefix sums, and score each boundary by the summed
- * child SSE (equivalently, maximize variance reduction).
+ * Best threshold for one feature by exhaustive scan: copy the node's
+ * rows into scratch, stable-sort them by the feature, sweep prefix
+ * sums, and score each boundary by the summed child SSE (equivalently,
+ * maximize variance reduction). @p total_sum / @p total_sq are the
+ * node's target sums, accumulated once per node in canonical order and
+ * shared by every candidate feature.
+ *
+ * The stable sort from the node's canonical order fixes the visit
+ * order of equal feature values, and with it every floating-point sum
+ * below; the presorted TreeBuilder maintains exactly this order, which
+ * is what makes the two paths bit-identical.
  */
 SplitCandidate
-bestSplitForFeature(const Dataset &data, std::vector<std::uint32_t> &rows,
+bestSplitForFeature(const Dataset &data,
+                    std::span<const std::uint32_t> rows,
                     std::size_t begin, std::size_t end, int feature,
-                    int min_leaf)
+                    int min_leaf, double total_sum, double total_sq,
+                    std::vector<std::uint32_t> &scratch)
 {
     SplitCandidate best;
     best.feature = feature;
 
-    auto span = std::span<std::uint32_t>(rows).subspan(begin, end - begin);
-    std::sort(span.begin(), span.end(),
-              [&](std::uint32_t a, std::uint32_t b) {
-                  return data.x[a][feature] < data.x[b][feature];
-              });
+    scratch.assign(rows.begin() + static_cast<std::ptrdiff_t>(begin),
+                   rows.begin() + static_cast<std::ptrdiff_t>(end));
+    auto span = std::span<std::uint32_t>(scratch);
+    std::stable_sort(span.begin(), span.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return data.x[a][feature] < data.x[b][feature];
+                     });
 
     const std::size_t n = span.size();
-    double total_sum = 0.0, total_sq = 0.0;
-    for (auto r : span) {
-        total_sum += data.y[r];
-        total_sq += data.y[r] * data.y[r];
-    }
-
     double left_sum = 0.0;
     for (std::size_t i = 0; i + 1 < n; ++i) {
         left_sum += data.y[span[i]];
@@ -92,7 +126,8 @@ bestSplitForFeature(const Dataset &data, std::vector<std::uint32_t> &rows,
 std::int32_t
 DecisionTree::build(const Dataset &data, std::vector<std::uint32_t> &rows,
                     std::size_t begin, std::size_t end, int depth,
-                    const TreeOptions &opts, Pcg32 &rng)
+                    const TreeOptions &opts, Pcg32 &rng,
+                    std::vector<std::uint32_t> &scratch)
 {
     _depth = std::max(_depth, depth);
     const std::size_t n = end - begin;
@@ -130,18 +165,29 @@ DecisionTree::build(const Dataset &data, std::vector<std::uint32_t> &rows,
         std::swap(order[i], order[j]);
     }
 
+    // Node target totals, once per node in canonical order; every
+    // candidate feature scores against the same two doubles.
+    double total_sum = 0.0, total_sq = 0.0;
+    for (auto r : rows_span) {
+        total_sum += data.y[r];
+        total_sq += data.y[r] * data.y[r];
+    }
+
     SplitCandidate best;
     for (int i = 0; i < tries; ++i) {
         auto cand = bestSplitForFeature(data, rows, begin, end, order[i],
-                                        opts.minSamplesLeaf);
+                                        opts.minSamplesLeaf, total_sum,
+                                        total_sq, scratch);
         if (cand.score < best.score)
             best = cand;
     }
     if (best.feature < 0 || !std::isfinite(best.score))
         return make_leaf();
 
-    // Partition rows around the chosen threshold.
-    auto mid_it = std::partition(
+    // Partition rows around the chosen threshold. Stable, so each
+    // child keeps the canonical order its own split scans and leaf
+    // means depend on.
+    auto mid_it = std::stable_partition(
         rows.begin() + static_cast<std::ptrdiff_t>(begin),
         rows.begin() + static_cast<std::ptrdiff_t>(end),
         [&](std::uint32_t r) {
@@ -158,8 +204,10 @@ DecisionTree::build(const Dataset &data, std::vector<std::uint32_t> &rows,
     _nodes.push_back(node);
     auto idx = static_cast<std::int32_t>(_nodes.size() - 1);
 
-    auto left = build(data, rows, begin, mid, depth + 1, opts, rng);
-    auto right = build(data, rows, mid, end, depth + 1, opts, rng);
+    auto left =
+        build(data, rows, begin, mid, depth + 1, opts, rng, scratch);
+    auto right =
+        build(data, rows, mid, end, depth + 1, opts, rng, scratch);
     _nodes[idx].left = left;
     _nodes[idx].right = right;
     return idx;
@@ -169,12 +217,55 @@ void
 DecisionTree::fit(const Dataset &data, std::span<const std::uint32_t> rows,
                   const TreeOptions &opts, Pcg32 &rng)
 {
+    fit(data, rows, opts, rng, nullptr);
+}
+
+void
+DecisionTree::fit(const Dataset &data, std::span<const std::uint32_t> rows,
+                  const TreeOptions &opts, Pcg32 &rng,
+                  const DatasetOrder *order)
+{
     GPUPM_ASSERT(!rows.empty(), "cannot fit a tree on zero rows");
     GPUPM_ASSERT(data.x.size() == data.y.size(), "dataset x/y mismatch");
+
+    // Canonicalize the bootstrap to ascending row order (counting sort;
+    // duplicates stay adjacent). Both split engines fit on this order,
+    // so the tree depends only on the drawn row *multiset* — and the
+    // presorted engine can derive every per-feature order from the
+    // shared DatasetOrder by linear expansion, with value ties visiting
+    // in exactly this canonical order.
+    thread_local std::vector<std::uint32_t> histogram, canonical;
+    histogram.assign(data.size(), 0);
+    for (const auto r : rows) {
+        GPUPM_ASSERT(r < data.size(), "row index out of range");
+        ++histogram[r];
+    }
+    canonical.clear();
+    canonical.reserve(rows.size());
+    for (std::uint32_t r = 0; r < data.size(); ++r) {
+        for (std::uint32_t c = histogram[r]; c > 0; --c)
+            canonical.push_back(r);
+    }
+
+    if (!opts.legacySplitScan) {
+        // Presorted engine; thread_local so forest fitting reuses one
+        // builder's scratch per worker across its trees.
+        thread_local TreeBuilder builder;
+        if (order) {
+            builder.fit(data, *order, canonical, opts, rng, _nodes,
+                        _depth);
+        } else {
+            const DatasetOrder local = DatasetOrder::build(data);
+            builder.fit(data, local, canonical, opts, rng, _nodes,
+                        _depth);
+        }
+        return;
+    }
     _nodes.clear();
     _depth = 0;
-    std::vector<std::uint32_t> work(rows.begin(), rows.end());
-    build(data, work, 0, work.size(), 0, opts, rng);
+    std::vector<std::uint32_t> work = canonical;
+    std::vector<std::uint32_t> scratch;
+    build(data, work, 0, work.size(), 0, opts, rng, scratch);
 }
 
 void

@@ -35,6 +35,39 @@ struct Dataset
     }
 };
 
+/**
+ * Per-feature sorted row orders of a dataset, computed once and shared
+ * read-only by every tree fitted on it. Each feature's order holds the
+ * dataset's row indices sorted by (value, row); a tree derives its
+ * bootstrap orders from this by a linear filtering pass instead of
+ * sorting — the sort cost is paid once per dataset, not once per tree
+ * (let alone once per node, as the legacy scan does). The transposed
+ * feature columns ride along so split sweeps read values from a dense
+ * per-feature array instead of striding through the row-major dataset.
+ */
+struct DatasetOrder
+{
+    /** Feature-major sorted row indices: rows() entries per feature. */
+    std::vector<std::uint32_t> sorted;
+    /** Feature-major transposed values: columns[f][row]. */
+    std::vector<double> columns;
+
+    static DatasetOrder build(const Dataset &data);
+
+    std::size_t rows() const { return _rows; }
+    const std::uint32_t *feature(int f) const
+    {
+        return sorted.data() + static_cast<std::size_t>(f) * _rows;
+    }
+    const double *column(int f) const
+    {
+        return columns.data() + static_cast<std::size_t>(f) * _rows;
+    }
+
+  private:
+    std::size_t _rows = 0;
+};
+
 /** Tree growth hyper-parameters. */
 struct TreeOptions
 {
@@ -43,6 +76,15 @@ struct TreeOptions
     int minSamplesSplit = 6;
     /** Features tried per split; <=0 means all features. */
     int mtry = 0;
+    /**
+     * Test hook: use the legacy per-node-sort split scan instead of
+     * the presorted engine (TreeBuilder). Both paths are specified to
+     * produce bit-identical trees — ties visit in canonical row order,
+     * sums accumulate in the same sequence — and the equivalence is
+     * pinned by fuzz tests; the legacy scan is kept compiled in only
+     * as that reference.
+     */
+    bool legacySplitScan = false;
 };
 
 /**
@@ -53,11 +95,22 @@ class DecisionTree
   public:
     /**
      * Fit on the rows of @p data selected by @p rows (duplicates allowed,
-     * as produced by bootstrap sampling). @p rng drives feature
-     * subsetting when opts.mtry > 0.
+     * as produced by bootstrap sampling; order is irrelevant — rows are
+     * canonicalized to ascending order before fitting). @p rng drives
+     * feature subsetting when opts.mtry > 0.
      */
     void fit(const Dataset &data, std::span<const std::uint32_t> rows,
              const TreeOptions &opts, Pcg32 &rng);
+
+    /**
+     * Same, with a precomputed DatasetOrder for @p data. The forest
+     * passes one shared order so no tree ever sorts; the four-argument
+     * overload builds a private one per call. The fitted tree is
+     * identical either way.
+     */
+    void fit(const Dataset &data, std::span<const std::uint32_t> rows,
+             const TreeOptions &opts, Pcg32 &rng,
+             const DatasetOrder *order);
 
     /** Predict one sample; fatal if the tree has not been fitted. */
     double predict(const FeatureVector &f) const;
@@ -89,10 +142,11 @@ class DecisionTree
     const std::vector<Node> &nodes() const { return _nodes; }
 
   private:
+    /** Legacy per-node-sort recursion (TreeOptions::legacySplitScan). */
     std::int32_t build(const Dataset &data,
                        std::vector<std::uint32_t> &rows, std::size_t begin,
                        std::size_t end, int depth, const TreeOptions &opts,
-                       Pcg32 &rng);
+                       Pcg32 &rng, std::vector<std::uint32_t> &scratch);
 
     std::vector<Node> _nodes;
     int _depth = 0;

@@ -300,6 +300,45 @@ FlatForest::predictBatch(std::span<const FeatureVector> x,
         v /= trees;
 }
 
+void
+FlatForest::predictTreeBatch(std::size_t tree,
+                             std::span<const FeatureVector> x,
+                             std::span<const std::uint32_t> rows,
+                             std::span<double> out) const
+{
+    GPUPM_ASSERT(compiled(), "predict on an uncompiled FlatForest");
+    GPUPM_ASSERT(tree < _roots.size(), "tree index out of range");
+    GPUPM_ASSERT(out.size() == rows.size(),
+                 "predictTreeBatch output size mismatch");
+
+    const Node *const nodes = _nodes.data();
+    const std::int32_t *const leaf_idx = _leafIdx.data();
+    const double *const leaf = _leafValue.data();
+    const std::uint32_t root = _roots[tree];
+    const std::uint16_t depth = _depths[tree];
+    const std::size_t n = rows.size();
+
+    std::size_t q = 0;
+    for (; q + 8 <= n; q += 8) {
+        const double *feat[8];
+        std::uint32_t idx[8];
+        for (std::size_t w = 0; w < 8; ++w) {
+            feat[w] = x[rows[q + w]].data();
+            idx[w] = root;
+        }
+        walk(nodes, idx, feat, depth);
+        for (std::size_t w = 0; w < 8; ++w)
+            out[q + w] = leaf[leaf_idx[idx[w]]];
+    }
+    for (; q < n; ++q) {
+        const double *const f = x[rows[q]].data();
+        std::uint32_t i = root;
+        for (std::uint16_t d = 0; d < depth; ++d)
+            i = step(nodes, i, f);
+        out[q] = leaf[leaf_idx[i]];
+    }
+}
+
 double
 FlatForest::predictOne(const FeatureVector &f,
                        std::span<double> leaf_scratch) const

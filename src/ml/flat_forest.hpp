@@ -101,6 +101,20 @@ class FlatForest
     /** Single-query convenience over the same flat traversal. */
     double predict(const FeatureVector &f) const;
 
+    /**
+     * One tree's predictions for selected rows of a dataset:
+     * out[j] = tree @p tree evaluated on x[rows[j]]. Exact leaf values
+     * (no averaging), bit-identical to DecisionTree::predict on that
+     * tree. This is the out-of-bag accumulation path: the forest is
+     * compiled once after fitting and each tree streams its own OOB
+     * row set through its slice of the arena, eight walkers at a time,
+     * with no per-tree compile and no feature gathering.
+     */
+    void predictTreeBatch(std::size_t tree,
+                          std::span<const FeatureVector> x,
+                          std::span<const std::uint32_t> rows,
+                          std::span<double> out) const;
+
   private:
     /** Packed traversal record; see file comment for the layout. */
     struct Node

@@ -1,12 +1,15 @@
 #include "ml/random_forest.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <span>
 #include <string>
 
 #include "common/logging.hpp"
+#include "exec/thread_pool.hpp"
 #include "ml/flat_forest.hpp"
 
 namespace gpupm::ml {
@@ -14,53 +17,97 @@ namespace gpupm::ml {
 void
 RandomForest::fit(const Dataset &data, const ForestOptions &opts)
 {
+    if (opts.jobs == 1) {
+        fit(data, opts, nullptr);
+    } else {
+        exec::ThreadPool pool(exec::ThreadPool::resolveJobs(opts.jobs));
+        fit(data, opts, &pool);
+    }
+}
+
+void
+RandomForest::fit(const Dataset &data, const ForestOptions &opts,
+                  exec::ThreadPool *pool)
+{
     GPUPM_ASSERT(data.size() > 0, "cannot fit forest on empty dataset");
     GPUPM_ASSERT(opts.numTrees > 0, "numTrees must be positive");
 
-    _trees.assign(static_cast<std::size_t>(opts.numTrees), {});
+    const auto trees = static_cast<std::size_t>(opts.numTrees);
+    _trees.assign(trees, {});
 
     const std::size_t n = data.size();
     const auto sample_size = static_cast<std::size_t>(
         std::max(1.0, opts.sampleFraction * static_cast<double>(n)));
 
+    // Every bootstrap row set and per-tree rng stream is drawn
+    // serially up front — drawing is a trivial fraction of fitting —
+    // so tree t's inputs depend only on (seed, t), never on which
+    // worker runs it or in what order. This is what makes the fitted
+    // forest byte-identical at any job count (the PR 1 sweep-engine
+    // determinism pattern).
+    std::vector<std::uint32_t> bootstrap(trees * sample_size);
+    std::vector<Pcg32> tree_rng;
+    tree_rng.reserve(trees);
+    Pcg32 rng(opts.seed, 0xf042e57ULL);
+    for (std::size_t t = 0; t < trees; ++t) {
+        const auto rows =
+            std::span(bootstrap).subspan(t * sample_size, sample_size);
+        for (auto &r : rows)
+            r = rng.nextBounded(static_cast<std::uint32_t>(n));
+        tree_rng.push_back(rng.split());
+    }
+
+    // Sort each feature's row order once for the whole forest; every
+    // tree derives its bootstrap orders from this shared view by linear
+    // expansion (see TreeBuilder), so fitting never sorts again.
+    const DatasetOrder order = DatasetOrder::build(data);
+
+    const auto fit_tree = [&](std::size_t t) {
+        const auto rows =
+            std::span(bootstrap).subspan(t * sample_size, sample_size);
+        _trees[t].fit(data, rows, opts.tree, tree_rng[t], &order);
+    };
+    if (pool) {
+        pool->parallelFor(trees, fit_tree);
+    } else {
+        for (std::size_t t = 0; t < trees; ++t)
+            fit_tree(t);
+    }
+
+    // OOB accumulation: compile the fitted forest once (not once per
+    // tree) and stream each tree's out-of-bag rows through its slice
+    // of the arena. Per-tree predictions are exact leaf values, so
+    // computing them in parallel and then reducing serially in tree
+    // order reproduces the serial trainer's sums bit-for-bit.
+    const FlatForest flat = FlatForest::compile(*this);
+    std::vector<std::vector<std::uint32_t>> oob_rows(trees);
+    std::vector<std::vector<double>> oob_pred(trees);
+    const auto oob_tree = [&](std::size_t t) {
+        std::vector<char> in_bag(n, 0);
+        const auto rows =
+            std::span(bootstrap).subspan(t * sample_size, sample_size);
+        for (const auto r : rows)
+            in_bag[r] = 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!in_bag[i])
+                oob_rows[t].push_back(static_cast<std::uint32_t>(i));
+        }
+        oob_pred[t].resize(oob_rows[t].size());
+        flat.predictTreeBatch(t, data.x, oob_rows[t], oob_pred[t]);
+    };
+    if (pool) {
+        pool->parallelFor(trees, oob_tree);
+    } else {
+        for (std::size_t t = 0; t < trees; ++t)
+            oob_tree(t);
+    }
+
     std::vector<double> oob_sum(n, 0.0);
     std::vector<int> oob_count(n, 0);
-    std::vector<char> in_bag(n);
-    std::vector<std::uint32_t> rows(sample_size);
-
-    // OOB accumulation scratch: each tree's out-of-bag rows are
-    // gathered and pushed through the flat batched engine in one pass
-    // (bit-identical to per-row DecisionTree::predict, in row order).
-    std::vector<FeatureVector> oob_x;
-    std::vector<std::uint32_t> oob_rows;
-    std::vector<double> oob_pred;
-    oob_x.reserve(n);
-    oob_rows.reserve(n);
-    oob_pred.reserve(n);
-
-    Pcg32 rng(opts.seed, 0xf042e57ULL);
-    for (auto &tree : _trees) {
-        std::fill(in_bag.begin(), in_bag.end(), 0);
-        for (auto &r : rows) {
-            r = rng.nextBounded(static_cast<std::uint32_t>(n));
-            in_bag[r] = 1;
-        }
-        Pcg32 tree_rng = rng.split();
-        tree.fit(data, rows, opts.tree, tree_rng);
-
-        oob_x.clear();
-        oob_rows.clear();
-        for (std::size_t i = 0; i < n; ++i) {
-            if (!in_bag[i]) {
-                oob_x.push_back(data.x[i]);
-                oob_rows.push_back(static_cast<std::uint32_t>(i));
-            }
-        }
-        oob_pred.resize(oob_x.size());
-        FlatForest::compile(tree).predictBatch(oob_x, oob_pred);
-        for (std::size_t j = 0; j < oob_rows.size(); ++j) {
-            oob_sum[oob_rows[j]] += oob_pred[j];
-            ++oob_count[oob_rows[j]];
+    for (std::size_t t = 0; t < trees; ++t) {
+        for (std::size_t j = 0; j < oob_rows[t].size(); ++j) {
+            oob_sum[oob_rows[t][j]] += oob_pred[t][j];
+            ++oob_count[oob_rows[t][j]];
         }
     }
 
@@ -101,7 +148,15 @@ RandomForest::oobMape(const Dataset &data) const
         s += std::fabs((data.y[i] - *_oob[i]) / data.y[i]);
         ++n;
     }
-    return n ? 100.0 * s / static_cast<double>(n) : 0.0;
+    if (n == 0) {
+        // Every row was skipped (no OOB votes, or near-zero targets).
+        // 0.0 would read as "perfect accuracy"; report "no data" the
+        // same way the size-mismatch guard above does.
+        GPUPM_WARN("oobMape: every row skipped (no OOB votes or "
+                   "near-zero targets)");
+        return std::numeric_limits<double>::quiet_NaN();
+    }
+    return 100.0 * s / static_cast<double>(n);
 }
 
 void

@@ -15,6 +15,10 @@
 
 #include "ml/decision_tree.hpp"
 
+namespace gpupm::exec {
+class ThreadPool;
+}
+
 namespace gpupm::ml {
 
 /** Forest hyper-parameters. */
@@ -25,6 +29,13 @@ struct ForestOptions
     /** Bootstrap sample size as a fraction of the dataset. */
     double sampleFraction = 1.0;
     std::uint64_t seed = 0x5eedf0425ULL;
+    /**
+     * Worker threads for tree fitting (1 = serial, 0 = hardware
+     * concurrency). Every bootstrap row set and per-tree rng stream is
+     * drawn serially up front, so the fitted forest — including its
+     * OOB predictions — is byte-identical at every value.
+     */
+    std::size_t jobs = 1;
 
     /** Defaults tuned on the training corpus (see bench_rf_accuracy). */
     static ForestOptions
@@ -39,8 +50,17 @@ struct ForestOptions
 class RandomForest
 {
   public:
-    /** Fit the forest; deterministic in opts.seed. */
+    /** Fit the forest; deterministic in opts.seed (at any opts.jobs). */
     void fit(const Dataset &data, const ForestOptions &opts);
+
+    /**
+     * Fit on a caller-provided pool (opts.jobs is ignored; null pool =
+     * serial). Lets several forests share one pool and fit
+     * concurrently — the trainer fits the time and power forests this
+     * way. Same determinism contract as the two-argument overload.
+     */
+    void fit(const Dataset &data, const ForestOptions &opts,
+             exec::ThreadPool *pool);
 
     /** Mean prediction over all trees. */
     double predict(const FeatureVector &f) const;

@@ -235,13 +235,28 @@ trainRandomForestPredictor(const TrainerOptions &opts,
         }
     }
 
-    ForestOptions fopts = opts.forest;
-    fopts.seed = opts.seed ^ 0x1ee7ULL;
+    ForestOptions time_opts = opts.forest;
+    time_opts.jobs = opts.jobs;
+    time_opts.seed = opts.seed ^ 0x1ee7ULL;
+    ForestOptions power_opts = opts.forest;
+    power_opts.jobs = opts.jobs;
+    power_opts.seed = opts.seed ^ 0x9ab3ULL;
+
     RandomForest time_forest;
-    time_forest.fit(time_data, fopts);
-    fopts.seed = opts.seed ^ 0x9ab3ULL;
     RandomForest power_forest;
-    power_forest.fit(power_data, fopts);
+    if (auto *pool = engine.pool()) {
+        // Both forests fit concurrently on the engine's pool, each
+        // fanning its trees across the same workers. Per-tree inputs
+        // are pre-drawn serially inside fit(), so the result is
+        // byte-identical to the serial path at any job count.
+        auto time_done = pool->submit(
+            [&] { time_forest.fit(time_data, time_opts, pool); });
+        power_forest.fit(power_data, power_opts, pool);
+        time_done.get();
+    } else {
+        time_forest.fit(time_data, time_opts, nullptr);
+        power_forest.fit(power_data, power_opts, nullptr);
+    }
 
     if (report) {
         // Time OOB error is on the log-rate target; the proxy factor

@@ -77,10 +77,12 @@ struct TrainerOptions
     /** Keep every config (1) or sample every k-th config (k>1). */
     int configStride = 1;
     /**
-     * Worker threads for dataset generation (1 = serial, 0 = hardware
-     * concurrency). The dataset — and therefore the fitted forests —
-     * is bit-identical for every value: rows are produced per kernel
-     * and appended in corpus order.
+     * Worker threads for dataset generation and forest fitting
+     * (1 = serial, 0 = hardware concurrency). Output is bit-identical
+     * for every value: dataset rows are produced per kernel and
+     * appended in corpus order, both forests fit concurrently from
+     * serially pre-drawn bootstrap samples and rng streams, and OOB
+     * sums reduce in tree order (see ForestOptions::jobs).
      */
     std::size_t jobs = 1;
     ForestOptions forest = ForestOptions::regressionDefaults();

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include <numeric>
+#include <sstream>
 
 #include "ml/decision_tree.hpp"
 
@@ -165,6 +166,64 @@ TEST(DecisionTree, PredictBeforeFitDies)
 {
     DecisionTree t;
     EXPECT_DEATH(t.predict(fv(0.0)), "unfitted");
+}
+
+TEST(DecisionTree, PresortedMatchesLegacyScanOnFuzzedData)
+{
+    // The presorted engine must reproduce the legacy per-node-sort
+    // scan bit-for-bit: same splits, same thresholds, same leaf sums.
+    // Fuzz across shapes that stress tie handling — discrete features
+    // (heavy value ties across rows with different targets), exactly
+    // duplicated rows, and bootstrap row multisets.
+    Pcg32 fuzz(0xf0225eedULL);
+    for (int iter = 0; iter < 40; ++iter) {
+        const std::size_t n = 30 + fuzz.nextBounded(250);
+        Dataset d;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i > 0 && fuzz.nextBounded(5) == 0) {
+                // Exact duplicate of an earlier row.
+                const auto j = fuzz.nextBounded(static_cast<std::uint32_t>(i));
+                d.add(d.x[j], d.y[j]);
+                continue;
+            }
+            FeatureVector f{};
+            for (int k = 0; k < numFeatures; ++k) {
+                f[static_cast<std::size_t>(k)] =
+                    (k % 2) ? static_cast<double>(fuzz.nextBounded(4))
+                            : fuzz.uniform(0.0, 8.0);
+            }
+            d.add(f, fuzz.uniform(-5.0, 5.0));
+        }
+
+        // Bootstrap-style row multiset (duplicates, arbitrary order).
+        std::vector<std::uint32_t> rows(n);
+        for (auto &r : rows)
+            r = fuzz.nextBounded(static_cast<std::uint32_t>(n));
+
+        TreeOptions opts;
+        opts.maxDepth = 2 + static_cast<int>(fuzz.nextBounded(12));
+        opts.minSamplesLeaf = 1 + static_cast<int>(fuzz.nextBounded(4));
+        opts.minSamplesSplit = 2 + static_cast<int>(fuzz.nextBounded(6));
+        opts.mtry = static_cast<int>(fuzz.nextBounded(numFeatures + 1));
+
+        const std::uint64_t seed = fuzz.nextU32();
+        Pcg32 presorted_rng(seed, 0x7e57);
+        Pcg32 legacy_rng(seed, 0x7e57);
+        DecisionTree presorted, legacy;
+        presorted.fit(d, rows, opts, presorted_rng);
+        TreeOptions legacy_opts = opts;
+        legacy_opts.legacySplitScan = true;
+        legacy.fit(d, rows, legacy_opts, legacy_rng);
+
+        std::ostringstream a, b;
+        presorted.save(a);
+        legacy.save(b);
+        ASSERT_EQ(a.str(), b.str())
+            << "iter " << iter << " n=" << n << " mtry=" << opts.mtry
+            << " maxDepth=" << opts.maxDepth;
+        // Both paths must also leave the rng in the same state.
+        EXPECT_EQ(presorted_rng.nextU32(), legacy_rng.nextU32());
+    }
 }
 
 TEST(DecisionTree, ApproximatesSmoothFunction)

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "common/stats.hpp"
 #include "ml/random_forest.hpp"
@@ -132,6 +133,55 @@ TEST(RandomForest, EnsembleBeatsSingleTreeOnNoise)
         err_many += std::fabs(forest.predict(test.x[i]) - test.y[i]);
     }
     EXPECT_LT(err_many, err_one);
+}
+
+TEST(RandomForest, ParallelFitByteIdentical)
+{
+    // Bootstrap sets and per-tree rng streams are pre-drawn serially,
+    // so the fitted forest — trees and OOB predictions — must be
+    // byte-identical at every job count.
+    auto d = noisyLinearData(600, 11);
+    ForestOptions opts;
+    opts.numTrees = 12;
+    opts.tree.mtry = 1;
+    opts.seed = 42;
+    RandomForest serial;
+    serial.fit(d, opts); // jobs = 1, exact serial path
+    std::ostringstream ref;
+    serial.save(ref);
+
+    for (const std::size_t jobs : {2u, 8u}) {
+        ForestOptions par_opts = opts;
+        par_opts.jobs = jobs;
+        RandomForest parallel;
+        parallel.fit(d, par_opts);
+        std::ostringstream got;
+        parallel.save(got);
+        EXPECT_EQ(ref.str(), got.str()) << "jobs=" << jobs;
+
+        const auto &a = serial.oobPredictions();
+        const auto &b = parallel.oobPredictions();
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            ASSERT_EQ(a[i].has_value(), b[i].has_value()) << i;
+            if (a[i])
+                EXPECT_EQ(*a[i], *b[i]) << i;
+        }
+    }
+}
+
+TEST(RandomForest, OobMapeNaNWhenEveryRowSkipped)
+{
+    // All-zero targets: every OOB row fails the |y| > 1e-12 guard, so
+    // there is nothing to score. 0.0 would read as perfect accuracy.
+    Dataset d;
+    for (int i = 0; i < 50; ++i)
+        d.add(fv(static_cast<double>(i)), 0.0);
+    RandomForest rf;
+    ForestOptions opts;
+    opts.numTrees = 8;
+    rf.fit(d, opts);
+    EXPECT_TRUE(std::isnan(rf.oobMape(d)));
 }
 
 TEST(RandomForest, TotalNodesCounted)

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "kernel/perf_model.hpp"
 
+#include "ml/serialize.hpp"
 #include "ml/trainer.hpp"
 #include "workload/training.hpp"
 
@@ -82,6 +85,29 @@ TEST(Trainer, DeterministicInSeed)
     const auto pb = b->predict(q, c);
     EXPECT_DOUBLE_EQ(pa.time, pb.time);
     EXPECT_DOUBLE_EQ(pa.gpuPower, pb.gpuPower);
+}
+
+TEST(Trainer, JobsByteIdenticalModel)
+{
+    // The whole pipeline — dataset generation, both forest fits, OOB —
+    // must produce a byte-identical predictor at any job count.
+    TrainerOptions serial = smallOptions();
+    serial.jobs = 1;
+    TrainingReport serial_rep;
+    auto a = trainRandomForestPredictor(serial, &serial_rep);
+
+    TrainerOptions parallel = smallOptions();
+    parallel.jobs = 8;
+    TrainingReport parallel_rep;
+    auto b = trainRandomForestPredictor(parallel, &parallel_rep);
+
+    std::ostringstream sa, sb;
+    saveRandomForest(*a, sa);
+    saveRandomForest(*b, sb);
+    EXPECT_EQ(sa.str(), sb.str());
+    EXPECT_EQ(serial_rep.timeOobMapePct, parallel_rep.timeOobMapePct);
+    EXPECT_EQ(serial_rep.powerOobMapePct, parallel_rep.powerOobMapePct);
+    EXPECT_EQ(serial_rep.datasetRows, parallel_rep.datasetRows);
 }
 
 TEST(Trainer, ReasonableInDistributionAccuracy)

@@ -77,8 +77,8 @@ cmdTrain(int argc, const char *const *argv)
     flags.addInt("trees", 60, "trees per forest");
     flags.addInt("stride", 1, "use every k-th configuration");
     flags.addInt("jobs", 0,
-                 "dataset-generation workers (0 = hardware "
-                 "concurrency, 1 = serial; output is identical)");
+                 "dataset-generation and forest-fitting workers (0 = "
+                 "hardware concurrency, 1 = serial; output is identical)");
     if (!flags.parse(argc, argv)) {
         std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
                   << flags.usage();

@@ -10,6 +10,10 @@
 #
 #   tools/run_sanitizers.sh -R 'FlatForest|RandomForest|Trainer'
 #
+# or the parallel-training path (presorted engine + per-tree streams):
+#
+#   tools/run_sanitizers.sh -R 'DecisionTree|RandomForest|Trainer|ThreadPool'
+#
 # Each sanitizer gets its own build tree (build-tsan/, build-asan/) so
 # the regular build/ stays untouched.
 set -euo pipefail
