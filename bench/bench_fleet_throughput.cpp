@@ -1,0 +1,140 @@
+/**
+ * @file
+ * google-benchmark throughput study of the fleet decision server
+ * (serve::runFleet) against the naive one-session-at-a-time baseline.
+ *
+ * The baseline disables everything the serve subsystem adds: no
+ * per-session kernel cache (kernelCacheCap = 0, so every decision
+ * re-walks the forests through the predictor's one-entry thread_local
+ * memo, which thrashes under session interleaving) and no inference
+ * broker. The served configuration is the server's default: per-session
+ * multi-kernel prediction memos plus cross-session batched FlatForest
+ * walks. Both run the identical fleet workload and produce
+ * byte-identical traces (pinned by test_fleet_determinism); only the
+ * decisions-per-second differ.
+ *
+ * The committed baseline lives at docs/perf/BENCH_fleet.json
+ * (sessions = 1, 8, 64); regenerate with:
+ *
+ *     ./build/bench/bench_fleet_throughput \
+ *         --benchmark_out=docs/perf/BENCH_fleet.json \
+ *         --benchmark_out_format=json
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "ml/trainer.hpp"
+#include "serve/server.hpp"
+
+using namespace gpupm;
+
+namespace {
+
+/** The bench-standard forest (same shape as bench_micro_runtime). */
+std::shared_ptr<const ml::RandomForestPredictor>
+forest()
+{
+    static std::shared_ptr<const ml::RandomForestPredictor> rf = [] {
+        ml::TrainerOptions opts;
+        opts.corpusSize = 24;
+        opts.configStride = 3;
+        opts.forest.numTrees = 60;
+        return std::shared_ptr<const ml::RandomForestPredictor>(
+            ml::trainRandomForestPredictor(opts));
+    }();
+    return rf;
+}
+
+serve::FleetOptions
+fleet(std::size_t sessions)
+{
+    serve::FleetOptions opts;
+    // Regular repeating benchmarks: the serving workload the session
+    // cache is designed for. Sessions interleave on the workers, so
+    // the raw predictor's one-entry thread_local memo thrashes while
+    // the per-session caches keep hitting.
+    opts.apps = {"mandelbulbGPU", "NBody"};
+    opts.sessionCount = sessions;
+    opts.cpuPhaseJitter = 0.3;
+    opts.seed = 0x90d1ULL;
+    return opts;
+}
+
+void
+report(benchmark::State &state, const serve::FleetResult &last,
+       std::size_t decisions)
+{
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * decisions));
+    state.counters["decisions_per_s"] = benchmark::Counter(
+        static_cast<double>(state.iterations() * decisions),
+        benchmark::Counter::kIsRate);
+    const auto it =
+        last.metrics.histograms.find("broker.batch_requests");
+    state.counters["batch_mean_requests"] =
+        it != last.metrics.histograms.end() ? it->second.mean : 1.0;
+}
+
+/**
+ * Naive serving: one worker steps sessions round-robin with no session
+ * cache and no broker - what hosting N tenants on the raw predictor
+ * costs.
+ */
+void
+BM_FleetNaiveSequential(benchmark::State &state)
+{
+    const auto sessions = static_cast<std::size_t>(state.range(0));
+    auto opts = fleet(sessions);
+    opts.server.jobs = 1;
+    opts.server.batching = false;
+    opts.session.kernelCacheCap = 0;
+
+    forest(); // train outside the timed region
+    serve::FleetResult last;
+    for (auto _ : state)
+        last = serve::runFleet(forest(), opts);
+    report(state, last, last.decisions);
+}
+// UseRealTime: the fleet runs on the server's worker threads while the
+// driver blocks, so wall clock (not the driver's CPU time) is the
+// meaningful denominator for the rate counters.
+BENCHMARK(BM_FleetNaiveSequential)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The fleet server's default path: per-session kernel memos, misses
+ * coalesced across sessions by the inference broker.
+ */
+void
+BM_FleetServed(benchmark::State &state)
+{
+    const auto sessions = static_cast<std::size_t>(state.range(0));
+    auto opts = fleet(sessions);
+    // Eight workers regardless of core count: on a small host the
+    // oversubscription costs nothing (decisions time-slice) and keeps
+    // several decisions in flight, which is what lets the broker
+    // coalesce their evaluations (see batch_mean_requests).
+    opts.server.jobs = 8;
+
+    forest(); // train outside the timed region
+    serve::FleetResult last;
+    for (auto _ : state)
+        last = serve::runFleet(forest(), opts);
+    report(state, last, last.decisions);
+}
+BENCHMARK(BM_FleetServed)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

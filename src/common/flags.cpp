@@ -1,5 +1,7 @@
 #include "common/flags.hpp"
 
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <sstream>
 
@@ -33,8 +35,17 @@ void
 FlagParser::addInt(const std::string &name, int default_value,
                    std::string help)
 {
-    _flags[name] = Flag{Kind::Int, std::move(help),
-                        std::to_string(default_value), {}};
+    addInt(name, default_value, std::move(help), INT_MIN, INT_MAX);
+}
+
+void
+FlagParser::addInt(const std::string &name, int default_value,
+                   std::string help, int min_value, int max_value)
+{
+    _flags[name] = Flag{Kind::Int,     std::move(help),
+                        std::to_string(default_value),
+                        {},            min_value,
+                        max_value};
 }
 
 void
@@ -82,14 +93,41 @@ FlagParser::parse(int argc, const char *const *argv)
             _error = "flag --" + name + " needs a value";
             return false;
         }
-        // Validate numeric values eagerly.
-        if (flag.kind == Kind::Double || flag.kind == Kind::Int) {
+        // Validate numeric values eagerly, so tools report bad input
+        // at parse time with the flag name instead of silently running
+        // with an atoi() fallback value.
+        if (flag.kind == Kind::Double) {
             char *end = nullptr;
             const std::string &v = *flag.value;
             std::strtod(v.c_str(), &end);
             if (end == v.c_str() || *end != '\0') {
                 _error = "flag --" + name + " expects a number, got '" +
                          v + "'";
+                return false;
+            }
+        } else if (flag.kind == Kind::Int) {
+            char *end = nullptr;
+            const std::string &v = *flag.value;
+            errno = 0;
+            const long long parsed = std::strtoll(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0') {
+                _error = "flag --" + name + " expects an integer, got '" +
+                         v + "'";
+                return false;
+            }
+            if (errno == ERANGE || parsed < flag.minValue ||
+                parsed > flag.maxValue) {
+                if (flag.maxValue == INT_MAX) {
+                    _error = "flag --" + name + " must be at least " +
+                             std::to_string(flag.minValue) + ", got " + v;
+                } else if (flag.minValue == INT_MIN) {
+                    _error = "flag --" + name + " must be at most " +
+                             std::to_string(flag.maxValue) + ", got " + v;
+                } else {
+                    _error = "flag --" + name + " must be between " +
+                             std::to_string(flag.minValue) + " and " +
+                             std::to_string(flag.maxValue) + ", got " + v;
+                }
                 return false;
             }
         }

@@ -28,6 +28,14 @@ class FlagParser
                    std::string help);
     void addInt(const std::string &name, int default_value,
                 std::string help);
+    /**
+     * Integer flag with an accepted [min, max] range; out-of-range
+     * values are parse errors with a message naming the bound. Integer
+     * flags always reject non-integer text ("1.5", "8x", "") - use
+     * addDouble for fractional values.
+     */
+    void addInt(const std::string &name, int default_value,
+                std::string help, int min_value, int max_value);
     void addBool(const std::string &name, std::string help);
 
     /**
@@ -62,6 +70,9 @@ class FlagParser
         std::string help;
         std::string defaultValue;
         std::optional<std::string> value;
+        /** Accepted range for Kind::Int (validated at parse time). */
+        int minValue = 0;
+        int maxValue = 0;
     };
 
     const Flag &flagOrDie(const std::string &name, Kind kind) const;

@@ -34,10 +34,19 @@ ThreadPool::ThreadPool(std::size_t threads)
         _workers.emplace_back([this, i] { workerLoop(i); });
 }
 
-ThreadPool::~ThreadPool()
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void
+ThreadPool::shutdown()
 {
+    if (_workers.empty())
+        return; // Sequentially idempotent: already shut down.
     {
-        // Drain: queued work is executed, never dropped.
+        // Drain: queued work is executed, never dropped. _inFlight
+        // counts posted-but-unfinished tasks, including tasks posted by
+        // running tasks, so the wait covers nested submission chains.
+        // A post() that wins the race against this wait is part of the
+        // drain; one that loses trips the !_stopping assertion.
         std::unique_lock lock(_mutex);
         _idleCv.wait(lock, [this] { return _inFlight == 0; });
         _stopping = true;
@@ -45,6 +54,7 @@ ThreadPool::~ThreadPool()
     _cv.notify_all();
     for (auto &w : _workers)
         w.join();
+    _workers.clear();
 }
 
 bool

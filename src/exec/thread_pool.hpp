@@ -8,10 +8,15 @@
  * Tasks submitted from inside a worker land on that worker's local
  * queue, so nested submission never blocks the submitting task.
  *
- * Lifetime contract: the destructor first drains every task that was
- * submitted (queued work is executed, not dropped) and then joins the
- * workers, so destroying a pool with queued work cannot deadlock or
- * lose work. Exceptions thrown by tasks propagate through the
+ * Lifetime contract (drain-or-assert): shutdown() - which the
+ * destructor calls - first drains every task that was submitted (queued
+ * work is executed, not dropped) and then joins the workers, so
+ * shutting down a pool with queued work cannot deadlock or lose work.
+ * A post() racing shutdown resolves deterministically to one of two
+ * outcomes: it lands before the drain completes, in which case the
+ * drain waits for it and the task runs, or it observes the stopping
+ * pool and trips a fatal assertion. A task is never accepted and then
+ * silently dropped. Exceptions thrown by tasks propagate through the
  * associated std::future (submit) or are rethrown to the caller
  * (parallelFor, first exception wins).
  */
@@ -39,8 +44,18 @@ class ThreadPool
      */
     explicit ThreadPool(std::size_t threads = 0);
 
-    /** Drains all submitted work, then joins the workers. */
+    /** Equivalent to shutdown(). */
     ~ThreadPool();
+
+    /**
+     * Drain all submitted work (queued tasks are executed, and tasks
+     * they post during the drain too), then join the workers. After it
+     * returns the pool is empty and post() is a fatal assertion.
+     * Idempotent for sequential calls (an explicit shutdown followed by
+     * destruction is fine); concurrent shutdown calls are not
+     * supported - the owner shuts the pool down.
+     */
+    void shutdown();
 
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;

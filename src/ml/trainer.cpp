@@ -36,6 +36,20 @@ RandomForestPredictor::predict(const PredictionQuery &q,
     return p;
 }
 
+void
+RandomForestPredictor::predictRows(std::span<const FeatureVector> rows,
+                                   std::span<double> time_log,
+                                   std::span<double> gpu_power) const
+{
+    GPUPM_ASSERT(time_log.size() == rows.size() &&
+                     gpu_power.size() == rows.size(),
+                 "predictRows output size mismatch");
+    if (rows.empty())
+        return;
+    _timeFlat.predictBatch(rows, time_log);
+    _powerFlat.predictBatch(rows, gpu_power);
+}
+
 namespace {
 
 /**

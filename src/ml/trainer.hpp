@@ -51,6 +51,25 @@ class RandomForestPredictor : public PerfPowerPredictor
                       std::span<const hw::HwConfig> cs,
                       std::span<Prediction> out) const override;
 
+    /**
+     * Broker hook: raw forest outputs for prebuilt feature rows that
+     * may mix *different kernels* in one batch. predictBatch scores one
+     * kernel against many configs; an inference broker coalescing
+     * requests from many concurrent sessions needs the transpose - many
+     * (kernel, config) rows walked tree-major in a single pass. Each
+     * row is combineFeatures(makeKernelFeatures(counters),
+     * configFeatures(config)); time_log[i] receives the time forest's
+     * log(seconds-per-instruction) output (callers scale by
+     * std::exp(time_log[i]) * instructionProxy(counters)), gpu_power[i]
+     * the power forest's Watts. Per-row results are bit-identical to
+     * predict()/predictBatch() on the same (counters, config): FlatForest
+     * rows are evaluated independently, so batch composition never
+     * changes a result. Stateless and safe to call concurrently.
+     */
+    void predictRows(std::span<const FeatureVector> rows,
+                     std::span<double> time_log,
+                     std::span<double> gpu_power) const;
+
     std::string name() const override { return "RF"; }
 
     const RandomForest &timeForest() const { return _time; }

@@ -93,9 +93,16 @@ MpcGovernor::decide(std::size_t index)
         _stats.overheadTime += d.overheadTime;
         _stats.evaluations += _ppk.lastEvaluationCount();
         _stats.uniqueEvaluations += _ppk.lastEvaluationCount();
+        if (_onDecision) {
+            _onDecision({index, 0, _ppk.lastEvaluationCount(),
+                         _ppk.lastEvaluationCount(), true, d.config,
+                         d.overheadTime});
+        }
         return d;
     }
 
+    const std::size_t evals_before = _stats.evaluations;
+    const std::size_t unique_before = _stats.uniqueEvaluations;
     const std::size_t h = horizonFor(index);
     _stats.horizonSum += static_cast<double>(h);
     ++_stats.decisions;
@@ -131,6 +138,11 @@ MpcGovernor::decide(std::size_t index)
 
     _pendingCharged = d.overheadTime;
     _stats.overheadTime += d.overheadTime;
+    if (_onDecision) {
+        _onDecision({index, h, _stats.evaluations - evals_before,
+                     _stats.uniqueEvaluations - unique_before, false,
+                     d.config, d.overheadTime});
+    }
     return d;
 }
 

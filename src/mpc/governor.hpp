@@ -20,6 +20,7 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -57,6 +58,27 @@ struct MpcRunStats
     }
 };
 
+/**
+ * Per-decision event emitted to the decision callback. Run-cumulative
+ * MpcRunStats cannot be reconstructed into per-decision costs by an
+ * outside observer (decisions interleave with observes), so serving
+ * integrations that want per-decision evaluation counts or latency
+ * attribution subscribe here.
+ */
+struct DecisionEvent
+{
+    std::size_t index = 0;
+    /** Optimization window length (0 while profiling or budget-out). */
+    std::size_t horizon = 0;
+    /** Evaluations charged by the overhead model for this decision. */
+    std::size_t evaluations = 0;
+    /** Distinct predictor evaluations after memoization. */
+    std::size_t uniqueEvaluations = 0;
+    bool profiling = false;
+    hw::HwConfig config;
+    Seconds overheadTime = 0.0;
+};
+
 class MpcGovernor : public sim::Governor
 {
   public:
@@ -83,6 +105,17 @@ class MpcGovernor : public sim::Governor
     std::size_t kernelCount() const { return _n; }
 
     const MpcOptions &options() const { return _opts; }
+
+    /**
+     * Subscribe to per-decision events (fired at the end of every
+     * decide(), profiling included). Pass an empty function to
+     * unsubscribe. The callback runs on the deciding thread.
+     */
+    void
+    setDecisionCallback(std::function<void(const DecisionEvent &)> cb)
+    {
+        _onDecision = std::move(cb);
+    }
 
   private:
     sim::Decision fallbackDecide();
@@ -116,6 +149,7 @@ class MpcGovernor : public sim::Governor
     Seconds _pendingExpectedTime = -1.0;
     MpcRunStats _stats;
     std::string _appName;
+    std::function<void(const DecisionEvent &)> _onDecision;
 };
 
 } // namespace gpupm::mpc

@@ -1,0 +1,157 @@
+#include "serve/broker.hpp"
+
+#include "common/logging.hpp"
+
+namespace gpupm::serve {
+
+InferenceBroker::InferenceBroker(
+    std::shared_ptr<const ml::RandomForestPredictor> rf,
+    const BrokerOptions &opts, sim::TelemetryRegistry *telemetry)
+    : _rf(std::move(rf)), _opts(opts)
+{
+    GPUPM_ASSERT(_rf != nullptr, "broker needs a predictor");
+    GPUPM_ASSERT(_opts.maxBatch > 0, "maxBatch must be positive");
+    if (telemetry) {
+        _batchHist = &telemetry->histogram("broker.batch_queries");
+        _reqHist = &telemetry->histogram("broker.batch_requests");
+        _flushFull = &telemetry->counter("broker.flush_full");
+        _flushAllWaiting =
+            &telemetry->counter("broker.flush_all_waiting");
+        _flushDeadline = &telemetry->counter("broker.flush_deadline");
+    }
+}
+
+void
+InferenceBroker::beginDecision()
+{
+    std::lock_guard lock(_mutex);
+    ++_active;
+}
+
+void
+InferenceBroker::endDecision()
+{
+    bool wake = false;
+    {
+        std::lock_guard lock(_mutex);
+        GPUPM_ASSERT(_active > 0, "endDecision without beginDecision");
+        --_active;
+        // Departing may leave every remaining in-flight decision
+        // blocked; wake a waiter to re-check the flush condition.
+        wake = !_pending.empty() && _pending.size() >= _active;
+    }
+    if (wake)
+        _cv.notify_all();
+}
+
+bool
+InferenceBroker::shouldFlushLocked() const
+{
+    if (_pending.empty())
+        return false;
+    if (_pendingQueries >= _opts.maxBatch)
+        return true;
+    // Every client that could still contribute a query is already
+    // blocked on a pending request (each blocked client has exactly
+    // one): waiting longer cannot grow the batch.
+    return _pending.size() >= _active;
+}
+
+void
+InferenceBroker::flushLocked(std::unique_lock<std::mutex> &lock,
+                             sim::TelemetryCounter *reason)
+{
+    // Claim the current pending set; later submissions form the next
+    // batch and are invisible to this flush.
+    std::vector<Pending *> batch;
+    batch.swap(_pending);
+    const std::size_t queries = _pendingQueries;
+    _pendingQueries = 0;
+    if (batch.empty())
+        return;
+    _flushes += 1;
+    _queries += queries;
+    lock.unlock();
+
+    if (_batchHist)
+        _batchHist->record(queries);
+    if (_reqHist)
+        _reqHist->record(batch.size());
+    if (reason)
+        reason->add();
+
+    // Gather rows contiguously, walk both forests tree-major once,
+    // scatter results back. thread_local scratch: concurrent flushes
+    // (one batch mid-walk while the next accumulates and flushes) each
+    // use their own buffers.
+    thread_local std::vector<ml::FeatureVector> rows;
+    thread_local std::vector<double> time_log, gpu_power;
+    rows.clear();
+    rows.reserve(queries);
+    for (const Pending *p : batch)
+        rows.insert(rows.end(), p->rows.begin(), p->rows.end());
+    time_log.resize(queries);
+    gpu_power.resize(queries);
+    _rf->predictRows(rows, time_log, gpu_power);
+
+    std::size_t at = 0;
+    for (Pending *p : batch) {
+        const std::size_t n = p->rows.size();
+        std::copy_n(time_log.begin() + at, n, p->timeLog.begin());
+        std::copy_n(gpu_power.begin() + at, n, p->gpuPower.begin());
+        at += n;
+    }
+
+    lock.lock();
+    for (Pending *p : batch)
+        p->done = true;
+    _cv.notify_all();
+}
+
+void
+InferenceBroker::evaluate(std::span<const ml::FeatureVector> rows,
+                          std::span<double> time_log,
+                          std::span<double> gpu_power)
+{
+    GPUPM_ASSERT(time_log.size() == rows.size() &&
+                     gpu_power.size() == rows.size(),
+                 "evaluate output size mismatch");
+    if (rows.empty())
+        return;
+
+    std::unique_lock lock(_mutex);
+    Pending req{rows, time_log, gpu_power, false};
+    _pending.push_back(&req);
+    _pendingQueries += rows.size();
+
+    while (!req.done) {
+        if (shouldFlushLocked()) {
+            const bool full = _pendingQueries >= _opts.maxBatch;
+            flushLocked(lock, full ? _flushFull : _flushAllWaiting);
+            continue; // re-check: our request may be in a later batch
+        }
+        const auto status = _cv.wait_for(lock, _opts.flushDeadline);
+        if (status == std::cv_status::timeout && !req.done &&
+            !_pending.empty()) {
+            // Safety net: nobody flushed within the deadline (e.g. a
+            // client outside any DecisionScope inflated _active).
+            flushLocked(lock, _flushDeadline);
+        }
+    }
+}
+
+std::size_t
+InferenceBroker::flushCount() const
+{
+    std::lock_guard lock(_mutex);
+    return _flushes;
+}
+
+std::size_t
+InferenceBroker::queryCount() const
+{
+    std::lock_guard lock(_mutex);
+    return _queries;
+}
+
+} // namespace gpupm::serve

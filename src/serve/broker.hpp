@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Continuous-batching inference broker (the fleet server's shared RF
+ * hot path).
+ *
+ * One governor decision emits a *sequence* of small predictor
+ * evaluations (a sensitivity batch, then single climbing steps); a
+ * fleet of sessions deciding concurrently emits many such sequences.
+ * FlatForest::predictBatch is fastest when walked tree-major over a
+ * wide batch, so the broker coalesces the evaluations of all in-flight
+ * decisions into shared predictRows calls:
+ *
+ *  - a client (a worker thread executing one session's decision) wraps
+ *    the decision in a DecisionScope and submits evaluations with
+ *    evaluate(), which blocks until results arrive;
+ *  - submissions accumulate; a flush runs when (a) the pending query
+ *    count reaches maxBatch, (b) *every* in-flight decision is blocked
+ *    waiting - nobody is left to contribute, so waiting longer is pure
+ *    latency - or (c) a request has waited flushDeadline (safety net
+ *    against scope-accounting races; it cannot deadlock);
+ *  - the flushing thread is the client whose submission (or wakeup)
+ *    completed the condition: there is no dedicated broker thread, so
+ *    a serial fleet (--jobs 1) degenerates to direct evaluation with
+ *    zero waiting.
+ *
+ * Determinism: FlatForest evaluates rows independently, so a query's
+ * result is bit-identical however flushes happen to group it - batching
+ * affects latency and throughput, never values. This is what makes the
+ * deterministic fleet mode byte-reproducible at any worker count.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "ml/features.hpp"
+#include "ml/trainer.hpp"
+#include "sim/telemetry_counters.hpp"
+
+namespace gpupm::serve {
+
+struct BrokerOptions
+{
+    /** Flush as soon as this many queries are pending. */
+    std::size_t maxBatch = 512;
+    /** Safety-net flush for requests that waited this long. */
+    std::chrono::microseconds flushDeadline{200};
+};
+
+class InferenceBroker
+{
+  public:
+    /**
+     * @param rf Shared Random Forest predictor (the batched backend).
+     * @param opts Flush policy.
+     * @param telemetry Registry receiving broker metrics; may be null.
+     */
+    InferenceBroker(
+        std::shared_ptr<const ml::RandomForestPredictor> rf,
+        const BrokerOptions &opts = {},
+        sim::TelemetryRegistry *telemetry = nullptr);
+
+    const ml::RandomForestPredictor &predictor() const { return *_rf; }
+
+    /**
+     * Mark the calling thread as executing a governor decision that may
+     * submit evaluations. The all-waiting flush trigger counts these
+     * scopes; forgetting one only delays flushes to the deadline.
+     */
+    void beginDecision();
+    void endDecision();
+
+    /** RAII wrapper for beginDecision/endDecision. */
+    class DecisionScope
+    {
+      public:
+        explicit DecisionScope(InferenceBroker &b) : _b(b)
+        {
+            _b.beginDecision();
+        }
+        ~DecisionScope() { _b.endDecision(); }
+        DecisionScope(const DecisionScope &) = delete;
+        DecisionScope &operator=(const DecisionScope &) = delete;
+
+      private:
+        InferenceBroker &_b;
+    };
+
+    /**
+     * Evaluate feature rows through the shared forests; blocks until a
+     * flush delivers the results. time_log[i] is the time forest's
+     * log-space output for rows[i], gpu_power[i] the power forest's
+     * Watts (see RandomForestPredictor::predictRows). Bit-identical to
+     * a direct predictRows call on the same rows.
+     */
+    void evaluate(std::span<const ml::FeatureVector> rows,
+                  std::span<double> time_log,
+                  std::span<double> gpu_power);
+
+    /** Completed flushes (diagnostics; also mirrored to telemetry). */
+    std::size_t flushCount() const;
+    /** Total queries evaluated. */
+    std::size_t queryCount() const;
+
+  private:
+    struct Pending
+    {
+        std::span<const ml::FeatureVector> rows;
+        std::span<double> timeLog;
+        std::span<double> gpuPower;
+        bool done = false;
+    };
+
+    /** True when a flush must run now (lock held). */
+    bool shouldFlushLocked() const;
+
+    /**
+     * Swap out the pending set, release the lock for the forest walk,
+     * deliver results and wake waiters. Lock held on entry and exit.
+     */
+    void flushLocked(std::unique_lock<std::mutex> &lock,
+                     sim::TelemetryCounter *reason);
+
+    std::shared_ptr<const ml::RandomForestPredictor> _rf;
+    BrokerOptions _opts;
+
+    mutable std::mutex _mutex;
+    std::condition_variable _cv;
+    std::vector<Pending *> _pending;
+    std::size_t _pendingQueries = 0;
+    /** Clients inside a DecisionScope. */
+    std::size_t _active = 0;
+    std::size_t _flushes = 0;
+    std::size_t _queries = 0;
+
+    // Telemetry cells (resolved once; null when no registry given).
+    sim::TelemetryHistogram *_batchHist = nullptr;
+    /** Requests coalesced per flush - the cross-session batching signal
+     *  (queries per flush is large even without coalescing). */
+    sim::TelemetryHistogram *_reqHist = nullptr;
+    sim::TelemetryCounter *_flushFull = nullptr;
+    sim::TelemetryCounter *_flushAllWaiting = nullptr;
+    sim::TelemetryCounter *_flushDeadline = nullptr;
+};
+
+} // namespace gpupm::serve

@@ -1,0 +1,248 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/logging.hpp"
+#include "exec/sweep.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::serve {
+
+FleetServer::FleetServer(
+    std::shared_ptr<const ml::PerfPowerPredictor> predictor,
+    const FleetServerOptions &opts)
+    : _opts(opts),
+      _telemetry(std::make_unique<sim::TelemetryRegistry>()),
+      _queue(opts.queueCapacity)
+{
+    GPUPM_ASSERT(predictor != nullptr, "fleet server needs a predictor");
+
+    auto rf = std::dynamic_pointer_cast<const ml::RandomForestPredictor>(
+        predictor);
+    if (_opts.batching && rf) {
+        _broker = std::make_unique<InferenceBroker>(
+            std::move(rf), _opts.broker, _telemetry.get());
+    }
+    _sessions = std::make_unique<SessionManager>(
+        std::move(predictor), _broker.get(), _opts.sessions, _opts.params,
+        _telemetry.get());
+
+    _decisions = &_telemetry->counter("serve.decisions");
+    _rejected = &_telemetry->counter("serve.rejected_requests");
+    _lost = &_telemetry->counter("serve.lost_sessions");
+    _depthHist = &_telemetry->histogram("serve.queue_depth");
+    _latencyHist = &_telemetry->histogram("serve.decision_latency_ns");
+
+    const std::size_t jobs = exec::ThreadPool::resolveJobs(_opts.jobs);
+    _pool = std::make_unique<exec::ThreadPool>(jobs);
+    for (std::size_t j = 0; j < jobs; ++j) {
+        _pool->post([this] {
+            while (auto req = _queue.pop())
+                process(*req);
+        });
+    }
+}
+
+FleetServer::~FleetServer() { stop(); }
+
+void
+FleetServer::stop()
+{
+    if (_stopped)
+        return;
+    _stopped = true;
+    // Closing the queue lets workers drain what was admitted and then
+    // exit their loops; the pool destructor joins them.
+    _queue.close();
+    _pool.reset();
+}
+
+SessionId
+FleetServer::createSession(const workload::Application &app,
+                           const SessionOptions &opts)
+{
+    return _sessions->create(app, opts);
+}
+
+bool
+FleetServer::trySubmit(DecisionRequest req)
+{
+    req.submitted = std::chrono::steady_clock::now();
+    _depthHist->record(_queue.depth());
+    if (_queue.tryPush(std::move(req)))
+        return true;
+    _rejected->add();
+    return false;
+}
+
+bool
+FleetServer::submit(DecisionRequest req)
+{
+    req.submitted = std::chrono::steady_clock::now();
+    _depthHist->record(_queue.depth());
+    if (_queue.push(std::move(req)))
+        return true;
+    _rejected->add(); // closed while (or before) waiting for space
+    return false;
+}
+
+std::size_t
+FleetServer::rejectedRequests() const
+{
+    return static_cast<std::size_t>(_rejected->value());
+}
+
+void
+FleetServer::process(const DecisionRequest &req)
+{
+    Session *s = _sessions->checkout(req.session);
+    if (!s) {
+        // Unknown (evicted) or concurrently busy; the admission
+        // contract is at most one in-flight request per session.
+        _lost->add();
+        if (req.onDone)
+            req.onDone(req.session, nullptr);
+        return;
+    }
+    const DecisionRecord rec = s->step();
+    _sessions->checkin(req.session);
+
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - req.submitted)
+                        .count();
+    _latencyHist->record(ns > 0 ? static_cast<std::uint64_t>(ns) : 0);
+    _decisions->add();
+    if (req.onDone)
+        req.onDone(req.session, &rec);
+}
+
+FleetResult
+runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
+         const FleetOptions &opts)
+{
+    GPUPM_ASSERT(opts.sessionCount > 0, "fleet needs at least one session");
+
+    // Size the server so the driver's invariants hold: one in-flight
+    // request per session always fits the queue, and the LRU cap never
+    // evicts a live session mid-run.
+    FleetServerOptions sopts = opts.server;
+    sopts.queueCapacity =
+        std::max(sopts.queueCapacity, opts.sessionCount);
+    if (sopts.sessions.maxSessions > 0) {
+        sopts.sessions.maxSessions =
+            std::max(sopts.sessions.maxSessions, opts.sessionCount);
+    }
+    FleetServer server(std::move(predictor), sopts);
+
+    std::vector<workload::Application> apps;
+    if (opts.apps.empty()) {
+        apps = workload::allBenchmarks();
+    } else {
+        apps.reserve(opts.apps.size());
+        for (const auto &name : opts.apps)
+            apps.push_back(workload::makeBenchmark(name));
+    }
+
+    struct Slot
+    {
+        std::vector<DecisionRecord> records;
+        std::size_t expected = 0;
+    };
+    std::vector<Slot> slots(opts.sessionCount);
+    std::unordered_map<SessionId, std::size_t> slotOf;
+    std::vector<SessionId> ids;
+    ids.reserve(opts.sessionCount);
+
+    for (std::size_t i = 0; i < opts.sessionCount; ++i) {
+        workload::Application app = apps[i % apps.size()];
+        if (opts.cpuPhaseJitter > 0.0) {
+            // Per-session stream: the fraction depends only on
+            // (seed, session index), never on scheduling.
+            Pcg32 rng(exec::mix64(opts.seed ^ (i + 1)),
+                      exec::mix64(i ^ 0x5e55ULL) | 1);
+            app = workload::withCpuPhases(
+                std::move(app), rng.uniform(0.0, opts.cpuPhaseJitter));
+        }
+        const SessionId id = server.createSession(app, opts.session);
+        ids.push_back(id);
+        slotOf.emplace(id, i);
+        slots[i].expected =
+            (1 + opts.session.optimizedRuns) * app.trace.size();
+        slots[i].records.reserve(slots[i].expected);
+    }
+
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t remaining = opts.sessionCount;
+
+    // A worker finishing a step re-enqueues that session's next one, so
+    // exactly one request per unfinished session is in flight; the
+    // per-session record order is therefore the session's own step
+    // order at any worker count.
+    std::function<void(SessionId, const DecisionRecord *)> on_done =
+        [&](SessionId id, const DecisionRecord *rec) {
+            GPUPM_ASSERT(rec != nullptr, "fleet session vanished");
+            Slot &slot = slots[slotOf.at(id)];
+            slot.records.push_back(*rec);
+            if (slot.records.size() < slot.expected) {
+                server.submit({id, on_done, {}});
+            } else {
+                {
+                    std::lock_guard lock(done_mutex);
+                    --remaining;
+                }
+                done_cv.notify_one();
+            }
+        };
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const SessionId id : ids)
+        server.submit({id, on_done, {}});
+    {
+        std::unique_lock lock(done_mutex);
+        done_cv.wait(lock, [&] { return remaining == 0; });
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    FleetResult out;
+    out.sessions = opts.sessionCount;
+    out.metrics = server.metrics();
+    server.stop();
+    for (Slot &slot : slots) {
+        out.decisions += slot.records.size();
+        out.trace.insert(out.trace.end(), slot.records.begin(),
+                         slot.records.end());
+    }
+    out.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+    out.decisionsPerSecond =
+        out.wallSeconds > 0.0
+            ? static_cast<double>(out.decisions) / out.wallSeconds
+            : 0.0;
+    return out;
+}
+
+std::string
+serializeFleetTrace(const std::vector<DecisionRecord> &trace)
+{
+    std::string out;
+    out.reserve(trace.size() * 160);
+    char buf[512];
+    for (const auto &r : trace) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"s\":%llu,\"r\":%zu,\"i\":%zu,\"t\":\"%c\",\"c\":%zu,"
+            "\"kt\":%.17g,\"oh\":%.17g,\"ce\":%.17g,\"ge\":%.17g,"
+            "\"ev\":%zu}\n",
+            static_cast<unsigned long long>(r.session), r.run, r.index,
+            r.tag, r.configIndex, r.kernelTime, r.overheadTime,
+            r.cpuEnergy, r.gpuEnergy, r.evaluations);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace gpupm::serve

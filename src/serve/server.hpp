@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The fleet decision server and the deterministic fleet driver.
+ *
+ * FleetServer glues the serve subsystem together: a SessionManager of
+ * governed sessions, a bounded RequestQueue of decision requests with
+ * backpressure (trySubmit rejects when full; submit blocks), a reused
+ * exec::ThreadPool whose workers drain the queue, and - when the shared
+ * predictor is a Random Forest - an InferenceBroker coalescing the
+ * in-flight decisions' evaluations into shared batched forest walks.
+ * Server metrics (queue depth, decision latency, batch-size histograms,
+ * rejected requests) accumulate in an owned TelemetryRegistry.
+ *
+ * runFleet() is the deterministic driver used by the CLI, the golden
+ * trace test and the benchmark: it creates N sessions (round-robin over
+ * the requested applications, each optionally perturbed by its own
+ * per-session RNG stream), keeps exactly one request per unfinished
+ * session in flight (a worker finishing a step re-enqueues that
+ * session's next one), and gathers the trace in (session, run, index)
+ * order. Because sessions are isolated, predictions are pure per row,
+ * and the gather order is fixed, the trace is byte-identical at any
+ * --jobs count.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+#include "serve/broker.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/session_manager.hpp"
+
+namespace gpupm::serve {
+
+struct FleetServerOptions
+{
+    /** Worker threads draining the queue; 0 = hardware concurrency. */
+    std::size_t jobs = 1;
+    /** Request-queue bound (admission backpressure). */
+    std::size_t queueCapacity = 1024;
+    SessionManagerOptions sessions;
+    BrokerOptions broker;
+    /** Route RF evaluations through the shared broker. */
+    bool batching = true;
+    hw::ApuParams params = hw::ApuParams::defaults();
+};
+
+/** One decision request: step session once, then call back. */
+struct DecisionRequest
+{
+    SessionId session = 0;
+    /**
+     * Invoked on the worker after the step; the record pointer is null
+     * when the session no longer exists (evicted or unknown).
+     */
+    std::function<void(SessionId, const DecisionRecord *)> onDone;
+    /** Stamped by submit/trySubmit for latency accounting. */
+    std::chrono::steady_clock::time_point submitted{};
+};
+
+class FleetServer
+{
+  public:
+    FleetServer(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
+                const FleetServerOptions &opts = {});
+    ~FleetServer();
+
+    FleetServer(const FleetServer &) = delete;
+    FleetServer &operator=(const FleetServer &) = delete;
+
+    SessionId createSession(const workload::Application &app,
+                            const SessionOptions &opts = {});
+
+    SessionManager &sessions() { return *_sessions; }
+
+    /**
+     * Non-blocking admission; false (and a rejected-request count) when
+     * the queue is full or the server is stopped.
+     */
+    bool trySubmit(DecisionRequest req);
+
+    /** Blocking admission; false only when the server is stopped. */
+    bool submit(DecisionRequest req);
+
+    /** Close admission, drain queued requests, join workers. */
+    void stop();
+
+    std::size_t queueDepth() const { return _queue.depth(); }
+    std::size_t rejectedRequests() const;
+
+    sim::TelemetryRegistry &telemetry() { return *_telemetry; }
+    sim::TelemetrySnapshot metrics() const
+    {
+        return _telemetry->snapshot();
+    }
+
+    /** Null when batching is off or the predictor is not an RF. */
+    InferenceBroker *broker() { return _broker.get(); }
+
+  private:
+    void process(const DecisionRequest &req);
+
+    FleetServerOptions _opts;
+    std::unique_ptr<sim::TelemetryRegistry> _telemetry;
+    std::unique_ptr<InferenceBroker> _broker;
+    std::unique_ptr<SessionManager> _sessions;
+    RequestQueue<DecisionRequest> _queue;
+    std::unique_ptr<exec::ThreadPool> _pool;
+    bool _stopped = false;
+
+    sim::TelemetryCounter *_decisions = nullptr;
+    sim::TelemetryCounter *_rejected = nullptr;
+    sim::TelemetryCounter *_lost = nullptr;
+    sim::TelemetryHistogram *_depthHist = nullptr;
+    sim::TelemetryHistogram *_latencyHist = nullptr;
+};
+
+/** Fleet workload description for runFleet. */
+struct FleetOptions
+{
+    FleetServerOptions server;
+    SessionOptions session;
+    /** Benchmark names, assigned round-robin; empty = full suite. */
+    std::vector<std::string> apps;
+    std::size_t sessionCount = 8;
+    /**
+     * Upper bound on per-session CPU-phase fractions; each session
+     * draws its fraction from its own (seed, session-index) RNG stream,
+     * so fleets are heterogeneous yet reproducible. 0 = back-to-back
+     * kernels everywhere (the paper's worst case).
+     */
+    double cpuPhaseJitter = 0.0;
+    std::uint64_t seed = 0x5eedULL;
+};
+
+struct FleetResult
+{
+    /** All decisions, ordered by (session, run, index). */
+    std::vector<DecisionRecord> trace;
+    sim::TelemetrySnapshot metrics;
+    std::size_t sessions = 0;
+    std::size_t decisions = 0;
+    double wallSeconds = 0.0;
+    double decisionsPerSecond = 0.0;
+};
+
+/** Run a fleet to completion; see the file comment for determinism. */
+FleetResult
+runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
+         const FleetOptions &opts);
+
+/**
+ * Serialize a fleet trace as JSON lines with %.17g floats: equal traces
+ * produce byte-identical text (the golden-trace contract).
+ */
+std::string serializeFleetTrace(const std::vector<DecisionRecord> &trace);
+
+} // namespace gpupm::serve

@@ -1,0 +1,174 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hpp"
+#include "policy/turbo_core.hpp"
+
+namespace gpupm::serve {
+
+Session::Session(SessionId id, workload::Application app,
+                 std::shared_ptr<const ml::PerfPowerPredictor> base,
+                 InferenceBroker *broker, const SessionOptions &opts,
+                 const hw::ApuParams &params,
+                 sim::TelemetryRegistry *telemetry)
+    : _id(id), _app(std::move(app)), _base(std::move(base)),
+      _broker(broker), _opts(opts), _params(params),
+      _telemetry(telemetry), _apu(params)
+{
+    GPUPM_ASSERT(!_app.trace.empty(), "session application '", _app.name,
+                 "' has an empty trace");
+
+    // The MPC performance target is the Turbo Core baseline throughput
+    // (paper Sec. V-B); measured once at session creation.
+    sim::Simulator sim(_params);
+    policy::TurboCoreGovernor turbo(_params);
+    _target = sim.run(_app, turbo).throughput();
+    GPUPM_ASSERT(_target > 0.0, "baseline produced no throughput");
+
+    reset();
+}
+
+void
+Session::reset()
+{
+    SessionPredictorOptions popts;
+    popts.kernelCacheCap = _opts.kernelCacheCap;
+    _predictor = std::make_shared<SessionPredictor>(
+        _base, _broker, popts, _telemetry);
+    _governor = std::make_unique<mpc::MpcGovernor>(_predictor, _opts.mpc,
+                                                   _params);
+    _governor->setDecisionCallback(
+        [this](const mpc::DecisionEvent &e) { _lastEvent = e; });
+    _run = 0;
+    _invocation = 0;
+    _decisions = 0;
+    _current = {};
+    _runs.clear();
+    _platformConfig.reset();
+    _apu.reset();
+}
+
+void
+Session::beginRun()
+{
+    // Same per-run semantics as Simulator::run: fresh thermal state and
+    // platform DVFS state (re-executions start from a cold platform).
+    _apu.reset();
+    _platformConfig.reset();
+    _governor->beginRun(_app.name, _target);
+    _current = {};
+    _current.appName = _app.name;
+    _current.governorName = _governor->name();
+    _current.records.reserve(_app.trace.size());
+}
+
+DecisionRecord
+Session::step()
+{
+    GPUPM_ASSERT(!finished(), "step() on a finished session");
+    if (_invocation == 0)
+        beginRun();
+
+    // The body below mirrors Simulator::run for one invocation; see
+    // sim/simulator.cpp for the rationale of each charge.
+    const std::size_t i = _invocation;
+    const auto &inv = _app.trace[i];
+
+    _lastEvent = {};
+    sim::Decision decision;
+    if (_broker) {
+        InferenceBroker::DecisionScope scope(*_broker);
+        decision = _governor->decide(i);
+    } else {
+        decision = _governor->decide(i);
+    }
+    GPUPM_ASSERT(decision.overheadTime >= 0.0,
+                 "negative decision overhead");
+
+    sim::KernelRecord rec;
+    rec.index = i;
+    rec.tag = inv.tag;
+    rec.kernelName = inv.params.name;
+    rec.config = decision.config;
+
+    rec.cpuPhaseTime = inv.cpuPhaseSeconds;
+    rec.hiddenOverheadTime =
+        std::min(decision.overheadTime, rec.cpuPhaseTime);
+    rec.overheadTime = decision.overheadTime - rec.hiddenOverheadTime;
+
+    if (rec.cpuPhaseTime > 0.0) {
+        const auto phase = _apu.runHost(rec.cpuPhaseTime,
+                                        hw::ConfigSpace::maxPerformance());
+        rec.cpuPhaseCpuEnergy = phase.cpuEnergy;
+        rec.cpuPhaseGpuEnergy = phase.gpuEnergy;
+    }
+    if (decision.overheadTime > 0.0) {
+        const auto host = _apu.runHost(decision.overheadTime,
+                                       kernel::Apu::governorHostConfig());
+        rec.overheadCpuEnergy = host.cpuEnergy;
+        rec.overheadGpuEnergy = host.gpuEnergy;
+    }
+
+    if (_platformConfig && *_platformConfig != decision.config) {
+        const auto sw =
+            _apu.reconfigure(*_platformConfig, decision.config);
+        rec.transitionTime = sw.time;
+        rec.transitionCpuEnergy = sw.cpuEnergy;
+        rec.transitionGpuEnergy = sw.gpuEnergy;
+    }
+    _platformConfig = decision.config;
+
+    const auto m = _apu.run(inv.params, decision.config);
+    rec.kernelTime = m.time;
+    rec.kernelCpuEnergy = m.cpuEnergy;
+    rec.kernelGpuEnergy = m.gpuEnergy;
+    rec.instructions = m.instructions;
+
+    sim::Observation obs;
+    obs.index = i;
+    obs.tag = inv.tag;
+    obs.measurement = m;
+    obs.kernelTruth = &inv.params;
+    obs.nonKernelTime =
+        rec.overheadTime + rec.cpuPhaseTime + rec.transitionTime;
+    _governor->observe(obs);
+
+    DecisionRecord out;
+    out.session = _id;
+    out.run = _run;
+    out.index = i;
+    out.tag = rec.tag;
+    out.configIndex = hw::denseConfigIndex(rec.config);
+    out.kernelTime = rec.kernelTime;
+    out.overheadTime = rec.overheadTime;
+    out.cpuEnergy = rec.kernelCpuEnergy + rec.overheadCpuEnergy +
+                    rec.cpuPhaseCpuEnergy + rec.transitionCpuEnergy;
+    out.gpuEnergy = rec.kernelGpuEnergy + rec.overheadGpuEnergy +
+                    rec.cpuPhaseGpuEnergy + rec.transitionGpuEnergy;
+    out.evaluations = _lastEvent.evaluations;
+
+    _current.kernelTime += rec.kernelTime;
+    _current.overheadTime += rec.overheadTime;
+    _current.cpuPhaseTime += rec.cpuPhaseTime;
+    _current.transitionTime += rec.transitionTime;
+    _current.cpuEnergy += out.cpuEnergy;
+    _current.gpuEnergy += out.gpuEnergy;
+    _current.overheadEnergy +=
+        rec.overheadCpuEnergy + rec.overheadGpuEnergy;
+    _current.instructions += rec.instructions;
+    _current.records.push_back(std::move(rec));
+
+    ++_decisions;
+    ++_invocation;
+    if (_invocation >= _app.trace.size()) {
+        _runs.push_back(std::move(_current));
+        _current = {};
+        _invocation = 0;
+        ++_run;
+    }
+    return out;
+}
+
+} // namespace gpupm::serve

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * One fleet session: a governed application, steppable one kernel
+ * invocation at a time.
+ *
+ * A session owns everything one tenant of the fleet server needs: its
+ * application trace, its modeled APU (thermal state and platform DVFS
+ * config advance within a run), its MpcGovernor (pattern extractor,
+ * performance tracker, hill-climb optimizer), and its SessionPredictor
+ * (per-kernel prediction cache routing misses through the shared
+ * broker). Nothing is shared mutably between sessions except the
+ * broker and telemetry (both internally synchronized), so sessions are
+ * isolated: one session's decisions are bit-identical regardless of
+ * what other sessions run - the foundation of the deterministic fleet
+ * mode.
+ *
+ * step() executes exactly one invocation of the Simulator::run loop
+ * body - decide, charge host phase and overhead, reconfigure, run the
+ * kernel, observe - so a server can interleave many sessions at
+ * single-decision granularity. A session plays the paper's repeated-
+ * execution schedule: one PPK profiling run, then optimizedRuns MPC
+ * runs, with the same fresh-APU-per-run semantics as Simulator::run.
+ *
+ * Not thread-safe: the server checks a session out to one worker at a
+ * time.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "kernel/apu.hpp"
+#include "mpc/governor.hpp"
+#include "serve/session_predictor.hpp"
+#include "sim/simulator.hpp"
+#include "workload/trace.hpp"
+
+namespace gpupm::serve {
+
+using SessionId = std::uint64_t;
+
+struct SessionOptions
+{
+    mpc::MpcOptions mpc;
+    /** MPC-optimized runs after the PPK profiling run. */
+    std::size_t optimizedRuns = 2;
+    /** LRU cap on the session's per-kernel prediction cache. */
+    std::size_t kernelCacheCap = 32;
+};
+
+/** One decision's outcome, the unit of the fleet trace. */
+struct DecisionRecord
+{
+    SessionId session = 0;
+    std::size_t run = 0;   ///< 0 = profiling, 1.. = optimized.
+    std::size_t index = 0; ///< Invocation index within the run.
+    char tag = 'A';
+    std::size_t configIndex = 0; ///< hw::denseConfigIndex of the choice.
+    Seconds kernelTime = 0.0;
+    Seconds overheadTime = 0.0; ///< Exposed decision latency.
+    Joules cpuEnergy = 0.0;     ///< All components of this invocation.
+    Joules gpuEnergy = 0.0;
+    /** Predictor evaluations the decision charged (DecisionEvent). */
+    std::size_t evaluations = 0;
+};
+
+class Session
+{
+  public:
+    /**
+     * @param id Server-assigned identity, stamped into records.
+     * @param app Application trace (the Turbo Core baseline run that
+     *        sets the MPC performance target happens here, once).
+     * @param base Shared predictor backing the session's governor.
+     * @param broker Shared broker for batched misses; may be null.
+     * @param telemetry Registry for cache metrics; may be null.
+     */
+    Session(SessionId id, workload::Application app,
+            std::shared_ptr<const ml::PerfPowerPredictor> base,
+            InferenceBroker *broker, const SessionOptions &opts = {},
+            const hw::ApuParams &params = hw::ApuParams::defaults(),
+            sim::TelemetryRegistry *telemetry = nullptr);
+
+    SessionId id() const { return _id; }
+    const std::string &appName() const { return _app.name; }
+    Throughput target() const { return _target; }
+
+    /** Decisions per run (the trace length). */
+    std::size_t runLength() const { return _app.trace.size(); }
+    /** Total runs the session plays (1 profiling + optimizedRuns). */
+    std::size_t totalRuns() const { return 1 + _opts.optimizedRuns; }
+    std::size_t totalDecisions() const
+    {
+        return totalRuns() * runLength();
+    }
+    std::size_t decisionsMade() const { return _decisions; }
+    bool finished() const { return _decisions >= totalDecisions(); }
+
+    /**
+     * Execute one kernel invocation (decide / charge / run / observe);
+     * fatal when already finished.
+     */
+    DecisionRecord step();
+
+    /** Results of completed runs, in run order. */
+    const std::vector<sim::RunResult> &completedRuns() const
+    {
+        return _runs;
+    }
+
+    /**
+     * Discard all learned state (governor, prediction cache, run
+     * progress); the session replays from its profiling run. The Turbo
+     * baseline target is kept - it is a property of the app, not of
+     * learning.
+     */
+    void reset();
+
+    const SessionPredictor &predictor() const { return *_predictor; }
+
+  private:
+    void beginRun();
+
+    SessionId _id;
+    workload::Application _app;
+    std::shared_ptr<const ml::PerfPowerPredictor> _base;
+    InferenceBroker *_broker;
+    SessionOptions _opts;
+    hw::ApuParams _params;
+    sim::TelemetryRegistry *_telemetry;
+
+    Throughput _target = 0.0;
+    std::shared_ptr<SessionPredictor> _predictor;
+    std::unique_ptr<mpc::MpcGovernor> _governor;
+    kernel::Apu _apu;
+    std::optional<hw::HwConfig> _platformConfig;
+    mpc::DecisionEvent _lastEvent;
+
+    std::size_t _run = 0;
+    std::size_t _invocation = 0;
+    std::size_t _decisions = 0;
+    sim::RunResult _current;
+    std::vector<sim::RunResult> _runs;
+};
+
+} // namespace gpupm::serve

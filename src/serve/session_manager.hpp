@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Session lifecycle: create / checkout / reset / evict with an LRU cap.
+ *
+ * The manager bounds fleet memory: each session carries dense per-kernel
+ * prediction memos (kernelCacheCap * denseConfigCount predictions), so
+ * an unbounded tenant count would grow without limit. When a create
+ * would exceed maxSessions the least-recently-used *idle* session is
+ * evicted (checked-out sessions are pinned; evicting a session mid-step
+ * would pull state out from under a worker).
+ *
+ * checkout()/checkin() give workers exclusive access: a session is
+ * processed by one worker at a time, which is what lets Session and
+ * SessionPredictor stay lock-free internally. The manager itself is
+ * thread-safe.
+ */
+
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/session.hpp"
+
+namespace gpupm::serve {
+
+struct SessionManagerOptions
+{
+    /** LRU cap on resident sessions; 0 means unbounded. */
+    std::size_t maxSessions = 256;
+};
+
+class SessionManager
+{
+  public:
+    /**
+     * @param base Shared predictor handed to every session.
+     * @param broker Shared broker handed to every session; may be null.
+     * @param telemetry Registry for manager/session metrics; may be
+     *        null.
+     */
+    SessionManager(std::shared_ptr<const ml::PerfPowerPredictor> base,
+                   InferenceBroker *broker,
+                   const SessionManagerOptions &opts = {},
+                   const hw::ApuParams &params = hw::ApuParams::defaults(),
+                   sim::TelemetryRegistry *telemetry = nullptr);
+
+    /**
+     * Create a session for @p app; evicts the LRU idle session when at
+     * the cap (fatal when the cap is exceeded with every session
+     * pinned - the server sizes the cap above its worker count).
+     */
+    SessionId create(const workload::Application &app,
+                     const SessionOptions &opts = {});
+
+    /**
+     * Claim exclusive access; null when the id is unknown (e.g. the
+     * session was evicted) or already checked out. Touches LRU order.
+     */
+    Session *checkout(SessionId id);
+    void checkin(SessionId id);
+
+    /** Reset a session's learned state; false when unknown or busy. */
+    bool reset(SessionId id);
+
+    /** Remove a session; false when unknown or busy (checked out). */
+    bool evict(SessionId id);
+
+    std::size_t size() const;
+    /** Sessions evicted by the LRU cap (not explicit evict calls). */
+    std::size_t lruEvictions() const;
+
+    /** Ids of resident sessions, in creation order. */
+    std::vector<SessionId> ids() const;
+
+  private:
+    struct Slot
+    {
+        std::unique_ptr<Session> session;
+        std::uint64_t lastUse = 0;
+        bool pinned = false;
+    };
+
+    void evictLruLocked();
+
+    std::shared_ptr<const ml::PerfPowerPredictor> _base;
+    InferenceBroker *_broker;
+    SessionManagerOptions _opts;
+    hw::ApuParams _params;
+    sim::TelemetryRegistry *_telemetry;
+
+    mutable std::mutex _mutex;
+    std::unordered_map<SessionId, Slot> _slots;
+    SessionId _nextId = 1;
+    std::uint64_t _clock = 0;
+    std::size_t _lruEvictions = 0;
+    sim::TelemetryCounter *_evictionCounter = nullptr;
+};
+
+} // namespace gpupm::serve

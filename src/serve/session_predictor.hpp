@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Per-session predictor decorator: kernel-level prediction cache plus
+ * broker routing.
+ *
+ * Each fleet session owns one SessionPredictor wrapping the shared
+ * Random Forest. It adds the two things a multi-tenant server needs
+ * that the raw predictor cannot provide:
+ *
+ *  - a *per-session, multi-kernel* prediction cache. The predictor's
+ *    own memo (see RandomForestPredictor::predictBatch) is a one-entry
+ *    thread_local keyed on the last kernel seen by the thread; a server
+ *    worker interleaves decisions from many sessions and many kernels,
+ *    so that entry thrashes and every decision re-walks the forests.
+ *    Here each session keeps an LRU-capped entry per dissimilar kernel
+ *    (keyed on exact counter bits) holding the derived kernel features
+ *    and a dense per-config memo, so a kernel's steady-state relaunches
+ *    cost table lookups regardless of what other sessions run on the
+ *    same worker. The cap is the SessionManager's lever on per-session
+ *    memory (a capped session evicts its least-recently-used kernel);
+ *
+ *  - routing of memo misses through the InferenceBroker, where rows
+ *    from all in-flight decisions coalesce into shared tree-major
+ *    FlatForest walks.
+ *
+ * Memoized values are exactly what the forests produced, and broker
+ * batching never changes a row's result, so every prediction is
+ * bit-identical to calling the wrapped predictor directly.
+ *
+ * Not thread-safe by design: a session is processed by one worker at a
+ * time (the server checks sessions out exclusively), so the cache needs
+ * no locking.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/trainer.hpp"
+#include "serve/broker.hpp"
+#include "sim/telemetry_counters.hpp"
+
+namespace gpupm::serve {
+
+struct SessionPredictorOptions
+{
+    /**
+     * LRU cap on cached kernel entries; 0 disables the cache (and
+     * broker routing), turning the decorator into a passthrough - the
+     * single-tenant baseline the fleet benchmark compares against.
+     */
+    std::size_t kernelCacheCap = 32;
+};
+
+class SessionPredictor : public ml::PerfPowerPredictor
+{
+  public:
+    /**
+     * @param base Shared predictor. Caching and brokering engage only
+     *        when it is a RandomForestPredictor; other predictors
+     *        (oracle families consult ground truth, so counters are
+     *        not a safe cache key) pass through untouched.
+     * @param broker Shared broker; null evaluates misses directly.
+     * @param telemetry Registry receiving cache metrics; may be null.
+     */
+    SessionPredictor(
+        std::shared_ptr<const ml::PerfPowerPredictor> base,
+        InferenceBroker *broker,
+        const SessionPredictorOptions &opts = {},
+        sim::TelemetryRegistry *telemetry = nullptr);
+
+    ml::Prediction predict(const ml::PredictionQuery &q,
+                           const hw::HwConfig &c) const override;
+
+    void predictBatch(const ml::PredictionQuery &q,
+                      std::span<const hw::HwConfig> cs,
+                      std::span<ml::Prediction> out) const override;
+
+    std::string name() const override { return _base->name(); }
+
+    /** Whether the cache/broker path is engaged (base is an RF). */
+    bool accelerated() const { return _rf != nullptr && _cap > 0; }
+
+    std::size_t cachedKernels() const { return _entries.size(); }
+    std::size_t cacheEvictions() const { return _evictions; }
+
+    /** Drop every cached kernel entry (session reset). */
+    void clearCache();
+
+  private:
+    struct KernelEntry
+    {
+        kernel::KernelCounters key{};
+        ml::KernelFeatures kf{};
+        double proxy = 1.0;
+        std::vector<ml::Prediction> memo; ///< By denseConfigIndex.
+        std::vector<std::uint8_t> known;
+        std::uint64_t lastUse = 0;
+    };
+
+    KernelEntry &entryFor(const kernel::KernelCounters &counters) const;
+
+    std::shared_ptr<const ml::PerfPowerPredictor> _base;
+    const ml::RandomForestPredictor *_rf; ///< base, when it is an RF.
+    InferenceBroker *_broker;
+    std::size_t _cap;
+
+    // Session-local mutable state (single-worker access; see above).
+    mutable std::vector<KernelEntry> _entries;
+    mutable std::uint64_t _clock = 0;
+    mutable std::size_t _evictions = 0;
+
+    // Shared telemetry cells (atomic; may be null).
+    sim::TelemetryCounter *_hitQueries = nullptr;
+    sim::TelemetryCounter *_missQueries = nullptr;
+    sim::TelemetryCounter *_kernelEvictions = nullptr;
+};
+
+} // namespace gpupm::serve

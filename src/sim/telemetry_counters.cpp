@@ -1,0 +1,145 @@
+#include "sim/telemetry_counters.hpp"
+
+#include <bit>
+
+namespace gpupm::sim {
+
+namespace {
+
+/** Bucket index for a sample: floor(log2(max(sample, 1))). */
+std::size_t
+bucketOf(std::uint64_t sample)
+{
+    if (sample < 2)
+        return 0;
+    const auto b = static_cast<std::size_t>(
+        std::bit_width(sample) - 1);
+    return b < TelemetryHistogram::numBuckets
+               ? b
+               : TelemetryHistogram::numBuckets - 1;
+}
+
+} // namespace
+
+void
+TelemetryHistogram::record(std::uint64_t sample)
+{
+    _buckets[bucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
+    _count.fetch_add(1, std::memory_order_relaxed);
+    _sum.fetch_add(sample, std::memory_order_relaxed);
+}
+
+double
+TelemetryHistogram::mean() const
+{
+    const auto n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / n;
+}
+
+std::array<std::uint64_t, TelemetryHistogram::numBuckets>
+TelemetryHistogram::buckets() const
+{
+    std::array<std::uint64_t, numBuckets> out{};
+    for (std::size_t i = 0; i < numBuckets; ++i)
+        out[i] = _buckets[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+double
+TelemetryHistogram::percentile(double p) const
+{
+    const auto b = buckets();
+    std::uint64_t total = 0;
+    for (const auto c : b)
+        total += c;
+    if (total == 0)
+        return 0.0;
+
+    // Rank of the requested percentile (1-based, nearest-rank).
+    const double clamped = p < 0.0 ? 0.0 : (p > 100.0 ? 100.0 : p);
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(clamped / 100.0 * total + 0.5);
+    if (rank == 0)
+        rank = 1;
+    if (rank > total)
+        rank = total;
+
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < numBuckets; ++i) {
+        if (b[i] == 0)
+            continue;
+        if (seen + b[i] >= rank) {
+            // Linear interpolation inside [lo, hi): exact when the
+            // bucket holds one distinct value (lo == hi - 1 for the
+            // first two buckets).
+            const double lo = i == 0 ? 0.0 : static_cast<double>(
+                                                 1ULL << i);
+            const double hi = static_cast<double>(2ULL << i);
+            const double frac =
+                static_cast<double>(rank - seen) / b[i];
+            return lo + (hi - lo) * frac;
+        }
+        seen += b[i];
+    }
+    return 0.0;
+}
+
+void
+TelemetryHistogram::reset()
+{
+    for (auto &b : _buckets)
+        b.store(0, std::memory_order_relaxed);
+    _count.store(0, std::memory_order_relaxed);
+    _sum.store(0, std::memory_order_relaxed);
+}
+
+TelemetryCounter &
+TelemetryRegistry::counter(const std::string &name)
+{
+    std::lock_guard lock(_mutex);
+    auto &slot = _counters[name];
+    if (!slot)
+        slot = std::make_unique<TelemetryCounter>();
+    return *slot;
+}
+
+TelemetryHistogram &
+TelemetryRegistry::histogram(const std::string &name)
+{
+    std::lock_guard lock(_mutex);
+    auto &slot = _histograms[name];
+    if (!slot)
+        slot = std::make_unique<TelemetryHistogram>();
+    return *slot;
+}
+
+TelemetrySnapshot
+TelemetryRegistry::snapshot() const
+{
+    std::lock_guard lock(_mutex);
+    TelemetrySnapshot snap;
+    for (const auto &[name, c] : _counters)
+        snap.counters[name] = c->value();
+    for (const auto &[name, h] : _histograms) {
+        TelemetrySnapshot::HistogramSummary s;
+        s.count = h->count();
+        s.sum = h->sum();
+        s.mean = h->mean();
+        s.p50 = h->percentile(50.0);
+        s.p99 = h->percentile(99.0);
+        snap.histograms[name] = s;
+    }
+    return snap;
+}
+
+void
+TelemetryRegistry::reset()
+{
+    std::lock_guard lock(_mutex);
+    for (auto &[name, c] : _counters)
+        c->reset();
+    for (auto &[name, h] : _histograms)
+        h->reset();
+}
+
+} // namespace gpupm::sim

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Operational telemetry counters and histograms.
+ *
+ * TelemetryTrace reconstructs the paper's 1 ms power-sample stream for
+ * a finished run; this module is the complementary *live* side: named
+ * monotonic counters and fixed-bucket histograms that concurrent
+ * subsystems (the fleet decision server, the inference broker, the
+ * thread pool) bump while they run. Counters are lock-free atomics;
+ * histograms use per-bucket atomics, so recording from many threads is
+ * wait-free and TSan-clean.
+ *
+ * Snapshot/reset semantics: snapshot() reads every cell with relaxed
+ * atomic loads - each individual value is a real value that was current
+ * at some point during the call, but the snapshot is not a cross-
+ * counter atomic cut (concurrent increments may land between reads).
+ * reset() zeroes every cell the same way. Both are safe to call while
+ * writers are active; tests pin these semantics.
+ */
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gpupm::sim {
+
+/** A named monotonic counter; increments are relaxed atomics. */
+class TelemetryCounter
+{
+  public:
+    void add(std::uint64_t n = 1)
+    {
+        _value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+    void reset() { _value.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> _value{0};
+};
+
+/**
+ * Fixed-bucket histogram over non-negative integer samples (batch
+ * sizes, nanosecond latencies). Buckets are powers of two scaled by a
+ * per-histogram unit: bucket k counts samples in [2^k, 2^(k+1)) units,
+ * bucket 0 counts [0, 2). 48 buckets cover any nanosecond latency a
+ * run can produce. Percentiles interpolate linearly inside the bucket,
+ * which is exact for the small integer samples (batch sizes) that land
+ * one-per-bucket in the low buckets and a <=2x-resolution estimate for
+ * wide latency tails - adequate for p50/p99 reporting.
+ */
+class TelemetryHistogram
+{
+  public:
+    static constexpr std::size_t numBuckets = 48;
+
+    void record(std::uint64_t sample);
+
+    std::uint64_t count() const
+    {
+        return _count.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t sum() const
+    {
+        return _sum.load(std::memory_order_relaxed);
+    }
+
+    double mean() const;
+
+    /** Percentile estimate; @p p in [0, 100]. 0 when empty. */
+    double percentile(double p) const;
+
+    void reset();
+
+    /** Raw bucket counts (diagnostics and snapshot rendering). */
+    std::array<std::uint64_t, numBuckets> buckets() const;
+
+  private:
+    std::array<std::atomic<std::uint64_t>, numBuckets> _buckets{};
+    std::atomic<std::uint64_t> _count{0};
+    std::atomic<std::uint64_t> _sum{0};
+};
+
+/** One registry cell as seen by snapshot(). */
+struct TelemetrySnapshot
+{
+    std::map<std::string, std::uint64_t> counters;
+
+    struct HistogramSummary
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        double mean = 0.0;
+        double p50 = 0.0;
+        double p99 = 0.0;
+    };
+    std::map<std::string, HistogramSummary> histograms;
+};
+
+/**
+ * Named registry of counters and histograms.
+ *
+ * counter()/histogram() create on first use and return a reference
+ * with a stable address for the registry's lifetime, so hot paths
+ * resolve the name once and then increment lock-free. Creation takes a
+ * mutex; recording never does.
+ */
+class TelemetryRegistry
+{
+  public:
+    TelemetryCounter &counter(const std::string &name);
+    TelemetryHistogram &histogram(const std::string &name);
+
+    /** Relaxed-consistent view of every cell; see file comment. */
+    TelemetrySnapshot snapshot() const;
+
+    /** Zero every registered cell (cells stay registered). */
+    void reset();
+
+  private:
+    mutable std::mutex _mutex;
+    std::map<std::string, std::unique_ptr<TelemetryCounter>> _counters;
+    std::map<std::string, std::unique_ptr<TelemetryHistogram>>
+        _histograms;
+};
+
+} // namespace gpupm::sim

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <climits>
+
 #include "common/flags.hpp"
 
 namespace gpupm {
@@ -79,7 +81,63 @@ TEST(Flags, NonNumericValueFails)
 {
     auto p = sampleParser();
     EXPECT_FALSE(parseArgs(p, {"--count", "seven"}));
-    EXPECT_NE(p.error().find("expects a number"), std::string::npos);
+    EXPECT_NE(p.error().find("expects an integer"), std::string::npos);
+
+    auto q = sampleParser();
+    EXPECT_FALSE(parseArgs(q, {"--ratio", "fast"}));
+    EXPECT_NE(q.error().find("expects a number"), std::string::npos);
+}
+
+TEST(Flags, IntegerFlagRejectsFractionsAndTrailingText)
+{
+    for (const char *bad : {"3.5", "1e3", "8x", ""}) {
+        auto p = sampleParser();
+        EXPECT_FALSE(parseArgs(p, {"--count", bad})) << bad;
+        EXPECT_NE(p.error().find("expects an integer"),
+                  std::string::npos)
+            << p.error();
+    }
+}
+
+FlagParser
+rangedParser()
+{
+    FlagParser p("server tool");
+    p.addInt("jobs", 1, "workers", 1, 4096);
+    p.addInt("sessions", 8, "sessions", 1, 1 << 20);
+    p.addInt("extra", 0, "at least zero", 0, INT_MAX);
+    return p;
+}
+
+TEST(Flags, RangedIntAcceptsInRangeValues)
+{
+    auto p = rangedParser();
+    ASSERT_TRUE(parseArgs(p, {"--jobs", "8", "--sessions", "64"}));
+    EXPECT_EQ(p.getInt("jobs"), 8);
+    EXPECT_EQ(p.getInt("sessions"), 64);
+}
+
+TEST(Flags, RangedIntRejectsZeroAndNegatives)
+{
+    for (const char *bad : {"0", "-1", "-64"}) {
+        auto p = rangedParser();
+        EXPECT_FALSE(parseArgs(p, {"--jobs", bad})) << bad;
+        EXPECT_NE(p.error().find("must be between 1 and 4096"),
+                  std::string::npos)
+            << p.error();
+    }
+    auto p = rangedParser();
+    EXPECT_FALSE(parseArgs(p, {"--extra", "-1"}));
+    EXPECT_NE(p.error().find("must be at least 0"), std::string::npos)
+        << p.error();
+}
+
+TEST(Flags, RangedIntRejectsOverflowingValues)
+{
+    auto p = rangedParser();
+    EXPECT_FALSE(parseArgs(p, {"--jobs", "99999999999999999999"}));
+    EXPECT_NE(p.error().find("must be between"), std::string::npos)
+        << p.error();
 }
 
 TEST(Flags, HelpRequested)

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Golden-trace regression suite for the fleet server's determinism
+ * contract: an 8-session fleet of RF-governed benchmarks must produce
+ * a byte-identical decision trace at --jobs 1 and --jobs 8, both must
+ * match the checked-in golden trace
+ * (tests/golden/fleet_golden.jsonl), and the cross-session inference
+ * broker must actually coalesce (mean requests per flush > 1) while
+ * doing so.
+ *
+ * Regenerating the golden file (after an intentional model, governor
+ * or serve-path change):
+ *
+ *     GPUPM_REGEN_GOLDEN=1 ./build/tests/test_fleet_determinism
+ *
+ * writes the new trace into the source tree; review the diff like any
+ * other code change. Records are serialized with %.17g, which
+ * round-trips doubles exactly, so a single-ULP behaviour change shows
+ * up as a test failure, not as silent drift.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "ml/trainer.hpp"
+#include "serve/server.hpp"
+
+#ifndef GPUPM_GOLDEN_DIR
+#error "tests/CMakeLists.txt must define GPUPM_GOLDEN_DIR"
+#endif
+
+namespace gpupm::serve {
+namespace {
+
+constexpr char kGoldenPath[] = GPUPM_GOLDEN_DIR "/fleet_golden.jsonl";
+
+/** One tiny forest shared by every test (training dominates runtime). */
+std::shared_ptr<const ml::RandomForestPredictor>
+forest()
+{
+    static std::shared_ptr<const ml::RandomForestPredictor> rf = [] {
+        ml::TrainerOptions opts;
+        opts.corpusSize = 16;
+        opts.configStride = 4;
+        opts.forest.numTrees = 8;
+        return std::shared_ptr<const ml::RandomForestPredictor>(
+            ml::trainRandomForestPredictor(opts));
+    }();
+    return rf;
+}
+
+/** The pinned fleet: 8 sessions round-robin over two benchmarks. */
+FleetOptions
+goldenFleet(std::size_t jobs)
+{
+    FleetOptions opts;
+    opts.server.jobs = jobs;
+    opts.apps = {"color", "mis"};
+    opts.sessionCount = 8;
+    opts.cpuPhaseJitter = 0.3; // heterogeneous but seed-derived phases
+    opts.seed = 0x90d1ULL;
+    return opts;
+}
+
+FleetResult
+runAt(std::size_t jobs)
+{
+    return runFleet(forest(), goldenFleet(jobs));
+}
+
+TEST(FleetDeterminism, ParallelFleetIsByteIdenticalToSerial)
+{
+    const auto serial = runAt(1);
+    const auto parallel = runAt(8);
+    // Byte-identical, not approximately equal: sessions are isolated,
+    // per-row predictions are pure, and the gather order is fixed, so
+    // worker scheduling can never influence the trace.
+    ASSERT_EQ(serializeFleetTrace(serial.trace),
+              serializeFleetTrace(parallel.trace));
+    EXPECT_EQ(serial.decisions, parallel.decisions);
+}
+
+TEST(FleetDeterminism, MatchesGoldenTrace)
+{
+    const std::string current = serializeFleetTrace(runAt(8).trace);
+
+    if (std::getenv("GPUPM_REGEN_GOLDEN") != nullptr) {
+        std::ofstream os(kGoldenPath, std::ios::binary);
+        ASSERT_TRUE(os) << "cannot write " << kGoldenPath;
+        os << current;
+        GTEST_SKIP() << "golden trace regenerated at " << kGoldenPath;
+    }
+
+    std::ifstream is(kGoldenPath, std::ios::binary);
+    ASSERT_TRUE(is) << "missing golden trace " << kGoldenPath
+                    << "; regenerate with GPUPM_REGEN_GOLDEN=1";
+    std::ostringstream golden;
+    golden << is.rdbuf();
+    EXPECT_EQ(golden.str(), current)
+        << "fleet trace drifted from the golden trace; if the change "
+           "is intentional, rerun with GPUPM_REGEN_GOLDEN=1 and "
+           "commit the diff";
+}
+
+TEST(FleetDeterminism, RepeatedParallelRunsAgree)
+{
+    EXPECT_EQ(serializeFleetTrace(runAt(3).trace),
+              serializeFleetTrace(runAt(5).trace));
+}
+
+TEST(FleetDeterminism, BrokerCoalescesAcrossSessionsUnderLoad)
+{
+    // The acceptance signal for cross-session batching: with 8 sessions
+    // deciding on 8 workers, the mean number of *requests* coalesced
+    // into one forest walk must exceed one - the broker is genuinely
+    // combining different sessions' evaluations, not just passing each
+    // through alone.
+    const auto result = runAt(8);
+    const auto it = result.metrics.histograms.find("broker.batch_requests");
+    ASSERT_NE(it, result.metrics.histograms.end());
+    EXPECT_GT(it->second.count, 0u);
+    EXPECT_GT(it->second.mean, 1.0)
+        << "no cross-session coalescing happened";
+}
+
+TEST(FleetDeterminism, BatchingOnAndOffProduceTheSameTrace)
+{
+    // Batching is a throughput optimization with a correctness
+    // contract: routing evaluations through the broker must never
+    // change a prediction, so the trace is invariant.
+    auto with = goldenFleet(4);
+    auto without = goldenFleet(4);
+    without.server.batching = false;
+    EXPECT_EQ(serializeFleetTrace(runFleet(forest(), with).trace),
+              serializeFleetTrace(runFleet(forest(), without).trace));
+}
+
+TEST(FleetDeterminism, TraceIsOrderedAndComplete)
+{
+    const auto result = runAt(2);
+    ASSERT_FALSE(result.trace.empty());
+    EXPECT_EQ(result.trace.size(), result.decisions);
+    // (session, run, index) strictly increasing lexicographically.
+    for (std::size_t i = 1; i < result.trace.size(); ++i) {
+        const auto &a = result.trace[i - 1];
+        const auto &b = result.trace[i];
+        const auto ka = std::tuple(a.session, a.run, a.index);
+        const auto kb = std::tuple(b.session, b.run, b.index);
+        EXPECT_LT(ka, kb) << "record " << i;
+    }
+    // Per-session decision latency was accounted for every decision.
+    const auto &lat =
+        result.metrics.histograms.at("serve.decision_latency_ns");
+    EXPECT_EQ(lat.count, result.decisions);
+}
+
+} // namespace
+} // namespace gpupm::serve

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * serve::RequestQueue contract tests: FIFO order, bounded-capacity
+ * backpressure (tryPush rejection when full, blocking push), and the
+ * close() protocol (producers rejected immediately, consumers drain
+ * the backlog before seeing end-of-stream). Run under -DGPUPM_TSAN=ON
+ * to validate the locking discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/request_queue.hpp"
+
+namespace gpupm::serve {
+namespace {
+
+TEST(RequestQueue, FifoOrder)
+{
+    RequestQueue<int> q(8);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(q.tryPush(int(i)));
+    for (int i = 0; i < 8; ++i) {
+        auto v = q.tryPop();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, i);
+    }
+    EXPECT_FALSE(q.tryPop().has_value());
+}
+
+TEST(RequestQueue, TryPushRejectsWhenFull)
+{
+    RequestQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3)); // full: rejected, not blocked
+    EXPECT_EQ(q.depth(), 2u);
+
+    ASSERT_TRUE(q.tryPop().has_value());
+    EXPECT_TRUE(q.tryPush(3)); // space freed
+}
+
+TEST(RequestQueue, BlockingPushWaitsForSpace)
+{
+    RequestQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(q.push(2)); // blocks until the consumer pops
+        pushed.store(true);
+    });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(pushed.load());
+
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 1);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(*q.pop(), 2);
+}
+
+TEST(RequestQueue, BlockingPopWaitsForWork)
+{
+    RequestQueue<int> q(4);
+    std::thread consumer([&] {
+        auto v = q.pop(); // blocks until the producer pushes
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(*v, 7);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_TRUE(q.push(7));
+    consumer.join();
+}
+
+TEST(RequestQueue, CloseRejectsProducersImmediately)
+{
+    RequestQueue<int> q(4);
+    EXPECT_TRUE(q.push(1));
+    q.close();
+    EXPECT_FALSE(q.push(2));
+    EXPECT_FALSE(q.tryPush(3));
+    q.close(); // idempotent
+}
+
+TEST(RequestQueue, CloseDrainsBacklogThenEndsStream)
+{
+    RequestQueue<int> q(4);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    q.close();
+    // Consumers still see queued work after close...
+    EXPECT_EQ(*q.pop(), 1);
+    EXPECT_EQ(*q.pop(), 2);
+    // ...and a clean end-of-stream after the backlog drains.
+    EXPECT_FALSE(q.pop().has_value());
+    EXPECT_FALSE(q.tryPop().has_value());
+}
+
+TEST(RequestQueue, CloseWakesBlockedConsumers)
+{
+    RequestQueue<int> q(4);
+    std::vector<std::thread> consumers;
+    std::atomic<int> ended{0};
+    for (int i = 0; i < 3; ++i) {
+        consumers.emplace_back([&] {
+            while (q.pop().has_value()) {
+            }
+            ++ended;
+        });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+    EXPECT_EQ(ended.load(), 3);
+}
+
+TEST(RequestQueue, CloseWakesBlockedProducer)
+{
+    RequestQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::thread producer([&] {
+        EXPECT_FALSE(q.push(2)); // blocked on full, woken by close
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+    producer.join();
+}
+
+TEST(RequestQueue, MpscStressDeliversEveryItemOnce)
+{
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 2000;
+    RequestQueue<int> q(16); // small capacity: forces backpressure
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&q, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(q.push(p * kPerProducer + i));
+        });
+    }
+
+    std::vector<int> seen(kProducers * kPerProducer, 0);
+    std::thread consumer([&] {
+        while (auto v = q.pop())
+            ++seen[static_cast<std::size_t>(*v)];
+    });
+
+    for (auto &t : producers)
+        t.join();
+    q.close();
+    consumer.join();
+
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        ASSERT_EQ(seen[i], 1) << "item " << i;
+}
+
+TEST(RequestQueue, MoveOnlyPayloadsAreSupported)
+{
+    RequestQueue<std::unique_ptr<int>> q(2);
+    EXPECT_TRUE(q.push(std::make_unique<int>(42)));
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(**v, 42);
+}
+
+} // namespace
+} // namespace gpupm::serve

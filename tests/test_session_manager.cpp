@@ -1,0 +1,265 @@
+/**
+ * @file
+ * serve::SessionManager and FleetServer lifecycle tests: the
+ * create/checkout/checkin/reset/evict protocol, LRU capacity eviction
+ * with pinned-session protection, and the server paths built on it -
+ * request processing, admission backpressure and rejection accounting,
+ * and the lost-session callback when a request races an eviction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "ml/predictor.hpp"
+#include "serve/server.hpp"
+#include "serve/session_manager.hpp"
+#include "workload/training.hpp"
+
+namespace gpupm::serve {
+namespace {
+
+std::shared_ptr<const ml::PerfPowerPredictor>
+sharedPredictor()
+{
+    // Ground truth: no forest to train, so sessions are cheap to
+    // create and the manager logic is what the test exercises.
+    return std::make_shared<const ml::GroundTruthPredictor>();
+}
+
+/** Tiny app (<= 4 launches) so per-session baselines cost nothing. */
+workload::Application
+tinyApp(std::uint64_t seed)
+{
+    return workload::randomApplication(seed, 4);
+}
+
+SessionOptions
+fastSession()
+{
+    SessionOptions opts;
+    opts.optimizedRuns = 1;
+    return opts;
+}
+
+TEST(SessionManager, CreateCheckoutCheckinLifecycle)
+{
+    SessionManager mgr(sharedPredictor(), nullptr);
+    const auto a = mgr.create(tinyApp(1), fastSession());
+    const auto b = mgr.create(tinyApp(2), fastSession());
+    EXPECT_EQ(mgr.size(), 2u);
+    EXPECT_EQ(mgr.ids(), (std::vector<SessionId>{a, b}));
+
+    Session *sa = mgr.checkout(a);
+    ASSERT_NE(sa, nullptr);
+    EXPECT_EQ(sa->id(), a);
+    // Exclusive: a checked-out session cannot be claimed again.
+    EXPECT_EQ(mgr.checkout(a), nullptr);
+    // Other sessions are unaffected.
+    Session *sb = mgr.checkout(b);
+    ASSERT_NE(sb, nullptr);
+
+    mgr.checkin(a);
+    mgr.checkin(b);
+    EXPECT_NE(mgr.checkout(a), nullptr);
+    mgr.checkin(a);
+}
+
+TEST(SessionManager, UnknownIdsAreRejectedEverywhere)
+{
+    SessionManager mgr(sharedPredictor(), nullptr);
+    EXPECT_EQ(mgr.checkout(99), nullptr);
+    EXPECT_FALSE(mgr.reset(99));
+    EXPECT_FALSE(mgr.evict(99));
+}
+
+TEST(SessionManager, BusySessionsCannotBeResetOrEvicted)
+{
+    SessionManager mgr(sharedPredictor(), nullptr);
+    const auto id = mgr.create(tinyApp(3), fastSession());
+    ASSERT_NE(mgr.checkout(id), nullptr);
+    EXPECT_FALSE(mgr.reset(id));
+    EXPECT_FALSE(mgr.evict(id));
+    mgr.checkin(id);
+    EXPECT_TRUE(mgr.reset(id));
+    EXPECT_TRUE(mgr.evict(id));
+    EXPECT_EQ(mgr.size(), 0u);
+    EXPECT_EQ(mgr.checkout(id), nullptr);
+}
+
+TEST(SessionManager, ResetRewindsSessionProgress)
+{
+    SessionManager mgr(sharedPredictor(), nullptr);
+    const auto id = mgr.create(tinyApp(4), fastSession());
+    Session *s = mgr.checkout(id);
+    ASSERT_NE(s, nullptr);
+    s->step();
+    s->step();
+    EXPECT_EQ(s->decisionsMade(), 2u);
+    const auto target = s->target();
+    mgr.checkin(id);
+
+    ASSERT_TRUE(mgr.reset(id));
+    s = mgr.checkout(id);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->decisionsMade(), 0u);
+    // The Turbo baseline target survives a reset (it is a property of
+    // the app, not of learned state).
+    EXPECT_EQ(s->target(), target);
+    mgr.checkin(id);
+}
+
+TEST(SessionManager, CapEvictsLeastRecentlyUsedIdleSession)
+{
+    SessionManagerOptions opts;
+    opts.maxSessions = 2;
+    SessionManager mgr(sharedPredictor(), nullptr, opts);
+    const auto a = mgr.create(tinyApp(5), fastSession());
+    const auto b = mgr.create(tinyApp(6), fastSession());
+    const auto c = mgr.create(tinyApp(7), fastSession());
+
+    EXPECT_EQ(mgr.size(), 2u);
+    EXPECT_EQ(mgr.lruEvictions(), 1u);
+    EXPECT_EQ(mgr.checkout(a), nullptr); // a was LRU: evicted
+    EXPECT_EQ(mgr.ids(), (std::vector<SessionId>{b, c}));
+}
+
+TEST(SessionManager, CheckoutRefreshesLruOrder)
+{
+    SessionManagerOptions opts;
+    opts.maxSessions = 2;
+    SessionManager mgr(sharedPredictor(), nullptr, opts);
+    const auto a = mgr.create(tinyApp(8), fastSession());
+    const auto b = mgr.create(tinyApp(9), fastSession());
+
+    // Touch a: b becomes the LRU session.
+    ASSERT_NE(mgr.checkout(a), nullptr);
+    mgr.checkin(a);
+
+    mgr.create(tinyApp(10), fastSession());
+    EXPECT_NE(mgr.checkout(a), nullptr);
+    mgr.checkin(a);
+    EXPECT_EQ(mgr.checkout(b), nullptr); // b was evicted
+}
+
+TEST(SessionManager, PinnedSessionsAreNeverEvicted)
+{
+    SessionManagerOptions opts;
+    opts.maxSessions = 2;
+    SessionManager mgr(sharedPredictor(), nullptr, opts);
+    const auto a = mgr.create(tinyApp(11), fastSession());
+    const auto b = mgr.create(tinyApp(12), fastSession());
+
+    // b is older in LRU order but a is the only *idle* session when
+    // the third create arrives... pin b, leave a idle.
+    ASSERT_NE(mgr.checkout(b), nullptr);
+    const auto c = mgr.create(tinyApp(13), fastSession());
+    EXPECT_EQ(mgr.checkout(a), nullptr); // idle a evicted, pinned b kept
+    mgr.checkin(b);
+    EXPECT_NE(mgr.checkout(b), nullptr);
+    mgr.checkin(b);
+    EXPECT_NE(mgr.checkout(c), nullptr);
+    mgr.checkin(c);
+}
+
+TEST(SessionManagerDeathTest, AllPinnedAtCapIsFatal)
+{
+    SessionManagerOptions opts;
+    opts.maxSessions = 1;
+    SessionManager mgr(sharedPredictor(), nullptr, opts);
+    const auto id = mgr.create(tinyApp(14), fastSession());
+    ASSERT_NE(mgr.checkout(id), nullptr);
+    EXPECT_DEATH(mgr.create(tinyApp(15), fastSession()), "maxSessions");
+}
+
+TEST(FleetServer, ProcessesSubmittedRequests)
+{
+    FleetServer server(sharedPredictor());
+    const auto id =
+        server.createSession(tinyApp(20), fastSession());
+
+    std::promise<DecisionRecord> done;
+    auto fut = done.get_future();
+    ASSERT_TRUE(server.submit(
+        {id, [&](SessionId sid, const DecisionRecord *rec) {
+             ASSERT_NE(rec, nullptr);
+             EXPECT_EQ(sid, id);
+             done.set_value(*rec);
+         }}));
+    const auto rec = fut.get();
+    EXPECT_EQ(rec.session, id);
+    EXPECT_EQ(rec.run, 0u);   // first step of the profiling run
+    EXPECT_EQ(rec.index, 0u);
+    EXPECT_GT(rec.kernelTime, 0.0);
+
+    server.stop();
+    EXPECT_EQ(server.metrics().counters.at("serve.decisions"), 1u);
+}
+
+TEST(FleetServer, StoppedServerRejectsAdmission)
+{
+    FleetServer server(sharedPredictor());
+    const auto id =
+        server.createSession(tinyApp(21), fastSession());
+    server.stop();
+
+    EXPECT_FALSE(server.trySubmit({id, nullptr}));
+    EXPECT_FALSE(server.submit({id, nullptr}));
+    EXPECT_EQ(server.rejectedRequests(), 2u);
+    EXPECT_EQ(server.metrics().counters.at("serve.rejected_requests"),
+              2u);
+}
+
+TEST(FleetServer, FullQueueRejectsTrySubmitWhileBlockingSubmitWaits)
+{
+    FleetServerOptions opts;
+    opts.jobs = 1;
+    opts.queueCapacity = 1;
+    FleetServer server(sharedPredictor(), opts);
+    const auto id =
+        server.createSession(tinyApp(22), fastSession());
+
+    // Park the single worker inside a request callback, then fill the
+    // one-slot queue behind it: the next trySubmit must bounce.
+    std::promise<void> parked, release;
+    auto release_fut = release.get_future().share();
+    ASSERT_TRUE(server.submit(
+        {id, [&, release_fut](SessionId, const DecisionRecord *) {
+             parked.set_value();
+             release_fut.wait();
+         }}));
+    parked.get_future().wait();
+
+    ASSERT_TRUE(server.trySubmit({id, nullptr})); // fills the queue
+    EXPECT_FALSE(server.trySubmit({id, nullptr})); // full: rejected
+    EXPECT_EQ(server.rejectedRequests(), 1u);
+    EXPECT_EQ(server.queueDepth(), 1u);
+
+    release.set_value();
+    server.stop(); // drains the queued request
+    EXPECT_EQ(server.metrics().counters.at("serve.decisions"), 2u);
+}
+
+TEST(FleetServer, EvictedSessionYieldsNullRecord)
+{
+    FleetServer server(sharedPredictor());
+    const auto id =
+        server.createSession(tinyApp(23), fastSession());
+    ASSERT_TRUE(server.sessions().evict(id));
+
+    std::promise<bool> lost;
+    ASSERT_TRUE(server.submit(
+        {id, [&](SessionId sid, const DecisionRecord *rec) {
+             EXPECT_EQ(sid, id);
+             lost.set_value(rec == nullptr);
+         }}));
+    EXPECT_TRUE(lost.get_future().get());
+    server.stop();
+    EXPECT_EQ(server.metrics().counters.at("serve.lost_sessions"), 1u);
+    EXPECT_EQ(server.metrics().counters.at("serve.decisions"), 0u);
+}
+
+} // namespace
+} // namespace gpupm::serve

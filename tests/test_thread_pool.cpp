@@ -133,6 +133,44 @@ TEST(ThreadPool, DestructionDrainsQueuedWork)
     EXPECT_EQ(ran.load(), 64);
 }
 
+TEST(ThreadPool, ShutdownDrainsQueuedAndNestedWork)
+{
+    std::atomic<int> ran{0};
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+        pool.post([&ran, &pool] {
+            // Work posted from inside a draining task is part of the
+            // drain, not dropped.
+            pool.post([&ran] { ++ran; });
+            ++ran;
+        });
+    }
+    pool.shutdown();
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, ShutdownThenDestructionIsIdempotent)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 16; ++i)
+            pool.post([&ran] { ++ran; });
+        pool.shutdown();
+        pool.shutdown(); // Second explicit call is a no-op.
+        // Destructor runs on an already-shut-down pool.
+    }
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolDeathTest, PostAfterShutdownIsFatal)
+{
+    ThreadPool pool(1);
+    pool.shutdown();
+    EXPECT_DEATH(pool.post([] {}),
+                 "post\\(\\) on a stopping ThreadPool");
+}
+
 TEST(ThreadPool, OnWorkerThreadOnlyInsideTasks)
 {
     ThreadPool pool(2);

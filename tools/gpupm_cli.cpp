@@ -8,6 +8,7 @@
  *   train [flags]             train a Random Forest and save it
  *   run [flags]               run governors over benchmarks
  *   sweep [flags]             fan benchmark x governor jobs over a pool
+ *   fleet [flags]             serve N concurrent governor sessions
  *
  * Examples:
  *   gpupm run --bench Spmv --governor mpc --predictor perfect
@@ -15,6 +16,7 @@
  *   gpupm run --bench kmeans --governor mpc --trace kmeans.csv
  *   gpupm train --out model.rf --corpus 128 --jobs 8
  *   gpupm sweep --bench all --governors turbo,ppk,mpc --jobs 8
+ *   gpupm fleet --sessions 16 --jobs 8 --model m.rf --trace fleet.jsonl
  */
 
 #include <algorithm>
@@ -33,6 +35,7 @@
 #include "policy/oracle.hpp"
 #include "policy/ppk.hpp"
 #include "policy/turbo_core.hpp"
+#include "serve/server.hpp"
 #include "sim/metrics.hpp"
 #include "sim/telemetry.hpp"
 #include "workload/benchmarks.hpp"
@@ -78,7 +81,8 @@ cmdTrain(int argc, const char *const *argv)
     flags.addInt("stride", 1, "use every k-th configuration");
     flags.addInt("jobs", 0,
                  "dataset-generation and forest-fitting workers (0 = "
-                 "hardware concurrency, 1 = serial; output is identical)");
+                 "hardware concurrency, 1 = serial; output is identical)",
+                 0, 4096);
     if (!flags.parse(argc, argv)) {
         std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
                   << flags.usage();
@@ -262,9 +266,10 @@ cmdSweep(int argc, const char *const *argv)
     flags.addString("predictor", "perfect", "perfect|rf|err15|err5");
     flags.addString("model", "", "saved .rf model (with --predictor rf)");
     flags.addInt("jobs", 0,
-                 "worker threads (0 = hardware concurrency, 1 = serial)");
+                 "worker threads (0 = hardware concurrency, 1 = serial)",
+                 0, 4096);
     flags.addInt("seed", 0x5eed, "root seed for per-job RNG streams");
-    flags.addInt("runs", 2, "MPC executions after profiling");
+    flags.addInt("runs", 2, "MPC executions after profiling", 1, 10000);
     if (!flags.parse(argc, argv)) {
         std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
                   << flags.usage();
@@ -339,14 +344,115 @@ cmdSweep(int argc, const char *const *argv)
     return 0;
 }
 
+int
+cmdFleet(int argc, const char *const *argv)
+{
+    FlagParser flags(
+        "gpupm fleet: serve N concurrent governor sessions through a "
+        "bounded request queue, coalescing their Random Forest "
+        "evaluations into shared batched inference (deterministic: the "
+        "decision trace is byte-identical for every --jobs value)");
+    flags.addString("bench", "all",
+                    "benchmark name, comma list, or 'all' (assigned "
+                    "round-robin over sessions)");
+    flags.addString("predictor", "rf", "perfect|rf|err15|err5");
+    flags.addString("model", "", "saved .rf model (with --predictor rf)");
+    flags.addInt("sessions", 8, "concurrent governor sessions", 1,
+                 1 << 20);
+    flags.addInt("jobs", 1, "worker threads draining the request queue",
+                 1, 4096);
+    flags.addInt("runs", 2, "MPC executions after profiling", 1, 10000);
+    flags.addInt("queue", 1024, "request-queue capacity", 1, 1 << 20);
+    flags.addInt("max-batch", 512, "broker flush threshold in queries",
+                 1, 1 << 20);
+    flags.addInt("cache", 32,
+                 "per-session kernel prediction-cache cap (0 disables "
+                 "caching and batching for that session)",
+                 0, 1 << 20);
+    flags.addInt("seed", 0x5eed, "root seed for per-session RNG streams");
+    flags.addDouble("phase-jitter", 0.0,
+                    "upper bound on per-session CPU-phase fractions "
+                    "(each session draws its own)");
+    flags.addBool("no-batching",
+                  "disable the cross-session inference broker");
+    flags.addBool("deterministic",
+                  "print only byte-reproducible output (suppress "
+                  "wall-clock metrics)");
+    flags.addString("trace", "",
+                    "write the decision trace (JSON lines) here");
+    if (!flags.parse(argc, argv)) {
+        std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
+                  << flags.usage();
+        return flags.helpRequested() ? 0 : 2;
+    }
+
+    auto predictor = makePredictor(flags.getString("predictor"),
+                                   flags.getString("model"));
+    if (!predictor)
+        return 2;
+
+    serve::FleetOptions fopts;
+    fopts.server.jobs = static_cast<std::size_t>(flags.getInt("jobs"));
+    fopts.server.queueCapacity =
+        static_cast<std::size_t>(flags.getInt("queue"));
+    fopts.server.broker.maxBatch =
+        static_cast<std::size_t>(flags.getInt("max-batch"));
+    fopts.server.batching = !flags.getBool("no-batching");
+    fopts.session.optimizedRuns =
+        static_cast<std::size_t>(flags.getInt("runs"));
+    fopts.session.kernelCacheCap =
+        static_cast<std::size_t>(flags.getInt("cache"));
+    fopts.sessionCount = static_cast<std::size_t>(flags.getInt("sessions"));
+    fopts.cpuPhaseJitter = flags.getDouble("phase-jitter");
+    fopts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+    if (flags.getString("bench") != "all")
+        fopts.apps = splitCommaList(flags.getString("bench"));
+
+    const auto result = serve::runFleet(std::move(predictor), fopts);
+
+    std::cout << "fleet: " << result.sessions << " sessions, "
+              << result.decisions << " decisions\n";
+    if (!flags.getBool("deterministic")) {
+        std::cout << "throughput: "
+                  << fmt(result.decisionsPerSecond, 0)
+                  << " decisions/s over "
+                  << fmt(result.wallSeconds * 1e3, 1) << " ms\n";
+        const auto &h = result.metrics.histograms;
+        if (auto it = h.find("serve.decision_latency_ns"); it != h.end())
+            std::cout << "decision latency: p50 "
+                      << fmt(it->second.p50 / 1e3, 1) << " us, p99 "
+                      << fmt(it->second.p99 / 1e3, 1) << " us\n";
+        if (auto it = h.find("broker.batch_requests"); it != h.end())
+            std::cout << "broker: mean " << fmt(it->second.mean, 2)
+                      << " requests/flush over " << it->second.count
+                      << " flushes\n";
+        if (auto it = h.find("serve.queue_depth"); it != h.end())
+            std::cout << "queue depth: mean " << fmt(it->second.mean, 2)
+                      << ", p99 " << fmt(it->second.p99, 1) << "\n";
+    }
+
+    const std::string trace_path = flags.getString("trace");
+    if (!trace_path.empty()) {
+        std::ofstream os(trace_path, std::ios::binary);
+        if (!os) {
+            std::cerr << "cannot write " << trace_path << "\n";
+            return 1;
+        }
+        os << serve::serializeFleetTrace(result.trace);
+        std::cout << "decision trace written to " << trace_path << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::cerr << "usage: gpupm <list|info|train|run|sweep> [flags]\n"
-                     "       gpupm <subcommand> --help\n";
+        std::cerr
+            << "usage: gpupm <list|info|train|run|sweep|fleet> [flags]\n"
+               "       gpupm <subcommand> --help\n";
         return 2;
     }
     const std::string cmd = argv[1];
@@ -360,6 +466,8 @@ main(int argc, char **argv)
         return cmdRun(argc - 1, argv + 1);
     if (cmd == "sweep")
         return cmdSweep(argc - 1, argv + 1);
+    if (cmd == "fleet")
+        return cmdFleet(argc - 1, argv + 1);
     std::cerr << "unknown subcommand '" << cmd << "'\n";
     return 2;
 }

@@ -10,14 +10,30 @@
 #
 #   tools/run_sanitizers.sh -R 'FlatForest|RandomForest|Trainer'
 #
-# or the parallel-training path (presorted engine + per-tree streams):
+# or the fleet-serving path (request queue, broker, server driver):
 #
-#   tools/run_sanitizers.sh -R 'DecisionTree|RandomForest|Trainer|ThreadPool'
+#   tools/run_sanitizers.sh -R 'RequestQueue|InferenceBroker|FleetServer|FleetDeterminism|Telemetry'
+#
+# A single sanitizer can be selected with --only (used by CI, where
+# TSan and ASan run as separate jobs):
+#
+#   tools/run_sanitizers.sh --only asan -R 'FleetServer'
 #
 # Each sanitizer gets its own build tree (build-tsan/, build-asan/) so
 # the regular build/ stays untouched.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+only=""
+if [[ "${1:-}" == "--only" ]]; then
+    only="${2:?--only needs 'tsan' or 'asan'}"
+    case "$only" in
+        tsan|asan) ;;
+        *) echo "error: --only expects 'tsan' or 'asan', got '$only'" >&2
+           exit 2 ;;
+    esac
+    shift 2
+fi
 
 jobs=$(nproc 2>/dev/null || echo 2)
 
@@ -32,6 +48,6 @@ run_one() {
     ctest --test-dir "build-${name}" --output-on-failure -j "${jobs}" "$@"
 }
 
-run_one tsan GPUPM_TSAN "$@"
-run_one asan GPUPM_ASAN "$@"
+[[ -z "$only" || "$only" == tsan ]] && run_one tsan GPUPM_TSAN "$@"
+[[ -z "$only" || "$only" == asan ]] && run_one asan GPUPM_ASAN "$@"
 echo "=== sanitizers clean ==="
