@@ -16,7 +16,7 @@
 #include "common/logging.hpp"
 #include "common/stats.hpp"
 #include "harness.hpp"
-#include "sim/telemetry.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace gpupm;
 
@@ -48,7 +48,7 @@ main()
             policy::TurboCoreGovernor turbo(params);
             auto base = sim.run(app, turbo);
             last_cpu = hw::toString(base.records.back().config.cpu);
-            auto trace = sim::TelemetryTrace::fromRun(base, params);
+            auto trace = telemetry::PowerTrace::fromRun(base, params);
             peak = std::max(peak, trace.peakPower());
             // A reactive per-kernel governor can only respond one
             // kernel late: count the kernels whose average power

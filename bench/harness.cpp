@@ -8,6 +8,8 @@
 #include "common/flags.hpp"
 #include "common/logging.hpp"
 #include "ml/serialize.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/trace.hpp"
 
 namespace gpupm::bench {
 
@@ -19,9 +21,12 @@ harnessOptionsFromArgs(int argc, const char *const *argv)
                  "sweep workers (0 = hardware concurrency, 1 = serial)");
     flags.addInt("seed", 0xe44,
                  "root seed for synthetic randomness");
-    flags.addString("model-cache", "",
-                    "save/load the trained RF predictor at this path "
-                    "(skips identical retraining across bench binaries)");
+    flags.addPath("model-cache", "",
+                  "save/load the trained RF predictor at this path "
+                  "(skips identical retraining across bench binaries)");
+    flags.addPath("trace-out", "",
+                  "write a Chrome trace-event JSON timeline of this "
+                  "bench run here");
     if (!flags.parse(argc, argv)) {
         std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
                   << flags.usage();
@@ -30,13 +35,32 @@ harnessOptionsFromArgs(int argc, const char *const *argv)
     HarnessOptions opts;
     opts.jobs = static_cast<std::size_t>(std::max(0, flags.getInt("jobs")));
     opts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
-    opts.modelCache = flags.getString("model-cache");
+    opts.modelCache = flags.getPath("model-cache");
+    opts.traceOut = flags.getPath("trace-out");
     return opts;
 }
 
 Harness::Harness(const HarnessOptions &opts)
     : _opts(opts), _engine({opts.jobs, opts.seed})
 {
+    if (!_opts.traceOut.empty())
+        trace::Tracer::start();
+}
+
+Harness::~Harness()
+{
+    if (_opts.traceOut.empty())
+        return;
+    trace::Tracer::stop();
+    const auto events = trace::Tracer::collect();
+    std::ofstream os(_opts.traceOut, std::ios::binary);
+    if (!os) {
+        GPUPM_WARN("cannot write trace '", _opts.traceOut, "'");
+        return;
+    }
+    trace::writeChromeTrace(os, events);
+    std::cerr << "[harness] span timeline (" << events.size()
+              << " events) written to " << _opts.traceOut << std::endl;
 }
 
 const std::vector<BenchCase> &

@@ -71,11 +71,18 @@ struct HarnessOptions
      * is unavailable; benches that print it should retrain.
      */
     std::string modelCache;
+    /**
+     * Write a Chrome trace-event JSON timeline of the bench run here
+     * (empty = tracing stays disabled). Spans cover the whole Harness
+     * lifetime; the file is written by the destructor.
+     */
+    std::string traceOut;
 };
 
 /**
- * Parse the standard bench flags (--jobs, --seed, --model-cache) from
- * argv. Prints usage and exits on --help or a malformed command line.
+ * Parse the standard bench flags (--jobs, --seed, --model-cache,
+ * --trace-out) from argv. Prints usage and exits on --help or a
+ * malformed command line.
  */
 HarnessOptions harnessOptionsFromArgs(int argc,
                                       const char *const *argv);
@@ -84,6 +91,8 @@ class Harness
 {
   public:
     explicit Harness(const HarnessOptions &opts = {});
+    /** Writes the --trace-out timeline, when one was requested. */
+    ~Harness();
 
     const HarnessOptions &options() const { return _opts; }
 

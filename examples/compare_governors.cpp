@@ -11,15 +11,7 @@
 #include <iostream>
 #include <memory>
 
-#include "common/table.hpp"
-#include "ml/trainer.hpp"
-#include "mpc/governor.hpp"
-#include "policy/oracle.hpp"
-#include "policy/ppk.hpp"
-#include "policy/turbo_core.hpp"
-#include "sim/metrics.hpp"
-#include "sim/simulator.hpp"
-#include "workload/benchmarks.hpp"
+#include "gpupm.hpp"
 
 using namespace gpupm;
 

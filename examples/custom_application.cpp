@@ -16,14 +16,7 @@
 #include <iostream>
 #include <memory>
 
-#include "common/table.hpp"
-#include "ml/predictor.hpp"
-#include "mpc/governor.hpp"
-#include "policy/ppk.hpp"
-#include "policy/turbo_core.hpp"
-#include "sim/metrics.hpp"
-#include "sim/simulator.hpp"
-#include "workload/trace.hpp"
+#include "gpupm.hpp"
 
 using namespace gpupm;
 

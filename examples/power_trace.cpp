@@ -11,19 +11,14 @@
 #include <iostream>
 #include <memory>
 
-#include "common/table.hpp"
-#include "ml/predictor.hpp"
-#include "mpc/governor.hpp"
-#include "policy/turbo_core.hpp"
-#include "sim/telemetry.hpp"
-#include "workload/benchmarks.hpp"
+#include "gpupm.hpp"
 
 using namespace gpupm;
 
 namespace {
 
 void
-summarize(const std::string &label, const sim::TelemetryTrace &trace)
+summarize(const std::string &label, const telemetry::PowerTrace &trace)
 {
     std::cout << "  " << label << ": " << trace.samples().size()
               << " samples, avg " << fmt(trace.averagePower(), 1)
@@ -53,8 +48,8 @@ main(int argc, char **argv)
     const auto mpc_run = sim.run(app, governor, baseline.throughput());
 
     std::cout << name << " telemetry (1 ms sampling, as in Sec. V):\n";
-    const auto base_trace = sim::TelemetryTrace::fromRun(baseline);
-    const auto mpc_trace = sim::TelemetryTrace::fromRun(mpc_run);
+    const auto base_trace = telemetry::PowerTrace::fromRun(baseline);
+    const auto mpc_trace = telemetry::PowerTrace::fromRun(mpc_run);
     summarize("Turbo Core", base_trace);
     summarize("MPC       ", mpc_trace);
 

@@ -14,13 +14,7 @@
 #include <iostream>
 #include <memory>
 
-#include "common/table.hpp"
-#include "ml/predictor.hpp"
-#include "mpc/governor.hpp"
-#include "policy/turbo_core.hpp"
-#include "sim/metrics.hpp"
-#include "sim/simulator.hpp"
-#include "workload/benchmarks.hpp"
+#include "gpupm.hpp"
 
 int
 main()

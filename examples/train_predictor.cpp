@@ -13,12 +13,7 @@
 #include <iostream>
 #include <sstream>
 
-#include "common/table.hpp"
-#include "kernel/perf_model.hpp"
-#include "ml/serialize.hpp"
-#include "ml/trainer.hpp"
-#include "workload/benchmarks.hpp"
-#include "workload/training.hpp"
+#include "gpupm.hpp"
 
 using namespace gpupm;
 

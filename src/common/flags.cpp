@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <climits>
 #include <cstdlib>
+#include <filesystem>
 #include <sstream>
 
 #include "common/logging.hpp"
@@ -20,6 +21,14 @@ FlagParser::addString(const std::string &name, std::string default_value,
 {
     _flags[name] =
         Flag{Kind::String, std::move(help), std::move(default_value), {}};
+}
+
+void
+FlagParser::addPath(const std::string &name, std::string default_value,
+                    std::string help)
+{
+    _flags[name] =
+        Flag{Kind::Path, std::move(help), std::move(default_value), {}};
 }
 
 void
@@ -96,7 +105,27 @@ FlagParser::parse(int argc, const char *const *argv)
         // Validate numeric values eagerly, so tools report bad input
         // at parse time with the flag name instead of silently running
         // with an atoi() fallback value.
-        if (flag.kind == Kind::Double) {
+        if (flag.kind == Kind::Path) {
+            // Fail at parse time, before the tool does any work: a
+            // typo'd output directory should not cost a full run.
+            namespace fs = std::filesystem;
+            const std::string &v = *flag.value;
+            if (!v.empty()) {
+                const fs::path p(v);
+                std::error_code ec;
+                if (fs::is_directory(p, ec)) {
+                    _error = "flag --" + name + ": '" + v +
+                             "' is a directory, expected a file path";
+                    return false;
+                }
+                const fs::path parent = p.parent_path();
+                if (!parent.empty() && !fs::is_directory(parent, ec)) {
+                    _error = "flag --" + name + ": directory '" +
+                             parent.string() + "' does not exist";
+                    return false;
+                }
+            }
+        } else if (flag.kind == Kind::Double) {
             char *end = nullptr;
             const std::string &v = *flag.value;
             std::strtod(v.c_str(), &end);
@@ -149,6 +178,13 @@ std::string
 FlagParser::getString(const std::string &name) const
 {
     const auto &f = flagOrDie(name, Kind::String);
+    return f.value.value_or(f.defaultValue);
+}
+
+std::string
+FlagParser::getPath(const std::string &name) const
+{
+    const auto &f = flagOrDie(name, Kind::Path);
     return f.value.value_or(f.defaultValue);
 }
 

@@ -24,6 +24,15 @@ class FlagParser
     /** Register flags. Names are given without the leading "--". */
     void addString(const std::string &name, std::string default_value,
                    std::string help);
+    /**
+     * Output-file path flag. A non-empty value is validated at parse
+     * time: its parent directory must exist and the path itself must
+     * not name a directory, so tools fail before doing work rather
+     * than after, when the write is attempted. An empty value (the
+     * usual default) means "not requested" and is never validated.
+     */
+    void addPath(const std::string &name, std::string default_value,
+                 std::string help);
     void addDouble(const std::string &name, double default_value,
                    std::string help);
     void addInt(const std::string &name, int default_value,
@@ -47,6 +56,7 @@ class FlagParser
     bool parse(int argc, const char *const *argv);
 
     std::string getString(const std::string &name) const;
+    std::string getPath(const std::string &name) const;
     double getDouble(const std::string &name) const;
     int getInt(const std::string &name) const;
     bool getBool(const std::string &name) const;
@@ -62,7 +72,7 @@ class FlagParser
     std::string usage() const;
 
   private:
-    enum class Kind { String, Double, Int, Bool };
+    enum class Kind { String, Path, Double, Int, Bool };
 
     struct Flag
     {

@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "kernel/kernel.hpp"
+#include "trace/trace.hpp"
 
 namespace gpupm::exec {
 
@@ -89,12 +90,16 @@ SweepEngine::forEach(std::size_t n,
     if (_jobs == 1 || n <= 1) {
         // Exact serial path: submission order, calling thread.
         for (std::size_t i = 0; i < n; ++i) {
+            trace::Span span(trace::Category::Exec, "exec.job", "index",
+                             static_cast<double>(i));
             Pcg32 rng = jobRng(i);
             fn(i, rng);
         }
         return;
     }
     _pool->parallelFor(n, [&](std::size_t i) {
+        trace::Span span(trace::Category::Exec, "exec.job", "index",
+                         static_cast<double>(i));
         Pcg32 rng = jobRng(i);
         fn(i, rng);
     });

@@ -39,6 +39,8 @@ runSimJob(const SimJob &job, const hw::ApuParams &params)
         GPUPM_ASSERT(job.predictor, "MPC job needs a predictor");
         GPUPM_ASSERT(job.mpcRuns >= 1, "need one optimized MPC run");
         mpc::MpcGovernor gov(job.predictor, job.mpcOpts);
+        if (job.decisionSink)
+            gov.setDecisionSink(job.decisionSink, job.traceSession);
         sim.run(job.app, gov, target); // profiling execution
         sim::RunResult last;
         for (int i = 0; i < job.mpcRuns; ++i)

@@ -21,6 +21,7 @@
 #include "ml/predictor.hpp"
 #include "mpc/options.hpp"
 #include "sim/simulator.hpp"
+#include "trace/decision.hpp"
 #include "workload/trace.hpp"
 
 namespace gpupm::exec {
@@ -44,6 +45,13 @@ struct SimJob
      * Core baseline first and use its throughput", as the paper does.
      */
     Throughput target = 0.0;
+    /**
+     * Decision-provenance sink for Policy::Mpc (must be thread-safe;
+     * jobs run on any worker). Null = no provenance capture.
+     */
+    trace::DecisionSink *decisionSink = nullptr;
+    /** Session id stamped on this job's decision records. */
+    std::uint64_t traceSession = 0;
 };
 
 /** Execute one job (also the body each sweep worker runs). */

@@ -9,6 +9,7 @@
 
 #include "common/logging.hpp"
 #include "ml/random_forest.hpp"
+#include "trace/trace.hpp"
 
 namespace gpupm::ml {
 
@@ -250,6 +251,8 @@ FlatForest::predictBatch(std::span<const FeatureVector> x,
     GPUPM_ASSERT(out.size() == x.size(),
                  "predictBatch output size mismatch");
     const std::size_t n = x.size();
+    trace::Span span(trace::Category::Ml, "ml.flatForest.predictBatch",
+                     "queries", static_cast<double>(n));
 
     if (n < 8) {
         // Too few queries to interleave; predictOne interleaves trees

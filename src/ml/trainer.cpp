@@ -6,6 +6,7 @@
 #include "common/logging.hpp"
 #include "exec/sweep.hpp"
 #include "kernel/perf_model.hpp"
+#include "trace/trace.hpp"
 #include "workload/training.hpp"
 
 namespace gpupm::ml {
@@ -46,6 +47,8 @@ RandomForestPredictor::predictRows(std::span<const FeatureVector> rows,
                  "predictRows output size mismatch");
     if (rows.empty())
         return;
+    trace::Span span(trace::Category::Ml, "ml.predictRows", "rows",
+                     static_cast<double>(rows.size()));
     _timeFlat.predictBatch(rows, time_log);
     _powerFlat.predictBatch(rows, gpu_power);
 }
@@ -103,6 +106,8 @@ RandomForestPredictor::predictBatch(const PredictionQuery &q,
     const std::size_t n = cs.size();
     if (n == 0)
         return;
+    trace::Span span(trace::Category::Ml, "ml.predictBatch", "configs",
+                     static_cast<double>(n));
 
     const double proxy = instructionProxy(q.counters);
 

@@ -1,11 +1,21 @@
 #include "mpc/governor.hpp"
 
+#include <functional>
 #include <limits>
 #include <vector>
 
 #include "common/logging.hpp"
+#include "kernel/counters.hpp"
+#include "trace/trace.hpp"
 
 namespace gpupm::mpc {
+
+namespace {
+
+/** "No configuration found" sentinel for fallbackDecide's scan. */
+constexpr std::size_t cfgsNone = static_cast<std::size_t>(-1);
+
+} // namespace
 
 MpcGovernor::MpcGovernor(
     std::shared_ptr<const ml::PerfPowerPredictor> predictor,
@@ -28,6 +38,8 @@ MpcGovernor::beginRun(const std::string &app_name, Throughput target)
                  "one MpcGovernor instance serves one application; got '",
                  app_name, "' after '", _appName, "'");
     _appName = app_name;
+    _traceRunIndex = _runsBegun++;
+    _tracePending = false;
 
     _pattern.beginRun();
 
@@ -81,6 +93,16 @@ MpcGovernor::horizonFor(std::size_t index)
 sim::Decision
 MpcGovernor::decide(std::size_t index)
 {
+    trace::Span span(trace::Category::Mpc, "mpc.decide");
+    if (_sink) {
+        _traceRec = {};
+        _traceRec.app = _appName;
+        _traceRec.session = _traceSession;
+        _traceRec.run = _traceRunIndex;
+        _traceRec.index = index;
+        _tracePending = true;
+    }
+
     if (!_optimizing) {
         // Profiling execution: plain PPK while the pattern extractor
         // learns the application (Sec. V-B).
@@ -98,6 +120,16 @@ MpcGovernor::decide(std::size_t index)
                          _ppk.lastEvaluationCount(), true, d.config,
                          d.overheadTime});
         }
+        if (_tracePending) {
+            _traceRec.tag = 'P';
+            _traceRec.profiling = true;
+            _traceRec.evaluations = _ppk.lastEvaluationCount();
+            _traceRec.uniqueEvaluations = _ppk.lastEvaluationCount();
+            _traceRec.configIndex = hw::denseConfigIndex(d.config);
+            _traceRec.overheadTime = d.overheadTime;
+        }
+        span.arg("evals",
+                 static_cast<double>(_ppk.lastEvaluationCount()));
         return d;
     }
 
@@ -132,6 +164,8 @@ MpcGovernor::decide(std::size_t index)
         d.config = cfg;
         d.overheadTime = 0.0;
         _pendingModeled = 0.0;
+        if (_tracePending)
+            _traceRec.tag = 'B';
     } else {
         d = optimizeWindow(index, h);
     }
@@ -143,6 +177,17 @@ MpcGovernor::decide(std::size_t index)
                      _stats.uniqueEvaluations - unique_before, false,
                      d.config, d.overheadTime});
     }
+    if (_tracePending) {
+        _traceRec.horizon = h;
+        _traceRec.evaluations = _stats.evaluations - evals_before;
+        _traceRec.uniqueEvaluations =
+            _stats.uniqueEvaluations - unique_before;
+        _traceRec.configIndex = hw::denseConfigIndex(d.config);
+        _traceRec.overheadTime = d.overheadTime;
+    }
+    span.arg("horizon", static_cast<double>(h));
+    span.arg("evals",
+             static_cast<double>(_stats.evaluations - evals_before));
     return d;
 }
 
@@ -154,6 +199,8 @@ MpcGovernor::fallbackDecide()
     const std::size_t store = _pattern.storeSize();
     if (store == 0) {
         _pendingModeled = 0.0;
+        if (_tracePending)
+            _traceRec.tag = 'F';
         return {hw::ConfigSpace::failSafe(), 0.0};
     }
     // The most recently observed kernel is the best "previous" guess.
@@ -165,8 +212,7 @@ MpcGovernor::fallbackDecide()
     q.groundTruth = rec.truth;
 
     const Seconds headroom = _tracker.headroom(rec.instructions);
-    const hw::HwConfig *best = nullptr;
-    const hw::HwConfig *fastest = nullptr;
+    std::size_t best_i = cfgsNone, fastest_i = cfgsNone;
     double best_energy = std::numeric_limits<double>::infinity();
     double fastest_time = std::numeric_limits<double>::infinity();
 
@@ -180,20 +226,28 @@ MpcGovernor::fallbackDecide()
         const auto &est = ests[i];
         if (est.time < fastest_time) {
             fastest_time = est.time;
-            fastest = &cfgs[i];
+            fastest_i = i;
         }
         if (est.time <= headroom && est.energy < best_energy) {
             best_energy = est.energy;
-            best = &cfgs[i];
+            best_i = i;
         }
     }
     _stats.evaluations += _space.size();
     _stats.uniqueEvaluations += _space.size();
     _pendingModeled = _opts.overhead.cost(_space.size());
 
+    const std::size_t chosen_i = best_i != cfgsNone ? best_i : fastest_i;
     sim::Decision d;
-    d.config = best ? *best : *fastest;
+    d.config = cfgs[chosen_i];
     d.overheadTime = _opts.chargeOverhead ? _pendingModeled : 0.0;
+    if (_tracePending) {
+        _traceRec.tag = 'F';
+        _traceRec.headroom = headroom;
+        _traceRec.hasHeadroom = true;
+        _traceRec.predictedTime = ests[chosen_i].time;
+        _traceRec.predictedEnergy = ests[chosen_i].energy;
+    }
     return d;
 }
 
@@ -250,8 +304,14 @@ MpcGovernor::optimizeWindow(std::size_t index, std::size_t horizon)
         const Seconds headroom =
             (planned_insts + rec.instructions + reserved_insts) / target -
             planned_time - reserved_time;
+        // Candidate capture only for the kernel actually being decided;
+        // lookahead kernels are re-optimized when their turn comes.
+        std::vector<trace::CandidateEval> *cands =
+            (_tracePending && inv == index) ? &_traceRec.candidates
+                                           : nullptr;
         const auto res = _climber.optimize(*_predictor, q, headroom,
-                                           hw::ConfigSpace::failSafe());
+                                           hw::ConfigSpace::failSafe(),
+                                           cands);
         window_evals += res.evaluations;
         window_unique += res.uniqueEvaluations;
 
@@ -269,6 +329,13 @@ MpcGovernor::optimizeWindow(std::size_t index, std::size_t horizon)
             chosen = cfg;
             found_current = true;
             _pendingExpectedTime = expected_time;
+            if (_tracePending) {
+                _traceRec.tag = 'W';
+                _traceRec.headroom = headroom;
+                _traceRec.hasHeadroom = true;
+                _traceRec.predictedTime = res.predictedTime;
+                _traceRec.predictedEnergy = res.predictedEnergy;
+            }
         }
     }
     GPUPM_ASSERT(found_current, "current kernel missing from window");
@@ -286,6 +353,7 @@ MpcGovernor::optimizeWindow(std::size_t index, std::size_t horizon)
 void
 MpcGovernor::observe(const sim::Observation &obs)
 {
+    trace::Span span(trace::Category::Mpc, "mpc.observe");
     const auto &m = obs.measurement;
     _pattern.observe(m.counters, m.time, m.gpuPower, m.instructions,
                      obs.kernelTruth);
@@ -314,6 +382,20 @@ MpcGovernor::observe(const sim::Observation &obs)
         pk.time = m.time;
         _profile.push_back(pk);
     }
+
+    if (_tracePending && _sink) {
+        _traceRec.kernelSignature =
+            std::hash<kernel::Signature>{}(kernel::signatureOf(m.counters));
+        _traceRec.observed = true;
+        _traceRec.measuredTime = m.time;
+        _traceRec.measuredGpuPower = m.gpuPower;
+        if (_traceRec.predictedTime >= 0.0 && m.time > 0.0) {
+            _traceRec.timeErrorPct =
+                100.0 * (_traceRec.predictedTime - m.time) / m.time;
+        }
+        _sink->record(std::move(_traceRec));
+    }
+    _tracePending = false;
 
     _pendingCharged = 0.0;
     _pendingModeled = 0.0;

@@ -33,6 +33,7 @@
 #include "mpc/search_order.hpp"
 #include "policy/ppk.hpp"
 #include "sim/governor.hpp"
+#include "trace/decision.hpp"
 
 namespace gpupm::mpc {
 
@@ -117,6 +118,21 @@ class MpcGovernor : public sim::Governor
         _onDecision = std::move(cb);
     }
 
+    /**
+     * Attach a decision-provenance sink (null to detach). Every
+     * decide() then assembles a trace::DecisionRecord - inputs, scored
+     * candidates, choice - which is completed with the measured outcome
+     * in observe() and handed to the sink. Pure observation: decisions
+     * are identical with or without a sink. The sink must outlive the
+     * governor; @p session labels the records (fleet session id).
+     */
+    void
+    setDecisionSink(trace::DecisionSink *sink, std::uint64_t session = 0)
+    {
+        _sink = sink;
+        _traceSession = session;
+    }
+
   private:
     sim::Decision fallbackDecide();
     sim::Decision optimizeWindow(std::size_t index, std::size_t horizon);
@@ -150,6 +166,16 @@ class MpcGovernor : public sim::Governor
     MpcRunStats _stats;
     std::string _appName;
     std::function<void(const DecisionEvent &)> _onDecision;
+
+    // Decision-provenance capture (null sink = no capture).
+    trace::DecisionSink *_sink = nullptr;
+    std::uint64_t _traceSession = 0;
+    std::size_t _runsBegun = 0;
+    std::size_t _traceRunIndex = 0;
+    /** Record under construction between decide() and observe();
+     *  meaningful only while _tracePending. */
+    trace::DecisionRecord _traceRec;
+    bool _tracePending = false;
 };
 
 } // namespace gpupm::mpc

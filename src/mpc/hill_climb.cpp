@@ -26,13 +26,22 @@ HillClimbOptimizer::HillClimbOptimizer(const hw::ConfigSpace &space,
 }
 
 HillClimbResult
-HillClimbOptimizer::optimize(const ml::PerfPowerPredictor &pred,
-                             const ml::PredictionQuery &q,
-                             Seconds headroom,
-                             const hw::HwConfig &start) const
+HillClimbOptimizer::optimize(
+    const ml::PerfPowerPredictor &pred, const ml::PredictionQuery &q,
+    Seconds headroom, const hw::HwConfig &start,
+    std::vector<trace::CandidateEval> *candidates) const
 {
     std::size_t evals = 0;
     std::size_t unique_evals = 0;
+
+    auto trace_eval = [&](const hw::HwConfig &c, const Eval &e,
+                          bool memo_hit) {
+        if (candidates) {
+            candidates->push_back(
+                {static_cast<std::uint32_t>(hw::denseConfigIndex(c)),
+                 e.time, e.energy, memo_hit});
+        }
+    };
 
     // Per-decision eval memo keyed by the universal dense config index:
     // sensitivity probes and climbing steps frequently revisit the same
@@ -54,10 +63,14 @@ HillClimbOptimizer::optimize(const ml::PerfPowerPredictor &pred,
     auto evaluate = [&](const hw::HwConfig &c) {
         ++evals;
         const auto d = hw::denseConfigIndex(c);
-        if (slot[d] >= 0)
-            return cache[static_cast<std::size_t>(slot[d])];
+        if (slot[d] >= 0) {
+            const Eval &e = cache[static_cast<std::size_t>(slot[d])];
+            trace_eval(c, e, true);
+            return e;
+        }
         ++unique_evals;
         remember(c, _energy.estimate(pred, q, c));
+        trace_eval(c, cache.back(), false);
         return cache.back();
     };
 
@@ -88,8 +101,11 @@ HillClimbOptimizer::optimize(const ml::PerfPowerPredictor &pred,
         std::span<ml::EnergyEstimate>(batch_est.data(), batch_n));
     evals += batch_n;
     unique_evals += batch_n; // start and probes are pairwise distinct
-    for (std::size_t i = 0; i < batch_n; ++i)
+    for (std::size_t i = 0; i < batch_n; ++i) {
         remember(batch_cfg[i], batch_est[i]);
+        trace_eval(batch_cfg[i],
+                   Eval{batch_est[i].time, batch_est[i].energy}, false);
+    }
 
     Eval cur_eval{batch_est[0].time, batch_est[0].energy};
     bool cur_ok = cur_eval.time <= headroom;

@@ -14,8 +14,11 @@
 
 #pragma once
 
+#include <vector>
+
 #include "hw/config.hpp"
 #include "ml/energy.hpp"
+#include "trace/decision.hpp"
 
 namespace gpupm::mpc {
 
@@ -55,11 +58,14 @@ class HillClimbOptimizer
      * @param headroom Time budget for this kernel (may be negative when
      *        the run is behind target; the search then races).
      * @param start Starting configuration.
+     * @param candidates When non-null, every scored configuration is
+     *        appended in evaluation order (provenance capture). Pure
+     *        observation: the search is identical either way.
      */
-    HillClimbResult optimize(const ml::PerfPowerPredictor &pred,
-                             const ml::PredictionQuery &q,
-                             Seconds headroom,
-                             const hw::HwConfig &start) const;
+    HillClimbResult optimize(
+        const ml::PerfPowerPredictor &pred, const ml::PredictionQuery &q,
+        Seconds headroom, const hw::HwConfig &start,
+        std::vector<trace::CandidateEval> *candidates = nullptr) const;
 
   private:
     const hw::ConfigSpace &_space;

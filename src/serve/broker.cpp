@@ -1,12 +1,13 @@
 #include "serve/broker.hpp"
 
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace gpupm::serve {
 
 InferenceBroker::InferenceBroker(
     std::shared_ptr<const ml::RandomForestPredictor> rf,
-    const BrokerOptions &opts, sim::TelemetryRegistry *telemetry)
+    const BrokerOptions &opts, telemetry::Registry *telemetry)
     : _rf(std::move(rf)), _opts(opts)
 {
     GPUPM_ASSERT(_rf != nullptr, "broker needs a predictor");
@@ -59,7 +60,7 @@ InferenceBroker::shouldFlushLocked() const
 
 void
 InferenceBroker::flushLocked(std::unique_lock<std::mutex> &lock,
-                             sim::TelemetryCounter *reason)
+                             telemetry::Counter *reason)
 {
     // Claim the current pending set; later submissions form the next
     // batch and are invisible to this flush.
@@ -72,6 +73,10 @@ InferenceBroker::flushLocked(std::unique_lock<std::mutex> &lock,
     _flushes += 1;
     _queries += queries;
     lock.unlock();
+
+    trace::Span span(trace::Category::Serve, "serve.brokerFlush",
+                     "queries", static_cast<double>(queries));
+    span.arg("requests", static_cast<double>(batch.size()));
 
     if (_batchHist)
         _batchHist->record(queries);

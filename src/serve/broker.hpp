@@ -41,7 +41,7 @@
 
 #include "ml/features.hpp"
 #include "ml/trainer.hpp"
-#include "sim/telemetry_counters.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace gpupm::serve {
 
@@ -64,7 +64,7 @@ class InferenceBroker
     InferenceBroker(
         std::shared_ptr<const ml::RandomForestPredictor> rf,
         const BrokerOptions &opts = {},
-        sim::TelemetryRegistry *telemetry = nullptr);
+        telemetry::Registry *telemetry = nullptr);
 
     const ml::RandomForestPredictor &predictor() const { return *_rf; }
 
@@ -125,7 +125,7 @@ class InferenceBroker
      * deliver results and wake waiters. Lock held on entry and exit.
      */
     void flushLocked(std::unique_lock<std::mutex> &lock,
-                     sim::TelemetryCounter *reason);
+                     telemetry::Counter *reason);
 
     std::shared_ptr<const ml::RandomForestPredictor> _rf;
     BrokerOptions _opts;
@@ -140,13 +140,13 @@ class InferenceBroker
     std::size_t _queries = 0;
 
     // Telemetry cells (resolved once; null when no registry given).
-    sim::TelemetryHistogram *_batchHist = nullptr;
+    telemetry::Histogram *_batchHist = nullptr;
     /** Requests coalesced per flush - the cross-session batching signal
      *  (queries per flush is large even without coalescing). */
-    sim::TelemetryHistogram *_reqHist = nullptr;
-    sim::TelemetryCounter *_flushFull = nullptr;
-    sim::TelemetryCounter *_flushAllWaiting = nullptr;
-    sim::TelemetryCounter *_flushDeadline = nullptr;
+    telemetry::Histogram *_reqHist = nullptr;
+    telemetry::Counter *_flushFull = nullptr;
+    telemetry::Counter *_flushAllWaiting = nullptr;
+    telemetry::Counter *_flushDeadline = nullptr;
 };
 
 } // namespace gpupm::serve

@@ -8,6 +8,7 @@
 
 #include "common/logging.hpp"
 #include "exec/sweep.hpp"
+#include "trace/trace.hpp"
 #include "workload/benchmarks.hpp"
 
 namespace gpupm::serve {
@@ -16,7 +17,7 @@ FleetServer::FleetServer(
     std::shared_ptr<const ml::PerfPowerPredictor> predictor,
     const FleetServerOptions &opts)
     : _opts(opts),
-      _telemetry(std::make_unique<sim::TelemetryRegistry>()),
+      _telemetry(std::make_unique<telemetry::Registry>()),
       _queue(opts.queueCapacity)
 {
     GPUPM_ASSERT(predictor != nullptr, "fleet server needs a predictor");
@@ -99,6 +100,21 @@ FleetServer::rejectedRequests() const
 void
 FleetServer::process(const DecisionRequest &req)
 {
+    if (trace::Tracer::enabled()) [[unlikely]] {
+        // Backdated span covering the request's time in the queue, so
+        // the timeline shows admission-to-dispatch waits per session.
+        const auto wait =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - req.submitted)
+                .count();
+        const std::uint64_t wait_ns =
+            wait > 0 ? static_cast<std::uint64_t>(wait) : 0;
+        const std::uint64_t now = trace::Tracer::nowNs();
+        trace::Tracer::emit(trace::Category::Serve, "serve.queueWait",
+                            now > wait_ns ? now - wait_ns : 0, wait_ns,
+                            "session",
+                            static_cast<double>(req.session));
+    }
     Session *s = _sessions->checkout(req.session);
     if (!s) {
         // Unknown (evicted) or concurrently busy; the admission
@@ -137,6 +153,10 @@ runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
             std::max(sopts.sessions.maxSessions, opts.sessionCount);
     }
     FleetServer server(std::move(predictor), sopts);
+    // Sessions read the sink from the registry at creation; install it
+    // first so every governor reports from its very first decision.
+    if (opts.decisionSink)
+        server.telemetry().setDecisionSink(opts.decisionSink);
 
     std::vector<workload::Application> apps;
     if (opts.apps.empty()) {

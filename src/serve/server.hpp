@@ -9,7 +9,7 @@
  * predictor is a Random Forest - an InferenceBroker coalescing the
  * in-flight decisions' evaluations into shared batched forest walks.
  * Server metrics (queue depth, decision latency, batch-size histograms,
- * rejected requests) accumulate in an owned TelemetryRegistry.
+ * rejected requests) accumulate in an owned telemetry::Registry.
  *
  * runFleet() is the deterministic driver used by the CLI, the golden
  * trace test and the benchmark: it creates N sessions (round-robin over
@@ -34,6 +34,7 @@
 #include "serve/broker.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/session_manager.hpp"
+#include "trace/decision.hpp"
 
 namespace gpupm::serve {
 
@@ -93,8 +94,8 @@ class FleetServer
     std::size_t queueDepth() const { return _queue.depth(); }
     std::size_t rejectedRequests() const;
 
-    sim::TelemetryRegistry &telemetry() { return *_telemetry; }
-    sim::TelemetrySnapshot metrics() const
+    telemetry::Registry &telemetry() { return *_telemetry; }
+    telemetry::Snapshot metrics() const
     {
         return _telemetry->snapshot();
     }
@@ -106,18 +107,18 @@ class FleetServer
     void process(const DecisionRequest &req);
 
     FleetServerOptions _opts;
-    std::unique_ptr<sim::TelemetryRegistry> _telemetry;
+    std::unique_ptr<telemetry::Registry> _telemetry;
     std::unique_ptr<InferenceBroker> _broker;
     std::unique_ptr<SessionManager> _sessions;
     RequestQueue<DecisionRequest> _queue;
     std::unique_ptr<exec::ThreadPool> _pool;
     bool _stopped = false;
 
-    sim::TelemetryCounter *_decisions = nullptr;
-    sim::TelemetryCounter *_rejected = nullptr;
-    sim::TelemetryCounter *_lost = nullptr;
-    sim::TelemetryHistogram *_depthHist = nullptr;
-    sim::TelemetryHistogram *_latencyHist = nullptr;
+    telemetry::Counter *_decisions = nullptr;
+    telemetry::Counter *_rejected = nullptr;
+    telemetry::Counter *_lost = nullptr;
+    telemetry::Histogram *_depthHist = nullptr;
+    telemetry::Histogram *_latencyHist = nullptr;
 };
 
 /** Fleet workload description for runFleet. */
@@ -136,13 +137,20 @@ struct FleetOptions
      */
     double cpuPhaseJitter = 0.0;
     std::uint64_t seed = 0x5eedULL;
+    /**
+     * Decision-provenance sink, installed on the server's telemetry
+     * registry before any session is created; every session governor
+     * then reports its records here. Null = no provenance capture.
+     * Must outlive the runFleet call.
+     */
+    trace::DecisionSink *decisionSink = nullptr;
 };
 
 struct FleetResult
 {
     /** All decisions, ordered by (session, run, index). */
     std::vector<DecisionRecord> trace;
-    sim::TelemetrySnapshot metrics;
+    telemetry::Snapshot metrics;
     std::size_t sessions = 0;
     std::size_t decisions = 0;
     double wallSeconds = 0.0;

@@ -5,6 +5,7 @@
 
 #include "common/logging.hpp"
 #include "policy/turbo_core.hpp"
+#include "trace/trace.hpp"
 
 namespace gpupm::serve {
 
@@ -12,7 +13,7 @@ Session::Session(SessionId id, workload::Application app,
                  std::shared_ptr<const ml::PerfPowerPredictor> base,
                  InferenceBroker *broker, const SessionOptions &opts,
                  const hw::ApuParams &params,
-                 sim::TelemetryRegistry *telemetry)
+                 telemetry::Registry *telemetry)
     : _id(id), _app(std::move(app)), _base(std::move(base)),
       _broker(broker), _opts(opts), _params(params),
       _telemetry(telemetry), _apu(params)
@@ -41,6 +42,8 @@ Session::reset()
                                                    _params);
     _governor->setDecisionCallback(
         [this](const mpc::DecisionEvent &e) { _lastEvent = e; });
+    if (_telemetry)
+        _governor->setDecisionSink(_telemetry->decisionSink(), _id);
     _run = 0;
     _invocation = 0;
     _decisions = 0;
@@ -68,6 +71,8 @@ DecisionRecord
 Session::step()
 {
     GPUPM_ASSERT(!finished(), "step() on a finished session");
+    trace::Span span(trace::Category::Serve, "serve.step", "session",
+                     static_cast<double>(_id));
     if (_invocation == 0)
         beginRun();
 

@@ -82,7 +82,7 @@ class Session
             std::shared_ptr<const ml::PerfPowerPredictor> base,
             InferenceBroker *broker, const SessionOptions &opts = {},
             const hw::ApuParams &params = hw::ApuParams::defaults(),
-            sim::TelemetryRegistry *telemetry = nullptr);
+            telemetry::Registry *telemetry = nullptr);
 
     SessionId id() const { return _id; }
     const std::string &appName() const { return _app.name; }
@@ -130,7 +130,7 @@ class Session
     InferenceBroker *_broker;
     SessionOptions _opts;
     hw::ApuParams _params;
-    sim::TelemetryRegistry *_telemetry;
+    telemetry::Registry *_telemetry;
 
     Throughput _target = 0.0;
     std::shared_ptr<SessionPredictor> _predictor;

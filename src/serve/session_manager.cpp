@@ -9,7 +9,7 @@ namespace gpupm::serve {
 SessionManager::SessionManager(
     std::shared_ptr<const ml::PerfPowerPredictor> base,
     InferenceBroker *broker, const SessionManagerOptions &opts,
-    const hw::ApuParams &params, sim::TelemetryRegistry *telemetry)
+    const hw::ApuParams &params, telemetry::Registry *telemetry)
     : _base(std::move(base)), _broker(broker), _opts(opts),
       _params(params), _telemetry(telemetry)
 {

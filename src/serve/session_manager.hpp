@@ -45,7 +45,7 @@ class SessionManager
                    InferenceBroker *broker,
                    const SessionManagerOptions &opts = {},
                    const hw::ApuParams &params = hw::ApuParams::defaults(),
-                   sim::TelemetryRegistry *telemetry = nullptr);
+                   telemetry::Registry *telemetry = nullptr);
 
     /**
      * Create a session for @p app; evicts the LRU idle session when at
@@ -89,14 +89,14 @@ class SessionManager
     InferenceBroker *_broker;
     SessionManagerOptions _opts;
     hw::ApuParams _params;
-    sim::TelemetryRegistry *_telemetry;
+    telemetry::Registry *_telemetry;
 
     mutable std::mutex _mutex;
     std::unordered_map<SessionId, Slot> _slots;
     SessionId _nextId = 1;
     std::uint64_t _clock = 0;
     std::size_t _lruEvictions = 0;
-    sim::TelemetryCounter *_evictionCounter = nullptr;
+    telemetry::Counter *_evictionCounter = nullptr;
 };
 
 } // namespace gpupm::serve

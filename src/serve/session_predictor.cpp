@@ -11,7 +11,7 @@ namespace gpupm::serve {
 SessionPredictor::SessionPredictor(
     std::shared_ptr<const ml::PerfPowerPredictor> base,
     InferenceBroker *broker, const SessionPredictorOptions &opts,
-    sim::TelemetryRegistry *telemetry)
+    telemetry::Registry *telemetry)
     : _base(std::move(base)),
       _rf(dynamic_cast<const ml::RandomForestPredictor *>(_base.get())),
       _broker(broker), _cap(opts.kernelCacheCap)

@@ -40,7 +40,7 @@
 
 #include "ml/trainer.hpp"
 #include "serve/broker.hpp"
-#include "sim/telemetry_counters.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace gpupm::serve {
 
@@ -69,7 +69,7 @@ class SessionPredictor : public ml::PerfPowerPredictor
         std::shared_ptr<const ml::PerfPowerPredictor> base,
         InferenceBroker *broker,
         const SessionPredictorOptions &opts = {},
-        sim::TelemetryRegistry *telemetry = nullptr);
+        telemetry::Registry *telemetry = nullptr);
 
     ml::Prediction predict(const ml::PredictionQuery &q,
                            const hw::HwConfig &c) const override;
@@ -113,9 +113,9 @@ class SessionPredictor : public ml::PerfPowerPredictor
     mutable std::size_t _evictions = 0;
 
     // Shared telemetry cells (atomic; may be null).
-    sim::TelemetryCounter *_hitQueries = nullptr;
-    sim::TelemetryCounter *_missQueries = nullptr;
-    sim::TelemetryCounter *_kernelEvictions = nullptr;
+    telemetry::Counter *_hitQueries = nullptr;
+    telemetry::Counter *_missQueries = nullptr;
+    telemetry::Counter *_kernelEvictions = nullptr;
 };
 
 } // namespace gpupm::serve

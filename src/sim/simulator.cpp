@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "common/logging.hpp"
+#include "trace/trace.hpp"
 
 namespace gpupm::sim {
 
@@ -15,6 +16,9 @@ Simulator::run(const workload::Application &app, Governor &governor,
 {
     GPUPM_ASSERT(!app.trace.empty(), "application '", app.name,
                  "' has an empty trace");
+
+    trace::Span run_span(trace::Category::Sim, "sim.run", "invocations",
+                         static_cast<double>(app.trace.size()));
 
     kernel::Apu apu(_params);
     governor.beginRun(app.name, target_throughput);
@@ -31,6 +35,9 @@ Simulator::run(const workload::Application &app, Governor &governor,
 
     for (std::size_t i = 0; i < app.trace.size(); ++i) {
         const auto &inv = app.trace[i];
+
+        trace::Span inv_span(trace::Category::Sim, "sim.invocation",
+                             "index", static_cast<double>(i));
 
         const Decision decision = governor.decide(i);
         GPUPM_ASSERT(decision.overheadTime >= 0.0,

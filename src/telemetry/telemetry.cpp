@@ -1,0 +1,275 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hpp"
+
+namespace gpupm::telemetry {
+
+namespace {
+
+/** One piecewise-constant interval of the reconstructed timeline. */
+struct Interval
+{
+    Seconds duration;
+    Watts cpuPower;
+    Watts gpuPower;
+    std::size_t invocation;
+    PhaseKind phase;
+};
+
+std::vector<Interval>
+timelineOf(const sim::RunResult &run)
+{
+    std::vector<Interval> out;
+    for (const auto &rec : run.records) {
+        if (rec.cpuPhaseTime > 0.0) {
+            out.push_back({rec.cpuPhaseTime,
+                           rec.cpuPhaseCpuEnergy / rec.cpuPhaseTime,
+                           rec.cpuPhaseGpuEnergy / rec.cpuPhaseTime,
+                           rec.index, PhaseKind::CpuPhase});
+        }
+        if (rec.overheadTime > 0.0) {
+            // Energy fields cover hidden + exposed latency; prorate to
+            // the exposed interval (power is identical either way).
+            const Seconds full =
+                rec.overheadTime + rec.hiddenOverheadTime;
+            out.push_back({rec.overheadTime,
+                           rec.overheadCpuEnergy / full,
+                           rec.overheadGpuEnergy / full, rec.index,
+                           PhaseKind::Governor});
+        }
+        if (rec.kernelTime > 0.0) {
+            out.push_back({rec.kernelTime,
+                           rec.kernelCpuEnergy / rec.kernelTime,
+                           rec.kernelGpuEnergy / rec.kernelTime,
+                           rec.index, PhaseKind::Kernel});
+        }
+    }
+    return out;
+}
+
+/** Bucket index for a sample: floor(log2(max(sample, 1))). */
+std::size_t
+bucketOf(std::uint64_t sample)
+{
+    if (sample < 2)
+        return 0;
+    const auto b = static_cast<std::size_t>(
+        std::bit_width(sample) - 1);
+    return b < Histogram::numBuckets ? b : Histogram::numBuckets - 1;
+}
+
+} // namespace
+
+PowerTrace
+PowerTrace::fromRun(const sim::RunResult &run,
+                    const hw::ApuParams &params, Seconds interval)
+{
+    GPUPM_ASSERT(interval > 0.0, "sampling interval must be positive");
+
+    PowerTrace trace;
+    trace._interval = interval;
+
+    hw::ThermalModel thermal(params);
+    Seconds now = 0.0;
+    for (const auto &iv : timelineOf(run)) {
+        // Walk the interval in sampler ticks; the final partial tick
+        // is emitted with its true (shorter) duration so that energy
+        // integrates exactly.
+        Seconds remaining = iv.duration;
+        while (remaining > 0.0) {
+            const Seconds dt = std::min(remaining, interval);
+            const Celsius temp =
+                thermal.advance(iv.cpuPower + iv.gpuPower, dt);
+            now += dt;
+            remaining -= dt;
+
+            PowerSample s;
+            s.timestamp = now;
+            s.cpuPower = iv.cpuPower;
+            s.gpuPower = iv.gpuPower;
+            s.temperature = temp;
+            s.invocationIndex = iv.invocation;
+            s.phase = iv.phase;
+            trace._samples.push_back(s);
+
+            trace._cpuEnergy += iv.cpuPower * dt;
+            trace._gpuEnergy += iv.gpuPower * dt;
+        }
+    }
+    return trace;
+}
+
+Watts
+PowerTrace::peakPower() const
+{
+    Watts peak = 0.0;
+    for (const auto &s : _samples)
+        peak = std::max(peak, s.totalPower());
+    return peak;
+}
+
+Watts
+PowerTrace::averagePower() const
+{
+    if (_samples.empty())
+        return 0.0;
+    const Seconds end = _samples.back().timestamp;
+    return end > 0.0 ? totalEnergy() / end : 0.0;
+}
+
+Celsius
+PowerTrace::peakTemperature() const
+{
+    Celsius peak = 0.0;
+    for (const auto &s : _samples)
+        peak = std::max(peak, s.temperature);
+    return peak;
+}
+
+bool
+PowerTrace::exceedsTdp(Watts tdp) const
+{
+    for (const auto &s : _samples) {
+        if (s.totalPower() > tdp)
+            return true;
+    }
+    return false;
+}
+
+void
+PowerTrace::writeCsv(std::ostream &os) const
+{
+    os << "timestamp_ms,cpu_w,gpu_w,total_w,temp_c,invocation,phase\n";
+    for (const auto &s : _samples) {
+        os << s.timestamp * 1e3 << ',' << s.cpuPower << ','
+           << s.gpuPower << ',' << s.totalPower() << ','
+           << s.temperature << ',' << s.invocationIndex << ','
+           << static_cast<char>(s.phase) << '\n';
+    }
+}
+
+void
+Histogram::record(std::uint64_t sample)
+{
+    _buckets[bucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
+    _count.fetch_add(1, std::memory_order_relaxed);
+    _sum.fetch_add(sample, std::memory_order_relaxed);
+}
+
+double
+Histogram::mean() const
+{
+    const auto n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / n;
+}
+
+std::array<std::uint64_t, Histogram::numBuckets>
+Histogram::buckets() const
+{
+    std::array<std::uint64_t, numBuckets> out{};
+    for (std::size_t i = 0; i < numBuckets; ++i)
+        out[i] = _buckets[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    const auto b = buckets();
+    std::uint64_t total = 0;
+    for (const auto c : b)
+        total += c;
+    if (total == 0)
+        return 0.0;
+
+    // Rank of the requested percentile (1-based, nearest-rank).
+    const double clamped = p < 0.0 ? 0.0 : (p > 100.0 ? 100.0 : p);
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(clamped / 100.0 * total + 0.5);
+    if (rank == 0)
+        rank = 1;
+    if (rank > total)
+        rank = total;
+
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < numBuckets; ++i) {
+        if (b[i] == 0)
+            continue;
+        if (seen + b[i] >= rank) {
+            // Linear interpolation inside [lo, hi): exact when the
+            // bucket holds one distinct value (lo == hi - 1 for the
+            // first two buckets).
+            const double lo = i == 0 ? 0.0 : static_cast<double>(
+                                                 1ULL << i);
+            const double hi = static_cast<double>(2ULL << i);
+            const double frac =
+                static_cast<double>(rank - seen) / b[i];
+            return lo + (hi - lo) * frac;
+        }
+        seen += b[i];
+    }
+    return 0.0;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : _buckets)
+        b.store(0, std::memory_order_relaxed);
+    _count.store(0, std::memory_order_relaxed);
+    _sum.store(0, std::memory_order_relaxed);
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard lock(_mutex);
+    auto &slot = _counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard lock(_mutex);
+    auto &slot = _histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    std::lock_guard lock(_mutex);
+    Snapshot snap;
+    for (const auto &[name, c] : _counters)
+        snap.counters[name] = c->value();
+    for (const auto &[name, h] : _histograms) {
+        Snapshot::HistogramSummary s;
+        s.count = h->count();
+        s.sum = h->sum();
+        s.mean = h->mean();
+        s.p50 = h->percentile(50.0);
+        s.p99 = h->percentile(99.0);
+        snap.histograms[name] = s;
+    }
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard lock(_mutex);
+    for (auto &[name, c] : _counters)
+        c->reset();
+    for (auto &[name, h] : _histograms)
+        h->reset();
+}
+
+} // namespace gpupm::telemetry

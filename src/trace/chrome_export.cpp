@@ -1,0 +1,53 @@
+#include "trace/chrome_export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "trace/json.hpp"
+
+namespace gpupm::trace {
+
+namespace {
+
+/** Shortest round-trip decimal for a double (matches the repo's
+ *  golden-trace serializers). */
+std::string
+fmtDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+writeChromeTrace(std::ostream &os, std::span<const SpanEvent> events)
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const SpanEvent &e : events) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"name\":\"" << json::escape(e.name ? e.name : "?")
+           << "\",\"cat\":\"" << categoryName(e.cat)
+           << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid;
+        // Trace-event timestamps are microseconds; keep sub-µs
+        // resolution as a fractional part.
+        os << ",\"ts\":" << fmtDouble(static_cast<double>(e.startNs) / 1e3)
+           << ",\"dur\":" << fmtDouble(static_cast<double>(e.durNs) / 1e3);
+        if (e.arg0Name) {
+            os << ",\"args\":{\"" << json::escape(e.arg0Name)
+               << "\":" << fmtDouble(e.arg0);
+            if (e.arg1Name)
+                os << ",\"" << json::escape(e.arg1Name)
+                   << "\":" << fmtDouble(e.arg1);
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+} // namespace gpupm::trace

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Chrome trace-event exporter for collected span events.
+ *
+ * Emits the JSON object form of the Trace Event Format (the schema
+ * chrome://tracing and Perfetto load): a top-level object with a
+ * "traceEvents" array of complete ("ph":"X") events. Timestamps and
+ * durations are microseconds; span args become the per-event "args"
+ * object.
+ */
+
+#pragma once
+
+#include <ostream>
+#include <span>
+
+#include "trace/trace.hpp"
+
+namespace gpupm::trace {
+
+/**
+ * Write @p events as one Chrome trace-event JSON document.
+ *
+ * Events should already be in the order collect() returns (sorted by
+ * start time); the writer preserves input order.
+ */
+void writeChromeTrace(std::ostream &os, std::span<const SpanEvent> events);
+
+} // namespace gpupm::trace

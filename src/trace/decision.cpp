@@ -1,0 +1,43 @@
+#include "trace/decision.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace gpupm::trace {
+
+void
+DecisionLog::record(DecisionRecord &&rec)
+{
+    std::lock_guard lock(_mutex);
+    _records.push_back(std::move(rec));
+}
+
+std::size_t
+DecisionLog::size() const
+{
+    std::lock_guard lock(_mutex);
+    return _records.size();
+}
+
+std::vector<DecisionRecord>
+DecisionLog::take()
+{
+    std::lock_guard lock(_mutex);
+    std::vector<DecisionRecord> out;
+    out.swap(_records);
+    return out;
+}
+
+void
+sortDecisions(std::vector<DecisionRecord> &records)
+{
+    std::stable_sort(records.begin(), records.end(),
+                     [](const DecisionRecord &a, const DecisionRecord &b) {
+                         return std::tie(a.app, a.session, a.run,
+                                         a.index) <
+                                std::tie(b.app, b.session, b.run,
+                                         b.index);
+                     });
+}
+
+} // namespace gpupm::trace

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Decision-provenance records: the "why" behind every MPC decision.
+ *
+ * Span tracing (trace.hpp) answers *where time went*; this module
+ * answers *why the governor chose what it chose*. For each decision the
+ * governor emits one DecisionRecord carrying the inputs it saw (kernel
+ * signature, time headroom from Eqs. 4/5, horizon length), the search
+ * it ran (every candidate configuration the hill-climb evaluated, with
+ * predicted time/energy and whether the evaluation was served from the
+ * per-decision memo), the choice it made, and - once the kernel has
+ * executed - the measured outcome and the prediction error. This is the
+ * per-decision predicted-vs-measured introspection that control-
+ * theoretic governors lean on for diagnosis.
+ *
+ * Determinism contract: sinks are observers. Nothing recorded here may
+ * feed back into decision logic, so golden decision traces are
+ * byte-identical whether a sink is attached or not (pinned by
+ * test_trace).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace gpupm::trace {
+
+/** One configuration the optimizer scored while deciding. */
+struct CandidateEval
+{
+    /** hw::denseConfigIndex of the candidate. */
+    std::uint32_t configIndex = 0;
+    Seconds predictedTime = 0.0;
+    Joules predictedEnergy = 0.0;
+    /** Served from the per-decision memo (no predictor walk). */
+    bool memoHit = false;
+
+    bool
+    operator==(const CandidateEval &o) const
+    {
+        return configIndex == o.configIndex &&
+               predictedTime == o.predictedTime &&
+               predictedEnergy == o.predictedEnergy &&
+               memoHit == o.memoHit;
+    }
+};
+
+/** Full provenance of one governor decision. */
+struct DecisionRecord
+{
+    std::string app;
+    /** Fleet session (0 outside the serve subsystem). */
+    std::uint64_t session = 0;
+    /** Run number: 0 = profiling execution, 1.. = optimized. */
+    std::size_t run = 0;
+    /** Invocation index within the run. */
+    std::size_t index = 0;
+    /** Decision path: 'P' PPK profiling, 'W' window hill-climb,
+     *  'F' fallback exhaustive scan, 'B' budget-out config reuse. */
+    char tag = '?';
+    /** Decided on the PPK profiling path (no MPC optimization). */
+    bool profiling = false;
+    /** FNV hash of the observed kernel::Signature (the log-binned
+     *  counter identity the pattern extractor keys on); 0 until the
+     *  decision is observed. */
+    std::uint64_t kernelSignature = 0;
+
+    // What the optimizer saw.
+    /** Optimization window length (0 on profiling/budget-out paths). */
+    std::size_t horizon = 0;
+    /** Eq. 4/5 time budget for the decided kernel; meaningful only
+     *  when hasHeadroom. */
+    Seconds headroom = 0.0;
+    bool hasHeadroom = false;
+
+    // What it did.
+    /** hw::denseConfigIndex of the chosen configuration. */
+    std::size_t configIndex = 0;
+    /** Predicted time of the choice; < 0 when no model ran. */
+    Seconds predictedTime = -1.0;
+    /** Predicted chip energy of the choice; < 0 when no model ran. */
+    Joules predictedEnergy = -1.0;
+    std::size_t evaluations = 0;
+    std::size_t uniqueEvaluations = 0;
+    Seconds overheadTime = 0.0;
+    /** Candidates scored by the hill-climb for the decided kernel
+     *  (empty on exhaustive-scan and budget-out paths). */
+    std::vector<CandidateEval> candidates;
+
+    // What happened.
+    bool observed = false;
+    Seconds measuredTime = 0.0;
+    Watts measuredGpuPower = 0.0;
+    /** 100 * (predicted - measured) / measured; 0 when unavailable. */
+    double timeErrorPct = 0.0;
+};
+
+/**
+ * Receiver of completed decision records. Implementations must be
+ * thread-safe: fleet sessions decide concurrently on pool workers.
+ */
+class DecisionSink
+{
+  public:
+    virtual ~DecisionSink() = default;
+    virtual void record(DecisionRecord &&rec) = 0;
+};
+
+/** Mutex-guarded in-memory sink (the exporters' staging buffer). */
+class DecisionLog : public DecisionSink
+{
+  public:
+    void record(DecisionRecord &&rec) override;
+
+    std::size_t size() const;
+
+    /** Move the accumulated records out (insertion order). */
+    std::vector<DecisionRecord> take();
+
+  private:
+    mutable std::mutex _mutex;
+    std::vector<DecisionRecord> _records;
+};
+
+/**
+ * Canonical provenance order: (app, session, run, index). Concurrent
+ * execution interleaves sink insertion arbitrarily; exporting callers
+ * sort so the dump is deterministic for a deterministic workload.
+ */
+void sortDecisions(std::vector<DecisionRecord> &records);
+
+} // namespace gpupm::trace

@@ -1,0 +1,335 @@
+#include "trace/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "common/logging.hpp"
+
+namespace gpupm::trace::json {
+
+bool
+Value::asBool() const
+{
+    GPUPM_ASSERT(_kind == Kind::Bool, "JSON value is not a bool");
+    return _bool;
+}
+
+double
+Value::asNumber() const
+{
+    GPUPM_ASSERT(_kind == Kind::Number, "JSON value is not a number");
+    return _number;
+}
+
+const std::string &
+Value::asString() const
+{
+    GPUPM_ASSERT(_kind == Kind::String, "JSON value is not a string");
+    return _string;
+}
+
+const Array &
+Value::asArray() const
+{
+    GPUPM_ASSERT(_kind == Kind::Array, "JSON value is not an array");
+    return *_array;
+}
+
+const Object &
+Value::asObject() const
+{
+    GPUPM_ASSERT(_kind == Kind::Object, "JSON value is not an object");
+    return *_object;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (_kind != Kind::Object)
+        return nullptr;
+    auto it = _object->find(key);
+    return it == _object->end() ? nullptr : &it->second;
+}
+
+namespace {
+
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return fail(std::string("expected '") + c + "'");
+    }
+
+    bool
+    literal(std::string_view lit)
+    {
+        if (text.substr(pos, lit.size()) == lit) {
+            pos += lit.size();
+            return true;
+        }
+        return fail("bad literal");
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos;
+                if (pos >= text.size())
+                    return fail("truncated escape");
+                const char e = text[pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                      if (pos + 4 > text.size())
+                          return fail("truncated \\u escape");
+                      unsigned code = 0;
+                      for (int i = 0; i < 4; ++i) {
+                          const char h = text[pos++];
+                          code <<= 4;
+                          if (h >= '0' && h <= '9')
+                              code += static_cast<unsigned>(h - '0');
+                          else if (h >= 'a' && h <= 'f')
+                              code += static_cast<unsigned>(h - 'a' + 10);
+                          else if (h >= 'A' && h <= 'F')
+                              code += static_cast<unsigned>(h - 'A' + 10);
+                          else
+                              return fail("bad \\u escape");
+                      }
+                      // UTF-8 encode the BMP code point (surrogate
+                      // pairs are passed through as two encodings; the
+                      // exporters never emit them).
+                      if (code < 0x80) {
+                          out += static_cast<char>(code);
+                      } else if (code < 0x800) {
+                          out += static_cast<char>(0xc0 | (code >> 6));
+                          out += static_cast<char>(0x80 | (code & 0x3f));
+                      } else {
+                          out += static_cast<char>(0xe0 | (code >> 12));
+                          out += static_cast<char>(0x80 |
+                                                   ((code >> 6) & 0x3f));
+                          out += static_cast<char>(0x80 | (code & 0x3f));
+                      }
+                      break;
+                  }
+                  default: return fail("bad escape");
+                }
+                continue;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("unescaped control character");
+            out += c;
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            Object obj;
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                out = Value(std::move(obj));
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (!consume(':'))
+                    return false;
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                obj.emplace(std::move(key), std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (!consume('}'))
+                    return false;
+                out = Value(std::move(obj));
+                return true;
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            Array arr;
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                out = Value(std::move(arr));
+                return true;
+            }
+            for (;;) {
+                Value v;
+                if (!parseValue(v))
+                    return false;
+                arr.push_back(std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (!consume(']'))
+                    return false;
+                out = Value(std::move(arr));
+                return true;
+            }
+        }
+        if (c == '"') {
+            std::string s;
+            if (!parseString(s))
+                return false;
+            out = Value(std::move(s));
+            return true;
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return false;
+            out = Value(true);
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return false;
+            out = Value(false);
+            return true;
+        }
+        if (c == 'n') {
+            if (!literal("null"))
+                return false;
+            out = Value();
+            return true;
+        }
+        // Number.
+        const std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-'))
+            ++pos;
+        if (pos == start)
+            return fail("unexpected character");
+        double d = 0.0;
+        const auto res = std::from_chars(text.data() + start,
+                                         text.data() + pos, d);
+        if (res.ec != std::errc{} || res.ptr != text.data() + pos) {
+            pos = start;
+            return fail("malformed number");
+        }
+        out = Value(d);
+        return true;
+    }
+};
+
+} // namespace
+
+std::optional<Value>
+parse(std::string_view text, std::string *error)
+{
+    Parser p;
+    p.text = text;
+    Value v;
+    if (!p.parseValue(v)) {
+        if (error)
+            *error = p.error;
+        return std::nullopt;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        if (error)
+            *error = "trailing content at offset " +
+                     std::to_string(p.pos);
+        return std::nullopt;
+    }
+    return v;
+}
+
+std::string
+escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace gpupm::trace::json

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Minimal JSON value model and recursive-descent parser.
+ *
+ * The trace subsystem both writes JSON (Chrome trace events, decision
+ * JSONL) and reads it back (round-tripping provenance dumps, schema
+ * checks in tests and CI). This parser covers exactly RFC 8259 JSON -
+ * objects, arrays, strings with escapes, numbers, booleans, null - with
+ * no extensions; it exists so the repo needs no external JSON
+ * dependency. Not a performance path: exporters format directly,
+ * parsing happens offline.
+ */
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpupm::trace::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+/** One JSON value (tree-owning). */
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Value() = default;
+    Value(bool b) : _kind(Kind::Bool), _bool(b) {}
+    Value(double d) : _kind(Kind::Number), _number(d) {}
+    Value(std::string s) : _kind(Kind::String), _string(std::move(s)) {}
+    Value(Array a)
+        : _kind(Kind::Array),
+          _array(std::make_shared<Array>(std::move(a)))
+    {
+    }
+    Value(Object o)
+        : _kind(Kind::Object),
+          _object(std::make_shared<Object>(std::move(o)))
+    {
+    }
+
+    Kind kind() const { return _kind; }
+    bool isNull() const { return _kind == Kind::Null; }
+    bool isBool() const { return _kind == Kind::Bool; }
+    bool isNumber() const { return _kind == Kind::Number; }
+    bool isString() const { return _kind == Kind::String; }
+    bool isArray() const { return _kind == Kind::Array; }
+    bool isObject() const { return _kind == Kind::Object; }
+
+    /** Typed accessors; fatal (assert) on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Object member lookup; null pointer when absent or not object. */
+    const Value *find(const std::string &key) const;
+
+  private:
+    Kind _kind = Kind::Null;
+    bool _bool = false;
+    double _number = 0.0;
+    std::string _string;
+    std::shared_ptr<Array> _array;
+    std::shared_ptr<Object> _object;
+};
+
+/**
+ * Parse one JSON document. Trailing non-whitespace is an error.
+ *
+ * @param text The document.
+ * @param[out] error Human-readable parse error, if non-null.
+ * @return The value, or nullopt on malformed input.
+ */
+std::optional<Value> parse(std::string_view text,
+                           std::string *error = nullptr);
+
+/** Escape @p s for embedding in a JSON string literal (no quotes). */
+std::string escape(std::string_view s);
+
+} // namespace gpupm::trace::json

@@ -1,0 +1,210 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace gpupm::trace {
+
+std::atomic<bool> Tracer::_enabled{false};
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * One thread's event ring for one tracing session. Slots below the
+ * published head are immutable (the ring drops instead of wrapping),
+ * so a reader that acquires the head can copy them without racing the
+ * owning writer.
+ */
+struct ThreadBuffer
+{
+    ThreadBuffer(std::size_t capacity, std::uint32_t tid_,
+                 std::uint64_t epoch_)
+        : slots(capacity), tid(tid_), epoch(epoch_)
+    {
+    }
+
+    std::vector<SpanEvent> slots;
+    std::atomic<std::size_t> head{0}; ///< Published event count.
+    std::atomic<std::uint64_t> dropped{0};
+    std::uint32_t tid;
+    std::uint64_t epoch;
+};
+
+struct Globals
+{
+    std::mutex mutex; ///< Guards registration and session control.
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    std::atomic<std::uint64_t> epoch{0};
+    std::size_t capacity = Tracer::defaultCapacity;
+    std::uint32_t nextTid = 1;
+    /** Session origin as steady-clock ns; atomic so recording threads
+     *  can read it while a controller restarts the session. */
+    std::atomic<std::int64_t> originNs{0};
+};
+
+Globals &
+globals()
+{
+    static Globals g;
+    return g;
+}
+
+/** The calling thread's buffer for the current session (may be null). */
+thread_local std::shared_ptr<ThreadBuffer> tlBuffer;
+
+ThreadBuffer *
+threadBuffer()
+{
+    Globals &g = globals();
+    const std::uint64_t epoch = g.epoch.load(std::memory_order_acquire);
+    if (!tlBuffer || tlBuffer->epoch != epoch) {
+        std::lock_guard lock(g.mutex);
+        // Re-read under the lock: a concurrent start() may have bumped
+        // the epoch between the load above and the lock.
+        const std::uint64_t e = g.epoch.load(std::memory_order_relaxed);
+        tlBuffer =
+            std::make_shared<ThreadBuffer>(g.capacity, g.nextTid++, e);
+        g.buffers.push_back(tlBuffer);
+    }
+    return tlBuffer.get();
+}
+
+} // namespace
+
+const char *
+categoryName(Category cat)
+{
+    switch (cat) {
+      case Category::Sim: return "sim";
+      case Category::Mpc: return "mpc";
+      case Category::Ml: return "ml";
+      case Category::Exec: return "exec";
+      case Category::Serve: return "serve";
+      case Category::Bench: return "bench";
+    }
+    return "?";
+}
+
+void
+Tracer::start(std::size_t per_thread_capacity)
+{
+    Globals &g = globals();
+    std::lock_guard lock(g.mutex);
+    g.buffers.clear();
+    g.capacity = per_thread_capacity > 0 ? per_thread_capacity : 1;
+    g.nextTid = 1;
+    g.originNs.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         Clock::now().time_since_epoch())
+                         .count(),
+                     std::memory_order_relaxed);
+    g.epoch.fetch_add(1, std::memory_order_release);
+    _enabled.store(true, std::memory_order_release);
+}
+
+void
+Tracer::stop()
+{
+    _enabled.store(false, std::memory_order_release);
+}
+
+std::uint64_t
+Tracer::nowNs()
+{
+    const std::int64_t origin =
+        globals().originNs.load(std::memory_order_relaxed);
+    if (origin == 0)
+        return 0;
+    const std::int64_t now =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count();
+    return now > origin ? static_cast<std::uint64_t>(now - origin) : 0;
+}
+
+void
+Tracer::emit(Category cat, const char *name, std::uint64_t start_ns,
+             std::uint64_t dur_ns, const char *arg0_name, double arg0,
+             const char *arg1_name, double arg1)
+{
+    if (!enabled())
+        return;
+    ThreadBuffer *b = threadBuffer();
+    const std::size_t h = b->head.load(std::memory_order_relaxed);
+    if (h >= b->slots.size()) {
+        b->dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    SpanEvent &e = b->slots[h];
+    e.name = name;
+    e.arg0Name = arg0_name;
+    e.arg1Name = arg1_name;
+    e.arg0 = arg0;
+    e.arg1 = arg1;
+    e.startNs = start_ns;
+    e.durNs = dur_ns;
+    e.tid = b->tid;
+    e.cat = cat;
+    b->head.store(h + 1, std::memory_order_release);
+}
+
+std::vector<SpanEvent>
+Tracer::collect()
+{
+    Globals &g = globals();
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard lock(g.mutex);
+        buffers = g.buffers;
+    }
+    std::vector<SpanEvent> out;
+    for (const auto &b : buffers) {
+        const std::size_t n = b->head.load(std::memory_order_acquire);
+        out.insert(out.end(), b->slots.begin(), b->slots.begin() + n);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SpanEvent &a, const SpanEvent &b) {
+                  if (a.startNs != b.startNs)
+                      return a.startNs < b.startNs;
+                  return a.tid < b.tid;
+              });
+    return out;
+}
+
+std::uint64_t
+Tracer::dropped()
+{
+    Globals &g = globals();
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        std::lock_guard lock(g.mutex);
+        buffers = g.buffers;
+    }
+    std::uint64_t n = 0;
+    for (const auto &b : buffers)
+        n += b->dropped.load(std::memory_order_relaxed);
+    return n;
+}
+
+void
+Span::open(Category cat, const char *name)
+{
+    _name = name;
+    _cat = cat;
+    _start = Tracer::nowNs();
+    _live = true;
+}
+
+void
+Span::close()
+{
+    const std::uint64_t end = Tracer::nowNs();
+    Tracer::emit(_cat, _name, _start,
+                 end > _start ? end - _start : 0, _arg0Name, _arg0,
+                 _arg1Name, _arg1);
+}
+
+} // namespace gpupm::trace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <climits>
+#include <filesystem>
 
 #include "common/flags.hpp"
 
@@ -138,6 +139,70 @@ TEST(Flags, RangedIntRejectsOverflowingValues)
     EXPECT_FALSE(parseArgs(p, {"--jobs", "99999999999999999999"}));
     EXPECT_NE(p.error().find("must be between"), std::string::npos)
         << p.error();
+}
+
+FlagParser
+pathParser()
+{
+    FlagParser p("exporting tool");
+    p.addPath("out", "", "output file");
+    p.addPath("model", "model.rf", "model path");
+    return p;
+}
+
+TEST(Flags, PathDefaultsApplyWithoutValidation)
+{
+    // The empty default means "not requested" and must never be
+    // validated; a non-empty default is returned verbatim.
+    auto p = pathParser();
+    ASSERT_TRUE(parseArgs(p, {}));
+    EXPECT_EQ(p.getPath("out"), "");
+    EXPECT_EQ(p.getPath("model"), "model.rf");
+}
+
+TEST(Flags, PathAcceptsFileInExistingDirectory)
+{
+    const auto dir = std::filesystem::temp_directory_path();
+    const auto file = (dir / "gpupm_flags_test.json").string();
+    auto p = pathParser();
+    ASSERT_TRUE(parseArgs(p, {"--out", file.c_str()})) << p.error();
+    EXPECT_EQ(p.getPath("out"), file);
+}
+
+TEST(Flags, PathAcceptsBareFilename)
+{
+    // No parent component: resolves against the working directory.
+    auto p = pathParser();
+    ASSERT_TRUE(parseArgs(p, {"--out", "trace.json"})) << p.error();
+    EXPECT_EQ(p.getPath("out"), "trace.json");
+}
+
+TEST(Flags, PathRejectsMissingParentDirectory)
+{
+    auto p = pathParser();
+    EXPECT_FALSE(
+        parseArgs(p, {"--out", "/gpupm-no-such-dir/sub/x.json"}));
+    EXPECT_NE(p.error().find("does not exist"), std::string::npos)
+        << p.error();
+    EXPECT_NE(p.error().find("/gpupm-no-such-dir/sub"),
+              std::string::npos)
+        << p.error();
+}
+
+TEST(Flags, PathRejectsDirectoryTarget)
+{
+    const auto dir = std::filesystem::temp_directory_path().string();
+    auto p = pathParser();
+    EXPECT_FALSE(parseArgs(p, {"--out", dir.c_str()}));
+    EXPECT_NE(p.error().find("is a directory"), std::string::npos)
+        << p.error();
+}
+
+TEST(Flags, PathWrongTypeAccessDies)
+{
+    auto p = pathParser();
+    ASSERT_TRUE(parseArgs(p, {}));
+    EXPECT_DEATH(p.getString("out"), "wrong type");
 }
 
 TEST(Flags, HelpRequested)

@@ -22,7 +22,7 @@
 #include "ml/trainer.hpp"
 #include "serve/broker.hpp"
 #include "serve/session_predictor.hpp"
-#include "sim/telemetry_counters.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/training.hpp"
 
 namespace gpupm::serve {
@@ -111,7 +111,7 @@ TEST(InferenceBroker, SerialClientDegeneratesToImmediateFlush)
     // With no other in-flight decision, waiting cannot grow the batch:
     // every evaluate must flush itself without hitting the deadline.
     auto rf = tinyRf();
-    sim::TelemetryRegistry reg;
+    telemetry::Registry reg;
     BrokerOptions opts;
     opts.flushDeadline = std::chrono::microseconds(60'000'000);
     InferenceBroker broker(rf, opts, &reg);
@@ -132,7 +132,7 @@ TEST(InferenceBroker, SerialClientDegeneratesToImmediateFlush)
 TEST(InferenceBroker, FlushesWhenBatchFull)
 {
     auto rf = tinyRf();
-    sim::TelemetryRegistry reg;
+    telemetry::Registry reg;
     BrokerOptions opts;
     opts.maxBatch = 8; // one 16-row request overflows immediately
     InferenceBroker broker(rf, opts, &reg);
@@ -149,7 +149,7 @@ TEST(InferenceBroker, CoalescesConcurrentDecisionsIntoOneFlush)
 {
     constexpr std::size_t kClients = 4;
     auto rf = tinyRf();
-    sim::TelemetryRegistry reg;
+    telemetry::Registry reg;
     BrokerOptions opts;
     // Deadline far beyond the test runtime: the only way results can
     // arrive is the all-waiting trigger firing once all four clients
@@ -194,7 +194,7 @@ TEST(InferenceBroker, CoalescesConcurrentDecisionsIntoOneFlush)
 TEST(InferenceBroker, DeadlineFlushRescuesUnaccountedScopes)
 {
     auto rf = tinyRf();
-    sim::TelemetryRegistry reg;
+    telemetry::Registry reg;
     BrokerOptions opts;
     opts.flushDeadline = std::chrono::microseconds(2000);
     InferenceBroker broker(rf, opts, &reg);
@@ -304,7 +304,7 @@ TEST(SessionPredictor, BitIdenticalToWrappedPredictor)
 TEST(SessionPredictor, SecondPassIsServedFromTheCache)
 {
     auto rf = tinyRf();
-    sim::TelemetryRegistry reg;
+    telemetry::Registry reg;
     SessionPredictor sp(rf, nullptr, {}, &reg);
     const auto fx = sampleQuery(0xbbb);
     std::vector<ml::Prediction> out(fx.configs.size());
@@ -378,7 +378,7 @@ TEST(SessionPredictor, NonRandomForestBaseIsAPassthrough)
 TEST(SessionPredictor, EvictsLeastRecentlyUsedKernelAtCap)
 {
     auto rf = tinyRf();
-    sim::TelemetryRegistry reg;
+    telemetry::Registry reg;
     SessionPredictorOptions opts;
     opts.kernelCacheCap = 2;
     SessionPredictor sp(rf, nullptr, opts, &reg);

@@ -7,16 +7,16 @@
 #include "mpc/governor.hpp"
 #include "policy/static_governor.hpp"
 #include "policy/turbo_core.hpp"
-#include "sim/telemetry.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/benchmarks.hpp"
 
-namespace gpupm::sim {
+namespace gpupm::telemetry {
 namespace {
 
-RunResult
+sim::RunResult
 sampleRun(const std::string &bench = "Spmv")
 {
-    Simulator sim;
+    sim::Simulator sim;
     auto app = workload::makeBenchmark(bench);
     policy::TurboCoreGovernor gov;
     return sim.run(app, gov);
@@ -25,7 +25,7 @@ sampleRun(const std::string &bench = "Spmv")
 TEST(Telemetry, EnergyIntegratesExactly)
 {
     auto run = sampleRun();
-    auto trace = TelemetryTrace::fromRun(run);
+    auto trace = PowerTrace::fromRun(run);
     EXPECT_NEAR(trace.cpuEnergy(), run.cpuEnergy,
                 1e-9 * run.cpuEnergy);
     EXPECT_NEAR(trace.gpuEnergy(), run.gpuEnergy,
@@ -37,7 +37,7 @@ TEST(Telemetry, EnergyIntegratesExactly)
 TEST(Telemetry, TimestampsMonotoneAndCoverRun)
 {
     auto run = sampleRun();
-    auto trace = TelemetryTrace::fromRun(run);
+    auto trace = PowerTrace::fromRun(run);
     ASSERT_FALSE(trace.samples().empty());
     Seconds prev = 0.0;
     for (const auto &s : trace.samples()) {
@@ -50,7 +50,7 @@ TEST(Telemetry, TimestampsMonotoneAndCoverRun)
 TEST(Telemetry, OneMillisecondSamplingDensity)
 {
     auto run = sampleRun();
-    auto trace = TelemetryTrace::fromRun(run);
+    auto trace = PowerTrace::fromRun(run);
     // ~1 sample per ms plus one partial sample per interval boundary.
     const auto lower =
         static_cast<std::size_t>(run.totalTime() / 1e-3);
@@ -62,9 +62,9 @@ TEST(Telemetry, OneMillisecondSamplingDensity)
 TEST(Telemetry, CustomInterval)
 {
     auto run = sampleRun("NBody");
-    auto coarse = TelemetryTrace::fromRun(
+    auto coarse = PowerTrace::fromRun(
         run, hw::ApuParams::defaults(), 10e-3);
-    auto fine = TelemetryTrace::fromRun(
+    auto fine = PowerTrace::fromRun(
         run, hw::ApuParams::defaults(), 0.5e-3);
     EXPECT_LT(coarse.samples().size(), fine.samples().size());
     EXPECT_NEAR(coarse.totalEnergy(), fine.totalEnergy(),
@@ -74,7 +74,7 @@ TEST(Telemetry, CustomInterval)
 TEST(Telemetry, InvalidIntervalDies)
 {
     auto run = sampleRun("NBody");
-    EXPECT_DEATH(TelemetryTrace::fromRun(run,
+    EXPECT_DEATH(PowerTrace::fromRun(run,
                                          hw::ApuParams::defaults(), 0.0),
                  "positive");
 }
@@ -85,7 +85,7 @@ TEST(Telemetry, PowerEnvelopeWithinTdp)
     // its 95 W TDP under Turbo Core.
     for (const auto &name : workload::benchmarkNames()) {
         auto run = sampleRun(name);
-        auto trace = TelemetryTrace::fromRun(run);
+        auto trace = PowerTrace::fromRun(run);
         EXPECT_FALSE(
             trace.exceedsTdp(hw::ApuParams::defaults().tdp))
             << name;
@@ -99,7 +99,7 @@ TEST(Telemetry, PowerEnvelopeWithinTdp)
 TEST(Telemetry, TemperatureRisesUnderLoad)
 {
     auto run = sampleRun("mandelbulbGPU");
-    auto trace = TelemetryTrace::fromRun(run);
+    auto trace = PowerTrace::fromRun(run);
     const auto &first = trace.samples().front();
     EXPECT_GT(trace.peakTemperature(), first.temperature);
     EXPECT_LT(trace.peakTemperature(), 110.0);
@@ -108,7 +108,7 @@ TEST(Telemetry, TemperatureRisesUnderLoad)
 TEST(Telemetry, PhasesAnnotated)
 {
     // An MPC run has governor intervals; a phased app has CPU phases.
-    Simulator sim;
+    sim::Simulator sim;
     auto app = workload::withCpuPhases(
         workload::makeBenchmark("Spmv"), 0.1);
     policy::TurboCoreGovernor turbo;
@@ -118,7 +118,7 @@ TEST(Telemetry, PhasesAnnotated)
     sim.run(app, gov, base.throughput());
     auto r = sim.run(app, gov, base.throughput());
 
-    auto trace = TelemetryTrace::fromRun(r);
+    auto trace = PowerTrace::fromRun(r);
     bool saw_kernel = false, saw_phase = false;
     for (const auto &s : trace.samples()) {
         saw_kernel |= s.phase == PhaseKind::Kernel;
@@ -130,7 +130,7 @@ TEST(Telemetry, PhasesAnnotated)
 
 TEST(Telemetry, MarksGovernorIntervals)
 {
-    Simulator sim;
+    sim::Simulator sim;
     auto app = workload::makeBenchmark("Spmv");
     policy::TurboCoreGovernor turbo;
     auto base = sim.run(app, turbo);
@@ -139,7 +139,7 @@ TEST(Telemetry, MarksGovernorIntervals)
     sim.run(app, gov, base.throughput());
     auto r = sim.run(app, gov, base.throughput());
 
-    auto trace = TelemetryTrace::fromRun(r);
+    auto trace = PowerTrace::fromRun(r);
     bool saw_governor = false;
     for (const auto &s : trace.samples())
         saw_governor |= s.phase == PhaseKind::Governor;
@@ -149,7 +149,7 @@ TEST(Telemetry, MarksGovernorIntervals)
 TEST(Telemetry, CsvOutputWellFormed)
 {
     auto run = sampleRun("NBody");
-    auto trace = TelemetryTrace::fromRun(run);
+    auto trace = PowerTrace::fromRun(run);
     std::ostringstream os;
     trace.writeCsv(os);
     const std::string csv = os.str();
@@ -161,4 +161,4 @@ TEST(Telemetry, CsvOutputWellFormed)
 }
 
 } // namespace
-} // namespace gpupm::sim
+} // namespace gpupm::telemetry

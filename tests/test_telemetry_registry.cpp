@@ -1,6 +1,6 @@
 /**
  * @file
- * sim::Telemetry{Counter,Histogram,Registry} contract tests: counter
+ * telemetry::{Counter,Histogram,Registry} contract tests: counter
  * arithmetic, histogram bucketing and percentile estimates, registry
  * create-on-first-use with stable addresses, snapshot/reset semantics,
  * and concurrent increments driven through exec::ThreadPool. Run under
@@ -13,14 +13,14 @@
 #include <cstdint>
 
 #include "exec/thread_pool.hpp"
-#include "sim/telemetry_counters.hpp"
+#include "telemetry/telemetry.hpp"
 
-namespace gpupm::sim {
+namespace gpupm::telemetry {
 namespace {
 
-TEST(TelemetryCounter, AddValueReset)
+TEST(Counter, AddValueReset)
 {
-    TelemetryCounter c;
+    Counter c;
     EXPECT_EQ(c.value(), 0u);
     c.add();
     c.add(41);
@@ -29,9 +29,9 @@ TEST(TelemetryCounter, AddValueReset)
     EXPECT_EQ(c.value(), 0u);
 }
 
-TEST(TelemetryHistogram, EmptyHistogramIsZero)
+TEST(Histogram, EmptyHistogramIsZero)
 {
-    TelemetryHistogram h;
+    Histogram h;
     EXPECT_EQ(h.count(), 0u);
     EXPECT_EQ(h.sum(), 0u);
     EXPECT_DOUBLE_EQ(h.mean(), 0.0);
@@ -39,9 +39,9 @@ TEST(TelemetryHistogram, EmptyHistogramIsZero)
     EXPECT_DOUBLE_EQ(h.percentile(99), 0.0);
 }
 
-TEST(TelemetryHistogram, CountSumMeanTrackSamplesExactly)
+TEST(Histogram, CountSumMeanTrackSamplesExactly)
 {
-    TelemetryHistogram h;
+    Histogram h;
     for (std::uint64_t v : {1u, 2u, 3u, 4u, 10u})
         h.record(v);
     EXPECT_EQ(h.count(), 5u);
@@ -49,9 +49,9 @@ TEST(TelemetryHistogram, CountSumMeanTrackSamplesExactly)
     EXPECT_DOUBLE_EQ(h.mean(), 4.0);
 }
 
-TEST(TelemetryHistogram, BucketsArePowersOfTwo)
+TEST(Histogram, BucketsArePowersOfTwo)
 {
-    TelemetryHistogram h;
+    Histogram h;
     h.record(0); // bucket 0: [0, 2)
     h.record(1); // bucket 0
     h.record(2); // bucket 1: [2, 4)
@@ -70,9 +70,9 @@ TEST(TelemetryHistogram, BucketsArePowersOfTwo)
     EXPECT_EQ(total, h.count());
 }
 
-TEST(TelemetryHistogram, PercentileOrderingAndBounds)
+TEST(Histogram, PercentileOrderingAndBounds)
 {
-    TelemetryHistogram h;
+    Histogram h;
     // 90 fast samples and 10 slow ones: p50 must sit in the fast
     // cluster's bucket, p99 in the slow one's.
     for (int i = 0; i < 90; ++i)
@@ -88,9 +88,9 @@ TEST(TelemetryHistogram, PercentileOrderingAndBounds)
     EXPECT_LE(p50, p99);
 }
 
-TEST(TelemetryHistogram, ResetClearsEverything)
+TEST(Histogram, ResetClearsEverything)
 {
-    TelemetryHistogram h;
+    Histogram h;
     for (int i = 0; i < 32; ++i)
         h.record(static_cast<std::uint64_t>(i));
     h.reset();
@@ -100,9 +100,9 @@ TEST(TelemetryHistogram, ResetClearsEverything)
         EXPECT_EQ(n, 0u);
 }
 
-TEST(TelemetryRegistry, CreateOnFirstUseReturnsStableAddresses)
+TEST(Registry, CreateOnFirstUseReturnsStableAddresses)
 {
-    TelemetryRegistry reg;
+    Registry reg;
     auto *a = &reg.counter("serve.decisions");
     auto *b = &reg.counter("serve.decisions");
     EXPECT_EQ(a, b);
@@ -114,9 +114,9 @@ TEST(TelemetryRegistry, CreateOnFirstUseReturnsStableAddresses)
     EXPECT_EQ(&reg.histogram("serve.latency"), h1);
 }
 
-TEST(TelemetryRegistry, CounterAndHistogramNamespacesAreDistinct)
+TEST(Registry, CounterAndHistogramNamespacesAreDistinct)
 {
-    TelemetryRegistry reg;
+    Registry reg;
     reg.counter("x").add(3);
     reg.histogram("x").record(7);
     const auto snap = reg.snapshot();
@@ -127,9 +127,9 @@ TEST(TelemetryRegistry, CounterAndHistogramNamespacesAreDistinct)
     EXPECT_EQ(snap.histograms.at("x").sum, 7u);
 }
 
-TEST(TelemetryRegistry, SnapshotSummarizesHistograms)
+TEST(Registry, SnapshotSummarizesHistograms)
 {
-    TelemetryRegistry reg;
+    Registry reg;
     auto &h = reg.histogram("batch");
     for (int i = 0; i < 10; ++i)
         h.record(8);
@@ -142,9 +142,9 @@ TEST(TelemetryRegistry, SnapshotSummarizesHistograms)
     EXPECT_LE(s.p50, s.p99);
 }
 
-TEST(TelemetryRegistry, ResetZeroesCellsButKeepsRegistration)
+TEST(Registry, ResetZeroesCellsButKeepsRegistration)
 {
-    TelemetryRegistry reg;
+    Registry reg;
     auto *c = &reg.counter("a");
     c->add(5);
     reg.histogram("b").record(9);
@@ -156,9 +156,9 @@ TEST(TelemetryRegistry, ResetZeroesCellsButKeepsRegistration)
     EXPECT_EQ(&reg.counter("a"), c);
 }
 
-TEST(TelemetryRegistry, ConcurrentIncrementsUnderThreadPool)
+TEST(Registry, ConcurrentIncrementsUnderThreadPool)
 {
-    TelemetryRegistry reg;
+    Registry reg;
     // Resolve-once-then-increment is the documented hot-path pattern;
     // the registry lookup itself must also be safe concurrently.
     constexpr std::size_t kTasks = 64;
@@ -185,9 +185,9 @@ TEST(TelemetryRegistry, ConcurrentIncrementsUnderThreadPool)
     EXPECT_EQ(snap.histograms.at("samples").count, kTasks * kPerTask);
 }
 
-TEST(TelemetryRegistry, SnapshotAndResetAreSafeWhileWritersRun)
+TEST(Registry, SnapshotAndResetAreSafeWhileWritersRun)
 {
-    TelemetryRegistry reg;
+    Registry reg;
     auto &c = reg.counter("live");
     std::atomic<bool> stop{false};
 
@@ -212,4 +212,4 @@ TEST(TelemetryRegistry, SnapshotAndResetAreSafeWhileWritersRun)
 }
 
 } // namespace
-} // namespace gpupm::sim
+} // namespace gpupm::telemetry

@@ -17,6 +17,8 @@
  *   gpupm train --out model.rf --corpus 128 --jobs 8
  *   gpupm sweep --bench all --governors turbo,ppk,mpc --jobs 8
  *   gpupm fleet --sessions 16 --jobs 8 --model m.rf --trace fleet.jsonl
+ *   gpupm fleet --sessions 16 --jobs 8 --trace-out timeline.json \
+ *       --trace-decisions decisions.jsonl
  */
 
 #include <algorithm>
@@ -37,7 +39,11 @@
 #include "policy/turbo_core.hpp"
 #include "serve/server.hpp"
 #include "sim/metrics.hpp"
-#include "sim/telemetry.hpp"
+#include "telemetry/telemetry.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/decision.hpp"
+#include "trace/jsonl_export.hpp"
+#include "trace/trace.hpp"
 #include "workload/benchmarks.hpp"
 
 using namespace gpupm;
@@ -71,11 +77,86 @@ cmdInfo()
     return 0;
 }
 
+/**
+ * Shared --trace-out / --trace-decisions plumbing for the subcommands
+ * that execute governors. Construct after a successful parse: a
+ * requested timeline starts the span tracer immediately so the whole
+ * run is covered. finish() writes whichever artifacts were asked for.
+ */
+class TraceOutputs
+{
+  public:
+    static void
+    addFlags(FlagParser &flags)
+    {
+        flags.addPath("trace-out", "",
+                      "write a Chrome trace-event JSON timeline here "
+                      "(load in chrome://tracing or Perfetto)");
+        flags.addPath("trace-decisions", "",
+                      "write per-decision provenance records here "
+                      "(JSON lines)");
+    }
+
+    explicit TraceOutputs(const FlagParser &flags)
+        : _out(flags.getPath("trace-out")),
+          _decisions(flags.getPath("trace-decisions"))
+    {
+        if (!_out.empty())
+            trace::Tracer::start();
+    }
+
+    /** Sink for governor provenance; null when not requested. */
+    trace::DecisionLog *
+    log()
+    {
+        return _decisions.empty() ? nullptr : &_log;
+    }
+
+    int
+    finish()
+    {
+        if (!_out.empty()) {
+            trace::Tracer::stop();
+            const auto events = trace::Tracer::collect();
+            std::ofstream os(_out, std::ios::binary);
+            if (!os) {
+                std::cerr << "cannot write " << _out << "\n";
+                return 1;
+            }
+            trace::writeChromeTrace(os, events);
+            std::cout << "span timeline (" << events.size()
+                      << " events) written to " << _out << "\n";
+            if (const auto n = trace::Tracer::dropped())
+                std::cerr << "warning: " << n
+                          << " span events dropped (ring full)\n";
+        }
+        if (!_decisions.empty()) {
+            auto records = _log.take();
+            trace::sortDecisions(records);
+            std::ofstream os(_decisions, std::ios::binary);
+            if (!os) {
+                std::cerr << "cannot write " << _decisions << "\n";
+                return 1;
+            }
+            trace::writeDecisionJsonl(os, records);
+            std::cout << records.size()
+                      << " decision records written to " << _decisions
+                      << "\n";
+        }
+        return 0;
+    }
+
+  private:
+    std::string _out;
+    std::string _decisions;
+    trace::DecisionLog _log;
+};
+
 int
 cmdTrain(int argc, const char *const *argv)
 {
     FlagParser flags("gpupm train: fit the Random Forest predictor");
-    flags.addString("out", "model.rf", "output model path");
+    flags.addPath("out", "model.rf", "output model path");
     flags.addInt("corpus", 128, "training kernels");
     flags.addInt("trees", 60, "trees per forest");
     flags.addInt("stride", 1, "use every k-th configuration");
@@ -101,7 +182,7 @@ cmdTrain(int argc, const char *const *argv)
               << "%, power MAPE " << fmt(report.powerOobMapePct, 1)
               << "% over " << report.datasetRows << " rows\n";
 
-    const std::string out = flags.getString("out");
+    const std::string out = flags.getPath("out");
     std::ofstream os(out);
     if (!os) {
         std::cerr << "cannot write " << out << "\n";
@@ -152,13 +233,16 @@ cmdRun(int argc, const char *const *argv)
     flags.addDouble("alpha", 0.05, "performance-loss bound");
     flags.addInt("runs", 2, "MPC executions after profiling");
     flags.addDouble("phases", 0.0, "CPU-phase fraction between kernels");
-    flags.addString("trace", "", "write 1 ms telemetry CSV here");
+    flags.addPath("trace", "", "write 1 ms telemetry CSV here");
     flags.addBool("no-overhead", "do not charge decision latency");
+    TraceOutputs::addFlags(flags);
     if (!flags.parse(argc, argv)) {
         std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
                   << flags.usage();
         return flags.helpRequested() ? 0 : 2;
     }
+
+    TraceOutputs trace_outputs(flags);
 
     const std::string gov_kind = flags.getString("governor");
     std::shared_ptr<const ml::PerfPowerPredictor> predictor;
@@ -208,6 +292,7 @@ cmdRun(int argc, const char *const *argv)
             r = sim.run(app, gov, baseline.throughput());
         } else if (gov_kind == "mpc") {
             mpc::MpcGovernor gov(predictor, mpc_opts);
+            gov.setDecisionSink(trace_outputs.log());
             sim.run(app, gov, baseline.throughput());
             for (int i = 0; i < flags.getInt("runs"); ++i)
                 r = sim.run(app, gov, baseline.throughput());
@@ -227,18 +312,18 @@ cmdRun(int argc, const char *const *argv)
     }
     t.print(std::cout);
 
-    const std::string trace_path = flags.getString("trace");
+    const std::string trace_path = flags.getPath("trace");
     if (!trace_path.empty()) {
         std::ofstream os(trace_path);
         if (!os) {
             std::cerr << "cannot write " << trace_path << "\n";
             return 1;
         }
-        sim::TelemetryTrace::fromRun(last).writeCsv(os);
+        telemetry::PowerTrace::fromRun(last).writeCsv(os);
         std::cout << "telemetry of the last run written to "
                   << trace_path << "\n";
     }
-    return 0;
+    return trace_outputs.finish();
 }
 
 std::vector<std::string>
@@ -270,11 +355,14 @@ cmdSweep(int argc, const char *const *argv)
                  0, 4096);
     flags.addInt("seed", 0x5eed, "root seed for per-job RNG streams");
     flags.addInt("runs", 2, "MPC executions after profiling", 1, 10000);
+    TraceOutputs::addFlags(flags);
     if (!flags.parse(argc, argv)) {
         std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
                   << flags.usage();
         return flags.helpRequested() ? 0 : 2;
     }
+
+    TraceOutputs trace_outputs(flags);
 
     const auto governors = splitCommaList(flags.getString("governors"));
     if (governors.empty()) {
@@ -309,6 +397,10 @@ cmdSweep(int argc, const char *const *argv)
             job.app = app;
             job.predictor = predictor;
             job.mpcRuns = std::max(1, flags.getInt("runs"));
+            // Session = job index: provenance from concurrent jobs
+            // stays attributable and sorts deterministically.
+            job.decisionSink = trace_outputs.log();
+            job.traceSession = jobs.size();
             if (g == "turbo")
                 job.policy = exec::SimJob::Policy::Turbo;
             else if (g == "ppk")
@@ -341,7 +433,7 @@ cmdSweep(int argc, const char *const *argv)
                   fmt(r.throughput() / 1e9, 3)});
     }
     t.print(std::cout);
-    return 0;
+    return trace_outputs.finish();
 }
 
 int
@@ -378,13 +470,16 @@ cmdFleet(int argc, const char *const *argv)
     flags.addBool("deterministic",
                   "print only byte-reproducible output (suppress "
                   "wall-clock metrics)");
-    flags.addString("trace", "",
-                    "write the decision trace (JSON lines) here");
+    flags.addPath("trace", "",
+                  "write the decision trace (JSON lines) here");
+    TraceOutputs::addFlags(flags);
     if (!flags.parse(argc, argv)) {
         std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
                   << flags.usage();
         return flags.helpRequested() ? 0 : 2;
     }
+
+    TraceOutputs trace_outputs(flags);
 
     auto predictor = makePredictor(flags.getString("predictor"),
                                    flags.getString("model"));
@@ -405,6 +500,7 @@ cmdFleet(int argc, const char *const *argv)
     fopts.sessionCount = static_cast<std::size_t>(flags.getInt("sessions"));
     fopts.cpuPhaseJitter = flags.getDouble("phase-jitter");
     fopts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
+    fopts.decisionSink = trace_outputs.log();
     if (flags.getString("bench") != "all")
         fopts.apps = splitCommaList(flags.getString("bench"));
 
@@ -431,7 +527,7 @@ cmdFleet(int argc, const char *const *argv)
                       << ", p99 " << fmt(it->second.p99, 1) << "\n";
     }
 
-    const std::string trace_path = flags.getString("trace");
+    const std::string trace_path = flags.getPath("trace");
     if (!trace_path.empty()) {
         std::ofstream os(trace_path, std::ios::binary);
         if (!os) {
@@ -441,7 +537,7 @@ cmdFleet(int argc, const char *const *argv)
         os << serve::serializeFleetTrace(result.trace);
         std::cout << "decision trace written to " << trace_path << "\n";
     }
-    return 0;
+    return trace_outputs.finish();
 }
 
 } // namespace

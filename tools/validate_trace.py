@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Validate gpupm trace artifacts (CI trace-smoke job).
+
+Checks a Chrome trace-event JSON file against the subset of the Trace
+Event Format the exporter promises (loadable by chrome://tracing /
+Perfetto), and a decision JSONL dump for per-line well-formedness,
+required fields and canonical (app, session, run, index) ordering.
+Stdlib only.
+
+Usage: validate_trace.py --chrome timeline.json --jsonl decisions.jsonl
+"""
+
+import argparse
+import json
+import sys
+
+CHROME_CATEGORIES = {"sim", "mpc", "ml", "exec", "serve", "bench"}
+DECISION_TAGS = {"P", "W", "F", "B"}
+REQUIRED_DECISION_KEYS = {
+    "app", "session", "run", "index", "tag", "profiling", "signature",
+    "horizon", "headroom", "config", "predictedTime", "predictedEnergy",
+    "evaluations", "uniqueEvaluations", "overheadTime", "candidates",
+    "observed",
+}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_chrome(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("displayTimeUnit") != "ms":
+        fail(f"{path}: displayTimeUnit != 'ms'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    for i, ev in enumerate(events):
+        for key in ("name", "cat", "ph", "pid", "tid", "ts", "dur"):
+            if key not in ev:
+                fail(f"{path}: event {i} missing '{key}'")
+        if ev["ph"] != "X":
+            fail(f"{path}: event {i} ph={ev['ph']!r}, expected 'X'")
+        if ev["cat"] not in CHROME_CATEGORIES:
+            fail(f"{path}: event {i} unknown cat {ev['cat']!r}")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            fail(f"{path}: event {i} args is not an object")
+    starts = [(ev["ts"], ev["tid"]) for ev in events]
+    if starts != sorted(starts):
+        fail(f"{path}: events not sorted by (ts, tid)")
+    print(f"validate_trace: {path}: {len(events)} events OK")
+
+
+def check_jsonl(path):
+    records = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: bad JSON: {e}")
+            missing = REQUIRED_DECISION_KEYS - rec.keys()
+            if missing:
+                fail(f"{path}:{lineno}: missing {sorted(missing)}")
+            if rec["tag"] not in DECISION_TAGS:
+                fail(f"{path}:{lineno}: unknown tag {rec['tag']!r}")
+            int(rec["signature"], 16)  # hex string, not a number
+            if rec["observed"] and "measuredTime" not in rec:
+                fail(f"{path}:{lineno}: observed without measuredTime")
+            records.append(rec)
+    if not records:
+        fail(f"{path}: no decision records")
+    keys = [(r["app"], r["session"], r["run"], r["index"])
+            for r in records]
+    if keys != sorted(keys):
+        fail(f"{path}: records not in canonical order")
+    print(f"validate_trace: {path}: {len(records)} decision records OK")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--chrome", help="Chrome trace-event JSON file")
+    ap.add_argument("--jsonl", help="decision JSONL dump")
+    args = ap.parse_args()
+    if not args.chrome and not args.jsonl:
+        ap.error("nothing to validate")
+    if args.chrome:
+        check_chrome(args.chrome)
+    if args.jsonl:
+        check_jsonl(args.jsonl)
+
+
+if __name__ == "__main__":
+    main()
