@@ -40,6 +40,14 @@ target_link_libraries(bench_fleet_throughput PRIVATE gpupm_bench_harness
 set_target_properties(bench_fleet_throughput PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
+# Online learning: hot-swap pause + post-shift accuracy recovery
+# (baseline committed at docs/perf/BENCH_online.json).
+add_executable(bench_online_adapt bench/bench_online_adapt.cpp)
+target_link_libraries(bench_online_adapt PRIVATE gpupm_bench_harness
+    benchmark::benchmark)
+set_target_properties(bench_online_adapt PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 # `cmake --build build --target bench-compare` runs the microbenchmarks
 # and diffs them against the checked-in baseline (see
 # tools/perf_compare.py) and fails the build on any regression beyond

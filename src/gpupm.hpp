@@ -62,6 +62,13 @@
 #include "exec/sweep_jobs.hpp"
 #include "serve/server.hpp"
 
+// Closed-loop online learning: drift detection, background retrains,
+// RCU forest hot-swap.
+#include "online/adaptive_predictor.hpp"
+#include "online/drift.hpp"
+#include "online/forest_handle.hpp"
+#include "online/learner.hpp"
+
 // Observability: counters/histograms/power traces, span timelines
 // and decision provenance.
 #include "telemetry/telemetry.hpp"

@@ -71,6 +71,23 @@ denseConfigIndex(const HwConfig &c)
 }
 
 /**
+ * Inverse of denseConfigIndex: the configuration at a dense index in
+ * [0, denseConfigCount). O(1) arithmetic; never consults a space.
+ */
+inline HwConfig
+denseConfigAt(std::size_t idx)
+{
+    HwConfig c;
+    c.cus = static_cast<int>(idx % 8) + 1;
+    idx /= 8;
+    c.gpu = static_cast<GpuPState>(idx % numGpuPStates);
+    idx /= numGpuPStates;
+    c.nb = static_cast<NbPState>(idx % numNbPStates);
+    c.cpu = static_cast<CpuPState>(idx / numNbPStates);
+    return c;
+}
+
+/**
  * Which knob levels a ConfigSpace exposes to the power manager.
  *
  * The paper's methodology (Sec. V) searches three of the five GPU DPM

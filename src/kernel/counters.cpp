@@ -11,6 +11,21 @@ KernelCounters::asArray() const
             scratchRegs,    ldsBankConflict, valuInsts, fetchSize};
 }
 
+KernelCounters
+KernelCounters::fromArray(const std::array<double, numCounters> &a)
+{
+    KernelCounters c;
+    c.globalWorkSize = a[0];
+    c.memUnitStalled = a[1];
+    c.cacheHit = a[2];
+    c.vfetchInsts = a[3];
+    c.scratchRegs = a[4];
+    c.ldsBankConflict = a[5];
+    c.valuInsts = a[6];
+    c.fetchSize = a[7];
+    return c;
+}
+
 const std::array<std::string, numCounters> &
 KernelCounters::names()
 {

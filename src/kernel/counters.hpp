@@ -48,6 +48,10 @@ struct KernelCounters
     /** Counters as a dense array (feature extraction order). */
     std::array<double, numCounters> asArray() const;
 
+    /** Inverse of asArray(): rebuild counters from the dense order. */
+    static KernelCounters fromArray(
+        const std::array<double, numCounters> &a);
+
     /** Counter names, aligned with asArray(). */
     static const std::array<std::string, numCounters> &names();
 

@@ -1,5 +1,6 @@
 #include "ml/trainer.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 
@@ -17,11 +18,23 @@ instructionProxy(const kernel::KernelCounters &c)
     return std::max(1.0, c.globalWorkSize * (c.valuInsts + c.vfetchInsts));
 }
 
+namespace {
+
+std::uint64_t
+nextPredictorInstanceId()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
 RandomForestPredictor::RandomForestPredictor(RandomForest time_forest,
                                              RandomForest power_forest)
     : _time(std::move(time_forest)), _power(std::move(power_forest)),
       _timeFlat(FlatForest::compile(_time)),
-      _powerFlat(FlatForest::compile(_power))
+      _powerFlat(FlatForest::compile(_power)),
+      _instanceId(nextPredictorInstanceId())
 {
     GPUPM_ASSERT(_time.fitted() && _power.fitted(),
                  "predictor needs fitted forests");
@@ -75,7 +88,7 @@ namespace {
  */
 struct SpecializedForests
 {
-    const void *owner = nullptr;   ///< Predictor the entry belongs to.
+    std::uint64_t owner = 0;       ///< instanceId of the owning predictor.
     kernel::KernelCounters key{};  ///< Counters the entry belongs to.
     KernelFeatures kf{};           ///< Derived prefix, computed once.
     bool valid = false;
@@ -118,11 +131,11 @@ RandomForestPredictor::predictBatch(const PredictionQuery &q,
     // the full forests directly and leaves the entry alone.
     thread_local SpecializedForests spec;
     bool entry =
-        spec.valid && spec.owner == this &&
+        spec.valid && spec.owner == _instanceId &&
         std::memcmp(&q.counters, &spec.key, sizeof(spec.key)) == 0;
     if (!entry && n >= 2) {
         spec.valid = false; // not reusable while rebuilding
-        spec.owner = this;
+        spec.owner = _instanceId;
         spec.key = q.counters;
         spec.kf = makeKernelFeatures(q.counters);
         spec.specialized = false;

@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -79,11 +80,21 @@ class RandomForestPredictor : public PerfPowerPredictor
     const FlatForest &timeFlat() const { return _timeFlat; }
     const FlatForest &powerFlat() const { return _powerFlat; }
 
+    /**
+     * Process-unique identity of this predictor instance. Caches keyed
+     * on the predictor (the per-thread specialization memo) must use
+     * this rather than the object address: online retraining destroys
+     * predictors and allocates replacements, and a recycled address
+     * would validate a stale cache entry against the new forests.
+     */
+    std::uint64_t instanceId() const { return _instanceId; }
+
   private:
     RandomForest _time;
     RandomForest _power;
     FlatForest _timeFlat;
     FlatForest _powerFlat;
+    std::uint64_t _instanceId;
 };
 
 /** Training configuration. */

@@ -389,6 +389,10 @@ MpcGovernor::observe(const sim::Observation &obs)
         _traceRec.observed = true;
         _traceRec.measuredTime = m.time;
         _traceRec.measuredGpuPower = m.gpuPower;
+        _traceRec.counters = m.counters;
+        _traceRec.measuredInstructions = m.instructions;
+        _traceRec.nonKernelTime = obs.nonKernelTime;
+        _traceRec.targetThroughput = _tracker.target();
         if (_traceRec.predictedTime >= 0.0 && m.time > 0.0) {
             _traceRec.timeErrorPct =
                 100.0 * (_traceRec.predictedTime - m.time) / m.time;

@@ -1,0 +1,93 @@
+#include "online/drift.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace gpupm::online {
+
+DriftDetector::DriftDetector(const DriftOptions &opts) : _opts(opts)
+{
+    GPUPM_ASSERT(_opts.window > 0, "drift window must be positive");
+    GPUPM_ASSERT(_opts.minSamples > 0 &&
+                     _opts.minSamples <= _opts.window,
+                 "drift minSamples must be in [1, window]");
+    GPUPM_ASSERT(_opts.sustain > 0, "drift sustain must be positive");
+    GPUPM_ASSERT(_opts.rearmFraction > 0.0 &&
+                     _opts.rearmFraction <= 1.0,
+                 "drift rearmFraction must be in (0, 1]");
+}
+
+double
+DriftDetector::rollingMape(const Window &w) const
+{
+    // Recompute from the ring rather than maintaining a running sum:
+    // the window is small (tens of entries) and a fresh summation keeps
+    // the value exactly reproducible for a given ring content, with no
+    // drift from long add/subtract chains.
+    double s = 0.0;
+    for (std::size_t i = 0; i < w.count; ++i)
+        s += w.errs[i];
+    return s / static_cast<double>(w.count);
+}
+
+std::optional<DriftEvent>
+DriftDetector::observe(const trace::DecisionRecord &r)
+{
+    // Only decisions where a model actually predicted and the outcome
+    // was measured carry an error sample; profiling ('P') and
+    // budget-out ('B') paths record predictedTime < 0.
+    if (!r.observed || r.predictedTime < 0.0 || r.measuredTime <= 0.0)
+        return std::nullopt;
+    ++_observed;
+
+    Window &w = _windows[r.kernelSignature];
+    if (w.errs.empty())
+        w.errs.resize(_opts.window, 0.0);
+
+    const double err = std::fabs(r.timeErrorPct);
+    w.errs[w.head] = err;
+    w.head = (w.head + 1) % _opts.window;
+    if (w.count < _opts.window)
+        ++w.count;
+
+    if (w.count < _opts.minSamples)
+        return std::nullopt;
+
+    const double mape = rollingMape(w);
+    if (!w.armed) {
+        if (mape < _opts.rearmFraction * _opts.timeThresholdPct) {
+            w.armed = true;
+            w.overStreak = 0;
+        }
+        return std::nullopt;
+    }
+
+    if (mape <= _opts.timeThresholdPct) {
+        w.overStreak = 0;
+        return std::nullopt;
+    }
+    if (++w.overStreak < _opts.sustain)
+        return std::nullopt;
+
+    // Sustained drift: emit and disarm until the error recovers.
+    w.armed = false;
+    w.overStreak = 0;
+    DriftEvent ev;
+    ev.ordinal = ++_triggers;
+    ev.signature = r.kernelSignature;
+    ev.mapePct = mape;
+    ev.observation = _observed;
+    return ev;
+}
+
+std::optional<double>
+DriftDetector::mapeOf(std::uint64_t signature) const
+{
+    const auto it = _windows.find(signature);
+    if (it == _windows.end() || it->second.count < _opts.minSamples)
+        return std::nullopt;
+    return rollingMape(it->second);
+}
+
+} // namespace gpupm::online

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Prediction-drift detection over decision provenance.
+ *
+ * The offline Random Forest ships with known accuracy: the paper quotes
+ * roughly 25% time and 12% power MAPE (Sec. VI-D). Every observed MPC
+ * decision already records its per-decision prediction error
+ * (trace::DecisionRecord::timeErrorPct), so drift - a workload or
+ * hardware shift the offline model never saw - shows up as rolling
+ * per-kernel error windows sitting persistently above that baseline.
+ *
+ * The detector maintains one fixed-size ring of |timeErrorPct| per
+ * kernel signature and triggers when a window's rolling MAPE stays
+ * above the threshold for `sustain` consecutive observations (a full
+ * window of evidence plus persistence, so a single pathological launch
+ * cannot trigger a retrain). After a trigger the signature disarms
+ * until its rolling MAPE falls below rearmFraction * threshold:
+ * hysteresis, so an error level oscillating around the threshold yields
+ * one trigger, not a trigger per crossing.
+ *
+ * Determinism contract: observe() is a pure fold over the record
+ * sequence - no clocks, no randomness, no allocation-order dependence -
+ * so a given stream of records produces the same triggers with the same
+ * ordinals every time (pinned by test_drift_detector). The detector
+ * never feeds back into anything by itself; whoever consumes the
+ * trigger decides whether to act.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/decision.hpp"
+
+namespace gpupm::online {
+
+/** Drift-detection tuning. */
+struct DriftOptions
+{
+    /** Rolling window length per kernel signature (observations). */
+    std::size_t window = 32;
+    /** Observations a signature needs before its MAPE is trusted. */
+    std::size_t minSamples = 16;
+    /** Rolling time-MAPE trigger threshold (%): the paper's offline
+     *  time accuracy, so "worse than the model should be". */
+    double timeThresholdPct = 25.0;
+    /** Consecutive over-threshold observations required to trigger. */
+    std::size_t sustain = 4;
+    /** A disarmed signature re-arms when its rolling MAPE drops below
+     *  rearmFraction * timeThresholdPct (hysteresis). */
+    double rearmFraction = 0.8;
+};
+
+/** One sustained-drift trigger. */
+struct DriftEvent
+{
+    /** 1-based trigger number, deterministic for a record stream. */
+    std::uint64_t ordinal = 0;
+    /** Kernel signature whose window triggered. */
+    std::uint64_t signature = 0;
+    /** The window's rolling MAPE (%) at the trigger. */
+    double mapePct = 0.0;
+    /** Scored observations consumed when the trigger fired. */
+    std::size_t observation = 0;
+};
+
+/** Per-kernel-signature rolling-MAPE drift detector. */
+class DriftDetector
+{
+  public:
+    explicit DriftDetector(const DriftOptions &opts = {});
+
+    /**
+     * Fold one decision record into the detector. Unobserved records
+     * and decisions made without a model prediction (profiling /
+     * budget-out paths record predictedTime < 0) are ignored. Returns
+     * the trigger event when this record completes a sustained drift.
+     */
+    std::optional<DriftEvent> observe(const trace::DecisionRecord &r);
+
+    /** Scored (model-predicted, observed) records so far. */
+    std::size_t observedCount() const { return _observed; }
+
+    /** Triggers emitted so far. */
+    std::uint64_t triggerCount() const { return _triggers; }
+
+    /** Rolling MAPE (%) of a signature; nullopt below minSamples. */
+    std::optional<double> mapeOf(std::uint64_t signature) const;
+
+  private:
+    struct Window
+    {
+        std::vector<double> errs; ///< Ring of |timeErrorPct|.
+        std::size_t head = 0;
+        std::size_t count = 0;
+        std::size_t overStreak = 0;
+        bool armed = true;
+    };
+
+    double rollingMape(const Window &w) const;
+
+    DriftOptions _opts;
+    std::unordered_map<std::uint64_t, Window> _windows;
+    std::size_t _observed = 0;
+    std::uint64_t _triggers = 0;
+};
+
+} // namespace gpupm::online

@@ -8,9 +8,29 @@ namespace gpupm::serve {
 InferenceBroker::InferenceBroker(
     std::shared_ptr<const ml::RandomForestPredictor> rf,
     const BrokerOptions &opts, telemetry::Registry *telemetry)
-    : _rf(std::move(rf)), _opts(opts)
+    : _owned(std::make_unique<online::ForestHandle>(std::move(rf))),
+      _handle(_owned.get()), _opts(opts)
 {
-    GPUPM_ASSERT(_rf != nullptr, "broker needs a predictor");
+    GPUPM_ASSERT(_handle->acquire()->predictor != nullptr,
+                 "broker needs a predictor");
+    GPUPM_ASSERT(_opts.maxBatch > 0, "maxBatch must be positive");
+    if (telemetry) {
+        _batchHist = &telemetry->histogram("broker.batch_queries");
+        _reqHist = &telemetry->histogram("broker.batch_requests");
+        _flushFull = &telemetry->counter("broker.flush_full");
+        _flushAllWaiting =
+            &telemetry->counter("broker.flush_all_waiting");
+        _flushDeadline = &telemetry->counter("broker.flush_deadline");
+    }
+}
+
+InferenceBroker::InferenceBroker(const online::ForestHandle &handle,
+                                 const BrokerOptions &opts,
+                                 telemetry::Registry *telemetry)
+    : _handle(&handle), _opts(opts)
+{
+    GPUPM_ASSERT(_handle->acquire()->predictor != nullptr,
+                 "broker needs a predictor");
     GPUPM_ASSERT(_opts.maxBatch > 0, "maxBatch must be positive");
     if (telemetry) {
         _batchHist = &telemetry->histogram("broker.batch_queries");
@@ -85,6 +105,13 @@ InferenceBroker::flushLocked(std::unique_lock<std::mutex> &lock,
     if (reason)
         reason->add();
 
+    // One generation snapshot per flush, acquired after the batch is
+    // claimed: every row of this batch is walked by these forests, so
+    // a publish racing the flush either serves the whole batch (landed
+    // before the acquire) or the next one - never a mix. The acquire is
+    // a lock-free atomic load; a swap can never block a flush.
+    const auto gen = _handle->acquire();
+
     // Gather rows contiguously, walk both forests tree-major once,
     // scatter results back. thread_local scratch: concurrent flushes
     // (one batch mid-walk while the next accumulates and flushes) each
@@ -97,7 +124,7 @@ InferenceBroker::flushLocked(std::unique_lock<std::mutex> &lock,
         rows.insert(rows.end(), p->rows.begin(), p->rows.end());
     time_log.resize(queries);
     gpu_power.resize(queries);
-    _rf->predictRows(rows, time_log, gpu_power);
+    gen->predictor->predictRows(rows, time_log, gpu_power);
 
     std::size_t at = 0;
     for (Pending *p : batch) {
@@ -108,12 +135,14 @@ InferenceBroker::flushLocked(std::unique_lock<std::mutex> &lock,
     }
 
     lock.lock();
-    for (Pending *p : batch)
+    for (Pending *p : batch) {
+        p->generation = gen->ordinal;
         p->done = true;
+    }
     _cv.notify_all();
 }
 
-void
+std::uint64_t
 InferenceBroker::evaluate(std::span<const ml::FeatureVector> rows,
                           std::span<double> time_log,
                           std::span<double> gpu_power)
@@ -122,7 +151,7 @@ InferenceBroker::evaluate(std::span<const ml::FeatureVector> rows,
                      gpu_power.size() == rows.size(),
                  "evaluate output size mismatch");
     if (rows.empty())
-        return;
+        return _handle->ordinal();
 
     std::unique_lock lock(_mutex);
     Pending req{rows, time_log, gpu_power, false};
@@ -143,6 +172,7 @@ InferenceBroker::evaluate(std::span<const ml::FeatureVector> rows,
             flushLocked(lock, _flushDeadline);
         }
     }
+    return req.generation;
 }
 
 std::size_t

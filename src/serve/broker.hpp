@@ -27,6 +27,16 @@
  * result is bit-identical however flushes happen to group it - batching
  * affects latency and throughput, never values. This is what makes the
  * deterministic fleet mode byte-reproducible at any worker count.
+ *
+ * Hot-swap: the broker reads its forests through an online::ForestHandle
+ * (a static fleet wraps its fixed predictor in an owned handle, so the
+ * two modes share one code path). Each flush acquires exactly one
+ * generation snapshot after claiming its batch and evaluates every row
+ * of the batch against it - a concurrent publish never mixes
+ * generations inside a batch and never blocks a flush (publication is
+ * one atomic store; the flush holds no lock during the forest walk).
+ * evaluate() reports the ordinal that served the rows so per-kernel
+ * memos upstream can key on it.
  */
 
 #pragma once
@@ -34,6 +44,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -41,6 +52,7 @@
 
 #include "ml/features.hpp"
 #include "ml/trainer.hpp"
+#include "online/forest_handle.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace gpupm::serve {
@@ -57,6 +69,8 @@ class InferenceBroker
 {
   public:
     /**
+     * Static backend: wraps @p rf in an owned single-generation handle.
+     *
      * @param rf Shared Random Forest predictor (the batched backend).
      * @param opts Flush policy.
      * @param telemetry Registry receiving broker metrics; may be null.
@@ -66,7 +80,20 @@ class InferenceBroker
         const BrokerOptions &opts = {},
         telemetry::Registry *telemetry = nullptr);
 
-    const ml::RandomForestPredictor &predictor() const { return *_rf; }
+    /**
+     * Hot-swappable backend: flushes follow @p handle's published
+     * generations. The handle must outlive the broker.
+     */
+    InferenceBroker(const online::ForestHandle &handle,
+                    const BrokerOptions &opts = {},
+                    telemetry::Registry *telemetry = nullptr);
+
+    /** Snapshot of the generation the next flush would use. */
+    std::shared_ptr<const online::ForestGeneration>
+    generation() const
+    {
+        return _handle->acquire();
+    }
 
     /**
      * Mark the calling thread as executing a governor decision that may
@@ -97,11 +124,14 @@ class InferenceBroker
      * flush delivers the results. time_log[i] is the time forest's
      * log-space output for rows[i], gpu_power[i] the power forest's
      * Watts (see RandomForestPredictor::predictRows). Bit-identical to
-     * a direct predictRows call on the same rows.
+     * a direct predictRows call on the same rows against the serving
+     * generation, whose ordinal is returned (always 0 for a static
+     * backend): all rows of one evaluate() call - and in fact the whole
+     * flush batch containing them - were walked by that one generation.
      */
-    void evaluate(std::span<const ml::FeatureVector> rows,
-                  std::span<double> time_log,
-                  std::span<double> gpu_power);
+    std::uint64_t evaluate(std::span<const ml::FeatureVector> rows,
+                           std::span<double> time_log,
+                           std::span<double> gpu_power);
 
     /** Completed flushes (diagnostics; also mirrored to telemetry). */
     std::size_t flushCount() const;
@@ -114,6 +144,9 @@ class InferenceBroker
         std::span<const ml::FeatureVector> rows;
         std::span<double> timeLog;
         std::span<double> gpuPower;
+        /** Ordinal of the generation whose flush served this request
+         *  (stamped before done). */
+        std::uint64_t generation = 0;
         bool done = false;
     };
 
@@ -127,7 +160,10 @@ class InferenceBroker
     void flushLocked(std::unique_lock<std::mutex> &lock,
                      telemetry::Counter *reason);
 
-    std::shared_ptr<const ml::RandomForestPredictor> _rf;
+    /** Owned handle for the static-backend constructor; null when the
+     *  caller provided an external (hot-swappable) handle. */
+    std::unique_ptr<online::ForestHandle> _owned;
+    const online::ForestHandle *_handle;
     BrokerOptions _opts;
 
     mutable std::mutex _mutex;

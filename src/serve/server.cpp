@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
 #include "common/logging.hpp"
@@ -24,13 +25,18 @@ FleetServer::FleetServer(
 
     auto rf = std::dynamic_pointer_cast<const ml::RandomForestPredictor>(
         predictor);
-    if (_opts.batching && rf) {
+    GPUPM_ASSERT(!_opts.forestHandle || rf,
+                 "online learning requires a Random Forest predictor");
+    if (_opts.batching && _opts.forestHandle) {
+        _broker = std::make_unique<InferenceBroker>(
+            *_opts.forestHandle, _opts.broker, _telemetry.get());
+    } else if (_opts.batching && rf) {
         _broker = std::make_unique<InferenceBroker>(
             std::move(rf), _opts.broker, _telemetry.get());
     }
     _sessions = std::make_unique<SessionManager>(
         std::move(predictor), _broker.get(), _opts.sessions, _opts.params,
-        _telemetry.get());
+        _telemetry.get(), _opts.forestHandle);
 
     _decisions = &_telemetry->counter("serve.decisions");
     _rejected = &_telemetry->counter("serve.rejected_requests");
@@ -152,11 +158,32 @@ runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
         sopts.sessions.maxSessions =
             std::max(sopts.sessions.maxSessions, opts.sessionCount);
     }
+    // The handle is declared before the server because the server (and
+    // every session memo inside it) reads generations from it for its
+    // whole lifetime.
+    std::optional<online::ForestHandle> handle;
+    if (opts.onlineLearn) {
+        auto rf =
+            std::dynamic_pointer_cast<const ml::RandomForestPredictor>(
+                predictor);
+        GPUPM_ASSERT(rf != nullptr,
+                     "--online-learn requires a Random Forest predictor");
+        handle.emplace(std::move(rf));
+        sopts.forestHandle = &*handle;
+    }
     FleetServer server(std::move(predictor), sopts);
     // Sessions read the sink from the registry at creation; install it
     // first so every governor reports from its very first decision.
-    if (opts.decisionSink)
+    // The learner wraps the caller's sink: records still reach it
+    // unchanged (observer-until-trigger determinism contract).
+    std::optional<online::OnlineLearner> learner;
+    if (opts.onlineLearn) {
+        learner.emplace(*handle, opts.online, opts.decisionSink,
+                        &server.telemetry());
+        server.telemetry().setDecisionSink(&*learner);
+    } else if (opts.decisionSink) {
         server.telemetry().setDecisionSink(opts.decisionSink);
+    }
 
     std::vector<workload::Application> apps;
     if (opts.apps.empty()) {
@@ -230,6 +257,13 @@ runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
 
     FleetResult out;
     out.sessions = opts.sessionCount;
+    if (learner) {
+        // Let an in-flight refit land before the final snapshot so the
+        // reported stats and generation reflect every trigger.
+        learner->drain();
+        out.online = learner->stats();
+        out.forestGeneration = handle->ordinal();
+    }
     out.metrics = server.metrics();
     server.stop();
     for (Slot &slot : slots) {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "exec/thread_pool.hpp"
+#include "online/learner.hpp"
 #include "serve/broker.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/session_manager.hpp"
@@ -49,6 +50,14 @@ struct FleetServerOptions
     /** Route RF evaluations through the shared broker. */
     bool batching = true;
     hw::ApuParams params = hw::ApuParams::defaults();
+    /**
+     * Hot-swap publication point for online learning; null = static
+     * forests. When set, the predictor handed to the server must be
+     * the handle's generation-0 (baseline) Random Forest, the broker
+     * follows published generations, and session memos are
+     * generation-keyed. Must outlive the server.
+     */
+    const online::ForestHandle *forestHandle = nullptr;
 };
 
 /** One decision request: step session once, then call back. */
@@ -141,9 +150,19 @@ struct FleetOptions
      * Decision-provenance sink, installed on the server's telemetry
      * registry before any session is created; every session governor
      * then reports its records here. Null = no provenance capture.
-     * Must outlive the runFleet call.
+     * Must outlive the runFleet call. With onlineLearn, the learner is
+     * interposed: this sink still sees every record, unchanged.
      */
     trace::DecisionSink *decisionSink = nullptr;
+    /**
+     * Closed-loop online learning: wrap the fleet's Random Forest in a
+     * ForestHandle and interpose an OnlineLearner in the provenance
+     * path. Observe-only until drift sustains (see online::DriftOptions
+     * in `online`), so a drift-free fleet is byte-identical to a static
+     * one - the golden-trace test pins this. Requires an RF predictor.
+     */
+    bool onlineLearn = false;
+    online::OnlineOptions online;
 };
 
 struct FleetResult
@@ -155,6 +174,10 @@ struct FleetResult
     std::size_t decisions = 0;
     double wallSeconds = 0.0;
     double decisionsPerSecond = 0.0;
+    /** Online-learning outcome (zeros when onlineLearn was off). */
+    online::OnlineStats online{};
+    /** Forest generation serving when the fleet finished. */
+    std::uint64_t forestGeneration = 0;
 };
 
 /** Run a fleet to completion; see the file comment for determinism. */

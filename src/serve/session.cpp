@@ -13,10 +13,11 @@ Session::Session(SessionId id, workload::Application app,
                  std::shared_ptr<const ml::PerfPowerPredictor> base,
                  InferenceBroker *broker, const SessionOptions &opts,
                  const hw::ApuParams &params,
-                 telemetry::Registry *telemetry)
+                 telemetry::Registry *telemetry,
+                 const online::ForestHandle *handle)
     : _id(id), _app(std::move(app)), _base(std::move(base)),
-      _broker(broker), _opts(opts), _params(params),
-      _telemetry(telemetry), _apu(params)
+      _broker(broker), _forestHandle(handle), _opts(opts),
+      _params(params), _telemetry(telemetry), _apu(params)
 {
     GPUPM_ASSERT(!_app.trace.empty(), "session application '", _app.name,
                  "' has an empty trace");
@@ -37,7 +38,7 @@ Session::reset()
     SessionPredictorOptions popts;
     popts.kernelCacheCap = _opts.kernelCacheCap;
     _predictor = std::make_shared<SessionPredictor>(
-        _base, _broker, popts, _telemetry);
+        _base, _broker, popts, _telemetry, _forestHandle);
     _governor = std::make_unique<mpc::MpcGovernor>(_predictor, _opts.mpc,
                                                    _params);
     _governor->setDecisionCallback(

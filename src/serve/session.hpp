@@ -77,12 +77,15 @@ class Session
      * @param base Shared predictor backing the session's governor.
      * @param broker Shared broker for batched misses; may be null.
      * @param telemetry Registry for cache metrics; may be null.
+     * @param handle Hot-swap publication point for online learning;
+     *        null = static forests.
      */
     Session(SessionId id, workload::Application app,
             std::shared_ptr<const ml::PerfPowerPredictor> base,
             InferenceBroker *broker, const SessionOptions &opts = {},
             const hw::ApuParams &params = hw::ApuParams::defaults(),
-            telemetry::Registry *telemetry = nullptr);
+            telemetry::Registry *telemetry = nullptr,
+            const online::ForestHandle *handle = nullptr);
 
     SessionId id() const { return _id; }
     const std::string &appName() const { return _app.name; }
@@ -128,6 +131,7 @@ class Session
     workload::Application _app;
     std::shared_ptr<const ml::PerfPowerPredictor> _base;
     InferenceBroker *_broker;
+    const online::ForestHandle *_forestHandle;
     SessionOptions _opts;
     hw::ApuParams _params;
     telemetry::Registry *_telemetry;

@@ -9,9 +9,10 @@ namespace gpupm::serve {
 SessionManager::SessionManager(
     std::shared_ptr<const ml::PerfPowerPredictor> base,
     InferenceBroker *broker, const SessionManagerOptions &opts,
-    const hw::ApuParams &params, telemetry::Registry *telemetry)
+    const hw::ApuParams &params, telemetry::Registry *telemetry,
+    const online::ForestHandle *handle)
     : _base(std::move(base)), _broker(broker), _opts(opts),
-      _params(params), _telemetry(telemetry)
+      _params(params), _telemetry(telemetry), _forestHandle(handle)
 {
     GPUPM_ASSERT(_base != nullptr, "session manager needs a predictor");
     if (_telemetry)
@@ -49,7 +50,8 @@ SessionManager::create(const workload::Application &app,
         return _nextId++;
     }();
     auto session = std::make_unique<Session>(id, app, _base, _broker,
-                                             opts, _params, _telemetry);
+                                             opts, _params, _telemetry,
+                                             _forestHandle);
 
     std::lock_guard lock(_mutex);
     if (_opts.maxSessions > 0 && _slots.size() >= _opts.maxSessions)

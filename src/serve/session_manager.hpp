@@ -40,12 +40,15 @@ class SessionManager
      * @param broker Shared broker handed to every session; may be null.
      * @param telemetry Registry for manager/session metrics; may be
      *        null.
+     * @param handle Hot-swap publication point handed to every
+     *        session; null = static forests.
      */
     SessionManager(std::shared_ptr<const ml::PerfPowerPredictor> base,
                    InferenceBroker *broker,
                    const SessionManagerOptions &opts = {},
                    const hw::ApuParams &params = hw::ApuParams::defaults(),
-                   telemetry::Registry *telemetry = nullptr);
+                   telemetry::Registry *telemetry = nullptr,
+                   const online::ForestHandle *handle = nullptr);
 
     /**
      * Create a session for @p app; evicts the LRU idle session when at
@@ -90,6 +93,7 @@ class SessionManager
     SessionManagerOptions _opts;
     hw::ApuParams _params;
     telemetry::Registry *_telemetry;
+    const online::ForestHandle *_forestHandle;
 
     mutable std::mutex _mutex;
     std::unordered_map<SessionId, Slot> _slots;

@@ -1,5 +1,6 @@
 #include "serve/session_predictor.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -11,14 +12,16 @@ namespace gpupm::serve {
 SessionPredictor::SessionPredictor(
     std::shared_ptr<const ml::PerfPowerPredictor> base,
     InferenceBroker *broker, const SessionPredictorOptions &opts,
-    telemetry::Registry *telemetry)
+    telemetry::Registry *telemetry, const online::ForestHandle *handle)
     : _base(std::move(base)),
       _rf(dynamic_cast<const ml::RandomForestPredictor *>(_base.get())),
-      _broker(broker), _cap(opts.kernelCacheCap)
+      _broker(broker), _handle(handle), _cap(opts.kernelCacheCap)
 {
     GPUPM_ASSERT(_base != nullptr, "session predictor needs a base");
     GPUPM_ASSERT(!_broker || _rf,
                  "broker routing requires a Random Forest base");
+    GPUPM_ASSERT(!_handle || _rf,
+                 "hot-swap routing requires a Random Forest base");
     if (telemetry) {
         _hitQueries = &telemetry->counter("serve.cache_hit_queries");
         _missQueries = &telemetry->counter("serve.cache_miss_queries");
@@ -30,6 +33,15 @@ void
 SessionPredictor::clearCache()
 {
     _entries.clear();
+}
+
+void
+SessionPredictor::rekeyEntry(KernelEntry &e, std::uint64_t gen)
+{
+    // Derived kernel features and the instruction proxy are functions
+    // of the counters alone - only the memoized forest outputs die.
+    std::fill(e.known.begin(), e.known.end(), 0);
+    e.generation = gen;
 }
 
 ml::Prediction
@@ -97,6 +109,16 @@ SessionPredictor::predictBatch(const ml::PredictionQuery &q,
 
     KernelEntry &e = entryFor(q.counters);
 
+    // Under hot-swap, rebind the memo to the current generation before
+    // serving from it: a stale memo would replay the outgoing forests'
+    // values after a swap.
+    std::shared_ptr<const online::ForestGeneration> gen;
+    if (_handle) {
+        gen = _handle->acquire();
+        if (e.generation != gen->ordinal)
+            rekeyEntry(e, gen->ordinal);
+    }
+
     // Serve memoized configs; collect the rest for one forest walk.
     std::vector<std::uint32_t> miss;
     for (std::size_t i = 0; i < n; ++i) {
@@ -119,10 +141,18 @@ SessionPredictor::predictBatch(const ml::PredictionQuery &q,
     for (std::size_t j = 0; j < m; ++j)
         rows[j] =
             ml::combineFeatures(e.kf, ml::configFeatures(cs[miss[j]]));
+    std::uint64_t served = e.generation;
     if (_broker)
-        _broker->evaluate(rows, time_log, gpu_power);
+        served = _broker->evaluate(rows, time_log, gpu_power);
+    else if (gen)
+        gen->predictor->predictRows(rows, time_log, gpu_power);
     else
         _rf->predictRows(rows, time_log, gpu_power);
+    // The broker may have flushed us against a generation published
+    // after our acquire above; the memo must only ever hold one
+    // generation's values, so rebind before merging.
+    if (served != e.generation)
+        rekeyEntry(e, served);
 
     for (std::size_t j = 0; j < m; ++j) {
         const std::size_t i = miss[j];

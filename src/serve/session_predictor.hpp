@@ -27,6 +27,18 @@
  * batching never changes a row's result, so every prediction is
  * bit-identical to calling the wrapped predictor directly.
  *
+ * Hot-swap: under online learning the forests behind the broker change
+ * generation at flush boundaries. Each kernel entry's memo is keyed by
+ * the generation whose forests produced it and is invalidated - known
+ * bits cleared, derived kernel features kept (they do not depend on the
+ * forests) - the first time the entry is touched at a different
+ * generation, so memoized values always match what the current
+ * generation would compute. A swap landing *inside* one decision can
+ * transiently mix memo hits from the outgoing generation with fresh
+ * walks from the incoming one within that decision's out[] span; batch
+ * purity (all rows of one broker flush walked by one generation) still
+ * holds, which is the invariant the hot-swap fuzz test pins.
+ *
  * Not thread-safe by design: a session is processed by one worker at a
  * time (the server checks sessions out exclusively), so the cache needs
  * no locking.
@@ -63,13 +75,17 @@ class SessionPredictor : public ml::PerfPowerPredictor
      *        (oracle families consult ground truth, so counters are
      *        not a safe cache key) pass through untouched.
      * @param broker Shared broker; null evaluates misses directly.
+     * @param handle Hot-swap publication point; null = static forests.
+     *        When set, base must be the (baseline) Random Forest, and
+     *        broker-less misses walk the handle's current generation.
      * @param telemetry Registry receiving cache metrics; may be null.
      */
     SessionPredictor(
         std::shared_ptr<const ml::PerfPowerPredictor> base,
         InferenceBroker *broker,
         const SessionPredictorOptions &opts = {},
-        telemetry::Registry *telemetry = nullptr);
+        telemetry::Registry *telemetry = nullptr,
+        const online::ForestHandle *handle = nullptr);
 
     ml::Prediction predict(const ml::PredictionQuery &q,
                            const hw::HwConfig &c) const override;
@@ -98,13 +114,19 @@ class SessionPredictor : public ml::PerfPowerPredictor
         std::vector<ml::Prediction> memo; ///< By denseConfigIndex.
         std::vector<std::uint8_t> known;
         std::uint64_t lastUse = 0;
+        /** Forest generation the memo belongs to (0 = static). */
+        std::uint64_t generation = 0;
     };
 
     KernelEntry &entryFor(const kernel::KernelCounters &counters) const;
 
+    /** Clear @p e's memo and rebind it to generation @p gen. */
+    static void rekeyEntry(KernelEntry &e, std::uint64_t gen);
+
     std::shared_ptr<const ml::PerfPowerPredictor> _base;
     const ml::RandomForestPredictor *_rf; ///< base, when it is an RF.
     InferenceBroker *_broker;
+    const online::ForestHandle *_handle;
     std::size_t _cap;
 
     // Session-local mutable state (single-worker access; see above).

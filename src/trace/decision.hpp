@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "kernel/counters.hpp"
 
 namespace gpupm::trace {
 
@@ -98,6 +99,21 @@ struct DecisionRecord
     Watts measuredGpuPower = 0.0;
     /** 100 * (predicted - measured) / measured; 0 when unavailable. */
     double timeErrorPct = 0.0;
+
+    // Replay / online-learning inputs (observe()-time captures). The
+    // observed counters plus the chosen configIndex and the measured
+    // outcome above form one complete (features, targets) training row;
+    // together with nonKernelTime and the run's throughput target they
+    // are also exactly the observation stream needed to re-drive an
+    // MpcGovernor offline (tests/replay_fixture.hpp).
+    /** Raw Table III counters observed for the decided kernel. */
+    kernel::KernelCounters counters{};
+    /** Measured dynamic instruction count of the invocation. */
+    InstCount measuredInstructions = 0.0;
+    /** Host phase + exposed decision latency charged to the run. */
+    Seconds nonKernelTime = 0.0;
+    /** The run's Eq. 4 performance target (baseline throughput). */
+    Throughput targetThroughput = 0.0;
 };
 
 /**

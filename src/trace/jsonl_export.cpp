@@ -89,7 +89,15 @@ writeDecisionJsonl(std::ostream &os,
         if (r.observed) {
             os << ",\"measuredTime\":" << fmtDouble(r.measuredTime)
                << ",\"measuredGpuPower\":" << fmtDouble(r.measuredGpuPower)
-               << ",\"timeErrorPct\":" << fmtDouble(r.timeErrorPct);
+               << ",\"timeErrorPct\":" << fmtDouble(r.timeErrorPct)
+               << ",\"counters\":[";
+            const auto cs = r.counters.asArray();
+            for (std::size_t i = 0; i < cs.size(); ++i)
+                os << (i ? "," : "") << fmtDouble(cs[i]);
+            os << "],\"instructions\":"
+               << fmtDouble(r.measuredInstructions)
+               << ",\"nonKernelTime\":" << fmtDouble(r.nonKernelTime)
+               << ",\"target\":" << fmtDouble(r.targetThroughput);
         }
         os << "}\n";
     }
@@ -166,6 +174,21 @@ readDecisionJsonl(std::istream &is)
             r.measuredTime = numberField(*doc, "measuredTime");
             r.measuredGpuPower = numberField(*doc, "measuredGpuPower");
             r.timeErrorPct = numberField(*doc, "timeErrorPct");
+            const json::Value *ctr = doc->find("counters");
+            GPUPM_ASSERT(ctr && ctr->isArray(),
+                         "decision line missing counters");
+            auto cs = r.counters.asArray();
+            GPUPM_ASSERT(ctr->asArray().size() == cs.size(),
+                         "decision counters arity mismatch");
+            for (std::size_t i = 0; i < cs.size(); ++i) {
+                GPUPM_ASSERT(ctr->asArray()[i].isNumber(),
+                             "decision counter not a number");
+                cs[i] = ctr->asArray()[i].asNumber();
+            }
+            r.counters = kernel::KernelCounters::fromArray(cs);
+            r.measuredInstructions = numberField(*doc, "instructions");
+            r.nonKernelTime = numberField(*doc, "nonKernelTime");
+            r.targetThroughput = numberField(*doc, "target");
         }
         out.push_back(std::move(r));
     }

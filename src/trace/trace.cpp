@@ -85,6 +85,7 @@ categoryName(Category cat)
       case Category::Exec: return "exec";
       case Category::Serve: return "serve";
       case Category::Bench: return "bench";
+      case Category::Online: return "online";
     }
     return "?";
 }

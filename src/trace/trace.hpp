@@ -46,6 +46,7 @@ enum class Category : std::uint8_t
     Exec,  ///< Sweep engine jobs.
     Serve, ///< Fleet server (queue, broker, sessions).
     Bench, ///< Experiment harnesses.
+    Online, ///< Drift detection, retraining, forest hot-swap.
 };
 
 /** Stable lower-case name for a category. */

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Decision-trace replay: re-drive an MpcGovernor from provenance.
+ *
+ * Every observed trace::DecisionRecord captures the complete
+ * observation the governor consumed (raw counters, measured
+ * time/power/instructions, non-kernel time, the run's throughput
+ * target). Replay reconstructs that observation stream and feeds it to
+ * a *fresh* governor built from the same predictor and options; if the
+ * decision pipeline is deterministic - no hidden clocks, no state the
+ * provenance misses - the replayed governor must choose byte-identical
+ * configurations at every step. A mismatch means a decision depended on
+ * something the record does not carry, which is exactly the regression
+ * the replay suite exists to catch (and the property online learning
+ * relies on when it turns records back into training rows).
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/config.hpp"
+#include "mpc/governor.hpp"
+#include "sim/governor.hpp"
+#include "trace/decision.hpp"
+
+namespace gpupm::testing {
+
+struct ReplayMismatch
+{
+    std::size_t recordIndex = 0;
+    std::size_t configExpected = 0;
+    std::size_t configReplayed = 0;
+};
+
+struct ReplayResult
+{
+    std::size_t decisions = 0;
+    std::vector<ReplayMismatch> mismatches;
+
+    bool identical() const { return mismatches.empty(); }
+};
+
+/**
+ * Re-drive governors over @p records (canonical provenance order; one
+ * fresh MpcGovernor per (app, session) group, one beginRun per run) and
+ * compare every decided dense config index against the recorded one.
+ * The predictor and options must match the original run's.
+ */
+inline ReplayResult
+replayDecisions(const std::vector<trace::DecisionRecord> &records,
+                const std::shared_ptr<const ml::PerfPowerPredictor> &rf,
+                const mpc::MpcOptions &opts = {},
+                const hw::ApuParams &params = hw::ApuParams::defaults())
+{
+    ReplayResult out;
+    std::unique_ptr<mpc::MpcGovernor> gov;
+    std::string cur_app;
+    std::uint64_t cur_session = 0;
+    std::size_t cur_run = static_cast<std::size_t>(-1);
+
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto &r = records[i];
+        if (!gov || r.app != cur_app || r.session != cur_session) {
+            gov = std::make_unique<mpc::MpcGovernor>(rf, opts, params);
+            cur_app = r.app;
+            cur_session = r.session;
+            cur_run = static_cast<std::size_t>(-1);
+        }
+        if (r.run != cur_run) {
+            gov->beginRun(r.app, r.targetThroughput);
+            cur_run = r.run;
+        }
+
+        const sim::Decision d = gov->decide(r.index);
+        ++out.decisions;
+        const std::size_t replayed = hw::denseConfigIndex(d.config);
+        if (replayed != r.configIndex)
+            out.mismatches.push_back({i, r.configIndex, replayed});
+
+        sim::Observation obs;
+        obs.index = r.index;
+        obs.tag = r.tag;
+        obs.measurement.time = r.measuredTime;
+        obs.measurement.gpuPower = r.measuredGpuPower;
+        obs.measurement.counters = r.counters;
+        obs.measurement.instructions = r.measuredInstructions;
+        obs.nonKernelTime = r.nonKernelTime;
+        obs.kernelTruth = nullptr; // counter-driven replay only
+        gov->observe(obs);
+    }
+    return out;
+}
+
+} // namespace gpupm::testing

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * DriftDetector suite: the determinism and hysteresis contracts from
+ * src/online/drift.hpp. Synthetic record streams pin the trigger
+ * mechanics exactly (ordinals, sustain, re-arm); a captured
+ * in-distribution MPC trace pins "no false trigger on the workloads the
+ * offline model was built for", and the same trace with inflated errors
+ * pins that a genuine shift triggers at a deterministic ordinal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ml/trainer.hpp"
+#include "mpc/governor.hpp"
+#include "online/drift.hpp"
+#include "policy/turbo_core.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::online {
+namespace {
+
+trace::DecisionRecord
+scored(std::uint64_t signature, double err_pct)
+{
+    trace::DecisionRecord r;
+    r.observed = true;
+    r.predictedTime = 1.0;
+    r.measuredTime = 1.0;
+    r.kernelSignature = signature;
+    r.timeErrorPct = err_pct;
+    return r;
+}
+
+DriftOptions
+smallWindow()
+{
+    DriftOptions o;
+    o.window = 8;
+    o.minSamples = 4;
+    o.timeThresholdPct = 25.0;
+    o.sustain = 3;
+    o.rearmFraction = 0.8;
+    return o;
+}
+
+TEST(DriftDetector, IgnoresRecordsWithoutAModelPrediction)
+{
+    DriftDetector d(smallWindow());
+    trace::DecisionRecord unobserved = scored(1, 500.0);
+    unobserved.observed = false;
+    trace::DecisionRecord profiling = scored(1, 500.0);
+    profiling.predictedTime = -1.0; // 'P'/'B' paths record no model run
+    trace::DecisionRecord unmeasured = scored(1, 500.0);
+    unmeasured.measuredTime = 0.0;
+
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(d.observe(unobserved));
+        EXPECT_FALSE(d.observe(profiling));
+        EXPECT_FALSE(d.observe(unmeasured));
+    }
+    EXPECT_EQ(d.observedCount(), 0u);
+    EXPECT_EQ(d.triggerCount(), 0u);
+}
+
+TEST(DriftDetector, InDistributionErrorsNeverTrigger)
+{
+    DriftDetector d(smallWindow());
+    for (int i = 0; i < 1000; ++i) {
+        // Alternating-sign errors well inside the offline baseline.
+        EXPECT_FALSE(d.observe(scored(7, i % 2 ? 10.0 : -12.0)));
+    }
+    EXPECT_EQ(d.triggerCount(), 0u);
+    ASSERT_TRUE(d.mapeOf(7).has_value());
+    EXPECT_NEAR(*d.mapeOf(7), 11.0, 1e-12);
+}
+
+TEST(DriftDetector, ShiftTriggersAtADeterministicOrdinal)
+{
+    // Two identical streams must produce identical events: 20 good
+    // observations, then a sustained shift to 60% error. With window 8
+    // the rolling MAPE first exceeds 25% at the 3rd shifted record
+    // ((3*60 + 5*5)/8 = 25.6) and sustain 3 fires on the 5th.
+    std::vector<DriftEvent> events[2];
+    for (auto &evs : events) {
+        DriftDetector d(smallWindow());
+        for (int i = 0; i < 20; ++i)
+            ASSERT_FALSE(d.observe(scored(7, 5.0)));
+        for (int i = 0; i < 8; ++i) {
+            if (auto ev = d.observe(scored(7, 60.0)))
+                evs.push_back(*ev);
+        }
+    }
+    ASSERT_EQ(events[0].size(), 1u);
+    EXPECT_EQ(events[0][0].ordinal, 1u);
+    EXPECT_EQ(events[0][0].signature, 7u);
+    EXPECT_EQ(events[0][0].observation, 25u);
+    EXPECT_GT(events[0][0].mapePct, 25.0);
+
+    ASSERT_EQ(events[1].size(), 1u);
+    EXPECT_EQ(events[1][0].ordinal, events[0][0].ordinal);
+    EXPECT_EQ(events[1][0].observation, events[0][0].observation);
+    EXPECT_EQ(events[1][0].mapePct, events[0][0].mapePct);
+}
+
+TEST(DriftDetector, OscillationAroundThresholdYieldsOneTrigger)
+{
+    DriftDetector d(smallWindow());
+    for (int i = 0; i < 8; ++i)
+        d.observe(scored(3, 60.0));
+    ASSERT_EQ(d.triggerCount(), 1u);
+
+    // Error oscillating around the threshold: rolling MAPE stays above
+    // the re-arm level (0.8 * 25 = 20), so the disarmed window must not
+    // fire again per crossing.
+    for (int i = 0; i < 200; ++i)
+        EXPECT_FALSE(d.observe(scored(3, i % 2 ? 30.0 : 22.0)));
+    EXPECT_EQ(d.triggerCount(), 1u);
+
+    // Genuine recovery re-arms...
+    for (int i = 0; i < 8; ++i)
+        EXPECT_FALSE(d.observe(scored(3, 5.0)));
+    // ...and a second sustained shift fires trigger #2.
+    std::optional<DriftEvent> second;
+    for (int i = 0; i < 8 && !second; ++i)
+        second = d.observe(scored(3, 80.0));
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->ordinal, 2u);
+}
+
+TEST(DriftDetector, SignaturesAreIsolated)
+{
+    DriftDetector d(smallWindow());
+    for (int i = 0; i < 8; ++i) {
+        d.observe(scored(1, 90.0)); // drifting kernel
+        EXPECT_FALSE(d.observe(scored(2, 4.0))) << "iteration " << i;
+    }
+    EXPECT_EQ(d.triggerCount(), 1u);
+    ASSERT_TRUE(d.mapeOf(2).has_value());
+    EXPECT_NEAR(*d.mapeOf(2), 4.0, 1e-12);
+}
+
+/** Capture an in-distribution MPC-over-RF decision trace. */
+std::vector<trace::DecisionRecord>
+seedTrace()
+{
+    static const std::vector<trace::DecisionRecord> records = [] {
+        // A representative corpus: the no-false-trigger claim is about
+        // a model performing at its offline accuracy, so the seed trace
+        // needs a forest that actually covers these workloads (a
+        // 16-kernel corpus misses them and legitimately drifts).
+        ml::TrainerOptions topts;
+        topts.corpusSize = 64;
+        topts.configStride = 2;
+        topts.forest.numTrees = 20;
+        std::shared_ptr<const ml::PerfPowerPredictor> rf =
+            ml::trainRandomForestPredictor(topts);
+
+        trace::DecisionLog log;
+        sim::Simulator sim;
+        for (const char *bench : {"color", "mis"}) {
+            const auto app = workload::makeBenchmark(bench);
+            policy::TurboCoreGovernor turbo;
+            const double target = sim.run(app, turbo).throughput();
+            mpc::MpcGovernor gov(rf, {});
+            gov.setDecisionSink(&log);
+            for (int run = 0; run < 3; ++run)
+                sim.run(app, gov, target);
+        }
+        auto out = log.take();
+        trace::sortDecisions(out);
+        return out;
+    }();
+    return records;
+}
+
+DriftOptions
+seedTraceWindow()
+{
+    // Short traces: shrink the evidence requirement so the no-trigger
+    // assertion is about error magnitude, not insufficient samples.
+    // The threshold is calibrated to this simulator + forest: rolling
+    // 8-sample windows on in-distribution workloads peak around 60%
+    // |error| (small windows are far noisier than the corpus-wide
+    // offline MAPE), so 75% is "worse than this model has ever been
+    // observed to be" while the 8x-shifted trace sails past it.
+    DriftOptions o;
+    o.window = 8;
+    o.minSamples = 4;
+    o.timeThresholdPct = 75.0;
+    o.sustain = 2;
+    return o;
+}
+
+TEST(DriftDetector, NoFalseTriggerOnSeedTrace)
+{
+    DriftDetector d(seedTraceWindow());
+    for (const auto &r : seedTrace()) {
+        const auto ev = d.observe(r);
+        EXPECT_FALSE(ev.has_value())
+            << "signature " << std::hex << r.kernelSignature << std::dec
+            << " MAPE " << (ev ? ev->mapePct : 0.0) << "% at observation "
+            << (ev ? ev->observation : 0);
+    }
+    EXPECT_GT(d.observedCount(), 0u);
+    EXPECT_EQ(d.triggerCount(), 0u);
+}
+
+TEST(DriftDetector, DefaultOptionsNeverTriggerOnSeedTrace)
+{
+    // The deployment defaults (32-sample windows, 16-sample minimum)
+    // demand far more evidence than these short traces provide for any
+    // single signature - the conservative default must stay silent.
+    DriftDetector d;
+    for (const auto &r : seedTrace())
+        EXPECT_FALSE(d.observe(r).has_value());
+    EXPECT_EQ(d.triggerCount(), 0u);
+}
+
+TEST(DriftDetector, ShiftedSeedTraceTriggersDeterministically)
+{
+    // The same trace through a model that has drifted badly: inflate
+    // every recorded error 8x (a ~25%-MAPE model degrading past 100%).
+    auto shifted = seedTrace();
+    for (auto &r : shifted)
+        r.timeErrorPct *= 8.0;
+
+    std::vector<DriftEvent> events[2];
+    for (auto &evs : events) {
+        DriftDetector d(seedTraceWindow());
+        for (const auto &r : shifted) {
+            if (auto ev = d.observe(r))
+                evs.push_back(*ev);
+        }
+    }
+    ASSERT_FALSE(events[0].empty())
+        << "an 8x error inflation must register as drift";
+    ASSERT_EQ(events[0].size(), events[1].size());
+    for (std::size_t i = 0; i < events[0].size(); ++i) {
+        EXPECT_EQ(events[0][i].ordinal, events[1][i].ordinal);
+        EXPECT_EQ(events[0][i].signature, events[1][i].signature);
+        EXPECT_EQ(events[0][i].observation, events[1][i].observation);
+        EXPECT_EQ(events[0][i].mapePct, events[1][i].mapePct);
+        EXPECT_EQ(events[0][i].ordinal, i + 1);
+    }
+}
+
+} // namespace
+} // namespace gpupm::online

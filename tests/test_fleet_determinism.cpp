@@ -141,6 +141,31 @@ TEST(FleetDeterminism, BatchingOnAndOffProduceTheSameTrace)
               serializeFleetTrace(runFleet(forest(), without).trace));
 }
 
+TEST(FleetDeterminism, OnlineLearnWithoutDriftIsByteIdentical)
+{
+    // Observer-until-trigger contract: with --online-learn on but no
+    // drift, the learner must be a pure observer - the trace stays
+    // byte-identical to the static fleet's, and no retrain ever runs.
+    // "No drift" is forced via the threshold: the deliberately tiny
+    // test forest genuinely exceeds the paper's 25% baseline on live
+    // windows, and this test is about the observation path (handle-
+    // routed broker, generation-keyed memos, row accumulation), not
+    // about when the detector fires (test_drift_detector pins that).
+    auto online = goldenFleet(4);
+    online.onlineLearn = true;
+    online.online.drift.timeThresholdPct = 1e9;
+    const auto learned = runFleet(forest(), online);
+    const auto statics = runFleet(forest(), goldenFleet(4));
+
+    EXPECT_EQ(serializeFleetTrace(statics.trace),
+              serializeFleetTrace(learned.trace));
+    EXPECT_GT(learned.online.observed, 0u);
+    EXPECT_GT(learned.online.rows, 0u); // accumulation ran for real
+    EXPECT_EQ(learned.online.triggers, 0u);
+    EXPECT_EQ(learned.online.swaps, 0u);
+    EXPECT_EQ(learned.forestGeneration, 0u);
+}
+
 TEST(FleetDeterminism, TraceIsOrderedAndComplete)
 {
     const auto result = runAt(2);

@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exec/sweep_jobs.hpp"
@@ -225,6 +227,10 @@ expectRecordsEqual(const DecisionRecord &a, const DecisionRecord &b)
     EXPECT_EQ(a.measuredTime, b.measuredTime);
     EXPECT_EQ(a.measuredGpuPower, b.measuredGpuPower);
     EXPECT_EQ(a.timeErrorPct, b.timeErrorPct);
+    EXPECT_EQ(a.counters, b.counters);
+    EXPECT_EQ(a.measuredInstructions, b.measuredInstructions);
+    EXPECT_EQ(a.nonKernelTime, b.nonKernelTime);
+    EXPECT_EQ(a.targetThroughput, b.targetThroughput);
 }
 
 TEST(DecisionJsonl, RoundTripIsExact)
@@ -254,6 +260,12 @@ TEST(DecisionJsonl, RoundTripIsExact)
     a.measuredTime = 0.1 + 0.2; // not representable as 0.3
     a.measuredGpuPower = 13.37;
     a.timeErrorPct = -2.5;
+    a.counters = kernel::KernelCounters::fromArray(
+        {1048576.0, 37.5, 88.8, 1.0 / 7.0, 12.0, 0.25,
+         6.02214076e23, 4096.5});
+    a.measuredInstructions = 9.007199254740993e15; // > 2^53
+    a.nonKernelTime = 2.5e-4;
+    a.targetThroughput = 1.0 / 0.007;
     recs.push_back(a);
 
     DecisionRecord b; // profiling decision: never optimized, unobserved
@@ -301,6 +313,62 @@ TEST(DecisionJsonl, SortIsCanonical)
     EXPECT_EQ(recs[2].run, 1u);
     EXPECT_EQ(recs[3].session, 1u);
     EXPECT_EQ(recs[4].app, "b");
+}
+
+// The online-learning loop drains the sink with take() while fleet
+// sessions keep record()ing: every record must land in exactly one
+// drain (swap-under-lock), with none lost, torn, or duplicated.
+TEST(DecisionLog, TakeUnderConcurrentRecordLosesNothing)
+{
+    constexpr int kWriters = 4;
+    constexpr std::size_t kPerWriter = 2000;
+
+    DecisionLog log;
+    std::atomic<bool> done{false};
+    std::vector<DecisionRecord> drained;
+
+    std::thread drainer([&] {
+        // Keep draining until all writers finished, then once more to
+        // sweep the tail.
+        while (!done.load(std::memory_order_acquire)) {
+            auto batch = log.take();
+            drained.insert(drained.end(),
+                           std::make_move_iterator(batch.begin()),
+                           std::make_move_iterator(batch.end()));
+        }
+        auto tail = log.take();
+        drained.insert(drained.end(),
+                       std::make_move_iterator(tail.begin()),
+                       std::make_move_iterator(tail.end()));
+    });
+
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w)
+        writers.emplace_back([&log, w] {
+            for (std::size_t i = 0; i < kPerWriter; ++i) {
+                DecisionRecord r;
+                r.app = "hammer";
+                r.session = static_cast<std::uint64_t>(w);
+                r.index = i;
+                log.record(std::move(r));
+            }
+        });
+    for (auto &t : writers)
+        t.join();
+    done.store(true, std::memory_order_release);
+    drainer.join();
+
+    ASSERT_EQ(drained.size(), kWriters * kPerWriter);
+    EXPECT_EQ(log.size(), 0u);
+    // Per-writer order is preserved and every index appears once.
+    std::array<std::size_t, kWriters> next{};
+    sortDecisions(drained);
+    for (const auto &r : drained) {
+        ASSERT_LT(r.session, static_cast<std::uint64_t>(kWriters));
+        EXPECT_EQ(r.index, next[r.session]++);
+    }
+    for (std::size_t n : next)
+        EXPECT_EQ(n, kPerWriter);
 }
 
 /** MPC over a small benchmark, optionally with a provenance sink. */

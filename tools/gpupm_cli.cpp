@@ -19,12 +19,14 @@
  *   gpupm fleet --sessions 16 --jobs 8 --model m.rf --trace fleet.jsonl
  *   gpupm fleet --sessions 16 --jobs 8 --trace-out timeline.json \
  *       --trace-decisions decisions.jsonl
+ *   gpupm fleet --sessions 16 --online-learn --drift-threshold 20
  */
 
 #include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "common/flags.hpp"
@@ -34,6 +36,8 @@
 #include "ml/serialize.hpp"
 #include "ml/trainer.hpp"
 #include "mpc/governor.hpp"
+#include "online/adaptive_predictor.hpp"
+#include "online/learner.hpp"
 #include "policy/oracle.hpp"
 #include "policy/ppk.hpp"
 #include "policy/turbo_core.hpp"
@@ -152,6 +156,43 @@ class TraceOutputs
     trace::DecisionLog _log;
 };
 
+/**
+ * Shared --online-learn flag family for the subcommands that can close
+ * the loop: drift-triggered Random Forest retraining with RCU hot-swap
+ * (requires --predictor rf).
+ */
+void
+addOnlineFlags(FlagParser &flags)
+{
+    flags.addBool("online-learn",
+                  "enable drift-triggered forest retraining with "
+                  "zero-pause hot-swap (requires --predictor rf)");
+    flags.addInt("drift-window", 32,
+                 "per-kernel rolling error-window length", 2, 1 << 16);
+    flags.addDouble("drift-threshold", 25.0,
+                    "rolling time-MAPE (%) that arms a drift trigger");
+    flags.addInt("drift-sustain", 4,
+                 "consecutive over-threshold observations to trigger", 1,
+                 1 << 16);
+    flags.addInt("online-min-rows", 256,
+                 "training rows required before a trigger may refit", 1,
+                 1 << 24);
+}
+
+online::OnlineOptions
+parseOnlineOptions(const FlagParser &flags)
+{
+    online::OnlineOptions o;
+    o.drift.window =
+        static_cast<std::size_t>(flags.getInt("drift-window"));
+    o.drift.minSamples = std::min(o.drift.minSamples, o.drift.window);
+    o.drift.timeThresholdPct = flags.getDouble("drift-threshold");
+    o.drift.sustain =
+        static_cast<std::size_t>(flags.getInt("drift-sustain"));
+    o.minRows = static_cast<std::size_t>(flags.getInt("online-min-rows"));
+    return o;
+}
+
 int
 cmdTrain(int argc, const char *const *argv)
 {
@@ -235,6 +276,7 @@ cmdRun(int argc, const char *const *argv)
     flags.addDouble("phases", 0.0, "CPU-phase fraction between kernels");
     flags.addPath("trace", "", "write 1 ms telemetry CSV here");
     flags.addBool("no-overhead", "do not charge decision latency");
+    addOnlineFlags(flags);
     TraceOutputs::addFlags(flags);
     if (!flags.parse(argc, argv)) {
         std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
@@ -251,6 +293,28 @@ cmdRun(int argc, const char *const *argv)
                                   flags.getString("model"));
         if (!predictor)
             return 2;
+    }
+
+    // Close the loop: route MPC predictions through a hot-swappable
+    // handle and interpose the drift-triggered learner in the
+    // provenance path. Synchronous refits keep the single-threaded run
+    // path deterministic (swaps land at known decision boundaries).
+    std::optional<online::ForestHandle> forest_handle;
+    std::optional<online::OnlineLearner> learner;
+    if (flags.getBool("online-learn")) {
+        auto rf = std::dynamic_pointer_cast<
+            const ml::RandomForestPredictor>(predictor);
+        if (gov_kind != "mpc" || !rf) {
+            std::cerr << "--online-learn requires --governor mpc with "
+                         "--predictor rf\n";
+            return 2;
+        }
+        forest_handle.emplace(std::move(rf));
+        predictor =
+            std::make_shared<online::AdaptivePredictor>(*forest_handle);
+        online::OnlineOptions oopts = parseOnlineOptions(flags);
+        oopts.synchronous = true;
+        learner.emplace(*forest_handle, oopts, trace_outputs.log());
     }
 
     std::vector<std::string> names;
@@ -292,7 +356,9 @@ cmdRun(int argc, const char *const *argv)
             r = sim.run(app, gov, baseline.throughput());
         } else if (gov_kind == "mpc") {
             mpc::MpcGovernor gov(predictor, mpc_opts);
-            gov.setDecisionSink(trace_outputs.log());
+            gov.setDecisionSink(learner ? static_cast<trace::DecisionSink *>(
+                                              &*learner)
+                                        : trace_outputs.log());
             sim.run(app, gov, baseline.throughput());
             for (int i = 0; i < flags.getInt("runs"); ++i)
                 r = sim.run(app, gov, baseline.throughput());
@@ -311,6 +377,15 @@ cmdRun(int argc, const char *const *argv)
         last = r;
     }
     t.print(std::cout);
+
+    if (learner) {
+        const auto st = learner->stats();
+        std::cout << "online: " << st.observed << " observed, "
+                  << st.triggers << " drift triggers, " << st.retrains
+                  << " retrains, " << st.swaps
+                  << " swaps (serving generation "
+                  << forest_handle->ordinal() << ")\n";
+    }
 
     const std::string trace_path = flags.getPath("trace");
     if (!trace_path.empty()) {
@@ -472,6 +547,7 @@ cmdFleet(int argc, const char *const *argv)
                   "wall-clock metrics)");
     flags.addPath("trace", "",
                   "write the decision trace (JSON lines) here");
+    addOnlineFlags(flags);
     TraceOutputs::addFlags(flags);
     if (!flags.parse(argc, argv)) {
         std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
@@ -501,6 +577,13 @@ cmdFleet(int argc, const char *const *argv)
     fopts.cpuPhaseJitter = flags.getDouble("phase-jitter");
     fopts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
     fopts.decisionSink = trace_outputs.log();
+    fopts.onlineLearn = flags.getBool("online-learn");
+    fopts.online = parseOnlineOptions(flags);
+    if (fopts.onlineLearn &&
+        flags.getString("predictor") != "rf") {
+        std::cerr << "--online-learn requires --predictor rf\n";
+        return 2;
+    }
     if (flags.getString("bench") != "all")
         fopts.apps = splitCommaList(flags.getString("bench"));
 
@@ -509,6 +592,16 @@ cmdFleet(int argc, const char *const *argv)
     std::cout << "fleet: " << result.sessions << " sessions, "
               << result.decisions << " decisions\n";
     if (!flags.getBool("deterministic")) {
+        if (fopts.onlineLearn) {
+            // Async retrain timing depends on scheduling, so the online
+            // summary stays out of the byte-reproducible output.
+            const auto &st = result.online;
+            std::cout << "online: " << st.observed << " observed, "
+                      << st.triggers << " drift triggers, "
+                      << st.retrains << " retrains, " << st.swaps
+                      << " swaps (serving generation "
+                      << result.forestGeneration << ")\n";
+        }
         std::cout << "throughput: "
                   << fmt(result.decisionsPerSecond, 0)
                   << " decisions/s over "

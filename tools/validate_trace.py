@@ -14,7 +14,8 @@ import argparse
 import json
 import sys
 
-CHROME_CATEGORIES = {"sim", "mpc", "ml", "exec", "serve", "bench"}
+CHROME_CATEGORIES = {"sim", "mpc", "ml", "exec", "serve", "bench",
+                     "online"}
 DECISION_TAGS = {"P", "W", "F", "B"}
 REQUIRED_DECISION_KEYS = {
     "app", "session", "run", "index", "tag", "profiling", "signature",
@@ -69,8 +70,15 @@ def check_jsonl(path):
             if rec["tag"] not in DECISION_TAGS:
                 fail(f"{path}:{lineno}: unknown tag {rec['tag']!r}")
             int(rec["signature"], 16)  # hex string, not a number
-            if rec["observed"] and "measuredTime" not in rec:
-                fail(f"{path}:{lineno}: observed without measuredTime")
+            if rec["observed"]:
+                for key in ("measuredTime", "measuredGpuPower",
+                            "timeErrorPct", "counters", "instructions",
+                            "nonKernelTime", "target"):
+                    if key not in rec:
+                        fail(f"{path}:{lineno}: observed without {key}")
+                if len(rec["counters"]) != 8:
+                    fail(f"{path}:{lineno}: counters arity "
+                         f"{len(rec['counters'])} != 8")
             records.append(rec)
     if not records:
         fail(f"{path}: no decision records")
