@@ -26,9 +26,13 @@ gpupm_bench(bench_ablation)
 gpupm_bench(bench_tdp_study)
 
 # google-benchmark microbenchmarks (runtime overhead calibration).
+# All three benchmark binaries use bench_simd_main.hpp instead of
+# BENCHMARK_MAIN(): it accepts --simd=<mode> (which the benchmark flag
+# parser would reject) and stamps the resolved SIMD path into the JSON
+# context so perf_compare.py can refuse cross-engine comparisons.
 add_executable(bench_micro_runtime bench/bench_micro_runtime.cpp)
 target_link_libraries(bench_micro_runtime PRIVATE gpupm_bench_harness
-    benchmark::benchmark benchmark::benchmark_main)
+    benchmark::benchmark)
 set_target_properties(bench_micro_runtime PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 

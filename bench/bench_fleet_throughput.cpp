@@ -25,6 +25,7 @@
 
 #include <memory>
 
+#include "bench_simd_main.hpp"
 #include "ml/trainer.hpp"
 #include "serve/server.hpp"
 
@@ -137,4 +138,8 @@ BENCHMARK(BM_FleetServed)
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return bench::simdBenchmarkMain(argc, argv);
+}

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_simd_main.hpp"
 #include "harness.hpp"
 #include "kernel/perf_model.hpp"
 #include "ml/features.hpp"
@@ -350,3 +351,9 @@ BM_McpSteadyStateRunSpmv(benchmark::State &state)
 BENCHMARK(BM_McpSteadyStateRunSpmv)->Unit(benchmark::kMillisecond);
 
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    return bench::simdBenchmarkMain(argc, argv);
+}

@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_simd_main.hpp"
 #include "common/rng.hpp"
 #include "ml/trainer.hpp"
 #include "online/forest_handle.hpp"
@@ -230,4 +231,8 @@ BENCHMARK(BM_FleetAdaptsToShift)
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    return bench::simdBenchmarkMain(argc, argv);
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Custom main() for the google-benchmark binaries: a `--simd=` flag
+ * plus provenance context in the JSON output.
+ *
+ * benchmark::Initialize rejects flags it does not know, so the plain
+ * BENCHMARK_MAIN() cannot accept `--simd=avx2`. This main strips the
+ * flag first, installs the mode as the process default (every
+ * predictor the fixtures train consults ml::defaultSimdMode()), and
+ * then emits three context keys into `--benchmark_out` JSON:
+ *
+ *   gpupm_simd       requested mode  (scalar | auto | avx2 | fallback)
+ *   gpupm_simd_path  resolved path   (scalar | fallback | avx2)
+ *   gpupm_quant      number domain   (float64 | int16)
+ *
+ * tools/perf_compare.py refuses to diff runs whose resolved path or
+ * quantization domain differ (a quantized run "beating" a float
+ * baseline is a mode change, not a regression fix), so keeping these
+ * keys truthful is load-bearing. Files missing the keys - the
+ * pre-quantization baselines - read as scalar/float64.
+ */
+
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "ml/simd.hpp"
+
+namespace gpupm::bench {
+
+inline int
+simdBenchmarkMain(int argc, char **argv)
+{
+    ml::SimdMode mode = ml::defaultSimdMode(); // GPUPM_SIMD env
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strncmp(arg, "--simd=", 7) == 0) {
+            const auto parsed = ml::parseSimdMode(arg + 7);
+            if (!parsed) {
+                std::cerr << "invalid --simd value '" << (arg + 7)
+                          << "' (want scalar|auto|avx2|fallback)\n";
+                return 2;
+            }
+            mode = *parsed;
+            continue; // strip: benchmark::Initialize would reject it
+        }
+        argv[kept++] = argv[i];
+    }
+    argc = kept;
+    ml::setDefaultSimdMode(mode);
+
+    const auto path = ml::resolveSimdPath(mode);
+    benchmark::AddCustomContext("gpupm_simd", ml::toString(mode));
+    benchmark::AddCustomContext("gpupm_simd_path", ml::toString(path));
+    benchmark::AddCustomContext(
+        "gpupm_quant",
+        path == ml::SimdPath::Float64 ? "float64" : "int16");
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace gpupm::bench

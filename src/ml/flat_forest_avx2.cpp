@@ -1,0 +1,271 @@
+/**
+ * @file
+ * AVX2 gather kernels for the quantized FlatForest walk.
+ *
+ * Compiled with a per-function target("avx2") attribute instead of a
+ * file-level -mavx2, so the translation unit is safe to build and link
+ * into binaries that must still start on pre-AVX2 hosts; runtime
+ * dispatch (ml::resolveSimdPath) guarantees these functions are only
+ * ever *called* where the instructions exist.
+ *
+ * Each step mirrors the portable fixed-point qstep exactly:
+ *
+ *   rec  = qnodes[idx]               (one 8-byte record per node)
+ *   qt   = sext16(rec), feat = (rec >> 16) & 0xffff
+ *   off  = rec >> 32
+ *   qx   = sext16(row[feat])         (32-bit gather, scale 2)
+ *   idx += off + (qx > qt)
+ *
+ * The record halves sit at byte offsets idx*8 and idx*8+4, so two
+ * scale-8 32-bit gathers off the same base fetch meta and offset from
+ * the same cache line (little-endian x86). All arithmetic is exact
+ * integer arithmetic on the same quantized inputs the portable path
+ * reads, so the two produce bit-identical node indices by
+ * construction; both paths also share the convergence early exit
+ * (nobody moved in a round => everybody parked on a self-looping
+ * leaf => the remaining depth budget is all no-ops). The int16
+ * feature gathers read 32 bits at a 2-byte granularity; rows are
+ * padded to a 64-byte stride on a 64-byte-aligned base
+ * (FlatForest::kQuantRowStride + AlignedVector), so such a load never
+ * straddles a cache line and never leaves the row buffer.
+ */
+
+#include "ml/flat_forest_kernels.hpp"
+
+#include "common/logging.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace gpupm::ml::detail {
+
+namespace {
+
+/** Sign-extend the low 16 bits of each 32-bit lane. */
+[[gnu::target("avx2")]] inline __m256i
+sext16(__m256i v)
+{
+    return _mm256_srai_epi32(_mm256_slli_epi32(v, 16), 16);
+}
+
+/**
+ * One traversal step for 8 independent walkers. rowoff holds each
+ * walker's row base (row * stride, in int16 slots); 0 for all lanes
+ * when the 8 walkers share one row (the 8-trees-per-query kernel).
+ */
+[[gnu::target("avx2")]] inline __m256i
+qstep8(const std::int64_t *qnodes, const std::int16_t *qrows,
+       __m256i rowoff, __m256i idx)
+{
+    const int *const q32 = reinterpret_cast<const int *>(qnodes);
+    const __m256i m = _mm256_i32gather_epi32(q32, idx, 8);
+    const __m256i off = _mm256_i32gather_epi32(q32 + 1, idx, 8);
+    const __m256i qt = sext16(m);
+    const __m256i feat = _mm256_srli_epi32(m, 16);
+    const __m256i fidx = _mm256_add_epi32(rowoff, feat);
+    const __m256i qx = sext16(_mm256_i32gather_epi32(
+        reinterpret_cast<const int *>(qrows), fidx, 2));
+    const __m256i gt = _mm256_cmpgt_epi32(qx, qt);
+    // idx + off + (qx > qt): the compare mask is -1 where true.
+    return _mm256_sub_epi32(_mm256_add_epi32(idx, off), gt);
+}
+
+/** acc[row0 + w] += leaf[leaf_idx[idx lane w]], in lane order. */
+[[gnu::target("avx2")]] inline void
+accumLeaves(__m256i idx, const std::int32_t *leaf_idx,
+            const double *leaf, double *acc, std::size_t row0)
+{
+    alignas(32) std::uint32_t a[8];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(a), idx);
+    for (std::size_t w = 0; w < 8; ++w)
+        acc[row0 + w] += leaf[leaf_idx[a[w]]];
+}
+
+[[gnu::target("avx2")]] std::size_t
+accumTreeRowsImpl(const std::int64_t *qnodes, const std::int16_t *qrows,
+                  std::size_t stride, std::size_t n, std::uint32_t root,
+                  std::uint16_t depth, const std::int32_t *leaf_idx,
+                  const double *leaf, double *acc)
+{
+    const __m256i lane = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+    const __m256i vstride =
+        _mm256_set1_epi32(static_cast<int>(stride));
+    const __m256i vroot =
+        _mm256_set1_epi32(static_cast<int>(root));
+    const __m256i ones = _mm256_set1_epi32(-1);
+
+    // Two 8-row groups in flight: each step is a gather -> gather ->
+    // compare dependence chain, so a second independent chain roughly
+    // doubles throughput before the load ports saturate. Every fourth
+    // round both chains test for convergence and bail out of the
+    // remaining (all no-op) depth budget together.
+    std::size_t q = 0;
+    for (; q + 16 <= n; q += 16) {
+        const __m256i row0 =
+            _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(q)),
+                             lane);
+        const __m256i row1 = _mm256_add_epi32(
+            _mm256_set1_epi32(static_cast<int>(q + 8)), lane);
+        const __m256i off0 = _mm256_mullo_epi32(row0, vstride);
+        const __m256i off1 = _mm256_mullo_epi32(row1, vstride);
+        __m256i idx0 = vroot;
+        __m256i idx1 = vroot;
+        std::uint16_t d = 0;
+        bool parked = false;
+        for (; d + 4 <= depth; d += 4) {
+            for (std::uint16_t k = 1; k < 4; ++k) {
+                idx0 = qstep8(qnodes, qrows, off0, idx0);
+                idx1 = qstep8(qnodes, qrows, off1, idx1);
+            }
+            const __m256i p0 = idx0;
+            const __m256i p1 = idx1;
+            idx0 = qstep8(qnodes, qrows, off0, idx0);
+            idx1 = qstep8(qnodes, qrows, off1, idx1);
+            const __m256i still =
+                _mm256_and_si256(_mm256_cmpeq_epi32(idx0, p0),
+                                 _mm256_cmpeq_epi32(idx1, p1));
+            if (_mm256_testc_si256(still, ones)) {
+                parked = true;
+                break;
+            }
+        }
+        for (; !parked && d < depth; ++d) {
+            idx0 = qstep8(qnodes, qrows, off0, idx0);
+            idx1 = qstep8(qnodes, qrows, off1, idx1);
+        }
+        accumLeaves(idx0, leaf_idx, leaf, acc, q);
+        accumLeaves(idx1, leaf_idx, leaf, acc, q + 8);
+    }
+    for (; q + 8 <= n; q += 8) {
+        const __m256i row0 =
+            _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(q)),
+                             lane);
+        const __m256i off0 = _mm256_mullo_epi32(row0, vstride);
+        __m256i idx0 = vroot;
+        std::uint16_t d = 0;
+        bool parked = false;
+        for (; d + 4 <= depth; d += 4) {
+            for (std::uint16_t k = 1; k < 4; ++k)
+                idx0 = qstep8(qnodes, qrows, off0, idx0);
+            const __m256i p0 = idx0;
+            idx0 = qstep8(qnodes, qrows, off0, idx0);
+            if (_mm256_testc_si256(_mm256_cmpeq_epi32(idx0, p0),
+                                   ones)) {
+                parked = true;
+                break;
+            }
+        }
+        for (; !parked && d < depth; ++d)
+            idx0 = qstep8(qnodes, qrows, off0, idx0);
+        accumLeaves(idx0, leaf_idx, leaf, acc, q);
+    }
+    return q;
+}
+
+[[gnu::target("avx2")]] void
+walkTreesImpl(const std::int64_t *qnodes, const std::int16_t *qrow,
+              const std::uint32_t *roots, std::size_t count,
+              std::uint16_t depth, std::uint32_t *out_idx)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i ones = _mm256_set1_epi32(-1);
+    __m256i idx0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(roots));
+    if (count == 16) {
+        __m256i idx1 = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(roots + 8));
+        std::uint16_t d = 0;
+        bool parked = false;
+        for (; d + 4 <= depth; d += 4) {
+            for (std::uint16_t k = 1; k < 4; ++k) {
+                idx0 = qstep8(qnodes, qrow, zero, idx0);
+                idx1 = qstep8(qnodes, qrow, zero, idx1);
+            }
+            const __m256i p0 = idx0;
+            const __m256i p1 = idx1;
+            idx0 = qstep8(qnodes, qrow, zero, idx0);
+            idx1 = qstep8(qnodes, qrow, zero, idx1);
+            const __m256i still =
+                _mm256_and_si256(_mm256_cmpeq_epi32(idx0, p0),
+                                 _mm256_cmpeq_epi32(idx1, p1));
+            if (_mm256_testc_si256(still, ones)) {
+                parked = true;
+                break;
+            }
+        }
+        for (; !parked && d < depth; ++d) {
+            idx0 = qstep8(qnodes, qrow, zero, idx0);
+            idx1 = qstep8(qnodes, qrow, zero, idx1);
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out_idx),
+                            idx0);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(out_idx + 8), idx1);
+        return;
+    }
+    std::uint16_t d = 0;
+    bool parked = false;
+    for (; d + 4 <= depth; d += 4) {
+        for (std::uint16_t k = 1; k < 4; ++k)
+            idx0 = qstep8(qnodes, qrow, zero, idx0);
+        const __m256i p0 = idx0;
+        idx0 = qstep8(qnodes, qrow, zero, idx0);
+        if (_mm256_testc_si256(_mm256_cmpeq_epi32(idx0, p0), ones)) {
+            parked = true;
+            break;
+        }
+    }
+    for (; !parked && d < depth; ++d)
+        idx0 = qstep8(qnodes, qrow, zero, idx0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(out_idx), idx0);
+}
+
+} // namespace
+
+std::size_t
+avx2AccumTreeRows(const std::int64_t *qnodes, const std::int16_t *qrows,
+                  std::size_t stride, std::size_t n, std::uint32_t root,
+                  std::uint16_t depth, const std::int32_t *leaf_idx,
+                  const double *leaf, double *acc)
+{
+    return accumTreeRowsImpl(qnodes, qrows, stride, n, root, depth,
+                             leaf_idx, leaf, acc);
+}
+
+void
+avx2WalkTrees(const std::int64_t *qnodes, const std::int16_t *qrow,
+              const std::uint32_t *roots, std::size_t count,
+              std::uint16_t depth, std::uint32_t *out_idx)
+{
+    GPUPM_ASSERT(count == 8 || count == 16,
+                 "avx2WalkTrees handles 8- or 16-tree groups");
+    walkTreesImpl(qnodes, qrow, roots, count, depth, out_idx);
+}
+
+} // namespace gpupm::ml::detail
+
+#else // !x86
+
+namespace gpupm::ml::detail {
+
+std::size_t
+avx2AccumTreeRows(const std::int64_t *, const std::int16_t *,
+                  std::size_t, std::size_t, std::uint32_t,
+                  std::uint16_t, const std::int32_t *, const double *,
+                  double *)
+{
+    GPUPM_PANIC("AVX2 kernel invoked on a non-x86 host");
+}
+
+void
+avx2WalkTrees(const std::int64_t *, const std::int16_t *,
+              const std::uint32_t *, std::size_t, std::uint16_t,
+              std::uint32_t *)
+{
+    GPUPM_PANIC("AVX2 kernel invoked on a non-x86 host");
+}
+
+} // namespace gpupm::ml::detail
+
+#endif

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Internal AVX2 walk kernels for the quantized FlatForest engine.
+ *
+ * Declared unconditionally; the implementations live in
+ * flat_forest_avx2.cpp behind a target("avx2") attribute so the rest
+ * of the library builds without -mavx2 and non-x86 builds get
+ * panicking stubs (runtime dispatch never selects the AVX2 path
+ * there). The kernels operate on the raw packed arrays - 8-byte
+ * traversal records (low half `feature << 16 | uint16(qthr)`, high
+ * half the int32 child offset) and int16 feature rows at a fixed
+ * stride - and produce exactly the same integer walk results as the
+ * portable fixed-point path, including the same convergence early
+ * exit (extra steps past it are self-loop no-ops); callers do all
+ * leaf lookups and accumulation orderings themselves or pass the
+ * leaf tables in, so SIMD/fallback bit-identity is structural.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gpupm::ml::detail {
+
+/**
+ * Walk rows [0, n & ~7) of the quantized row matrix through one tree
+ * and add each row's leaf value into acc[row]. Two 8-row groups run
+ * interleaved per instruction step. Returns the number of rows
+ * handled (n & ~7); the caller walks the tail scalar-wise.
+ */
+std::size_t avx2AccumTreeRows(const std::int64_t *qnodes,
+                              const std::int16_t *qrows,
+                              std::size_t stride, std::size_t n,
+                              std::uint32_t root, std::uint16_t depth,
+                              const std::int32_t *leaf_idx,
+                              const double *leaf, double *acc);
+
+/**
+ * Walk one quantized row through `count` trees (count must be 8 or
+ * 16), rooted at roots[0..count); every tree walks `depth` steps
+ * (walkers of shallower trees park on their self-looping leaves).
+ * Final arena indices land in out_idx[0..count).
+ */
+void avx2WalkTrees(const std::int64_t *qnodes, const std::int16_t *qrow,
+                   const std::uint32_t *roots, std::size_t count,
+                   std::uint16_t depth, std::uint32_t *out_idx);
+
+} // namespace gpupm::ml::detail

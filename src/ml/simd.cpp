@@ -1,0 +1,148 @@
+#include "ml/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace gpupm::ml {
+
+const char *
+toString(SimdMode m)
+{
+    switch (m) {
+    case SimdMode::Scalar:
+        return "scalar";
+    case SimdMode::Auto:
+        return "auto";
+    case SimdMode::Avx2:
+        return "avx2";
+    case SimdMode::Fallback:
+        return "fallback";
+    }
+    return "?";
+}
+
+const char *
+toString(SimdPath p)
+{
+    switch (p) {
+    case SimdPath::Float64:
+        return "scalar";
+    case SimdPath::FixedPortable:
+        return "fallback";
+    case SimdPath::FixedAvx2:
+        return "avx2";
+    }
+    return "?";
+}
+
+std::optional<SimdMode>
+parseSimdMode(const std::string &s)
+{
+    if (s == "scalar")
+        return SimdMode::Scalar;
+    if (s == "auto")
+        return SimdMode::Auto;
+    if (s == "avx2")
+        return SimdMode::Avx2;
+    if (s == "fallback" || s == "portable")
+        return SimdMode::Fallback;
+    return std::nullopt;
+}
+
+bool
+cpuSupportsAvx2()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    static const bool supported = __builtin_cpu_supports("avx2") != 0;
+    return supported;
+#else
+    return false;
+#endif
+}
+
+SimdPath
+resolveSimdPath(SimdMode m)
+{
+    switch (m) {
+    case SimdMode::Scalar:
+        return SimdPath::Float64;
+    case SimdMode::Fallback:
+        return SimdPath::FixedPortable;
+    case SimdMode::Auto:
+        return cpuSupportsAvx2() ? SimdPath::FixedAvx2
+                                 : SimdPath::FixedPortable;
+    case SimdMode::Avx2:
+        if (cpuSupportsAvx2())
+            return SimdPath::FixedAvx2;
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            GPUPM_WARN("--simd=avx2 requested but this CPU lacks AVX2; "
+                       "using the bit-identical portable fixed-point "
+                       "kernel");
+        return SimdPath::FixedPortable;
+    }
+    return SimdPath::Float64;
+}
+
+namespace {
+
+SimdMode
+envSimdMode()
+{
+    const char *env = std::getenv("GPUPM_SIMD");
+    if (env == nullptr || *env == '\0')
+        return SimdMode::Scalar;
+    if (const auto m = parseSimdMode(env))
+        return *m;
+    GPUPM_WARN("ignoring unrecognized GPUPM_SIMD='", env,
+               "' (want auto|avx2|scalar|fallback); using scalar");
+    return SimdMode::Scalar;
+}
+
+std::atomic<SimdMode> &
+defaultModeSlot()
+{
+    static std::atomic<SimdMode> mode{envSimdMode()};
+    return mode;
+}
+
+std::atomic<std::uint64_t> g_rows[kSimdPathCount];
+
+} // namespace
+
+SimdMode
+defaultSimdMode()
+{
+    return defaultModeSlot().load(std::memory_order_relaxed);
+}
+
+void
+setDefaultSimdMode(SimdMode m)
+{
+    defaultModeSlot().store(m, std::memory_order_relaxed);
+}
+
+void
+addSimdRows(SimdPath p, std::uint64_t rows)
+{
+    g_rows[static_cast<std::size_t>(p)].fetch_add(
+        rows, std::memory_order_relaxed);
+}
+
+SimdRowStats
+simdRowStats()
+{
+    SimdRowStats s;
+    s.scalar = g_rows[static_cast<std::size_t>(SimdPath::Float64)].load(
+        std::memory_order_relaxed);
+    s.fallback =
+        g_rows[static_cast<std::size_t>(SimdPath::FixedPortable)].load(
+            std::memory_order_relaxed);
+    s.avx2 = g_rows[static_cast<std::size_t>(SimdPath::FixedAvx2)].load(
+        std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace gpupm::ml

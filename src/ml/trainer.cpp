@@ -30,14 +30,17 @@ nextPredictorInstanceId()
 } // namespace
 
 RandomForestPredictor::RandomForestPredictor(RandomForest time_forest,
-                                             RandomForest power_forest)
+                                             RandomForest power_forest,
+                                             SimdMode simd)
     : _time(std::move(time_forest)), _power(std::move(power_forest)),
       _timeFlat(FlatForest::compile(_time)),
-      _powerFlat(FlatForest::compile(_power)),
+      _powerFlat(FlatForest::compile(_power)), _simd(simd),
       _instanceId(nextPredictorInstanceId())
 {
     GPUPM_ASSERT(_time.fitted() && _power.fitted(),
                  "predictor needs fitted forests");
+    _timeFlat.setSimdMode(simd);
+    _powerFlat.setSimdMode(simd);
 }
 
 Prediction
@@ -153,16 +156,20 @@ RandomForestPredictor::predictBatch(const PredictionQuery &q,
     thread_local std::vector<double> time_pred, power_pred;
 
     if (!entry) {
-        // Cold single query (n >= 2 always claims the entry): with no
-        // batch to amortize flat-engine setup, the scalar recursive
-        // walk's preorder locality wins. Bit-identical either way.
+        // Cold single query (n >= 2 always claims the entry). Routed
+        // through the flat engines - not the scalar recursive walk -
+        // so the answer comes from the *same* engine (and, in a
+        // quantized mode, the same rounding) as the batched paths:
+        // a prediction must be a pure function of (counters, config,
+        // mode), never of cache state. Bit-identical to the recursive
+        // walk in scalar mode.
         const auto kf = makeKernelFeatures(q.counters);
         for (std::size_t i = 0; i < n; ++i) {
             const auto f = combineFeatures(kf, configFeatures(cs[i]));
             // Trained on log(seconds per instruction); scale back up
             // by the counter-derived instruction proxy.
-            out[i].time = std::exp(_time.predict(f)) * proxy;
-            out[i].gpuPower = _power.predict(f);
+            out[i].time = std::exp(_timeFlat.predict(f)) * proxy;
+            out[i].gpuPower = _powerFlat.predict(f);
         }
         return;
     }
@@ -310,8 +317,8 @@ trainRandomForestPredictor(const TrainerOptions &opts,
         report->datasetRows = time_data.size();
     }
 
-    return std::make_unique<RandomForestPredictor>(std::move(time_forest),
-                                                   std::move(power_forest));
+    return std::make_unique<RandomForestPredictor>(
+        std::move(time_forest), std::move(power_forest), opts.simd);
 }
 
 EvalReport

@@ -193,6 +193,35 @@ parseOnlineOptions(const FlagParser &flags)
     return o;
 }
 
+/**
+ * Shared --simd flag for every subcommand that builds or loads a
+ * predictor. applySimdFlag installs the chosen mode as the process
+ * default, which all predictor construction sites consult: fresh
+ * training (TrainerOptions::simd), --model loads (serialize.cpp's
+ * default constructor argument), and online-refit fallbacks.
+ */
+void
+addSimdFlag(FlagParser &flags)
+{
+    flags.addString("simd", toString(ml::defaultSimdMode()),
+                    "forest inference engine: scalar (float64, "
+                    "bit-exact golden path), auto, avx2, fallback; "
+                    "GPUPM_SIMD env sets the default");
+}
+
+bool
+applySimdFlag(const FlagParser &flags)
+{
+    const auto mode = ml::parseSimdMode(flags.getString("simd"));
+    if (!mode) {
+        std::cerr << "invalid --simd value '" << flags.getString("simd")
+                  << "' (want scalar|auto|avx2|fallback)\n";
+        return false;
+    }
+    ml::setDefaultSimdMode(*mode);
+    return true;
+}
+
 int
 cmdTrain(int argc, const char *const *argv)
 {
@@ -205,11 +234,14 @@ cmdTrain(int argc, const char *const *argv)
                  "dataset-generation and forest-fitting workers (0 = "
                  "hardware concurrency, 1 = serial; output is identical)",
                  0, 4096);
+    addSimdFlag(flags);
     if (!flags.parse(argc, argv)) {
         std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
                   << flags.usage();
         return flags.helpRequested() ? 0 : 2;
     }
+    if (!applySimdFlag(flags))
+        return 2;
 
     ml::TrainerOptions opts;
     opts.corpusSize = static_cast<std::size_t>(flags.getInt("corpus"));
@@ -276,6 +308,7 @@ cmdRun(int argc, const char *const *argv)
     flags.addDouble("phases", 0.0, "CPU-phase fraction between kernels");
     flags.addPath("trace", "", "write 1 ms telemetry CSV here");
     flags.addBool("no-overhead", "do not charge decision latency");
+    addSimdFlag(flags);
     addOnlineFlags(flags);
     TraceOutputs::addFlags(flags);
     if (!flags.parse(argc, argv)) {
@@ -283,6 +316,8 @@ cmdRun(int argc, const char *const *argv)
                   << flags.usage();
         return flags.helpRequested() ? 0 : 2;
     }
+    if (!applySimdFlag(flags))
+        return 2;
 
     TraceOutputs trace_outputs(flags);
 
@@ -430,12 +465,15 @@ cmdSweep(int argc, const char *const *argv)
                  0, 4096);
     flags.addInt("seed", 0x5eed, "root seed for per-job RNG streams");
     flags.addInt("runs", 2, "MPC executions after profiling", 1, 10000);
+    addSimdFlag(flags);
     TraceOutputs::addFlags(flags);
     if (!flags.parse(argc, argv)) {
         std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
                   << flags.usage();
         return flags.helpRequested() ? 0 : 2;
     }
+    if (!applySimdFlag(flags))
+        return 2;
 
     TraceOutputs trace_outputs(flags);
 
@@ -547,6 +585,7 @@ cmdFleet(int argc, const char *const *argv)
                   "wall-clock metrics)");
     flags.addPath("trace", "",
                   "write the decision trace (JSON lines) here");
+    addSimdFlag(flags);
     addOnlineFlags(flags);
     TraceOutputs::addFlags(flags);
     if (!flags.parse(argc, argv)) {
@@ -554,6 +593,8 @@ cmdFleet(int argc, const char *const *argv)
                   << flags.usage();
         return flags.helpRequested() ? 0 : 2;
     }
+    if (!applySimdFlag(flags))
+        return 2;
 
     TraceOutputs trace_outputs(flags);
 
@@ -618,6 +659,18 @@ cmdFleet(int argc, const char *const *argv)
         if (auto it = h.find("serve.queue_depth"); it != h.end())
             std::cout << "queue depth: mean " << fmt(it->second.mean, 2)
                       << ", p99 " << fmt(it->second.p99, 1) << "\n";
+        // Row counts depend on cache/memo hit patterns, which vary
+        // with worker scheduling - hence outside --deterministic.
+        const auto &c = result.metrics.counters;
+        const auto rows = [&](const char *k) {
+            const auto it = c.find(k);
+            return it != c.end() ? it->second : std::uint64_t{0};
+        };
+        std::cout << "inference: --simd "
+                  << flags.getString("simd") << ", rows scalar "
+                  << rows("ml.rows_scalar") << ", fallback "
+                  << rows("ml.rows_fallback") << ", avx2 "
+                  << rows("ml.rows_avx2") << "\n";
     }
 
     const std::string trace_path = flags.getPath("trace");

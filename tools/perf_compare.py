@@ -14,6 +14,15 @@ bench-compare target can gate on the exit status). Benchmarks present in
 only one file are listed but never fail the comparison, so adding or
 retiring a benchmark does not break CI.
 
+Both files must come from the same inference engine: the bench mains
+stamp the resolved SIMD path and quantization domain into the JSON
+context (gpupm_simd_path / gpupm_quant; files predating the keys read
+as scalar/float64), and mismatched runs are refused with exit code 2 -
+a quantized AVX2 candidate "beating" a float baseline is an engine
+change, not a like-for-like result. Pass --allow-simd-mismatch for the
+deliberate cross-engine comparison (e.g. quantifying the quantized
+speedup itself).
+
 Capture inputs with:
     bench_micro_runtime --benchmark_min_time=0.5 \
         --benchmark_out=out.json --benchmark_out_format=json
@@ -24,6 +33,15 @@ Only the python3 standard library is used.
 import argparse
 import json
 import sys
+
+
+def load_context(path):
+    """(simd_path, quant) recorded in the run's context block."""
+    with open(path) as f:
+        doc = json.load(f)
+    ctx = doc.get("context", {})
+    return (ctx.get("gpupm_simd_path", "scalar"),
+            ctx.get("gpupm_quant", "float64"))
 
 
 def load_benchmarks(path):
@@ -58,7 +76,23 @@ def main():
     ap.add_argument("candidate")
     ap.add_argument("--threshold", type=float, default=20.0,
                     help="regression threshold in percent (default 20)")
+    ap.add_argument("--allow-simd-mismatch", action="store_true",
+                    help="compare runs from different inference "
+                         "engines (deliberate cross-engine studies)")
     args = ap.parse_args()
+
+    base_engine = load_context(args.baseline)
+    cand_engine = load_context(args.candidate)
+    if base_engine != cand_engine:
+        msg = (f"inference engines differ: baseline is "
+               f"{base_engine[0]}/{base_engine[1]}, candidate is "
+               f"{cand_engine[0]}/{cand_engine[1]}")
+        if not args.allow_simd_mismatch:
+            print(f"error: {msg}; rerun both on one engine or pass "
+                  f"--allow-simd-mismatch", file=sys.stderr)
+            return 2
+        print(f"warning: {msg} (--allow-simd-mismatch)",
+              file=sys.stderr)
 
     base = load_benchmarks(args.baseline)
     cand = load_benchmarks(args.candidate)
