@@ -73,3 +73,30 @@ add_custom_target(bench-compare
     DEPENDS bench_micro_runtime
     COMMENT "Running microbenchmarks and comparing against docs/perf/BENCH_micro.json"
     VERBATIM)
+
+# `cmake --build build --target bench-fleet-compare` runs the sharded
+# fleet benchmarks (including the 100k-session massive study - allow a
+# few minutes) and diffs rates *and latency percentiles* against the
+# committed baseline. Rates gate at 25%; p99 gates at 150% because on
+# a 1-core unpinned host the oversubscribed configs' tail is pure
+# scheduler noise (identical code measured +78% p99 run-to-run at
+# load 0.5) - the tail gate exists to catch order-of-magnitude
+# regressions like an unbounded queue, not microsecond jitter.
+# Regenerate the baseline with the same filter:
+#   ./build/bench/bench_fleet_throughput --simd=auto \
+#       --benchmark_filter='Sharded|Massive' \
+#       --benchmark_out=docs/perf/BENCH_fleet_sharded.json \
+#       --benchmark_out_format=json
+add_custom_target(bench-fleet-compare
+    COMMAND ${CMAKE_BINARY_DIR}/bench/bench_fleet_throughput
+        --simd=auto
+        --benchmark_filter=Sharded|Massive
+        --benchmark_out=${CMAKE_BINARY_DIR}/bench/BENCH_fleet_candidate.json
+        --benchmark_out_format=json
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/perf_compare.py
+        ${CMAKE_SOURCE_DIR}/docs/perf/BENCH_fleet_sharded.json
+        ${CMAKE_BINARY_DIR}/bench/BENCH_fleet_candidate.json
+        --threshold 25 --percentile-threshold 150
+    DEPENDS bench_fleet_throughput
+    COMMENT "Running sharded fleet benchmarks and comparing against docs/perf/BENCH_fleet_sharded.json"
+    VERBATIM)

@@ -54,6 +54,21 @@ harnessOptionsFromArgs(int argc, const char *const *argv)
     return opts;
 }
 
+LatencySummary
+LatencySummary::fromSnapshot(const telemetry::Snapshot &snapshot,
+                             const std::string &histogram)
+{
+    LatencySummary out;
+    const auto it = snapshot.histograms.find(histogram);
+    if (it == snapshot.histograms.end())
+        return out;
+    out.count = it->second.count;
+    out.p50 = it->second.p50;
+    out.p95 = it->second.p95;
+    out.p99 = it->second.p99;
+    return out;
+}
+
 Harness::Harness(const HarnessOptions &opts)
     : _opts(opts), _engine({opts.jobs, opts.seed})
 {

@@ -25,6 +25,7 @@
 
 #include "common/table.hpp"
 #include "exec/sweep.hpp"
+#include "telemetry/telemetry.hpp"
 #include "ml/error_model.hpp"
 #include "ml/trainer.hpp"
 #include "mpc/governor.hpp"
@@ -54,6 +55,30 @@ struct SchemeResult
     double speedup = 0.0;
     mpc::MpcRunStats mpcStats{}; ///< Populated for MPC schemes.
     std::size_t mpcKernelCount = 0;
+};
+
+/**
+ * Percentile view of one telemetry histogram, for bench reporting.
+ * The google-benchmark binaries stamp these into the JSON as
+ * latency_p50_ns / latency_p95_ns / latency_p99_ns counters, which is
+ * what lets perf_compare.py diff tail latency between runs instead of
+ * only mean rates.
+ */
+struct LatencySummary
+{
+    std::uint64_t count = 0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+
+    /**
+     * Summarize @p histogram from @p snapshot; all-zeros when the
+     * histogram is absent or empty (a bench with no recorded samples
+     * stamps zeros rather than failing).
+     */
+    static LatencySummary fromSnapshot(
+        const telemetry::Snapshot &snapshot,
+        const std::string &histogram);
 };
 
 /** Harness-wide execution options. */

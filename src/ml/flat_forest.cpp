@@ -215,6 +215,17 @@ FlatForest::buildQuantTables()
         _quant[f] = {lo[f], inv};
     }
 
+    // SoA mirror for the vectorized row quantizer. Padding entries
+    // keep inv == 0, so vector lanes past numFeatures quantize to the
+    // same 0 the scalar padding loop writes.
+    _qlo.fill(0.0);
+    _qinv.fill(0.0);
+    for (std::size_t f = 0;
+         f < static_cast<std::size_t>(numFeatures); ++f) {
+        _qlo[f] = _quant[f].lo;
+        _qinv[f] = _quant[f].inv;
+    }
+
     // Pass 2: pack the mirror arena of 8-byte traversal records.
     _qnodes.resize(_nodes.size());
     for (std::size_t i = 0; i < _nodes.size(); ++i) {
@@ -345,6 +356,8 @@ FlatForest::specialize(std::span<const double> fixed) const
     // parent's packed thresholds verbatim: surviving splits compare
     // exactly as they would inside the parent arena.
     out._quant = _quant;
+    out._qlo = _qlo;
+    out._qinv = _qinv;
     out._mode = _mode;
     out._path = _path;
 
@@ -563,6 +576,26 @@ FlatForest::quantizeRow(const double *f, std::int16_t *q) const
     for (std::size_t j = static_cast<std::size_t>(numFeatures);
          j < kQuantRowStride; ++j)
         q[j] = 0;
+}
+
+void
+FlatForest::quantizeRows(std::span<const FeatureVector> x,
+                         std::int16_t *rows) const
+{
+    const std::size_t n = x.size();
+    if (_path == SimdPath::FixedAvx2 && n > 0) {
+        static_assert(sizeof(FeatureVector) ==
+                          sizeof(double) *
+                              static_cast<std::size_t>(numFeatures),
+                      "feature rows must be densely packed");
+        detail::avx2QuantizeRows(
+            x[0].data(), static_cast<std::size_t>(numFeatures), n,
+            _qlo.data(), _qinv.data(), kQuantCells, kQuantBias, rows,
+            kQuantRowStride);
+        return;
+    }
+    for (std::size_t q = 0; q < n; ++q)
+        quantizeRow(x[q].data(), rows + q * kQuantRowStride);
 }
 
 void
@@ -797,8 +830,7 @@ FlatForest::predictBatchQuantized(std::span<const FeatureVector> x,
     thread_local AlignedVector<std::int16_t> qrow_buf;
     qrow_buf.resize(n * kQuantRowStride);
     std::int16_t *const rows = qrow_buf.data();
-    for (std::size_t q = 0; q < n; ++q)
-        quantizeRow(x[q].data(), rows + q * kQuantRowStride);
+    quantizeRows(x, rows);
 
     // Full-size trees first consult the residual cache: a hit walks
     // ~50x smaller trees that agree with this arena bit for bit on
@@ -1126,7 +1158,7 @@ FlatForest::predict(const FeatureVector &f) const
     if (_path == SimdPath::Float64)
         return predictOne(f, leaf_scratch);
     alignas(kCacheLineBytes) std::int16_t qrow[kQuantRowStride];
-    quantizeRow(f.data(), qrow);
+    quantizeRows(std::span<const FeatureVector>(&f, 1), qrow);
     return predictOneQuantized(qrow, leaf_scratch);
 }
 

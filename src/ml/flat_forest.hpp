@@ -221,6 +221,18 @@ class FlatForest
     }
 
     /**
+     * Quantize a batch of feature rows into the packed int16 layout the
+     * fixed-point walks consume: row q lands at
+     * rows[q * kQuantRowStride], features beyond numFeatures zeroed.
+     * On the AVX2 path this runs a vectorized kernel over the SoA
+     * quantizer tables; every other path quantizes per row. Both are
+     * bit-identical to quantizeFeature() on each element, so the
+     * engines stay interchangeable row-for-row.
+     */
+    void quantizeRows(std::span<const FeatureVector> x,
+                      std::int16_t *rows) const;
+
+    /**
      * Identity of this packed arena's *contents*: assigned from a
      * process-global counter each time compile() or specialize()
      * builds an arena, copied (not reassigned) on copy/move, and never
@@ -342,6 +354,12 @@ class FlatForest
     AlignedVector<std::int64_t> _qnodes;
     /// Per-feature affine quantizers (inv == 0: never split on).
     std::array<FeatureQuantizer, numFeatures> _quant{};
+    /// The same quantizers in SoA form, padded to kQuantRowStride with
+    /// inv == 0 entries, so the vectorized row quantizer loads 4-wide
+    /// without bounds checks. Kept in lockstep with _quant by
+    /// buildQuantTables() and specialize().
+    alignas(kCacheLineBytes) std::array<double, kQuantRowStride> _qlo{};
+    alignas(kCacheLineBytes) std::array<double, kQuantRowStride> _qinv{};
 
     SimdMode _mode = SimdMode::Scalar;  ///< Requested engine.
     SimdPath _path = SimdPath::Float64; ///< Resolved execution path.

@@ -243,6 +243,113 @@ avx2WalkTrees(const std::int64_t *qnodes, const std::int16_t *qrow,
     walkTreesImpl(qnodes, qrow, roots, count, depth, out_idx);
 }
 
+namespace {
+
+/** Dwords 0,2,4,6 of a 64-bit-lane mask as a 4x32-bit lane mask. */
+[[gnu::target("avx2")]] inline __m128i
+narrowMask64(__m256d m)
+{
+    const __m256i lanes = _mm256_permutevar8x32_epi32(
+        _mm256_castpd_si256(m),
+        _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0));
+    return _mm256_castsi256_si128(lanes);
+}
+
+/**
+ * quantizeFeature for 4 adjacent features of one row. The clamp runs
+ * the scalar sequence verbatim: `(v > -1) ? v : -1` first (which also
+ * parks NaN products at -1, matching `!(v > -1.0)`), then the high
+ * saturation, then floor. -mavx2 does not enable FMA, so the
+ * subtract/multiply pair compiles to the same two IEEE ops as the
+ * scalar expression and the products match bit for bit.
+ */
+[[gnu::target("avx2")]] inline __m128i
+quantize4(const double *x, const double *qlo, const double *qinv,
+          std::int32_t cells, std::int32_t bias)
+{
+    const __m256d xv = _mm256_loadu_pd(x);
+    const __m256d lo = _mm256_loadu_pd(qlo);
+    const __m256d inv = _mm256_loadu_pd(qinv);
+    const __m256d neg1 = _mm256_set1_pd(-1.0);
+    const __m256d hi =
+        _mm256_set1_pd(static_cast<double>(cells) + 1.0);
+
+    __m256d v = _mm256_mul_pd(_mm256_sub_pd(xv, lo), inv);
+    v = _mm256_blendv_pd(neg1, v,
+                         _mm256_cmp_pd(v, neg1, _CMP_GT_OQ));
+    v = _mm256_blendv_pd(v, hi, _mm256_cmp_pd(v, hi, _CMP_GT_OQ));
+    v = _mm256_floor_pd(v);
+    // v is integral in [-1, cells + 1] here (never NaN: NaN products
+    // took the low clamp), so truncation is an exact conversion.
+    __m128i q = _mm256_cvttpd_epi32(v);
+    q = _mm_sub_epi32(q, _mm_set1_epi32(bias));
+
+    // Scalar precedence: never-split features (inv == 0) pin to 0,
+    // but a NaN *input* wins over everything and maps to INT16_MIN.
+    const __m128i invz = narrowMask64(
+        _mm256_cmp_pd(inv, _mm256_setzero_pd(), _CMP_EQ_OQ));
+    const __m128i xnan =
+        narrowMask64(_mm256_cmp_pd(xv, xv, _CMP_UNORD_Q));
+    q = _mm_andnot_si128(invz, q);
+    q = _mm_blendv_epi8(q, _mm_set1_epi32(-32768), xnan);
+    return q;
+}
+
+} // namespace
+
+void
+avx2QuantizeRows(const double *x, std::size_t numFeat, std::size_t n,
+                 const double *qlo, const double *qinv,
+                 std::int32_t cells, std::int32_t bias,
+                 std::int16_t *rows, std::size_t stride)
+{
+    for (std::size_t r = 0; r < n; ++r) {
+        const double *const f = x + r * numFeat;
+        std::int16_t *const q = rows + r * stride;
+        std::size_t j = 0;
+        // 8 features per step: two 4-lane quantizations packed into
+        // one 16-byte store. packs saturation is a no-op for real
+        // cells ([-bias - 1, cells - bias + 1] fits int16) and exact
+        // for the NaN sentinel (-32768 survives signed saturation).
+        for (; j + 8 <= numFeat; j += 8) {
+            const __m128i a =
+                quantize4(f + j, qlo + j, qinv + j, cells, bias);
+            const __m128i b = quantize4(f + j + 4, qlo + j + 4,
+                                        qinv + j + 4, cells, bias);
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(q + j),
+                             _mm_packs_epi32(a, b));
+        }
+        for (; j + 4 <= numFeat; j += 4) {
+            const __m128i a =
+                quantize4(f + j, qlo + j, qinv + j, cells, bias);
+            _mm_storel_epi64(reinterpret_cast<__m128i *>(q + j),
+                             _mm_packs_epi32(a, a));
+        }
+        // Scalar remainder (the vector loop must not read doubles
+        // past the row) - same expression, same clamp order.
+        for (; j < numFeat; ++j) {
+            const double xj = f[j];
+            if (xj != xj) {
+                q[j] = -32768;
+                continue;
+            }
+            if (qinv[j] == 0.0) {
+                q[j] = 0;
+                continue;
+            }
+            double v = (xj - qlo[j]) * qinv[j];
+            if (!(v > -1.0))
+                v = -1.0;
+            else if (v > static_cast<double>(cells) + 1.0)
+                v = static_cast<double>(cells) + 1.0;
+            q[j] = static_cast<std::int16_t>(
+                static_cast<std::int32_t>(__builtin_floor(v)) - bias);
+        }
+        for (; j < stride; ++j)
+            q[j] = 0;
+    }
+}
+
 } // namespace gpupm::ml::detail
 
 #else // !x86
@@ -262,6 +369,14 @@ void
 avx2WalkTrees(const std::int64_t *, const std::int16_t *,
               const std::uint32_t *, std::size_t, std::uint16_t,
               std::uint32_t *)
+{
+    GPUPM_PANIC("AVX2 kernel invoked on a non-x86 host");
+}
+
+void
+avx2QuantizeRows(const double *, std::size_t, std::size_t,
+                 const double *, const double *, std::int32_t,
+                 std::int32_t, std::int16_t *, std::size_t)
 {
     GPUPM_PANIC("AVX2 kernel invoked on a non-x86 host");
 }

@@ -37,6 +37,22 @@ std::size_t avx2AccumTreeRows(const std::int64_t *qnodes,
                               const double *leaf, double *acc);
 
 /**
+ * Quantize n dense feature rows (numFeat doubles each, back to back)
+ * into the packed int16 row matrix (stride int16 slots per row,
+ * padding slots zeroed). qlo/qinv are the SoA quantizer tables padded
+ * to at least stride entries with inv == 0. Bit-identical to
+ * FlatForest::quantizeFeature on every element: the same
+ * subtract/multiply/double-clamp/floor sequence runs 4 lanes wide,
+ * never-split features (inv == 0) pin to 0 and NaN inputs map to
+ * INT16_MIN with the same precedence.
+ */
+void avx2QuantizeRows(const double *x, std::size_t numFeat,
+                      std::size_t n, const double *qlo,
+                      const double *qinv, std::int32_t cells,
+                      std::int32_t bias, std::int16_t *rows,
+                      std::size_t stride);
+
+/**
  * Walk one quantized row through `count` trees (count must be 8 or
  * 16), rooted at roots[0..count); every tree walks `depth` steps
  * (walkers of shallower trees park on their self-looping leaves).

@@ -21,6 +21,7 @@ InferenceBroker::InferenceBroker(
         _flushAllWaiting =
             &telemetry->counter("broker.flush_all_waiting");
         _flushDeadline = &telemetry->counter("broker.flush_deadline");
+        _flushStolen = &telemetry->counter("broker.flush_stolen");
     }
 }
 
@@ -39,6 +40,7 @@ InferenceBroker::InferenceBroker(const online::ForestHandle &handle,
         _flushAllWaiting =
             &telemetry->counter("broker.flush_all_waiting");
         _flushDeadline = &telemetry->counter("broker.flush_deadline");
+        _flushStolen = &telemetry->counter("broker.flush_stolen");
     }
 }
 
@@ -154,7 +156,8 @@ InferenceBroker::evaluate(std::span<const ml::FeatureVector> rows,
         return _handle->ordinal();
 
     std::unique_lock lock(_mutex);
-    Pending req{rows, time_log, gpu_power, false};
+    Pending req{rows, time_log, gpu_power, 0, false,
+                std::chrono::steady_clock::now()};
     _pending.push_back(&req);
     _pendingQueries += rows.size();
 
@@ -173,6 +176,25 @@ InferenceBroker::evaluate(std::span<const ml::FeatureVector> rows,
         }
     }
     return req.generation;
+}
+
+bool
+InferenceBroker::stealFlush()
+{
+    std::unique_lock lock(_mutex);
+    if (_pending.empty())
+        return false;
+    if (!shouldFlushLocked()) {
+        // Only steal ripening batches: a young batch is still being
+        // grown by its own clients and flushing it early would shrink
+        // the coalescing win for no latency gain.
+        const auto age = std::chrono::steady_clock::now() -
+                         _pending.front()->submitted;
+        if (age < _opts.flushDeadline / 2)
+            return false;
+    }
+    flushLocked(lock, _flushStolen);
+    return true;
 }
 
 std::size_t

@@ -133,6 +133,19 @@ class InferenceBroker
                            std::span<double> time_log,
                            std::span<double> gpu_power);
 
+    /**
+     * Work-stealing flush: an *idle* thread (a sharded worker that
+     * found its own queues empty) offers to run another shard's
+     * broker flush. Flushes when the normal condition already holds
+     * or when the oldest pending request has aged past half the
+     * flush deadline - a loaded shard's clients are all busy inside
+     * their decisions, so the thief completing the batch early cuts
+     * the waiters' latency without changing any value (batching is
+     * value-invariant; see the determinism note above). Returns
+     * whether a batch was flushed.
+     */
+    bool stealFlush();
+
     /** Completed flushes (diagnostics; also mirrored to telemetry). */
     std::size_t flushCount() const;
     /** Total queries evaluated. */
@@ -148,6 +161,8 @@ class InferenceBroker
          *  (stamped before done). */
         std::uint64_t generation = 0;
         bool done = false;
+        /** Submission time; stealFlush's ripeness signal. */
+        std::chrono::steady_clock::time_point submitted{};
     };
 
     /** True when a flush must run now (lock held). */
@@ -183,6 +198,7 @@ class InferenceBroker
     telemetry::Counter *_flushFull = nullptr;
     telemetry::Counter *_flushAllWaiting = nullptr;
     telemetry::Counter *_flushDeadline = nullptr;
+    telemetry::Counter *_flushStolen = nullptr;
 };
 
 } // namespace gpupm::serve

@@ -12,46 +12,74 @@
 #include "ml/simd.hpp"
 #include "trace/trace.hpp"
 #include "workload/benchmarks.hpp"
+#include "workload/training.hpp"
 
 namespace gpupm::serve {
 
 FleetServer::FleetServer(
     std::shared_ptr<const ml::PerfPowerPredictor> predictor,
     const FleetServerOptions &opts)
-    : _opts(opts),
-      _telemetry(std::make_unique<telemetry::Registry>()),
-      _queue(opts.queueCapacity)
+    : _opts(opts), _telemetry(std::make_unique<telemetry::Registry>())
 {
     GPUPM_ASSERT(predictor != nullptr, "fleet server needs a predictor");
+    GPUPM_ASSERT(_opts.shards > 0, "fleet server needs at least one shard");
 
     auto rf = std::dynamic_pointer_cast<const ml::RandomForestPredictor>(
         predictor);
     GPUPM_ASSERT(!_opts.forestHandle || rf,
                  "online learning requires a Random Forest predictor");
-    if (_opts.batching && _opts.forestHandle) {
-        _broker = std::make_unique<InferenceBroker>(
-            *_opts.forestHandle, _opts.broker, _telemetry.get());
-    } else if (_opts.batching && rf) {
-        _broker = std::make_unique<InferenceBroker>(
-            std::move(rf), _opts.broker, _telemetry.get());
-    }
-    _sessions = std::make_unique<SessionManager>(
-        std::move(predictor), _broker.get(), _opts.sessions, _opts.params,
-        _telemetry.get(), _opts.forestHandle);
 
     _decisions = &_telemetry->counter("serve.decisions");
     _rejected = &_telemetry->counter("serve.rejected_requests");
     _lost = &_telemetry->counter("serve.lost_sessions");
+    _steals = &_telemetry->counter("serve.queue_steals");
+    _shedDegraded =
+        &_telemetry->counter("serve.shed_degraded_decisions");
     _depthHist = &_telemetry->histogram("serve.queue_depth");
     _latencyHist = &_telemetry->histogram("serve.decision_latency_ns");
 
     const std::size_t jobs = exec::ThreadPool::resolveJobs(_opts.jobs);
+    // A lone worker can never have two decisions in flight, so the
+    // broker could only ever flush batches of one: every memo miss
+    // would pay the coalescing round trip with nothing to coalesce
+    // (~7% of fleet throughput on the dev host). Route misses straight
+    // at the predictor instead - the trace is invariant either way
+    // (pinned by BatchingOnAndOffProduceTheSameTrace). Online learning
+    // keeps the broker regardless: it is also the generation-following
+    // evaluation point for hot-swapped forests.
+    const bool batch = _opts.batching && (jobs > 1 || _opts.forestHandle);
+
+    _shards.resize(_opts.shards);
+    for (Shard &shard : _shards) {
+        if (batch && _opts.forestHandle) {
+            shard.broker = std::make_unique<InferenceBroker>(
+                *_opts.forestHandle, _opts.broker, _telemetry.get());
+        } else if (batch && rf) {
+            shard.broker = std::make_unique<InferenceBroker>(
+                rf, _opts.broker, _telemetry.get());
+        }
+        shard.sessions = std::make_unique<SessionManager>(
+            predictor, shard.broker.get(), _opts.sessions, _opts.params,
+            _telemetry.get(), _opts.forestHandle);
+        shard.queue = std::make_unique<RequestQueue<DecisionRequest>>(
+            _opts.queueCapacity);
+        shard.shed = std::make_unique<ShedController>(
+            _opts.shed, _telemetry.get());
+    }
+
     _pool = std::make_unique<exec::ThreadPool>(jobs);
     for (std::size_t j = 0; j < jobs; ++j) {
-        _pool->post([this] {
-            while (auto req = _queue.pop())
-                process(*req);
-        });
+        if (_shards.size() == 1) {
+            // Single shard: the classic blocking drain loop - no
+            // steal scans, no timed waits, identical behavior to the
+            // pre-sharding server.
+            _pool->post([this] {
+                while (auto req = _shards[0].queue->pop())
+                    process(*req);
+            });
+        } else {
+            _pool->post([this, j] { workerLoop(j); });
+        }
     }
 }
 
@@ -63,25 +91,40 @@ FleetServer::stop()
     if (_stopped)
         return;
     _stopped = true;
-    // Closing the queue lets workers drain what was admitted and then
+    // Closing the queues lets workers drain what was admitted and then
     // exit their loops; the pool destructor joins them.
-    _queue.close();
+    for (Shard &shard : _shards)
+        shard.queue->close();
     _pool.reset();
+}
+
+SessionManager &
+FleetServer::sessions()
+{
+    GPUPM_ASSERT(_shards.size() == 1,
+                 "sessions() is single-shard only; use shardSessions()");
+    return *_shards[0].sessions;
 }
 
 SessionId
 FleetServer::createSession(const workload::Application &app,
                            const SessionOptions &opts)
 {
-    return _sessions->create(app, opts);
+    // Global allocation first, then placement: identity depends only
+    // on creation order, never on the shard count.
+    const SessionId id = _nextId.fetch_add(1, std::memory_order_relaxed);
+    return _shards[shardOf(id)].sessions->createWithId(id, app, opts);
 }
 
 bool
 FleetServer::trySubmit(DecisionRequest req)
 {
     req.submitted = std::chrono::steady_clock::now();
-    _depthHist->record(_queue.depth());
-    if (_queue.tryPush(std::move(req)))
+    Shard &shard = _shards[shardOf(req.session)];
+    const std::size_t depth = shard.queue->depth();
+    _depthHist->record(depth);
+    shard.shed->sample(depth);
+    if (shard.queue->tryPush(std::move(req)))
         return true;
     _rejected->add();
     return false;
@@ -91,17 +134,82 @@ bool
 FleetServer::submit(DecisionRequest req)
 {
     req.submitted = std::chrono::steady_clock::now();
-    _depthHist->record(_queue.depth());
-    if (_queue.push(std::move(req)))
+    Shard &shard = _shards[shardOf(req.session)];
+    const std::size_t depth = shard.queue->depth();
+    _depthHist->record(depth);
+    shard.shed->sample(depth);
+    if (shard.queue->push(std::move(req)))
         return true;
     _rejected->add(); // closed while (or before) waiting for space
     return false;
 }
 
 std::size_t
+FleetServer::queueDepth() const
+{
+    std::size_t depth = 0;
+    for (const Shard &shard : _shards)
+        depth += shard.queue->depth();
+    return depth;
+}
+
+std::size_t
 FleetServer::rejectedRequests() const
 {
     return static_cast<std::size_t>(_rejected->value());
+}
+
+void
+FleetServer::workerLoop(std::size_t worker)
+{
+    const std::size_t nshards = _shards.size();
+    const std::size_t home = worker % nshards;
+    while (true) {
+        if (auto req = _shards[home].queue->tryPop()) {
+            process(*req);
+            continue;
+        }
+        // Steal queued work from sibling shards before idling: the
+        // tenant hash balances only in expectation, and a hot shard's
+        // backlog is as good as home work (sessions carry their shard
+        // with them - process() routes by id, so a stolen request
+        // checks out of its own shard's manager).
+        bool worked = false;
+        for (std::size_t k = 1; k < nshards && !worked; ++k) {
+            if (auto req = _shards[(home + k) % nshards].queue->tryPop()) {
+                _steals->add();
+                process(*req);
+                worked = true;
+            }
+        }
+        if (worked)
+            continue;
+        // No queued requests anywhere: offer to run a loaded shard's
+        // ripening broker flush so its blocked deciders wake sooner.
+        for (std::size_t k = 0; k < nshards && !worked; ++k) {
+            Shard &shard = _shards[(home + k) % nshards];
+            if (shard.broker && shard.broker->stealFlush())
+                worked = true;
+        }
+        if (worked)
+            continue;
+        if (auto req = _shards[home].queue->popFor(
+                std::chrono::microseconds(500))) {
+            process(*req);
+            continue;
+        }
+        // Exit only when every queue is closed and drained; a timed-out
+        // wait with open queues just re-runs the steal scan.
+        bool done = true;
+        for (const Shard &shard : _shards) {
+            if (!shard.queue->closed() || shard.queue->depth() != 0) {
+                done = false;
+                break;
+            }
+        }
+        if (done)
+            return;
+    }
 }
 
 void
@@ -122,7 +230,8 @@ FleetServer::process(const DecisionRequest &req)
                             "session",
                             static_cast<double>(req.session));
     }
-    Session *s = _sessions->checkout(req.session);
+    Shard &shard = _shards[shardOf(req.session)];
+    Session *s = shard.sessions->checkout(req.session);
     if (!s) {
         // Unknown (evicted) or concurrently busy; the admission
         // contract is at most one in-flight request per session.
@@ -131,8 +240,20 @@ FleetServer::process(const DecisionRequest &req)
             req.onDone(req.session, nullptr);
         return;
     }
-    const DecisionRecord rec = s->step();
-    _sessions->checkin(req.session);
+    if (s->finished()) {
+        // A network client can legally race its last Decision reply
+        // with another Step; answer null instead of dying.
+        shard.sessions->checkin(req.session);
+        _lost->add();
+        if (req.onDone)
+            req.onDone(req.session, nullptr);
+        return;
+    }
+    const bool degraded = shard.shed->degraded();
+    const DecisionRecord rec = s->step(degraded);
+    shard.sessions->checkin(req.session);
+    if (degraded)
+        _shedDegraded->add();
 
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                         std::chrono::steady_clock::now() - req.submitted)
@@ -150,8 +271,10 @@ runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
     GPUPM_ASSERT(opts.sessionCount > 0, "fleet needs at least one session");
 
     // Size the server so the driver's invariants hold: one in-flight
-    // request per session always fits the queue, and the LRU cap never
-    // evicts a live session mid-run.
+    // request per session always fits its shard's queue (workers
+    // re-enqueue through blocking submit; a shard queue that could
+    // fill with every worker stuck submitting to it would deadlock),
+    // and the LRU cap never evicts a live session mid-run.
     FleetServerOptions sopts = opts.server;
     sopts.queueCapacity =
         std::max(sopts.queueCapacity, opts.sessionCount);
@@ -187,7 +310,19 @@ runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
     }
 
     std::vector<workload::Application> apps;
-    if (opts.apps.empty()) {
+    if (opts.syntheticKernels > 0) {
+        // Massive-fleet mode: sessions share a pool of synthetic apps
+        // so a 100k-session fleet does not pay 100k distinct traces.
+        // Pool membership depends only on the seed.
+        const std::size_t pool =
+            std::min<std::size_t>(opts.sessionCount, 64);
+        const std::size_t kernels =
+            std::max<std::size_t>(opts.syntheticKernels, 2);
+        apps.reserve(pool);
+        for (std::size_t i = 0; i < pool; ++i)
+            apps.push_back(workload::randomApplication(
+                exec::mix64(opts.seed ^ (0xf1ee7ULL + i)), kernels));
+    } else if (opts.apps.empty()) {
         apps = workload::allBenchmarks();
     } else {
         apps.reserve(opts.apps.size());
@@ -204,6 +339,7 @@ runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
     std::unordered_map<SessionId, std::size_t> slotOf;
     std::vector<SessionId> ids;
     ids.reserve(opts.sessionCount);
+    slotOf.reserve(opts.sessionCount);
 
     for (std::size_t i = 0; i < opts.sessionCount; ++i) {
         workload::Application app = apps[i % apps.size()];
@@ -280,6 +416,8 @@ runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
     server.stop();
     for (Slot &slot : slots) {
         out.decisions += slot.records.size();
+        for (const DecisionRecord &rec : slot.records)
+            out.degradedDecisions += rec.degraded ? 1 : 0;
         out.trace.insert(out.trace.end(), slot.records.begin(),
                          slot.records.end());
     }
@@ -302,10 +440,11 @@ serializeFleetTrace(const std::vector<DecisionRecord> &trace)
             buf, sizeof(buf),
             "{\"s\":%llu,\"r\":%zu,\"i\":%zu,\"t\":\"%c\",\"c\":%zu,"
             "\"kt\":%.17g,\"oh\":%.17g,\"ce\":%.17g,\"ge\":%.17g,"
-            "\"ev\":%zu}\n",
+            "\"ev\":%zu%s}\n",
             static_cast<unsigned long long>(r.session), r.run, r.index,
             r.tag, r.configIndex, r.kernelTime, r.overheadTime,
-            r.cpuEnergy, r.gpuEnergy, r.evaluations);
+            r.cpuEnergy, r.gpuEnergy, r.evaluations,
+            r.degraded ? ",\"dg\":1" : "");
         out += buf;
     }
     return out;

@@ -1,52 +1,82 @@
 /**
  * @file
- * The fleet decision server and the deterministic fleet driver.
+ * The sharded fleet decision server and the deterministic fleet
+ * driver.
  *
- * FleetServer glues the serve subsystem together: a SessionManager of
- * governed sessions, a bounded RequestQueue of decision requests with
- * backpressure (trySubmit rejects when full; submit blocks), a reused
- * exec::ThreadPool whose workers drain the queue, and - when the shared
- * predictor is a Random Forest - an InferenceBroker coalescing the
- * in-flight decisions' evaluations into shared batched forest walks.
- * Server metrics (queue depth, decision latency, batch-size histograms,
- * rejected requests) accumulate in an owned telemetry::Registry.
+ * FleetServer glues the serve subsystem together as N independent
+ * *shards*, keyed by tenant hash: each shard owns its own
+ * SessionManager (so checkout-lease acquisition never crosses
+ * shards - the former global manager lock was the fleet's
+ * serialization point), its own InferenceBroker (per-shard batched
+ * forest walks), its own bounded RequestQueue and its own
+ * ShedController. One exec::ThreadPool drains all shards: a worker's
+ * *home* shard is worker % shards, and an idle worker first steals
+ * queued requests from sibling shards, then offers to run a loaded
+ * shard's broker flush (InferenceBroker::stealFlush), so load
+ * imbalance across the tenant hash costs throughput nowhere.
+ *
+ * Identity is global: session ids come from one server-wide counter,
+ * so a tenant's id - and therefore its per-session RNG stream and
+ * its whole decision trace - does not depend on the shard count.
+ * Routing is pure (mix64(id) % shards), never a map lookup.
+ *
+ * Overload control: each shard samples its queue depth at admission
+ * into a windowed-error shed controller (serve/shed.hpp). While a
+ * shard is degraded, its workers skip the MPC governor and step
+ * sessions at the paper's fail-safe configuration, so the queue
+ * drains at near-zero decision cost instead of growing unboundedly;
+ * shed transitions and degraded decisions are counted in telemetry
+ * and marked in DecisionRecord provenance.
+ *
+ * Server metrics (queue depth, decision latency, batch-size
+ * histograms, rejected requests, steals, shed counters) accumulate in
+ * an owned telemetry::Registry.
  *
  * runFleet() is the deterministic driver used by the CLI, the golden
- * trace test and the benchmark: it creates N sessions (round-robin over
- * the requested applications, each optionally perturbed by its own
- * per-session RNG stream), keeps exactly one request per unfinished
- * session in flight (a worker finishing a step re-enqueues that
- * session's next one), and gathers the trace in (session, run, index)
- * order. Because sessions are isolated, predictions are pure per row,
- * and the gather order is fixed, the trace is byte-identical at any
- * --jobs count.
+ * trace test and the benchmark: it creates N sessions (round-robin
+ * over the requested applications, each optionally perturbed by its
+ * own per-session RNG stream), keeps exactly one request per
+ * unfinished session in flight (a worker finishing a step re-enqueues
+ * that session's next one), and gathers the trace in (session, run,
+ * index) order. Because sessions are isolated, predictions are pure
+ * per row, and the gather order is fixed, the trace is byte-identical
+ * at any --jobs *and any --shards* count (with shedding off; a
+ * degraded step depends on real queue depths, i.e. on time).
  */
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
 #include "online/learner.hpp"
 #include "serve/broker.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/session_manager.hpp"
+#include "serve/shed.hpp"
 #include "trace/decision.hpp"
 
 namespace gpupm::serve {
 
 struct FleetServerOptions
 {
-    /** Worker threads draining the queue; 0 = hardware concurrency. */
+    /** Worker threads draining the shards; 0 = hardware concurrency. */
     std::size_t jobs = 1;
-    /** Request-queue bound (admission backpressure). */
+    /** SessionManager/broker/queue/shed shards (tenant-hash keyed). */
+    std::size_t shards = 1;
+    /** Per-shard request-queue bound (admission backpressure). */
     std::size_t queueCapacity = 1024;
+    /** Per-shard session cap (total capacity = shards * maxSessions). */
     SessionManagerOptions sessions;
     BrokerOptions broker;
+    /** Per-shard overload policy; disabled by default. */
+    ShedOptions shed;
     /** Route RF evaluations through the shared broker. */
     bool batching = true;
     hw::ApuParams params = hw::ApuParams::defaults();
@@ -66,7 +96,8 @@ struct DecisionRequest
     SessionId session = 0;
     /**
      * Invoked on the worker after the step; the record pointer is null
-     * when the session no longer exists (evicted or unknown).
+     * when the session no longer exists (evicted or unknown) or has
+     * already finished.
      */
     std::function<void(SessionId, const DecisionRecord *)> onDone;
     /** Stamped by submit/trySubmit for latency accounting. */
@@ -83,14 +114,42 @@ class FleetServer
     FleetServer(const FleetServer &) = delete;
     FleetServer &operator=(const FleetServer &) = delete;
 
+    /**
+     * Allocate a global session id and create the session on its home
+     * shard. Creation order fixes identity: the k-th createSession
+     * call returns the same id at any shard count.
+     */
     SessionId createSession(const workload::Application &app,
                             const SessionOptions &opts = {});
 
-    SessionManager &sessions() { return *_sessions; }
+    std::size_t shardCount() const { return _shards.size(); }
+
+    /** The home shard of @p id (pure tenant-hash routing). */
+    std::size_t shardOf(SessionId id) const
+    {
+        return _shards.size() == 1
+                   ? 0
+                   : exec::mix64(id) % _shards.size();
+    }
+
+    /** Single-shard convenience accessor; fatal when shards > 1. */
+    SessionManager &sessions();
+
+    /** Shard @p shard's session manager. */
+    SessionManager &shardSessions(std::size_t shard)
+    {
+        return *_shards.at(shard).sessions;
+    }
+
+    /** Shard @p shard's shed controller. */
+    const ShedController &shedController(std::size_t shard) const
+    {
+        return *_shards.at(shard).shed;
+    }
 
     /**
      * Non-blocking admission; false (and a rejected-request count) when
-     * the queue is full or the server is stopped.
+     * the home shard's queue is full or the server is stopped.
      */
     bool trySubmit(DecisionRequest req);
 
@@ -100,7 +159,8 @@ class FleetServer
     /** Close admission, drain queued requests, join workers. */
     void stop();
 
-    std::size_t queueDepth() const { return _queue.depth(); }
+    /** Total queued requests across all shards. */
+    std::size_t queueDepth() const;
     std::size_t rejectedRequests() const;
 
     telemetry::Registry &telemetry() { return *_telemetry; }
@@ -109,23 +169,37 @@ class FleetServer
         return _telemetry->snapshot();
     }
 
-    /** Null when batching is off or the predictor is not an RF. */
-    InferenceBroker *broker() { return _broker.get(); }
+    /**
+     * Shard 0's broker (single-shard diagnostics); null when batching
+     * is off or the predictor is not an RF.
+     */
+    InferenceBroker *broker() { return _shards[0].broker.get(); }
 
   private:
+    struct Shard
+    {
+        std::unique_ptr<InferenceBroker> broker;
+        std::unique_ptr<SessionManager> sessions;
+        std::unique_ptr<RequestQueue<DecisionRequest>> queue;
+        std::unique_ptr<ShedController> shed;
+    };
+
     void process(const DecisionRequest &req);
+    /** Work-stealing drain loop of one worker (shards > 1). */
+    void workerLoop(std::size_t worker);
 
     FleetServerOptions _opts;
     std::unique_ptr<telemetry::Registry> _telemetry;
-    std::unique_ptr<InferenceBroker> _broker;
-    std::unique_ptr<SessionManager> _sessions;
-    RequestQueue<DecisionRequest> _queue;
+    std::vector<Shard> _shards;
     std::unique_ptr<exec::ThreadPool> _pool;
+    std::atomic<SessionId> _nextId{1};
     bool _stopped = false;
 
     telemetry::Counter *_decisions = nullptr;
     telemetry::Counter *_rejected = nullptr;
     telemetry::Counter *_lost = nullptr;
+    telemetry::Counter *_steals = nullptr;
+    telemetry::Counter *_shedDegraded = nullptr;
     telemetry::Histogram *_depthHist = nullptr;
     telemetry::Histogram *_latencyHist = nullptr;
 };
@@ -138,6 +212,14 @@ struct FleetOptions
     /** Benchmark names, assigned round-robin; empty = full suite. */
     std::vector<std::string> apps;
     std::size_t sessionCount = 8;
+    /**
+     * When > 0, ignore `apps` and draw sessions round-robin from a
+     * pool of synthetic random applications with up to this many
+     * kernel launches each (workload::randomApplication; minimum 2).
+     * This is what lets the 100k-session benchmark hold a massive
+     * fleet without massive per-session baseline cost.
+     */
+    std::size_t syntheticKernels = 0;
     /**
      * Upper bound on per-session CPU-phase fractions; each session
      * draws its fraction from its own (seed, session-index) RNG stream,
@@ -172,6 +254,8 @@ struct FleetResult
     telemetry::Snapshot metrics;
     std::size_t sessions = 0;
     std::size_t decisions = 0;
+    /** Decisions served on the shed fast path (fail-safe config). */
+    std::size_t degradedDecisions = 0;
     double wallSeconds = 0.0;
     double decisionsPerSecond = 0.0;
     /** Online-learning outcome (zeros when onlineLearn was off). */
@@ -187,7 +271,10 @@ runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
 
 /**
  * Serialize a fleet trace as JSON lines with %.17g floats: equal traces
- * produce byte-identical text (the golden-trace contract).
+ * produce byte-identical text (the golden-trace contract). Degraded
+ * (shed) decisions carry an extra "dg":1 key; records of a normal
+ * fleet serialize exactly as they did before shedding existed, which
+ * is what keeps the golden trace stable.
  */
 std::string serializeFleetTrace(const std::vector<DecisionRecord> &trace);
 

@@ -69,7 +69,7 @@ Session::beginRun()
 }
 
 DecisionRecord
-Session::step()
+Session::step(bool degraded)
 {
     GPUPM_ASSERT(!finished(), "step() on a finished session");
     trace::Span span(trace::Category::Serve, "serve.step", "session",
@@ -84,7 +84,14 @@ Session::step()
 
     _lastEvent = {};
     sim::Decision decision;
-    if (_broker) {
+    if (degraded) {
+        // Shed fast path: the paper's fail-safe configuration at zero
+        // decision overhead, no governor involvement. The governor is
+        // also not shown the observation - it never decided here, and
+        // feeding it fail-safe outcomes would poison its tracker
+        // state for the post-recovery decisions.
+        decision = {hw::ConfigSpace::failSafe(), 0.0};
+    } else if (_broker) {
         InferenceBroker::DecisionScope scope(*_broker);
         decision = _governor->decide(i);
     } else {
@@ -132,14 +139,37 @@ Session::step()
     rec.kernelGpuEnergy = m.gpuEnergy;
     rec.instructions = m.instructions;
 
-    sim::Observation obs;
-    obs.index = i;
-    obs.tag = inv.tag;
-    obs.measurement = m;
-    obs.kernelTruth = &inv.params;
-    obs.nonKernelTime =
-        rec.overheadTime + rec.cpuPhaseTime + rec.transitionTime;
-    _governor->observe(obs);
+    if (!degraded) {
+        sim::Observation obs;
+        obs.index = i;
+        obs.tag = inv.tag;
+        obs.measurement = m;
+        obs.kernelTruth = &inv.params;
+        obs.nonKernelTime =
+            rec.overheadTime + rec.cpuPhaseTime + rec.transitionTime;
+        _governor->observe(obs);
+    } else if (_telemetry) {
+        // The governor was bypassed, so provenance is emitted here:
+        // tag 'S' records that this invocation was shed to the
+        // fail-safe configuration with no candidate evaluation.
+        if (auto *sink = _telemetry->decisionSink()) {
+            trace::DecisionRecord dr;
+            dr.app = _app.name;
+            dr.session = _id;
+            dr.run = _run;
+            dr.index = i;
+            dr.tag = 'S';
+            dr.configIndex = hw::denseConfigIndex(decision.config);
+            dr.observed = true;
+            dr.measuredTime = m.time;
+            dr.measuredGpuPower =
+                m.time > 0.0 ? m.gpuEnergy / m.time : 0.0;
+            dr.measuredInstructions = m.instructions;
+            dr.nonKernelTime = rec.cpuPhaseTime + rec.transitionTime;
+            dr.targetThroughput = _target;
+            sink->record(std::move(dr));
+        }
+    }
 
     DecisionRecord out;
     out.session = _id;
@@ -154,6 +184,7 @@ Session::step()
     out.gpuEnergy = rec.kernelGpuEnergy + rec.overheadGpuEnergy +
                     rec.cpuPhaseGpuEnergy + rec.transitionGpuEnergy;
     out.evaluations = _lastEvent.evaluations;
+    out.degraded = degraded;
 
     _current.kernelTime += rec.kernelTime;
     _current.overheadTime += rec.overheadTime;

@@ -65,6 +65,8 @@ struct DecisionRecord
     Joules gpuEnergy = 0.0;
     /** Predictor evaluations the decision charged (DecisionEvent). */
     std::size_t evaluations = 0;
+    /** Shed fast path: the governor was bypassed for this step. */
+    bool degraded = false;
 };
 
 class Session
@@ -105,8 +107,17 @@ class Session
     /**
      * Execute one kernel invocation (decide / charge / run / observe);
      * fatal when already finished.
+     *
+     * @param degraded Overload fast path: skip the MPC governor
+     *        entirely and run the invocation at the paper's fail-safe
+     *        configuration [P7, NB2, DPM4, 8CU] with zero decision
+     *        overhead. The kernel still executes and all energy/time
+     *        charges still accrue; the governor neither decides nor
+     *        observes, so a shard under shed pressure drains its
+     *        queue at near-zero decision cost. Degraded steps are
+     *        marked in the returned record and traced with tag 'S'.
      */
-    DecisionRecord step();
+    DecisionRecord step(bool degraded = false);
 
     /** Results of completed runs, in run order. */
     const std::vector<sim::RunResult> &completedRuns() const

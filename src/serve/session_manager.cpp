@@ -43,17 +43,29 @@ SessionId
 SessionManager::create(const workload::Application &app,
                        const SessionOptions &opts)
 {
-    // Building a session runs the Turbo baseline; keep that out of the
-    // lock so creates do not serialize against checkouts.
     const SessionId id = [this] {
         std::lock_guard lock(_mutex);
         return _nextId++;
     }();
+    return createWithId(id, app, opts);
+}
+
+SessionId
+SessionManager::createWithId(SessionId id,
+                             const workload::Application &app,
+                             const SessionOptions &opts)
+{
+    GPUPM_ASSERT(id != 0, "session ids start at 1");
+    // Building a session runs the Turbo baseline; keep that out of the
+    // lock so creates do not serialize against checkouts.
     auto session = std::make_unique<Session>(id, app, _base, _broker,
                                              opts, _params, _telemetry,
                                              _forestHandle);
 
     std::lock_guard lock(_mutex);
+    GPUPM_ASSERT(_slots.find(id) == _slots.end(),
+                 "session id ", id, " is already resident");
+    _nextId = std::max(_nextId, id + 1);
     if (_opts.maxSessions > 0 && _slots.size() >= _opts.maxSessions)
         evictLruLocked();
     Slot slot;

@@ -59,6 +59,19 @@ class SessionManager
                      const SessionOptions &opts = {});
 
     /**
+     * Create a session under a caller-assigned id. The sharded server
+     * allocates ids from one global counter - identities then do not
+     * depend on how tenants hash across shards - and hands each id to
+     * its home shard's manager through here. Also advances the local
+     * id allocator past @p id so create() and createWithId() can mix.
+     * Fatal when the id is 0 or already resident. Same LRU/eviction
+     * semantics as create().
+     */
+    SessionId createWithId(SessionId id,
+                           const workload::Application &app,
+                           const SessionOptions &opts = {});
+
+    /**
      * Claim exclusive access; null when the id is unknown (e.g. the
      * session was evicted) or already checked out. Touches LRU order.
      */

@@ -1,0 +1,75 @@
+#include "serve/shed.hpp"
+
+#include "common/logging.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace gpupm::serve {
+
+ShedController::ShedController(const ShedOptions &opts,
+                               telemetry::Registry *registry)
+    : _opts(opts), _registry(registry)
+{
+    GPUPM_ASSERT(_opts.window > 0, "shed window must be positive");
+    GPUPM_ASSERT(_opts.sustain > 0, "shed sustain must be positive");
+    GPUPM_ASSERT(_opts.recover > 0, "shed recover must be positive");
+    GPUPM_ASSERT(_opts.recoverFraction >= 0.0 &&
+                     _opts.recoverFraction <= 1.0,
+                 "shed recover fraction must be within [0, 1]");
+}
+
+void
+ShedController::sample(std::size_t depth)
+{
+    if (!_opts.enabled)
+        return;
+    std::lock_guard<std::mutex> lock(_mutex);
+    _netError += static_cast<std::int64_t>(depth) -
+                 static_cast<std::int64_t>(_opts.targetDepth);
+    _depthSum += depth;
+    if (++_samples >= _opts.window)
+        rollWindowLocked();
+}
+
+void
+ShedController::rollWindowLocked()
+{
+    const bool over = _netError > 0;
+    const double mean = static_cast<double>(_depthSum) /
+                        static_cast<double>(_samples);
+    _samples = 0;
+    _netError = 0;
+    _depthSum = 0;
+
+    if (over) {
+        // Any over-target window resets the calm streak: recovery
+        // requires `recover` *consecutive* quiet windows.
+        _calmWindows = 0;
+        if (!_degraded.load(std::memory_order_relaxed) &&
+            ++_overWindows >= _opts.sustain) {
+            _degraded.store(true, std::memory_order_relaxed);
+            _enters.fetch_add(1, std::memory_order_relaxed);
+            if (_registry != nullptr)
+                _registry->counter("serve.shed_enters").add(1);
+        }
+        return;
+    }
+    _overWindows = 0;
+    if (_degraded.load(std::memory_order_relaxed) &&
+        mean < static_cast<double>(_opts.targetDepth) *
+                   _opts.recoverFraction &&
+        ++_calmWindows >= _opts.recover) {
+        _degraded.store(false, std::memory_order_relaxed);
+        _exits.fetch_add(1, std::memory_order_relaxed);
+        _calmWindows = 0;
+        if (_registry != nullptr)
+            _registry->counter("serve.shed_exits").add(1);
+    } else if (!(mean < static_cast<double>(_opts.targetDepth) *
+                            _opts.recoverFraction)) {
+        // Under target but above the recovery band: inside the
+        // hysteresis gap. Not calm - restart the streak, so exiting
+        // always means `recover` consecutive genuinely quiet windows.
+        _calmWindows = 0;
+    }
+}
+
+} // namespace gpupm::serve

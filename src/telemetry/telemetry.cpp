@@ -256,6 +256,7 @@ Registry::snapshot() const
         s.sum = h->sum();
         s.mean = h->mean();
         s.p50 = h->percentile(50.0);
+        s.p95 = h->percentile(95.0);
         s.p99 = h->percentile(99.0);
         snap.histograms[name] = s;
     }

@@ -185,6 +185,7 @@ struct Snapshot
         std::uint64_t sum = 0;
         double mean = 0.0;
         double p50 = 0.0;
+        double p95 = 0.0;
         double p99 = 0.0;
     };
     std::map<std::string, HistogramSummary> histograms;

@@ -371,6 +371,46 @@ TEST(FlatForest, QuantizedFallbackAndAvx2BitIdentical)
     }
 }
 
+/**
+ * The vectorized row quantizer must agree with quantizeFeature on
+ * every element - every slot of every row, including the NaN
+ * sentinel, never-split features, saturated non-finite values and the
+ * zeroed stride padding - across batch sizes that exercise the
+ * 8-wide loop, the 4-wide step and the scalar remainder.
+ */
+TEST(FlatForest, QuantizeRowsAvx2BitIdenticalToScalar)
+{
+    if (!cpuSupportsAvx2())
+        GTEST_SKIP() << "host lacks AVX2";
+    for (std::uint64_t seed = 61; seed <= 64; ++seed) {
+        const auto rf = randomForest(seed);
+        auto ff = FlatForest::compile(rf);
+        ff.setSimdMode(SimdMode::Avx2);
+        ASSERT_EQ(ff.simdPath(), SimdPath::FixedAvx2);
+        for (std::size_t n : {1u, 3u, 8u, 33u}) {
+            auto qs = hostileQueries(seed * 131 + n);
+            qs.resize(n, qs[0]);
+            constexpr std::size_t stride =
+                FlatForest::kQuantRowStride;
+            std::vector<std::int16_t> rows(n * stride, 17);
+            ff.quantizeRows(qs, rows.data());
+            for (std::size_t r = 0; r < n; ++r) {
+                for (std::size_t j = 0;
+                     j < static_cast<std::size_t>(numFeatures); ++j)
+                    EXPECT_EQ(rows[r * stride + j],
+                              FlatForest::quantizeFeature(
+                                  ff.quantizer(j), qs[r][j]))
+                        << "row " << r << " feature " << j;
+                for (std::size_t j =
+                         static_cast<std::size_t>(numFeatures);
+                     j < stride; ++j)
+                    EXPECT_EQ(rows[r * stride + j], 0)
+                        << "row " << r << " padding slot " << j;
+            }
+        }
+    }
+}
+
 TEST(FlatForest, QuantizedHandlesNonFiniteAndDenormalFeatures)
 {
     const auto rf = randomForest(77);

@@ -9,8 +9,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <future>
 #include <memory>
+#include <random>
+#include <thread>
 #include <vector>
 
 #include "ml/predictor.hpp"
@@ -259,6 +264,152 @@ TEST(FleetServer, EvictedSessionYieldsNullRecord)
     server.stop();
     EXPECT_EQ(server.metrics().counters.at("serve.lost_sessions"), 1u);
     EXPECT_EQ(server.metrics().counters.at("serve.decisions"), 0u);
+}
+
+TEST(FleetServerSharded, SessionsRouteToTheirTenantHashShard)
+{
+    FleetServerOptions opts;
+    opts.shards = 4;
+    opts.jobs = 2;
+    FleetServer server(sharedPredictor(), opts);
+    EXPECT_EQ(server.shardCount(), 4u);
+
+    for (int i = 0; i < 16; ++i) {
+        const auto id =
+            server.createSession(tinyApp(100 + i), fastSession());
+        const auto home = server.shardOf(id);
+        ASSERT_LT(home, server.shardCount());
+        // The session lives on exactly its home shard.
+        for (std::size_t s = 0; s < server.shardCount(); ++s) {
+            const auto &ids = server.shardSessions(s).ids();
+            const bool present =
+                std::find(ids.begin(), ids.end(), id) != ids.end();
+            EXPECT_EQ(present, s == home)
+                << "session " << id << " shard " << s;
+        }
+    }
+    server.stop();
+}
+
+TEST(FleetServerShardedDeathTest, SingleShardAccessorIsFatalWhenSharded)
+{
+    FleetServerOptions opts;
+    opts.shards = 2;
+    FleetServer server(sharedPredictor(), opts);
+    EXPECT_DEATH(server.sessions(), "shard");
+    server.stop();
+}
+
+TEST(FleetServerSharded, CrossShardStepsAllCallBack)
+{
+    // Requests for tenants on every shard, drained by more workers
+    // than shards: the work-stealing loop must deliver exactly one
+    // callback per accepted request, with no duplicates and no drops.
+    FleetServerOptions opts;
+    opts.shards = 3;
+    opts.jobs = 6;
+    FleetServer server(sharedPredictor(), opts);
+    std::vector<SessionId> ids;
+    for (int i = 0; i < 12; ++i)
+        ids.push_back(
+            server.createSession(tinyApp(200 + i), fastSession()));
+
+    std::atomic<std::size_t> callbacks{0};
+    std::size_t accepted = 0;
+    for (int round = 0; round < 8; ++round) {
+        for (const auto id : ids) {
+            if (server.submit({id,
+                               [&](SessionId, const DecisionRecord *) {
+                                   callbacks.fetch_add(1);
+                               }}))
+                ++accepted;
+        }
+    }
+    server.stop(); // drains every queue before joining workers
+    EXPECT_EQ(callbacks.load(), accepted);
+    EXPECT_EQ(accepted, ids.size() * 8);
+}
+
+TEST(FleetServerSharded, EvictionVsPinningFuzzAcrossShards)
+{
+    // Satellite stress for the sanitizer leg: worker threads pin
+    // sessions (checkout) while other threads concurrently evict, reset
+    // and create across all shards. The protocol guarantees under
+    // test: a pinned session is never evicted out from under a step, a
+    // lost race surfaces as a null-record callback (never a crash),
+    // and every accepted request calls back exactly once. TSan
+    // validates the locking; the counts validate the accounting.
+    FleetServerOptions opts;
+    opts.shards = 4;
+    opts.jobs = 4;
+    opts.queueCapacity = 4096;
+    // Cap per shard well above the worker count so LRU eviction fires
+    // under churn but the all-pinned-at-cap fatal cannot be reached
+    // (at most `jobs` sessions are pinned across the whole server).
+    opts.sessions.maxSessions = 8;
+    FleetServer server(sharedPredictor(), opts);
+
+    std::vector<SessionId> ids;
+    for (int i = 0; i < 24; ++i)
+        ids.push_back(
+            server.createSession(tinyApp(300 + i), fastSession()));
+
+    std::atomic<std::size_t> callbacks{0}, lost{0};
+    std::atomic<std::size_t> accepted{0};
+    std::atomic<bool> stopFuzz{false};
+
+    // Two submitters hammer steps over all tenants.
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 2; ++t) {
+        threads.emplace_back([&, t] {
+            std::mt19937 rng(0xf5a5u + static_cast<unsigned>(t));
+            while (!stopFuzz.load(std::memory_order_relaxed)) {
+                const auto id = ids[rng() % ids.size()];
+                if (server.trySubmit(
+                        {id,
+                         [&](SessionId, const DecisionRecord *rec) {
+                             if (rec == nullptr)
+                                 lost.fetch_add(1);
+                             callbacks.fetch_add(1);
+                         }}))
+                    accepted.fetch_add(1);
+            }
+        });
+    }
+    // One evictor/resetter churns manager state behind the workers.
+    threads.emplace_back([&] {
+        std::mt19937 rng(0xdeadu);
+        while (!stopFuzz.load(std::memory_order_relaxed)) {
+            const auto id = ids[rng() % ids.size()];
+            auto &mgr = server.shardSessions(server.shardOf(id));
+            if (rng() % 2 == 0)
+                mgr.evict(id); // false when pinned: that's the point
+            else
+                mgr.reset(id);
+        }
+    });
+    // One creator adds fresh tenants, forcing LRU eviction at the cap.
+    threads.emplace_back([&] {
+        for (int i = 0; i < 64 &&
+                        !stopFuzz.load(std::memory_order_relaxed);
+             ++i)
+            server.createSession(tinyApp(400 + i), fastSession());
+    });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    stopFuzz.store(true);
+    for (auto &th : threads)
+        th.join();
+    server.stop();
+
+    EXPECT_EQ(callbacks.load(), accepted.load());
+    const auto snap = server.metrics();
+    EXPECT_EQ(snap.counters.at("serve.lost_sessions") +
+                  snap.counters.at("serve.decisions"),
+              callbacks.load());
+    for (std::size_t s = 0; s < server.shardCount(); ++s)
+        EXPECT_LE(server.shardSessions(s).size(),
+                  opts.sessions.maxSessions);
 }
 
 } // namespace

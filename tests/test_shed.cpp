@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for the windowed-error load-shed controller: enter after
+ * `sustain` over-target windows, hysteresis exit after `recover`
+ * consecutive calm windows, streak resets inside the hysteresis band,
+ * and telemetry counter wiring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "serve/shed.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace gpupm::serve {
+namespace {
+
+ShedOptions
+tinyOptions()
+{
+    ShedOptions opts;
+    opts.enabled = true;
+    opts.window = 4;
+    opts.targetDepth = 10;
+    opts.recoverFraction = 0.25; // calm means mean depth < 2.5
+    opts.sustain = 2;
+    opts.recover = 2;
+    return opts;
+}
+
+/** Feed one full window of a constant depth. */
+void
+feedWindow(ShedController &shed, std::size_t depth)
+{
+    for (std::size_t i = 0; i < shed.options().window; ++i)
+        shed.sample(depth);
+}
+
+TEST(ShedController, DisabledControllerNeverDegrades)
+{
+    auto opts = tinyOptions();
+    opts.enabled = false;
+    ShedController shed(opts);
+    for (int i = 0; i < 100; ++i)
+        shed.sample(1000000);
+    EXPECT_FALSE(shed.degraded());
+    EXPECT_EQ(shed.enters(), 0u);
+}
+
+TEST(ShedController, EntersOnlyAfterSustainedOverTargetWindows)
+{
+    ShedController shed(tinyOptions());
+    feedWindow(shed, 50); // one over-target window: not yet
+    EXPECT_FALSE(shed.degraded());
+    for (std::size_t i = 0; i + 1 < shed.options().window; ++i)
+        shed.sample(50); // window still open: still not
+    EXPECT_FALSE(shed.degraded());
+    shed.sample(50); // second over-target window completes
+    EXPECT_TRUE(shed.degraded());
+    EXPECT_EQ(shed.enters(), 1u);
+    EXPECT_EQ(shed.exits(), 0u);
+}
+
+TEST(ShedController, SingleSpikeWindowDoesNotShed)
+{
+    ShedController shed(tinyOptions());
+    feedWindow(shed, 50); // spike
+    feedWindow(shed, 0);  // back to idle: over-streak resets
+    feedWindow(shed, 50); // another lone spike
+    EXPECT_FALSE(shed.degraded());
+    EXPECT_EQ(shed.enters(), 0u);
+}
+
+TEST(ShedController, ExitsOnlyAfterConsecutiveCalmWindows)
+{
+    ShedController shed(tinyOptions());
+    feedWindow(shed, 50);
+    feedWindow(shed, 50);
+    ASSERT_TRUE(shed.degraded());
+
+    feedWindow(shed, 1); // calm window #1: still shedding
+    EXPECT_TRUE(shed.degraded());
+    feedWindow(shed, 1); // calm window #2: recovered
+    EXPECT_FALSE(shed.degraded());
+    EXPECT_EQ(shed.enters(), 1u);
+    EXPECT_EQ(shed.exits(), 1u);
+}
+
+TEST(ShedController, HysteresisBandResetsTheCalmStreak)
+{
+    ShedController shed(tinyOptions());
+    feedWindow(shed, 50);
+    feedWindow(shed, 50);
+    ASSERT_TRUE(shed.degraded());
+
+    // Mean depth 5 is under target (10) but above the recovery
+    // threshold (2.5): inside the hysteresis band, so it neither
+    // advances recovery nor counts as calm.
+    feedWindow(shed, 1); // calm #1
+    feedWindow(shed, 5); // band: resets the streak
+    feedWindow(shed, 1); // calm #1 again
+    EXPECT_TRUE(shed.degraded());
+    feedWindow(shed, 1); // calm #2: now it exits
+    EXPECT_FALSE(shed.degraded());
+    EXPECT_EQ(shed.exits(), 1u);
+}
+
+TEST(ShedController, OverTargetWindowWhileDegradedResetsRecovery)
+{
+    ShedController shed(tinyOptions());
+    feedWindow(shed, 50);
+    feedWindow(shed, 50);
+    ASSERT_TRUE(shed.degraded());
+
+    feedWindow(shed, 1);  // calm #1
+    feedWindow(shed, 50); // load returns: streak resets
+    feedWindow(shed, 1);  // calm #1 again
+    EXPECT_TRUE(shed.degraded());
+    feedWindow(shed, 1);
+    EXPECT_FALSE(shed.degraded());
+}
+
+TEST(ShedController, ReentersAfterRecovery)
+{
+    ShedController shed(tinyOptions());
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        feedWindow(shed, 50);
+        feedWindow(shed, 50);
+        EXPECT_TRUE(shed.degraded()) << cycle;
+        feedWindow(shed, 1);
+        feedWindow(shed, 1);
+        EXPECT_FALSE(shed.degraded()) << cycle;
+    }
+    EXPECT_EQ(shed.enters(), 3u);
+    EXPECT_EQ(shed.exits(), 3u);
+}
+
+TEST(ShedController, TransitionsBumpTelemetryCounters)
+{
+    telemetry::Registry registry;
+    ShedController shed(tinyOptions(), &registry);
+    feedWindow(shed, 50);
+    feedWindow(shed, 50);
+    feedWindow(shed, 1);
+    feedWindow(shed, 1);
+    const auto snap = registry.snapshot();
+    ASSERT_TRUE(snap.counters.count("serve.shed_enters"));
+    ASSERT_TRUE(snap.counters.count("serve.shed_exits"));
+    EXPECT_EQ(snap.counters.at("serve.shed_enters"), 1u);
+    EXPECT_EQ(snap.counters.at("serve.shed_exits"), 1u);
+}
+
+TEST(ShedController, ConcurrentSamplersReachAConsistentState)
+{
+    // Many producer threads hammer sample() with over-target depths;
+    // the controller must land degraded with exactly one enter and no
+    // torn window state (checked implicitly by TSan in the sanitizer
+    // leg).
+    auto opts = tinyOptions();
+    opts.window = 64;
+    ShedController shed(opts);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&shed] {
+            for (int i = 0; i < 4096; ++i)
+                shed.sample(100);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_TRUE(shed.degraded());
+    EXPECT_EQ(shed.enters(), 1u);
+    EXPECT_EQ(shed.exits(), 0u);
+}
+
+} // namespace
+} // namespace gpupm::serve

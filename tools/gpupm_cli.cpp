@@ -9,6 +9,7 @@
  *   run [flags]               run governors over benchmarks
  *   sweep [flags]             fan benchmark x governor jobs over a pool
  *   fleet [flags]             serve N concurrent governor sessions
+ *   serve [flags]             expose the fleet server over TCP (epoll)
  *
  * Examples:
  *   gpupm run --bench Spmv --governor mpc --predictor perfect
@@ -20,9 +21,12 @@
  *   gpupm fleet --sessions 16 --jobs 8 --trace-out timeline.json \
  *       --trace-decisions decisions.jsonl
  *   gpupm fleet --sessions 16 --online-learn --drift-threshold 20
+ *   gpupm fleet --sessions 100000 --shards 8 --jobs 8 --shed
+ *   gpupm serve --listen 127.0.0.1:0 --shards 4 --jobs 4
  */
 
 #include <algorithm>
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -41,6 +45,7 @@
 #include "policy/oracle.hpp"
 #include "policy/ppk.hpp"
 #include "policy/turbo_core.hpp"
+#include "serve/net_server.hpp"
 #include "serve/server.hpp"
 #include "sim/metrics.hpp"
 #include "telemetry/telemetry.hpp"
@@ -220,6 +225,49 @@ applySimdFlag(const FlagParser &flags)
     }
     ml::setDefaultSimdMode(*mode);
     return true;
+}
+
+/**
+ * Shared --shards / --shed flag family for the fleet subcommands:
+ * tenant-hash sharding of the decision server plus the per-shard
+ * windowed-error overload controller (serve/shed.hpp).
+ */
+void
+addShardFlags(FlagParser &flags)
+{
+    flags.addInt("shards", 1,
+                 "tenant-hash server shards (each owns its own session "
+                 "manager, broker and request queue)",
+                 1, 4096);
+    flags.addBool("shed",
+                  "enable per-shard overload shedding: sustained queue "
+                  "pressure degrades decisions to the fail-safe config");
+    flags.addInt("shed-window", 64,
+                 "admission samples per shed decision window", 1,
+                 1 << 20);
+    flags.addInt("shed-depth", 256,
+                 "per-shard queue-depth setpoint; sustained depth above "
+                 "this sheds",
+                 1, 1 << 20);
+    flags.addInt("shed-sustain", 2,
+                 "consecutive over-target windows required to shed", 1,
+                 1 << 16);
+    flags.addInt("shed-recover", 2,
+                 "consecutive calm windows required to recover", 1,
+                 1 << 16);
+}
+
+serve::ShedOptions
+parseShedOptions(const FlagParser &flags)
+{
+    serve::ShedOptions s;
+    s.enabled = flags.getBool("shed");
+    s.window = static_cast<std::size_t>(flags.getInt("shed-window"));
+    s.targetDepth =
+        static_cast<std::size_t>(flags.getInt("shed-depth"));
+    s.sustain = static_cast<std::size_t>(flags.getInt("shed-sustain"));
+    s.recover = static_cast<std::size_t>(flags.getInt("shed-recover"));
+    return s;
 }
 
 int
@@ -566,6 +614,12 @@ cmdFleet(int argc, const char *const *argv)
                  1 << 20);
     flags.addInt("jobs", 1, "worker threads draining the request queue",
                  1, 4096);
+    flags.addInt("synthetic", 0,
+                 "draw sessions from a pool of synthetic random "
+                 "applications with up to this many kernels (0 = use "
+                 "--bench; massive fleets want small synthetic apps)",
+                 0, 1 << 20);
+    addShardFlags(flags);
     flags.addInt("runs", 2, "MPC executions after profiling", 1, 10000);
     flags.addInt("queue", 1024, "request-queue capacity", 1, 1 << 20);
     flags.addInt("max-batch", 512, "broker flush threshold in queries",
@@ -605,6 +659,9 @@ cmdFleet(int argc, const char *const *argv)
 
     serve::FleetOptions fopts;
     fopts.server.jobs = static_cast<std::size_t>(flags.getInt("jobs"));
+    fopts.server.shards =
+        static_cast<std::size_t>(flags.getInt("shards"));
+    fopts.server.shed = parseShedOptions(flags);
     fopts.server.queueCapacity =
         static_cast<std::size_t>(flags.getInt("queue"));
     fopts.server.broker.maxBatch =
@@ -615,6 +672,8 @@ cmdFleet(int argc, const char *const *argv)
     fopts.session.kernelCacheCap =
         static_cast<std::size_t>(flags.getInt("cache"));
     fopts.sessionCount = static_cast<std::size_t>(flags.getInt("sessions"));
+    fopts.syntheticKernels =
+        static_cast<std::size_t>(flags.getInt("synthetic"));
     fopts.cpuPhaseJitter = flags.getDouble("phase-jitter");
     fopts.seed = static_cast<std::uint64_t>(flags.getInt("seed"));
     fopts.decisionSink = trace_outputs.log();
@@ -659,6 +718,27 @@ cmdFleet(int argc, const char *const *argv)
         if (auto it = h.find("serve.queue_depth"); it != h.end())
             std::cout << "queue depth: mean " << fmt(it->second.mean, 2)
                       << ", p99 " << fmt(it->second.p99, 1) << "\n";
+        if (fopts.server.shed.enabled) {
+            const auto &sc = result.metrics.counters;
+            const auto cnt = [&](const char *k) {
+                const auto it = sc.find(k);
+                return it != sc.end() ? it->second : std::uint64_t{0};
+            };
+            std::cout << "shed: " << result.degradedDecisions
+                      << " degraded decisions, "
+                      << cnt("serve.shed_enters") << " enters, "
+                      << cnt("serve.shed_exits") << " exits\n";
+        }
+        if (fopts.server.shards > 1) {
+            const auto it =
+                result.metrics.counters.find("serve.queue_steals");
+            std::cout << "shards: " << fopts.server.shards
+                      << ", queue steals "
+                      << (it != result.metrics.counters.end()
+                              ? it->second
+                              : std::uint64_t{0})
+                      << "\n";
+        }
         // Row counts depend on cache/memo hit patterns, which vary
         // with worker scheduling - hence outside --deterministic.
         const auto &c = result.metrics.counters;
@@ -686,15 +766,135 @@ cmdFleet(int argc, const char *const *argv)
     return trace_outputs.finish();
 }
 
+serve::NetServer *g_netServer = nullptr;
+
+extern "C" void
+serveSignalHandler(int)
+{
+    // NetServer::stop is async-signal-safe (atomic store + eventfd
+    // write), so a Ctrl-C drains connections and exits cleanly.
+    if (g_netServer != nullptr)
+        g_netServer->stop();
+}
+
+int
+cmdServe(int argc, const char *const *argv)
+{
+    FlagParser flags(
+        "gpupm serve: expose the sharded fleet decision server over a "
+        "TCP wire protocol (length-prefixed binary frames, epoll event "
+        "loop; drive it with gpupm-client)");
+    flags.addString("listen", "127.0.0.1:0",
+                    "host:port to bind (port 0 = kernel-assigned; the "
+                    "bound port is printed on startup)");
+    flags.addString("predictor", "rf", "perfect|rf|err15|err5");
+    flags.addString("model", "", "saved .rf model (with --predictor rf)");
+    flags.addInt("jobs", 1, "worker threads draining the shard queues",
+                 1, 4096);
+    flags.addInt("runs", 2,
+                 "default MPC executions after profiling (Open frames "
+                 "may override)",
+                 1, 10000);
+    flags.addInt("queue", 1024, "per-shard request-queue capacity", 1,
+                 1 << 20);
+    flags.addInt("max-batch", 512, "broker flush threshold in queries",
+                 1, 1 << 20);
+    flags.addInt("cache", 32,
+                 "default per-session kernel prediction-cache cap", 0,
+                 1 << 20);
+    flags.addInt("max-sessions", 4096,
+                 "per-shard resident-session LRU cap", 1, 1 << 24);
+    addShardFlags(flags);
+    addSimdFlag(flags);
+    if (!flags.parse(argc, argv)) {
+        std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
+                  << flags.usage();
+        return flags.helpRequested() ? 0 : 2;
+    }
+    if (!applySimdFlag(flags))
+        return 2;
+
+    const std::string listen = flags.getString("listen");
+    const auto colon = listen.rfind(':');
+    if (colon == std::string::npos) {
+        std::cerr << "--listen wants host:port, got '" << listen
+                  << "'\n";
+        return 2;
+    }
+    const std::string host = listen.substr(0, colon);
+    int port = 0;
+    try {
+        port = std::stoi(listen.substr(colon + 1));
+    } catch (...) {
+        port = -1;
+    }
+    if (port < 0 || port > 65535) {
+        std::cerr << "invalid port in --listen '" << listen << "'\n";
+        return 2;
+    }
+
+    auto predictor = makePredictor(flags.getString("predictor"),
+                                   flags.getString("model"));
+    if (!predictor)
+        return 2;
+
+    serve::FleetServerOptions sopts;
+    sopts.jobs = static_cast<std::size_t>(flags.getInt("jobs"));
+    sopts.shards = static_cast<std::size_t>(flags.getInt("shards"));
+    sopts.shed = parseShedOptions(flags);
+    sopts.queueCapacity =
+        static_cast<std::size_t>(flags.getInt("queue"));
+    sopts.sessions.maxSessions =
+        static_cast<std::size_t>(flags.getInt("max-sessions"));
+    sopts.broker.maxBatch =
+        static_cast<std::size_t>(flags.getInt("max-batch"));
+    serve::FleetServer server(std::move(predictor), sopts);
+
+    serve::NetServerOptions nopts;
+    nopts.host = host;
+    nopts.port = static_cast<std::uint16_t>(port);
+    nopts.session.optimizedRuns =
+        static_cast<std::size_t>(flags.getInt("runs"));
+    nopts.session.kernelCacheCap =
+        static_cast<std::size_t>(flags.getInt("cache"));
+    serve::NetServer net(server, nopts);
+
+    g_netServer = &net;
+    std::signal(SIGINT, serveSignalHandler);
+    std::signal(SIGTERM, serveSignalHandler);
+
+    // Scripted callers (the CI smoke test) parse this line for the
+    // resolved port, so keep the format stable and flush immediately.
+    std::cout << "listening on " << host << ":" << net.port() << " ("
+              << sopts.shards << " shards, " << sopts.jobs << " jobs)"
+              << std::endl;
+
+    net.run();
+    g_netServer = nullptr;
+
+    const auto snap = server.metrics();
+    const auto cnt = [&](const char *k) {
+        const auto it = snap.counters.find(k);
+        return it != snap.counters.end() ? it->second
+                                         : std::uint64_t{0};
+    };
+    std::cout << "served " << cnt("serve.decisions") << " decisions ("
+              << cnt("serve.shed_degraded_decisions")
+              << " degraded) over " << net.accepted()
+              << " connections, " << cnt("serve.rejected_requests")
+              << " rejected\n";
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     if (argc < 2) {
-        std::cerr
-            << "usage: gpupm <list|info|train|run|sweep|fleet> [flags]\n"
-               "       gpupm <subcommand> --help\n";
+        std::cerr << "usage: gpupm "
+                     "<list|info|train|run|sweep|fleet|serve> [flags]\n"
+                     "       gpupm <subcommand> --help\n";
         return 2;
     }
     const std::string cmd = argv[1];
@@ -710,6 +910,8 @@ main(int argc, char **argv)
         return cmdSweep(argc - 1, argv + 1);
     if (cmd == "fleet")
         return cmdFleet(argc - 1, argv + 1);
+    if (cmd == "serve")
+        return cmdServe(argc - 1, argv + 1);
     std::cerr << "unknown subcommand '" << cmd << "'\n";
     return 2;
 }

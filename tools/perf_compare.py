@@ -14,6 +14,12 @@ bench-compare target can gate on the exit status). Benchmarks present in
 only one file are listed but never fail the comparison, so adding or
 retiring a benchmark does not break CI.
 
+Latency percentiles: benchmarks that stamp latency_p50_ns /
+latency_p95_ns / latency_p99_ns counters (the fleet benches do) get a
+per-percentile comparison too. Tail latency is far noisier than mean
+rate, so percentiles gate on their own --percentile-threshold (default
+50%, p99 only); p50/p95 deltas are always printed but informational.
+
 Both files must come from the same inference engine: the bench mains
 stamp the resolved SIMD path and quantization domain into the JSON
 context (gpupm_simd_path / gpupm_quant; files predating the keys read
@@ -44,11 +50,15 @@ def load_context(path):
             ctx.get("gpupm_quant", "float64"))
 
 
+PERCENTILE_KEYS = ("latency_p50_ns", "latency_p95_ns", "latency_p99_ns")
+
+
 def load_benchmarks(path):
-    """Map benchmark name -> real_time in ns for the plain runs."""
+    """(name -> real_time ns, name -> {percentile counter -> ns})."""
     with open(path) as f:
         doc = json.load(f)
     out = {}
+    pcts = {}
     for b in doc.get("benchmarks", []):
         # Skip mean/median/stddev aggregates from repetition runs.
         if b.get("run_type") == "aggregate":
@@ -60,7 +70,12 @@ def load_benchmarks(path):
                   file=sys.stderr)
             continue
         out[b["name"]] = float(b["real_time"]) * scale
-    return out
+        # Percentile counters are stamped in ns regardless of time_unit.
+        p = {k: float(b[k]) for k in PERCENTILE_KEYS
+             if k in b and float(b[k]) > 0.0}
+        if p:
+            pcts[b["name"]] = p
+    return out, pcts
 
 
 def fmt_ns(ns):
@@ -76,6 +91,9 @@ def main():
     ap.add_argument("candidate")
     ap.add_argument("--threshold", type=float, default=20.0,
                     help="regression threshold in percent (default 20)")
+    ap.add_argument("--percentile-threshold", type=float, default=50.0,
+                    help="p99 latency regression threshold in percent "
+                         "(default 50; p50/p95 are informational)")
     ap.add_argument("--allow-simd-mismatch", action="store_true",
                     help="compare runs from different inference "
                          "engines (deliberate cross-engine studies)")
@@ -94,8 +112,8 @@ def main():
         print(f"warning: {msg} (--allow-simd-mismatch)",
               file=sys.stderr)
 
-    base = load_benchmarks(args.baseline)
-    cand = load_benchmarks(args.candidate)
+    base, base_pcts = load_benchmarks(args.baseline)
+    cand, cand_pcts = load_benchmarks(args.candidate)
     shared = sorted(set(base) & set(cand))
     if not shared:
         print("error: no benchmarks in common", file=sys.stderr)
@@ -119,6 +137,28 @@ def main():
         print(f"{name:<{width}}  only in baseline")
     for name in sorted(set(cand) - set(base)):
         print(f"{name:<{width}}  only in candidate")
+
+    pct_shared = sorted(set(base_pcts) & set(cand_pcts) & set(shared))
+    if pct_shared:
+        print("\nlatency percentiles:")
+        for name in pct_shared:
+            for key in PERCENTILE_KEYS:
+                if key not in base_pcts[name] or \
+                        key not in cand_pcts[name]:
+                    continue
+                b, c = base_pcts[name][key], cand_pcts[name][key]
+                delta = 100.0 * (c - b) / b
+                marker = ""
+                if key == "latency_p99_ns" and \
+                        delta > args.percentile_threshold:
+                    marker = "  REGRESSION"
+                    regressions.append(f"{name}:{key}")
+                elif delta < -args.percentile_threshold:
+                    marker = "  improved"
+                label = key.replace("latency_", "").replace("_ns", "")
+                print(f"{name:<{width}}  {label}  "
+                      f"{fmt_ns(b):>9} -> {fmt_ns(c):>9} "
+                      f"{delta:+7.1f}%{marker}")
 
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
