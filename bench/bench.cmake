@@ -52,6 +52,14 @@ target_link_libraries(bench_online_adapt PRIVATE gpupm_bench_harness
 set_target_properties(bench_online_adapt PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 
+# Fleet power capping: energy vs budget ladder, violation rate and
+# Jain's fairness index (baseline at docs/perf/BENCH_powercap.json).
+add_executable(bench_fleet_powercap bench/bench_fleet_powercap.cpp)
+target_link_libraries(bench_fleet_powercap PRIVATE gpupm_bench_harness
+    benchmark::benchmark)
+set_target_properties(bench_fleet_powercap PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
 # `cmake --build build --target bench-compare` runs the microbenchmarks
 # and diffs them against the checked-in baseline (see
 # tools/perf_compare.py) and fails the build on any regression beyond
@@ -99,4 +107,27 @@ add_custom_target(bench-fleet-compare
         --threshold 25 --percentile-threshold 150
     DEPENDS bench_fleet_throughput
     COMMENT "Running sharded fleet benchmarks and comparing against docs/perf/BENCH_fleet_sharded.json"
+    VERBATIM)
+
+# `cmake --build build --target bench-powercap-compare` runs the
+# power-cap ladder and diffs rates against the committed baseline.
+# The control-quality counters (power_over_cap, violation_rate,
+# jain_index) ride along in the JSON for human review; the gate itself
+# is on throughput (same 25% bar as the fleet benches - the workload
+# and trace bookkeeping are deterministic, so only the wall-clock rate
+# is noisy). Regenerate the baseline with:
+#   ./build/bench/bench_fleet_powercap --simd=auto \
+#       --benchmark_out=docs/perf/BENCH_powercap.json \
+#       --benchmark_out_format=json
+add_custom_target(bench-powercap-compare
+    COMMAND ${CMAKE_BINARY_DIR}/bench/bench_fleet_powercap
+        --simd=auto
+        --benchmark_out=${CMAKE_BINARY_DIR}/bench/BENCH_powercap_candidate.json
+        --benchmark_out_format=json
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/perf_compare.py
+        ${CMAKE_SOURCE_DIR}/docs/perf/BENCH_powercap.json
+        ${CMAKE_BINARY_DIR}/bench/BENCH_powercap_candidate.json
+        --threshold 25
+    DEPENDS bench_fleet_powercap
+    COMMENT "Running powercap benchmarks and comparing against docs/perf/BENCH_powercap.json"
     VERBATIM)

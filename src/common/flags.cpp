@@ -4,6 +4,7 @@
 #include <climits>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 
 #include "common/logging.hpp"
@@ -35,9 +36,22 @@ void
 FlagParser::addDouble(const std::string &name, double default_value,
                       std::string help)
 {
+    addDouble(name, default_value, std::move(help),
+              -std::numeric_limits<double>::infinity(),
+              std::numeric_limits<double>::infinity());
+}
+
+void
+FlagParser::addDouble(const std::string &name, double default_value,
+                      std::string help, double min_value,
+                      double max_value)
+{
     std::ostringstream os;
     os << default_value;
-    _flags[name] = Flag{Kind::Double, std::move(help), os.str(), {}};
+    Flag f{Kind::Double, std::move(help), os.str(), {}};
+    f.minDouble = min_value;
+    f.maxDouble = max_value;
+    _flags[name] = std::move(f);
 }
 
 void
@@ -128,10 +142,30 @@ FlagParser::parse(int argc, const char *const *argv)
         } else if (flag.kind == Kind::Double) {
             char *end = nullptr;
             const std::string &v = *flag.value;
-            std::strtod(v.c_str(), &end);
+            const double parsed = std::strtod(v.c_str(), &end);
             if (end == v.c_str() || *end != '\0') {
                 _error = "flag --" + name + " expects a number, got '" +
                          v + "'";
+                return false;
+            }
+            // The inverted form also rejects NaN, which compares false
+            // against both bounds.
+            if (!(parsed >= flag.minDouble && parsed <= flag.maxDouble)) {
+                std::ostringstream os;
+                if (flag.maxDouble ==
+                    std::numeric_limits<double>::infinity()) {
+                    os << "flag --" << name << " must be at least "
+                       << flag.minDouble << ", got " << v;
+                } else if (flag.minDouble ==
+                           -std::numeric_limits<double>::infinity()) {
+                    os << "flag --" << name << " must be at most "
+                       << flag.maxDouble << ", got " << v;
+                } else {
+                    os << "flag --" << name << " must be between "
+                       << flag.minDouble << " and " << flag.maxDouble
+                       << ", got " << v;
+                }
+                _error = os.str();
                 return false;
             }
         } else if (flag.kind == Kind::Int) {

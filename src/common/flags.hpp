@@ -35,6 +35,14 @@ class FlagParser
                  std::string help);
     void addDouble(const std::string &name, double default_value,
                    std::string help);
+    /**
+     * Double flag with an accepted [min, max] range; out-of-range
+     * values are parse errors with a message naming the bound. Only
+     * explicitly provided values are validated - the default may sit
+     * outside the range, the usual "0 disables the feature" idiom.
+     */
+    void addDouble(const std::string &name, double default_value,
+                   std::string help, double min_value, double max_value);
     void addInt(const std::string &name, int default_value,
                 std::string help);
     /**
@@ -83,6 +91,9 @@ class FlagParser
         /** Accepted range for Kind::Int (validated at parse time). */
         int minValue = 0;
         int maxValue = 0;
+        /** Accepted range for Kind::Double (validated at parse time). */
+        double minDouble = 0.0;
+        double maxDouble = 0.0;
     };
 
     const Flag &flagOrDie(const std::string &name, Kind kind) const;

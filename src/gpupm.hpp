@@ -62,6 +62,11 @@
 #include "exec/sweep_jobs.hpp"
 #include "serve/server.hpp"
 
+// Fleet power capping: budget arbitration and the reactive thermal
+// cap governor.
+#include "powercap/arbiter.hpp"
+#include "powercap/thermal_governor.hpp"
+
 // Closed-loop online learning: drift detection, background retrains,
 // RCU forest hot-swap.
 #include "online/adaptive_predictor.hpp"

@@ -1,5 +1,6 @@
 #include "mpc/governor.hpp"
 
+#include <cmath>
 #include <functional>
 #include <limits>
 #include <vector>
@@ -138,6 +139,7 @@ MpcGovernor::decide(std::size_t index)
     const std::size_t h = horizonFor(index);
     _stats.horizonSum += static_cast<double>(h);
     ++_stats.decisions;
+    _capLimited = false;
 
     sim::Decision d;
     if (!_pattern.hasLearnedSequence()) {
@@ -153,6 +155,15 @@ MpcGovernor::decide(std::size_t index)
         // CPU low (it only contributes launch latency).
         hw::HwConfig cfg{hw::CpuPState::P7, hw::NbPState::NB0,
                          hw::GpuPState::DPM4, 8};
+        if (std::isfinite(_powerCap) && !_tracker.onTarget()) {
+            // A finite cap suppresses the race: with no evaluation
+            // budget there is no way to prove the boost configuration
+            // fits, so hold the fail-safe anchor instead of risking a
+            // cap violation the arbiter would punish the whole session
+            // for.
+            cfg = hw::ConfigSpace::failSafe();
+            _capLimited = true;
+        }
         if (_tracker.onTarget()) {
             cfg = hw::ConfigSpace::failSafe();
             if (!ids.empty()) {
@@ -175,7 +186,7 @@ MpcGovernor::decide(std::size_t index)
     if (_onDecision) {
         _onDecision({index, h, _stats.evaluations - evals_before,
                      _stats.uniqueEvaluations - unique_before, false,
-                     d.config, d.overheadTime});
+                     d.config, d.overheadTime, _capLimited});
     }
     if (_tracePending) {
         _traceRec.horizon = h;
@@ -184,6 +195,10 @@ MpcGovernor::decide(std::size_t index)
             _stats.uniqueEvaluations - unique_before;
         _traceRec.configIndex = hw::denseConfigIndex(d.config);
         _traceRec.overheadTime = d.overheadTime;
+        if (std::isfinite(_powerCap)) {
+            _traceRec.powerCap = _powerCap;
+            _traceRec.capLimited = _capLimited;
+        }
     }
     span.arg("horizon", static_cast<double>(h));
     span.arg("evals",
@@ -213,8 +228,10 @@ MpcGovernor::fallbackDecide()
 
     const Seconds headroom = _tracker.headroom(rec.instructions);
     std::size_t best_i = cfgsNone, fastest_i = cfgsNone;
+    std::size_t min_power_i = cfgsNone;
     double best_energy = std::numeric_limits<double>::infinity();
     double fastest_time = std::numeric_limits<double>::infinity();
+    double min_power = std::numeric_limits<double>::infinity();
 
     // Batched exhaustive scan: one predictor sweep over the space.
     const auto &cfgs = _space.all();
@@ -222,8 +239,20 @@ MpcGovernor::fallbackDecide()
     ests.resize(cfgs.size());
     _energy.estimateBatch(*_predictor, q, cfgs, ests);
 
+    // Cap filtering mirrors the hill-climb's tiers: over-cap
+    // configurations are excluded from both the energy winner and the
+    // racer, and the minimum-predicted-power configuration is the
+    // deterministic fail-safe when nothing fits (first index wins ties
+    // since the scan order is fixed).
     for (std::size_t i = 0; i < cfgs.size(); ++i) {
         const auto &est = ests[i];
+        const double p = est.time > 0.0 ? est.energy / est.time : 0.0;
+        if (p < min_power) {
+            min_power = p;
+            min_power_i = i;
+        }
+        if (p > _powerCap)
+            continue;
         if (est.time < fastest_time) {
             fastest_time = est.time;
             fastest_i = i;
@@ -237,7 +266,11 @@ MpcGovernor::fallbackDecide()
     _stats.uniqueEvaluations += _space.size();
     _pendingModeled = _opts.overhead.cost(_space.size());
 
-    const std::size_t chosen_i = best_i != cfgsNone ? best_i : fastest_i;
+    std::size_t chosen_i = best_i != cfgsNone ? best_i : fastest_i;
+    if (chosen_i == cfgsNone) {
+        chosen_i = min_power_i;
+        _capLimited = true;
+    }
     sim::Decision d;
     d.config = cfgs[chosen_i];
     d.overheadTime = _opts.chargeOverhead ? _pendingModeled : 0.0;
@@ -311,7 +344,7 @@ MpcGovernor::optimizeWindow(std::size_t index, std::size_t horizon)
                                            : nullptr;
         const auto res = _climber.optimize(*_predictor, q, headroom,
                                            hw::ConfigSpace::failSafe(),
-                                           cands);
+                                           cands, _powerCap);
         window_evals += res.evaluations;
         window_unique += res.uniqueEvaluations;
 
@@ -329,6 +362,8 @@ MpcGovernor::optimizeWindow(std::size_t index, std::size_t horizon)
             chosen = cfg;
             found_current = true;
             _pendingExpectedTime = expected_time;
+            if (!res.capOk)
+                _capLimited = true;
             if (_tracePending) {
                 _traceRec.tag = 'W';
                 _traceRec.headroom = headroom;

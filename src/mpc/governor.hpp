@@ -78,6 +78,13 @@ struct DecisionEvent
     bool profiling = false;
     hw::HwConfig config;
     Seconds overheadTime = 0.0;
+    /**
+     * The power cap altered this decision: no candidate fit under the
+     * cap and the deterministic fail-safe was substituted, or the race
+     * configuration was suppressed because a finite cap is active.
+     * Always false with no cap set.
+     */
+    bool capLimited = false;
 };
 
 class MpcGovernor : public sim::Governor
@@ -106,6 +113,24 @@ class MpcGovernor : public sim::Governor
     std::size_t kernelCount() const { return _n; }
 
     const MpcOptions &options() const { return _opts; }
+
+    /**
+     * Set the per-session power cap in watts; candidates whose
+     * predicted average power exceeds it are filtered before
+     * hill-climb selection (a deterministic minimum-power fail-safe
+     * applies when nothing fits). Values <= 0 disable the cap. May be
+     * called between decisions - the fleet arbiter re-splits caps as
+     * measured power shifts.
+     */
+    void
+    setPowerCap(Watts cap)
+    {
+        _powerCap = cap > 0.0 ? cap
+                              : std::numeric_limits<Watts>::infinity();
+    }
+
+    /** Active power cap (infinity when uncapped). */
+    Watts powerCap() const { return _powerCap; }
 
     /**
      * Subscribe to per-decision events (fired at the end of every
@@ -157,6 +182,11 @@ class MpcGovernor : public sim::Governor
     InstCount _profiledInsts = 0.0;
     std::size_t _n = 0;
     bool _optimizing = false;
+
+    /** Per-session power cap (infinity = uncapped). */
+    Watts _powerCap = std::numeric_limits<Watts>::infinity();
+    /** Set by the decide paths when the cap altered the decision. */
+    bool _capLimited = false;
 
     // Per-decision bookkeeping.
     Seconds _pendingCharged = 0.0;

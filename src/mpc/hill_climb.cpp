@@ -29,10 +29,39 @@ HillClimbResult
 HillClimbOptimizer::optimize(
     const ml::PerfPowerPredictor &pred, const ml::PredictionQuery &q,
     Seconds headroom, const hw::HwConfig &start,
-    std::vector<trace::CandidateEval> *candidates) const
+    std::vector<trace::CandidateEval> *candidates, Watts powerCap) const
 {
     std::size_t evals = 0;
     std::size_t unique_evals = 0;
+
+    const bool capped = std::isfinite(powerCap);
+
+    // Predicted average power of a candidate over its kernel execution.
+    auto power = [](const Eval &e) {
+        return e.time > 0.0 ? e.energy / e.time : 0.0;
+    };
+
+    // Minimum-predicted-power configuration seen so far, the
+    // deterministic fail-safe when nothing fits under the cap. Ties
+    // break toward the lower dense config index so the fail-safe is
+    // independent of evaluation order.
+    Eval min_eval{0.0, 0.0};
+    hw::HwConfig min_cfg{};
+    std::size_t min_dense = 0;
+    bool min_set = false;
+    auto track_min = [&](const hw::HwConfig &c, const Eval &e) {
+        if (!capped)
+            return;
+        const double p = power(e);
+        const std::size_t d = hw::denseConfigIndex(c);
+        if (!min_set || p < power(min_eval) ||
+            (p == power(min_eval) && d < min_dense)) {
+            min_cfg = c;
+            min_eval = e;
+            min_dense = d;
+            min_set = true;
+        }
+    };
 
     auto trace_eval = [&](const hw::HwConfig &c, const Eval &e,
                           bool memo_hit) {
@@ -70,6 +99,7 @@ HillClimbOptimizer::optimize(
         }
         ++unique_evals;
         remember(c, _energy.estimate(pred, q, c));
+        track_min(c, cache.back());
         trace_eval(c, cache.back(), false);
         return cache.back();
     };
@@ -103,6 +133,7 @@ HillClimbOptimizer::optimize(
     unique_evals += batch_n; // start and probes are pairwise distinct
     for (std::size_t i = 0; i < batch_n; ++i) {
         remember(batch_cfg[i], batch_est[i]);
+        track_min(batch_cfg[i], Eval{batch_est[i].time, batch_est[i].energy});
         trace_eval(batch_cfg[i],
                    Eval{batch_est[i].time, batch_est[i].energy}, false);
     }
@@ -110,17 +141,31 @@ HillClimbOptimizer::optimize(
     Eval cur_eval{batch_est[0].time, batch_est[0].energy};
     bool cur_ok = cur_eval.time <= headroom;
 
-    // A move is an improvement if it establishes/keeps feasibility with
-    // lower energy, or - while infeasible - recovers meaningful time
-    // (the 0.5% floor keeps the racer from burning CPU power on
-    // microsecond launch-latency gains).
+    // Candidates are ranked in tiers: under-cap and on-time (minimize
+    // energy), under-cap but late (race), over-cap (descend predicted
+    // power until something fits). With an infinite cap the over-cap
+    // tier is unreachable and the ordering is exactly the uncapped one.
+    auto tier = [&](const Eval &e) {
+        if (capped && power(e) > powerCap)
+            return 2;
+        return e.time <= headroom ? 0 : 1;
+    };
+
+    // A move is an improvement if it reaches a better tier, or - within
+    // a tier - lowers energy (feasible), recovers meaningful time while
+    // late (the 0.5% floor keeps the racer from burning CPU power on
+    // microsecond launch-latency gains), or sheds predicted power while
+    // over the cap.
     auto better = [&](const Eval &cand) {
-        const bool cand_ok = cand.time <= headroom;
-        if (cur_ok)
-            return cand_ok && cand.energy < cur_eval.energy;
-        if (cand_ok)
-            return true;
-        return cand.time < cur_eval.time * 0.995;
+        const int cand_tier = tier(cand);
+        const int cur_tier = tier(cur_eval);
+        if (cand_tier != cur_tier)
+            return cand_tier < cur_tier;
+        if (cand_tier == 0)
+            return cand.energy < cur_eval.energy;
+        if (cand_tier == 1)
+            return cand.time < cur_eval.time * 0.995;
+        return power(cand) < power(cur_eval);
     };
 
     // Energy sensitivity per knob from the batched probes.
@@ -164,6 +209,19 @@ HillClimbOptimizer::optimize(
         }
     }
 
+    bool cap_ok = true;
+    if (capped && power(cur_eval) > powerCap) {
+        // Deterministic fail-safe: nothing the climb settled on fits
+        // under the cap, so hand back the minimum-predicted-power
+        // configuration the search evaluated. It may still be over the
+        // cap (capOk = false then); the caller decides how to react.
+        GPUPM_ASSERT(min_set, "capped search evaluated no candidates");
+        cur = min_cfg;
+        cur_eval = min_eval;
+        cur_ok = cur_eval.time <= headroom;
+        cap_ok = power(cur_eval) <= powerCap;
+    }
+
     HillClimbResult out;
     out.config = cur;
     out.predictedTime = cur_eval.time;
@@ -171,6 +229,7 @@ HillClimbOptimizer::optimize(
     out.evaluations = evals;
     out.uniqueEvaluations = unique_evals;
     out.feasible = cur_ok;
+    out.capOk = cap_ok;
     return out;
 }
 

@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "hw/config.hpp"
@@ -42,6 +43,13 @@ struct HillClimbResult
     std::size_t uniqueEvaluations = 0;
     /** predictedTime <= headroom; the caller falls back otherwise. */
     bool feasible = false;
+    /**
+     * Predicted power <= the power cap. False means not even the
+     * minimum-power candidate the search evaluated fits under the cap
+     * (the result then *is* that minimum-power candidate - the
+     * deterministic fail-safe). Always true with an infinite cap.
+     */
+    bool capOk = true;
 };
 
 class HillClimbOptimizer
@@ -61,11 +69,19 @@ class HillClimbOptimizer
      * @param candidates When non-null, every scored configuration is
      *        appended in evaluation order (provenance capture). Pure
      *        observation: the search is identical either way.
+     * @param powerCap Session power cap in watts: candidates whose
+     *        predicted average power exceeds it are infeasible. When
+     *        nothing the search evaluates fits, the result is the
+     *        minimum-predicted-power candidate (ties broken toward
+     *        the lower dense config index) with capOk = false - a
+     *        deterministic fail-safe. The default (infinity) is
+     *        bit-identical to the uncapped search.
      */
     HillClimbResult optimize(
         const ml::PerfPowerPredictor &pred, const ml::PredictionQuery &q,
         Seconds headroom, const hw::HwConfig &start,
-        std::vector<trace::CandidateEval> *candidates = nullptr) const;
+        std::vector<trace::CandidateEval> *candidates = nullptr,
+        Watts powerCap = std::numeric_limits<Watts>::infinity()) const;
 
   private:
     const hw::ConfigSpace &_space;

@@ -1,0 +1,64 @@
+#include "powercap/thermal_governor.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace gpupm::powercap {
+
+ThermalCapGovernor::ThermalCapGovernor(const ThermalCapOptions &opts)
+    : _opts(opts)
+{
+    GPUPM_ASSERT(_opts.band >= 0.0, "thermal band must be >= 0");
+    GPUPM_ASSERT(_opts.stepWatts > 0.0, "thermal step must be positive");
+    GPUPM_ASSERT(_opts.floorWatts > 0.0 &&
+                     _opts.floorWatts <= _opts.maxCapWatts,
+                 "thermal floor must be within (0, maxCap]");
+    GPUPM_ASSERT(_opts.wavgWeight > 0.0 && _opts.wavgWeight <= 1.0,
+                 "wavg weight must be within (0, 1]");
+    reset();
+}
+
+void
+ThermalCapGovernor::reset()
+{
+    _cap = _opts.maxCapWatts;
+    _smoothed = 0.0;
+    _seeded = false;
+    _decs = 0;
+    _incs = 0;
+}
+
+CapStep
+ThermalCapGovernor::update(Celsius dieTemp)
+{
+    if (!_opts.enabled)
+        return CapStep::PWR_CNST;
+    if (_opts.weightedAvg && _seeded) {
+        _smoothed = _opts.wavgWeight * dieTemp +
+                    (1.0 - _opts.wavgWeight) * _smoothed;
+    } else {
+        _smoothed = dieTemp;
+        _seeded = true;
+    }
+
+    if (_smoothed > _opts.limit) {
+        if (_cap > _opts.floorWatts) {
+            _cap = std::max(_opts.floorWatts, _cap - _opts.stepWatts);
+            ++_decs;
+            return CapStep::PWR_DEC;
+        }
+        return CapStep::PWR_CNST; // Saturated at the DVFS floor.
+    }
+    if (_smoothed < _opts.limit - _opts.band) {
+        if (_cap < _opts.maxCapWatts) {
+            _cap = std::min(_opts.maxCapWatts, _cap + _opts.stepWatts);
+            ++_incs;
+            return CapStep::PWR_INC;
+        }
+        return CapStep::PWR_CNST; // Already fully raised.
+    }
+    return CapStep::PWR_CNST; // Inside the hysteresis band.
+}
+
+} // namespace gpupm::powercap

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Reactive thermal cap governor.
+ *
+ * A step controller in the style of nv-pwr-ctrl's throttle interface,
+ * layered on the first-order RC thermal model (hw/thermal.hpp): each
+ * update reads the session's modeled die temperature and answers with
+ * one of three actions - PWR_DEC lowers the thermal power ceiling by
+ * one step while the die sits above the limit, PWR_INC raises it back
+ * while the die sits below limit - band, PWR_CNST holds inside the
+ * band. The band is the hysteresis that keeps the ceiling from
+ * oscillating one step up and down around the limit. The optional
+ * weighted-average variant smooths the temperature input
+ * (s = w * T + (1 - w) * s_prev) so single-kernel spikes do not
+ * trigger a throttle step; the raw variant reacts within one
+ * decision.
+ *
+ * The ceiling saturates at floorWatts on the way down - the DVFS
+ * floor below which the platform cannot usefully run - and at
+ * maxCapWatts (the TDP by default) on the way up. clamp() applies the
+ * ceiling to the arbiter's per-session cap, so a thermally throttled
+ * session obeys min(arbiter cap, thermal cap).
+ *
+ * Deterministic by construction: state advances only through update()
+ * with the session's own modeled temperature, so a session's thermal
+ * cap trajectory is a pure function of its own decision stream. Not
+ * thread-safe; each session owns one governor and is stepped by one
+ * worker at a time.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace gpupm::powercap {
+
+/** One throttle action (nv-pwr-ctrl's PWR_INC/PWR_DEC/PWR_CNST). */
+enum class CapStep
+{
+    PWR_INC,
+    PWR_DEC,
+    PWR_CNST,
+};
+
+struct ThermalCapOptions
+{
+    /** Master switch; a disabled governor never clamps. */
+    bool enabled = false;
+    /** Die-temperature throttle limit (C). */
+    Celsius limit = 85.0;
+    /** Hysteresis band below the limit; PWR_INC only below
+     *  limit - band. */
+    Celsius band = 3.0;
+    /** Ceiling change per PWR_INC/PWR_DEC step (W). */
+    Watts stepWatts = 2.0;
+    /** Ceiling starting point and upper saturation (the TDP). */
+    Watts maxCapWatts = 95.0;
+    /** Lower saturation: the DVFS floor. */
+    Watts floorWatts = 8.0;
+    /** Smooth the temperature with a weighted average instead of
+     *  reacting to the raw sample. */
+    bool weightedAvg = false;
+    /** New-sample weight of the weighted average, in (0, 1]. */
+    double wavgWeight = 0.25;
+};
+
+class ThermalCapGovernor
+{
+  public:
+    explicit ThermalCapGovernor(const ThermalCapOptions &opts = {});
+
+    bool enabled() const { return _opts.enabled; }
+    const ThermalCapOptions &options() const { return _opts; }
+
+    /**
+     * Feed one die-temperature sample; steps the ceiling and returns
+     * the action taken. Disabled governors always answer PWR_CNST.
+     */
+    CapStep update(Celsius dieTemp);
+
+    /** Current thermal power ceiling (W). */
+    Watts cap() const { return _cap; }
+
+    /** min(@p c, ceiling); identity while disabled. */
+    Watts
+    clamp(Watts c) const
+    {
+        if (!_opts.enabled)
+            return c;
+        return c < _cap ? c : _cap;
+    }
+
+    /** Temperature the controller last acted on (smoothed when
+     *  weightedAvg; raw otherwise). */
+    Celsius smoothedTemp() const { return _smoothed; }
+
+    std::uint64_t decSteps() const { return _decs; }
+    std::uint64_t incSteps() const { return _incs; }
+
+    /** Back to the cold state (ceiling at max, no smoothing memory). */
+    void reset();
+
+  private:
+    ThermalCapOptions _opts;
+    Watts _cap = 0.0;
+    Celsius _smoothed = 0.0;
+    bool _seeded = false; ///< _smoothed holds a sample.
+    std::uint64_t _decs = 0;
+    std::uint64_t _incs = 0;
+};
+
+} // namespace gpupm::powercap

@@ -404,6 +404,11 @@ NetServer::eventLoop()
         for (const auto &[name, value] : snap.counters)
             stats.entries.emplace_back(name, value);
         stats.entries.emplace_back("serve.connections", accepted());
+        if (const auto *arbiter = _server.capArbiter()) {
+            stats.fleetBudgetWatts = arbiter->budgetWatts();
+            stats.capViolations = arbiter->violations();
+            stats.arbiterTicks = arbiter->ticks();
+        }
         std::lock_guard lock(conn->mutex);
         wire::encodeStats(conn->writeBuf, stats);
     };

@@ -38,6 +38,11 @@ FleetServer::FleetServer(
     _depthHist = &_telemetry->histogram("serve.queue_depth");
     _latencyHist = &_telemetry->histogram("serve.decision_latency_ns");
 
+    if (_opts.powercap.enabled()) {
+        _arbiter = std::make_unique<powercap::FleetCapArbiter>(
+            _opts.powercap, _telemetry.get());
+    }
+
     const std::size_t jobs = exec::ThreadPool::resolveJobs(_opts.jobs);
     // A lone worker can never have two decisions in flight, so the
     // broker could only ever flush batches of one: every memo miss
@@ -60,11 +65,24 @@ FleetServer::FleetServer(
         }
         shard.sessions = std::make_unique<SessionManager>(
             predictor, shard.broker.get(), _opts.sessions, _opts.params,
-            _telemetry.get(), _opts.forestHandle);
+            _telemetry.get(), _opts.forestHandle, _arbiter.get());
         shard.queue = std::make_unique<RequestQueue<DecisionRequest>>(
             _opts.queueCapacity);
         shard.shed = std::make_unique<ShedController>(
             _opts.shed, _telemetry.get());
+        if (_arbiter) {
+            // Per-shard cap accounting: which shard's tenants are
+            // hitting their caps is what a rack operator asks first.
+            const std::size_t idx =
+                static_cast<std::size_t>(&shard - _shards.data());
+            char name[64];
+            std::snprintf(name, sizeof(name),
+                          "powercap.shard%zu.violations", idx);
+            shard.capViolations = &_telemetry->counter(name);
+            std::snprintf(name, sizeof(name),
+                          "powercap.shard%zu.capped_decisions", idx);
+            shard.cappedDecisions = &_telemetry->counter(name);
+        }
     }
 
     _pool = std::make_unique<exec::ThreadPool>(jobs);
@@ -254,6 +272,18 @@ FleetServer::process(const DecisionRequest &req)
     shard.sessions->checkin(req.session);
     if (degraded)
         _shedDegraded->add();
+    if (_arbiter) {
+        // The session already fed its measured power into its own
+        // violation window inside step(); here the shard rolls up its
+        // tenants' cap pressure and the fleet-wide decision stream
+        // drives the arbiter's re-split tick.
+        if (rec.cap >= 0.0) {
+            shard.cappedDecisions->add();
+            if (rec.measuredPower > rec.cap)
+                shard.capViolations->add();
+        }
+        _arbiter->onDecision();
+    }
 
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                         std::chrono::steady_clock::now() - req.submitted)
@@ -351,13 +381,24 @@ runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
             app = workload::withCpuPhases(
                 std::move(app), rng.uniform(0.0, opts.cpuPhaseJitter));
         }
-        const SessionId id = server.createSession(app, opts.session);
+        SessionOptions session_opts = opts.session;
+        if (!opts.capWeights.empty()) {
+            session_opts.capWeight =
+                opts.capWeights[i % opts.capWeights.size()];
+        }
+        const SessionId id = server.createSession(app, session_opts);
         ids.push_back(id);
         slotOf.emplace(id, i);
         slots[i].expected =
             (1 + opts.session.optimizedRuns) * app.trace.size();
         slots[i].records.reserve(slots[i].expected);
     }
+    // One policy-aware split over the complete fleet before any
+    // decision: later ticks idempotently reproduce it (registration
+    // assigns only provisional equal shares), so capped traces are
+    // byte-identical at any (shards, jobs).
+    if (auto *arbiter = server.capArbiter())
+        arbiter->rebalance();
 
     std::mutex done_mutex;
     std::condition_variable done_cv;
@@ -413,11 +454,17 @@ runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
         .add(simd1.fallback - simd0.fallback);
     telem.counter("ml.rows_avx2").add(simd1.avx2 - simd0.avx2);
     out.metrics = server.metrics();
+    if (const auto *arbiter = server.capArbiter()) {
+        out.capViolations = arbiter->violations();
+        out.arbiterTicks = arbiter->ticks();
+    }
     server.stop();
     for (Slot &slot : slots) {
         out.decisions += slot.records.size();
-        for (const DecisionRecord &rec : slot.records)
+        for (const DecisionRecord &rec : slot.records) {
             out.degradedDecisions += rec.degraded ? 1 : 0;
+            out.capLimitedDecisions += rec.capLimited ? 1 : 0;
+        }
         out.trace.insert(out.trace.end(), slot.records.begin(),
                          slot.records.end());
     }
@@ -436,15 +483,23 @@ serializeFleetTrace(const std::vector<DecisionRecord> &trace)
     out.reserve(trace.size() * 160);
     char buf[512];
     for (const auto &r : trace) {
+        // Cap fields only on capped records, mirroring "dg": uncapped
+        // traces stay byte-identical to the pre-powercap format.
+        char cap[64];
+        cap[0] = '\0';
+        if (r.cap >= 0.0) {
+            std::snprintf(cap, sizeof(cap), ",\"cap\":%.17g%s", r.cap,
+                          r.capLimited ? ",\"cl\":1" : "");
+        }
         std::snprintf(
             buf, sizeof(buf),
             "{\"s\":%llu,\"r\":%zu,\"i\":%zu,\"t\":\"%c\",\"c\":%zu,"
             "\"kt\":%.17g,\"oh\":%.17g,\"ce\":%.17g,\"ge\":%.17g,"
-            "\"ev\":%zu%s}\n",
+            "\"ev\":%zu%s%s}\n",
             static_cast<unsigned long long>(r.session), r.run, r.index,
             r.tag, r.configIndex, r.kernelTime, r.overheadTime,
             r.cpuEnergy, r.gpuEnergy, r.evaluations,
-            r.degraded ? ",\"dg\":1" : "");
+            r.degraded ? ",\"dg\":1" : "", cap);
         out += buf;
     }
     return out;

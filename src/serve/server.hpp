@@ -56,6 +56,7 @@
 #include "exec/sweep.hpp"
 #include "exec/thread_pool.hpp"
 #include "online/learner.hpp"
+#include "powercap/arbiter.hpp"
 #include "serve/broker.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/session_manager.hpp"
@@ -88,6 +89,14 @@ struct FleetServerOptions
      * generation-keyed. Must outlive the server.
      */
     const online::ForestHandle *forestHandle = nullptr;
+    /**
+     * Fleet power-cap arbitration; disabled unless
+     * powercap.budgetWatts > 0. Sessions register their baseline
+     * demand at creation, enforce their working cap on every decision
+     * and feed measured power back into the arbiter's violation
+     * windows. Deterministic by default; see powercap/arbiter.hpp.
+     */
+    powercap::ArbiterOptions powercap;
 };
 
 /** One decision request: step session once, then call back. */
@@ -175,6 +184,13 @@ class FleetServer
      */
     InferenceBroker *broker() { return _shards[0].broker.get(); }
 
+    /** Fleet cap arbiter; null when no budget is configured. */
+    powercap::FleetCapArbiter *capArbiter() { return _arbiter.get(); }
+    const powercap::FleetCapArbiter *capArbiter() const
+    {
+        return _arbiter.get();
+    }
+
   private:
     struct Shard
     {
@@ -182,6 +198,10 @@ class FleetServer
         std::unique_ptr<SessionManager> sessions;
         std::unique_ptr<RequestQueue<DecisionRequest>> queue;
         std::unique_ptr<ShedController> shed;
+        /** Cap violations measured on this shard's sessions. */
+        telemetry::Counter *capViolations = nullptr;
+        /** Decisions this shard served with a finite cap enforced. */
+        telemetry::Counter *cappedDecisions = nullptr;
     };
 
     void process(const DecisionRequest &req);
@@ -190,6 +210,8 @@ class FleetServer
 
     FleetServerOptions _opts;
     std::unique_ptr<telemetry::Registry> _telemetry;
+    /** Declared before the shards: sessions unregister on eviction. */
+    std::unique_ptr<powercap::FleetCapArbiter> _arbiter;
     std::vector<Shard> _shards;
     std::unique_ptr<exec::ThreadPool> _pool;
     std::atomic<SessionId> _nextId{1};
@@ -245,6 +267,12 @@ struct FleetOptions
      */
     bool onlineLearn = false;
     online::OnlineOptions online;
+    /**
+     * Priority weights for SplitPolicy::PriorityWeighted, cycled over
+     * sessions in creation order; empty = weight 1.0 everywhere.
+     * Ignored unless server.powercap is enabled.
+     */
+    std::vector<double> capWeights;
 };
 
 struct FleetResult
@@ -256,6 +284,12 @@ struct FleetResult
     std::size_t decisions = 0;
     /** Decisions served on the shed fast path (fail-safe config). */
     std::size_t degradedDecisions = 0;
+    /** Decisions where the cap altered the choice (fail-safe swap). */
+    std::size_t capLimitedDecisions = 0;
+    /** Measured-power-over-cap decisions (arbiter violation count). */
+    std::uint64_t capViolations = 0;
+    /** Arbiter re-split ticks over the run. */
+    std::uint64_t arbiterTicks = 0;
     double wallSeconds = 0.0;
     double decisionsPerSecond = 0.0;
     /** Online-learning outcome (zeros when onlineLearn was off). */
@@ -272,9 +306,11 @@ runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
 /**
  * Serialize a fleet trace as JSON lines with %.17g floats: equal traces
  * produce byte-identical text (the golden-trace contract). Degraded
- * (shed) decisions carry an extra "dg":1 key; records of a normal
- * fleet serialize exactly as they did before shedding existed, which
- * is what keeps the golden trace stable.
+ * (shed) decisions carry an extra "dg":1 key and capped decisions an
+ * extra "cap" (plus "cl":1 when the cap altered the choice); records
+ * of a normal uncapped fleet serialize exactly as they did before
+ * shedding or capping existed, which is what keeps the golden trace
+ * stable.
  */
 std::string serializeFleetTrace(const std::vector<DecisionRecord> &trace);
 

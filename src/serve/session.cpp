@@ -1,6 +1,8 @@
 #include "serve/session.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/logging.hpp"
@@ -14,10 +16,12 @@ Session::Session(SessionId id, workload::Application app,
                  InferenceBroker *broker, const SessionOptions &opts,
                  const hw::ApuParams &params,
                  telemetry::Registry *telemetry,
-                 const online::ForestHandle *handle)
+                 const online::ForestHandle *handle,
+                 powercap::FleetCapArbiter *arbiter)
     : _id(id), _app(std::move(app)), _base(std::move(base)),
       _broker(broker), _forestHandle(handle), _opts(opts),
-      _params(params), _telemetry(telemetry), _apu(params)
+      _params(params), _telemetry(telemetry), _arbiter(arbiter),
+      _thermalCap(opts.thermalCap), _apu(params)
 {
     GPUPM_ASSERT(!_app.trace.empty(), "session application '", _app.name,
                  "' has an empty trace");
@@ -26,10 +30,28 @@ Session::Session(SessionId id, workload::Application app,
     // (paper Sec. V-B); measured once at session creation.
     sim::Simulator sim(_params);
     policy::TurboCoreGovernor turbo(_params);
-    _target = sim.run(_app, turbo).throughput();
+    const auto baseline = sim.run(_app, turbo);
+    _target = baseline.throughput();
     GPUPM_ASSERT(_target > 0.0, "baseline produced no throughput");
+    // The baseline's mean chip power is the session's demand signal for
+    // usage-proportional budget splits: a registration-time constant, so
+    // shares depend only on the fleet's composition, never on execution
+    // order (the determinism contract in powercap/arbiter.hpp).
+    _baselinePower = baseline.totalTime() > 0.0
+                         ? baseline.totalEnergy() / baseline.totalTime()
+                         : 0.0;
+    if (_arbiter != nullptr) {
+        _capSlot = _arbiter->registerSession(_id, _baselinePower,
+                                             _opts.capWeight);
+    }
 
     reset();
+}
+
+Session::~Session()
+{
+    if (_arbiter != nullptr && _capSlot != nullptr)
+        _arbiter->unregisterSession(_capSlot);
 }
 
 void
@@ -51,6 +73,7 @@ Session::reset()
     _current = {};
     _runs.clear();
     _platformConfig.reset();
+    _thermalCap.reset();
     _apu.reset();
 }
 
@@ -81,6 +104,16 @@ Session::step(bool degraded)
     // sim/simulator.cpp for the rationale of each charge.
     const std::size_t i = _invocation;
     const auto &inv = _app.trace[i];
+
+    // Effective cap for this step: the arbiter's per-session share
+    // clamped by the thermal ceiling. Read once so the decision, the
+    // violation accounting and the trace all see the same number even
+    // if the arbiter re-splits concurrently.
+    Watts enforced_cap = std::numeric_limits<Watts>::infinity();
+    if (_capSlot != nullptr)
+        enforced_cap = _capSlot->cap();
+    enforced_cap = _thermalCap.clamp(enforced_cap);
+    _governor->setPowerCap(enforced_cap);
 
     _lastEvent = {};
     sim::Decision decision;
@@ -185,6 +218,23 @@ Session::step(bool degraded)
                     rec.cpuPhaseGpuEnergy + rec.transitionGpuEnergy;
     out.evaluations = _lastEvent.evaluations;
     out.degraded = degraded;
+
+    // Powercap accounting: measured average chip power over this
+    // step's wall time feeds the arbiter's violation windows, and the
+    // thermal governor reacts to the die temperature the step left
+    // behind. Both advance strictly in the session's own decision
+    // stream, which is what keeps capped fleet runs deterministic.
+    const Seconds wall = rec.kernelTime + rec.cpuPhaseTime +
+                         rec.overheadTime + rec.transitionTime;
+    out.measuredPower =
+        wall > 0.0 ? (out.cpuEnergy + out.gpuEnergy) / wall : 0.0;
+    if (std::isfinite(enforced_cap)) {
+        out.cap = enforced_cap;
+        out.capLimited = !degraded && _lastEvent.capLimited;
+    }
+    if (_capSlot != nullptr)
+        _arbiter->report(_capSlot, out.measuredPower, enforced_cap);
+    _thermalCap.update(_apu.thermal().temperature());
 
     _current.kernelTime += rec.kernelTime;
     _current.overheadTime += rec.overheadTime;

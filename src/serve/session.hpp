@@ -34,6 +34,8 @@
 
 #include "kernel/apu.hpp"
 #include "mpc/governor.hpp"
+#include "powercap/arbiter.hpp"
+#include "powercap/thermal_governor.hpp"
 #include "serve/session_predictor.hpp"
 #include "sim/simulator.hpp"
 #include "workload/trace.hpp"
@@ -49,6 +51,10 @@ struct SessionOptions
     std::size_t optimizedRuns = 2;
     /** LRU cap on the session's per-kernel prediction cache. */
     std::size_t kernelCacheCap = 32;
+    /** Priority weight for the arbiter's weighted split policy. */
+    double capWeight = 1.0;
+    /** Reactive thermal cap governor (disabled by default). */
+    powercap::ThermalCapOptions thermalCap;
 };
 
 /** One decision's outcome, the unit of the fleet trace. */
@@ -67,6 +73,12 @@ struct DecisionRecord
     std::size_t evaluations = 0;
     /** Shed fast path: the governor was bypassed for this step. */
     bool degraded = false;
+    /** Power cap enforced for this step; < 0 when uncapped. */
+    Watts cap = -1.0;
+    /** The cap altered the decision (fail-safe substitution). */
+    bool capLimited = false;
+    /** Measured average chip power over this step's wall time. */
+    Watts measuredPower = 0.0;
 };
 
 class Session
@@ -81,13 +93,22 @@ class Session
      * @param telemetry Registry for cache metrics; may be null.
      * @param handle Hot-swap publication point for online learning;
      *        null = static forests.
+     * @param arbiter Fleet cap arbiter; null = no fleet budget. The
+     *        session registers itself with its Turbo-baseline mean
+     *        power as demand and unregisters on destruction.
      */
     Session(SessionId id, workload::Application app,
             std::shared_ptr<const ml::PerfPowerPredictor> base,
             InferenceBroker *broker, const SessionOptions &opts = {},
             const hw::ApuParams &params = hw::ApuParams::defaults(),
             telemetry::Registry *telemetry = nullptr,
-            const online::ForestHandle *handle = nullptr);
+            const online::ForestHandle *handle = nullptr,
+            powercap::FleetCapArbiter *arbiter = nullptr);
+
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
 
     SessionId id() const { return _id; }
     const std::string &appName() const { return _app.name; }
@@ -135,6 +156,18 @@ class Session
 
     const SessionPredictor &predictor() const { return *_predictor; }
 
+    /** Turbo-baseline mean chip power (the arbiter's demand signal). */
+    Watts baselinePower() const { return _baselinePower; }
+
+    /** Arbiter cap slot (null when no arbiter is attached). */
+    const powercap::SessionCap *capSlot() const { return _capSlot; }
+
+    /** Thermal cap governor state (disabled unless configured). */
+    const powercap::ThermalCapGovernor &thermalCap() const
+    {
+        return _thermalCap;
+    }
+
   private:
     void beginRun();
 
@@ -148,6 +181,10 @@ class Session
     telemetry::Registry *_telemetry;
 
     Throughput _target = 0.0;
+    Watts _baselinePower = 0.0;
+    powercap::FleetCapArbiter *_arbiter = nullptr;
+    powercap::SessionCap *_capSlot = nullptr;
+    powercap::ThermalCapGovernor _thermalCap;
     std::shared_ptr<SessionPredictor> _predictor;
     std::unique_ptr<mpc::MpcGovernor> _governor;
     kernel::Apu _apu;

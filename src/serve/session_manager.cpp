@@ -10,9 +10,11 @@ SessionManager::SessionManager(
     std::shared_ptr<const ml::PerfPowerPredictor> base,
     InferenceBroker *broker, const SessionManagerOptions &opts,
     const hw::ApuParams &params, telemetry::Registry *telemetry,
-    const online::ForestHandle *handle)
+    const online::ForestHandle *handle,
+    powercap::FleetCapArbiter *arbiter)
     : _base(std::move(base)), _broker(broker), _opts(opts),
-      _params(params), _telemetry(telemetry), _forestHandle(handle)
+      _params(params), _telemetry(telemetry), _forestHandle(handle),
+      _arbiter(arbiter)
 {
     GPUPM_ASSERT(_base != nullptr, "session manager needs a predictor");
     if (_telemetry)
@@ -60,7 +62,7 @@ SessionManager::createWithId(SessionId id,
     // lock so creates do not serialize against checkouts.
     auto session = std::make_unique<Session>(id, app, _base, _broker,
                                              opts, _params, _telemetry,
-                                             _forestHandle);
+                                             _forestHandle, _arbiter);
 
     std::lock_guard lock(_mutex);
     GPUPM_ASSERT(_slots.find(id) == _slots.end(),

@@ -42,13 +42,16 @@ class SessionManager
      *        null.
      * @param handle Hot-swap publication point handed to every
      *        session; null = static forests.
+     * @param arbiter Fleet cap arbiter handed to every session; null =
+     *        no fleet budget.
      */
     SessionManager(std::shared_ptr<const ml::PerfPowerPredictor> base,
                    InferenceBroker *broker,
                    const SessionManagerOptions &opts = {},
                    const hw::ApuParams &params = hw::ApuParams::defaults(),
                    telemetry::Registry *telemetry = nullptr,
-                   const online::ForestHandle *handle = nullptr);
+                   const online::ForestHandle *handle = nullptr,
+                   powercap::FleetCapArbiter *arbiter = nullptr);
 
     /**
      * Create a session for @p app; evicts the LRU idle session when at
@@ -107,6 +110,7 @@ class SessionManager
     hw::ApuParams _params;
     telemetry::Registry *_telemetry;
     const online::ForestHandle *_forestHandle;
+    powercap::FleetCapArbiter *_arbiter;
 
     mutable std::mutex _mutex;
     std::unordered_map<SessionId, Slot> _slots;

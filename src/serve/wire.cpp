@@ -297,6 +297,9 @@ encodeStats(std::vector<std::uint8_t> &out, const StatsMsg &m)
             putU8(f.body(), static_cast<std::uint8_t>(c));
         putU64(f.body(), value);
     }
+    putF64(f.body(), m.fleetBudgetWatts);
+    putU64(f.body(), m.capViolations);
+    putU64(f.body(), m.arbiterTicks);
 }
 
 std::optional<StatsMsg>
@@ -318,6 +321,9 @@ decodeStats(std::span<const std::uint8_t> p)
             return std::nullopt;
         m.entries.emplace_back(std::move(key), value);
     }
+    m.fleetBudgetWatts = c.f64();
+    m.capViolations = c.u64();
+    m.arbiterTicks = c.u64();
     if (!c.done())
         return std::nullopt;
     return m;

@@ -22,7 +22,9 @@
  *                               degraded, times, energies, evals)
  *                    | Reject(session, reason)
  *   client -> server   StatsReq()
- *   server -> client   Stats(key/value counters)
+ *   server -> client   Stats(key/value counters, fleet powercap
+ *                            state: budget watts, cap violations,
+ *                            arbiter ticks)
  *   server -> client   Error(message)   (protocol violations; the
  *                                        server closes after sending)
  *
@@ -120,6 +122,15 @@ struct RejectMsg
 struct StatsMsg
 {
     std::vector<std::pair<std::string, std::uint64_t>> entries;
+    // Fleet powercap state, appended after the counter list (a wire
+    // format change: pre-powercap decoders reject the longer payload,
+    // which is fine - client and server ship together).
+    /** Configured fleet budget in watts; 0 = no arbiter. */
+    double fleetBudgetWatts = 0.0;
+    /** Measured-power-over-cap decisions across the fleet. */
+    std::uint64_t capViolations = 0;
+    /** Arbiter re-split ticks since server start. */
+    std::uint64_t arbiterTicks = 0;
 };
 
 struct ErrorMsg

@@ -89,6 +89,13 @@ struct DecisionRecord
     std::size_t evaluations = 0;
     std::size_t uniqueEvaluations = 0;
     Seconds overheadTime = 0.0;
+    /** Session power cap active for this decision; < 0 = uncapped
+     *  (the JSONL exporter omits the field then). */
+    Watts powerCap = -1.0;
+    /** The cap altered the decision: nothing fit under it and the
+     *  minimum-power fail-safe was substituted, or the race
+     *  configuration was suppressed. */
+    bool capLimited = false;
     /** Candidates scored by the hill-climb for the decided kernel
      *  (empty on exhaustive-scan and budget-out paths). */
     std::vector<CandidateEval> candidates;

@@ -73,8 +73,14 @@ writeDecisionJsonl(std::ostream &os,
            << ",\"predictedEnergy\":" << fmtDouble(r.predictedEnergy)
            << ",\"evaluations\":" << r.evaluations
            << ",\"uniqueEvaluations\":" << r.uniqueEvaluations
-           << ",\"overheadTime\":" << fmtDouble(r.overheadTime)
-           << ",\"candidates\":[";
+           << ",\"overheadTime\":" << fmtDouble(r.overheadTime);
+        // Cap fields only when a cap was active: uncapped dumps stay
+        // byte-identical to the pre-powercap schema.
+        if (r.powerCap >= 0.0) {
+            os << ",\"cap\":" << fmtDouble(r.powerCap)
+               << ",\"capLimited\":" << (r.capLimited ? "true" : "false");
+        }
+        os << ",\"candidates\":[";
         bool first = true;
         for (const CandidateEval &c : r.candidates) {
             if (!first)
@@ -151,6 +157,14 @@ readDecisionJsonl(std::istream &is)
         r.uniqueEvaluations = static_cast<std::size_t>(
             numberField(*doc, "uniqueEvaluations"));
         r.overheadTime = numberField(*doc, "overheadTime");
+        if (const json::Value *cap = doc->find("cap")) {
+            GPUPM_ASSERT(cap->isNumber(), "cap field not a number");
+            r.powerCap = cap->asNumber();
+            const json::Value *cl = doc->find("capLimited");
+            GPUPM_ASSERT(cl && cl->isBool(),
+                         "cap without capLimited flag");
+            r.capLimited = cl->asBool();
+        }
         const json::Value *cands = doc->find("candidates");
         GPUPM_ASSERT(cands && cands->isArray(),
                      "decision line missing candidates");

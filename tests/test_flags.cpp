@@ -2,6 +2,7 @@
 
 #include <climits>
 #include <filesystem>
+#include <limits>
 
 #include "common/flags.hpp"
 
@@ -139,6 +140,75 @@ TEST(Flags, RangedIntRejectsOverflowingValues)
     EXPECT_FALSE(parseArgs(p, {"--jobs", "99999999999999999999"}));
     EXPECT_NE(p.error().find("must be between"), std::string::npos)
         << p.error();
+}
+
+FlagParser
+cappedParser()
+{
+    FlagParser p("powercap tool");
+    // The default 0 sits outside the accepted range on purpose: "0
+    // disables the feature", only explicit values are validated.
+    p.addDouble("power-cap", 0.0, "watts", 0.001, 1e6);
+    p.addDouble("bias", 0.0, "additive", -10.0,
+                std::numeric_limits<double>::infinity());
+    return p;
+}
+
+TEST(Flags, RangedDoubleAcceptsInRangeValues)
+{
+    auto p = cappedParser();
+    ASSERT_TRUE(parseArgs(p, {"--power-cap", "95.5"}));
+    EXPECT_DOUBLE_EQ(p.getDouble("power-cap"), 95.5);
+}
+
+TEST(Flags, RangedDoubleOutOfRangeDefaultApplies)
+{
+    auto p = cappedParser();
+    ASSERT_TRUE(parseArgs(p, {}));
+    EXPECT_DOUBLE_EQ(p.getDouble("power-cap"), 0.0);
+}
+
+TEST(Flags, RangedDoubleRejectsZeroAndNegativeWatts)
+{
+    for (const char *bad : {"0", "-5", "0.0005", "1e7"}) {
+        auto p = cappedParser();
+        EXPECT_FALSE(parseArgs(p, {"--power-cap", bad})) << bad;
+        EXPECT_NE(p.error().find("must be between 0.001 and 1e+06"),
+                  std::string::npos)
+            << p.error();
+    }
+}
+
+TEST(Flags, RangedDoubleRejectsNonNumericText)
+{
+    for (const char *bad : {"fast", "", "12watts"}) {
+        auto p = cappedParser();
+        EXPECT_FALSE(parseArgs(p, {"--power-cap", bad})) << bad;
+        EXPECT_NE(p.error().find("expects a number"),
+                  std::string::npos)
+            << p.error();
+    }
+}
+
+TEST(Flags, RangedDoubleRejectsNaN)
+{
+    // strtod happily parses "nan"; the range check must still reject
+    // it (NaN compares false against both bounds).
+    auto p = cappedParser();
+    EXPECT_FALSE(parseArgs(p, {"--power-cap", "nan"}));
+    EXPECT_NE(p.error().find("must be between"), std::string::npos)
+        << p.error();
+}
+
+TEST(Flags, RangedDoubleHalfOpenRangeNamesOneBound)
+{
+    auto p = cappedParser();
+    EXPECT_FALSE(parseArgs(p, {"--bias", "-11"}));
+    EXPECT_NE(p.error().find("must be at least -10"),
+              std::string::npos)
+        << p.error();
+    auto q = cappedParser();
+    EXPECT_TRUE(parseArgs(q, {"--bias", "1e30"}));
 }
 
 FlagParser

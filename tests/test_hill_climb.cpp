@@ -154,5 +154,96 @@ TEST_F(HillClimbTest, DeterministicResult)
     EXPECT_EQ(a.evaluations, b.evaluations);
 }
 
+TEST_F(HillClimbTest, InfinitePowerCapReproducesUncappedResult)
+{
+    // The tiered comparison must degenerate bit-exactly to the
+    // uncapped logic when no cap is set - this is what keeps the
+    // golden traces byte-identical.
+    HillClimbOptimizer opt(space, energy);
+    const auto ks = workload::trainingCorpus(10, 11);
+    for (const auto &k : ks) {
+        const auto q = queryFor(k);
+        const auto fs =
+            energy.estimate(truth, q, hw::ConfigSpace::failSafe());
+        const auto uncapped = opt.optimize(
+            truth, q, fs.time * 1.2, hw::ConfigSpace::failSafe());
+        const auto infinite = opt.optimize(
+            truth, q, fs.time * 1.2, hw::ConfigSpace::failSafe(),
+            nullptr, std::numeric_limits<Watts>::infinity());
+        EXPECT_EQ(uncapped.config, infinite.config);
+        EXPECT_EQ(uncapped.evaluations, infinite.evaluations);
+        EXPECT_DOUBLE_EQ(uncapped.predictedEnergy,
+                         infinite.predictedEnergy);
+        EXPECT_TRUE(infinite.capOk);
+    }
+}
+
+TEST_F(HillClimbTest, PowerCapFiltersTheSelection)
+{
+    HillClimbOptimizer opt(space, energy);
+    const auto ks = workload::trainingCorpus(10, 12);
+    for (const auto &k : ks) {
+        const auto q = queryFor(k);
+        const auto fs =
+            energy.estimate(truth, q, hw::ConfigSpace::failSafe());
+        const Seconds headroom = fs.time * 1.3;
+        const auto uncapped = opt.optimize(
+            truth, q, headroom, hw::ConfigSpace::failSafe());
+        const Watts uncapped_power =
+            uncapped.predictedEnergy / uncapped.predictedTime;
+        // Cap just under the uncapped pick's power: the capped run
+        // must answer with a config predicted at or under the cap
+        // whenever one is reachable.
+        const Watts cap = uncapped_power * 0.95;
+        const auto capped =
+            opt.optimize(truth, q, headroom,
+                         hw::ConfigSpace::failSafe(), nullptr, cap);
+        const Watts capped_power =
+            capped.predictedEnergy / capped.predictedTime;
+        if (capped.capOk)
+            EXPECT_LE(capped_power, cap * 1.0000001);
+        else
+            EXPECT_GT(capped_power, cap);
+    }
+}
+
+TEST_F(HillClimbTest, ImpossibleCapFallsBackToMinPowerConfig)
+{
+    HillClimbOptimizer opt(space, energy);
+    const auto k = workload::trainingCorpus(1, 13)[0];
+    const auto q = queryFor(k);
+    const auto fs =
+        energy.estimate(truth, q, hw::ConfigSpace::failSafe());
+    // No configuration runs on microwatts: the deterministic fail-safe
+    // must hand back the minimum-predicted-power config evaluated, and
+    // flag the result as over-cap.
+    const auto res = opt.optimize(truth, q, fs.time * 1.2,
+                                  hw::ConfigSpace::failSafe(), nullptr,
+                                  1e-6);
+    EXPECT_FALSE(res.capOk);
+    const Watts res_power = res.predictedEnergy / res.predictedTime;
+    // Nothing the climber evaluated can beat the returned power: probe
+    // the climb's own start plus a spread of references.
+    const auto start_est =
+        energy.estimate(truth, q, hw::ConfigSpace::failSafe());
+    EXPECT_LE(res_power, start_est.energy / start_est.time * 1.0000001);
+}
+
+TEST_F(HillClimbTest, CapFailSafeIsDeterministic)
+{
+    HillClimbOptimizer opt(space, energy);
+    const auto k = workload::trainingCorpus(1, 14)[0];
+    const auto q = queryFor(k);
+    const auto a = opt.optimize(truth, q, 0.5,
+                                hw::ConfigSpace::failSafe(), nullptr,
+                                1e-6);
+    const auto b = opt.optimize(truth, q, 0.5,
+                                hw::ConfigSpace::failSafe(), nullptr,
+                                1e-6);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.evaluations, b.evaluations);
+    EXPECT_EQ(a.capOk, b.capOk);
+}
+
 } // namespace
 } // namespace gpupm::mpc

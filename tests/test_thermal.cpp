@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "hw/thermal.hpp"
+#include "powercap/thermal_governor.hpp"
 
 namespace gpupm::hw {
 namespace {
@@ -79,6 +80,70 @@ TEST(Thermal, TdpCheck)
     ThermalModel t;
     EXPECT_FALSE(t.exceedsTdp(t.params().tdp));
     EXPECT_TRUE(t.exceedsTdp(t.params().tdp + 0.1));
+}
+
+TEST(Thermal, ZeroAmbientDeltaIsAFixedPoint)
+{
+    // A die sitting exactly at ambient with zero power dissipation has
+    // zero delta to its steady state: advancing any amount of time
+    // must hold it there bit-exactly (no drift from the exponential).
+    ThermalModel t;
+    for (int i = 0; i < 10; ++i)
+        t.advance(0.0, 12.34);
+    EXPECT_DOUBLE_EQ(t.temperature(), t.params().ambient);
+}
+
+TEST(Thermal, StepResponseToACapDrop)
+{
+    // Emulate the thermal cap governor cutting the power ceiling: run
+    // hot until settled, then step the power down and verify the die
+    // follows a first-order decay toward the new (cooler) steady
+    // state - monotonically, without undershoot.
+    ThermalModel t;
+    t.advance(80.0, 1000.0); // settle at the hot steady state
+    const Celsius hot = t.temperature();
+    const Celsius target = t.steadyState(30.0);
+    ASSERT_GT(hot, target);
+
+    Celsius prev = hot;
+    const double dt = t.params().thermalTau / 4.0;
+    for (int i = 0; i < 64; ++i) {
+        t.advance(30.0, dt);
+        EXPECT_LT(t.temperature(), prev); // strictly cooling
+        EXPECT_GT(t.temperature(), target - 1e-9); // no undershoot
+        prev = t.temperature();
+    }
+    // 16 time constants after the step: settled at the new level.
+    EXPECT_NEAR(t.temperature(), target, 1e-4);
+}
+
+TEST(Thermal, GovernedCeilingSaturatesAtDvfsFloor)
+{
+    // Closed loop with the reactive cap governor: a die held above the
+    // throttle limit walks the ceiling down step by step until it
+    // saturates at the DVFS floor, and the floor power's steady state
+    // is what the RC model then settles to.
+    powercap::ThermalCapOptions gopts;
+    gopts.enabled = true;
+    gopts.limit = 38.0;
+    gopts.band = 3.0;
+    gopts.stepWatts = 5.0;
+    gopts.maxCapWatts = 40.0;
+    gopts.floorWatts = 10.0;
+    powercap::ThermalCapGovernor gov(gopts);
+
+    ThermalModel t;
+    // Even the floor power's steady state sits above the limit, so the
+    // governor can never cool the die under it: the ceiling must walk
+    // all the way down and pin at the floor.
+    ASSERT_GT(t.steadyState(gopts.floorWatts), gopts.limit);
+    for (int i = 0; i < 100; ++i) {
+        // Dissipate exactly the governed ceiling each step.
+        t.advance(gov.cap(), t.params().thermalTau);
+        gov.update(t.temperature());
+    }
+    EXPECT_DOUBLE_EQ(gov.cap(), gopts.floorWatts);
+    EXPECT_NEAR(t.temperature(), t.steadyState(gopts.floorWatts), 1.0);
 }
 
 } // namespace

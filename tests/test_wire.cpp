@@ -140,6 +140,49 @@ TEST(Wire, StatsRejectsAbsurdEntryCount)
     EXPECT_FALSE(decodeStats(payload).has_value());
 }
 
+TEST(Wire, StatsRoundTripsPowercapFields)
+{
+    StatsMsg m;
+    m.entries.emplace_back("powercap.violations", 7u);
+    m.fleetBudgetWatts = 250.5;
+    m.capViolations = 1234567890123ull;
+    m.arbiterTicks = 42;
+    std::vector<std::uint8_t> buf;
+    encodeStats(buf, m);
+    const auto got = decodeStats(payloadOf(buf, MsgType::Stats));
+    ASSERT_TRUE(got.has_value());
+    const auto bits = [](double v) {
+        std::uint64_t u = 0;
+        std::memcpy(&u, &v, sizeof u);
+        return u;
+    };
+    EXPECT_EQ(got->entries, m.entries);
+    EXPECT_EQ(bits(got->fleetBudgetWatts), bits(m.fleetBudgetWatts));
+    EXPECT_EQ(got->capViolations, m.capViolations);
+    EXPECT_EQ(got->arbiterTicks, m.arbiterTicks);
+}
+
+TEST(Wire, StatsRejectsTruncatedPowercapTail)
+{
+    // The powercap tail is part of the fixed frame layout, not an
+    // optional extension: a frame cut anywhere inside it (as a
+    // pre-powercap peer would produce) must be rejected, not decoded
+    // with zeroed fields.
+    StatsMsg m;
+    m.entries.emplace_back("serve.decisions", 9u);
+    m.fleetBudgetWatts = 100.0;
+    std::vector<std::uint8_t> buf;
+    encodeStats(buf, m);
+    auto payload = payloadOf(buf, MsgType::Stats);
+    ASSERT_TRUE(decodeStats(payload).has_value());
+    for (std::size_t cut = 1; cut <= 24; ++cut) {
+        std::vector<std::uint8_t> shorter(
+            payload.begin(),
+            payload.end() - static_cast<std::ptrdiff_t>(cut));
+        EXPECT_FALSE(decodeStats(shorter).has_value()) << "cut=" << cut;
+    }
+}
+
 TEST(Wire, ErrorRoundTrips)
 {
     std::vector<std::uint8_t> buf;

@@ -27,6 +27,7 @@
 
 #include <algorithm>
 #include <csignal>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -43,6 +44,8 @@
 #include "online/adaptive_predictor.hpp"
 #include "online/learner.hpp"
 #include "policy/oracle.hpp"
+#include "powercap/arbiter.hpp"
+#include "powercap/thermal_governor.hpp"
 #include "policy/ppk.hpp"
 #include "policy/turbo_core.hpp"
 #include "serve/net_server.hpp"
@@ -270,6 +273,86 @@ parseShedOptions(const FlagParser &flags)
     return s;
 }
 
+/**
+ * Shared --power-cap flag family for the fleet subcommands: the fleet
+ * budget arbiter (powercap/arbiter.hpp) plus the per-session reactive
+ * thermal cap governor (powercap/thermal_governor.hpp). Both default
+ * to 0 = disabled; explicit values are range-checked at parse time.
+ */
+void
+addPowercapFlags(FlagParser &flags)
+{
+    flags.addDouble("power-cap", 0.0,
+                    "total fleet power budget in watts (0 = uncapped)",
+                    0.001, 1e6);
+    flags.addString("cap-policy", "equal",
+                    "budget split policy: equal | usage | weighted");
+    flags.addInt("cap-window", 16,
+                 "per-session decisions per cap-violation window", 1,
+                 1 << 20);
+    flags.addInt("cap-sustain", 2,
+                 "consecutive over-cap windows required to throttle",
+                 1, 1 << 16);
+    flags.addInt("cap-recover", 2,
+                 "consecutive calm windows required to recover", 1,
+                 1 << 16);
+    flags.addInt("cap-tick", 256,
+                 "fleet decisions between arbiter re-split ticks", 1,
+                 1 << 24);
+    flags.addDouble("thermal-cap", 0.0,
+                    "die temperature limit in C for the reactive "
+                    "thermal cap governor (0 = off)",
+                    0.001, 1000.0);
+    flags.addDouble("thermal-step", 2.0,
+                    "thermal governor PWR_INC/PWR_DEC step in watts",
+                    0.001, 1e6);
+    flags.addBool("thermal-wavg",
+                  "smooth the thermal governor's temperature input "
+                  "with a weighted moving average");
+}
+
+/**
+ * @return false (after printing the problem) on an invalid
+ *     --cap-policy; the range checks on the numeric flags were already
+ *     enforced by FlagParser::parse.
+ */
+bool
+parsePowercapOptions(const FlagParser &flags,
+                     powercap::ArbiterOptions *arbiter,
+                     powercap::ThermalCapOptions *thermal)
+{
+    arbiter->budgetWatts = flags.getDouble("power-cap");
+    const std::string policy = flags.getString("cap-policy");
+    if (policy == "equal") {
+        arbiter->policy = powercap::SplitPolicy::EqualShare;
+    } else if (policy == "usage") {
+        arbiter->policy = powercap::SplitPolicy::UsageProportional;
+    } else if (policy == "weighted") {
+        arbiter->policy = powercap::SplitPolicy::PriorityWeighted;
+    } else {
+        std::cerr << "unknown --cap-policy '" << policy
+                  << "' (expected equal, usage or weighted)\n";
+        return false;
+    }
+    arbiter->window =
+        static_cast<std::size_t>(flags.getInt("cap-window"));
+    arbiter->sustain =
+        static_cast<std::size_t>(flags.getInt("cap-sustain"));
+    arbiter->recover =
+        static_cast<std::size_t>(flags.getInt("cap-recover"));
+    arbiter->tickEvery =
+        static_cast<std::size_t>(flags.getInt("cap-tick"));
+
+    const double limit = flags.getDouble("thermal-cap");
+    thermal->enabled = limit > 0.0;
+    if (thermal->enabled) {
+        thermal->limit = limit;
+        thermal->stepWatts = flags.getDouble("thermal-step");
+        thermal->weightedAvg = flags.getBool("thermal-wavg");
+    }
+    return true;
+}
+
 int
 cmdTrain(int argc, const char *const *argv)
 {
@@ -356,6 +439,10 @@ cmdRun(int argc, const char *const *argv)
     flags.addDouble("phases", 0.0, "CPU-phase fraction between kernels");
     flags.addPath("trace", "", "write 1 ms telemetry CSV here");
     flags.addBool("no-overhead", "do not charge decision latency");
+    flags.addDouble("power-cap", 0.0,
+                    "per-run power cap in watts for the MPC governor "
+                    "(0 = uncapped)",
+                    0.001, 1e6);
     addSimdFlag(flags);
     addOnlineFlags(flags);
     TraceOutputs::addFlags(flags);
@@ -439,6 +526,7 @@ cmdRun(int argc, const char *const *argv)
             r = sim.run(app, gov, baseline.throughput());
         } else if (gov_kind == "mpc") {
             mpc::MpcGovernor gov(predictor, mpc_opts);
+            gov.setPowerCap(flags.getDouble("power-cap"));
             gov.setDecisionSink(learner ? static_cast<trace::DecisionSink *>(
                                               &*learner)
                                         : trace_outputs.log());
@@ -620,6 +708,10 @@ cmdFleet(int argc, const char *const *argv)
                  "--bench; massive fleets want small synthetic apps)",
                  0, 1 << 20);
     addShardFlags(flags);
+    addPowercapFlags(flags);
+    flags.addString("cap-weights", "",
+                    "comma list of per-session priority weights, "
+                    "cycled over sessions (with --cap-policy weighted)");
     flags.addInt("runs", 2, "MPC executions after profiling", 1, 10000);
     flags.addInt("queue", 1024, "request-queue capacity", 1, 1 << 20);
     flags.addInt("max-batch", 512, "broker flush threshold in queries",
@@ -662,6 +754,20 @@ cmdFleet(int argc, const char *const *argv)
     fopts.server.shards =
         static_cast<std::size_t>(flags.getInt("shards"));
     fopts.server.shed = parseShedOptions(flags);
+    if (!parsePowercapOptions(flags, &fopts.server.powercap,
+                              &fopts.session.thermalCap))
+        return 2;
+    for (const auto &w : splitCommaList(flags.getString("cap-weights"))) {
+        char *end = nullptr;
+        const double weight = std::strtod(w.c_str(), &end);
+        if (end == w.c_str() || *end != '\0' || !(weight > 0.0)) {
+            std::cerr << "--cap-weights entries must be positive "
+                         "numbers, got '"
+                      << w << "'\n";
+            return 2;
+        }
+        fopts.capWeights.push_back(weight);
+    }
     fopts.server.queueCapacity =
         static_cast<std::size_t>(flags.getInt("queue"));
     fopts.server.broker.maxBatch =
@@ -691,6 +797,17 @@ cmdFleet(int argc, const char *const *argv)
 
     std::cout << "fleet: " << result.sessions << " sessions, "
               << result.decisions << " decisions\n";
+    if (fopts.server.powercap.enabled()) {
+        // Cap accounting is part of the deterministic decision stream
+        // (violations and arbiter ticks are functions of the trace, not
+        // of worker scheduling), so this line stays byte-reproducible.
+        std::cout << "powercap: budget "
+                  << fmt(fopts.server.powercap.budgetWatts, 1)
+                  << " W, " << result.capLimitedDecisions
+                  << " cap-limited decisions, " << result.capViolations
+                  << " violations, " << result.arbiterTicks
+                  << " arbiter ticks\n";
+    }
     if (!flags.getBool("deterministic")) {
         if (fopts.onlineLearn) {
             // Async retrain timing depends on scheduling, so the online
@@ -805,6 +922,7 @@ cmdServe(int argc, const char *const *argv)
     flags.addInt("max-sessions", 4096,
                  "per-shard resident-session LRU cap", 1, 1 << 24);
     addShardFlags(flags);
+    addPowercapFlags(flags);
     addSimdFlag(flags);
     if (!flags.parse(argc, argv)) {
         std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
@@ -842,6 +960,15 @@ cmdServe(int argc, const char *const *argv)
     sopts.jobs = static_cast<std::size_t>(flags.getInt("jobs"));
     sopts.shards = static_cast<std::size_t>(flags.getInt("shards"));
     sopts.shed = parseShedOptions(flags);
+    serve::NetServerOptions nopts;
+    if (!parsePowercapOptions(flags, &sopts.powercap,
+                              &nopts.session.thermalCap))
+        return 2;
+    // Live tenants come and go, so the network server re-splits the
+    // budget from measured usage rather than registration-time demand
+    // (forfeiting byte-reproducibility, which TCP timing already
+    // forfeits).
+    sopts.powercap.liveUsage = true;
     sopts.queueCapacity =
         static_cast<std::size_t>(flags.getInt("queue"));
     sopts.sessions.maxSessions =
@@ -850,7 +977,6 @@ cmdServe(int argc, const char *const *argv)
         static_cast<std::size_t>(flags.getInt("max-batch"));
     serve::FleetServer server(std::move(predictor), sopts);
 
-    serve::NetServerOptions nopts;
     nopts.host = host;
     nopts.port = static_cast<std::uint16_t>(port);
     nopts.session.optimizedRuns =
@@ -883,6 +1009,12 @@ cmdServe(int argc, const char *const *argv)
               << " degraded) over " << net.accepted()
               << " connections, " << cnt("serve.rejected_requests")
               << " rejected\n";
+    if (const auto *arbiter = server.capArbiter()) {
+        std::cout << "powercap: budget "
+                  << fmt(arbiter->budgetWatts(), 1) << " W, "
+                  << arbiter->violations() << " violations, "
+                  << arbiter->ticks() << " arbiter ticks\n";
+    }
     return 0;
 }
 

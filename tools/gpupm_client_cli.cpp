@@ -474,6 +474,14 @@ main(int argc, char **argv)
             std::cout << "server counters:\n";
             for (const auto &[key, value] : serverStats.entries)
                 std::cout << "  " << key << " = " << value << "\n";
+            if (serverStats.fleetBudgetWatts > 0.0) {
+                std::cout << "powercap: budget "
+                          << serverStats.fleetBudgetWatts
+                          << " W, violations "
+                          << serverStats.capViolations
+                          << ", arbiter ticks "
+                          << serverStats.arbiterTicks << "\n";
+            }
         }
         if (verify && !verifyFailed && !protocolFailure)
             std::cout << "verify: OK (same-benchmark sessions are "

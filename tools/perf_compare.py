@@ -127,7 +127,7 @@ def main():
         marker = ""
         if delta > args.threshold:
             marker = "  REGRESSION"
-            regressions.append(name)
+            regressions.append((name, delta))
         elif delta < -args.threshold:
             marker = "  improved"
         print(f"{name:<{width}}  {fmt_ns(b):>9} -> {fmt_ns(c):>9} "
@@ -152,7 +152,7 @@ def main():
                 if key == "latency_p99_ns" and \
                         delta > args.percentile_threshold:
                     marker = "  REGRESSION"
-                    regressions.append(f"{name}:{key}")
+                    regressions.append((f"{name}:{key}", delta))
                 elif delta < -args.percentile_threshold:
                     marker = "  improved"
                 label = key.replace("latency_", "").replace("_ns", "")
@@ -161,8 +161,14 @@ def main():
                       f"{delta:+7.1f}%{marker}")
 
     if regressions:
+        # Name every offender with its own delta so a CI log tail is
+        # enough to see what regressed and by how much - percentile
+        # offenders carry their :latency_pNN_ns suffix and gated on
+        # --percentile-threshold rather than --threshold.
+        offenders = ", ".join(f"{name} ({delta:+.1f}%)"
+                              for name, delta in regressions)
         print(f"\n{len(regressions)} regression(s) beyond "
-              f"{args.threshold:.0f}%: {', '.join(regressions)}",
+              f"{args.threshold:.0f}%: {offenders}",
               file=sys.stderr)
         return 1
     print(f"\nno regressions beyond {args.threshold:.0f}% "
