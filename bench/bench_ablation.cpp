@@ -30,9 +30,9 @@ searchCostAblation(bench::Harness &h)
     std::cout << "--- 1. Search cost: greedy hill climb vs exhaustive "
                  "scan ---\n";
     hw::ConfigSpace space;
-    ml::EnergyModel energy;
+    ml::EnergyModel energy{hw::ApuParams::defaults()};
     mpc::HillClimbOptimizer climber(space, energy);
-    kernel::GroundTruthModel model;
+    kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     auto truth = h.groundTruth();
 
     const auto corpus = workload::trainingCorpus(40, 0xab1a7e);
@@ -239,14 +239,15 @@ transitionCostAblation(bench::Harness &h)
         params.transition.rampPerVolt *= c.scale;
         params.transition.pllRelock *= c.scale;
         params.transition.cuGate *= c.scale;
-        sim::Simulator sim(params);
+        const auto model = hw::makeModel("ablation-" + c.name, params);
+        sim::Simulator sim(model);
 
         std::vector<double> e, s, tt;
         for (const auto &name : workload::benchmarkNames()) {
             auto app = workload::makeBenchmark(name);
-            policy::TurboCoreGovernor turbo(params);
+            policy::TurboCoreGovernor turbo(model);
             auto base = sim.run(app, turbo);
-            mpc::MpcGovernor gov(truth, {}, params);
+            mpc::MpcGovernor gov(truth, {}, model);
             sim.run(app, gov, base.throughput());
             auto r = sim.run(app, gov, base.throughput());
             e.push_back(sim::energySavingsPct(base, r));

@@ -65,8 +65,8 @@ main(int argc, char **argv)
     for (const auto &bc : h.cases()) {
         auto ppk = h.runPpk(bc, rf);
 
-        mpc::MpcGovernor gov(rf);
-        sim::Simulator sim;
+        mpc::MpcGovernor gov(rf, {}, hw::paperApu());
+        sim::Simulator sim{hw::paperApu()};
         std::vector<sim::RunResult> runs;
         for (int i = 0; i < simulated_runs; ++i)
             runs.push_back(sim.run(bc.app, gov, bc.target));

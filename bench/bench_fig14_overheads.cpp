@@ -60,12 +60,12 @@ main(int argc, char **argv)
                  "(Sec. VI-E remark):\n";
     {
         std::vector<double> exposed, hidden_frac;
-        sim::Simulator psim;
+        sim::Simulator psim{hw::paperApu()};
         for (const auto &bc : h.cases()) {
             auto phased = workload::withCpuPhases(bc.app, 0.5);
-            policy::TurboCoreGovernor turbo;
+            policy::TurboCoreGovernor turbo{hw::paperApu()};
             auto pbase = psim.run(phased, turbo);
-            mpc::MpcGovernor gov(rf);
+            mpc::MpcGovernor gov(rf, {}, hw::paperApu());
             psim.run(phased, gov, pbase.throughput());
             auto r = psim.run(phased, gov, pbase.throughput());
             exposed.push_back(sim::overheadTimePct(pbase, r));

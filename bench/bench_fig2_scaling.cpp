@@ -26,7 +26,7 @@ main()
         "Fig. 2 of the paper (MaxFlops, readGlobalMemoryCoalesced, "
         "writeCandidates, astar)");
 
-    kernel::GroundTruthModel model;
+    kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     hw::ConfigSpace space;
 
     for (const auto &k : workload::figure2Kernels()) {

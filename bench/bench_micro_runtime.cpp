@@ -47,9 +47,9 @@ struct Fixture
         headroom = est.time * 1.2;
     }
 
-    kernel::GroundTruthModel model;
+    kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     hw::ConfigSpace space;
-    ml::EnergyModel energy;
+    ml::EnergyModel energy{hw::ApuParams::defaults()};
     std::unique_ptr<ml::RandomForestPredictor> rf;
     kernel::KernelParams kernel;
     ml::PredictionQuery query;
@@ -320,11 +320,11 @@ void
 BM_OraclePlanSpmv(benchmark::State &state)
 {
     auto app = workload::makeBenchmark("Spmv");
-    sim::Simulator sim;
-    policy::TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
     for (auto _ : state) {
-        policy::TheoreticallyOptimalGovernor oracle(app);
+        policy::TheoreticallyOptimalGovernor oracle(app, hw::paperApu());
         auto r = sim.run(app, oracle, base.throughput());
         benchmark::DoNotOptimize(r);
     }
@@ -337,11 +337,11 @@ BM_McpSteadyStateRunSpmv(benchmark::State &state)
     auto &f = fixture();
     (void)f;
     auto app = workload::makeBenchmark("Spmv");
-    sim::Simulator sim;
-    policy::TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
-    auto truth = std::make_shared<ml::GroundTruthPredictor>();
-    mpc::MpcGovernor gov(truth);
+    auto truth = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
+    mpc::MpcGovernor gov(truth, {}, hw::paperApu());
     sim.run(app, gov, base.throughput());
     for (auto _ : state) {
         benchmark::DoNotOptimize(

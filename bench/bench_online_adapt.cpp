@@ -178,8 +178,9 @@ shiftedFleet(bool online_learn, trace::DecisionSink *sink)
     opts.session.optimizedRuns = kOptimizedRuns;
     opts.cpuPhaseJitter = 0.3;
     opts.seed = 0x90d1ULL;
-    opts.server.params = hw::ApuParams::defaults();
-    opts.server.params.memBusBytes /= 4.0; // the injected shift
+    hw::ApuParams shifted = hw::ApuParams::defaults();
+    shifted.memBusBytes /= 4.0; // the injected shift
+    opts.server.model = hw::makeModel("shifted-dram", shifted);
     opts.decisionSink = sink;
     opts.onlineLearn = online_learn;
     // Eager adaptation for the short bench fleet: trigger on small

@@ -31,7 +31,7 @@ main()
     cpu.print(std::cout);
     std::cout << "\n";
 
-    kernel::GroundTruthModel model;
+    kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     TextTable nb({"NB P-state", "Freq (GHz)", "Memory Freq (MHz)",
                   "min rail (V)*", "eff. BW (GB/s)*"});
     for (int i = 0; i < hw::numNbPStates; ++i) {

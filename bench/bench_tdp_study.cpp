@@ -28,7 +28,7 @@ main()
         "exercises the Sec. V-B power-shifting behaviour the 95 W part "
         "never needs");
 
-    auto truth = std::make_shared<ml::GroundTruthPredictor>();
+    auto truth = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
 
     TextTable t({"TDP (W)", "baseline CPU state (last)",
                  "baseline peak power (W)", "lag overshoots*",
@@ -36,7 +36,9 @@ main()
     for (double tdp : {95.0, 49.0, 45.0}) {
         hw::ApuParams params;
         params.tdp = tdp;
-        sim::Simulator sim(params);
+        const auto model =
+            hw::makeModel("tdp-" + fmt(tdp, 0), params);
+        sim::Simulator sim(model);
 
         std::vector<double> e, s;
         std::string last_cpu;
@@ -45,7 +47,7 @@ main()
         for (const auto &name :
              {"mandelbulbGPU", "NBody", "Spmv", "kmeans"}) {
             auto app = workload::makeBenchmark(name);
-            policy::TurboCoreGovernor turbo(params);
+            policy::TurboCoreGovernor turbo(model);
             auto base = sim.run(app, turbo);
             last_cpu = hw::toString(base.records.back().config.cpu);
             auto trace = telemetry::PowerTrace::fromRun(base, params);
@@ -70,7 +72,7 @@ main()
                 }
             }
 
-            mpc::MpcGovernor gov(truth, {}, params);
+            mpc::MpcGovernor gov(truth, {}, model);
             sim.run(app, gov, base.throughput());
             auto r = sim.run(app, gov, base.throughput());
             e.push_back(sim::energySavingsPct(base, r));

@@ -107,8 +107,8 @@ Harness::cases()
         names.size(), [&](std::size_t i, Pcg32 &) {
             BenchCase bc;
             bc.app = workload::makeBenchmark(names[i]);
-            policy::TurboCoreGovernor turbo;
-            sim::Simulator sim;
+            policy::TurboCoreGovernor turbo{hw::paperApu()};
+            sim::Simulator sim{hw::paperApu()};
             bc.baseline = sim.run(bc.app, turbo);
             bc.target = bc.baseline.throughput();
             return bc;
@@ -179,7 +179,7 @@ Harness::groundTruth()
 {
     std::lock_guard lock(_initMutex);
     if (!_truth)
-        _truth = std::make_shared<ml::GroundTruthPredictor>();
+        _truth = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
     return _truth;
 }
 
@@ -187,7 +187,8 @@ std::shared_ptr<const ml::PerfPowerPredictor>
 Harness::noisyPredictor(double time_err, double power_err) const
 {
     return std::make_shared<ml::NoisyOraclePredictor>(
-        time_err, power_err, _opts.seed);
+        time_err, power_err, _opts.seed,
+        hw::ApuParams::defaults());
 }
 
 SchemeResult
@@ -208,8 +209,8 @@ Harness::runPpk(const BenchCase &bc,
 {
     // Local simulator per call: the scheme runners are invoked
     // concurrently from mapCases workers.
-    sim::Simulator sim;
-    policy::PpkGovernor gov(std::move(pred), opts);
+    sim::Simulator sim{hw::paperApu()};
+    policy::PpkGovernor gov(std::move(pred), opts, hw::paperApu());
     return finish(bc, sim.run(bc.app, gov, bc.target));
 }
 
@@ -219,8 +220,8 @@ Harness::runMpc(const BenchCase &bc,
                 const mpc::MpcOptions &opts, int extra_runs)
 {
     GPUPM_ASSERT(extra_runs >= 1, "need at least one optimized run");
-    sim::Simulator sim;
-    mpc::MpcGovernor gov(std::move(pred), opts);
+    sim::Simulator sim{hw::paperApu()};
+    mpc::MpcGovernor gov(std::move(pred), opts, hw::paperApu());
     sim.run(bc.app, gov, bc.target); // profiling execution
     sim::RunResult last;
     for (int i = 0; i < extra_runs; ++i)
@@ -234,9 +235,9 @@ Harness::runMpc(const BenchCase &bc,
 SchemeResult
 Harness::runOracle(const BenchCase &bc, std::size_t jobs)
 {
-    sim::Simulator sim;
-    policy::TheoreticallyOptimalGovernor gov(
-        bc.app, hw::ApuParams::defaults(), 6000, {}, jobs);
+    sim::Simulator sim{hw::paperApu()};
+    policy::TheoreticallyOptimalGovernor gov(bc.app, hw::paperApu(),
+                                             6000, {}, jobs);
     return finish(bc, sim.run(bc.app, gov, bc.target));
 }
 

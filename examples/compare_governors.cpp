@@ -22,7 +22,7 @@ compareWith(const workload::Application &app,
             const sim::RunResult &baseline,
             std::shared_ptr<const ml::PerfPowerPredictor> pred)
 {
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
     const Throughput target = baseline.throughput();
 
     TextTable t({"scheme", "energy savings", "speedup",
@@ -33,20 +33,20 @@ compareWith(const workload::Application &app,
                   fmtPct(sim::gpuEnergySavingsPct(baseline, r))});
     };
 
-    policy::PpkGovernor ppk(pred);
+    policy::PpkGovernor ppk(pred, {}, hw::paperApu());
     row(sim.run(app, ppk, target), "PPK");
 
-    mpc::MpcGovernor mpc_adaptive(pred);
+    mpc::MpcGovernor mpc_adaptive(pred, {}, hw::paperApu());
     sim.run(app, mpc_adaptive, target); // profiling execution
     row(sim.run(app, mpc_adaptive, target), "MPC (adaptive horizon)");
 
     mpc::MpcOptions full;
     full.horizonMode = mpc::HorizonMode::Full;
-    mpc::MpcGovernor mpc_full(pred, full);
+    mpc::MpcGovernor mpc_full(pred, full, hw::paperApu());
     sim.run(app, mpc_full, target);
     row(sim.run(app, mpc_full, target), "MPC (full horizon)");
 
-    policy::TheoreticallyOptimalGovernor oracle(app);
+    policy::TheoreticallyOptimalGovernor oracle(app, hw::paperApu());
     row(sim.run(app, oracle, target), "Theoretically Optimal");
 
     t.print(std::cout);
@@ -60,8 +60,8 @@ main(int argc, char **argv)
     const std::string name = argc > 1 ? argv[1] : "hybridsort";
     const workload::Application app = workload::makeBenchmark(name);
 
-    sim::Simulator sim;
-    policy::TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     const auto baseline = sim.run(app, turbo);
 
     std::cout << app.name << " (" << toString(app.category) << ", "
@@ -71,7 +71,7 @@ main(int argc, char **argv)
 
     std::cout << "With a perfect predictor (limit study):\n";
     compareWith(app, baseline,
-                std::make_shared<ml::GroundTruthPredictor>());
+                std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults()));
 
     std::cout << "\nWith the trained Random Forest "
                  "(deployable configuration):\n";

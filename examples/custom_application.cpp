@@ -90,17 +90,17 @@ main()
     std::cout << "Custom application '" << app.name << "' with "
               << app.kernelCount() << " kernel launches\n\n";
 
-    sim::Simulator sim;
-    policy::TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     const auto baseline = sim.run(app, turbo);
     const Throughput target = baseline.throughput();
 
-    auto predictor = std::make_shared<ml::GroundTruthPredictor>();
+    auto predictor = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
 
-    policy::PpkGovernor ppk(predictor);
+    policy::PpkGovernor ppk(predictor, {}, hw::paperApu());
     const auto ppk_run = sim.run(app, ppk, target);
 
-    mpc::MpcGovernor mpc(predictor);
+    mpc::MpcGovernor mpc(predictor, {}, hw::paperApu());
     sim.run(app, mpc, target); // profiling execution
     const auto mpc_run = sim.run(app, mpc, target);
 

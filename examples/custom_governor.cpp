@@ -70,22 +70,22 @@ class StallThresholdGovernor : public sim::Governor
 int
 main()
 {
-    sim::Simulator sim;
-    auto predictor = std::make_shared<ml::GroundTruthPredictor>();
+    sim::Simulator sim{hw::paperApu()};
+    auto predictor = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
 
     TextTable t({"benchmark", "StallThreshold (dE% / spd)",
                  "MPC (dE% / spd)"});
     for (const auto &name :
          {"mandelbulbGPU", "Spmv", "kmeans", "hybridsort"}) {
         auto app = workload::makeBenchmark(name);
-        policy::TurboCoreGovernor turbo;
+        policy::TurboCoreGovernor turbo{hw::paperApu()};
         auto baseline = sim.run(app, turbo);
         const Throughput target = baseline.throughput();
 
         StallThresholdGovernor reactive;
         auto rr = sim.run(app, reactive, target);
 
-        mpc::MpcGovernor mpc(predictor);
+        mpc::MpcGovernor mpc(predictor, {}, hw::paperApu());
         sim.run(app, mpc, target);
         auto rm = sim.run(app, mpc, target);
 

@@ -37,19 +37,19 @@ main(int argc, char **argv)
         argc > 2 ? argv[2] : "gpupm_power_trace.csv";
 
     auto app = workload::makeBenchmark(name);
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
 
-    policy::TurboCoreGovernor turbo;
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     const auto baseline = sim.run(app, turbo);
 
-    auto predictor = std::make_shared<ml::GroundTruthPredictor>();
-    mpc::MpcGovernor governor(predictor);
+    auto predictor = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
+    mpc::MpcGovernor governor(predictor, {}, hw::paperApu());
     sim.run(app, governor, baseline.throughput());
     const auto mpc_run = sim.run(app, governor, baseline.throughput());
 
     std::cout << name << " telemetry (1 ms sampling, as in Sec. V):\n";
-    const auto base_trace = telemetry::PowerTrace::fromRun(baseline);
-    const auto mpc_trace = telemetry::PowerTrace::fromRun(mpc_run);
+    const auto base_trace = telemetry::PowerTrace::fromRun(baseline, hw::ApuParams::defaults());
+    const auto mpc_trace = telemetry::PowerTrace::fromRun(mpc_run, hw::ApuParams::defaults());
     summarize("Turbo Core", base_trace);
     summarize("MPC       ", mpc_trace);
 

@@ -28,18 +28,18 @@ main()
               << app.patternNotation << ", " << app.kernelCount()
               << " kernel launches)\n\n";
 
-    sim::Simulator simulator;
+    sim::Simulator simulator{hw::paperApu()};
 
     // 2. Baseline: AMD Turbo Core. Its throughput defines the
     //    performance target MPC must not undercut.
-    policy::TurboCoreGovernor turbo;
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     const auto baseline = simulator.run(app, turbo);
     const Throughput target = baseline.throughput();
 
     // 3. MPC with a perfect predictor for this quickstart; swap in
     //    ml::trainRandomForestPredictor() for the learned model.
-    auto predictor = std::make_shared<ml::GroundTruthPredictor>();
-    mpc::MpcGovernor governor(predictor);
+    auto predictor = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
+    mpc::MpcGovernor governor(predictor, {}, hw::paperApu());
 
     // 4. First execution profiles the application (PPK inside)...
     const auto first_run = simulator.run(app, governor, target);

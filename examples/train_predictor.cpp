@@ -59,7 +59,7 @@ main()
               << fmt(xfer.powerMapePct, 1) << "%\n\n";
 
     // 4. What-if query: sweep the GPU DPM state for one kernel.
-    kernel::GroundTruthModel model;
+    kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     auto app = workload::makeBenchmark("Spmv");
     const auto &k = app.trace[0].params;
     const auto ref_cfg = hw::ConfigSpace::failSafe();

@@ -1,5 +1,6 @@
 #include "common/flags.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <climits>
 #include <cstdlib>
@@ -22,6 +23,21 @@ FlagParser::addString(const std::string &name, std::string default_value,
 {
     _flags[name] =
         Flag{Kind::String, std::move(help), std::move(default_value), {}};
+}
+
+void
+FlagParser::addChoice(const std::string &name, std::string default_value,
+                      std::string help, std::vector<std::string> choices)
+{
+    GPUPM_ASSERT(!choices.empty(), "flag --", name,
+                 " needs at least one choice");
+    GPUPM_ASSERT(std::find(choices.begin(), choices.end(),
+                           default_value) != choices.end(),
+                 "flag --", name, " default '", default_value,
+                 "' is not among its choices");
+    Flag f{Kind::Choice, std::move(help), std::move(default_value), {}};
+    f.choices = std::move(choices);
+    _flags[name] = std::move(f);
 }
 
 void
@@ -119,7 +135,20 @@ FlagParser::parse(int argc, const char *const *argv)
         // Validate numeric values eagerly, so tools report bad input
         // at parse time with the flag name instead of silently running
         // with an atoi() fallback value.
-        if (flag.kind == Kind::Path) {
+        if (flag.kind == Kind::Choice) {
+            const std::string &v = *flag.value;
+            if (std::find(flag.choices.begin(), flag.choices.end(),
+                          v) == flag.choices.end()) {
+                std::ostringstream os;
+                os << "flag --" << name << ": unknown value '" << v
+                   << "' (candidates:";
+                for (const auto &c : flag.choices)
+                    os << " " << c;
+                os << ")";
+                _error = os.str();
+                return false;
+            }
+        } else if (flag.kind == Kind::Path) {
             // Fail at parse time, before the tool does any work: a
             // typo'd output directory should not cost a full run.
             namespace fs = std::filesystem;
@@ -211,8 +240,13 @@ FlagParser::flagOrDie(const std::string &name, Kind kind) const
 std::string
 FlagParser::getString(const std::string &name) const
 {
-    const auto &f = flagOrDie(name, Kind::String);
-    return f.value.value_or(f.defaultValue);
+    auto it = _flags.find(name);
+    GPUPM_ASSERT(it != _flags.end(), "flag --", name,
+                 " not registered");
+    GPUPM_ASSERT(it->second.kind == Kind::String ||
+                     it->second.kind == Kind::Choice,
+                 "flag --", name, " accessed with the wrong type");
+    return it->second.value.value_or(it->second.defaultValue);
 }
 
 std::string
@@ -252,7 +286,14 @@ FlagParser::usage() const
         os << "  --" << name;
         if (flag.kind != Kind::Bool)
             os << " <" << flag.defaultValue << ">";
-        os << "  " << flag.help << "\n";
+        os << "  " << flag.help;
+        if (flag.kind == Kind::Choice) {
+            os << " (one of:";
+            for (const auto &c : flag.choices)
+                os << " " << c;
+            os << ")";
+        }
+        os << "\n";
     }
     os << "  --help  show this message\n";
     return os.str();

@@ -25,6 +25,14 @@ class FlagParser
     void addString(const std::string &name, std::string default_value,
                    std::string help);
     /**
+     * String flag restricted to a fixed candidate set, validated at
+     * parse time: any other value is a parse error whose message lists
+     * the candidates. The default must itself be a candidate. Read the
+     * parsed value with getString.
+     */
+    void addChoice(const std::string &name, std::string default_value,
+                   std::string help, std::vector<std::string> choices);
+    /**
      * Output-file path flag. A non-empty value is validated at parse
      * time: its parent directory must exist and the path itself must
      * not name a directory, so tools fail before doing work rather
@@ -80,7 +88,7 @@ class FlagParser
     std::string usage() const;
 
   private:
-    enum class Kind { String, Path, Double, Int, Bool };
+    enum class Kind { String, Choice, Path, Double, Int, Bool };
 
     struct Flag
     {
@@ -94,6 +102,8 @@ class FlagParser
         /** Accepted range for Kind::Double (validated at parse time). */
         double minDouble = 0.0;
         double maxDouble = 0.0;
+        /** Accepted values for Kind::Choice (validated at parse time). */
+        std::vector<std::string> choices;
     };
 
     const Flag &flagOrDie(const std::string &name, Kind kind) const;

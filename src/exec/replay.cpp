@@ -1,0 +1,94 @@
+#include "exec/replay.hpp"
+
+#include <utility>
+
+#include "common/logging.hpp"
+#include "mpc/governor.hpp"
+#include "policy/turbo_core.hpp"
+#include "sim/governor.hpp"
+
+namespace gpupm::exec {
+namespace {
+
+std::unique_ptr<sim::Governor>
+makeGovernor(const ReplayOptions &opts,
+             const std::shared_ptr<const ml::PerfPowerPredictor>
+                 &predictor,
+             const hw::HardwareModelPtr &model)
+{
+    switch (opts.governor) {
+    case ReplayGovernor::Mpc:
+        GPUPM_ASSERT(predictor != nullptr,
+                     "MPC replay needs the original predictor");
+        return std::make_unique<mpc::MpcGovernor>(predictor, opts.mpc,
+                                                  model);
+    case ReplayGovernor::Turbo:
+        return std::make_unique<policy::TurboCoreGovernor>(model);
+    case ReplayGovernor::Pi:
+        return std::make_unique<policy::PiGovernor>(model, opts.pi);
+    }
+    GPUPM_PANIC("unhandled replay governor");
+}
+
+} // namespace
+
+ReplayReport
+replayRecords(std::vector<trace::DecisionRecord> records,
+              const std::shared_ptr<const ml::PerfPowerPredictor>
+                  &predictor,
+              const ReplayOptions &opts)
+{
+    const hw::HardwareModelPtr model =
+        opts.model ? opts.model : hw::paperApu();
+    // The MPC path reads its QoS from the MPC options; keep the two
+    // views coherent so callers can set either.
+    ReplayOptions effective = opts;
+    if (opts.governor == ReplayGovernor::Mpc)
+        effective.qos = opts.mpc.qos;
+
+    trace::sortDecisions(records);
+
+    ReplayReport out;
+    std::unique_ptr<sim::Governor> gov;
+    std::string cur_app;
+    std::uint64_t cur_session = 0;
+    std::size_t cur_run = static_cast<std::size_t>(-1);
+
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto &r = records[i];
+        if (!gov || r.app != cur_app || r.session != cur_session) {
+            gov = makeGovernor(effective, predictor, model);
+            ++out.governors;
+            cur_app = r.app;
+            cur_session = r.session;
+            cur_run = static_cast<std::size_t>(-1);
+        }
+        if (r.run != cur_run) {
+            gov->beginRun(r.app, effective.qos.scaleTarget(
+                                     r.targetThroughput));
+            cur_run = r.run;
+        }
+
+        const sim::Decision d = gov->decide(r.index);
+        ++out.decisions;
+        const std::size_t replayed = hw::denseConfigIndex(d.config);
+        if (replayed != r.configIndex)
+            out.divergences.push_back({i, r.configIndex, replayed});
+
+        sim::Observation obs;
+        obs.index = r.index;
+        obs.tag = r.tag;
+        obs.measurement.time = r.measuredTime;
+        obs.measurement.gpuPower = r.measuredGpuPower;
+        obs.measurement.counters = r.counters;
+        obs.measurement.instructions = r.measuredInstructions;
+        obs.nonKernelTime = r.nonKernelTime;
+        obs.kernelTruth = nullptr; // counter-driven replay only
+        gov->observe(obs);
+        if (out.governorName.empty())
+            out.governorName = gov->name();
+    }
+    return out;
+}
+
+} // namespace gpupm::exec

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Offline decision replay: re-drive recorded provenance through a
+ * governor without a simulator.
+ *
+ * A decision dump (trace/jsonl_export.hpp) carries, for every decision,
+ * the complete observation the governor consumed: raw counters, the
+ * measured time/power/instructions, the non-kernel time and the run's
+ * throughput target. That stream is sufficient to reconstruct the
+ * governor's entire input sequence, so a fresh governor built from the
+ * same predictor and options must re-derive byte-identical
+ * configuration choices (the determinism contract the replay test
+ * suite pins). The same harness also answers counterfactuals: replay
+ * the stream through a *different* governor (Turbo Core, the PI
+ * baseline), hardware model or QoS spec and compare the choices the
+ * rival would have made against the recorded ones, decision by
+ * decision - no simulation, no retraining, just the recorded inputs.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/model.hpp"
+#include "ml/predictor.hpp"
+#include "mpc/options.hpp"
+#include "policy/pi_governor.hpp"
+#include "trace/decision.hpp"
+
+namespace gpupm::exec {
+
+/** Which governor re-drives the recorded observation stream. */
+enum class ReplayGovernor
+{
+    Mpc,   ///< MpcGovernor with ReplayOptions::mpc (byte-identity case).
+    Turbo, ///< Reactive Turbo Core baseline.
+    Pi,    ///< PI feedback baseline with ReplayOptions::pi.
+};
+
+struct ReplayOptions
+{
+    ReplayGovernor governor = ReplayGovernor::Mpc;
+    /** Hardware model the replayed governor manages; null = paper-apu. */
+    hw::HardwareModelPtr model;
+    /** MPC options (including the QoS spec) for ReplayGovernor::Mpc. */
+    mpc::MpcOptions mpc{};
+    /** PI gains for ReplayGovernor::Pi. */
+    policy::PiOptions pi{};
+    /**
+     * QoS re-scaling applied to every run's recorded throughput target
+     * (recorded targets already reflect the original run's QoS; replay
+     * under UniformAlpha leaves them untouched). For ReplayGovernor::Mpc
+     * this is ReplayOptions::mpc.qos.
+     */
+    mpc::QosSpec qos{};
+};
+
+/** One recorded-vs-replayed divergence. */
+struct ReplayDivergence
+{
+    /** Index into the (sorted) record stream. */
+    std::size_t recordIndex = 0;
+    std::size_t configRecorded = 0;
+    std::size_t configReplayed = 0;
+};
+
+struct ReplayReport
+{
+    /** Decisions re-driven (== usable records). */
+    std::size_t decisions = 0;
+    /** Governor sessions reconstructed (one per (app, session)). */
+    std::size_t governors = 0;
+    std::vector<ReplayDivergence> divergences;
+    /** Name the replayed governor reported. */
+    std::string governorName;
+
+    bool identical() const { return divergences.empty(); }
+};
+
+/**
+ * Re-drive @p records (sorted into canonical provenance order first)
+ * through governors built per (app, session) group from @p opts,
+ * comparing every replayed dense config index against the recorded
+ * one. @p predictor is consulted only by ReplayGovernor::Mpc and may
+ * be null otherwise.
+ */
+ReplayReport
+replayRecords(std::vector<trace::DecisionRecord> records,
+              const std::shared_ptr<const ml::PerfPowerPredictor>
+                  &predictor,
+              const ReplayOptions &opts);
+
+} // namespace gpupm::exec

@@ -10,20 +10,21 @@
 namespace gpupm::exec {
 
 sim::RunResult
-runSimJob(const SimJob &job, const hw::ApuParams &params)
+runSimJob(const SimJob &job, const hw::HardwareModelPtr &model)
 {
-    sim::Simulator sim(params);
+    GPUPM_ASSERT(model != nullptr, "sweep job needs a hardware model");
+    sim::Simulator sim(model);
 
     Throughput target = job.target;
     if (target == 0.0 && job.policy != SimJob::Policy::Turbo &&
         job.policy != SimJob::Policy::Static) {
-        policy::TurboCoreGovernor turbo;
+        policy::TurboCoreGovernor turbo(model);
         target = sim.run(job.app, turbo).throughput();
     }
 
     switch (job.policy) {
     case SimJob::Policy::Turbo: {
-        policy::TurboCoreGovernor gov;
+        policy::TurboCoreGovernor gov(model);
         return sim.run(job.app, gov);
     }
     case SimJob::Policy::Static: {
@@ -32,13 +33,13 @@ runSimJob(const SimJob &job, const hw::ApuParams &params)
     }
     case SimJob::Policy::Ppk: {
         GPUPM_ASSERT(job.predictor, "PPK job needs a predictor");
-        policy::PpkGovernor gov(job.predictor);
+        policy::PpkGovernor gov(job.predictor, {}, model);
         return sim.run(job.app, gov, target);
     }
     case SimJob::Policy::Mpc: {
         GPUPM_ASSERT(job.predictor, "MPC job needs a predictor");
         GPUPM_ASSERT(job.mpcRuns >= 1, "need one optimized MPC run");
-        mpc::MpcGovernor gov(job.predictor, job.mpcOpts);
+        mpc::MpcGovernor gov(job.predictor, job.mpcOpts, model);
         if (job.decisionSink)
             gov.setDecisionSink(job.decisionSink, job.traceSession);
         sim.run(job.app, gov, target); // profiling execution
@@ -48,7 +49,7 @@ runSimJob(const SimJob &job, const hw::ApuParams &params)
         return last;
     }
     case SimJob::Policy::Oracle: {
-        policy::TheoreticallyOptimalGovernor gov(job.app, params);
+        policy::TheoreticallyOptimalGovernor gov(job.app, model);
         return sim.run(job.app, gov, target);
     }
     }
@@ -57,11 +58,11 @@ runSimJob(const SimJob &job, const hw::ApuParams &params)
 
 std::vector<sim::RunResult>
 runSweep(SweepEngine &engine, const std::vector<SimJob> &jobs,
-         const hw::ApuParams &params)
+         const hw::HardwareModelPtr &model)
 {
     return engine.map<sim::RunResult>(
         jobs.size(), [&](std::size_t i, Pcg32 &) {
-            return runSimJob(jobs[i], params);
+            return runSimJob(jobs[i], model);
         });
 }
 

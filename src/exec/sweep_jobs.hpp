@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "exec/sweep.hpp"
-#include "hw/params.hpp"
+#include "hw/model.hpp"
 #include "ml/predictor.hpp"
 #include "mpc/options.hpp"
 #include "sim/simulator.hpp"
@@ -54,17 +54,16 @@ struct SimJob
     std::uint64_t traceSession = 0;
 };
 
-/** Execute one job (also the body each sweep worker runs). */
-sim::RunResult
-runSimJob(const SimJob &job,
-          const hw::ApuParams &params = hw::ApuParams::defaults());
+/** Execute one job on @p model (also the body each sweep worker runs). */
+sim::RunResult runSimJob(const SimJob &job,
+                         const hw::HardwareModelPtr &model);
 
 /**
  * Fan @p jobs across @p engine; results[i] always belongs to jobs[i]
  * (index-ordered gather, bit-identical to a serial loop).
  */
-std::vector<sim::RunResult>
-runSweep(SweepEngine &engine, const std::vector<SimJob> &jobs,
-         const hw::ApuParams &params = hw::ApuParams::defaults());
+std::vector<sim::RunResult> runSweep(SweepEngine &engine,
+                                     const std::vector<SimJob> &jobs,
+                                     const hw::HardwareModelPtr &model);
 
 } // namespace gpupm::exec

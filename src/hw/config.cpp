@@ -56,13 +56,13 @@ ConfigSpace::ConfigSpace(const ConfigSpaceOptions &opts) : _opts(opts)
                                     _opts.cuCounts.end()),
                  "search-space axes must be in ascending "
                  "performance order");
-    // The fail-safe configuration must always be reachable.
-    GPUPM_ASSERT(std::find(_opts.gpuStates.begin(), _opts.gpuStates.end(),
-                           GpuPState::DPM4) != _opts.gpuStates.end() &&
-                     std::find(_opts.cuCounts.begin(),
-                               _opts.cuCounts.end(),
-                               8) != _opts.cuCounts.end(),
-                 "search space must contain DPM4 and 8 CUs");
+    // Axes must stay inside the dense enumeration grid; a model's
+    // fail-safe is its own top GPU state and CU count (hw::HardwareModel),
+    // so smaller parts (e.g. a 6-CU eco APU) are legal spaces.
+    GPUPM_ASSERT(_opts.gpuStates.back() <= GpuPState::DPM4 &&
+                     _opts.cuCounts.front() >= 1 &&
+                     _opts.cuCounts.back() <= 8,
+                 "search-space axes exceed the dense config grid");
 
     for (int c = 0; c < numCpuPStates; ++c) {
         for (int n = 0; n < numNbPStates; ++n) {

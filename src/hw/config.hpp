@@ -127,6 +127,9 @@ class ConfigSpace
     /** Number of configurations (336 for the default space). */
     std::size_t size() const { return _configs.size(); }
 
+    /** The knob-level options this space was built from. */
+    const ConfigSpaceOptions &options() const { return _opts; }
+
     /** All configurations, fail-safe-first iteration order not implied. */
     const std::vector<HwConfig> &all() const { return _configs; }
 

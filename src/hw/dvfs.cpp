@@ -39,6 +39,13 @@ constexpr std::array<GpuDvfsPoint, numGpuPStates> gpu_table = {{
 
 } // namespace
 
+const DvfsTables &
+DvfsTables::paper()
+{
+    static const DvfsTables t{cpu_table, nb_table, gpu_table};
+    return t;
+}
+
 const CpuDvfsPoint &
 cpuDvfs(CpuPState s)
 {

@@ -60,6 +60,36 @@ struct GpuDvfsPoint
     MegaHertz freq;
 };
 
+/**
+ * A complete set of DVFS operating tables for one hardware model. The
+ * paper's Table I is the canonical instance (`paper()`); catalog
+ * variants substitute their own voltage/frequency ladders while keeping
+ * the state enumeration (7 CPU / 4 NB / 5 GPU states) fixed, so dense
+ * config indexing stays model-independent.
+ */
+struct DvfsTables
+{
+    std::array<CpuDvfsPoint, numCpuPStates> cpu;
+    std::array<NbDvfsPoint, numNbPStates> nb;
+    std::array<GpuDvfsPoint, numGpuPStates> gpu;
+
+    const CpuDvfsPoint &cpuPoint(CpuPState s) const
+    {
+        return cpu[static_cast<std::size_t>(s)];
+    }
+    const NbDvfsPoint &nbPoint(NbPState s) const
+    {
+        return nb[static_cast<std::size_t>(s)];
+    }
+    const GpuDvfsPoint &gpuPoint(GpuPState s) const
+    {
+        return gpu[static_cast<std::size_t>(s)];
+    }
+
+    /** The paper's Table I, exactly. */
+    static const DvfsTables &paper();
+};
+
 /** Operating point for a CPU P-state (Table I). */
 const CpuDvfsPoint &cpuDvfs(CpuPState s);
 

@@ -1,0 +1,257 @@
+#include "hw/model.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "common/logging.hpp"
+#include "hw/power_model.hpp"
+
+namespace gpupm::hw {
+
+ConfigDescriptor
+makeConfigDescriptor(const ApuParams &params, const HwConfig &c)
+{
+    const auto &d = params.dvfs;
+    const auto &cpu = d.cpuPoint(c.cpu);
+    const auto &nb = d.nbPoint(c.nb);
+    const auto &gpu = d.gpuPoint(c.gpu);
+    const PowerModel power_model(params);
+    const Volts vrail = power_model.railVoltage(c);
+
+    // Clocks normalize against the model's own top states so descriptors
+    // stay in the same [0, 1]-ish range on every catalog entry.
+    ConfigDescriptor f{};
+    int i = 0;
+    f[i++] = cpu.freq / d.cpu.front().freq;
+    f[i++] = cpu.voltage;
+    f[i++] = nb.nbFreq / d.nb.front().nbFreq;
+    f[i++] = nb.memFreq / d.nb.front().memFreq;
+    f[i++] = gpu.freq / d.gpu.back().freq;
+    f[i++] = vrail;
+    f[i++] = c.cus / 8.0;
+    return f;
+}
+
+namespace {
+
+GpuPState
+highestGpu(const ConfigSpaceOptions &opts)
+{
+    GPUPM_ASSERT(!opts.gpuStates.empty(), "empty GPU state list");
+    return *std::max_element(opts.gpuStates.begin(), opts.gpuStates.end());
+}
+
+GpuPState
+lowestGpu(const ConfigSpaceOptions &opts)
+{
+    GPUPM_ASSERT(!opts.gpuStates.empty(), "empty GPU state list");
+    return *std::min_element(opts.gpuStates.begin(), opts.gpuStates.end());
+}
+
+int
+maxCus(const ConfigSpaceOptions &opts)
+{
+    GPUPM_ASSERT(!opts.cuCounts.empty(), "empty CU count list");
+    return *std::max_element(opts.cuCounts.begin(), opts.cuCounts.end());
+}
+
+int
+minCus(const ConfigSpaceOptions &opts)
+{
+    GPUPM_ASSERT(!opts.cuCounts.empty(), "empty CU count list");
+    return *std::min_element(opts.cuCounts.begin(), opts.cuCounts.end());
+}
+
+} // namespace
+
+HardwareModel::HardwareModel(std::string name, ApuParams params,
+                             ConfigSpaceOptions space_opts)
+    : _name(std::move(name)), _params(params), _spaceOpts(space_opts),
+      _space(space_opts)
+{
+    GPUPM_ASSERT(!_name.empty(), "hardware model needs a name");
+
+    // Anchors clamp the paper's empirical configurations into this
+    // model's space; on the paper space they equal the Sec. IV/V values
+    // ([P7,NB2,DPM4,8], [P1,NB0,DPM4,8], [P7,NB3,DPM0,2], [P7,NB0,DPM4,8]).
+    const GpuPState gpu_hi = highestGpu(_spaceOpts);
+    const GpuPState gpu_lo = lowestGpu(_spaceOpts);
+    const int cu_hi = maxCus(_spaceOpts);
+    const int cu_lo = minCus(_spaceOpts);
+    _failSafe = {CpuPState::P7, NbPState::NB2, gpu_hi, cu_hi};
+    _maxPerformance = {CpuPState::P1, NbPState::NB0, gpu_hi, cu_hi};
+    _minPower = {CpuPState::P7, NbPState::NB3, gpu_lo, cu_lo};
+    _race = {CpuPState::P7, NbPState::NB0, gpu_hi, cu_hi};
+
+    _descriptors.reserve(denseConfigCount);
+    for (std::size_t i = 0; i < denseConfigCount; ++i)
+        _descriptors.push_back(
+            makeConfigDescriptor(_params, denseConfigAt(i)));
+}
+
+struct HardwareCatalog::Impl
+{
+    mutable std::mutex mutex;
+    std::map<std::string, HardwareModelPtr> models;
+};
+
+namespace {
+
+/** A ~45 W part: lower clocks/voltages, 6-CU GPU, shallower floors. */
+ApuParams
+ecoApuParams()
+{
+    ApuParams p;
+    p.cpuCeff = 4.5e-9;
+    p.cuCeff = 3.0e-9;
+    p.memPowerHi = 2.2;
+    p.memPowerLo = 1.0;
+    p.tdp = 45.0;
+    p.capFloorWatts = 3.0;
+    p.dvfs.cpu = {{
+        {1.225, 3200.0}, // P1
+        {1.2, 3000.0},   // P2
+        {1.15, 2800.0},  // P3
+        {1.1, 2600.0},   // P4
+        {1.0, 2200.0},   // P5
+        {0.925, 1800.0}, // P6
+        {0.85, 1300.0},  // P7
+    }};
+    p.dvfs.nb = {{
+        {1400.0, 667.0, 1.05}, // NB0
+        {1300.0, 667.0, 1.0},  // NB1
+        {1150.0, 667.0, 0.95}, // NB2
+        {900.0, 333.0, 0.9},   // NB3
+    }};
+    p.dvfs.gpu = {{
+        {0.9, 300.0},   // DPM0
+        {0.975, 380.0}, // DPM1
+        {1.05, 465.0},  // DPM2
+        {1.1, 540.0},   // DPM3
+        {1.15, 600.0},  // DPM4
+    }};
+    return p;
+}
+
+/** A ~140 W part: higher clocks, full GPU DVFS ladder, deeper floors. */
+ApuParams
+perfApuParams()
+{
+    ApuParams p;
+    p.cpuCeff = 7.0e-9;
+    p.cuCeff = 4.2e-9;
+    p.memPowerHi = 3.8;
+    p.memPowerLo = 1.8;
+    p.tdp = 140.0;
+    p.capFloorWatts = 6.0;
+    p.dvfs.cpu = {{
+        {1.375, 4300.0},  // P1
+        {1.35, 4200.0},   // P2
+        {1.3, 4000.0},    // P3
+        {1.2625, 3800.0}, // P4
+        {1.1, 3300.0},    // P5
+        {1.0, 2700.0},    // P6
+        {0.9, 1900.0},    // P7
+    }};
+    p.dvfs.nb = {{
+        {2100.0, 933.0, 1.2},   // NB0
+        {1900.0, 933.0, 1.125}, // NB1
+        {1600.0, 933.0, 1.05},  // NB2
+        {1300.0, 400.0, 0.975}, // NB3
+    }};
+    p.dvfs.gpu = {{
+        {0.975, 400.0}, // DPM0
+        {1.075, 520.0}, // DPM1
+        {1.15, 640.0},  // DPM2
+        {1.2, 760.0},   // DPM3
+        {1.25, 840.0},  // DPM4
+    }};
+    return p;
+}
+
+} // namespace
+
+HardwareCatalog::HardwareCatalog() : _impl(std::make_unique<Impl>())
+{
+    // Built-in entries. "paper-apu" is the Table I part every golden
+    // trace was recorded on; the variants exercise heterogeneous fleets.
+    add("paper-apu", ApuParams{}, ConfigSpaceOptions::paperDefault());
+    add("eco-apu", ecoApuParams(),
+        ConfigSpaceOptions{{GpuPState::DPM0, GpuPState::DPM2,
+                            GpuPState::DPM4},
+                           {2, 4, 6}});
+    add("perf-apu", perfApuParams(), ConfigSpaceOptions::fullGpuDvfs());
+}
+
+HardwareCatalog &
+HardwareCatalog::instance()
+{
+    static HardwareCatalog catalog;
+    return catalog;
+}
+
+HardwareModelPtr
+HardwareCatalog::add(std::string name, ApuParams params,
+                     ConfigSpaceOptions space_opts)
+{
+    auto model = std::make_shared<const HardwareModel>(
+        name, std::move(params), std::move(space_opts));
+    std::lock_guard lock(_impl->mutex);
+    auto [it, inserted] = _impl->models.emplace(std::move(name), model);
+    if (!inserted) {
+        GPUPM_FATAL("hardware model '", it->first,
+                    "' is already registered; catalog names identify "
+                    "exactly one model per process");
+    }
+    return model;
+}
+
+HardwareModelPtr
+HardwareCatalog::find(const std::string &name) const
+{
+    std::lock_guard lock(_impl->mutex);
+    auto it = _impl->models.find(name);
+    return it == _impl->models.end() ? nullptr : it->second;
+}
+
+HardwareModelPtr
+HardwareCatalog::get(const std::string &name) const
+{
+    if (auto model = find(name))
+        return model;
+    std::string candidates;
+    for (const auto &n : names())
+        candidates += (candidates.empty() ? "" : ", ") + n;
+    GPUPM_FATAL("unknown hardware model '", name,
+                "'; candidates: ", candidates);
+}
+
+std::vector<std::string>
+HardwareCatalog::names() const
+{
+    std::lock_guard lock(_impl->mutex);
+    std::vector<std::string> out;
+    out.reserve(_impl->models.size());
+    for (const auto &[name, model] : _impl->models)
+        out.push_back(name);
+    return out; // std::map iterates sorted
+}
+
+HardwareModelPtr
+paperApu()
+{
+    static const HardwareModelPtr model =
+        HardwareCatalog::instance().get("paper-apu");
+    return model;
+}
+
+HardwareModelPtr
+makeModel(std::string name, ApuParams params,
+          ConfigSpaceOptions space_opts)
+{
+    return std::make_shared<const HardwareModel>(
+        std::move(name), params, space_opts);
+}
+
+} // namespace gpupm::hw

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Named, immutable hardware models and the fleet catalog.
+ *
+ * A HardwareModel bundles everything a governor or session needs to
+ * know about the part it manages — calibration parameters (with their
+ * DVFS tables), the searchable configuration space, the derived anchor
+ * configurations (fail-safe, max-performance, min-power, race-to-idle)
+ * and a dense per-config feature/descriptor table — behind one shared,
+ * immutable handle. Sessions in one fleet can hold different models,
+ * which is what makes heterogeneous fleets possible: nothing in the
+ * stack consults process-global hardware state anymore.
+ *
+ * Models live in the process-wide HardwareCatalog under unique names.
+ * "paper-apu" (the paper's A10-7850K, Table I) is always present and is
+ * the default everywhere; registering a name twice is fatal, so a name
+ * observed in a trace or on the wire identifies exactly one model for
+ * the lifetime of the process.
+ */
+
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/config.hpp"
+#include "hw/params.hpp"
+
+namespace gpupm::hw {
+
+/**
+ * Numeric description of one configuration on one model: normalized
+ * clocks, voltages, rail voltage and CU fraction. Layout matches
+ * ml::ConfigFeatures (the config-dependent feature suffix) so predictor
+ * rows can be assembled straight from a model's descriptor table.
+ */
+inline constexpr int numConfigDescriptors = 7;
+using ConfigDescriptor = std::array<double, numConfigDescriptors>;
+
+/**
+ * Descriptor of @p c under @p params: clocks normalized against the
+ * model's own top states, voltages, the solved rail voltage and the CU
+ * fraction. ml::makeConfigFeatures delegates here; with the paper
+ * parameters the result is bit-identical to the pre-catalog features.
+ */
+ConfigDescriptor makeConfigDescriptor(const ApuParams &params,
+                                      const HwConfig &c);
+
+class HardwareModel;
+using HardwareModelPtr = std::shared_ptr<const HardwareModel>;
+
+/**
+ * One immutable hardware model. Construct via HardwareCatalog — every
+ * model is shared_ptr-held and referenced by name; copying is deleted
+ * so a model's identity is always the handle, never a value.
+ */
+class HardwareModel
+{
+  public:
+    HardwareModel(std::string name, ApuParams params,
+                  ConfigSpaceOptions space_opts);
+
+    HardwareModel(const HardwareModel &) = delete;
+    HardwareModel &operator=(const HardwareModel &) = delete;
+
+    const std::string &name() const { return _name; }
+    const ApuParams &params() const { return _params; }
+    const ConfigSpace &space() const { return _space; }
+    const ConfigSpaceOptions &spaceOptions() const { return _spaceOpts; }
+
+    Watts tdp() const { return _params.tdp; }
+    /** Arbiter demand floor of one session on this part (W). */
+    Watts capFloorWatts() const { return _params.capFloorWatts; }
+
+    /**
+     * Fail-safe configuration (Sec. IV-A1a): near-maximal GPU
+     * performance with the busy-waiting CPU kept low, clamped into this
+     * model's space. [P7, NB2, DPM4, 8 CUs] on the paper model.
+     */
+    const HwConfig &failSafe() const { return _failSafe; }
+
+    /** Highest-performance member of the space. */
+    const HwConfig &maxPerformance() const { return _maxPerformance; }
+
+    /** Lowest-power member of the space. */
+    const HwConfig &minPower() const { return _minPower; }
+
+    /**
+     * Race-to-idle probe configuration the MPC profiling run starts
+     * from: full GPU throttle with the CPU at its floor.
+     */
+    const HwConfig &race() const { return _race; }
+
+    /** Dense descriptor table entry for @p c (O(1), precomputed). */
+    const ConfigDescriptor &descriptor(const HwConfig &c) const
+    {
+        return _descriptors[denseConfigIndex(c)];
+    }
+
+    /** Descriptor at a dense config index (see hw::denseConfigIndex). */
+    const ConfigDescriptor &descriptorAt(std::size_t dense_idx) const
+    {
+        return _descriptors[dense_idx];
+    }
+
+  private:
+    std::string _name;
+    ApuParams _params;
+    ConfigSpaceOptions _spaceOpts;
+    ConfigSpace _space;
+    HwConfig _failSafe;
+    HwConfig _maxPerformance;
+    HwConfig _minPower;
+    HwConfig _race;
+    std::vector<ConfigDescriptor> _descriptors;
+};
+
+/**
+ * Process-wide registry of hardware models. Thread-safe. The built-in
+ * entries ("paper-apu", "eco-apu", "perf-apu") are registered on first
+ * access; registering a duplicate name is fatal.
+ */
+class HardwareCatalog
+{
+  public:
+    static HardwareCatalog &instance();
+
+    /** Register a new model; fatal if the name is already taken. */
+    HardwareModelPtr add(std::string name, ApuParams params,
+                         ConfigSpaceOptions space_opts);
+
+    /** Model by name, or nullptr when unknown. */
+    HardwareModelPtr find(const std::string &name) const;
+
+    /** Model by name; fatal with the candidate list when unknown. */
+    HardwareModelPtr get(const std::string &name) const;
+
+    /** Registered model names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    HardwareCatalog();
+
+    struct Impl;
+    std::unique_ptr<Impl> _impl;
+};
+
+/** Catalog name of the always-present default model. */
+inline constexpr const char *paperApuName = "paper-apu";
+
+/** The always-present default model (the paper's APU, Table I). */
+HardwareModelPtr paperApu();
+
+/**
+ * Build a model handle *without* registering it in the catalog: for
+ * tests and ad-hoc variants that must not collide with (or leak into)
+ * the process-wide namespace. Catalog lookups will not find it; hand
+ * the handle around explicitly.
+ */
+HardwareModelPtr makeModel(std::string name, ApuParams params,
+                           ConfigSpaceOptions space_opts = {});
+
+} // namespace gpupm::hw

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "common/units.hpp"
+#include "hw/dvfs.hpp"
 
 namespace gpupm::hw {
 
@@ -92,6 +93,21 @@ struct ApuParams
 
     // ---- Reconfiguration costs -------------------------------------
     TransitionParams transition{};
+
+    // ---- DVFS operating tables -------------------------------------
+    /**
+     * Voltage/frequency ladders of this model. The paper's Table I by
+     * default; heterogeneous catalog entries substitute their own.
+     */
+    DvfsTables dvfs = DvfsTables::paper();
+
+    // ---- Fleet power capping ---------------------------------------
+    /**
+     * Minimum useful power share of one session on this model (W);
+     * the fleet cap arbiter never assigns a cap below this demand
+     * floor, so small parts are not starved next to big ones.
+     */
+    Watts capFloorWatts = 4.0;
 
     /** The defaults above. */
     static const ApuParams &defaults();

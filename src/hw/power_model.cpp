@@ -19,7 +19,8 @@ PowerModel::PowerModel(const ApuParams &params) : _p(params) {}
 Volts
 PowerModel::railVoltage(const HwConfig &c) const
 {
-    return std::max(gpuDvfs(c.gpu).voltage, nbDvfs(c.nb).minRailVoltage);
+    return std::max(_p.dvfs.gpuPoint(c.gpu).voltage,
+                    _p.dvfs.nbPoint(c.nb).minRailVoltage);
 }
 
 PowerBreakdown
@@ -28,9 +29,9 @@ PowerModel::power(const HwConfig &c, const ActivityFactors &a,
 {
     GPUPM_ASSERT(c.cus >= 1 && c.cus <= 8, "bad CU count ", c.cus);
 
-    const auto &cpu = cpuDvfs(c.cpu);
-    const auto &nb = nbDvfs(c.nb);
-    const auto &gpu = gpuDvfs(c.gpu);
+    const auto &cpu = _p.dvfs.cpuPoint(c.cpu);
+    const auto &nb = _p.dvfs.nbPoint(c.nb);
+    const auto &gpu = _p.dvfs.gpuPoint(c.gpu);
     const Volts vrail = railVoltage(c);
 
     const double leak_scale =

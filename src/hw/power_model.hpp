@@ -58,7 +58,15 @@ struct PowerBreakdown
 class PowerModel
 {
   public:
-    explicit PowerModel(const ApuParams &params = ApuParams::defaults());
+    /**
+     * @param params Model parameters; which hardware model a PowerModel
+     *        speaks for is always explicit at the construction site.
+     *        Binding a temporary is deleted: hot paths must reference a
+     *        named parameter set (usually a HardwareModel's), never an
+     *        accidental by-value copy.
+     */
+    explicit PowerModel(const ApuParams &params);
+    explicit PowerModel(ApuParams &&) = delete;
 
     /** Voltage of the shared GPU/NB rail for a configuration. */
     Volts railVoltage(const HwConfig &c) const;

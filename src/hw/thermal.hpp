@@ -17,7 +17,8 @@ namespace gpupm::hw {
 class ThermalModel
 {
   public:
-    explicit ThermalModel(const ApuParams &params = ApuParams::defaults());
+    explicit ThermalModel(const ApuParams &params);
+    explicit ThermalModel(ApuParams &&) = delete;
 
     /** Current die temperature (C). */
     Celsius temperature() const { return _temp; }

@@ -18,8 +18,8 @@ TransitionModel::latency(const HwConfig &from, const HwConfig &to) const
     const auto &t = _p.transition;
 
     // CPU plane: voltage ramp then PLL relock.
-    const auto &cpu_from = cpuDvfs(from.cpu);
-    const auto &cpu_to = cpuDvfs(to.cpu);
+    const auto &cpu_from = _p.dvfs.cpuPoint(from.cpu);
+    const auto &cpu_to = _p.dvfs.cpuPoint(to.cpu);
     Seconds cpu_plane =
         std::fabs(cpu_to.voltage - cpu_from.voltage) * t.rampPerVolt;
     if (cpu_from.freq != cpu_to.freq)
@@ -30,10 +30,11 @@ TransitionModel::latency(const HwConfig &from, const HwConfig &to) const
     Seconds gpu_plane =
         std::fabs(_power.railVoltage(to) - _power.railVoltage(from)) *
         t.rampPerVolt;
-    if (gpuDvfs(from.gpu).freq != gpuDvfs(to.gpu).freq)
+    const auto &d = _p.dvfs;
+    if (d.gpuPoint(from.gpu).freq != d.gpuPoint(to.gpu).freq)
         gpu_plane += t.pllRelock;
-    if (nbDvfs(from.nb).nbFreq != nbDvfs(to.nb).nbFreq ||
-        nbDvfs(from.nb).memFreq != nbDvfs(to.nb).memFreq) {
+    if (d.nbPoint(from.nb).nbFreq != d.nbPoint(to.nb).nbFreq ||
+        d.nbPoint(from.nb).memFreq != d.nbPoint(to.nb).memFreq) {
         gpu_plane += t.pllRelock;
     }
     gpu_plane += std::abs(to.cus - from.cus) * t.cuGate;

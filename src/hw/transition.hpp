@@ -20,8 +20,8 @@ namespace gpupm::hw {
 class TransitionModel
 {
   public:
-    explicit TransitionModel(
-        const ApuParams &params = ApuParams::defaults());
+    explicit TransitionModel(const ApuParams &params);
+    explicit TransitionModel(ApuParams &&) = delete;
 
     /**
      * Latency of switching the APU from @p from to @p to; zero when

@@ -47,7 +47,8 @@ struct HostWorkMeasurement
 class Apu
 {
   public:
-    explicit Apu(const hw::ApuParams &params = hw::ApuParams::defaults());
+    explicit Apu(const hw::ApuParams &params);
+    explicit Apu(hw::ApuParams &&) = delete;
 
     /** Execute one kernel at a configuration. Advances thermal state. */
     KernelMeasurement run(const KernelParams &k, const hw::HwConfig &c);

@@ -54,7 +54,7 @@ GroundTruthModel::effectiveCacheHit(const KernelParams &k, int cus)
 double
 GroundTruthModel::effectiveBandwidth(hw::NbPState nb) const
 {
-    const auto &point = hw::nbDvfs(nb);
+    const auto &point = _p.dvfs.nbPoint(nb);
     const double dram_bw = mhzToHz(point.memFreq) * _p.memBusBytes *
                            _p.memTransfersPerClock;
     const double nb_bw = mhzToHz(point.nbFreq) * _p.nbPathBytes;
@@ -92,9 +92,9 @@ GroundTruthModel::estimate(const KernelParams &k,
                            const hw::HwConfig &c) const
 {
     const auto hidden = hiddenFactors(k);
-    const double gpu_hz = mhzToHz(hw::gpuDvfs(c.gpu).freq);
-    const double cpu_mhz = hw::cpuDvfs(c.cpu).freq;
-    const double nb_mhz = hw::nbDvfs(c.nb).nbFreq;
+    const double gpu_hz = mhzToHz(_p.dvfs.gpuPoint(c.gpu).freq);
+    const double cpu_mhz = _p.dvfs.cpuPoint(c.cpu).freq;
+    const double nb_mhz = _p.dvfs.nbPoint(c.nb).nbFreq;
 
     ExecutionEstimate e;
 

@@ -47,8 +47,8 @@ struct ExecutionEstimate
 class GroundTruthModel
 {
   public:
-    explicit GroundTruthModel(
-        const hw::ApuParams &params = hw::ApuParams::defaults());
+    explicit GroundTruthModel(const hw::ApuParams &params);
+    explicit GroundTruthModel(hw::ApuParams &&) = delete;
 
     /** Ground-truth execution time breakdown. */
     ExecutionEstimate estimate(const KernelParams &k,

@@ -12,7 +12,7 @@ namespace {
 Watts
 busyWaitPowerAt(const hw::ApuParams &p, hw::CpuPState s)
 {
-    const auto &pt = hw::cpuDvfs(s);
+    const auto &pt = p.dvfs.cpuPoint(s);
     const Watts dyn = p.cpuCeff * pt.voltage * pt.voltage *
                       mhzToHz(pt.freq) * p.cpuBusyWaitActivity;
     const Watts leak = p.cpuLeakCoeff * pt.voltage;

@@ -33,8 +33,8 @@ struct EnergyEstimate
 class EnergyModel
 {
   public:
-    explicit EnergyModel(
-        const hw::ApuParams &params = hw::ApuParams::defaults());
+    explicit EnergyModel(const hw::ApuParams &params);
+    explicit EnergyModel(hw::ApuParams &&) = delete;
 
     /**
      * Estimate time/power/energy of a kernel at @p c using @p pred for

@@ -32,9 +32,7 @@ class NoisyOraclePredictor : public PerfPowerPredictor
      * @param params APU model parameters.
      */
     NoisyOraclePredictor(double mean_time_err, double mean_power_err,
-                         std::uint64_t seed = 0xe44ULL,
-                         const hw::ApuParams &params =
-                             hw::ApuParams::defaults());
+                         std::uint64_t seed, const hw::ApuParams &params);
     ~NoisyOraclePredictor() override;
 
     Prediction predict(const PredictionQuery &q,

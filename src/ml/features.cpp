@@ -2,9 +2,10 @@
 
 #include <cmath>
 #include <cstring>
+#include <type_traits>
 
 #include "common/logging.hpp"
-#include "hw/power_model.hpp"
+#include "hw/model.hpp"
 
 namespace gpupm::ml {
 
@@ -27,26 +28,18 @@ makeKernelFeatures(const kernel::KernelCounters &k)
 }
 
 ConfigFeatures
+makeConfigFeatures(const hw::ApuParams &params, const hw::HwConfig &c)
+{
+    // The config suffix IS the hardware model's descriptor: one formula,
+    // owned by hw, shared by feature extraction and the model tables.
+    static_assert(std::is_same_v<ConfigFeatures, hw::ConfigDescriptor>);
+    return hw::makeConfigDescriptor(params, c);
+}
+
+ConfigFeatures
 makeConfigFeatures(const hw::HwConfig &c)
 {
-    const auto &cpu = hw::cpuDvfs(c.cpu);
-    const auto &nb = hw::nbDvfs(c.nb);
-    const auto &gpu = hw::gpuDvfs(c.gpu);
-    // Rail voltage duplicates information from (gpu, nb) but gives the
-    // trees direct access to the quantity power actually depends on.
-    static const hw::PowerModel power_model;
-    const double vrail = power_model.railVoltage(c);
-
-    ConfigFeatures f{};
-    int i = 0;
-    f[i++] = cpu.freq / 3900.0;
-    f[i++] = cpu.voltage;
-    f[i++] = nb.nbFreq / 1800.0;
-    f[i++] = nb.memFreq / 800.0;
-    f[i++] = gpu.freq / 720.0;
-    f[i++] = vrail;
-    f[i++] = c.cus / 8.0;
-    return f;
+    return makeConfigFeatures(hw::ApuParams::defaults(), c);
 }
 
 FeatureVector

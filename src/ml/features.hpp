@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "hw/config.hpp"
+#include "hw/params.hpp"
 #include "kernel/counters.hpp"
 
 namespace gpupm::ml {
@@ -53,6 +54,16 @@ KernelFeatures makeKernelFeatures(const kernel::KernelCounters &counters);
 
 /** Config-dependent feature suffix (clocks, voltages, rail, CUs). */
 ConfigFeatures makeConfigFeatures(const hw::HwConfig &c);
+
+/**
+ * Config-dependent feature suffix for an explicit hardware model. The
+ * normalizers (top CPU/NB/memory/GPU clocks) and the rail-voltage solve
+ * come from @p params, so heterogeneous catalog entries get their own
+ * feature scaling; with the paper parameters this is bit-identical to
+ * makeConfigFeatures(c).
+ */
+ConfigFeatures makeConfigFeatures(const hw::ApuParams &params,
+                                  const hw::HwConfig &c);
 
 /** Concatenate prefix and suffix; equals makeFeatures bit-for-bit. */
 FeatureVector combineFeatures(const KernelFeatures &k,

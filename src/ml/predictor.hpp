@@ -79,8 +79,7 @@ class PerfPowerPredictor
 class GroundTruthPredictor : public PerfPowerPredictor
 {
   public:
-    explicit GroundTruthPredictor(
-        const hw::ApuParams &params = hw::ApuParams::defaults());
+    explicit GroundTruthPredictor(const hw::ApuParams &params);
     ~GroundTruthPredictor() override;
 
     Prediction predict(const PredictionQuery &q,

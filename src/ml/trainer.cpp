@@ -230,7 +230,7 @@ std::unique_ptr<RandomForestPredictor>
 trainRandomForestPredictor(const TrainerOptions &opts,
                            TrainingReport *report)
 {
-    const kernel::GroundTruthModel model;
+    const kernel::GroundTruthModel model(hw::ApuParams::defaults());
     const hw::ConfigSpace space;
     const auto corpus =
         workload::trainingCorpus(opts.corpusSize, opts.seed);
@@ -325,7 +325,7 @@ EvalReport
 evaluatePredictor(const PerfPowerPredictor &pred,
                   const std::vector<kernel::KernelParams> &ks)
 {
-    const kernel::GroundTruthModel model;
+    const kernel::GroundTruthModel model(hw::ApuParams::defaults());
     const hw::ConfigSpace space;
 
     EvalReport out;

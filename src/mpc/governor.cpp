@@ -20,13 +20,19 @@ constexpr std::size_t cfgsNone = static_cast<std::size_t>(-1);
 
 MpcGovernor::MpcGovernor(
     std::shared_ptr<const ml::PerfPowerPredictor> predictor,
-    const MpcOptions &opts, const hw::ApuParams &params)
-    : _predictor(std::move(predictor)), _opts(opts), _energy(params),
-      _space(opts.searchSpace), _climber(_space, _energy),
+    const MpcOptions &opts, hw::HardwareModelPtr model)
+    : _predictor(std::move(predictor)), _opts(opts),
+      _model(std::move(model)), _energy(_model->params()),
+      _ownedSpace(opts.searchSpace
+                      ? std::optional<hw::ConfigSpace>(
+                            hw::ConfigSpace(*opts.searchSpace))
+                      : std::nullopt),
+      _space(_ownedSpace ? *_ownedSpace : _model->space()),
+      _climber(_space, _energy),
       _ppk(_predictor,
            policy::PpkOptions{opts.chargeOverhead, opts.overhead,
                               opts.searchSpace},
-           params)
+           _model)
 {
     GPUPM_ASSERT(_predictor != nullptr, "MPC needs a predictor");
 }
@@ -72,8 +78,8 @@ MpcGovernor::finalizeProfile(Throughput target)
         for (const auto &pk : _profile)
             pace.push_back(pk.time);
     }
-    _horizon.configure(_n, nbar, _tppk, t_total_baseline, _opts.alpha,
-                       std::move(pace));
+    _horizon.configure(_n, nbar, _tppk, t_total_baseline,
+                       _opts.qos.alpha, std::move(pace));
     _optimizing = true;
 }
 
@@ -153,19 +159,18 @@ MpcGovernor::decide(std::size_t index)
         const auto ids = _pattern.expectedWindow(index, 1);
         // Race configuration: boost the GPU side, keep the busy-waiting
         // CPU low (it only contributes launch latency).
-        hw::HwConfig cfg{hw::CpuPState::P7, hw::NbPState::NB0,
-                         hw::GpuPState::DPM4, 8};
+        hw::HwConfig cfg = _model->race();
         if (std::isfinite(_powerCap) && !_tracker.onTarget()) {
             // A finite cap suppresses the race: with no evaluation
             // budget there is no way to prove the boost configuration
             // fits, so hold the fail-safe anchor instead of risking a
             // cap violation the arbiter would punish the whole session
             // for.
-            cfg = hw::ConfigSpace::failSafe();
+            cfg = _model->failSafe();
             _capLimited = true;
         }
         if (_tracker.onTarget()) {
-            cfg = hw::ConfigSpace::failSafe();
+            cfg = _model->failSafe();
             if (!ids.empty()) {
                 const auto &rec = _pattern.record(ids[0]);
                 if (rec.lastChosenConfig)
@@ -216,7 +221,7 @@ MpcGovernor::fallbackDecide()
         _pendingModeled = 0.0;
         if (_tracePending)
             _traceRec.tag = 'F';
-        return {hw::ConfigSpace::failSafe(), 0.0};
+        return {_model->failSafe(), 0.0};
     }
     // The most recently observed kernel is the best "previous" guess.
     const auto &rec = _pattern.record(store - 1);
@@ -314,7 +319,7 @@ MpcGovernor::optimizeWindow(std::size_t index, std::size_t horizon)
         reserved_time += rec.time;
     }
 
-    hw::HwConfig chosen = hw::ConfigSpace::failSafe();
+    hw::HwConfig chosen = _model->failSafe();
     bool found_current = false;
     std::size_t window_evals = 0;
     std::size_t window_unique = 0;
@@ -343,8 +348,8 @@ MpcGovernor::optimizeWindow(std::size_t index, std::size_t horizon)
             (_tracePending && inv == index) ? &_traceRec.candidates
                                            : nullptr;
         const auto res = _climber.optimize(*_predictor, q, headroom,
-                                           hw::ConfigSpace::failSafe(),
-                                           cands, _powerCap);
+                                           _model->failSafe(), cands,
+                                           _powerCap);
         window_evals += res.evaluations;
         window_unique += res.uniqueEvaluations;
 

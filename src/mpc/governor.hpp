@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "hw/model.hpp"
 #include "ml/energy.hpp"
 #include "mpc/hill_climb.hpp"
 #include "mpc/horizon.hpp"
@@ -90,9 +91,14 @@ struct DecisionEvent
 class MpcGovernor : public sim::Governor
 {
   public:
+    /**
+     * @param predictor Performance/power predictor (not owned shared).
+     * @param opts Options (QoS, horizon mode, overhead model).
+     * @param model Hardware model governed: search space, fail-safe and
+     *              race anchors, energy-model parameters.
+     */
     MpcGovernor(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
-                const MpcOptions &opts = {},
-                const hw::ApuParams &params = hw::ApuParams::defaults());
+                const MpcOptions &opts, hw::HardwareModelPtr model);
 
     std::string name() const override { return "MPC"; }
 
@@ -113,6 +119,9 @@ class MpcGovernor : public sim::Governor
     std::size_t kernelCount() const { return _n; }
 
     const MpcOptions &options() const { return _opts; }
+
+    /** The hardware model this governor drives. */
+    const hw::HardwareModelPtr &model() const { return _model; }
 
     /**
      * Set the per-session power cap in watts; candidates whose
@@ -166,8 +175,11 @@ class MpcGovernor : public sim::Governor
 
     std::shared_ptr<const ml::PerfPowerPredictor> _predictor;
     MpcOptions _opts;
+    hw::HardwareModelPtr _model;
     ml::EnergyModel _energy;
-    hw::ConfigSpace _space;
+    /** Present only when opts.searchSpace overrides the model's. */
+    std::optional<hw::ConfigSpace> _ownedSpace;
+    const hw::ConfigSpace &_space;
     HillClimbOptimizer _climber;
 
     PatternExtractor _pattern;

@@ -5,10 +5,81 @@
 
 #pragma once
 
+#include <optional>
+
+#include "common/logging.hpp"
 #include "hw/config.hpp"
 #include "policy/overhead.hpp"
 
 namespace gpupm::mpc {
+
+/**
+ * Per-session quality-of-service objective.
+ *
+ * The paper evaluates one objective only: track the Turbo Core baseline
+ * throughput while bounding the optimization overhead to a uniform
+ * alpha (5%). Deadline-style sessions instead accept a bounded slowdown
+ * over their baseline — a deadline factor of 1.25 means "each run may
+ * take up to 1.25x the baseline run time" — which scales the throughput
+ * target the tracker chases and hands the freed slack to the optimizer
+ * as headroom (slack-driven energy savings). Runs that still exceed the
+ * allowance count as deadline misses.
+ */
+struct QosSpec
+{
+    enum class Kind
+    {
+        /** Track the baseline target; alpha bounds overhead loss. */
+        UniformAlpha,
+        /** Bounded slowdown over baseline; misses are counted. */
+        Deadline,
+    };
+
+    Kind kind = Kind::UniformAlpha;
+
+    /** Performance-loss bound for the adaptive horizon (paper: 5%). */
+    double alpha = 0.05;
+
+    /**
+     * Deadline kind only: allowed run-time factor over the baseline
+     * (> 0; values above 1 relax the target, below 1 tighten it).
+     */
+    double deadlineFactor = 1.0;
+
+    static QosSpec
+    uniform(double alpha)
+    {
+        QosSpec q;
+        q.kind = Kind::UniformAlpha;
+        q.alpha = alpha;
+        return q;
+    }
+
+    static QosSpec
+    deadline(double factor)
+    {
+        if (!(factor > 0.0)) {
+            GPUPM_FATAL("deadline factor must be > 0, got ", factor);
+        }
+        QosSpec q;
+        q.kind = Kind::Deadline;
+        q.deadlineFactor = factor;
+        return q;
+    }
+
+    /**
+     * The throughput target implied by this QoS for a measured baseline
+     * throughput. UniformAlpha tracks the baseline exactly (bit-for-bit
+     * the pre-QosSpec behaviour); Deadline divides it by the allowed
+     * slowdown factor.
+     */
+    Throughput
+    scaleTarget(Throughput baseline) const
+    {
+        return kind == Kind::Deadline ? baseline / deadlineFactor
+                                      : baseline;
+    }
+};
 
 /** How the prediction horizon is chosen per kernel. */
 enum class HorizonMode
@@ -23,8 +94,8 @@ enum class HorizonMode
 
 struct MpcOptions
 {
-    /** Performance-loss bound for the adaptive horizon (paper: 5%). */
-    double alpha = 0.05;
+    /** Quality-of-service objective (uniform alpha or deadline). */
+    QosSpec qos{};
 
     HorizonMode horizonMode = HorizonMode::Adaptive;
 
@@ -52,8 +123,12 @@ struct MpcOptions
 
     policy::OverheadModel overhead{};
 
-    /** Search space; the paper's 336-point space by default. */
-    hw::ConfigSpaceOptions searchSpace{};
+    /**
+     * Search-space override. Unset (the default) means "search the
+     * hardware model's own space"; set only for ablations that restrict
+     * or widen the space independently of the model.
+     */
+    std::optional<hw::ConfigSpaceOptions> searchSpace;
 };
 
 } // namespace gpupm::mpc

@@ -6,8 +6,9 @@ namespace gpupm::mpc {
 
 MpcGovernorPool::MpcGovernorPool(
     std::shared_ptr<const ml::PerfPowerPredictor> predictor,
-    const MpcOptions &opts, const hw::ApuParams &params)
-    : _predictor(std::move(predictor)), _opts(opts), _params(params)
+    const MpcOptions &opts, hw::HardwareModelPtr model)
+    : _predictor(std::move(predictor)), _opts(opts),
+      _model(std::move(model))
 {
     GPUPM_ASSERT(_predictor != nullptr, "pool needs a predictor");
 }
@@ -19,7 +20,7 @@ MpcGovernorPool::beginRun(const std::string &app_name, Throughput target)
     if (it == _governors.end()) {
         it = _governors
                  .emplace(app_name, std::make_unique<MpcGovernor>(
-                                        _predictor, _opts, _params))
+                                        _predictor, _opts, _model))
                  .first;
     }
     _active = it->second.get();

@@ -26,9 +26,7 @@ class MpcGovernorPool : public sim::Governor
   public:
     MpcGovernorPool(std::shared_ptr<const ml::PerfPowerPredictor>
                         predictor,
-                    const MpcOptions &opts = {},
-                    const hw::ApuParams &params =
-                        hw::ApuParams::defaults());
+                    const MpcOptions &opts, hw::HardwareModelPtr model);
 
     std::string name() const override { return "MPC pool"; }
 
@@ -54,7 +52,7 @@ class MpcGovernorPool : public sim::Governor
   private:
     std::shared_ptr<const ml::PerfPowerPredictor> _predictor;
     MpcOptions _opts;
-    hw::ApuParams _params;
+    hw::HardwareModelPtr _model;
     std::unordered_map<std::string, std::unique_ptr<MpcGovernor>>
         _governors;
     MpcGovernor *_active = nullptr;

@@ -5,10 +5,11 @@
 namespace gpupm::policy {
 
 TheoreticallyOptimalGovernor::TheoreticallyOptimalGovernor(
-    const workload::Application &app, const hw::ApuParams &params,
-    std::size_t time_bins, const hw::ConfigSpaceOptions &space_opts,
-    std::size_t jobs)
-    : _app(app), _model(params), _space(space_opts),
+    const workload::Application &app, hw::HardwareModelPtr hw_model,
+    std::size_t time_bins,
+    std::optional<hw::ConfigSpaceOptions> space_opts, std::size_t jobs)
+    : _app(app), _hw(std::move(hw_model)), _model(_hw->params()),
+      _space(space_opts ? *space_opts : _hw->spaceOptions()),
       _timeBins(time_bins), _jobs(jobs)
 {
 }

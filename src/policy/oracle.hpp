@@ -12,9 +12,11 @@
 
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "exec/sweep.hpp"
+#include "hw/model.hpp"
 #include "kernel/perf_model.hpp"
 #include "policy/knapsack.hpp"
 #include "sim/governor.hpp"
@@ -27,18 +29,18 @@ class TheoreticallyOptimalGovernor : public sim::Governor
   public:
     /**
      * @param app The application this oracle is specialized for.
-     * @param params APU model parameters.
+     * @param hw_model Hardware model planned for (parameters + space).
      * @param time_bins DP discretization (see solveMinEnergy).
-     * @param space_opts Search space (the paper's 336 points default).
+     * @param space_opts Search-space override; unset plans over the
+     *        hardware model's own space.
      * @param jobs Worker threads for plan construction (1 = serial,
      *        0 = hardware concurrency); the plan is bit-identical for
      *        every value.
      */
-    explicit TheoreticallyOptimalGovernor(
-        const workload::Application &app,
-        const hw::ApuParams &params = hw::ApuParams::defaults(),
+    TheoreticallyOptimalGovernor(
+        const workload::Application &app, hw::HardwareModelPtr hw_model,
         std::size_t time_bins = 6000,
-        const hw::ConfigSpaceOptions &space_opts = {},
+        std::optional<hw::ConfigSpaceOptions> space_opts = {},
         std::size_t jobs = 1);
 
     std::string name() const override { return "Theoretically Optimal"; }
@@ -61,6 +63,7 @@ class TheoreticallyOptimalGovernor : public sim::Governor
     void computePlan(Throughput target);
 
     const workload::Application &_app;
+    hw::HardwareModelPtr _hw;
     kernel::GroundTruthModel _model;
     hw::ConfigSpace _space;
     std::size_t _timeBins;

@@ -1,0 +1,73 @@
+#include "policy/pi_governor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace gpupm::policy {
+
+PiGovernor::PiGovernor(hw::HardwareModelPtr model, PiOptions opts)
+    : _model(std::move(model)), _opts(opts)
+{
+    GPUPM_ASSERT(_model != nullptr, "PI governor needs a hardware model");
+    GPUPM_ASSERT(_opts.kp >= 0.0 && _opts.ki >= 0.0,
+                 "PI gains must be non-negative");
+}
+
+void
+PiGovernor::beginRun(const std::string &, Throughput target)
+{
+    _target = target;
+    _u = 1.0;
+    _prevError = 0.0;
+    _instructions = 0.0;
+    _elapsed = 0.0;
+}
+
+hw::HwConfig
+PiGovernor::configFor(double u) const
+{
+    const hw::ConfigSpace &space = _model->space();
+    // Each knob is rounded independently: u spans each knob's own
+    // level range, so the same scalar works for every catalog model
+    // regardless of how many levels its space exposes.
+    hw::HwConfig c = _model->minPower();
+    for (hw::Knob k : hw::allKnobs) {
+        const int top = space.levels(k) - 1;
+        const int level = static_cast<int>(
+            std::lround(std::clamp(u, 0.0, 1.0) * top));
+        c = space.withLevel(c, k, level);
+    }
+    return c;
+}
+
+sim::Decision
+PiGovernor::decide(std::size_t)
+{
+    // No target (this governor defines the baseline run): stay at max
+    // performance, matching the paper's convention for reference runs.
+    if (_target <= 0.0)
+        return {_model->maxPerformance(), 0.0};
+    return {configFor(_u), 0.0};
+}
+
+void
+PiGovernor::observe(const sim::Observation &obs)
+{
+    _instructions += obs.measurement.instructions;
+    _elapsed += obs.measurement.time + obs.nonKernelTime;
+    if (_target <= 0.0 || _elapsed <= 0.0)
+        return;
+    // Relative error of cumulative throughput against the baseline
+    // target: positive = behind (raise performance), negative = ahead
+    // (harvest energy). Velocity form avoids integral windup: the
+    // actuation itself is the integral state.
+    const Throughput achieved = _instructions / _elapsed;
+    const double e = (_target - achieved) / _target;
+    _u += _opts.kp * (e - _prevError) + _opts.ki * e;
+    _u = std::clamp(_u, 0.0, 1.0);
+    _prevError = e;
+}
+
+} // namespace gpupm::policy

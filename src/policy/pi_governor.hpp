@@ -1,0 +1,71 @@
+/**
+ * @file
+ * PI feedback baseline: a classical proportional-integral controller
+ * over the performance error.
+ *
+ * The rival every MPC paper is asked about: instead of predicting each
+ * kernel's response to candidate configurations, track one scalar
+ * actuation level u in [0, 1] and nudge it with a velocity-form PI law
+ * on the relative throughput error. u = 1 maps every knob to its
+ * highest-performance level; u = 0 to its lowest-power level;
+ * intermediate values round each knob independently through the
+ * hardware model's configuration space, so the controller generalizes
+ * to any catalog model (heterogeneous spaces included) without
+ * model-specific tuning.
+ *
+ * Like Turbo Core, decisions are cheap enough to live in firmware, so
+ * no software overhead is charged - the comparison against MPC is then
+ * purely about decision *quality*: the PI controller reacts only after
+ * error accumulates and cannot anticipate kernel-to-kernel phase
+ * changes, which is precisely the gap model-predictive control closes
+ * (paper Sec. II).
+ */
+
+#pragma once
+
+#include "hw/model.hpp"
+#include "sim/governor.hpp"
+
+namespace gpupm::policy {
+
+struct PiOptions
+{
+    /** Proportional gain on the error delta (velocity form). */
+    double kp = 0.5;
+    /** Integral gain on the current error. */
+    double ki = 0.2;
+};
+
+class PiGovernor : public sim::Governor
+{
+  public:
+    explicit PiGovernor(hw::HardwareModelPtr model, PiOptions opts = {});
+
+    std::string name() const override { return "PI"; }
+
+    void beginRun(const std::string &app_name,
+                  Throughput target) override;
+
+    sim::Decision decide(std::size_t index) override;
+
+    void observe(const sim::Observation &obs) override;
+
+    /** Current actuation level in [0, 1] (diagnostics / tests). */
+    double actuation() const { return _u; }
+
+  private:
+    /** Map the actuation level to a config in the model's space. */
+    hw::HwConfig configFor(double u) const;
+
+    hw::HardwareModelPtr _model;
+    PiOptions _opts;
+
+    Throughput _target = 0.0;
+    double _u = 1.0;
+    double _prevError = 0.0;
+    /** Cumulative observed work and wall time (Eq. 4 accounting). */
+    InstCount _instructions = 0.0;
+    Seconds _elapsed = 0.0;
+};
+
+} // namespace gpupm::policy

@@ -9,9 +9,14 @@ namespace gpupm::policy {
 
 PpkGovernor::PpkGovernor(
     std::shared_ptr<const ml::PerfPowerPredictor> predictor,
-    const PpkOptions &opts, const hw::ApuParams &params)
-    : _predictor(std::move(predictor)), _opts(opts), _energy(params),
-      _space(opts.searchSpace)
+    const PpkOptions &opts, hw::HardwareModelPtr model)
+    : _predictor(std::move(predictor)), _opts(opts),
+      _model(std::move(model)), _energy(_model->params()),
+      _ownedSpace(opts.searchSpace
+                      ? std::optional<hw::ConfigSpace>(
+                            hw::ConfigSpace(*opts.searchSpace))
+                      : std::nullopt),
+      _space(_ownedSpace ? *_ownedSpace : _model->space())
 {
     GPUPM_ASSERT(_predictor != nullptr, "PPK needs a predictor");
 }
@@ -33,7 +38,7 @@ PpkGovernor::decide(std::size_t)
     // configuration (paper Sec. V-B).
     if (!_last) {
         _lastEvals = 0;
-        sim::Decision d{hw::ConfigSpace::failSafe(), 0.0};
+        sim::Decision d{_model->failSafe(), 0.0};
         return d;
     }
 
@@ -70,8 +75,7 @@ PpkGovernor::decide(std::size_t)
     // When no configuration is predicted to meet the target, default to
     // the fail-safe configuration (Sec. IV-A1a): near-maximal GPU
     // performance with the busy-waiting CPU kept low.
-    const hw::HwConfig chosen =
-        best ? *best : hw::ConfigSpace::failSafe();
+    const hw::HwConfig chosen = best ? *best : _model->failSafe();
 
     sim::Decision d;
     d.config = chosen;

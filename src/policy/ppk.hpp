@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 
+#include "hw/model.hpp"
 #include "ml/energy.hpp"
 #include "ml/predictor.hpp"
 #include "policy/overhead.hpp"
@@ -27,8 +28,11 @@ struct PpkOptions
     /** Charge modeled decision latency (off for limit studies). */
     bool chargeOverhead = true;
     OverheadModel overhead{};
-    /** Search space; the paper's 336-point space by default. */
-    hw::ConfigSpaceOptions searchSpace{};
+    /**
+     * Search-space override; unset means "the hardware model's space"
+     * (set only for ablations).
+     */
+    std::optional<hw::ConfigSpaceOptions> searchSpace;
 };
 
 class PpkGovernor : public sim::Governor
@@ -37,11 +41,11 @@ class PpkGovernor : public sim::Governor
     /**
      * @param predictor Performance/power predictor (not owned shared).
      * @param opts Options.
-     * @param params APU parameters for the CPU-side energy model.
+     * @param model Hardware model governed (search space, fail-safe
+     *              anchor, energy-model parameters).
      */
     PpkGovernor(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
-                const PpkOptions &opts = {},
-                const hw::ApuParams &params = hw::ApuParams::defaults());
+                const PpkOptions &opts, hw::HardwareModelPtr model);
 
     std::string name() const override { return "PPK"; }
 
@@ -58,8 +62,11 @@ class PpkGovernor : public sim::Governor
   private:
     std::shared_ptr<const ml::PerfPowerPredictor> _predictor;
     PpkOptions _opts;
+    hw::HardwareModelPtr _model;
     ml::EnergyModel _energy;
-    hw::ConfigSpace _space;
+    /** Present only when opts.searchSpace overrides the model's. */
+    std::optional<hw::ConfigSpace> _ownedSpace;
+    const hw::ConfigSpace &_space;
 
     Throughput _target = 0.0;
     InstCount _cumInsts = 0.0;

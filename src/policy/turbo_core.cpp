@@ -4,9 +4,9 @@
 
 namespace gpupm::policy {
 
-TurboCoreGovernor::TurboCoreGovernor(const hw::ApuParams &params)
-    : _params(params), _power(params),
-      _current(hw::ConfigSpace::maxPerformance())
+TurboCoreGovernor::TurboCoreGovernor(hw::HardwareModelPtr model)
+    : _model(std::move(model)), _power(_model->params()),
+      _current(_model->maxPerformance())
 {
 }
 
@@ -14,17 +14,21 @@ void
 TurboCoreGovernor::beginRun(const std::string &, Throughput)
 {
     _lastTotalPower = 0.0;
-    _current = hw::ConfigSpace::maxPerformance();
+    _current = _model->maxPerformance();
 }
 
 sim::Decision
 TurboCoreGovernor::decide(std::size_t)
 {
+    const hw::ApuParams &params = _model->params();
+
     // Estimated CPU dynamic-power drop between adjacent P-states.
     auto step_power = [&](int cpu) {
-        const auto &hi = hw::cpuDvfs(static_cast<hw::CpuPState>(cpu));
-        const auto &lo = hw::cpuDvfs(static_cast<hw::CpuPState>(cpu + 1));
-        return _params.cpuCeff * _params.cpuBusyWaitActivity *
+        const auto &hi =
+            params.dvfs.cpuPoint(static_cast<hw::CpuPState>(cpu));
+        const auto &lo =
+            params.dvfs.cpuPoint(static_cast<hw::CpuPState>(cpu + 1));
+        return params.cpuCeff * params.cpuBusyWaitActivity *
                (hi.voltage * hi.voltage * mhzToHz(hi.freq) -
                 lo.voltage * lo.voltage * mhzToHz(lo.freq));
     };
@@ -34,21 +38,22 @@ TurboCoreGovernor::decide(std::size_t)
     // power exceeds the TDP. Recover one state at a time, and only
     // when the projected power stays inside the budget - re-boosting
     // straight to P1 would just oscillate around the TDP.
+    const hw::HwConfig boost = _model->maxPerformance();
     hw::HwConfig cfg = _current;
-    cfg.nb = hw::NbPState::NB0;
-    cfg.gpu = hw::GpuPState::DPM4;
-    cfg.cus = 8;
+    cfg.nb = boost.nb;
+    cfg.gpu = boost.gpu;
+    cfg.cus = boost.cus;
 
     int cpu = static_cast<int>(cfg.cpu);
-    if (_lastTotalPower > _params.tdp) {
-        Watts overshoot = _lastTotalPower - _params.tdp;
+    if (_lastTotalPower > params.tdp) {
+        Watts overshoot = _lastTotalPower - params.tdp;
         while (overshoot > 0.0 && cpu < hw::numCpuPStates - 1) {
             overshoot -= step_power(cpu);
             ++cpu;
         }
     } else if (cpu > 0 && _lastTotalPower > 0.0 &&
                _lastTotalPower + step_power(cpu - 1) <=
-                   _params.tdp * 0.98) {
+                   params.tdp * 0.98) {
         --cpu; // headroom: raise one state with a 2% guard band
     } else if (_lastTotalPower == 0.0) {
         cpu = 0; // no utilization history yet: boost

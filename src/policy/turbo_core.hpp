@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include "hw/model.hpp"
 #include "hw/power_model.hpp"
 #include "sim/governor.hpp"
 
@@ -21,8 +22,7 @@ namespace gpupm::policy {
 class TurboCoreGovernor : public sim::Governor
 {
   public:
-    explicit TurboCoreGovernor(
-        const hw::ApuParams &params = hw::ApuParams::defaults());
+    explicit TurboCoreGovernor(hw::HardwareModelPtr model);
 
     std::string name() const override { return "Turbo Core"; }
 
@@ -34,7 +34,7 @@ class TurboCoreGovernor : public sim::Governor
     void observe(const sim::Observation &obs) override;
 
   private:
-    hw::ApuParams _params;
+    hw::HardwareModelPtr _model;
     hw::PowerModel _power;
     /** Last observed total package power (the utilization signal). */
     Watts _lastTotalPower = 0.0;

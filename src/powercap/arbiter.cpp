@@ -25,18 +25,26 @@ FleetCapArbiter::FleetCapArbiter(const ArbiterOptions &opts,
 
 FleetCapArbiter::~FleetCapArbiter() = default;
 
+Watts
+FleetCapArbiter::floorFor(const SessionCap &slot) const
+{
+    return std::max(_opts.floorWatts, slot.floor);
+}
+
 SessionCap *
 FleetCapArbiter::registerSession(std::uint64_t id, Watts demand,
-                                 double weight)
+                                 double weight, Watts floor)
 {
     GPUPM_ASSERT(demand >= 0.0, "negative session power demand");
     GPUPM_ASSERT(weight > 0.0, "session cap weight must be positive");
+    GPUPM_ASSERT(floor >= 0.0, "negative session cap floor");
     std::lock_guard<std::mutex> lock(_mutex);
     auto slot = std::make_unique<SessionCap>();
     slot->id = id;
     slot->demand = demand;
     slot->rolling = demand;
     slot->weight = weight;
+    slot->floor = floor;
     SessionCap *out = slot.get();
     _slots.push_back(std::move(slot));
     // Provisional equal split over the fleet registered so far - O(1),
@@ -45,7 +53,7 @@ FleetCapArbiter::registerSession(std::uint64_t id, Watts demand,
     // front and rebalance() once afterwards; that single policy-aware
     // split is what later ticks idempotently reproduce.
     out->_share.store(
-        std::max(_opts.floorWatts,
+        std::max(floorFor(*out),
                  _opts.budgetWatts / static_cast<double>(_slots.size())),
         std::memory_order_relaxed);
     updateCapLocked(*out);
@@ -107,7 +115,7 @@ FleetCapArbiter::rebalanceLocked()
         // equal-share rather than dividing by zero.
         const double frac =
             total > 0.0 ? numer / total : 1.0 / static_cast<double>(n);
-        const Watts share = std::max(_opts.floorWatts,
+        const Watts share = std::max(floorFor(*slot),
                                      _opts.budgetWatts * frac);
         slot->_share.store(share, std::memory_order_relaxed);
         updateCapLocked(*slot);
@@ -118,8 +126,7 @@ void
 FleetCapArbiter::updateCapLocked(SessionCap &slot)
 {
     const Watts share = slot._share.load(std::memory_order_relaxed);
-    const Watts cap =
-        std::max(_opts.floorWatts, share * slot._throttle);
+    const Watts cap = std::max(floorFor(slot), share * slot._throttle);
     slot._cap.store(cap, std::memory_order_relaxed);
 }
 
@@ -163,7 +170,7 @@ FleetCapArbiter::rollWindowLocked(SessionCap &slot, Watts enforcedCap)
             const Watts share =
                 slot._share.load(std::memory_order_relaxed);
             const double floor_scale =
-                share > 0.0 ? _opts.floorWatts / share : 1.0;
+                share > 0.0 ? floorFor(slot) / share : 1.0;
             slot._throttle = std::max(
                 std::min(floor_scale, 1.0),
                 slot._throttle * _opts.backoffFraction);

@@ -87,7 +87,9 @@ struct ArbiterOptions
      *  back out per relax step). */
     double backoffFraction = 0.85;
     /** Per-session caps never tighten below this (the DVFS floor:
-     *  roughly the fail-safe configuration's idle draw). */
+     *  roughly the fail-safe configuration's idle draw). Sessions on
+     *  hardware models with a higher capFloorWatts keep their model's
+     *  floor instead (see registerSession's floor parameter). */
     Watts floorWatts = 4.0;
     /** Fleet decisions between arbiter re-split ticks. */
     std::size_t tickEvery = 256;
@@ -140,6 +142,8 @@ class SessionCap
     /** Rolling measured power (EWMA; liveUsage re-splits read it). */
     Watts rolling = 0.0;
     double weight = 1.0;
+    /** Per-session floor (hardware-model capFloorWatts); 0 = none. */
+    Watts floor = 0.0;
 
     std::atomic<Watts> _share{std::numeric_limits<Watts>::infinity()};
     std::atomic<Watts> _cap{std::numeric_limits<Watts>::infinity()};
@@ -171,14 +175,18 @@ class FleetCapArbiter
     /**
      * Register one session. @p demand is its measured standalone power
      * (the Turbo baseline mean - deterministic at session creation),
-     * @p weight its priority for SplitPolicy::PriorityWeighted. The
-     * returned handle stays valid until unregisterSession(); it is
-     * assigned a share from the demands registered so far, so callers
-     * that register a whole fleet up front should rebalance() once
+     * @p weight its priority for SplitPolicy::PriorityWeighted, and
+     * @p floor the session's hardware-model cap floor in watts (0 =
+     * none); the session's caps never tighten below
+     * max(options().floorWatts, floor), so a high-TDP model in a mixed
+     * fleet is never starved below its own DVFS floor. The returned
+     * handle stays valid until unregisterSession(); it is assigned a
+     * share from the demands registered so far, so callers that
+     * register a whole fleet up front should rebalance() once
      * afterwards (runFleet does).
      */
     SessionCap *registerSession(std::uint64_t id, Watts demand,
-                                double weight = 1.0);
+                                double weight = 1.0, Watts floor = 0.0);
     void unregisterSession(SessionCap *slot);
 
     /**
@@ -221,6 +229,9 @@ class FleetCapArbiter
     void rebalanceLocked();
     void rollWindowLocked(SessionCap &slot, Watts enforcedCap);
     void updateCapLocked(SessionCap &slot);
+    /** The floor governing @p slot: the fleet floor or the session's
+     *  hardware-model floor, whichever is higher. */
+    Watts floorFor(const SessionCap &slot) const;
 
     ArbiterOptions _opts;
     telemetry::Registry *_registry = nullptr;

@@ -302,6 +302,25 @@ NetServer::eventLoop()
             sopts.optimizedRuns = m.optimizedRuns;
         if (m.kernelCacheCap > 0)
             sopts.kernelCacheCap = m.kernelCacheCap;
+        // v2 extensions; v1 Opens decode with the defaults (empty model
+        // name, uniform kind, value 0) and change nothing here.
+        if (!m.hwModel.empty()) {
+            sopts.model = hw::HardwareCatalog::instance().find(m.hwModel);
+            if (!sopts.model) {
+                sendReject(conn, m.tenant,
+                           wire::RejectReason::BadModel);
+                return;
+            }
+        }
+        if (m.qosKind == wire::WireQosKind::Deadline) {
+            if (!(m.qosValue > 0.0)) {
+                sendReject(conn, m.tenant, wire::RejectReason::BadQos);
+                return;
+            }
+            sopts.mpc.qos = mpc::QosSpec::deadline(m.qosValue);
+        } else if (m.qosValue > 0.0) {
+            sopts.mpc.qos = mpc::QosSpec::uniform(m.qosValue);
+        }
         // Session creation runs the Turbo baseline inline here (event
         // loop thread); see the file comment for the trade-off.
         const workload::Application app =
@@ -409,6 +428,10 @@ NetServer::eventLoop()
             stats.capViolations = arbiter->violations();
             stats.arbiterTicks = arbiter->ticks();
         }
+        if (const auto it =
+                snap.counters.find("serve.deadline_misses");
+            it != snap.counters.end())
+            stats.deadlineMisses = it->second;
         std::lock_guard lock(conn->mutex);
         wire::encodeStats(conn->writeBuf, stats);
     };

@@ -29,6 +29,9 @@ FleetServer::FleetServer(
     GPUPM_ASSERT(!_opts.forestHandle || rf,
                  "online learning requires a Random Forest predictor");
 
+    if (!_opts.model)
+        _opts.model = hw::paperApu();
+
     _decisions = &_telemetry->counter("serve.decisions");
     _rejected = &_telemetry->counter("serve.rejected_requests");
     _lost = &_telemetry->counter("serve.lost_sessions");
@@ -64,7 +67,7 @@ FleetServer::FleetServer(
                 rf, _opts.broker, _telemetry.get());
         }
         shard.sessions = std::make_unique<SessionManager>(
-            predictor, shard.broker.get(), _opts.sessions, _opts.params,
+            predictor, shard.broker.get(), _opts.sessions, _opts.model,
             _telemetry.get(), _opts.forestHandle, _arbiter.get());
         shard.queue = std::make_unique<RequestQueue<DecisionRequest>>(
             _opts.queueCapacity);
@@ -370,6 +373,7 @@ runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
     std::vector<SessionId> ids;
     ids.reserve(opts.sessionCount);
     slotOf.reserve(opts.sessionCount);
+    std::map<std::string, std::size_t> out_sessions_per_model;
 
     for (std::size_t i = 0; i < opts.sessionCount; ++i) {
         workload::Application app = apps[i % apps.size()];
@@ -386,6 +390,24 @@ runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
             session_opts.capWeight =
                 opts.capWeights[i % opts.capWeights.size()];
         }
+        if (!opts.hwModels.empty()) {
+            session_opts.model = hw::HardwareCatalog::instance().get(
+                opts.hwModels[i % opts.hwModels.size()]);
+        }
+        if (!opts.deadlines.empty()) {
+            const double slack =
+                opts.deadlines[i % opts.deadlines.size()];
+            // 0 keeps this session on the uniform alpha objective so a
+            // cycled list can mix QoS kinds; negative is fatal inside
+            // QosSpec::deadline.
+            if (slack != 0.0)
+                session_opts.mpc.qos = mpc::QosSpec::deadline(slack);
+        }
+        const auto &model_for_count =
+            session_opts.model ? session_opts.model : sopts.model;
+        out_sessions_per_model[model_for_count
+                                   ? model_for_count->name()
+                                   : std::string(hw::paperApuName)] += 1;
         const SessionId id = server.createSession(app, session_opts);
         ids.push_back(id);
         slotOf.emplace(id, i);
@@ -436,6 +458,7 @@ runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
 
     FleetResult out;
     out.sessions = opts.sessionCount;
+    out.sessionsPerModel = std::move(out_sessions_per_model);
     if (learner) {
         // Let an in-flight refit land before the final snapshot so the
         // reported stats and generation reflect every trigger.
@@ -464,6 +487,7 @@ runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
         for (const DecisionRecord &rec : slot.records) {
             out.degradedDecisions += rec.degraded ? 1 : 0;
             out.capLimitedDecisions += rec.capLimited ? 1 : 0;
+            out.deadlineMisses += rec.deadlineMissed ? 1 : 0;
         }
         out.trace.insert(out.trace.end(), slot.records.begin(),
                          slot.records.end());
@@ -484,22 +508,31 @@ serializeFleetTrace(const std::vector<DecisionRecord> &trace)
     char buf[512];
     for (const auto &r : trace) {
         // Cap fields only on capped records, mirroring "dg": uncapped
-        // traces stay byte-identical to the pre-powercap format.
+        // traces stay byte-identical to the pre-powercap format. The
+        // same conditional scheme covers "hw" (non-default hardware
+        // model) and "dm" (deadline miss on a run's last record).
         char cap[64];
         cap[0] = '\0';
         if (r.cap >= 0.0) {
             std::snprintf(cap, sizeof(cap), ",\"cap\":%.17g%s", r.cap,
                           r.capLimited ? ",\"cl\":1" : "");
         }
+        char hw[96];
+        hw[0] = '\0';
+        if (!r.hwModel.empty()) {
+            std::snprintf(hw, sizeof(hw), ",\"hw\":\"%s\"",
+                          r.hwModel.c_str());
+        }
         std::snprintf(
             buf, sizeof(buf),
             "{\"s\":%llu,\"r\":%zu,\"i\":%zu,\"t\":\"%c\",\"c\":%zu,"
             "\"kt\":%.17g,\"oh\":%.17g,\"ce\":%.17g,\"ge\":%.17g,"
-            "\"ev\":%zu%s%s}\n",
+            "\"ev\":%zu%s%s%s%s}\n",
             static_cast<unsigned long long>(r.session), r.run, r.index,
             r.tag, r.configIndex, r.kernelTime, r.overheadTime,
             r.cpuEnergy, r.gpuEnergy, r.evaluations,
-            r.degraded ? ",\"dg\":1" : "", cap);
+            r.degraded ? ",\"dg\":1" : "", cap, hw,
+            r.deadlineMissed ? ",\"dm\":1" : "");
         out += buf;
     }
     return out;

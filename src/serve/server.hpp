@@ -49,6 +49,7 @@
 #include <atomic>
 #include <chrono>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -80,7 +81,12 @@ struct FleetServerOptions
     ShedOptions shed;
     /** Route RF evaluations through the shared broker. */
     bool batching = true;
-    hw::ApuParams params = hw::ApuParams::defaults();
+    /**
+     * Default hardware model for sessions without their own override
+     * (SessionOptions::model / the Open frame's model name); null
+     * resolves to the catalog's "paper-apu".
+     */
+    hw::HardwareModelPtr model;
     /**
      * Hot-swap publication point for online learning; null = static
      * forests. When set, the predictor handed to the server must be
@@ -273,6 +279,20 @@ struct FleetOptions
      * Ignored unless server.powercap is enabled.
      */
     std::vector<double> capWeights;
+    /**
+     * Hardware-model catalog names, cycled over sessions in creation
+     * order (a heterogeneous fleet); empty = the server default for
+     * every session. Unknown names are fatal with the candidate list.
+     */
+    std::vector<std::string> hwModels;
+    /**
+     * Per-session deadline slack factors, cycled over sessions in
+     * creation order: a value > 0 gives that session a Deadline QoS
+     * (run deadline = Turbo baseline * factor), 0 keeps the uniform
+     * alpha objective, negative values are fatal. Empty = uniform
+     * everywhere.
+     */
+    std::vector<double> deadlines;
 };
 
 struct FleetResult
@@ -296,6 +316,10 @@ struct FleetResult
     online::OnlineStats online{};
     /** Forest generation serving when the fleet finished. */
     std::uint64_t forestGeneration = 0;
+    /** Sessions per hardware-model name (catalog name, resolved). */
+    std::map<std::string, std::size_t> sessionsPerModel;
+    /** Completed runs that missed their deadline QoS, fleet-wide. */
+    std::size_t deadlineMisses = 0;
 };
 
 /** Run a fleet to completion; see the file comment for determinism. */
@@ -306,11 +330,13 @@ runFleet(std::shared_ptr<const ml::PerfPowerPredictor> predictor,
 /**
  * Serialize a fleet trace as JSON lines with %.17g floats: equal traces
  * produce byte-identical text (the golden-trace contract). Degraded
- * (shed) decisions carry an extra "dg":1 key and capped decisions an
- * extra "cap" (plus "cl":1 when the cap altered the choice); records
- * of a normal uncapped fleet serialize exactly as they did before
- * shedding or capping existed, which is what keeps the golden trace
- * stable.
+ * (shed) decisions carry an extra "dg":1 key, capped decisions an
+ * extra "cap" (plus "cl":1 when the cap altered the choice), records
+ * of a non-default hardware model an extra "hw":"<name>", and a run's
+ * last record an extra "dm":1 when its deadline QoS was missed;
+ * records of a normal uncapped homogeneous paper-apu fleet serialize
+ * exactly as they did before shedding, capping or the catalog existed,
+ * which is what keeps the golden trace stable.
  */
 std::string serializeFleetTrace(const std::vector<DecisionRecord> &trace);
 

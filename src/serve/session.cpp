@@ -14,25 +14,32 @@ namespace gpupm::serve {
 Session::Session(SessionId id, workload::Application app,
                  std::shared_ptr<const ml::PerfPowerPredictor> base,
                  InferenceBroker *broker, const SessionOptions &opts,
-                 const hw::ApuParams &params,
+                 hw::HardwareModelPtr model,
                  telemetry::Registry *telemetry,
                  const online::ForestHandle *handle,
                  powercap::FleetCapArbiter *arbiter)
     : _id(id), _app(std::move(app)), _base(std::move(base)),
       _broker(broker), _forestHandle(handle), _opts(opts),
-      _params(params), _telemetry(telemetry), _arbiter(arbiter),
-      _thermalCap(opts.thermalCap), _apu(params)
+      _model(std::move(model)), _telemetry(telemetry),
+      _arbiter(arbiter), _thermalCap(opts.thermalCap),
+      _apu(_model->params())
 {
+    GPUPM_ASSERT(_model != nullptr, "session needs a hardware model");
     GPUPM_ASSERT(!_app.trace.empty(), "session application '", _app.name,
                  "' has an empty trace");
 
     // The MPC performance target is the Turbo Core baseline throughput
-    // (paper Sec. V-B); measured once at session creation.
-    sim::Simulator sim(_params);
-    policy::TurboCoreGovernor turbo(_params);
+    // (paper Sec. V-B), measured once at session creation on this
+    // session's own hardware model. A deadline QoS lowers the target by
+    // its slack factor: the governor is allowed to spend the deadline
+    // headroom on energy savings instead of matching Turbo exactly.
+    sim::Simulator sim(_model);
+    policy::TurboCoreGovernor turbo(_model);
     const auto baseline = sim.run(_app, turbo);
-    _target = baseline.throughput();
-    GPUPM_ASSERT(_target > 0.0, "baseline produced no throughput");
+    GPUPM_ASSERT(baseline.throughput() > 0.0,
+                 "baseline produced no throughput");
+    _target = _opts.mpc.qos.scaleTarget(baseline.throughput());
+    _baselineTime = baseline.totalTime();
     // The baseline's mean chip power is the session's demand signal for
     // usage-proportional budget splits: a registration-time constant, so
     // shares depend only on the fleet's composition, never on execution
@@ -42,7 +49,13 @@ Session::Session(SessionId id, workload::Application app,
                          : 0.0;
     if (_arbiter != nullptr) {
         _capSlot = _arbiter->registerSession(_id, _baselinePower,
-                                             _opts.capWeight);
+                                             _opts.capWeight,
+                                             _model->capFloorWatts());
+    }
+    if (_telemetry) {
+        _telemetry
+            ->counter("serve.model." + _model->name() + ".sessions")
+            .add(1);
     }
 
     reset();
@@ -60,9 +73,9 @@ Session::reset()
     SessionPredictorOptions popts;
     popts.kernelCacheCap = _opts.kernelCacheCap;
     _predictor = std::make_shared<SessionPredictor>(
-        _base, _broker, popts, _telemetry, _forestHandle);
+        _base, _broker, _model, popts, _telemetry, _forestHandle);
     _governor = std::make_unique<mpc::MpcGovernor>(_predictor, _opts.mpc,
-                                                   _params);
+                                                   _model);
     _governor->setDecisionCallback(
         [this](const mpc::DecisionEvent &e) { _lastEvent = e; });
     if (_telemetry)
@@ -118,12 +131,12 @@ Session::step(bool degraded)
     _lastEvent = {};
     sim::Decision decision;
     if (degraded) {
-        // Shed fast path: the paper's fail-safe configuration at zero
+        // Shed fast path: this model's fail-safe configuration at zero
         // decision overhead, no governor involvement. The governor is
         // also not shown the observation - it never decided here, and
         // feeding it fail-safe outcomes would poison its tracker
         // state for the post-recovery decisions.
-        decision = {hw::ConfigSpace::failSafe(), 0.0};
+        decision = {_model->failSafe(), 0.0};
     } else if (_broker) {
         InferenceBroker::DecisionScope scope(*_broker);
         decision = _governor->decide(i);
@@ -146,7 +159,7 @@ Session::step(bool degraded)
 
     if (rec.cpuPhaseTime > 0.0) {
         const auto phase = _apu.runHost(rec.cpuPhaseTime,
-                                        hw::ConfigSpace::maxPerformance());
+                                        _model->maxPerformance());
         rec.cpuPhaseCpuEnergy = phase.cpuEnergy;
         rec.cpuPhaseGpuEnergy = phase.gpuEnergy;
     }
@@ -218,6 +231,8 @@ Session::step(bool degraded)
                     rec.cpuPhaseGpuEnergy + rec.transitionGpuEnergy;
     out.evaluations = _lastEvent.evaluations;
     out.degraded = degraded;
+    if (_model->name() != hw::paperApuName)
+        out.hwModel = _model->name();
 
     // Powercap accounting: measured average chip power over this
     // step's wall time feeds the arbiter's violation windows, and the
@@ -250,6 +265,17 @@ Session::step(bool degraded)
     ++_decisions;
     ++_invocation;
     if (_invocation >= _app.trace.size()) {
+        // Deadline QoS: a run misses when its wall time exceeds the
+        // Turbo baseline stretched by the slack factor. Checked at run
+        // completion so the miss marks the run's last record.
+        if (_opts.mpc.qos.kind == mpc::QosSpec::Kind::Deadline &&
+            _current.totalTime() >
+                _baselineTime * _opts.mpc.qos.deadlineFactor) {
+            ++_deadlineMisses;
+            out.deadlineMissed = true;
+            if (_telemetry)
+                _telemetry->counter("serve.deadline_misses").add(1);
+        }
         _runs.push_back(std::move(_current));
         _current = {};
         _invocation = 0;

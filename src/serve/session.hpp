@@ -46,6 +46,8 @@ using SessionId = std::uint64_t;
 
 struct SessionOptions
 {
+    /** Governor options; mpc.qos carries the session's QoS objective
+     *  (uniform alpha, or a deadline with slack-driven headroom). */
     mpc::MpcOptions mpc;
     /** MPC-optimized runs after the PPK profiling run. */
     std::size_t optimizedRuns = 2;
@@ -55,6 +57,12 @@ struct SessionOptions
     double capWeight = 1.0;
     /** Reactive thermal cap governor (disabled by default). */
     powercap::ThermalCapOptions thermalCap;
+    /**
+     * Hardware-model override for this session; null falls back to the
+     * manager/server default. Heterogeneous fleets set this per
+     * session (from the Open frame's model name over the wire).
+     */
+    hw::HardwareModelPtr model;
 };
 
 /** One decision's outcome, the unit of the fleet trace. */
@@ -79,6 +87,14 @@ struct DecisionRecord
     bool capLimited = false;
     /** Measured average chip power over this step's wall time. */
     Watts measuredPower = 0.0;
+    /**
+     * Hardware-model name; empty for the default "paper-apu" (records
+     * of a homogeneous default fleet serialize exactly as before the
+     * catalog existed).
+     */
+    std::string hwModel;
+    /** Set on a run's last record when its deadline QoS was missed. */
+    bool deadlineMissed = false;
 };
 
 class Session
@@ -93,14 +109,17 @@ class Session
      * @param telemetry Registry for cache metrics; may be null.
      * @param handle Hot-swap publication point for online learning;
      *        null = static forests.
+     * @param model Hardware model this session runs on (explicit; a
+     *        heterogeneous fleet mixes models across sessions).
      * @param arbiter Fleet cap arbiter; null = no fleet budget. The
      *        session registers itself with its Turbo-baseline mean
-     *        power as demand and unregisters on destruction.
+     *        power as demand, its model's capFloorWatts as floor, and
+     *        unregisters on destruction.
      */
     Session(SessionId id, workload::Application app,
             std::shared_ptr<const ml::PerfPowerPredictor> base,
-            InferenceBroker *broker, const SessionOptions &opts = {},
-            const hw::ApuParams &params = hw::ApuParams::defaults(),
+            InferenceBroker *broker, const SessionOptions &opts,
+            hw::HardwareModelPtr model,
             telemetry::Registry *telemetry = nullptr,
             const online::ForestHandle *handle = nullptr,
             powercap::FleetCapArbiter *arbiter = nullptr);
@@ -113,6 +132,12 @@ class Session
     SessionId id() const { return _id; }
     const std::string &appName() const { return _app.name; }
     Throughput target() const { return _target; }
+
+    /** The hardware model this session runs on. */
+    const hw::HardwareModelPtr &model() const { return _model; }
+
+    /** Completed runs that exceeded the deadline QoS allowance. */
+    std::size_t deadlineMisses() const { return _deadlineMisses; }
 
     /** Decisions per run (the trace length). */
     std::size_t runLength() const { return _app.trace.size(); }
@@ -177,10 +202,13 @@ class Session
     InferenceBroker *_broker;
     const online::ForestHandle *_forestHandle;
     SessionOptions _opts;
-    hw::ApuParams _params;
+    hw::HardwareModelPtr _model;
     telemetry::Registry *_telemetry;
 
     Throughput _target = 0.0;
+    /** Turbo-baseline wall time (the deadline QoS reference). */
+    Seconds _baselineTime = 0.0;
+    std::size_t _deadlineMisses = 0;
     Watts _baselinePower = 0.0;
     powercap::FleetCapArbiter *_arbiter = nullptr;
     powercap::SessionCap *_capSlot = nullptr;

@@ -9,14 +9,16 @@ namespace gpupm::serve {
 SessionManager::SessionManager(
     std::shared_ptr<const ml::PerfPowerPredictor> base,
     InferenceBroker *broker, const SessionManagerOptions &opts,
-    const hw::ApuParams &params, telemetry::Registry *telemetry,
+    hw::HardwareModelPtr model, telemetry::Registry *telemetry,
     const online::ForestHandle *handle,
     powercap::FleetCapArbiter *arbiter)
     : _base(std::move(base)), _broker(broker), _opts(opts),
-      _params(params), _telemetry(telemetry), _forestHandle(handle),
-      _arbiter(arbiter)
+      _model(std::move(model)), _telemetry(telemetry),
+      _forestHandle(handle), _arbiter(arbiter)
 {
     GPUPM_ASSERT(_base != nullptr, "session manager needs a predictor");
+    GPUPM_ASSERT(_model != nullptr,
+                 "session manager needs a default hardware model");
     if (_telemetry)
         _evictionCounter = &_telemetry->counter("serve.session_evictions");
 }
@@ -60,9 +62,10 @@ SessionManager::createWithId(SessionId id,
     GPUPM_ASSERT(id != 0, "session ids start at 1");
     // Building a session runs the Turbo baseline; keep that out of the
     // lock so creates do not serialize against checkouts.
-    auto session = std::make_unique<Session>(id, app, _base, _broker,
-                                             opts, _params, _telemetry,
-                                             _forestHandle, _arbiter);
+    auto session = std::make_unique<Session>(
+        id, app, _base, _broker, opts,
+        opts.model ? opts.model : _model, _telemetry, _forestHandle,
+        _arbiter);
 
     std::lock_guard lock(_mutex);
     GPUPM_ASSERT(_slots.find(id) == _slots.end(),

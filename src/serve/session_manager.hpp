@@ -38,6 +38,8 @@ class SessionManager
     /**
      * @param base Shared predictor handed to every session.
      * @param broker Shared broker handed to every session; may be null.
+     * @param model Default hardware model for sessions that do not
+     *        carry their own override (SessionOptions::model).
      * @param telemetry Registry for manager/session metrics; may be
      *        null.
      * @param handle Hot-swap publication point handed to every
@@ -47,8 +49,8 @@ class SessionManager
      */
     SessionManager(std::shared_ptr<const ml::PerfPowerPredictor> base,
                    InferenceBroker *broker,
-                   const SessionManagerOptions &opts = {},
-                   const hw::ApuParams &params = hw::ApuParams::defaults(),
+                   const SessionManagerOptions &opts,
+                   hw::HardwareModelPtr model,
                    telemetry::Registry *telemetry = nullptr,
                    const online::ForestHandle *handle = nullptr,
                    powercap::FleetCapArbiter *arbiter = nullptr);
@@ -107,7 +109,7 @@ class SessionManager
     std::shared_ptr<const ml::PerfPowerPredictor> _base;
     InferenceBroker *_broker;
     SessionManagerOptions _opts;
-    hw::ApuParams _params;
+    hw::HardwareModelPtr _model;
     telemetry::Registry *_telemetry;
     const online::ForestHandle *_forestHandle;
     powercap::FleetCapArbiter *_arbiter;

@@ -11,13 +11,17 @@ namespace gpupm::serve {
 
 SessionPredictor::SessionPredictor(
     std::shared_ptr<const ml::PerfPowerPredictor> base,
-    InferenceBroker *broker, const SessionPredictorOptions &opts,
+    InferenceBroker *broker, hw::HardwareModelPtr model,
+    const SessionPredictorOptions &opts,
     telemetry::Registry *telemetry, const online::ForestHandle *handle)
     : _base(std::move(base)),
       _rf(dynamic_cast<const ml::RandomForestPredictor *>(_base.get())),
-      _broker(broker), _handle(handle), _cap(opts.kernelCacheCap)
+      _broker(broker), _model(std::move(model)), _handle(handle),
+      _cap(opts.kernelCacheCap)
 {
     GPUPM_ASSERT(_base != nullptr, "session predictor needs a base");
+    GPUPM_ASSERT(_model != nullptr,
+                 "session predictor needs a hardware model");
     GPUPM_ASSERT(!_broker || _rf,
                  "broker routing requires a Random Forest base");
     GPUPM_ASSERT(!_handle || _rf,
@@ -138,9 +142,13 @@ SessionPredictor::predictBatch(const ml::PredictionQuery &q,
     const std::size_t m = miss.size();
     std::vector<ml::FeatureVector> rows(m);
     std::vector<double> time_log(m), gpu_power(m);
-    for (std::size_t j = 0; j < m; ++j)
-        rows[j] =
-            ml::combineFeatures(e.kf, ml::configFeatures(cs[miss[j]]));
+    // Config descriptors come from the session's hardware model, so a
+    // variant model's candidates are scored in its own feature scaling
+    // (bit-identical to ml::configFeatures for the paper model).
+    for (std::size_t j = 0; j < m; ++j) {
+        rows[j] = ml::combineFeatures(
+            e.kf, _model->descriptorAt(hw::denseConfigIndex(cs[miss[j]])));
+    }
     std::uint64_t served = e.generation;
     if (_broker)
         served = _broker->evaluate(rows, time_log, gpu_power);

@@ -50,6 +50,7 @@
 #include <memory>
 #include <vector>
 
+#include "hw/model.hpp"
 #include "ml/trainer.hpp"
 #include "serve/broker.hpp"
 #include "telemetry/telemetry.hpp"
@@ -75,6 +76,9 @@ class SessionPredictor : public ml::PerfPowerPredictor
      *        (oracle families consult ground truth, so counters are
      *        not a safe cache key) pass through untouched.
      * @param broker Shared broker; null evaluates misses directly.
+     * @param model Hardware model whose config descriptors feed the
+     *        feature rows (the session's model, so heterogeneous
+     *        fleets score candidates in their own model's scaling).
      * @param handle Hot-swap publication point; null = static forests.
      *        When set, base must be the (baseline) Random Forest, and
      *        broker-less misses walk the handle's current generation.
@@ -82,7 +86,7 @@ class SessionPredictor : public ml::PerfPowerPredictor
      */
     SessionPredictor(
         std::shared_ptr<const ml::PerfPowerPredictor> base,
-        InferenceBroker *broker,
+        InferenceBroker *broker, hw::HardwareModelPtr model,
         const SessionPredictorOptions &opts = {},
         telemetry::Registry *telemetry = nullptr,
         const online::ForestHandle *handle = nullptr);
@@ -126,6 +130,7 @@ class SessionPredictor : public ml::PerfPowerPredictor
     std::shared_ptr<const ml::PerfPowerPredictor> _base;
     const ml::RandomForestPredictor *_rf; ///< base, when it is an RF.
     InferenceBroker *_broker;
+    hw::HardwareModelPtr _model;
     const online::ForestHandle *_handle;
     std::size_t _cap;
 

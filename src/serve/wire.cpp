@@ -163,6 +163,14 @@ encodeOpen(std::vector<std::uint8_t> &out, const OpenMsg &m)
     putU16(f.body(), static_cast<std::uint16_t>(m.bench.size()));
     for (char c : m.bench)
         putU8(f.body(), static_cast<std::uint8_t>(c));
+    if (m.version < 2)
+        return; // legacy frame: nothing after the bench name
+    putU8(f.body(), m.version);
+    putU16(f.body(), static_cast<std::uint16_t>(m.hwModel.size()));
+    for (char c : m.hwModel)
+        putU8(f.body(), static_cast<std::uint8_t>(c));
+    putU8(f.body(), static_cast<std::uint8_t>(m.qosKind));
+    putF64(f.body(), m.qosValue);
 }
 
 std::optional<OpenMsg>
@@ -175,8 +183,27 @@ decodeOpen(std::span<const std::uint8_t> p)
     m.kernelCacheCap = c.u32();
     const std::uint16_t len = c.u16();
     m.bench = c.str(len);
-    if (!c.done())
+    if (!c.ok())
         return std::nullopt;
+    if (c.done()) {
+        // Version-1 frame: catalog-default hardware, default QoS.
+        m.version = 1;
+        return m;
+    }
+    // v2 tail: version byte, model name, QoS kind + value. Anything
+    // truncated, over-long or out of range is malformed - a half-sent
+    // tail must not silently fall back to defaults.
+    m.version = c.u8();
+    if (m.version != kWireVersion)
+        return std::nullopt;
+    const std::uint16_t model_len = c.u16();
+    m.hwModel = c.str(model_len);
+    const std::uint8_t kind = c.u8();
+    m.qosValue = c.f64();
+    if (!c.done() ||
+        kind > static_cast<std::uint8_t>(WireQosKind::Deadline))
+        return std::nullopt;
+    m.qosKind = static_cast<WireQosKind>(kind);
     return m;
 }
 
@@ -274,7 +301,7 @@ decodeReject(std::span<const std::uint8_t> p)
     m.session = c.u64();
     const std::uint8_t reason = c.u8();
     if (!c.done() || reason > static_cast<std::uint8_t>(
-                                  RejectReason::BadBench))
+                                  RejectReason::BadQos))
         return std::nullopt;
     m.reason = static_cast<RejectReason>(reason);
     return m;
@@ -300,6 +327,7 @@ encodeStats(std::vector<std::uint8_t> &out, const StatsMsg &m)
     putF64(f.body(), m.fleetBudgetWatts);
     putU64(f.body(), m.capViolations);
     putU64(f.body(), m.arbiterTicks);
+    putU64(f.body(), m.deadlineMisses);
 }
 
 std::optional<StatsMsg>
@@ -324,6 +352,7 @@ decodeStats(std::span<const std::uint8_t> p)
     m.fleetBudgetWatts = c.f64();
     m.capViolations = c.u64();
     m.arbiterTicks = c.u64();
+    m.deadlineMisses = c.u64();
     if (!c.done())
         return std::nullopt;
     return m;

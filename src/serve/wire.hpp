@@ -67,6 +67,24 @@ enum class RejectReason : std::uint8_t
     UnknownSession = 2, ///< Never opened or already evicted.
     Finished = 3,       ///< Session played all its runs.
     BadBench = 4,       ///< Open named an unknown benchmark.
+    BadModel = 5,       ///< Open named a model absent from the catalog.
+    BadQos = 6,         ///< Open carried an unusable QoS spec.
+};
+
+/**
+ * Protocol version spoken by this build. Version 2 extends Open with a
+ * hardware-model name and a QoS spec; every other frame is unchanged.
+ * Version-1 Opens (no tail after the bench name) are still accepted and
+ * resolve to the server's catalog default with uniform-slowdown QoS, so
+ * old clients keep working against new servers.
+ */
+constexpr std::uint8_t kWireVersion = 2;
+
+/** QoS kinds carried in a v2 Open tail (mirrors mpc::QosSpec::Kind). */
+enum class WireQosKind : std::uint8_t
+{
+    UniformAlpha = 0, ///< qosValue = alpha; 0 keeps the server default.
+    Deadline = 1,     ///< qosValue = deadline slack factor (> 0).
 };
 
 /** Upper bound on a frame's post-length bytes; larger = corrupt. */
@@ -84,6 +102,17 @@ struct OpenMsg
     std::uint32_t optimizedRuns = 2;
     std::uint32_t kernelCacheCap = 32;
     std::string bench;
+    /**
+     * Version this Open travels as. Encoding with 1 emits the legacy
+     * frame (no tail) for compatibility tests and old-client emulation;
+     * decode reports the version the peer actually sent.
+     */
+    std::uint8_t version = kWireVersion;
+    /** Catalog model name; empty = the server's default model. */
+    std::string hwModel;
+    WireQosKind qosKind = WireQosKind::UniformAlpha;
+    /** Alpha (UniformAlpha; 0 = server default) or deadline factor. */
+    double qosValue = 0.0;
 };
 
 struct OpenedMsg
@@ -131,6 +160,8 @@ struct StatsMsg
     std::uint64_t capViolations = 0;
     /** Arbiter re-split ticks since server start. */
     std::uint64_t arbiterTicks = 0;
+    /** Deadline-QoS runs that overran their slack, fleet-wide (v2). */
+    std::uint64_t deadlineMisses = 0;
 };
 
 struct ErrorMsg

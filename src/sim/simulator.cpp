@@ -8,7 +8,11 @@
 
 namespace gpupm::sim {
 
-Simulator::Simulator(const hw::ApuParams &params) : _params(params) {}
+Simulator::Simulator(hw::HardwareModelPtr model)
+    : _model(std::move(model))
+{
+    GPUPM_ASSERT(_model != nullptr, "simulator needs a hardware model");
+}
 
 RunResult
 Simulator::run(const workload::Application &app, Governor &governor,
@@ -20,7 +24,7 @@ Simulator::run(const workload::Application &app, Governor &governor,
     trace::Span run_span(trace::Category::Sim, "sim.run", "invocations",
                          static_cast<double>(app.trace.size()));
 
-    kernel::Apu apu(_params);
+    kernel::Apu apu(_model->params());
     governor.beginRun(app.name, target_throughput);
 
     // Platform DVFS state across the run; the first decision sets it
@@ -61,8 +65,8 @@ Simulator::run(const workload::Application &app, Governor &governor,
         if (rec.cpuPhaseTime > 0.0) {
             // The application phase keeps the CPU busy at the boost
             // state (Turbo Core raises the CPU when it is loaded).
-            const auto phase = apu.runHost(
-                rec.cpuPhaseTime, hw::ConfigSpace::maxPerformance());
+            const auto phase =
+                apu.runHost(rec.cpuPhaseTime, _model->maxPerformance());
             rec.cpuPhaseCpuEnergy = phase.cpuEnergy;
             rec.cpuPhaseGpuEnergy = phase.gpuEnergy;
         }

@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "hw/model.hpp"
 #include "kernel/apu.hpp"
 #include "sim/governor.hpp"
 #include "workload/trace.hpp"
@@ -94,8 +95,8 @@ struct RunResult
 class Simulator
 {
   public:
-    explicit Simulator(
-        const hw::ApuParams &params = hw::ApuParams::defaults());
+    /** Simulate the given hardware model (parameters + anchors). */
+    explicit Simulator(hw::HardwareModelPtr model);
 
     /**
      * Run @p app under @p governor.
@@ -110,7 +111,7 @@ class Simulator
                   Throughput target_throughput = 0.0);
 
   private:
-    hw::ApuParams _params;
+    hw::HardwareModelPtr _model;
 };
 
 } // namespace gpupm::sim

@@ -82,8 +82,7 @@ class PowerTrace
      * @param interval Sampling interval; the paper uses 1 ms.
      */
     static PowerTrace fromRun(const sim::RunResult &run,
-                              const hw::ApuParams &params =
-                                  hw::ApuParams::defaults(),
+                              const hw::ApuParams &params,
                               Seconds interval = 1e-3);
 
     const std::vector<PowerSample> &samples() const { return _samples; }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "hw/config.hpp"
+#include "hw/model.hpp"
 #include "mpc/governor.hpp"
 #include "sim/governor.hpp"
 #include "trace/decision.hpp"
@@ -53,8 +54,10 @@ inline ReplayResult
 replayDecisions(const std::vector<trace::DecisionRecord> &records,
                 const std::shared_ptr<const ml::PerfPowerPredictor> &rf,
                 const mpc::MpcOptions &opts = {},
-                const hw::ApuParams &params = hw::ApuParams::defaults())
+                hw::HardwareModelPtr model = nullptr)
 {
+    if (!model)
+        model = hw::paperApu();
     ReplayResult out;
     std::unique_ptr<mpc::MpcGovernor> gov;
     std::string cur_app;
@@ -64,7 +67,7 @@ replayDecisions(const std::vector<trace::DecisionRecord> &records,
     for (std::size_t i = 0; i < records.size(); ++i) {
         const auto &r = records[i];
         if (!gov || r.app != cur_app || r.session != cur_session) {
-            gov = std::make_unique<mpc::MpcGovernor>(rf, opts, params);
+            gov = std::make_unique<mpc::MpcGovernor>(rf, opts, model);
             cur_app = r.app;
             cur_session = r.session;
             cur_run = static_cast<std::size_t>(-1);

@@ -21,7 +21,7 @@ testKernel()
 
 TEST(Apu, MeasurementConsistency)
 {
-    Apu apu;
+    Apu apu{hw::ApuParams::defaults()};
     const auto k = testKernel();
     const auto m = apu.run(k, hw::ConfigSpace::maxPerformance());
     EXPECT_GT(m.time, 0.0);
@@ -36,7 +36,7 @@ TEST(Apu, MeasurementConsistency)
 
 TEST(Apu, MatchesGroundTruthModel)
 {
-    Apu apu;
+    Apu apu{hw::ApuParams::defaults()};
     const auto k = testKernel();
     const auto c = hw::ConfigSpace::failSafe();
     const auto m = apu.run(k, c);
@@ -46,7 +46,7 @@ TEST(Apu, MatchesGroundTruthModel)
 
 TEST(Apu, ThermalStateAdvances)
 {
-    Apu apu;
+    Apu apu{hw::ApuParams::defaults()};
     const auto k = testKernel();
     const Celsius ambient = apu.thermal().params().ambient;
     EXPECT_DOUBLE_EQ(apu.thermal().temperature(), ambient);
@@ -59,7 +59,7 @@ TEST(Apu, ThermalStateAdvances)
 
 TEST(Apu, HostWorkChargesBothPlanes)
 {
-    Apu apu;
+    Apu apu{hw::ApuParams::defaults()};
     const auto h = apu.runHost(1e-3, Apu::governorHostConfig());
     EXPECT_DOUBLE_EQ(h.time, 1e-3);
     EXPECT_GT(h.cpuEnergy, 0.0);
@@ -82,7 +82,7 @@ TEST(Apu, GovernorHostConfigMatchesPaper)
 
 TEST(Apu, FasterConfigUsesMorePower)
 {
-    Apu apu;
+    Apu apu{hw::ApuParams::defaults()};
     const auto k = testKernel();
     const auto fast = apu.run(k, hw::ConfigSpace::maxPerformance());
     apu.reset();

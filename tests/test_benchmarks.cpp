@@ -111,7 +111,7 @@ TEST(Benchmarks, InputVaryingKernelsVary)
 /** Fig. 3 shape: Spmv transitions from high to low throughput. */
 TEST(Benchmarks, SpmvThroughputHighToLow)
 {
-    const kernel::GroundTruthModel model;
+    const kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     const auto cfg = hw::ConfigSpace::maxPerformance();
     auto app = makeBenchmark("Spmv");
     auto thr = [&](std::size_t i) {
@@ -125,7 +125,7 @@ TEST(Benchmarks, SpmvThroughputHighToLow)
 /** Fig. 3 shape: kmeans transitions from low to high throughput. */
 TEST(Benchmarks, KmeansThroughputLowToHigh)
 {
-    const kernel::GroundTruthModel model;
+    const kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     const auto cfg = hw::ConfigSpace::maxPerformance();
     auto app = makeBenchmark("kmeans");
     const auto &swap = app.trace[0].params;
@@ -140,7 +140,7 @@ TEST(Benchmarks, KmeansThroughputLowToHigh)
 /** Fig. 3 shape: hybridsort throughput varies on every invocation. */
 TEST(Benchmarks, HybridsortThroughputDiverse)
 {
-    const kernel::GroundTruthModel model;
+    const kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     const auto cfg = hw::ConfigSpace::maxPerformance();
     auto app = makeBenchmark("hybridsort");
     std::vector<double> thr;

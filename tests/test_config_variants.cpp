@@ -77,9 +77,16 @@ TEST(ConfigVariants, InvalidAxesDie)
     unsorted.cuCounts = {8, 2};
     EXPECT_DEATH(ConfigSpace{unsorted}, "ascending");
 
-    ConfigSpaceOptions no_failsafe;
-    no_failsafe.gpuStates = {GpuPState::DPM0, GpuPState::DPM2};
-    EXPECT_DEATH(ConfigSpace{no_failsafe}, "DPM4");
+    // Sub-grid spaces (smaller catalog parts) are legal; axes that
+    // leave the dense enumeration grid are not.
+    ConfigSpaceOptions sub_grid;
+    sub_grid.gpuStates = {GpuPState::DPM0, GpuPState::DPM2};
+    sub_grid.cuCounts = {2, 4, 6};
+    EXPECT_EQ(ConfigSpace{sub_grid}.size(), 7u * 4u * 2u * 3u);
+
+    ConfigSpaceOptions off_grid;
+    off_grid.cuCounts = {2, 4, 9};
+    EXPECT_DEATH(ConfigSpace{off_grid}, "exceed");
 }
 
 TEST(ConfigVariants, MpcRunsOnWiderSpace)
@@ -87,14 +94,14 @@ TEST(ConfigVariants, MpcRunsOnWiderSpace)
     // End to end: the governor works unchanged on a wider space and
     // must not do worse than the paper space (it can only find more).
     auto app = workload::makeBenchmark("Spmv");
-    sim::Simulator sim;
-    policy::TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
-    auto truth = std::make_shared<ml::GroundTruthPredictor>();
+    auto truth = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
 
     mpc::MpcOptions wide;
     wide.searchSpace = ConfigSpaceOptions::fullGpuDvfs();
-    mpc::MpcGovernor gov(truth, wide);
+    mpc::MpcGovernor gov(truth, wide, hw::paperApu());
     sim.run(app, gov, base.throughput());
     auto r = sim.run(app, gov, base.throughput());
     EXPECT_GT(sim::energySavingsPct(base, r), 10.0);

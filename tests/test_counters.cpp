@@ -124,7 +124,7 @@ class SignatureInvariance : public testing::TestWithParam<std::string>
 
 TEST_P(SignatureInvariance, StableAcrossAllConfigs)
 {
-    const GroundTruthModel model;
+    const GroundTruthModel model{hw::ApuParams::defaults()};
     const hw::ConfigSpace space;
     auto app = workload::makeBenchmark(GetParam());
     for (const auto &inv : app.trace) {

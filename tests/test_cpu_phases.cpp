@@ -46,8 +46,8 @@ TEST(CpuPhases, PhasesExtendWallTimeAndEnergy)
 {
     auto app = workload::makeBenchmark("NBody");
     auto phased = workload::withCpuPhases(app, 1.0);
-    sim::Simulator sim;
-    policy::TurboCoreGovernor g1, g2;
+    sim::Simulator sim{hw::paperApu()};
+    policy::TurboCoreGovernor g1{hw::paperApu()}, g2{hw::paperApu()};
     auto plain = sim.run(app, g1);
     auto with = sim.run(phased, g2);
 
@@ -67,8 +67,8 @@ TEST(CpuPhases, RecordsSplitPhaseEnergy)
 {
     auto app = workload::withCpuPhases(
         workload::makeBenchmark("kmeans"), 0.5);
-    sim::Simulator sim;
-    policy::TurboCoreGovernor gov;
+    sim::Simulator sim{hw::paperApu()};
+    policy::TurboCoreGovernor gov{hw::paperApu()};
     auto r = sim.run(app, gov);
     for (const auto &rec : r.records) {
         EXPECT_GT(rec.cpuPhaseTime, 0.0);
@@ -83,13 +83,13 @@ TEST(CpuPhases, PhasesHideMpcOverhead)
     auto plain = workload::makeBenchmark("Spmv");
     auto phased = workload::withCpuPhases(plain, 1.0);
 
-    sim::Simulator sim;
-    auto truth = std::make_shared<ml::GroundTruthPredictor>();
+    sim::Simulator sim{hw::paperApu()};
+    auto truth = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
 
-    policy::TurboCoreGovernor turbo;
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(phased, turbo);
 
-    mpc::MpcGovernor gov(truth);
+    mpc::MpcGovernor gov(truth, {}, hw::paperApu());
     sim.run(phased, gov, base.throughput());
     auto r = sim.run(phased, gov, base.throughput());
 
@@ -110,11 +110,11 @@ TEST(CpuPhases, ExposedOverheadOnlyBeyondPhase)
     for (auto &inv : app.trace)
         inv.cpuPhaseSeconds = 1e-6; // 1 us, smaller than a decision
 
-    sim::Simulator sim;
-    auto truth = std::make_shared<ml::GroundTruthPredictor>();
-    policy::TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    auto truth = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
-    mpc::MpcGovernor gov(truth);
+    mpc::MpcGovernor gov(truth, {}, hw::paperApu());
     sim.run(app, gov, base.throughput());
     auto r = sim.run(app, gov, base.throughput());
 
@@ -130,11 +130,11 @@ TEST(CpuPhases, GovernorsSeeNonKernelTime)
     // otherwise it believes it has more headroom than the wall clock.
     auto phased = workload::withCpuPhases(
         workload::makeBenchmark("EigenValue"), 1.0);
-    sim::Simulator sim;
-    auto truth = std::make_shared<ml::GroundTruthPredictor>();
-    policy::TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    auto truth = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(phased, turbo);
-    mpc::MpcGovernor gov(truth);
+    mpc::MpcGovernor gov(truth, {}, hw::paperApu());
     sim.run(phased, gov, base.throughput());
     auto r = sim.run(phased, gov, base.throughput());
     EXPECT_GT(sim::speedup(base, r), 0.90);

@@ -160,12 +160,12 @@ seedTrace()
             ml::trainRandomForestPredictor(topts);
 
         trace::DecisionLog log;
-        sim::Simulator sim;
+        sim::Simulator sim{hw::paperApu()};
         for (const char *bench : {"color", "mis"}) {
             const auto app = workload::makeBenchmark(bench);
-            policy::TurboCoreGovernor turbo;
+            policy::TurboCoreGovernor turbo{hw::paperApu()};
             const double target = sim.run(app, turbo).throughput();
-            mpc::MpcGovernor gov(rf, {});
+            mpc::MpcGovernor gov(rf, {}, hw::paperApu());
             gov.setDecisionSink(&log);
             for (int run = 0; run < 3; ++run)
                 sim.run(app, gov, target);

@@ -11,7 +11,7 @@ namespace {
 
 TEST(EnergyModel, CpuBusyWaitPowerMonotone)
 {
-    EnergyModel em;
+    EnergyModel em{hw::ApuParams::defaults()};
     double prev = 1e18;
     for (int i = 0; i < hw::numCpuPStates; ++i) {
         double p = em.cpuBusyWaitPower(static_cast<hw::CpuPState>(i));
@@ -24,7 +24,7 @@ TEST(EnergyModel, CpuBusyWaitPowerMonotone)
 TEST(EnergyModel, NormalizedV2fShape)
 {
     // P ~ V^2 * f + leakage: the dynamic part must scale exactly.
-    EnergyModel em;
+    EnergyModel em{hw::ApuParams::defaults()};
     const auto &p = hw::ApuParams::defaults();
     const auto p1 = hw::cpuDvfs(hw::CpuPState::P1);
     const auto p7 = hw::cpuDvfs(hw::CpuPState::P7);
@@ -39,9 +39,9 @@ TEST(EnergyModel, NormalizedV2fShape)
 
 TEST(EnergyModel, EstimateComposesPredictorAndCpuModel)
 {
-    EnergyModel em;
-    GroundTruthPredictor truth;
-    const kernel::GroundTruthModel model;
+    EnergyModel em{hw::ApuParams::defaults()};
+    GroundTruthPredictor truth{hw::ApuParams::defaults()};
+    const kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     const auto k = workload::trainingCorpus(1, 11)[0];
     const auto c = hw::ConfigSpace::failSafe();
 
@@ -61,9 +61,9 @@ TEST(EnergyModel, LowerCpuStateLowersEnergyForGpuKernels)
 {
     // The CPU busy-waits: dropping its P-state must reduce estimated
     // energy (the mechanism behind 75% of the paper's savings).
-    EnergyModel em;
-    GroundTruthPredictor truth;
-    const kernel::GroundTruthModel model;
+    EnergyModel em{hw::ApuParams::defaults()};
+    GroundTruthPredictor truth{hw::ApuParams::defaults()};
+    const kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     auto k = workload::trainingCorpus(1, 13)[0];
     k.launchCpuSeconds = 0.0; // isolate the power effect
 

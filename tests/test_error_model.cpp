@@ -15,7 +15,7 @@ namespace {
 PredictionQuery
 queryFor(const kernel::KernelParams &k, const hw::HwConfig &c)
 {
-    static kernel::GroundTruthModel model;
+    static kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     PredictionQuery q;
     const auto est = model.estimate(k, c);
     q.counters = model.counters(k, c, est);
@@ -26,9 +26,9 @@ queryFor(const kernel::KernelParams &k, const hw::HwConfig &c)
 
 TEST(ErrorModel, ZeroErrorMatchesGroundTruth)
 {
-    const kernel::GroundTruthModel model;
-    NoisyOraclePredictor err0(0.0, 0.0);
-    GroundTruthPredictor truth;
+    const kernel::GroundTruthModel model{hw::ApuParams::defaults()};
+    NoisyOraclePredictor err0(0.0, 0.0, 0xe44ULL, hw::ApuParams::defaults());
+    GroundTruthPredictor truth{hw::ApuParams::defaults()};
     const auto corpus = workload::trainingCorpus(5, 1);
     const hw::ConfigSpace space;
     for (const auto &k : corpus) {
@@ -45,8 +45,8 @@ TEST(ErrorModel, ZeroErrorMatchesGroundTruth)
 
 TEST(ErrorModel, GroundTruthPredictorIsExact)
 {
-    const kernel::GroundTruthModel model;
-    GroundTruthPredictor truth;
+    const kernel::GroundTruthModel model{hw::ApuParams::defaults()};
+    GroundTruthPredictor truth{hw::ApuParams::defaults()};
     const auto corpus = workload::trainingCorpus(5, 2);
     const auto c = hw::ConfigSpace::failSafe();
     for (const auto &k : corpus) {
@@ -61,8 +61,8 @@ TEST(ErrorModel, MeanAbsoluteErrorMatchesTarget)
     // Average |relative error| over many (kernel, config) pairs must
     // land near the configured half-normal mean (Sec. VI-D).
     for (double target : {0.05, 0.15}) {
-        NoisyOraclePredictor noisy(target, target / 2.0);
-        GroundTruthPredictor truth;
+        NoisyOraclePredictor noisy(target, target / 2.0, 0xe44ULL, hw::ApuParams::defaults());
+        GroundTruthPredictor truth{hw::ApuParams::defaults()};
         const auto corpus = workload::trainingCorpus(40, 3);
         const hw::ConfigSpace space;
         Accumulator time_err, power_err;
@@ -84,7 +84,7 @@ TEST(ErrorModel, MeanAbsoluteErrorMatchesTarget)
 
 TEST(ErrorModel, DeterministicPerKernelConfig)
 {
-    NoisyOraclePredictor noisy(0.15, 0.10);
+    NoisyOraclePredictor noisy(0.15, 0.10, 0xe44ULL, hw::ApuParams::defaults());
     const auto corpus = workload::trainingCorpus(3, 4);
     const auto c = hw::ConfigSpace::maxPerformance();
     for (const auto &k : corpus) {
@@ -98,8 +98,8 @@ TEST(ErrorModel, DeterministicPerKernelConfig)
 
 TEST(ErrorModel, ErrorsDifferAcrossConfigs)
 {
-    NoisyOraclePredictor noisy(0.15, 0.10);
-    GroundTruthPredictor truth;
+    NoisyOraclePredictor noisy(0.15, 0.10, 0xe44ULL, hw::ApuParams::defaults());
+    GroundTruthPredictor truth{hw::ApuParams::defaults()};
     const auto corpus = workload::trainingCorpus(1, 5);
     const auto &k = corpus[0];
     const hw::ConfigSpace space;
@@ -116,7 +116,7 @@ TEST(ErrorModel, ErrorsDifferAcrossConfigs)
 
 TEST(ErrorModel, PredictionsStayPositive)
 {
-    NoisyOraclePredictor noisy(0.5, 0.5, 0x123);
+    NoisyOraclePredictor noisy(0.5, 0.5, 0x123, hw::ApuParams::defaults());
     const auto corpus = workload::trainingCorpus(20, 6);
     const hw::ConfigSpace space;
     for (const auto &k : corpus) {
@@ -132,15 +132,15 @@ TEST(ErrorModel, PredictionsStayPositive)
 
 TEST(ErrorModel, Names)
 {
-    EXPECT_EQ(NoisyOraclePredictor(0.15, 0.10).name(), "Err_15%_10%");
-    EXPECT_EQ(NoisyOraclePredictor(0.05, 0.05).name(), "Err_5%");
-    EXPECT_EQ(NoisyOraclePredictor(0.0, 0.0).name(), "Err_0%");
-    EXPECT_EQ(GroundTruthPredictor().name(), "Err_0%");
+    EXPECT_EQ(NoisyOraclePredictor(0.15, 0.10, 0xe44ULL, hw::ApuParams::defaults()).name(), "Err_15%_10%");
+    EXPECT_EQ(NoisyOraclePredictor(0.05, 0.05, 0xe44ULL, hw::ApuParams::defaults()).name(), "Err_5%");
+    EXPECT_EQ(NoisyOraclePredictor(0.0, 0.0, 0xe44ULL, hw::ApuParams::defaults()).name(), "Err_0%");
+    EXPECT_EQ(GroundTruthPredictor(hw::ApuParams::defaults()).name(), "Err_0%");
 }
 
 TEST(ErrorModel, RequiresKernelIdentity)
 {
-    NoisyOraclePredictor noisy(0.1, 0.1);
+    NoisyOraclePredictor noisy(0.1, 0.1, 0xe44ULL, hw::ApuParams::defaults());
     PredictionQuery q; // groundTruth left null
     EXPECT_DEATH(noisy.predict(q, hw::ConfigSpace::failSafe()),
                  "identity");

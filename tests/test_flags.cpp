@@ -299,5 +299,51 @@ TEST(Flags, WrongTypeAccessDies)
     EXPECT_DEATH(p.getString("missing"), "not registered");
 }
 
+FlagParser
+choiceParser()
+{
+    FlagParser p("test tool");
+    p.addChoice("governor", "mpc", "which governor",
+                {"mpc", "turbo", "pi"});
+    return p;
+}
+
+TEST(Flags, ChoiceDefaultsAndValidValuesApply)
+{
+    auto p = choiceParser();
+    ASSERT_TRUE(parseArgs(p, {}));
+    EXPECT_EQ(p.getString("governor"), "mpc");
+
+    auto q = choiceParser();
+    ASSERT_TRUE(parseArgs(q, {"--governor=pi"}));
+    EXPECT_EQ(q.getString("governor"), "pi");
+}
+
+TEST(Flags, ChoiceRejectsUnknownValueNamingCandidates)
+{
+    // Validation happens at parse time, so a typo'd model or governor
+    // name fails before any work starts - with the menu in the error.
+    auto p = choiceParser();
+    EXPECT_FALSE(parseArgs(p, {"--governor", "ppo"}));
+    EXPECT_NE(p.error().find("unknown value 'ppo'"), std::string::npos)
+        << p.error();
+    for (const char *c : {"mpc", "turbo", "pi"})
+        EXPECT_NE(p.error().find(c), std::string::npos) << p.error();
+}
+
+TEST(Flags, ChoiceUsageListsTheCandidates)
+{
+    auto p = choiceParser();
+    EXPECT_NE(p.usage().find("one of"), std::string::npos);
+    EXPECT_NE(p.usage().find("turbo"), std::string::npos);
+}
+
+TEST(Flags, ChoiceDefaultMustBeACandidate)
+{
+    FlagParser p("test tool");
+    EXPECT_DEATH(p.addChoice("mode", "zzz", "bad default", {"a", "b"}),
+                 "");
+}
+
 } // namespace
 } // namespace gpupm

@@ -177,7 +177,7 @@ TEST(FlatForest, PredictorBatchMatchesScalarReference)
     opts.forest.numTrees = 8;
     auto pred = trainRandomForestPredictor(opts);
 
-    const kernel::GroundTruthModel model;
+    const kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     const hw::ConfigSpace space;
     const auto kernel = workload::trainingCorpus(1, 0x5150)[0];
     const auto c0 = hw::ConfigSpace::failSafe();
@@ -214,7 +214,7 @@ TEST(FlatForest, EnergyBatchMatchesScalarLoop)
     opts.forest.numTrees = 6;
     auto pred = trainRandomForestPredictor(opts);
 
-    const kernel::GroundTruthModel model;
+    const kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     const hw::ConfigSpace space;
     const auto kernel = workload::trainingCorpus(1, 0x77)[0];
     const auto c0 = hw::ConfigSpace::maxPerformance();
@@ -222,7 +222,7 @@ TEST(FlatForest, EnergyBatchMatchesScalarLoop)
     q.counters = model.counters(kernel, c0, model.estimate(kernel, c0));
     q.instructions = kernel.instructions();
 
-    EnergyModel energy;
+    EnergyModel energy{hw::ApuParams::defaults()};
     const auto &cfgs = space.all();
     std::vector<EnergyEstimate> batch(cfgs.size());
     energy.estimateBatch(*pred, q, cfgs, batch);
@@ -632,7 +632,7 @@ TEST(FlatForest, QuantizedPredictorConsistentAcrossEntryPoints)
     EXPECT_EQ(pred->simdMode(), SimdMode::Auto);
     EXPECT_NE(pred->simdPath(), SimdPath::Float64);
 
-    const kernel::GroundTruthModel model;
+    const kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     const hw::ConfigSpace space;
     const auto kernel = workload::trainingCorpus(1, 0x5150)[0];
     const auto c0 = hw::ConfigSpace::failSafe();

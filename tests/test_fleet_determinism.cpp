@@ -389,6 +389,123 @@ TEST(FleetDeterminism, CappedFleetLowersPowerAndAccountsViolations)
     EXPECT_EQ(uncapped.capViolations, 0u);
 }
 
+constexpr char kMixedGoldenPath[] =
+    GPUPM_GOLDEN_DIR "/fleet_mixed_golden.jsonl";
+
+/**
+ * The pinned heterogeneous fleet: three catalog models cycled over the
+ * golden fleet's 8 sessions, with every other session on a deadline
+ * QoS (1.3x slack) and the rest on the uniform alpha objective.
+ */
+FleetOptions
+mixedFleet(std::size_t jobs)
+{
+    auto opts = goldenFleet(jobs);
+    opts.hwModels = {"paper-apu", "eco-apu", "perf-apu"};
+    opts.deadlines = {0.0, 1.3};
+    return opts;
+}
+
+TEST(FleetDeterminism, HomogeneousPaperApuFleetKeepsGoldenBytes)
+{
+    // Naming the default model explicitly must be invisible: same
+    // bytes as the implicit-default fleet, and no "hw" provenance keys
+    // (those mark non-default models only).
+    auto opts = goldenFleet(4);
+    opts.hwModels = {"paper-apu", "paper-apu"};
+    const auto result = runFleet(forest(), opts);
+    const auto text = serializeFleetTrace(result.trace);
+    EXPECT_EQ(text, serializeFleetTrace(runAt(4).trace));
+    EXPECT_EQ(text.find("\"hw\":"), std::string::npos);
+    ASSERT_EQ(result.sessionsPerModel.size(), 1u);
+    EXPECT_EQ(result.sessionsPerModel.at("paper-apu"),
+              result.sessions);
+}
+
+TEST(FleetDeterminism, MixedFleetIsByteIdenticalAcrossShardsAndJobs)
+{
+    // Heterogeneous hardware and mixed QoS ride the same determinism
+    // contract as everything else: per-session models and targets are
+    // fixed at creation, so (shards, jobs) cannot move a byte.
+    const std::string reference =
+        serializeFleetTrace(runFleet(forest(), mixedFleet(1)).trace);
+    EXPECT_NE(reference.find("\"hw\":\"eco-apu\""), std::string::npos);
+    EXPECT_NE(reference.find("\"hw\":\"perf-apu\""), std::string::npos);
+    for (const auto [shards, jobs] :
+         {std::pair<std::size_t, std::size_t>{1, 8},
+          std::pair<std::size_t, std::size_t>{3, 4}}) {
+        auto opts = mixedFleet(jobs);
+        opts.server.shards = shards;
+        EXPECT_EQ(reference,
+                  serializeFleetTrace(runFleet(forest(), opts).trace))
+            << "mixed trace drifted at shards=" << shards
+            << " jobs=" << jobs;
+    }
+}
+
+TEST(FleetDeterminism, MixedFleetMatchesGoldenTrace)
+{
+    if (ml::defaultSimdMode() != ml::SimdMode::Scalar)
+        GTEST_SKIP() << "golden trace is pinned for --simd scalar only";
+
+    const std::string current =
+        serializeFleetTrace(runFleet(forest(), mixedFleet(8)).trace);
+
+    if (std::getenv("GPUPM_REGEN_GOLDEN") != nullptr) {
+        std::ofstream os(kMixedGoldenPath, std::ios::binary);
+        ASSERT_TRUE(os) << "cannot write " << kMixedGoldenPath;
+        os << current;
+        GTEST_SKIP() << "golden trace regenerated at "
+                     << kMixedGoldenPath;
+    }
+
+    std::ifstream is(kMixedGoldenPath, std::ios::binary);
+    ASSERT_TRUE(is) << "missing golden trace " << kMixedGoldenPath
+                    << "; regenerate with GPUPM_REGEN_GOLDEN=1";
+    std::ostringstream golden;
+    golden << is.rdbuf();
+    EXPECT_EQ(golden.str(), current)
+        << "mixed fleet trace drifted from the golden trace; if the "
+           "change is intentional, rerun with GPUPM_REGEN_GOLDEN=1 "
+           "and commit the diff";
+}
+
+TEST(FleetDeterminism, MixedFleetAccountsModelsAndDeadlines)
+{
+    const auto result = runFleet(forest(), mixedFleet(4));
+    // 8 sessions cycled over 3 models: paper gets indices {0,3,6},
+    // eco {1,4,7}, perf {2,5}.
+    ASSERT_EQ(result.sessionsPerModel.size(), 3u);
+    EXPECT_EQ(result.sessionsPerModel.at("paper-apu"), 3u);
+    EXPECT_EQ(result.sessionsPerModel.at("eco-apu"), 3u);
+    EXPECT_EQ(result.sessionsPerModel.at("perf-apu"), 2u);
+    std::size_t total = 0;
+    for (const auto &[name, count] : result.sessionsPerModel)
+        total += count;
+    EXPECT_EQ(total, result.sessions);
+
+    // Deadline misses in the result must agree with the per-record
+    // provenance marks (and with the telemetry counter when nonzero).
+    std::size_t marked = 0;
+    for (const auto &rec : result.trace)
+        marked += rec.deadlineMissed ? 1u : 0u;
+    EXPECT_EQ(marked, result.deadlineMisses);
+    const auto it =
+        result.metrics.counters.find("serve.deadline_misses");
+    const std::uint64_t counted =
+        it != result.metrics.counters.end() ? it->second : 0u;
+    EXPECT_EQ(counted, result.deadlineMisses);
+}
+
+TEST(FleetDeterminismDeathTest, NegativeDeadlineIsFatal)
+{
+    auto opts = goldenFleet(1);
+    opts.sessionCount = 1;
+    opts.deadlines = {-0.5};
+    EXPECT_EXIT(runFleet(forest(), opts),
+                testing::ExitedWithCode(1), "deadline factor");
+}
+
 TEST(FleetDeterminism, TraceIsOrderedAndComplete)
 {
     const auto result = runAt(2);

@@ -27,7 +27,7 @@ namespace {
 std::shared_ptr<const ml::PerfPowerPredictor>
 truth()
 {
-    static auto p = std::make_shared<ml::GroundTruthPredictor>();
+    static auto p = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
     return p;
 }
 
@@ -38,12 +38,12 @@ class RandomApps : public testing::TestWithParam<std::uint64_t>
     SetUp() override
     {
         app = workload::randomApplication(GetParam());
-        policy::TurboCoreGovernor turbo;
+        policy::TurboCoreGovernor turbo{hw::paperApu()};
         baseline = sim.run(app, turbo);
         target = baseline.throughput();
     }
 
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
     workload::Application app;
     sim::RunResult baseline;
     Throughput target = 0.0;
@@ -62,7 +62,7 @@ TEST_P(RandomApps, GeneratorProducesValidApps)
 
 TEST_P(RandomApps, AccountingIdentities)
 {
-    policy::PpkGovernor ppk(truth());
+    policy::PpkGovernor ppk(truth(), {}, hw::paperApu());
     auto r = sim.run(app, ppk, target);
     Seconds t_sum = 0.0;
     Joules e_sum = 0.0;
@@ -80,7 +80,7 @@ TEST_P(RandomApps, AccountingIdentities)
 
 TEST_P(RandomApps, MpcHoldsInvariantsOnArbitraryApps)
 {
-    mpc::MpcGovernor gov(truth());
+    mpc::MpcGovernor gov(truth(), {}, hw::paperApu());
     sim.run(app, gov, target);
     auto r = sim.run(app, gov, target);
 
@@ -95,7 +95,7 @@ TEST_P(RandomApps, MpcHoldsInvariantsOnArbitraryApps)
 
 TEST_P(RandomApps, OracleDominatesAndMeetsTarget)
 {
-    policy::TheoreticallyOptimalGovernor oracle(app);
+    policy::TheoreticallyOptimalGovernor oracle(app, hw::paperApu());
     auto to = sim.run(app, oracle, target);
     EXPECT_GE(sim::speedup(baseline, to), 0.98) << app.name;
     EXPECT_LE(to.totalEnergy(), baseline.totalEnergy() * 1.001)
@@ -104,7 +104,7 @@ TEST_P(RandomApps, OracleDominatesAndMeetsTarget)
 
 TEST_P(RandomApps, RepeatedMpcRunsConverge)
 {
-    mpc::MpcGovernor gov(truth());
+    mpc::MpcGovernor gov(truth(), {}, hw::paperApu());
     sim::RunResult prev, cur;
     for (int i = 0; i < 5; ++i) {
         prev = cur;
@@ -172,13 +172,13 @@ TEST(PoolEquivalence, RandomJobsMatchDirectSimulatorCalls)
     }
 
     exec::SweepEngine engine({4, 0x5eedULL});
-    const auto pooled = exec::runSweep(engine, jobs);
+    const auto pooled = exec::runSweep(engine, jobs, hw::paperApu());
     ASSERT_EQ(pooled.size(), jobs.size());
 
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         SCOPED_TRACE("job " + std::to_string(i) + " (" +
                      jobs[i].app.name + ")");
-        expectRunsIdentical(pooled[i], exec::runSimJob(jobs[i]));
+        expectRunsIdentical(pooled[i], exec::runSimJob(jobs[i], hw::paperApu()));
     }
 }
 

@@ -25,7 +25,7 @@ namespace {
 std::shared_ptr<const ml::PerfPowerPredictor>
 truth()
 {
-    static auto p = std::make_shared<ml::GroundTruthPredictor>();
+    static auto p = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
     return p;
 }
 
@@ -48,11 +48,11 @@ TEST(GovernorPaths, BrokenSequenceDegradesGracefully)
     auto changed = variantOf(app, 4.0);
     changed.name = app.name; // same application identity
 
-    sim::Simulator sim;
-    policy::TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base_changed = sim.run(changed, turbo);
 
-    MpcGovernor gov(truth());
+    MpcGovernor gov(truth(), {}, hw::paperApu());
     sim.run(app, gov, base_changed.throughput());     // learns original
     sim.run(app, gov, base_changed.throughput());     // optimizes
     auto r = sim.run(changed, gov, base_changed.throughput());
@@ -85,10 +85,10 @@ TEST(GovernorPaths, WindowReservationProtectsSlowTail)
     for (int i = 0; i < 4; ++i)
         app.trace.push_back({slow, 'B'});
 
-    sim::Simulator sim;
-    policy::TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
-    MpcGovernor gov(truth());
+    MpcGovernor gov(truth(), {}, hw::paperApu());
     sim.run(app, gov, base.throughput());
     auto r = sim.run(app, gov, base.throughput());
     EXPECT_GT(sim::speedup(base, r), 0.93);
@@ -97,14 +97,14 @@ TEST(GovernorPaths, WindowReservationProtectsSlowTail)
 TEST(GovernorPaths, FixedHorizonLargerThanNClamps)
 {
     auto app = workload::makeBenchmark("XSBench"); // N = 6
-    sim::Simulator sim;
-    policy::TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
 
     MpcOptions opts;
     opts.horizonMode = HorizonMode::Fixed;
     opts.fixedHorizon = 100; // >> N
-    MpcGovernor gov(truth(), opts);
+    MpcGovernor gov(truth(), opts, hw::paperApu());
     sim.run(app, gov, base.throughput());
     auto r = sim.run(app, gov, base.throughput());
     EXPECT_GT(sim::speedup(base, r), 0.9);
@@ -116,18 +116,18 @@ TEST(GovernorPaths, UniformPacingEndToEnd)
     // The paper's exact budget formula still produces a working
     // governor (just with smaller horizons for front-loaded apps).
     auto app = workload::makeBenchmark("kmeans");
-    sim::Simulator sim;
-    policy::TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
 
     MpcOptions uniform;
     uniform.uniformPacing = true;
-    MpcGovernor gov(truth(), uniform);
+    MpcGovernor gov(truth(), uniform, hw::paperApu());
     sim.run(app, gov, base.throughput());
     auto r = sim.run(app, gov, base.throughput());
     EXPECT_GT(sim::speedup(base, r), 0.9);
 
-    MpcGovernor profiled(truth());
+    MpcGovernor profiled(truth(), {}, hw::paperApu());
     sim.run(app, profiled, base.throughput());
     auto rp = sim.run(app, profiled, base.throughput());
     // Both pacing modes hold the performance constraint; the fleet-wide
@@ -140,11 +140,11 @@ TEST(GovernorPaths, PhasesAndPoolCompose)
 {
     auto app = workload::withCpuPhases(
         workload::makeBenchmark("Spmv"), 0.5);
-    sim::Simulator sim;
-    policy::TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
 
-    MpcGovernorPool pool(truth());
+    MpcGovernorPool pool(truth(), {}, hw::paperApu());
     sim.run(app, pool, base.throughput());
     auto r = sim.run(app, pool, base.throughput());
     EXPECT_GT(sim::speedup(base, r), 0.93);
@@ -158,13 +158,13 @@ TEST(GovernorPaths, ZeroAlphaStaysNearBaseline)
     // cached/boost decisions only; performance stays very close to
     // baseline at reduced savings.
     auto app = workload::makeBenchmark("Spmv");
-    sim::Simulator sim;
-    policy::TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
 
     MpcOptions opts;
-    opts.alpha = 0.0;
-    MpcGovernor gov(truth(), opts);
+    opts.qos.alpha = 0.0;
+    MpcGovernor gov(truth(), opts, hw::paperApu());
     sim.run(app, gov, base.throughput());
     auto r = sim.run(app, gov, base.throughput());
     EXPECT_GT(sim::speedup(base, r), 0.93);
@@ -174,14 +174,14 @@ TEST(GovernorPaths, ZeroAlphaStaysNearBaseline)
 TEST(GovernorPaths, TightAlphaReducesOverheadVsLooseAlpha)
 {
     auto app = workload::makeBenchmark("Spmv");
-    sim::Simulator sim;
-    policy::TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
 
     auto run_with_alpha = [&](double alpha) {
         MpcOptions opts;
-        opts.alpha = alpha;
-        MpcGovernor gov(truth(), opts);
+        opts.qos.alpha = alpha;
+        MpcGovernor gov(truth(), opts, hw::paperApu());
         sim.run(app, gov, base.throughput());
         return sim.run(app, gov, base.throughput());
     };

@@ -15,9 +15,9 @@ class HillClimbTest : public testing::Test
 {
   protected:
     hw::ConfigSpace space;
-    ml::EnergyModel energy;
-    ml::GroundTruthPredictor truth;
-    kernel::GroundTruthModel model;
+    ml::EnergyModel energy{hw::ApuParams::defaults()};
+    ml::GroundTruthPredictor truth{hw::ApuParams::defaults()};
+    kernel::GroundTruthModel model{hw::ApuParams::defaults()};
 
     ml::PredictionQuery
     queryFor(const kernel::KernelParams &k)

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * HardwareModel / HardwareCatalog unit tests: built-in entries, anchor
+ * configurations, descriptor-table identity with the free function,
+ * name uniqueness (duplicate registration is fatal) and the QosSpec
+ * target arithmetic sessions hang off the model API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/model.hpp"
+#include "mpc/options.hpp"
+
+namespace gpupm::hw {
+namespace {
+
+TEST(HwCatalog, BuiltInModelsArePresentAndSorted)
+{
+    auto &catalog = HardwareCatalog::instance();
+    const auto names = catalog.names();
+    ASSERT_GE(names.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+    for (const char *name : {"paper-apu", "eco-apu", "perf-apu"}) {
+        const auto model = catalog.find(name);
+        ASSERT_NE(model, nullptr) << name;
+        EXPECT_EQ(model->name(), name);
+        EXPECT_GT(model->tdp(), 0.0);
+        EXPECT_GT(model->space().size(), 0u);
+    }
+    // find() on an unknown name is the non-fatal probe.
+    EXPECT_EQ(catalog.find("no-such-apu"), nullptr);
+}
+
+TEST(HwCatalog, PaperApuAnchorsMatchTheStaticConfigs)
+{
+    // The paper model's anchors are the Sec. IV/V constants every
+    // golden trace was recorded on; the catalog must not move them.
+    const auto model = paperApu();
+    EXPECT_EQ(model->name(), paperApuName);
+    EXPECT_EQ(model->failSafe(), ConfigSpace::failSafe());
+    EXPECT_EQ(model->maxPerformance(), ConfigSpace::maxPerformance());
+    EXPECT_EQ(model->space().size(),
+              ConfigSpace(ConfigSpaceOptions::paperDefault()).size());
+    // Same handle every time: paperApu() is the shared default.
+    EXPECT_EQ(model.get(), paperApu().get());
+}
+
+TEST(HwCatalog, DescriptorTableMatchesTheFreeFunctionBitForBit)
+{
+    const auto model = paperApu();
+    for (std::size_t i = 0; i < denseConfigCount; i += 37) {
+        const HwConfig c = denseConfigAt(i);
+        const auto expect = makeConfigDescriptor(model->params(), c);
+        const auto &got = model->descriptorAt(i);
+        for (int k = 0; k < numConfigDescriptors; ++k)
+            EXPECT_EQ(got[static_cast<std::size_t>(k)],
+                      expect[static_cast<std::size_t>(k)])
+                << "config " << i << " field " << k;
+        EXPECT_EQ(&model->descriptor(c), &got);
+    }
+}
+
+TEST(HwCatalog, VariantsDeriveAnchorsFromTheirOwnSpace)
+{
+    // eco-apu is a 6-CU part: its fail-safe/max-perf clamp to its own
+    // top CU count instead of the paper's 8.
+    const auto eco = HardwareCatalog::instance().get("eco-apu");
+    EXPECT_EQ(eco->failSafe().cus, 6);
+    EXPECT_EQ(eco->maxPerformance().cus, 6);
+    EXPECT_EQ(eco->failSafe().gpu, GpuPState::DPM4);
+    EXPECT_LT(eco->tdp(), paperApu()->tdp());
+    EXPECT_TRUE(eco->space().contains(eco->failSafe()));
+    EXPECT_TRUE(eco->space().contains(eco->minPower()));
+
+    const auto perf = HardwareCatalog::instance().get("perf-apu");
+    EXPECT_EQ(perf->space().levels(Knob::GpuDvfs), 5);
+    EXPECT_GT(perf->tdp(), paperApu()->tdp());
+}
+
+TEST(HwCatalogDeathTest, DuplicateRegistrationIsFatal)
+{
+    // A name identifies exactly one model per process; the second add
+    // must die rather than silently shadow the first.
+    EXPECT_EXIT(
+        {
+            auto &catalog = HardwareCatalog::instance();
+            catalog.add("dup-test-apu", ApuParams{},
+                        ConfigSpaceOptions::paperDefault());
+            catalog.add("dup-test-apu", ApuParams{},
+                        ConfigSpaceOptions::paperDefault());
+        },
+        testing::ExitedWithCode(1), "already registered");
+}
+
+TEST(HwCatalogDeathTest, UnknownModelGetIsFatalWithCandidates)
+{
+    EXPECT_EXIT(HardwareCatalog::instance().get("typo-apu"),
+                testing::ExitedWithCode(1), "paper-apu");
+}
+
+TEST(HwCatalog, MakeModelStaysOutOfTheCatalog)
+{
+    ApuParams params;
+    params.tdp = 33.0;
+    const auto model = makeModel("adhoc-apu", params);
+    EXPECT_EQ(model->name(), "adhoc-apu");
+    EXPECT_EQ(model->tdp(), 33.0);
+    EXPECT_EQ(HardwareCatalog::instance().find("adhoc-apu"), nullptr);
+}
+
+TEST(QosSpec, UniformTracksTheBaselineExactly)
+{
+    const auto qos = mpc::QosSpec::uniform(0.08);
+    EXPECT_EQ(qos.kind, mpc::QosSpec::Kind::UniformAlpha);
+    EXPECT_EQ(qos.alpha, 0.08);
+    // Bit-identity: the pre-QosSpec target arithmetic had no scaling,
+    // so UniformAlpha must return the baseline unchanged.
+    const Throughput baseline = 1.2345678901234567e9;
+    EXPECT_EQ(qos.scaleTarget(baseline), baseline);
+}
+
+TEST(QosSpec, DeadlineScalesTheTargetByTheAllowedSlowdown)
+{
+    const auto qos = mpc::QosSpec::deadline(1.25);
+    EXPECT_EQ(qos.kind, mpc::QosSpec::Kind::Deadline);
+    EXPECT_EQ(qos.scaleTarget(1000.0), 1000.0 / 1.25);
+    // Factors below 1 tighten the target above the baseline.
+    EXPECT_GT(mpc::QosSpec::deadline(0.5).scaleTarget(1000.0), 1000.0);
+}
+
+TEST(QosSpecDeathTest, NonPositiveDeadlineFactorIsFatal)
+{
+    EXPECT_EXIT(mpc::QosSpec::deadline(0.0),
+                testing::ExitedWithCode(1), "deadline factor");
+    EXPECT_EXIT(mpc::QosSpec::deadline(-1.5),
+                testing::ExitedWithCode(1), "deadline factor");
+}
+
+} // namespace
+} // namespace gpupm::hw

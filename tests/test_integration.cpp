@@ -27,7 +27,7 @@ namespace {
 std::shared_ptr<const ml::PerfPowerPredictor>
 truth()
 {
-    static auto p = std::make_shared<ml::GroundTruthPredictor>();
+    static auto p = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
     return p;
 }
 
@@ -40,8 +40,8 @@ struct Bench
     explicit Bench(const std::string &name)
         : app(workload::makeBenchmark(name))
     {
-        sim::Simulator sim;
-        policy::TurboCoreGovernor turbo;
+        sim::Simulator sim{hw::paperApu()};
+        policy::TurboCoreGovernor turbo{hw::paperApu()};
         baseline = sim.run(app, turbo);
         target = baseline.throughput();
     }
@@ -49,8 +49,8 @@ struct Bench
     sim::RunResult
     runMpc(int executions = 2, const mpc::MpcOptions &opts = {}) const
     {
-        sim::Simulator sim;
-        mpc::MpcGovernor gov(truth(), opts);
+        sim::Simulator sim{hw::paperApu()};
+        mpc::MpcGovernor gov(truth(), opts, hw::paperApu());
         sim::RunResult last;
         for (int i = 0; i < executions; ++i)
             last = sim.run(app, gov, target);
@@ -66,9 +66,9 @@ class SchemeOrdering : public testing::TestWithParam<std::string>
 TEST_P(SchemeOrdering, OracleDominatesMpc)
 {
     Bench b(GetParam());
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
 
-    policy::TheoreticallyOptimalGovernor oracle(b.app);
+    policy::TheoreticallyOptimalGovernor oracle(b.app, hw::paperApu());
     auto to = sim.run(b.app, oracle, b.target);
 
     // MPC in limit-study form (no overheads, full horizon, perfect
@@ -97,8 +97,8 @@ TEST(Integration, AmortizationImprovesWithReexecution)
     // Fig. 11: cumulative MPC results approach steady state as the
     // application re-executes; the first (profiling) run is the worst.
     Bench b("Spmv");
-    sim::Simulator sim;
-    mpc::MpcGovernor gov(truth());
+    sim::Simulator sim{hw::paperApu()};
+    mpc::MpcGovernor gov(truth(), {}, hw::paperApu());
 
     auto first = sim.run(b.app, gov, b.target);
     Seconds cumulative = first.totalTime();
@@ -120,8 +120,8 @@ TEST(Integration, SteadyStateRunsAreStable)
     // After the pattern is learned, repeated runs converge: the last
     // two runs should be close in both time and energy.
     Bench b("EigenValue");
-    sim::Simulator sim;
-    mpc::MpcGovernor gov(truth());
+    sim::Simulator sim{hw::paperApu()};
+    mpc::MpcGovernor gov(truth(), {}, hw::paperApu());
     sim::RunResult prev, cur;
     for (int i = 0; i < 6; ++i) {
         prev = cur;
@@ -138,8 +138,8 @@ TEST(Integration, PerfectPredictionMpcNearOracleEnergy)
     std::vector<double> fractions;
     for (const auto &name : workload::benchmarkNames()) {
         Bench b(name);
-        sim::Simulator sim;
-        policy::TheoreticallyOptimalGovernor oracle(b.app);
+        sim::Simulator sim{hw::paperApu()};
+        policy::TheoreticallyOptimalGovernor oracle(b.app, hw::paperApu());
         auto to = sim.run(b.app, oracle, b.target);
 
         mpc::MpcOptions limit;
@@ -161,10 +161,10 @@ TEST(Integration, NoisyPredictorStillSavesEnergy)
 {
     // Fig. 13: MPC is robust to prediction error thanks to feedback
     // and its local search.
-    auto noisy = std::make_shared<ml::NoisyOraclePredictor>(0.15, 0.10);
+    auto noisy = std::make_shared<ml::NoisyOraclePredictor>(0.15, 0.10, 0xe44ULL, hw::ApuParams::defaults());
     Bench b("Spmv");
-    sim::Simulator sim;
-    mpc::MpcGovernor gov(noisy);
+    sim::Simulator sim{hw::paperApu()};
+    mpc::MpcGovernor gov(noisy, {}, hw::paperApu());
     sim.run(b.app, gov, b.target);
     auto r = sim.run(b.app, gov, b.target);
     EXPECT_GT(sim::energySavingsPct(b.baseline, r), 10.0);

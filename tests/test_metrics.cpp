@@ -20,7 +20,7 @@ class MetricsTest : public testing::Test
         low = sim.run(app, slow);
     }
 
-    Simulator sim;
+    Simulator sim{hw::paperApu()};
     workload::Application app;
     RunResult ref, low;
 };

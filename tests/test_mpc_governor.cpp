@@ -18,7 +18,7 @@ namespace {
 std::shared_ptr<const ml::PerfPowerPredictor>
 truthPredictor()
 {
-    static auto p = std::make_shared<ml::GroundTruthPredictor>();
+    static auto p = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
     return p;
 }
 
@@ -31,8 +31,8 @@ struct BenchSetup
     explicit BenchSetup(const std::string &name)
         : app(workload::makeBenchmark(name))
     {
-        sim::Simulator sim;
-        policy::TurboCoreGovernor turbo;
+        sim::Simulator sim{hw::paperApu()};
+        policy::TurboCoreGovernor turbo{hw::paperApu()};
         baseline = sim.run(app, turbo);
         target = baseline.throughput();
     }
@@ -41,8 +41,8 @@ struct BenchSetup
 TEST(MpcGovernor, ProfilesOnFirstRunThenOptimizes)
 {
     BenchSetup s("Spmv");
-    sim::Simulator sim;
-    MpcGovernor gov(truthPredictor());
+    sim::Simulator sim{hw::paperApu()};
+    MpcGovernor gov(truthPredictor(), {}, hw::paperApu());
     EXPECT_TRUE(gov.profiling());
     sim.run(s.app, gov, s.target);
     // Still "profiling" until the next beginRun commits the pattern.
@@ -56,10 +56,10 @@ TEST(MpcGovernor, ProfilesOnFirstRunThenOptimizes)
 TEST(MpcGovernor, FirstRunBehavesLikePpk)
 {
     BenchSetup s("EigenValue");
-    sim::Simulator sim;
-    MpcGovernor gov(truthPredictor());
+    sim::Simulator sim{hw::paperApu()};
+    MpcGovernor gov(truthPredictor(), {}, hw::paperApu());
     auto mpc_run1 = sim.run(s.app, gov, s.target);
-    policy::PpkGovernor ppk(truthPredictor());
+    policy::PpkGovernor ppk(truthPredictor(), {}, hw::paperApu());
     auto ppk_run = sim.run(s.app, ppk, s.target);
     // Identical decisions during the profiling execution (Sec. V-B).
     ASSERT_EQ(mpc_run1.records.size(), ppk_run.records.size());
@@ -69,10 +69,10 @@ TEST(MpcGovernor, FirstRunBehavesLikePpk)
 
 TEST(MpcGovernor, NeedsTargetAndPredictor)
 {
-    EXPECT_DEATH(MpcGovernor(nullptr), "predictor");
+    EXPECT_DEATH(MpcGovernor(nullptr, {}, hw::paperApu()), "predictor");
     BenchSetup s("lud");
-    sim::Simulator sim;
-    MpcGovernor gov(truthPredictor());
+    sim::Simulator sim{hw::paperApu()};
+    MpcGovernor gov(truthPredictor(), {}, hw::paperApu());
     EXPECT_DEATH(sim.run(s.app, gov, 0.0), "target");
 }
 
@@ -80,8 +80,8 @@ TEST(MpcGovernor, OneGovernorPerApplication)
 {
     BenchSetup a("lud");
     BenchSetup b("mis");
-    sim::Simulator sim;
-    MpcGovernor gov(truthPredictor());
+    sim::Simulator sim{hw::paperApu()};
+    MpcGovernor gov(truthPredictor(), {}, hw::paperApu());
     sim.run(a.app, gov, a.target);
     EXPECT_DEATH(sim.run(b.app, gov, b.target), "one MpcGovernor");
 }
@@ -89,8 +89,8 @@ TEST(MpcGovernor, OneGovernorPerApplication)
 TEST(MpcGovernor, ChargesOverheadWhenEnabled)
 {
     BenchSetup s("Spmv");
-    sim::Simulator sim;
-    MpcGovernor gov(truthPredictor());
+    sim::Simulator sim{hw::paperApu()};
+    MpcGovernor gov(truthPredictor(), {}, hw::paperApu());
     sim.run(s.app, gov, s.target);
     auto r2 = sim.run(s.app, gov, s.target);
     EXPECT_GT(r2.overheadTime, 0.0);
@@ -101,12 +101,12 @@ TEST(MpcGovernor, ChargesOverheadWhenEnabled)
 TEST(MpcGovernor, OverheadDisabledForLimitStudies)
 {
     BenchSetup s("Spmv");
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
     MpcOptions opts;
     opts.chargeOverhead = false;
     opts.overhead = policy::OverheadModel::free();
     opts.horizonMode = HorizonMode::Full;
-    MpcGovernor gov(truthPredictor(), opts);
+    MpcGovernor gov(truthPredictor(), opts, hw::paperApu());
     sim.run(s.app, gov, s.target);
     auto r2 = sim.run(s.app, gov, s.target);
     EXPECT_DOUBLE_EQ(r2.overheadTime, 0.0);
@@ -115,10 +115,10 @@ TEST(MpcGovernor, OverheadDisabledForLimitStudies)
 TEST(MpcGovernor, FullHorizonUsesWholeApp)
 {
     BenchSetup s("NBody");
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
     MpcOptions opts;
     opts.horizonMode = HorizonMode::Full;
-    MpcGovernor gov(truthPredictor(), opts);
+    MpcGovernor gov(truthPredictor(), opts, hw::paperApu());
     sim.run(s.app, gov, s.target);
     sim.run(s.app, gov, s.target);
     EXPECT_DOUBLE_EQ(
@@ -128,11 +128,11 @@ TEST(MpcGovernor, FullHorizonUsesWholeApp)
 TEST(MpcGovernor, FixedHorizonMode)
 {
     BenchSetup s("NBody");
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
     MpcOptions opts;
     opts.horizonMode = HorizonMode::Fixed;
     opts.fixedHorizon = 2;
-    MpcGovernor gov(truthPredictor(), opts);
+    MpcGovernor gov(truthPredictor(), opts, hw::paperApu());
     sim.run(s.app, gov, s.target);
     sim.run(s.app, gov, s.target);
     EXPECT_NEAR(gov.runStats().averageHorizonFraction(gov.kernelCount()),
@@ -151,8 +151,8 @@ class MpcHeadline : public testing::TestWithParam<std::string>
 TEST_P(MpcHeadline, SavesEnergyWithBoundedLoss)
 {
     BenchSetup s(GetParam());
-    sim::Simulator sim;
-    MpcGovernor gov(truthPredictor());
+    sim::Simulator sim{hw::paperApu()};
+    MpcGovernor gov(truthPredictor(), {}, hw::paperApu());
     sim.run(s.app, gov, s.target);
     auto r2 = sim.run(s.app, gov, s.target);
 
@@ -167,10 +167,10 @@ TEST(MpcGovernor, RegularAppMatchesPpk)
 {
     // Paper Fig. 8: MPC fares similarly to PPK for regular benchmarks.
     BenchSetup s("mandelbulbGPU");
-    sim::Simulator sim;
-    policy::PpkGovernor ppk(truthPredictor());
+    sim::Simulator sim{hw::paperApu()};
+    policy::PpkGovernor ppk(truthPredictor(), {}, hw::paperApu());
     auto rp = sim.run(s.app, ppk, s.target);
-    MpcGovernor gov(truthPredictor());
+    MpcGovernor gov(truthPredictor(), {}, hw::paperApu());
     sim.run(s.app, gov, s.target);
     auto rm = sim.run(s.app, gov, s.target);
     EXPECT_NEAR(sim::energySavingsPct(s.baseline, rm),
@@ -183,10 +183,10 @@ TEST(MpcGovernor, BeatsPpkOnIrregularApps)
     // loses. Compare speedups on the benchmarks PPK handles worst.
     for (const auto &name : {"Spmv", "hybridsort", "lulesh"}) {
         BenchSetup s(name);
-        sim::Simulator sim;
-        policy::PpkGovernor ppk(truthPredictor());
+        sim::Simulator sim{hw::paperApu()};
+        policy::PpkGovernor ppk(truthPredictor(), {}, hw::paperApu());
         auto rp = sim.run(s.app, ppk, s.target);
-        MpcGovernor gov(truthPredictor());
+        MpcGovernor gov(truthPredictor(), {}, hw::paperApu());
         sim.run(s.app, gov, s.target);
         auto rm = sim.run(s.app, gov, s.target);
         EXPECT_GT(sim::speedup(s.baseline, rm),
@@ -199,18 +199,18 @@ TEST(MpcGovernor, FeedbackAblationDegradesOrEquals)
 {
     // Without Eq. 4/5 feedback the tracker believes its predictions;
     // with an imperfect predictor this forfeits recovery.
-    auto noisy = std::make_shared<ml::NoisyOraclePredictor>(0.15, 0.10);
+    auto noisy = std::make_shared<ml::NoisyOraclePredictor>(0.15, 0.10, 0xe44ULL, hw::ApuParams::defaults());
     BenchSetup s("Spmv");
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
 
     MpcOptions with;
-    MpcGovernor gov_fb(noisy, with);
+    MpcGovernor gov_fb(noisy, with, hw::paperApu());
     sim.run(s.app, gov_fb, s.target);
     auto r_fb = sim.run(s.app, gov_fb, s.target);
 
     MpcOptions without = with;
     without.useFeedback = false;
-    MpcGovernor gov_nf(noisy, without);
+    MpcGovernor gov_nf(noisy, without, hw::paperApu());
     sim.run(s.app, gov_nf, s.target);
     auto r_nf = sim.run(s.app, gov_nf, s.target);
 
@@ -221,8 +221,8 @@ TEST(MpcGovernor, FeedbackAblationDegradesOrEquals)
 TEST(MpcGovernor, StatsResetEachRun)
 {
     BenchSetup s("lud");
-    sim::Simulator sim;
-    MpcGovernor gov(truthPredictor());
+    sim::Simulator sim{hw::paperApu()};
+    MpcGovernor gov(truthPredictor(), {}, hw::paperApu());
     sim.run(s.app, gov, s.target);
     sim.run(s.app, gov, s.target);
     const auto stats2 = gov.runStats();

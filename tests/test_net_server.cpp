@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/logging.hpp"
+#include "hw/model.hpp"
 #include "ml/predictor.hpp"
 #include "serve/net_server.hpp"
 #include "serve/server.hpp"
@@ -125,7 +126,7 @@ class ServerFixture
         sopts.jobs = 2;
         sopts.shards = shards;
         _fleet = std::make_unique<FleetServer>(
-            std::make_shared<ml::GroundTruthPredictor>(), sopts);
+            std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults()), sopts);
         NetServerOptions nopts;
         nopts.session.optimizedRuns = 1;
         _net = std::make_unique<NetServer>(*_fleet, nopts);
@@ -213,6 +214,143 @@ TEST(NetServer, UnknownBenchmarkIsRejectedWithTenantCorrelation)
     ASSERT_TRUE(rej.has_value());
     EXPECT_EQ(rej->session, 99u); // tenant rides in the session slot
     EXPECT_EQ(rej->reason, wire::RejectReason::BadBench);
+}
+
+TEST(NetServer, V2OpenSelectsModelAndDeadlineQos)
+{
+    // A v2 Open naming a non-default catalog model with a deadline QoS
+    // must run end to end: session created, decisions served, and the
+    // per-model session counter visible in Stats.
+    ServerFixture server;
+    WireClient client(server.port());
+    std::vector<std::uint8_t> out;
+    wire::OpenMsg open;
+    open.tenant = 21;
+    open.optimizedRuns = 1;
+    open.kernelCacheCap = 0;
+    open.bench = "color";
+    open.hwModel = "eco-apu";
+    open.qosKind = wire::WireQosKind::Deadline;
+    open.qosValue = 1.25;
+    wire::encodeOpen(out, open);
+    client.sendBytes(out);
+    auto frame = client.readFrame();
+    ASSERT_TRUE(frame && frame->type == wire::MsgType::Opened);
+    const auto opened = wire::decodeOpened(frame->payload);
+    ASSERT_TRUE(opened.has_value());
+    ASSERT_GT(opened->totalDecisions, 0u);
+
+    client.step(opened->session);
+    frame = client.readFrame();
+    ASSERT_TRUE(frame && frame->type == wire::MsgType::Decision);
+    const auto decision = wire::decodeDecision(frame->payload);
+    ASSERT_TRUE(decision.has_value());
+    // eco-apu is a 6-CU part; no decision can name a config outside
+    // its space, and dense indices encode the CU count directly.
+    EXPECT_LE(hw::denseConfigAt(decision->configIndex).cus, 6);
+
+    out.clear();
+    wire::encodeStatsReq(out);
+    client.sendBytes(out);
+    frame = client.readFrame();
+    ASSERT_TRUE(frame && frame->type == wire::MsgType::Stats);
+    const auto stats = wire::decodeStats(frame->payload);
+    ASSERT_TRUE(stats.has_value());
+    std::uint64_t eco_sessions = 0;
+    for (const auto &[key, value] : stats->entries)
+        if (key == "serve.model.eco-apu.sessions")
+            eco_sessions = value;
+    EXPECT_EQ(eco_sessions, 1u);
+}
+
+TEST(NetServer, V1OpenStillWorksWithCatalogDefaults)
+{
+    // Mixed-version fleet: a legacy client (no tail on Open) keeps
+    // working against a v2 server, landing on the default model.
+    ServerFixture server;
+    WireClient client(server.port());
+    std::vector<std::uint8_t> out;
+    wire::OpenMsg open;
+    open.tenant = 31;
+    open.optimizedRuns = 1;
+    open.kernelCacheCap = 0;
+    open.bench = "mis";
+    open.version = 1; // encode the legacy frame layout
+    wire::encodeOpen(out, open);
+    client.sendBytes(out);
+    const auto frame = client.readFrame();
+    ASSERT_TRUE(frame && frame->type == wire::MsgType::Opened);
+    const auto opened = wire::decodeOpened(frame->payload);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(opened->tenant, 31u);
+    EXPECT_GT(opened->totalDecisions, 0u);
+}
+
+TEST(NetServer, UnknownHardwareModelIsRejected)
+{
+    ServerFixture server;
+    WireClient client(server.port());
+    std::vector<std::uint8_t> out;
+    wire::OpenMsg open;
+    open.tenant = 41;
+    open.bench = "color";
+    open.hwModel = "no-such-apu";
+    wire::encodeOpen(out, open);
+    client.sendBytes(out);
+    const auto frame = client.readFrame();
+    ASSERT_TRUE(frame && frame->type == wire::MsgType::Reject);
+    const auto rej = wire::decodeReject(frame->payload);
+    ASSERT_TRUE(rej.has_value());
+    EXPECT_EQ(rej->session, 41u);
+    EXPECT_EQ(rej->reason, wire::RejectReason::BadModel);
+}
+
+TEST(NetServer, NonPositiveDeadlineIsRejected)
+{
+    ServerFixture server;
+    WireClient client(server.port());
+    std::vector<std::uint8_t> out;
+    wire::OpenMsg open;
+    open.tenant = 51;
+    open.bench = "color";
+    open.qosKind = wire::WireQosKind::Deadline;
+    open.qosValue = 0.0;
+    wire::encodeOpen(out, open);
+    client.sendBytes(out);
+    const auto frame = client.readFrame();
+    ASSERT_TRUE(frame && frame->type == wire::MsgType::Reject);
+    const auto rej = wire::decodeReject(frame->payload);
+    ASSERT_TRUE(rej.has_value());
+    EXPECT_EQ(rej->session, 51u);
+    EXPECT_EQ(rej->reason, wire::RejectReason::BadQos);
+}
+
+TEST(NetServer, TruncatedV2OpenTailIsAProtocolError)
+{
+    // A half-sent v2 tail must not silently open a default session:
+    // the server answers Error and closes.
+    ServerFixture server;
+    WireClient client(server.port());
+    std::vector<std::uint8_t> out;
+    wire::OpenMsg open;
+    open.tenant = 61;
+    open.bench = "color";
+    open.hwModel = "eco-apu";
+    wire::encodeOpen(out, open);
+    // Drop the last byte of the payload and patch the length prefix.
+    out.pop_back();
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(out[static_cast<std::size_t>(
+                   i)])
+               << (8 * i);
+    --len;
+    for (int i = 0; i < 4; ++i)
+        out[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(len >> (8 * i));
+    client.sendBytes(out);
+    const auto frame = client.readFrame();
+    ASSERT_TRUE(frame && frame->type == wire::MsgType::Error);
 }
 
 TEST(NetServer, StepOnUnknownSessionIsRejected)
@@ -337,7 +475,7 @@ TEST(NetServer, StopUnblocksRunFromAnotherThread)
 {
     FleetServerOptions sopts;
     sopts.jobs = 1;
-    FleetServer fleet(std::make_shared<ml::GroundTruthPredictor>(),
+    FleetServer fleet(std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults()),
                       sopts);
     NetServer net(fleet, {});
     EXPECT_GT(net.port(), 0u); // port 0 resolved at bind time

@@ -13,16 +13,16 @@ namespace {
 class OracleTest : public testing::TestWithParam<std::string>
 {
   protected:
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
 };
 
 TEST_P(OracleTest, MeetsTargetAndSavesEnergy)
 {
     auto app = workload::makeBenchmark(GetParam());
-    TurboCoreGovernor turbo;
+    TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
 
-    TheoreticallyOptimalGovernor oracle(app);
+    TheoreticallyOptimalGovernor oracle(app, hw::paperApu());
     auto r = sim.run(app, oracle, base.throughput());
 
     // TO is defined to at least match the baseline throughput. Its
@@ -43,10 +43,10 @@ INSTANTIATE_TEST_SUITE_P(AllBenchmarks, OracleTest,
 TEST(Oracle, PlanIsPerInvocation)
 {
     auto app = workload::makeBenchmark("Spmv");
-    sim::Simulator sim;
-    TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
-    TheoreticallyOptimalGovernor oracle(app);
+    TheoreticallyOptimalGovernor oracle(app, hw::paperApu());
     sim.run(app, oracle, base.throughput());
     EXPECT_EQ(oracle.plan().size(), app.kernelCount());
 }
@@ -54,10 +54,10 @@ TEST(Oracle, PlanIsPerInvocation)
 TEST(Oracle, PlanReusedForSameTarget)
 {
     auto app = workload::makeBenchmark("NBody");
-    sim::Simulator sim;
-    TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
-    TheoreticallyOptimalGovernor oracle(app);
+    TheoreticallyOptimalGovernor oracle(app, hw::paperApu());
     auto r1 = sim.run(app, oracle, base.throughput());
     auto r2 = sim.run(app, oracle, base.throughput());
     EXPECT_DOUBLE_EQ(r1.totalEnergy(), r2.totalEnergy());
@@ -66,10 +66,10 @@ TEST(Oracle, PlanReusedForSameTarget)
 TEST(Oracle, UnreachableTargetRaces)
 {
     auto app = workload::makeBenchmark("kmeans");
-    sim::Simulator sim;
-    TheoreticallyOptimalGovernor oracle(app);
+    sim::Simulator sim{hw::paperApu()};
+    TheoreticallyOptimalGovernor oracle(app, hw::paperApu());
     // An impossible target (10x any achievable throughput).
-    TurboCoreGovernor turbo;
+    TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
     sim.run(app, oracle, base.throughput() * 10.0);
     EXPECT_FALSE(oracle.planFeasible());
@@ -81,12 +81,12 @@ TEST(Oracle, BeatsEveryStaticConfiguration)
     // that also meets the target (static assignment is a special case
     // of the per-kernel plan).
     auto app = workload::makeBenchmark("Spmv");
-    sim::Simulator sim;
-    TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
     const auto target = base.throughput();
 
-    TheoreticallyOptimalGovernor oracle(app);
+    TheoreticallyOptimalGovernor oracle(app, hw::paperApu());
     auto to = sim.run(app, oracle, target);
 
     const hw::ConfigSpace space;
@@ -104,16 +104,16 @@ TEST(Oracle, WrongApplicationDies)
 {
     auto app = workload::makeBenchmark("lud");
     auto other = workload::makeBenchmark("mis");
-    sim::Simulator sim;
-    TheoreticallyOptimalGovernor oracle(app);
+    sim::Simulator sim{hw::paperApu()};
+    TheoreticallyOptimalGovernor oracle(app, hw::paperApu());
     EXPECT_DEATH(sim.run(other, oracle, 1e10), "oracle for");
 }
 
 TEST(Oracle, NeedsTarget)
 {
     auto app = workload::makeBenchmark("lud");
-    sim::Simulator sim;
-    TheoreticallyOptimalGovernor oracle(app);
+    sim::Simulator sim{hw::paperApu()};
+    TheoreticallyOptimalGovernor oracle(app, hw::paperApu());
     EXPECT_DEATH(sim.run(app, oracle, 0.0), "target");
 }
 

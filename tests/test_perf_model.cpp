@@ -17,7 +17,7 @@ using hw::NbPState;
 class PerfModelTest : public testing::Test
 {
   protected:
-    GroundTruthModel model;
+    GroundTruthModel model{hw::ApuParams::defaults()};
 
     static KernelParams
     computeKernel()
@@ -311,7 +311,7 @@ class GroundTruthSweep : public testing::TestWithParam<std::string>
 
 TEST_P(GroundTruthSweep, SaneEverywhere)
 {
-    const GroundTruthModel model;
+    const GroundTruthModel model{hw::ApuParams::defaults()};
     const hw::ConfigSpace space;
     auto app = workload::makeBenchmark(GetParam());
     for (const auto &inv : app.trace) {

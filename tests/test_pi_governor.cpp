@@ -1,0 +1,97 @@
+/**
+ * @file
+ * PI feedback baseline: convergence toward the throughput target, the
+ * zero-overhead contract it shares with Turbo Core, and the actuation
+ * mapping that lets it run on any catalog model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/model.hpp"
+#include "policy/pi_governor.hpp"
+#include "policy/turbo_core.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/benchmarks.hpp"
+
+namespace gpupm::policy {
+namespace {
+
+TEST(PiGovernor, BaselineRunStaysAtMaxPerformance)
+{
+    // Without a target the PI run *is* the reference run.
+    sim::Simulator sim{hw::paperApu()};
+    auto app = workload::makeBenchmark("Spmv");
+    PiGovernor gov{hw::paperApu()};
+    auto r = sim.run(app, gov);
+    for (const auto &rec : r.records)
+        EXPECT_EQ(rec.config, hw::ConfigSpace::maxPerformance());
+    EXPECT_DOUBLE_EQ(r.overheadTime, 0.0);
+    EXPECT_DOUBLE_EQ(r.overheadEnergy, 0.0);
+}
+
+TEST(PiGovernor, TracksARelaxedTargetAndSavesEnergy)
+{
+    // With a target well below max-performance throughput the
+    // controller must back off max performance and bank energy. lbm is
+    // bandwidth-bound, so the uniform back-off cuts power faster than
+    // it stretches runtime (unlike e.g. kmeans, where the longer run's
+    // static energy eats the savings).
+    sim::Simulator sim{hw::paperApu()};
+    auto app = workload::makeBenchmark("lbm");
+    TurboCoreGovernor turbo{hw::paperApu()};
+    const auto base = sim.run(app, turbo);
+
+    PiGovernor gov{hw::paperApu()};
+    const Throughput relaxed = base.throughput() / 1.5;
+    auto r = sim.run(app, gov, relaxed);
+    bool backed_off = false;
+    for (const auto &rec : r.records)
+        backed_off |= !(rec.config == hw::ConfigSpace::maxPerformance());
+    EXPECT_TRUE(backed_off);
+    EXPECT_LT(r.totalEnergy(), base.totalEnergy());
+    EXPECT_DOUBLE_EQ(r.overheadTime, 0.0);
+}
+
+TEST(PiGovernor, ReactsInBothDirections)
+{
+    // Behind the target the actuation must rise; ahead it must fall.
+    PiGovernor gov{hw::paperApu()};
+    gov.beginRun("t", 100.0);
+
+    sim::Observation behind{};
+    behind.measurement.instructions = 50.0;
+    behind.measurement.time = 1.0;
+    gov.observe(behind);
+    const double after_behind = gov.actuation();
+    EXPECT_EQ(after_behind, 1.0); // already at the ceiling
+
+    gov.beginRun("t", 100.0);
+    sim::Observation ahead{};
+    ahead.measurement.instructions = 400.0;
+    ahead.measurement.time = 1.0;
+    gov.observe(ahead);
+    EXPECT_LT(gov.actuation(), after_behind);
+}
+
+TEST(PiGovernor, ActuationEndpointsMapToSpaceExtremes)
+{
+    // Works on a heterogeneous catalog entry too: the scalar actuation
+    // spans each knob's own level count.
+    for (const char *name : {"paper-apu", "eco-apu", "perf-apu"}) {
+        const auto model = hw::HardwareCatalog::instance().get(name);
+        PiGovernor gov{model};
+        gov.beginRun("t", 1.0); // any positive target
+        // Fresh run starts at u = 1 -> the space's max performance.
+        EXPECT_EQ(gov.decide(0).config, model->maxPerformance()) << name;
+    }
+}
+
+TEST(PiGovernor, Name)
+{
+    PiGovernor gov{hw::paperApu()};
+    EXPECT_EQ(gov.name(), "PI");
+}
+
+} // namespace
+} // namespace gpupm::policy

@@ -15,7 +15,7 @@ namespace {
 std::shared_ptr<const ml::PerfPowerPredictor>
 truth()
 {
-    static auto p = std::make_shared<ml::GroundTruthPredictor>();
+    static auto p = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
     return p;
 }
 
@@ -28,8 +28,8 @@ struct App
     explicit App(const std::string &name)
         : app(workload::makeBenchmark(name))
     {
-        sim::Simulator sim;
-        policy::TurboCoreGovernor turbo;
+        sim::Simulator sim{hw::paperApu()};
+        policy::TurboCoreGovernor turbo{hw::paperApu()};
         baseline = sim.run(app, turbo);
         target = baseline.throughput();
     }
@@ -37,11 +37,11 @@ struct App
 
 TEST(Pool, CreatesOneGovernorPerApplication)
 {
-    MpcGovernorPool pool(truth());
+    MpcGovernorPool pool(truth(), {}, hw::paperApu());
     EXPECT_EQ(pool.applicationCount(), 0u);
 
     App a("Spmv"), b("kmeans");
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
     sim.run(a.app, pool, a.target);
     EXPECT_EQ(pool.applicationCount(), 1u);
     EXPECT_TRUE(pool.knows("Spmv"));
@@ -58,18 +58,18 @@ TEST(Pool, InterleavedRunsKeepSeparateLearning)
     // A-B-A-B interleaving must behave exactly like two dedicated
     // governors run A-A / B-B.
     App a("Spmv"), b("kmeans");
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
 
-    MpcGovernorPool pool(truth());
+    MpcGovernorPool pool(truth(), {}, hw::paperApu());
     sim.run(a.app, pool, a.target);
     sim.run(b.app, pool, b.target);
     auto pooled_a2 = sim.run(a.app, pool, a.target);
     auto pooled_b2 = sim.run(b.app, pool, b.target);
 
-    MpcGovernor solo_a(truth());
+    MpcGovernor solo_a(truth(), {}, hw::paperApu());
     sim.run(a.app, solo_a, a.target);
     auto solo_a2 = sim.run(a.app, solo_a, a.target);
-    MpcGovernor solo_b(truth());
+    MpcGovernor solo_b(truth(), {}, hw::paperApu());
     sim.run(b.app, solo_b, b.target);
     auto solo_b2 = sim.run(b.app, solo_b, b.target);
 
@@ -82,8 +82,8 @@ TEST(Pool, InterleavedRunsKeepSeparateLearning)
 TEST(Pool, SecondRunOptimizes)
 {
     App a("EigenValue");
-    sim::Simulator sim;
-    MpcGovernorPool pool(truth());
+    sim::Simulator sim{hw::paperApu()};
+    MpcGovernorPool pool(truth(), {}, hw::paperApu());
     sim.run(a.app, pool, a.target);
     auto r2 = sim.run(a.app, pool, a.target);
     EXPECT_FALSE(pool.governorFor("EigenValue").profiling());
@@ -93,20 +93,20 @@ TEST(Pool, SecondRunOptimizes)
 
 TEST(Pool, GovernorForUnknownAppDies)
 {
-    MpcGovernorPool pool(truth());
+    MpcGovernorPool pool(truth(), {}, hw::paperApu());
     EXPECT_EXIT(pool.governorFor("nope"), testing::ExitedWithCode(1),
                 "never seen");
 }
 
 TEST(Pool, DecideBeforeBeginRunDies)
 {
-    MpcGovernorPool pool(truth());
+    MpcGovernorPool pool(truth(), {}, hw::paperApu());
     EXPECT_DEATH(pool.decide(0), "beginRun");
 }
 
 TEST(Pool, NullPredictorDies)
 {
-    EXPECT_DEATH(MpcGovernorPool(nullptr), "predictor");
+    EXPECT_DEATH(MpcGovernorPool(nullptr, {}, hw::paperApu()), "predictor");
 }
 
 } // namespace

@@ -10,7 +10,7 @@ namespace {
 class PowerModelTest : public testing::Test
 {
   protected:
-    PowerModel model;
+    PowerModel model{hw::ApuParams::defaults()};
     ActivityFactors busy{1.0, 1.0, 1.0};
     ActivityFactors idle{0.0, 0.0, 0.0};
 };
@@ -128,7 +128,7 @@ TEST_F(PowerModelTest, PackageStaysWithinRealisticEnvelope)
 {
     // The A10-7850K is a 95 W part; the model's worst case should be
     // in that neighbourhood and the best case clearly above zero.
-    PowerModel m;
+    PowerModel m{hw::ApuParams::defaults()};
     auto max_p = m.steadyStatePower(ConfigSpace::maxPerformance(), busy);
     auto min_p = m.steadyStatePower(ConfigSpace::minPower(), idle);
     EXPECT_LT(max_p.total(), 95.0);
@@ -161,7 +161,7 @@ class PowerSweep : public testing::TestWithParam<std::size_t>
 TEST_P(PowerSweep, PositiveFiniteEverywhere)
 {
     static const ConfigSpace space;
-    static const PowerModel model;
+    static const PowerModel model{hw::ApuParams::defaults()};
     const auto &c = space.at(GetParam());
     for (double act : {0.0, 0.3, 1.0}) {
         ActivityFactors a{act, act, act};

@@ -16,13 +16,13 @@ class PpkTest : public testing::Test
 {
   protected:
     std::shared_ptr<const ml::PerfPowerPredictor> truth =
-        std::make_shared<ml::GroundTruthPredictor>();
-    sim::Simulator sim;
+        std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
+    sim::Simulator sim{hw::paperApu()};
 
     Throughput
     targetFor(const workload::Application &app)
     {
-        TurboCoreGovernor turbo;
+        TurboCoreGovernor turbo{hw::paperApu()};
         return sim.run(app, turbo).throughput();
     }
 };
@@ -31,7 +31,7 @@ TEST_F(PpkTest, FirstKernelRunsFailSafe)
 {
     // No counters are available for the very first kernel (Sec. V-B).
     auto app = workload::makeBenchmark("Spmv");
-    PpkGovernor gov(truth);
+    PpkGovernor gov(truth, {}, hw::paperApu());
     auto r = sim.run(app, gov, targetFor(app));
     EXPECT_EQ(r.records[0].config, hw::ConfigSpace::failSafe());
     EXPECT_DOUBLE_EQ(r.records[0].overheadTime, 0.0);
@@ -40,7 +40,7 @@ TEST_F(PpkTest, FirstKernelRunsFailSafe)
 TEST_F(PpkTest, ScansFullConfigSpace)
 {
     auto app = workload::makeBenchmark("NBody");
-    PpkGovernor gov(truth);
+    PpkGovernor gov(truth, {}, hw::paperApu());
     sim.run(app, gov, targetFor(app));
     EXPECT_EQ(gov.lastEvaluationCount(), hw::ConfigSpace().size());
 }
@@ -48,7 +48,7 @@ TEST_F(PpkTest, ScansFullConfigSpace)
 TEST_F(PpkTest, ChargesOverheadPerDecision)
 {
     auto app = workload::makeBenchmark("NBody");
-    PpkGovernor gov(truth);
+    PpkGovernor gov(truth, {}, hw::paperApu());
     auto r = sim.run(app, gov, targetFor(app));
     // Overhead charged for every kernel except the fail-safe first.
     const OverheadModel model;
@@ -63,7 +63,7 @@ TEST_F(PpkTest, OverheadCanBeDisabled)
     auto app = workload::makeBenchmark("NBody");
     PpkOptions opts;
     opts.chargeOverhead = false;
-    PpkGovernor gov(truth, opts);
+    PpkGovernor gov(truth, opts, hw::paperApu());
     auto r = sim.run(app, gov, targetFor(app));
     EXPECT_DOUBLE_EQ(r.overheadTime, 0.0);
 }
@@ -73,9 +73,9 @@ TEST_F(PpkTest, SavesEnergyOnRegularApp)
     // Perfect prediction + a single repeating kernel: PPK is near
     // optimal (paper Sec. II-E).
     auto app = workload::makeBenchmark("mandelbulbGPU");
-    TurboCoreGovernor turbo;
+    TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
-    PpkGovernor gov(truth);
+    PpkGovernor gov(truth, {}, hw::paperApu());
     auto r = sim.run(app, gov, base.throughput());
     EXPECT_GT(sim::energySavingsPct(base, r), 10.0);
     EXPECT_GT(sim::speedup(base, r), 0.95);
@@ -85,9 +85,9 @@ TEST_F(PpkTest, MeetsThroughputTargetApproximately)
 {
     for (const auto &name : {"mandelbulbGPU", "NBody"}) {
         auto app = workload::makeBenchmark(name);
-        TurboCoreGovernor turbo;
+        TurboCoreGovernor turbo{hw::paperApu()};
         auto base = sim.run(app, turbo);
-        PpkGovernor gov(truth);
+        PpkGovernor gov(truth, {}, hw::paperApu());
         auto r = sim.run(app, gov, base.throughput());
         EXPECT_GT(sim::speedup(base, r), 0.93) << name;
     }
@@ -98,9 +98,9 @@ TEST_F(PpkTest, SuffersOnIrregularApps)
     // The paper's core observation (Sec. II-E): PPK mispredicts phase
     // transitions, so it either loses performance or strands energy.
     auto app = workload::makeBenchmark("hybridsort");
-    TurboCoreGovernor turbo;
+    TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
-    PpkGovernor gov(truth);
+    PpkGovernor gov(truth, {}, hw::paperApu());
     auto r = sim.run(app, gov, base.throughput());
     EXPECT_LT(sim::speedup(base, r), 0.97);
 }
@@ -109,7 +109,7 @@ TEST_F(PpkTest, BeginRunResetsState)
 {
     auto app = workload::makeBenchmark("Spmv");
     const auto target = targetFor(app);
-    PpkGovernor gov(truth);
+    PpkGovernor gov(truth, {}, hw::paperApu());
     auto r1 = sim.run(app, gov, target);
     auto r2 = sim.run(app, gov, target);
     // PPK has no cross-run learning: identical behaviour each run.
@@ -120,12 +120,12 @@ TEST_F(PpkTest, BeginRunResetsState)
 
 TEST_F(PpkTest, NullPredictorDies)
 {
-    EXPECT_DEATH(PpkGovernor(nullptr), "predictor");
+    EXPECT_DEATH(PpkGovernor(nullptr, {}, hw::paperApu()), "predictor");
 }
 
 TEST_F(PpkTest, Name)
 {
-    PpkGovernor gov(truth);
+    PpkGovernor gov(truth, {}, hw::paperApu());
     EXPECT_EQ(gov.name(), "PPK");
 }
 

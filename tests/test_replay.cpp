@@ -12,6 +12,7 @@
 #include <memory>
 #include <sstream>
 
+#include "exec/replay.hpp"
 #include "ml/trainer.hpp"
 #include "mpc/governor.hpp"
 #include "policy/turbo_core.hpp"
@@ -45,11 +46,11 @@ capture(const std::string &bench, std::uint64_t session,
         trace::DecisionLog &log, int runs = 2)
 {
     const auto app = workload::makeBenchmark(bench);
-    sim::Simulator sim;
-    policy::TurboCoreGovernor turbo;
+    sim::Simulator sim{hw::paperApu()};
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     const double target = sim.run(app, turbo).throughput();
 
-    mpc::MpcGovernor gov(forest(), {});
+    mpc::MpcGovernor gov(forest(), {}, hw::paperApu());
     gov.setDecisionSink(&log, session);
     for (int i = 0; i < 1 + runs; ++i)
         sim.run(app, gov, target);
@@ -131,6 +132,60 @@ TEST(Replay, TamperedObservationIsDetected)
     EXPECT_FALSE(result.identical())
         << "corrupting the observation stream did not change any "
            "replayed decision; the replay comparison is vacuous";
+}
+
+TEST(ReplayEngine, MpcReplayIsByteIdentical)
+{
+    // The engine behind `gpupm replay`: same records, same predictor,
+    // same options => zero divergences, one governor per session.
+    const auto records = capturedRecords("color");
+    exec::ReplayOptions opts;
+    const auto report = exec::replayRecords(records, forest(), opts);
+    EXPECT_EQ(report.decisions, records.size());
+    EXPECT_EQ(report.governors, 1u);
+    EXPECT_EQ(report.governorName, "MPC");
+    EXPECT_TRUE(report.identical())
+        << report.divergences.size() << " divergences, first at record "
+        << (report.divergences.empty()
+                ? 0
+                : report.divergences[0].recordIndex);
+}
+
+TEST(ReplayEngine, RivalGovernorsReplayTheSameStream)
+{
+    // Counterfactual mode: the recorded MPC stream re-driven through
+    // the reactive baselines. Both must process every record; Turbo
+    // (no target tracking, always boost) must disagree with MPC on at
+    // least one decision, or the comparison is vacuous.
+    const auto records = capturedRecords("mis");
+
+    exec::ReplayOptions turbo;
+    turbo.governor = exec::ReplayGovernor::Turbo;
+    const auto t = exec::replayRecords(records, nullptr, turbo);
+    EXPECT_EQ(t.decisions, records.size());
+    EXPECT_EQ(t.governorName, "Turbo Core");
+    EXPECT_FALSE(t.identical());
+
+    exec::ReplayOptions pi;
+    pi.governor = exec::ReplayGovernor::Pi;
+    const auto p = exec::replayRecords(records, nullptr, pi);
+    EXPECT_EQ(p.decisions, records.size());
+    EXPECT_EQ(p.governorName, "PI");
+}
+
+TEST(ReplayEngine, DeadlineQosChangesTheReplayedTargets)
+{
+    // Replaying under a relaxed deadline rescales every run's target;
+    // the MPC optimizer sees the slack and must choose differently
+    // somewhere in the stream.
+    const auto records = capturedRecords("color");
+    exec::ReplayOptions relaxed;
+    relaxed.mpc.qos = mpc::QosSpec::deadline(2.0);
+    relaxed.qos = relaxed.mpc.qos;
+    const auto report = exec::replayRecords(records, forest(), relaxed);
+    EXPECT_EQ(report.decisions, records.size());
+    EXPECT_FALSE(report.identical())
+        << "a 2x deadline slack changed no decision";
 }
 
 } // namespace

@@ -26,7 +26,7 @@ TEST(Serialize, RoundTripIsBitExact)
     saveRandomForest(*original, buffer);
     auto loaded = loadRandomForest(buffer);
 
-    const kernel::GroundTruthModel model;
+    const kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     const hw::ConfigSpace space;
     const auto ks = workload::trainingCorpus(4, 0xfeed);
     for (const auto &k : ks) {

@@ -42,7 +42,7 @@ tinyRf()
 std::vector<ml::FeatureVector>
 sampleRows(std::size_t n, std::uint64_t seed)
 {
-    const kernel::GroundTruthModel model;
+    const kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     const auto ks = workload::trainingCorpus(4, seed);
     const hw::ConfigSpace space;
     std::vector<ml::FeatureVector> rows;
@@ -261,7 +261,7 @@ struct QueryFixture
 QueryFixture
 sampleQuery(std::uint64_t seed, std::size_t num_configs = 32)
 {
-    const kernel::GroundTruthModel model;
+    const kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     const auto k = workload::trainingCorpus(1, seed)[0];
     const hw::ConfigSpace space;
     QueryFixture out;
@@ -281,7 +281,7 @@ TEST(SessionPredictor, BitIdenticalToWrappedPredictor)
     std::vector<ml::Prediction> want(fx.configs.size());
     rf->predictBatch(fx.query, fx.configs, want);
 
-    SessionPredictor sp(rf, /*broker=*/nullptr);
+    SessionPredictor sp(rf, /*broker=*/nullptr, hw::paperApu());
     ASSERT_TRUE(sp.accelerated());
     for (int pass = 0; pass < 2; ++pass) { // miss pass, then memo pass
         std::vector<ml::Prediction> got(fx.configs.size());
@@ -305,7 +305,7 @@ TEST(SessionPredictor, SecondPassIsServedFromTheCache)
 {
     auto rf = tinyRf();
     telemetry::Registry reg;
-    SessionPredictor sp(rf, nullptr, {}, &reg);
+    SessionPredictor sp(rf, nullptr, hw::paperApu(), {}, &reg);
     const auto fx = sampleQuery(0xbbb);
     std::vector<ml::Prediction> out(fx.configs.size());
 
@@ -327,7 +327,7 @@ TEST(SessionPredictor, RoutesMissesThroughTheBroker)
 {
     auto rf = tinyRf();
     InferenceBroker broker(rf);
-    SessionPredictor sp(rf, &broker);
+    SessionPredictor sp(rf, &broker, hw::paperApu());
     const auto fx = sampleQuery(0xccc);
     std::vector<ml::Prediction> want(fx.configs.size());
     rf->predictBatch(fx.query, fx.configs, want);
@@ -350,7 +350,7 @@ TEST(SessionPredictor, CapZeroIsAPassthrough)
     auto rf = tinyRf();
     SessionPredictorOptions opts;
     opts.kernelCacheCap = 0;
-    SessionPredictor sp(rf, nullptr, opts);
+    SessionPredictor sp(rf, nullptr, hw::paperApu(), opts);
     EXPECT_FALSE(sp.accelerated());
 
     const auto fx = sampleQuery(0xddd);
@@ -369,8 +369,8 @@ TEST(SessionPredictor, NonRandomForestBaseIsAPassthrough)
 {
     // Oracle-family predictors consult ground truth, so counters are
     // not a safe cache key; the decorator must not engage.
-    auto gt = std::make_shared<const ml::GroundTruthPredictor>();
-    SessionPredictor sp(gt, nullptr);
+    auto gt = std::make_shared<const ml::GroundTruthPredictor>(hw::ApuParams::defaults());
+    SessionPredictor sp(gt, nullptr, hw::paperApu());
     EXPECT_FALSE(sp.accelerated());
     EXPECT_EQ(sp.name(), gt->name());
 }
@@ -381,7 +381,7 @@ TEST(SessionPredictor, EvictsLeastRecentlyUsedKernelAtCap)
     telemetry::Registry reg;
     SessionPredictorOptions opts;
     opts.kernelCacheCap = 2;
-    SessionPredictor sp(rf, nullptr, opts, &reg);
+    SessionPredictor sp(rf, nullptr, hw::paperApu(), opts, &reg);
 
     const auto a = sampleQuery(1), b = sampleQuery(2),
                c = sampleQuery(3);
@@ -409,7 +409,7 @@ TEST(SessionPredictor, EvictsLeastRecentlyUsedKernelAtCap)
 TEST(SessionPredictor, ClearCacheDropsEveryEntry)
 {
     auto rf = tinyRf();
-    SessionPredictor sp(rf, nullptr);
+    SessionPredictor sp(rf, nullptr, hw::paperApu());
     const auto fx = sampleQuery(0xeee);
     std::vector<ml::Prediction> out(fx.configs.size());
     sp.predictBatch(fx.query, fx.configs, out);

@@ -45,7 +45,7 @@ class ScriptedGovernor : public Governor
 
 TEST(Simulator, ProtocolOrderAndArguments)
 {
-    Simulator sim;
+    Simulator sim{hw::paperApu()};
     auto app = workload::makeBenchmark("XSBench");
     ScriptedGovernor gov;
     auto result = sim.run(app, gov, 123.0);
@@ -67,7 +67,7 @@ TEST(Simulator, ProtocolOrderAndArguments)
 
 TEST(Simulator, AggregatesMatchRecords)
 {
-    Simulator sim;
+    Simulator sim{hw::paperApu()};
     auto app = workload::makeBenchmark("Spmv");
     ScriptedGovernor gov;
     gov.overhead = 50e-6;
@@ -97,7 +97,7 @@ TEST(Simulator, AggregatesMatchRecords)
 
 TEST(Simulator, OverheadChargedOnlyWhenNonZero)
 {
-    Simulator sim;
+    Simulator sim{hw::paperApu()};
     auto app = workload::makeBenchmark("NBody");
     ScriptedGovernor gov; // zero overhead
     auto r = sim.run(app, gov, 1.0);
@@ -114,7 +114,7 @@ TEST(Simulator, OverheadChargedOnlyWhenNonZero)
 
 TEST(Simulator, StaticGovernorConfigApplied)
 {
-    Simulator sim;
+    Simulator sim{hw::paperApu()};
     auto app = workload::makeBenchmark("kmeans");
     const auto cfg = hw::ConfigSpace::minPower();
     policy::StaticGovernor gov(cfg);
@@ -126,7 +126,7 @@ TEST(Simulator, StaticGovernorConfigApplied)
 
 TEST(Simulator, FasterConfigFasterRun)
 {
-    Simulator sim;
+    Simulator sim{hw::paperApu()};
     auto app = workload::makeBenchmark("mandelbulbGPU");
     policy::StaticGovernor fast(hw::ConfigSpace::maxPerformance());
     policy::StaticGovernor slow(hw::ConfigSpace::minPower());
@@ -137,7 +137,7 @@ TEST(Simulator, FasterConfigFasterRun)
 
 TEST(Simulator, RecordsCarryKernelNames)
 {
-    Simulator sim;
+    Simulator sim{hw::paperApu()};
     auto app = workload::makeBenchmark("hybridsort");
     policy::StaticGovernor gov(hw::ConfigSpace::failSafe());
     auto r = sim.run(app, gov);
@@ -149,7 +149,7 @@ TEST(Simulator, RepeatedRunsAreIndependent)
 {
     // Energy accounting uses the self-consistent steady state, so two
     // identical runs must produce identical results.
-    Simulator sim;
+    Simulator sim{hw::paperApu()};
     auto app = workload::makeBenchmark("lbm");
     policy::StaticGovernor gov(hw::ConfigSpace::failSafe());
     auto a = sim.run(app, gov);

@@ -51,7 +51,7 @@ num(double v)
 std::shared_ptr<const ml::PerfPowerPredictor>
 truth()
 {
-    static auto p = std::make_shared<ml::GroundTruthPredictor>();
+    static auto p = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
     return p;
 }
 
@@ -114,7 +114,7 @@ std::string
 runSweepAt(std::size_t jobs)
 {
     exec::SweepEngine engine({jobs, 0x90d1ULL});
-    return serialize(exec::runSweep(engine, goldenJobs()));
+    return serialize(exec::runSweep(engine, goldenJobs(), hw::paperApu()));
 }
 
 TEST(SweepDeterminism, ParallelSweepIsByteIdenticalToSerial)

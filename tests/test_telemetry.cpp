@@ -16,16 +16,16 @@ namespace {
 sim::RunResult
 sampleRun(const std::string &bench = "Spmv")
 {
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
     auto app = workload::makeBenchmark(bench);
-    policy::TurboCoreGovernor gov;
+    policy::TurboCoreGovernor gov{hw::paperApu()};
     return sim.run(app, gov);
 }
 
 TEST(Telemetry, EnergyIntegratesExactly)
 {
     auto run = sampleRun();
-    auto trace = PowerTrace::fromRun(run);
+    auto trace = PowerTrace::fromRun(run, hw::ApuParams::defaults());
     EXPECT_NEAR(trace.cpuEnergy(), run.cpuEnergy,
                 1e-9 * run.cpuEnergy);
     EXPECT_NEAR(trace.gpuEnergy(), run.gpuEnergy,
@@ -37,7 +37,7 @@ TEST(Telemetry, EnergyIntegratesExactly)
 TEST(Telemetry, TimestampsMonotoneAndCoverRun)
 {
     auto run = sampleRun();
-    auto trace = PowerTrace::fromRun(run);
+    auto trace = PowerTrace::fromRun(run, hw::ApuParams::defaults());
     ASSERT_FALSE(trace.samples().empty());
     Seconds prev = 0.0;
     for (const auto &s : trace.samples()) {
@@ -50,7 +50,7 @@ TEST(Telemetry, TimestampsMonotoneAndCoverRun)
 TEST(Telemetry, OneMillisecondSamplingDensity)
 {
     auto run = sampleRun();
-    auto trace = PowerTrace::fromRun(run);
+    auto trace = PowerTrace::fromRun(run, hw::ApuParams::defaults());
     // ~1 sample per ms plus one partial sample per interval boundary.
     const auto lower =
         static_cast<std::size_t>(run.totalTime() / 1e-3);
@@ -85,7 +85,7 @@ TEST(Telemetry, PowerEnvelopeWithinTdp)
     // its 95 W TDP under Turbo Core.
     for (const auto &name : workload::benchmarkNames()) {
         auto run = sampleRun(name);
-        auto trace = PowerTrace::fromRun(run);
+        auto trace = PowerTrace::fromRun(run, hw::ApuParams::defaults());
         EXPECT_FALSE(
             trace.exceedsTdp(hw::ApuParams::defaults().tdp))
             << name;
@@ -99,7 +99,7 @@ TEST(Telemetry, PowerEnvelopeWithinTdp)
 TEST(Telemetry, TemperatureRisesUnderLoad)
 {
     auto run = sampleRun("mandelbulbGPU");
-    auto trace = PowerTrace::fromRun(run);
+    auto trace = PowerTrace::fromRun(run, hw::ApuParams::defaults());
     const auto &first = trace.samples().front();
     EXPECT_GT(trace.peakTemperature(), first.temperature);
     EXPECT_LT(trace.peakTemperature(), 110.0);
@@ -108,17 +108,17 @@ TEST(Telemetry, TemperatureRisesUnderLoad)
 TEST(Telemetry, PhasesAnnotated)
 {
     // An MPC run has governor intervals; a phased app has CPU phases.
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
     auto app = workload::withCpuPhases(
         workload::makeBenchmark("Spmv"), 0.1);
-    policy::TurboCoreGovernor turbo;
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
-    auto truth = std::make_shared<ml::GroundTruthPredictor>();
-    mpc::MpcGovernor gov(truth);
+    auto truth = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
+    mpc::MpcGovernor gov(truth, {}, hw::paperApu());
     sim.run(app, gov, base.throughput());
     auto r = sim.run(app, gov, base.throughput());
 
-    auto trace = PowerTrace::fromRun(r);
+    auto trace = PowerTrace::fromRun(r, hw::ApuParams::defaults());
     bool saw_kernel = false, saw_phase = false;
     for (const auto &s : trace.samples()) {
         saw_kernel |= s.phase == PhaseKind::Kernel;
@@ -130,16 +130,16 @@ TEST(Telemetry, PhasesAnnotated)
 
 TEST(Telemetry, MarksGovernorIntervals)
 {
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
     auto app = workload::makeBenchmark("Spmv");
-    policy::TurboCoreGovernor turbo;
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
-    auto truth = std::make_shared<ml::GroundTruthPredictor>();
-    mpc::MpcGovernor gov(truth);
+    auto truth = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
+    mpc::MpcGovernor gov(truth, {}, hw::paperApu());
     sim.run(app, gov, base.throughput());
     auto r = sim.run(app, gov, base.throughput());
 
-    auto trace = PowerTrace::fromRun(r);
+    auto trace = PowerTrace::fromRun(r, hw::ApuParams::defaults());
     bool saw_governor = false;
     for (const auto &s : trace.samples())
         saw_governor |= s.phase == PhaseKind::Governor;
@@ -149,7 +149,7 @@ TEST(Telemetry, MarksGovernorIntervals)
 TEST(Telemetry, CsvOutputWellFormed)
 {
     auto run = sampleRun("NBody");
-    auto trace = PowerTrace::fromRun(run);
+    auto trace = PowerTrace::fromRun(run, hw::ApuParams::defaults());
     std::ostringstream os;
     trace.writeCsv(os);
     const std::string csv = os.str();

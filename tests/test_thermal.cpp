@@ -10,13 +10,13 @@ namespace {
 
 TEST(Thermal, StartsAtAmbient)
 {
-    ThermalModel t;
+    ThermalModel t{hw::ApuParams::defaults()};
     EXPECT_DOUBLE_EQ(t.temperature(), t.params().ambient);
 }
 
 TEST(Thermal, SteadyStateLinearInPower)
 {
-    ThermalModel t;
+    ThermalModel t{hw::ApuParams::defaults()};
     const auto &p = t.params();
     EXPECT_DOUBLE_EQ(t.steadyState(0.0), p.ambient);
     EXPECT_DOUBLE_EQ(t.steadyState(50.0),
@@ -25,7 +25,7 @@ TEST(Thermal, SteadyStateLinearInPower)
 
 TEST(Thermal, AdvanceApproachesSteadyState)
 {
-    ThermalModel t;
+    ThermalModel t{hw::ApuParams::defaults()};
     const Celsius target = t.steadyState(60.0);
     // Much longer than the time constant: effectively settled.
     t.advance(60.0, 100.0);
@@ -34,7 +34,7 @@ TEST(Thermal, AdvanceApproachesSteadyState)
 
 TEST(Thermal, AdvanceIsExponential)
 {
-    ThermalModel t;
+    ThermalModel t{hw::ApuParams::defaults()};
     const Celsius t0 = t.temperature();
     const Celsius target = t.steadyState(60.0);
     t.advance(60.0, t.params().thermalTau);
@@ -45,7 +45,7 @@ TEST(Thermal, AdvanceIsExponential)
 
 TEST(Thermal, ZeroDtKeepsTemperature)
 {
-    ThermalModel t;
+    ThermalModel t{hw::ApuParams::defaults()};
     t.advance(80.0, 1.0);
     const Celsius before = t.temperature();
     t.advance(20.0, 0.0);
@@ -54,7 +54,7 @@ TEST(Thermal, ZeroDtKeepsTemperature)
 
 TEST(Thermal, CoolsWhenPowerDrops)
 {
-    ThermalModel t;
+    ThermalModel t{hw::ApuParams::defaults()};
     t.advance(80.0, 50.0);
     const Celsius hot = t.temperature();
     t.advance(5.0, 1.0);
@@ -63,13 +63,13 @@ TEST(Thermal, CoolsWhenPowerDrops)
 
 TEST(Thermal, NegativeDtDies)
 {
-    ThermalModel t;
+    ThermalModel t{hw::ApuParams::defaults()};
     EXPECT_DEATH(t.advance(10.0, -1.0), "negative");
 }
 
 TEST(Thermal, ResetReturnsToAmbient)
 {
-    ThermalModel t;
+    ThermalModel t{hw::ApuParams::defaults()};
     t.advance(90.0, 100.0);
     t.reset();
     EXPECT_DOUBLE_EQ(t.temperature(), t.params().ambient);
@@ -77,7 +77,7 @@ TEST(Thermal, ResetReturnsToAmbient)
 
 TEST(Thermal, TdpCheck)
 {
-    ThermalModel t;
+    ThermalModel t{hw::ApuParams::defaults()};
     EXPECT_FALSE(t.exceedsTdp(t.params().tdp));
     EXPECT_TRUE(t.exceedsTdp(t.params().tdp + 0.1));
 }
@@ -87,7 +87,7 @@ TEST(Thermal, ZeroAmbientDeltaIsAFixedPoint)
     // A die sitting exactly at ambient with zero power dissipation has
     // zero delta to its steady state: advancing any amount of time
     // must hold it there bit-exactly (no drift from the exponential).
-    ThermalModel t;
+    ThermalModel t{hw::ApuParams::defaults()};
     for (int i = 0; i < 10; ++i)
         t.advance(0.0, 12.34);
     EXPECT_DOUBLE_EQ(t.temperature(), t.params().ambient);
@@ -99,7 +99,7 @@ TEST(Thermal, StepResponseToACapDrop)
     // hot until settled, then step the power down and verify the die
     // follows a first-order decay toward the new (cooler) steady
     // state - monotonically, without undershoot.
-    ThermalModel t;
+    ThermalModel t{hw::ApuParams::defaults()};
     t.advance(80.0, 1000.0); // settle at the hot steady state
     const Celsius hot = t.temperature();
     const Celsius target = t.steadyState(30.0);
@@ -132,7 +132,7 @@ TEST(Thermal, GovernedCeilingSaturatesAtDvfsFloor)
     gopts.floorWatts = 10.0;
     powercap::ThermalCapGovernor gov(gopts);
 
-    ThermalModel t;
+    ThermalModel t{hw::ApuParams::defaults()};
     // Even the floor power's steady state sits above the limit, so the
     // governor can never cool the die under it: the ceiling must walk
     // all the way down and pin at the floor.

@@ -376,12 +376,12 @@ sim::RunResult
 governedRun(DecisionLog *log, int optimized_runs = 2)
 {
     const auto app = workload::makeBenchmark("Spmv");
-    auto pred = std::make_shared<ml::GroundTruthPredictor>();
-    sim::Simulator sim;
-    policy::TurboCoreGovernor turbo;
+    auto pred = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
+    sim::Simulator sim{hw::paperApu()};
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     const auto target = sim.run(app, turbo).throughput();
 
-    mpc::MpcGovernor gov(pred, {});
+    mpc::MpcGovernor gov(pred, {}, hw::paperApu());
     if (log)
         gov.setDecisionSink(log, /*session=*/9);
     sim::RunResult last = sim.run(app, gov, target); // profiling
@@ -455,7 +455,7 @@ TEST(Provenance, SinkDoesNotPerturbDecisions)
 
 TEST(Provenance, FleetTraceIsByteIdenticalWithTracingOn)
 {
-    auto pred = std::make_shared<ml::GroundTruthPredictor>();
+    auto pred = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
     serve::FleetOptions opts;
     opts.server.jobs = 4;
     opts.apps = {"Spmv", "NBody"};
@@ -480,16 +480,16 @@ TEST(Provenance, SweepJobCapturesProvenanceWithoutChangingResults)
 {
     exec::SimJob job;
     job.app = workload::makeBenchmark("Spmv");
-    job.predictor = std::make_shared<ml::GroundTruthPredictor>();
+    job.predictor = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
     job.policy = exec::SimJob::Policy::Mpc;
     job.mpcRuns = 1;
 
-    const auto plain = exec::runSimJob(job);
+    const auto plain = exec::runSimJob(job, hw::paperApu());
 
     DecisionLog log;
     job.decisionSink = &log;
     job.traceSession = 5;
-    const auto traced = exec::runSimJob(job);
+    const auto traced = exec::runSimJob(job, hw::paperApu());
 
     EXPECT_EQ(plain.totalEnergy(), traced.totalEnergy());
     EXPECT_EQ(plain.totalTime(), traced.totalTime());

@@ -37,7 +37,7 @@ TEST(Trainer, TrainsAndReports)
 TEST(Trainer, PredictsPositiveValues)
 {
     auto rf = trainRandomForestPredictor(smallOptions());
-    const kernel::GroundTruthModel model;
+    const kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     const auto ks = workload::trainingCorpus(4, 0xdead);
     const hw::ConfigSpace space;
     for (const auto &k : ks) {
@@ -60,7 +60,7 @@ TEST(Trainer, DoesNotNeedGroundTruthHandle)
     // The RF path must work with PredictionQuery::groundTruth null -
     // it is counter-driven by construction.
     auto rf = trainRandomForestPredictor(smallOptions());
-    const kernel::GroundTruthModel model;
+    const kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     const auto k = workload::trainingCorpus(1, 1)[0];
     const auto c = hw::ConfigSpace::failSafe();
     PredictionQuery q;
@@ -75,7 +75,7 @@ TEST(Trainer, DeterministicInSeed)
 {
     auto a = trainRandomForestPredictor(smallOptions());
     auto b = trainRandomForestPredictor(smallOptions());
-    const kernel::GroundTruthModel model;
+    const kernel::GroundTruthModel model{hw::ApuParams::defaults()};
     const auto k = workload::trainingCorpus(1, 7)[0];
     const auto c = hw::ConfigSpace::maxPerformance();
     PredictionQuery q;

@@ -17,14 +17,14 @@ namespace {
 
 TEST(Transition, IdenticalConfigsAreFree)
 {
-    TransitionModel m;
+    TransitionModel m{hw::ApuParams::defaults()};
     const auto c = ConfigSpace::failSafe();
     EXPECT_DOUBLE_EQ(m.latency(c, c), 0.0);
 }
 
 TEST(Transition, Symmetric)
 {
-    TransitionModel m;
+    TransitionModel m{hw::ApuParams::defaults()};
     const auto a = ConfigSpace::maxPerformance();
     const auto b = ConfigSpace::minPower();
     EXPECT_DOUBLE_EQ(m.latency(a, b), m.latency(b, a));
@@ -32,7 +32,7 @@ TEST(Transition, Symmetric)
 
 TEST(Transition, VoltageRampDominatesBigSwings)
 {
-    TransitionModel m;
+    TransitionModel m{hw::ApuParams::defaults()};
     // CPU plane: P1 (1.325 V) <-> P7 (0.8875 V) = 0.4375 V swing at
     // 100 us/V plus one PLL relock.
     HwConfig a = ConfigSpace::maxPerformance();
@@ -43,7 +43,7 @@ TEST(Transition, VoltageRampDominatesBigSwings)
 
 TEST(Transition, SharedRailUsesEffectiveVoltage)
 {
-    TransitionModel m;
+    TransitionModel m{hw::ApuParams::defaults()};
     // At NB0 the rail is pinned at 1.175 V: switching DPM2 -> DPM0
     // changes only the GPU clock (the rail stays), so the cost is one
     // PLL relock and no ramp.
@@ -55,7 +55,7 @@ TEST(Transition, SharedRailUsesEffectiveVoltage)
 
 TEST(Transition, CuGatingScalesWithCount)
 {
-    TransitionModel m;
+    TransitionModel m{hw::ApuParams::defaults()};
     HwConfig a = ConfigSpace::maxPerformance();
     HwConfig b = a;
     b.cus = 6;
@@ -67,7 +67,7 @@ TEST(Transition, CuGatingScalesWithCount)
 
 TEST(Transition, PlanesTransitionConcurrently)
 {
-    TransitionModel m;
+    TransitionModel m{hw::ApuParams::defaults()};
     // Changing only the CPU and changing only the GPU cost their own
     // plane times; changing both costs the max, not the sum.
     HwConfig base = ConfigSpace::failSafe();
@@ -97,7 +97,7 @@ TEST(Transition, ZeroParamsDisable)
 
 TEST(Transition, ApuChargesIdleEnergy)
 {
-    kernel::Apu apu;
+    kernel::Apu apu{hw::ApuParams::defaults()};
     const auto a = ConfigSpace::maxPerformance();
     const auto b = ConfigSpace::minPower();
     const auto m = apu.reconfigure(a, b);
@@ -114,7 +114,7 @@ TEST(Transition, SimulatorChargesOnlyOnChange)
 {
     // A static governor never switches: zero transition time. The
     // first kernel's configuration is applied for free.
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
     auto app = workload::makeBenchmark("Spmv");
     policy::StaticGovernor gov(ConfigSpace::minPower());
     auto r = sim.run(app, gov);
@@ -125,14 +125,14 @@ TEST(Transition, SimulatorChargesOnlyOnChange)
 
 TEST(Transition, MpcPaysForSwitching)
 {
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
     auto app = workload::makeBenchmark("Spmv");
-    policy::TurboCoreGovernor turbo;
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
     EXPECT_DOUBLE_EQ(base.transitionTime, 0.0); // holds boost config
 
-    auto truth = std::make_shared<ml::GroundTruthPredictor>();
-    mpc::MpcGovernor gov(truth);
+    auto truth = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
+    mpc::MpcGovernor gov(truth, {}, hw::paperApu());
     sim.run(app, gov, base.throughput());
     auto r = sim.run(app, gov, base.throughput());
     // MPC reconfigures across phases: transitions exist but stay tiny
@@ -145,12 +145,12 @@ TEST(Transition, MpcPaysForSwitching)
 
 TEST(Transition, IncludedInNonKernelAccounting)
 {
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
     auto app = workload::makeBenchmark("kmeans");
-    policy::TurboCoreGovernor turbo;
+    policy::TurboCoreGovernor turbo{hw::paperApu()};
     auto base = sim.run(app, turbo);
-    auto truth = std::make_shared<ml::GroundTruthPredictor>();
-    mpc::MpcGovernor gov(truth);
+    auto truth = std::make_shared<ml::GroundTruthPredictor>(hw::ApuParams::defaults());
+    mpc::MpcGovernor gov(truth, {}, hw::paperApu());
     sim.run(app, gov, base.throughput());
     auto r = sim.run(app, gov, base.throughput());
     Seconds sum = 0.0;

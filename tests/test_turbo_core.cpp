@@ -11,9 +11,9 @@ TEST(TurboCore, RunsAtMaxWhileUnderTdp)
 {
     // The 95 W A10-7850K never exceeds TDP on these workloads, so
     // Turbo Core holds the boost configuration (Sec. V-B).
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
     auto app = workload::makeBenchmark("Spmv");
-    TurboCoreGovernor gov;
+    TurboCoreGovernor gov{hw::paperApu()};
     auto r = sim.run(app, gov);
     for (const auto &rec : r.records)
         EXPECT_EQ(rec.config, hw::ConfigSpace::maxPerformance());
@@ -21,9 +21,9 @@ TEST(TurboCore, RunsAtMaxWhileUnderTdp)
 
 TEST(TurboCore, NoSoftwareOverhead)
 {
-    sim::Simulator sim;
+    sim::Simulator sim{hw::paperApu()};
     auto app = workload::makeBenchmark("kmeans");
-    TurboCoreGovernor gov;
+    TurboCoreGovernor gov{hw::paperApu()};
     auto r = sim.run(app, gov);
     EXPECT_DOUBLE_EQ(r.overheadTime, 0.0);
     EXPECT_DOUBLE_EQ(r.overheadEnergy, 0.0);
@@ -35,9 +35,9 @@ TEST(TurboCore, ShedsCpuStatesOverTdp)
     // budget and Turbo Core must shift power away from the CPU.
     hw::ApuParams tight;
     tight.tdp = 30.0;
-    sim::Simulator sim(tight);
+    sim::Simulator sim(hw::makeModel("tight-apu", tight));
     auto app = workload::makeBenchmark("mandelbulbGPU");
-    TurboCoreGovernor gov(tight);
+    TurboCoreGovernor gov(hw::makeModel("tight-apu", tight));
     auto r = sim.run(app, gov);
 
     // First decision has no utilization history -> boost; after the
@@ -65,8 +65,10 @@ TEST(TurboCore, ShedsProportionallyToOvershoot)
     tight.tdp = 49.0;
 
     auto app = workload::makeBenchmark("mandelbulbGPU");
-    sim::Simulator s1(tight), s2(tighter);
-    TurboCoreGovernor g1(tight), g2(tighter);
+    const auto m_tight = hw::makeModel("tight-apu", tight);
+    const auto m_tighter = hw::makeModel("tighter-apu", tighter);
+    sim::Simulator s1(m_tight), s2(m_tighter);
+    TurboCoreGovernor g1(m_tight), g2(m_tighter);
     auto r1 = s1.run(app, g1);
     auto r2 = s2.run(app, g2);
     // A tighter budget forces a lower (numerically higher) CPU state.
@@ -78,9 +80,9 @@ TEST(TurboCore, BeginRunResetsHistory)
 {
     hw::ApuParams tight;
     tight.tdp = 30.0;
-    sim::Simulator sim(tight);
+    sim::Simulator sim(hw::makeModel("tight-apu", tight));
     auto app = workload::makeBenchmark("NBody");
-    TurboCoreGovernor gov(tight);
+    TurboCoreGovernor gov(hw::makeModel("tight-apu", tight));
     auto r1 = sim.run(app, gov);
     auto r2 = sim.run(app, gov);
     // Each run starts at boost again.
@@ -90,7 +92,7 @@ TEST(TurboCore, BeginRunResetsHistory)
 
 TEST(TurboCore, Name)
 {
-    TurboCoreGovernor gov;
+    TurboCoreGovernor gov{hw::paperApu()};
     EXPECT_EQ(gov.name(), "Turbo Core");
 }
 

@@ -49,6 +49,81 @@ TEST(Wire, OpenRoundTripsIncludingBenchName)
     EXPECT_EQ(got->bench, m.bench);
 }
 
+TEST(Wire, OpenV2RoundTripsModelAndQos)
+{
+    OpenMsg m;
+    m.tenant = 11;
+    m.optimizedRuns = 3;
+    m.kernelCacheCap = 8;
+    m.bench = "color";
+    m.hwModel = "eco-apu";
+    m.qosKind = WireQosKind::Deadline;
+    m.qosValue = 1.25;
+    std::vector<std::uint8_t> buf;
+    encodeOpen(buf, m);
+    const auto got = decodeOpen(payloadOf(buf, MsgType::Open));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->version, kWireVersion);
+    EXPECT_EQ(got->hwModel, "eco-apu");
+    EXPECT_EQ(got->qosKind, WireQosKind::Deadline);
+    EXPECT_EQ(got->qosValue, 1.25);
+}
+
+TEST(Wire, OpenV1FrameDecodesWithDefaults)
+{
+    // A legacy peer sends no tail after the bench name; the decoder
+    // must accept the frame and report catalog-default model/QoS.
+    OpenMsg m;
+    m.tenant = 4;
+    m.bench = "mis";
+    m.version = 1; // emit the legacy layout
+    m.hwModel = "ignored-on-v1";
+    std::vector<std::uint8_t> buf;
+    encodeOpen(buf, m);
+    const auto got = decodeOpen(payloadOf(buf, MsgType::Open));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->version, 1);
+    EXPECT_TRUE(got->hwModel.empty());
+    EXPECT_EQ(got->qosKind, WireQosKind::UniformAlpha);
+    EXPECT_EQ(got->qosValue, 0.0);
+}
+
+TEST(Wire, OpenRejectsTruncatedOrMalformedV2Tail)
+{
+    OpenMsg m;
+    m.tenant = 9;
+    m.bench = "spmv";
+    m.hwModel = "perf-apu";
+    m.qosKind = WireQosKind::Deadline;
+    m.qosValue = 2.0;
+    std::vector<std::uint8_t> buf;
+    encodeOpen(buf, m);
+    const auto payload = payloadOf(buf, MsgType::Open);
+    ASSERT_TRUE(decodeOpen(payload).has_value());
+
+    // The tail is version(1) + len(2) + model(8) + kind(1) + f64(8) =
+    // 20 bytes; every cut inside it must reject, never fall back to
+    // defaults (a half-sent tail is a protocol error, not a v1 frame).
+    for (std::size_t cut = 1; cut < 20; ++cut) {
+        std::vector<std::uint8_t> shorter(
+            payload.begin(),
+            payload.end() - static_cast<std::ptrdiff_t>(cut));
+        EXPECT_FALSE(decodeOpen(shorter).has_value()) << "cut=" << cut;
+    }
+
+    auto padded = payload;
+    padded.push_back(0); // trailing garbage
+    EXPECT_FALSE(decodeOpen(padded).has_value());
+
+    auto future = payload;
+    future[payload.size() - 20] = 3; // unknown version byte
+    EXPECT_FALSE(decodeOpen(future).has_value());
+
+    auto bad_kind = payload;
+    bad_kind[payload.size() - 9] = 7; // out-of-range QoS kind
+    EXPECT_FALSE(decodeOpen(bad_kind).has_value());
+}
+
 TEST(Wire, OpenedAndStepRoundTrip)
 {
     std::vector<std::uint8_t> buf;
@@ -181,6 +256,24 @@ TEST(Wire, StatsRejectsTruncatedPowercapTail)
             payload.end() - static_cast<std::ptrdiff_t>(cut));
         EXPECT_FALSE(decodeStats(shorter).has_value()) << "cut=" << cut;
     }
+}
+
+TEST(Wire, StatsRoundTripsDeadlineMisses)
+{
+    StatsMsg m;
+    m.entries.emplace_back("serve.deadline_misses", 6u);
+    m.deadlineMisses = 6;
+    std::vector<std::uint8_t> buf;
+    encodeStats(buf, m);
+    const auto got = decodeStats(payloadOf(buf, MsgType::Stats));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->deadlineMisses, 6u);
+
+    // The counter rides in the fixed tail: a frame cut inside the new
+    // field must reject like the rest of the powercap tail.
+    auto payload = payloadOf(buf, MsgType::Stats);
+    payload.pop_back();
+    EXPECT_FALSE(decodeStats(payload).has_value());
 }
 
 TEST(Wire, ErrorRoundTrips)

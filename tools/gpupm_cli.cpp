@@ -10,6 +10,7 @@
  *   sweep [flags]             fan benchmark x governor jobs over a pool
  *   fleet [flags]             serve N concurrent governor sessions
  *   serve [flags]             expose the fleet server over TCP (epoll)
+ *   replay [flags]            re-drive a decision JSONL dump offline
  *
  * Examples:
  *   gpupm run --bench Spmv --governor mpc --predictor perfect
@@ -23,6 +24,10 @@
  *   gpupm fleet --sessions 16 --online-learn --drift-threshold 20
  *   gpupm fleet --sessions 100000 --shards 8 --jobs 8 --shed
  *   gpupm serve --listen 127.0.0.1:0 --shards 4 --jobs 4
+ *   gpupm run --bench Spmv --governor pi --hw-model eco-apu
+ *   gpupm fleet --sessions 8 --hw-models paper-apu,eco-apu \
+ *       --deadlines 0,1.25
+ *   gpupm replay --trace fleet.jsonl --expect-identical
  */
 
 #include <algorithm>
@@ -36,7 +41,9 @@
 
 #include "common/flags.hpp"
 #include "common/table.hpp"
+#include "exec/replay.hpp"
 #include "exec/sweep_jobs.hpp"
+#include "hw/model.hpp"
 #include "ml/error_model.hpp"
 #include "ml/serialize.hpp"
 #include "ml/trainer.hpp"
@@ -44,6 +51,7 @@
 #include "online/adaptive_predictor.hpp"
 #include "online/learner.hpp"
 #include "policy/oracle.hpp"
+#include "policy/pi_governor.hpp"
 #include "powercap/arbiter.hpp"
 #include "powercap/thermal_governor.hpp"
 #include "policy/ppk.hpp"
@@ -85,8 +93,32 @@ cmdInfo()
               << "\nBoost:     "
               << hw::ConfigSpace::maxPerformance().toString() << "\n"
               << "TDP: " << fmt(hw::ApuParams::defaults().tdp, 0)
-              << " W\n";
+              << " W\n"
+              << "Hardware catalog:";
+    for (const auto &name : hw::HardwareCatalog::instance().names()) {
+        const auto m = hw::HardwareCatalog::instance().get(name);
+        std::cout << " " << name << " (" << fmt(m->tdp(), 0) << " W, "
+                  << m->space().size() << " configs)";
+    }
+    std::cout << "\n";
     return 0;
+}
+
+/** Shared --hw-model flag: pick a registered hardware model. */
+void
+addHwModelFlag(FlagParser &flags)
+{
+    flags.addChoice("hw-model", hw::paperApuName,
+                    "hardware model from the catalog",
+                    hw::HardwareCatalog::instance().names());
+}
+
+hw::HardwareModelPtr
+getHwModel(const FlagParser &flags)
+{
+    // Parse-time choice validation guarantees the name resolves.
+    return hw::HardwareCatalog::instance().get(
+        flags.getString("hw-model"));
 }
 
 /**
@@ -398,14 +430,17 @@ cmdTrain(int argc, const char *const *argv)
 }
 
 std::shared_ptr<const ml::PerfPowerPredictor>
-makePredictor(const std::string &kind, const std::string &model_path)
+makePredictor(const std::string &kind, const std::string &model_path,
+              const hw::ApuParams &params)
 {
     if (kind == "perfect")
-        return std::make_shared<ml::GroundTruthPredictor>();
+        return std::make_shared<ml::GroundTruthPredictor>(params);
     if (kind == "err15")
-        return std::make_shared<ml::NoisyOraclePredictor>(0.15, 0.10);
+        return std::make_shared<ml::NoisyOraclePredictor>(0.15, 0.10,
+                                                          0xe44ULL, params);
     if (kind == "err5")
-        return std::make_shared<ml::NoisyOraclePredictor>(0.05, 0.05);
+        return std::make_shared<ml::NoisyOraclePredictor>(0.05, 0.05,
+                                                          0xe44ULL, params);
     if (kind == "rf") {
         if (!model_path.empty()) {
             std::ifstream is(model_path);
@@ -429,12 +464,19 @@ cmdRun(int argc, const char *const *argv)
 {
     FlagParser flags("gpupm run: execute governors over benchmarks");
     flags.addString("bench", "all", "benchmark name or 'all'");
-    flags.addString("governor", "mpc", "turbo|ppk|mpc|oracle");
+    flags.addChoice("governor", "mpc", "decision policy",
+                    {"turbo", "ppk", "mpc", "oracle", "pi"});
     flags.addString("predictor", "perfect", "perfect|rf|err15|err5");
     flags.addString("model", "", "saved .rf model (with --predictor rf)");
+    addHwModelFlag(flags);
     flags.addString("horizon", "adaptive", "adaptive|full|fixed");
     flags.addInt("fixed-horizon", 4, "length for --horizon fixed");
     flags.addDouble("alpha", 0.05, "performance-loss bound");
+    flags.addDouble("deadline", 0.0,
+                    "deadline-QoS slack factor over the baseline run "
+                    "time (> 0 enables deadline QoS; 0 = uniform "
+                    "alpha)",
+                    0.0, 1e6);
     flags.addInt("runs", 2, "MPC executions after profiling");
     flags.addDouble("phases", 0.0, "CPU-phase fraction between kernels");
     flags.addPath("trace", "", "write 1 ms telemetry CSV here");
@@ -460,7 +502,8 @@ cmdRun(int argc, const char *const *argv)
     std::shared_ptr<const ml::PerfPowerPredictor> predictor;
     if (gov_kind == "ppk" || gov_kind == "mpc") {
         predictor = makePredictor(flags.getString("predictor"),
-                                  flags.getString("model"));
+                                  flags.getString("model"),
+                                  getHwModel(flags)->params());
         if (!predictor)
             return 2;
     }
@@ -494,7 +537,9 @@ cmdRun(int argc, const char *const *argv)
         names.push_back(flags.getString("bench"));
 
     mpc::MpcOptions mpc_opts;
-    mpc_opts.alpha = flags.getDouble("alpha");
+    mpc_opts.qos.alpha = flags.getDouble("alpha");
+    if (flags.getDouble("deadline") > 0.0)
+        mpc_opts.qos = mpc::QosSpec::deadline(flags.getDouble("deadline"));
     if (flags.getString("horizon") == "full")
         mpc_opts.horizonMode = mpc::HorizonMode::Full;
     else if (flags.getString("horizon") == "fixed")
@@ -506,7 +551,8 @@ cmdRun(int argc, const char *const *argv)
         mpc_opts.overhead = policy::OverheadModel::free();
     }
 
-    sim::Simulator sim;
+    const hw::HardwareModelPtr hw_model = getHwModel(flags);
+    sim::Simulator sim{hw_model};
     TextTable t({"benchmark", "scheme", "energy (J)", "time (ms)",
                  "energy savings", "speedup"});
     sim::RunResult last;
@@ -515,27 +561,32 @@ cmdRun(int argc, const char *const *argv)
         if (flags.getDouble("phases") > 0.0)
             app = workload::withCpuPhases(app, flags.getDouble("phases"));
 
-        policy::TurboCoreGovernor turbo;
+        policy::TurboCoreGovernor turbo{hw_model};
         auto baseline = sim.run(app, turbo);
+        const Throughput target =
+            mpc_opts.qos.scaleTarget(baseline.throughput());
 
         sim::RunResult r;
         if (gov_kind == "turbo") {
             r = baseline;
         } else if (gov_kind == "ppk") {
-            policy::PpkGovernor gov(predictor);
-            r = sim.run(app, gov, baseline.throughput());
+            policy::PpkGovernor gov(predictor, {}, hw_model);
+            r = sim.run(app, gov, target);
         } else if (gov_kind == "mpc") {
-            mpc::MpcGovernor gov(predictor, mpc_opts);
+            mpc::MpcGovernor gov(predictor, mpc_opts, hw_model);
             gov.setPowerCap(flags.getDouble("power-cap"));
             gov.setDecisionSink(learner ? static_cast<trace::DecisionSink *>(
                                               &*learner)
                                         : trace_outputs.log());
-            sim.run(app, gov, baseline.throughput());
+            sim.run(app, gov, target);
             for (int i = 0; i < flags.getInt("runs"); ++i)
-                r = sim.run(app, gov, baseline.throughput());
+                r = sim.run(app, gov, target);
+        } else if (gov_kind == "pi") {
+            policy::PiGovernor gov(hw_model);
+            r = sim.run(app, gov, target);
         } else if (gov_kind == "oracle") {
-            policy::TheoreticallyOptimalGovernor gov(app);
-            r = sim.run(app, gov, baseline.throughput());
+            policy::TheoreticallyOptimalGovernor gov(app, hw_model);
+            r = sim.run(app, gov, target);
         } else {
             std::cerr << "unknown governor '" << gov_kind << "'\n";
             return 2;
@@ -565,7 +616,8 @@ cmdRun(int argc, const char *const *argv)
             std::cerr << "cannot write " << trace_path << "\n";
             return 1;
         }
-        telemetry::PowerTrace::fromRun(last).writeCsv(os);
+        telemetry::PowerTrace::fromRun(last, hw_model->params())
+            .writeCsv(os);
         std::cout << "telemetry of the last run written to "
                   << trace_path << "\n";
     }
@@ -596,6 +648,7 @@ cmdSweep(int argc, const char *const *argv)
                     "comma list of turbo|ppk|mpc|oracle");
     flags.addString("predictor", "perfect", "perfect|rf|err15|err5");
     flags.addString("model", "", "saved .rf model (with --predictor rf)");
+    addHwModelFlag(flags);
     flags.addInt("jobs", 0,
                  "worker threads (0 = hardware concurrency, 1 = serial)",
                  0, 4096);
@@ -625,7 +678,8 @@ cmdSweep(int argc, const char *const *argv)
     std::shared_ptr<const ml::PerfPowerPredictor> predictor;
     if (needs_predictor) {
         predictor = makePredictor(flags.getString("predictor"),
-                                  flags.getString("model"));
+                                  flags.getString("model"),
+                                  getHwModel(flags)->params());
         if (!predictor)
             return 2;
     }
@@ -672,7 +726,7 @@ cmdSweep(int argc, const char *const *argv)
     exec::SweepEngine engine(sopts);
     std::cerr << "[sweep] " << jobs.size() << " jobs on "
               << engine.jobs() << " workers\n";
-    const auto results = exec::runSweep(engine, jobs);
+    const auto results = exec::runSweep(engine, jobs, getHwModel(flags));
 
     TextTable t({"benchmark", "scheme", "energy (J)", "time (ms)",
                  "throughput (Ginst/s)"});
@@ -698,6 +752,14 @@ cmdFleet(int argc, const char *const *argv)
                     "round-robin over sessions)");
     flags.addString("predictor", "rf", "perfect|rf|err15|err5");
     flags.addString("model", "", "saved .rf model (with --predictor rf)");
+    addHwModelFlag(flags);
+    flags.addString("hw-models", "",
+                    "comma list of catalog model names cycled over "
+                    "sessions in creation order (overrides --hw-model "
+                    "per session; heterogeneous fleets)");
+    flags.addString("deadlines", "",
+                    "comma list of deadline slack factors cycled over "
+                    "sessions (0 entries keep uniform-alpha QoS)");
     flags.addInt("sessions", 8, "concurrent governor sessions", 1,
                  1 << 20);
     flags.addInt("jobs", 1, "worker threads draining the request queue",
@@ -745,11 +807,30 @@ cmdFleet(int argc, const char *const *argv)
     TraceOutputs trace_outputs(flags);
 
     auto predictor = makePredictor(flags.getString("predictor"),
-                                   flags.getString("model"));
+                                   flags.getString("model"),
+                                   getHwModel(flags)->params());
     if (!predictor)
         return 2;
 
     serve::FleetOptions fopts;
+    fopts.server.model = getHwModel(flags);
+    for (const auto &m : splitCommaList(flags.getString("hw-models"))) {
+        // Resolved here (fatal with candidates on a typo) so a bad
+        // name fails before the fleet spins up.
+        fopts.hwModels.push_back(
+            hw::HardwareCatalog::instance().get(m)->name());
+    }
+    for (const auto &d : splitCommaList(flags.getString("deadlines"))) {
+        char *end = nullptr;
+        const double factor = std::strtod(d.c_str(), &end);
+        if (end == d.c_str() || *end != '\0' || factor < 0.0) {
+            std::cerr << "--deadlines entries must be non-negative "
+                         "numbers, got '"
+                      << d << "'\n";
+            return 2;
+        }
+        fopts.deadlines.push_back(factor);
+    }
     fopts.server.jobs = static_cast<std::size_t>(flags.getInt("jobs"));
     fopts.server.shards =
         static_cast<std::size_t>(flags.getInt("shards"));
@@ -797,6 +878,18 @@ cmdFleet(int argc, const char *const *argv)
 
     std::cout << "fleet: " << result.sessions << " sessions, "
               << result.decisions << " decisions\n";
+    if (!fopts.hwModels.empty()) {
+        // sessionsPerModel is an ordered map and session creation is
+        // deterministic, so this line is byte-reproducible.
+        std::cout << "models:";
+        for (const auto &[name, count] : result.sessionsPerModel)
+            std::cout << " " << name << "=" << count;
+        std::cout << "\n";
+    }
+    if (!fopts.deadlines.empty()) {
+        std::cout << "deadlines: " << result.deadlineMisses
+                  << " missed runs\n";
+    }
     if (fopts.server.powercap.enabled()) {
         // Cap accounting is part of the deterministic decision stream
         // (violations and arbiter ticks are functions of the trace, not
@@ -883,6 +976,120 @@ cmdFleet(int argc, const char *const *argv)
     return trace_outputs.finish();
 }
 
+int
+cmdReplay(int argc, const char *const *argv)
+{
+    FlagParser flags(
+        "gpupm replay: re-drive a recorded decision JSONL dump "
+        "through a governor offline - with the original predictor and "
+        "options the MPC decisions reproduce byte-identically; with a "
+        "different governor, hardware model or QoS the divergence "
+        "count quantifies the counterfactual");
+    flags.addPath("trace", "", "decision JSONL dump to replay "
+                               "(required; from --trace/"
+                               "--trace-decisions)");
+    flags.addChoice("governor", "mpc", "replaying policy",
+                    {"mpc", "turbo", "pi"});
+    flags.addChoice("predictor", "rf", "mpc only; must match the "
+                                       "recording run's predictor "
+                                       "(offline replay has no kernel "
+                                       "ground truth, so only rf works)",
+                    {"rf"});
+    flags.addString("model", "", "saved .rf model (with --predictor rf)");
+    addHwModelFlag(flags);
+    flags.addString("horizon", "adaptive", "adaptive|full|fixed");
+    flags.addInt("fixed-horizon", 4, "length for --horizon fixed");
+    flags.addDouble("alpha", 0.05, "performance-loss bound");
+    flags.addDouble("deadline", 0.0,
+                    "deadline-QoS slack factor (> 0 enables deadline "
+                    "QoS; 0 = uniform alpha)",
+                    0.0, 1e6);
+    flags.addBool("no-overhead", "do not charge decision latency");
+    flags.addBool("expect-identical",
+                  "exit nonzero unless every replayed decision matches "
+                  "the recorded one (CI determinism check)");
+    addSimdFlag(flags);
+    if (!flags.parse(argc, argv)) {
+        std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
+                  << flags.usage();
+        return flags.helpRequested() ? 0 : 2;
+    }
+    if (!applySimdFlag(flags))
+        return 2;
+
+    const std::string trace_path = flags.getPath("trace");
+    if (trace_path.empty()) {
+        std::cerr << "--trace is required\n" << flags.usage();
+        return 2;
+    }
+    std::ifstream is(trace_path, std::ios::binary);
+    if (!is) {
+        std::cerr << "cannot read " << trace_path << "\n";
+        return 1;
+    }
+    auto records = trace::readDecisionJsonl(is);
+    if (records.empty()) {
+        std::cerr << "no decision records in " << trace_path << "\n";
+        return 1;
+    }
+
+    exec::ReplayOptions ropts;
+    ropts.model = getHwModel(flags);
+    const std::string gov_kind = flags.getString("governor");
+    if (gov_kind == "turbo")
+        ropts.governor = exec::ReplayGovernor::Turbo;
+    else if (gov_kind == "pi")
+        ropts.governor = exec::ReplayGovernor::Pi;
+    else
+        ropts.governor = exec::ReplayGovernor::Mpc;
+    ropts.mpc.qos.alpha = flags.getDouble("alpha");
+    if (flags.getDouble("deadline") > 0.0)
+        ropts.mpc.qos =
+            mpc::QosSpec::deadline(flags.getDouble("deadline"));
+    ropts.qos = ropts.mpc.qos;
+    if (flags.getString("horizon") == "full")
+        ropts.mpc.horizonMode = mpc::HorizonMode::Full;
+    else if (flags.getString("horizon") == "fixed")
+        ropts.mpc.horizonMode = mpc::HorizonMode::Fixed;
+    ropts.mpc.fixedHorizon =
+        static_cast<std::size_t>(flags.getInt("fixed-horizon"));
+    if (flags.getBool("no-overhead")) {
+        ropts.mpc.chargeOverhead = false;
+        ropts.mpc.overhead = policy::OverheadModel::free();
+    }
+
+    std::shared_ptr<const ml::PerfPowerPredictor> predictor;
+    if (ropts.governor == exec::ReplayGovernor::Mpc) {
+        // Counter-driven replay carries no kernel ground truth, so the
+        // oracle predictors (perfect/err*) cannot run here - only rf,
+        // enforced by the flag's choice list above.
+        predictor = makePredictor(flags.getString("predictor"),
+                                  flags.getString("model"),
+                                  ropts.model->params());
+        if (!predictor)
+            return 2;
+    }
+
+    const auto report =
+        exec::replayRecords(std::move(records), predictor, ropts);
+
+    std::cout << "replay: " << report.decisions << " decisions through "
+              << report.governors << " " << report.governorName
+              << " governor(s) on " << ropts.model->name() << "\n"
+              << "divergences: " << report.divergences.size() << "\n";
+    if (!report.divergences.empty()) {
+        const auto &d = report.divergences.front();
+        std::cout << "first divergence at record " << d.recordIndex
+                  << ": recorded config " << d.configRecorded
+                  << ", replayed " << d.configReplayed << "\n";
+    }
+    if (flags.getBool("expect-identical") && !report.identical()) {
+        std::cerr << "replay diverged from the recorded decisions\n";
+        return 1;
+    }
+    return 0;
+}
+
 serve::NetServer *g_netServer = nullptr;
 
 extern "C" void
@@ -921,6 +1128,7 @@ cmdServe(int argc, const char *const *argv)
                  1 << 20);
     flags.addInt("max-sessions", 4096,
                  "per-shard resident-session LRU cap", 1, 1 << 24);
+    addHwModelFlag(flags);
     addShardFlags(flags);
     addPowercapFlags(flags);
     addSimdFlag(flags);
@@ -952,11 +1160,13 @@ cmdServe(int argc, const char *const *argv)
     }
 
     auto predictor = makePredictor(flags.getString("predictor"),
-                                   flags.getString("model"));
+                                   flags.getString("model"),
+                                   getHwModel(flags)->params());
     if (!predictor)
         return 2;
 
     serve::FleetServerOptions sopts;
+    sopts.model = getHwModel(flags);
     sopts.jobs = static_cast<std::size_t>(flags.getInt("jobs"));
     sopts.shards = static_cast<std::size_t>(flags.getInt("shards"));
     sopts.shed = parseShedOptions(flags);
@@ -1025,7 +1235,8 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::cerr << "usage: gpupm "
-                     "<list|info|train|run|sweep|fleet|serve> [flags]\n"
+                     "<list|info|train|run|sweep|fleet|serve|replay> "
+                     "[flags]\n"
                      "       gpupm <subcommand> --help\n";
         return 2;
     }
@@ -1044,6 +1255,8 @@ main(int argc, char **argv)
         return cmdFleet(argc - 1, argv + 1);
     if (cmd == "serve")
         return cmdServe(argc - 1, argv + 1);
+    if (cmd == "replay")
+        return cmdReplay(argc - 1, argv + 1);
     std::cerr << "unknown subcommand '" << cmd << "'\n";
     return 2;
 }

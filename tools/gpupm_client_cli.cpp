@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -51,6 +52,10 @@ struct ClientSession
 {
     std::uint64_t tenant = 0;
     std::string bench;
+    /** Catalog hardware-model name; empty = server default. */
+    std::string hwModel;
+    /** Deadline slack factor; 0 = uniform-alpha QoS. */
+    double deadline = 0.0;
     std::size_t conn = 0;
     std::uint64_t id = 0; ///< Server-assigned; 0 until Opened.
     std::uint32_t remaining = 0;
@@ -171,6 +176,17 @@ main(int argc, char **argv)
     flags.addBool("verify",
                   "require bit-identical decision streams from "
                   "same-benchmark sessions (exit nonzero on mismatch)");
+    flags.addString("hw-models", "",
+                    "comma list of catalog hardware-model names "
+                    "assigned round-robin over sessions (empty = "
+                    "server default; heterogeneous fleets)");
+    flags.addString("deadlines", "",
+                    "comma list of deadline slack factors assigned "
+                    "round-robin over sessions (0 entries keep "
+                    "uniform-alpha QoS)");
+    flags.addBool("legacy-open",
+                  "send version-1 Open frames (no model/QoS tail; "
+                  "protocol-compatibility testing)");
     flags.addBool("quiet", "suppress the per-run summary");
     if (!flags.parse(argc, argv)) {
         std::cerr << (flags.helpRequested() ? "" : flags.error() + "\n")
@@ -218,12 +234,37 @@ main(int argc, char **argv)
             return 1;
     }
 
+    const auto hwModels =
+        splitCommaList(flags.getString("hw-models"));
+    std::vector<double> deadlines;
+    for (const auto &d : splitCommaList(flags.getString("deadlines"))) {
+        char *end = nullptr;
+        const double factor = std::strtod(d.c_str(), &end);
+        if (end == d.c_str() || *end != '\0' || factor < 0.0) {
+            std::cerr << "--deadlines entries must be non-negative "
+                         "numbers, got '"
+                      << d << "'\n";
+            return 2;
+        }
+        deadlines.push_back(factor);
+    }
+    const bool legacyOpen = flags.getBool("legacy-open");
+    if (legacyOpen && (!hwModels.empty() || !deadlines.empty())) {
+        std::cerr << "--legacy-open cannot carry --hw-models or "
+                     "--deadlines (v1 frames have no tail)\n";
+        return 2;
+    }
+
     std::vector<ClientSession> sessions(nSessions);
     std::map<std::uint64_t, std::size_t> byId; // server id -> index
     for (std::size_t i = 0; i < nSessions; ++i) {
         auto &s = sessions[i];
         s.tenant = i + 1;
         s.bench = benches[i % benches.size()];
+        if (!hwModels.empty())
+            s.hwModel = hwModels[i % hwModels.size()];
+        if (!deadlines.empty())
+            s.deadline = deadlines[i % deadlines.size()];
         s.conn = i % nConns;
         wire::OpenMsg open;
         open.tenant = s.tenant;
@@ -231,6 +272,13 @@ main(int argc, char **argv)
             static_cast<std::uint32_t>(flags.getInt("runs"));
         open.kernelCacheCap = 0; // Server default.
         open.bench = s.bench;
+        if (legacyOpen)
+            open.version = 1;
+        open.hwModel = s.hwModel;
+        if (s.deadline > 0.0) {
+            open.qosKind = wire::WireQosKind::Deadline;
+            open.qosValue = s.deadline;
+        }
         wire::encodeOpen(conns[s.conn].writeBuf, open);
     }
 
@@ -437,10 +485,14 @@ main(int argc, char **argv)
     // --verify: same (bench, runs) => bit-identical decision stream.
     bool verifyFailed = false;
     if (verify && !protocolFailure) {
+        // Identical streams are only promised for sessions with the
+        // same benchmark AND the same hardware model and QoS.
         std::map<std::string, std::size_t> reference;
         for (std::size_t i = 0; i < sessions.size(); ++i) {
             const auto &s = sessions[i];
-            auto [it, fresh] = reference.emplace(s.bench, i);
+            const std::string key = s.bench + "|" + s.hwModel + "|" +
+                                    std::to_string(s.deadline);
+            auto [it, fresh] = reference.emplace(key, i);
             if (fresh)
                 continue;
             const auto &ref = sessions[it->second];
@@ -482,6 +534,9 @@ main(int argc, char **argv)
                           << ", arbiter ticks "
                           << serverStats.arbiterTicks << "\n";
             }
+            if (serverStats.deadlineMisses > 0)
+                std::cout << "deadline misses: "
+                          << serverStats.deadlineMisses << "\n";
         }
         if (verify && !verifyFailed && !protocolFailure)
             std::cout << "verify: OK (same-benchmark sessions are "
